@@ -1,0 +1,85 @@
+//! Criterion benches for the design-choice ablations DESIGN.md calls out:
+//! null-evaluation strategy (R11), DPI pruning cost, CLR cost, and the
+//! simulated-cluster run across rank counts (R11b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnet_bench::measured::perf_matrix;
+use gnet_cluster::infer_network_distributed;
+use gnet_core::baselines::clr_network;
+use gnet_core::config::NullStrategy;
+use gnet_core::{infer_network, InferenceConfig};
+use gnet_graph::dpi::dpi_prune;
+use gnet_grnsim::{GrnConfig, SyntheticDataset};
+use std::hint::black_box;
+
+fn bench_null_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("null_strategy");
+    group.sample_size(10);
+    let ds = SyntheticDataset::generate(
+        GrnConfig { genes: 96, samples: 200, ..GrnConfig::small() },
+        77,
+    );
+    for (name, strategy) in
+        [("exact", NullStrategy::ExactFull), ("early_exit", NullStrategy::EarlyExit)]
+    {
+        let cfg = InferenceConfig {
+            permutations: 20,
+            threads: Some(1),
+            tile_size: Some(24),
+            null_strategy: strategy,
+            null_sample_pairs: 200,
+            ..InferenceConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, _| {
+            b.iter(|| black_box(infer_network(black_box(&ds.matrix), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_post_processing(c: &mut Criterion) {
+    let ds = SyntheticDataset::generate(
+        GrnConfig { genes: 120, samples: 250, ..GrnConfig::small() },
+        5,
+    );
+    let cfg = InferenceConfig {
+        permutations: 15,
+        threads: Some(1),
+        ..InferenceConfig::default()
+    };
+    let result = infer_network(&ds.matrix, &cfg);
+    let mut group = c.benchmark_group("post_processing");
+    group.bench_function("dpi_prune", |b| {
+        b.iter(|| black_box(dpi_prune(black_box(&result.network), 0.05)))
+    });
+    group.finish();
+
+    let matrix = perf_matrix(64, 200);
+    c.bench_function("clr_network_64", |b| {
+        b.iter(|| black_box(clr_network(black_box(&matrix), 10, 3, 3.0)))
+    });
+}
+
+fn bench_cluster_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_ranks");
+    group.sample_size(10);
+    let ds = SyntheticDataset::generate(
+        GrnConfig { genes: 64, samples: 150, ..GrnConfig::small() },
+        11,
+    );
+    let cfg = InferenceConfig {
+        permutations: 10,
+        threads: Some(1),
+        tile_size: Some(16),
+        ..InferenceConfig::default()
+    };
+    for ranks in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &r| {
+            b.iter(|| black_box(infer_network_distributed(black_box(&ds.matrix), &cfg, r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_null_strategy, bench_post_processing, bench_cluster_ranks);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion micro-benches for the substrate components: B-spline weight
+//! preparation, rank transform, permutation generation, slice kernels, and
+//! the graph operations — the cost-model inputs of `gnet-phi`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnet_bspline::{BsplineBasis, SparseWeights};
+use gnet_expr::normalize::rank_transform_profile;
+use gnet_expr::synth;
+use gnet_graph::{connected_components, Edge, GeneNetwork};
+use gnet_permute::PermutationSet;
+use gnet_simd::slice_ops;
+use std::hint::black_box;
+
+fn bench_preparation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepare_gene");
+    let basis = BsplineBasis::tinge_default();
+    for &m in &[512usize, 3_137] {
+        let matrix = synth::independent_gaussian(1, m, 5);
+        let raw = matrix.gene(0).to_vec();
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("rank_transform", m), &m, |b, _| {
+            b.iter(|| black_box(rank_transform_profile(black_box(&raw))))
+        });
+        let normalized = rank_transform_profile(&raw);
+        group.bench_with_input(BenchmarkId::new("spline_weights", m), &m, |b, _| {
+            b.iter(|| black_box(SparseWeights::from_normalized(black_box(&normalized), &basis)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_permutations(c: &mut Criterion) {
+    c.bench_function("permutation_set_q30_m3137", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(PermutationSet::generate(3_137, 30, seed))
+        })
+    });
+}
+
+fn bench_slice_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slice_ops");
+    let x: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.37).sin().abs()).collect();
+    let y: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.11).cos().abs()).collect();
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("dot_scalar", |b| {
+        b.iter(|| black_box(slice_ops::dot_scalar(black_box(&x), black_box(&y))))
+    });
+    group.bench_function("dot_lanes", |b| {
+        b.iter(|| black_box(slice_ops::dot(black_box(&x), black_box(&y))))
+    });
+    group.bench_function("xlogx_scalar", |b| {
+        b.iter(|| black_box(slice_ops::xlogx_sum_scalar(black_box(&x))))
+    });
+    group.bench_function("xlogx_lanes", |b| {
+        b.iter(|| black_box(slice_ops::xlogx_sum(black_box(&x))))
+    });
+    group.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    // A scale-free-ish network of 10k nodes / 30k edges.
+    let n = 10_000u32;
+    let edges: Vec<Edge> = (0..30_000u32)
+        .map(|i| {
+            let a = (i * 2_654_435_761 % n).min(n - 1);
+            let hub = i % 173;
+            let b = if a == hub { (a + 1) % n } else { hub };
+            Edge::new(a.min(b), a.max(b).max(a.min(b) + 1), 0.5)
+        })
+        .collect();
+    let net = GeneNetwork::from_edges(n as usize, Vec::new(), edges);
+    let mut group = c.benchmark_group("graph");
+    group.bench_function("connected_components_10k", |b| {
+        b.iter(|| black_box(connected_components(black_box(&net))))
+    });
+    group.bench_function("degree_distribution_10k", |b| {
+        b.iter(|| black_box(net.degree_distribution()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preparation,
+    bench_permutations,
+    bench_slice_kernels,
+    bench_graph_ops
+);
+criterion_main!(benches);

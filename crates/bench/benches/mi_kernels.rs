@@ -1,0 +1,65 @@
+//! Criterion bench backing experiment R4: scalar vs vector MI kernel, with
+//! and without permutation nulls, across sample counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnet_bspline::BsplineBasis;
+use gnet_expr::synth;
+use gnet_mi::{mi_with_nulls, prepare_gene, MiKernel, MiScratch};
+use gnet_permute::PermutationSet;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let basis = BsplineBasis::tinge_default();
+    let mut group = c.benchmark_group("mi_pair");
+    group.sample_size(20);
+
+    for &samples in &[512usize, 3_137] {
+        let matrix = synth::independent_gaussian(2, samples, 42);
+        let x = prepare_gene(matrix.gene(0), &basis);
+        let y = prepare_gene(matrix.gene(1), &basis);
+        let y_dense = y.to_dense();
+        let mut scratch = MiScratch::for_basis(&basis);
+
+        for &q in &[0usize, 30] {
+            let perms = PermutationSet::generate(samples, q, 7);
+            group.throughput(Throughput::Elements((q as u64 + 1) * samples as u64));
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("scalar_q{q}"), samples),
+                &samples,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(mi_with_nulls(
+                            MiKernel::ScalarSparse,
+                            black_box(&x),
+                            black_box(&y),
+                            None,
+                            perms.as_vecs(),
+                            &mut scratch,
+                        ))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("vector_q{q}"), samples),
+                &samples,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(mi_with_nulls(
+                            MiKernel::VectorDense,
+                            black_box(&x),
+                            black_box(&y),
+                            Some(&y_dense),
+                            perms.as_vecs(),
+                            &mut scratch,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

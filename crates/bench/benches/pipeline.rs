@@ -1,0 +1,56 @@
+//! Criterion bench backing experiments R1/R5/R6: end-to-end pipeline
+//! throughput and its scaling in genes and samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnet_bench::measured::{perf_config, perf_matrix};
+use gnet_core::infer_network;
+use gnet_mi::MiKernel;
+use std::hint::black_box;
+
+fn bench_gene_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_genes");
+    group.sample_size(10);
+    for &genes in &[64usize, 128, 256] {
+        let matrix = perf_matrix(genes, 256);
+        let cfg = perf_config(4, 1, 32, MiKernel::VectorDense);
+        let pairs = (genes * (genes - 1) / 2) as u64;
+        group.throughput(Throughput::Elements(pairs));
+        group.bench_with_input(BenchmarkId::from_parameter(genes), &genes, |b, _| {
+            b.iter(|| black_box(infer_network(black_box(&matrix), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_samples");
+    group.sample_size(10);
+    for &samples in &[128usize, 256, 512] {
+        let matrix = perf_matrix(96, samples);
+        let cfg = perf_config(4, 1, 32, MiKernel::VectorDense);
+        group.throughput(Throughput::Elements(samples as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, _| {
+            b.iter(|| black_box(infer_network(black_box(&matrix), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_headline_slab(c: &mut Criterion) {
+    // The headline per-pair shape (m = 3,137, q = 30) over a small gene
+    // slab: the measured pair rate here, times 1.213e8 pairs, is the
+    // host-projection row of R1.
+    let mut group = c.benchmark_group("pipeline_headline_slab");
+    group.sample_size(10);
+    let matrix = perf_matrix(24, 3_137);
+    let cfg = perf_config(30, 1, 12, MiKernel::VectorDense);
+    let pairs = (24u64 * 23) / 2;
+    group.throughput(Throughput::Elements(pairs));
+    group.bench_function("n24_m3137_q30", |b| {
+        b.iter(|| black_box(infer_network(black_box(&matrix), &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gene_scaling, bench_sample_scaling, bench_headline_slab);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench backing experiments R2/R7: scheduling policies and
+//! thread counts on the real executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnet_bench::measured::{perf_config, perf_matrix};
+use gnet_core::infer_network;
+use gnet_core::InferenceConfig;
+use gnet_mi::MiKernel;
+use gnet_parallel::SchedulerPolicy;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_policy");
+    group.sample_size(10);
+    let matrix = perf_matrix(128, 192);
+    for policy in SchedulerPolicy::ALL {
+        let cfg = InferenceConfig {
+            scheduler: policy,
+            ..perf_config(2, 2, 16, MiKernel::VectorDense)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, _| {
+            b.iter(|| black_box(infer_network(black_box(&matrix), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_count");
+    group.sample_size(10);
+    let matrix = perf_matrix(128, 192);
+    for &threads in &[1usize, 2, 4] {
+        let cfg = perf_config(2, threads, 16, MiKernel::VectorDense);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| black_box(infer_network(black_box(&matrix), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_thread_counts);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench backing experiment R8: cache-blocking tile-size sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnet_bench::measured::{perf_config, perf_matrix};
+use gnet_core::infer_network;
+use gnet_mi::MiKernel;
+use std::hint::black_box;
+
+fn bench_tile_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_size");
+    group.sample_size(10);
+    let genes = 192;
+    let matrix = perf_matrix(genes, 384);
+    let pairs = (genes * (genes - 1) / 2) as u64;
+    for &tile in &[2usize, 8, 32, 96, 192] {
+        let cfg = perf_config(4, 1, tile, MiKernel::VectorDense);
+        group.throughput(Throughput::Elements(pairs));
+        group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, _| {
+            b.iter(|| black_box(infer_network(black_box(&matrix), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tile_sizes);
+criterion_main!(benches);

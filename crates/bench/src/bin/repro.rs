@@ -1,0 +1,453 @@
+//! `repro` — regenerate every table/figure of the reconstructed evaluation.
+//!
+//! ```text
+//! repro --experiment r1         # one experiment
+//! repro --experiment all        # everything (default)
+//! repro --out results           # CSV output directory (default: results)
+//! repro --quick                 # smaller measured sizes
+//! ```
+//!
+//! Modeled series come from the calibrated machine models in `gnet-phi`
+//! (this container has one CPU core and no Xeon Phi); measured series run
+//! the real kernels and pipeline on the host. EXPERIMENTS.md records the
+//! paper-vs-measured comparison for each experiment id.
+
+use gnet_bench::measured;
+use gnet_bench::TableBuilder;
+use gnet_phi::scenarios::{self, paper_claims};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Opts {
+    experiment: String,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Opts {
+    let mut experiment = "all".to_string();
+    let mut out = PathBuf::from("results");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                experiment = args.next().unwrap_or_else(|| usage("missing experiment id"));
+            }
+            "--out" | "-o" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing out dir")));
+            }
+            "--quick" | "-q" => quick = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    Opts { experiment: experiment.to_lowercase(), out, quick }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [--experiment r1|r2|...|r15|all] [--out DIR] [--quick]\n\
+         Regenerates the evaluation tables (see DESIGN.md §4)."
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn emit(table: &TableBuilder, out: &std::path::Path, stem: &str) {
+    println!("{}", table.render());
+    match table.write_csv_to(out, stem) {
+        Ok(path) => println!("   └─ csv: {}\n", path.display()),
+        Err(e) => eprintln!("   └─ csv write failed: {e}\n"),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let all = opts.experiment == "all";
+    let t0 = Instant::now();
+    let mut ran = 0;
+
+    macro_rules! run {
+        ($id:literal, $f:expr) => {
+            if all || opts.experiment == $id {
+                println!("──────── experiment {} ────────", $id.to_uppercase());
+                $f;
+                ran += 1;
+            }
+        };
+    }
+
+    run!("r1", r1_headline(&opts));
+    run!("r2", r2_scaling(&opts));
+    run!("r3", r3_threads_per_core(&opts));
+    run!("r4", r4_vectorization(&opts));
+    run!("r5", r5_gene_sweep(&opts));
+    run!("r6", r6_sample_sweep(&opts));
+    run!("r7", r7_schedulers(&opts));
+    run!("r8", r8_tiles(&opts));
+    run!("r9", r9_platforms(&opts));
+    run!("r10", r10_accuracy(&opts));
+    run!("r11", r11_extensions(&opts));
+    run!("r12", r12_offload(&opts));
+    run!("r13", r13_estimators(&opts));
+    run!("r14", r14_forward(&opts));
+    run!("r15", r15_energy(&opts));
+
+    if ran == 0 {
+        usage(&format!("unknown experiment {:?}", opts.experiment));
+    }
+    println!("done: {ran} experiment(s) in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// R1 — headline whole-genome run: modeled platforms vs the paper's cited
+/// 22 minutes, plus the measured host projection.
+fn r1_headline(opts: &Opts) {
+    let mut t = TableBuilder::new(
+        "R1 — whole-genome network (15,575 genes × 3,137 experiments, q=30)",
+        &["platform", "threads", "minutes", "pairs/s", "source"],
+    );
+    for p in scenarios::headline_predictions() {
+        t.row_strings(vec![
+            p.platform.clone(),
+            p.threads.to_string(),
+            format!("{:.1}", p.minutes),
+            format!("{:.0}", p.pair_rate),
+            "modeled".into(),
+        ]);
+    }
+    t.row_strings(vec![
+        "Xeon Phi (paper, cited)".into(),
+        "244".into(),
+        format!("{:.1}", paper_claims::PHI_HEADLINE_MINUTES),
+        "-".into(),
+        "paper".into(),
+    ]);
+    let q = if opts.quick { 10 } else { 30 };
+    let (rate, hours) = measured::host_headline_projection(q);
+    t.row_strings(vec![
+        format!("this host, 1 thread (measured @ q={q})"),
+        "1".into(),
+        format!("{:.0}", hours * 60.0),
+        format!("{:.0}", rate.pairs_per_second()),
+        "measured".into(),
+    ]);
+    emit(&t, &opts.out, "r1_headline");
+}
+
+/// R2 — strong scaling (modeled).
+fn r2_scaling(opts: &Opts) {
+    let genes = 2048;
+    let mut t = TableBuilder::new(
+        format!("R2 — strong scaling, n={genes}, m=3,137, q=30 (modeled)"),
+        &["platform", "threads", "speedup"],
+    );
+    for (platform, curve) in scenarios::strong_scaling(genes) {
+        for (threads, speedup) in curve {
+            t.row_strings(vec![platform.clone(), threads.to_string(), format!("{speedup:.1}")]);
+        }
+    }
+    emit(&t, &opts.out, "r2_scaling");
+}
+
+/// R3 — threads per core on the Phi (modeled).
+fn r3_threads_per_core(opts: &Opts) {
+    let series = scenarios::threads_per_core(2048);
+    let base = series[0].1;
+    let mut t = TableBuilder::new(
+        "R3 — SMT threads/core on Xeon Phi, 61 cores (modeled)",
+        &["threads/core", "wall seconds", "speedup vs 1 t/c"],
+    );
+    for (tpc, wall) in series {
+        t.row_strings(vec![
+            tpc.to_string(),
+            format!("{wall:.1}"),
+            format!("{:.2}", base / wall),
+        ]);
+    }
+    emit(&t, &opts.out, "r3_threads_per_core");
+}
+
+/// R4 — vectorization speedup: modeled platforms + measured host.
+fn r4_vectorization(opts: &Opts) {
+    let mut t = TableBuilder::new(
+        "R4 — vectorized vs scalar MI kernel (m=3,137)",
+        &["platform", "scalar ns/pair", "vector ns/pair", "speedup", "source"],
+    );
+    for (platform, speedup) in scenarios::vectorization_speedups() {
+        t.row_strings(vec![
+            platform,
+            "-".into(),
+            "-".into(),
+            format!("{speedup:.1}x"),
+            "modeled".into(),
+        ]);
+    }
+    let q = if opts.quick { 0 } else { 4 };
+    let (scalar, vector, ratio) = measured::host_vectorization(q);
+    t.row_strings(vec![
+        format!("this host (measured @ q={q})"),
+        format!("{:.0}", scalar.ns_per_pair),
+        format!("{:.0}", vector.ns_per_pair),
+        format!("{ratio:.1}x"),
+        "measured".into(),
+    ]);
+    emit(&t, &opts.out, "r4_vectorization");
+}
+
+/// R5 — runtime vs gene count: modeled full-scale + measured small-scale.
+fn r5_gene_sweep(opts: &Opts) {
+    let mut t = TableBuilder::new(
+        "R5 — runtime vs genes (m fixed)",
+        &["genes", "time", "unit", "source"],
+    );
+    for (n, minutes) in scenarios::gene_sweep(&[1_000, 2_000, 4_000, 8_000, 15_575]) {
+        t.row_strings(vec![
+            n.to_string(),
+            format!("{minutes:.2}"),
+            "min (Phi, modeled)".into(),
+            "modeled".into(),
+        ]);
+    }
+    let (samples, q, counts): (usize, usize, &[usize]) =
+        if opts.quick { (128, 2, &[64, 128, 256]) } else { (256, 4, &[128, 256, 512]) };
+    for (n, secs) in measured::host_gene_sweep(counts, samples, q) {
+        t.row_strings(vec![
+            n.to_string(),
+            format!("{secs:.2}"),
+            format!("s (host, m={samples}, q={q})"),
+            "measured".into(),
+        ]);
+    }
+    emit(&t, &opts.out, "r5_gene_sweep");
+}
+
+/// R6 — runtime vs sample count: modeled + measured.
+fn r6_sample_sweep(opts: &Opts) {
+    let mut t = TableBuilder::new(
+        "R6 — runtime vs experiments (n fixed)",
+        &["samples", "time", "unit", "source"],
+    );
+    for (m, minutes) in scenarios::sample_sweep(2_048, &[512, 1_024, 2_048, 3_137, 4_096]) {
+        t.row_strings(vec![
+            m.to_string(),
+            format!("{minutes:.2}"),
+            "min (Phi n=2048, modeled)".into(),
+            "modeled".into(),
+        ]);
+    }
+    let (genes, q, counts): (usize, usize, &[usize]) =
+        if opts.quick { (96, 2, &[64, 128, 256]) } else { (192, 4, &[128, 256, 512, 1024]) };
+    for (m, secs) in measured::host_sample_sweep(genes, counts, q) {
+        t.row_strings(vec![
+            m.to_string(),
+            format!("{secs:.2}"),
+            format!("s (host, n={genes}, q={q})"),
+            "measured".into(),
+        ]);
+    }
+    emit(&t, &opts.out, "r6_sample_sweep");
+}
+
+/// R7 — scheduling policies: modeled at 244 threads + measured on host.
+fn r7_schedulers(opts: &Opts) {
+    let mut t = TableBuilder::new(
+        "R7 — tile scheduling policy",
+        &["policy", "wall seconds", "imbalance", "source"],
+    );
+    for (name, wall, imb) in scenarios::scheduler_comparison(2048) {
+        t.row_strings(vec![
+            name,
+            format!("{wall:.2}"),
+            format!("{imb:.3}"),
+            "modeled (Phi, 200t)".into(),
+        ]);
+    }
+    let (n, m, q, threads) = if opts.quick { (96, 128, 2, 2) } else { (192, 256, 4, 4) };
+    for (name, secs, imb) in measured::host_schedulers(n, m, q, threads) {
+        t.row_strings(vec![
+            name,
+            format!("{secs:.2}"),
+            format!("{imb:.3}"),
+            format!("measured (host, {threads}t)"),
+        ]);
+    }
+    emit(&t, &opts.out, "r7_schedulers");
+}
+
+/// R8 — tile-size sweep (measured; cache blocking).
+fn r8_tiles(opts: &Opts) {
+    let (n, m, q) = if opts.quick { (128, 256, 2) } else { (256, 512, 4) };
+    let tiles: &[usize] = &[2, 4, 8, 16, 32, 64, 128];
+    let mut t = TableBuilder::new(
+        format!("R8 — tile size sweep (host, n={n}, m={m}, q={q})"),
+        &["tile", "mi seconds", "pairs/s"],
+    );
+    for (tile, secs, rate) in measured::host_tile_sweep(n, m, q, tiles) {
+        t.row_strings(vec![tile.to_string(), format!("{secs:.2}"), format!("{rate:.0}")]);
+    }
+    emit(&t, &opts.out, "r8_tiles");
+}
+
+/// R9 — platform comparison incl. the TINGe/BG-L cluster scenario.
+fn r9_platforms(opts: &Opts) {
+    let mut t = TableBuilder::new(
+        "R9 — single chip vs prior-art cluster (headline workload)",
+        &["platform", "minutes", "vs paper", "source"],
+    );
+    for p in scenarios::headline_predictions() {
+        let note = if p.platform.contains("Phi") {
+            format!("paper: {:.0} min", paper_claims::PHI_HEADLINE_MINUTES)
+        } else if p.platform.contains("Blue Gene") {
+            format!("paper: ~{:.0} min", paper_claims::BGL_1024_MINUTES)
+        } else {
+            "-".into()
+        };
+        t.row_strings(vec![
+            p.platform.clone(),
+            format!("{:.1}", p.minutes),
+            note,
+            "modeled".into(),
+        ]);
+    }
+    emit(&t, &opts.out, "r9_platforms");
+}
+
+/// R10 — statistical recovery vs sample count (+ method comparison).
+fn r10_accuracy(opts: &Opts) {
+    let (genes, q, counts): (usize, usize, &[usize]) = if opts.quick {
+        (40, 8, &[50, 100, 200])
+    } else {
+        (60, 15, &[50, 100, 200, 400, 800])
+    };
+    let mut t = TableBuilder::new(
+        format!("R10 — recovery vs samples (grnsim, n={genes}, q={q}, α=0.01)"),
+        &["samples", "edges", "precision", "recall", "F1", "DPI prec", "DPI recall"],
+    );
+    for row in measured::accuracy_vs_samples(genes, counts, q) {
+        t.row_strings(vec![
+            row.samples.to_string(),
+            row.edges.to_string(),
+            format!("{:.3}", row.precision),
+            format!("{:.3}", row.recall),
+            format!("{:.3}", row.f1),
+            format!("{:.3}", row.dpi_precision),
+            format!("{:.3}", row.dpi_recall),
+        ]);
+    }
+    emit(&t, &opts.out, "r10_accuracy");
+
+    let mut mc = TableBuilder::new(
+        "R10b — method comparison on quadratic coupling (m=500)",
+        &["method", "precision", "recall"],
+    );
+    for (method, p, r) in measured::method_comparison(if opts.quick { 300 } else { 500 }) {
+        mc.row_strings(vec![method, format!("{p:.3}"), format!("{r:.3}")]);
+    }
+    emit(&mc, &opts.out, "r10b_methods");
+}
+
+/// R11 — extensions: early-exit ablation and the distributed cluster run.
+fn r11_extensions(opts: &Opts) {
+    let (n, m, q) = if opts.quick { (48, 150, 10) } else { (96, 250, 20) };
+    let mut t = TableBuilder::new(
+        format!("R11 — early-exit null strategy ablation (host, n={n}, m={m}, q={q})"),
+        &["strategy", "joint evaluations", "mi seconds", "edges"],
+    );
+    for (name, joints, secs, edges) in measured::early_exit_ablation(n, m, q) {
+        t.row_strings(vec![
+            name,
+            joints.to_string(),
+            format!("{secs:.3}"),
+            edges.to_string(),
+        ]);
+    }
+    emit(&t, &opts.out, "r11_early_exit");
+
+    let mut c = TableBuilder::new(
+        format!("R11b — simulated-cluster distributed run (n={n}, m={m}, q={q})"),
+        &["ranks", "max pairs/rank", "min pairs/rank", "bytes shipped", "edges", "matches shared"],
+    );
+    for (ranks, maxp, minp, bytes, edges, matches) in measured::cluster_rows(n, m, q) {
+        c.row_strings(vec![
+            ranks.to_string(),
+            maxp.to_string(),
+            minp.to_string(),
+            bytes.to_string(),
+            edges.to_string(),
+            matches.to_string(),
+        ]);
+    }
+    emit(&c, &opts.out, "r11b_cluster");
+}
+
+/// R12 — host + coprocessor offload split (modeled).
+fn r12_offload(opts: &Opts) {
+    use gnet_parallel::TileSpace;
+    use gnet_phi::{OffloadModel, WorkloadModel};
+    let workload = WorkloadModel { genes: 4_096, ..WorkloadModel::arabidopsis_headline() };
+    let model = OffloadModel::paper_system();
+    let tiles = TileSpace::new(workload.genes, scenarios::tile_size_for(workload.genes, 244));
+    let mut t = TableBuilder::new(
+        "R12 — host+coprocessor split, n=4,096 (modeled)",
+        &["device share", "wall seconds"],
+    );
+    for (share, wall) in model.split_curve(tiles.tiles(), &workload, 10) {
+        t.row_strings(vec![format!("{share:.1}"), format!("{wall:.1}")]);
+    }
+    let (best_share, best_wall) = model.optimal_split(tiles.tiles(), &workload, 40);
+    t.row_strings(vec![format!("optimal {best_share:.2}"), format!("{best_wall:.1}")]);
+    emit(&t, &opts.out, "r12_offload");
+}
+
+/// R13 — estimator bias against the Gaussian closed form (measured).
+fn r13_estimators(opts: &Opts) {
+    let samples = if opts.quick { 500 } else { 1_500 };
+    let mut t = TableBuilder::new(
+        format!("R13 — estimator bias vs Gaussian closed form (m={samples})"),
+        &["rho", "exact", "bspline(k=3,b=10)", "histogram(b=10)", "KSG(k=4)"],
+    );
+    for (rho, exact, spline, hist, ksg) in
+        measured::estimator_bias(samples, &[0.0, 0.3, 0.5, 0.7, 0.9])
+    {
+        t.row_strings(vec![
+            format!("{rho:.1}"),
+            format!("{exact:.3}"),
+            format!("{spline:.3}"),
+            format!("{hist:.3}"),
+            format!("{ksg:.3}"),
+        ]);
+    }
+    emit(&t, &opts.out, "r13_estimators");
+}
+
+/// R14 — forward projection onto Knights Landing (modeled).
+fn r14_forward(opts: &Opts) {
+    let mut t = TableBuilder::new(
+        "R14 — forward projection: KNC → KNL, headline workload (modeled)",
+        &["platform", "threads", "minutes"],
+    );
+    for p in scenarios::forward_projection() {
+        t.row_strings(vec![p.platform, p.threads.to_string(), format!("{:.1}", p.minutes)]);
+    }
+    emit(&t, &opts.out, "r14_forward");
+}
+
+/// R15 — energy-to-solution for the headline run (modeled).
+fn r15_energy(opts: &Opts) {
+    let mut t = TableBuilder::new(
+        "R15 — energy to solution, headline workload (modeled)",
+        &["platform", "minutes", "watts", "kJ"],
+    );
+    for row in gnet_phi::energy::headline_energy() {
+        t.row_strings(vec![
+            row.platform,
+            format!("{:.1}", row.minutes),
+            format!("{:.0}", row.watts),
+            format!("{:.0}", row.kilojoules),
+        ]);
+    }
+    emit(&t, &opts.out, "r15_energy");
+}

@@ -1,0 +1,14 @@
+//! Shared harness utilities for the experiment reproduction.
+//!
+//! The `repro` binary (in `src/bin/repro.rs`) regenerates every table and
+//! figure of the reconstructed evaluation plan (DESIGN.md §4); this
+//! library holds the pieces it shares with the criterion benches: table
+//! formatting, CSV output, and the measured (host-side) experiment
+//! drivers that complement the modeled (gnet-phi) series.
+
+#![warn(missing_docs)]
+
+pub mod measured;
+pub mod table;
+
+pub use table::{write_csv, TableBuilder};

@@ -1,0 +1,153 @@
+//! Plain-text table rendering and CSV output for experiment results.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Incremental builder for an aligned plain-text table that can also be
+/// flushed to CSV.
+#[derive(Clone, Debug, Default)]
+pub struct TableBuilder {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Start a table with a title and column header.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: &[&dyn Display]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Append one row of preformatted strings.
+    pub fn row_strings(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the aligned plain-text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Write the table as CSV under `dir` with the given file stem.
+    pub fn write_csv_to(&self, dir: &Path, stem: &str) -> std::io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{stem}.csv"));
+        let mut rows: Vec<Vec<String>> = vec![self.header.clone()];
+        rows.extend(self.rows.iter().cloned());
+        write_csv(&path, &rows)?;
+        Ok(path)
+    }
+}
+
+/// Write rows (first row = header) as a minimal CSV file. Cells containing
+/// commas or quotes are quoted.
+pub fn write_csv(path: &Path, rows: &[Vec<String>]) -> std::io::Result<()> {
+    let mut file = fs::File::create(path)?;
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') || c.contains('\n') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        writeln!(file, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TableBuilder::new("demo", &["name", "value"]);
+        t.row(&[&"short", &12]).row(&[&"a-much-longer-name", &3.5]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a-much-longer-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, rule, two rows after the title line.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1].len(), lines[3].len(), "rows must align");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = TableBuilder::new("demo", &["a", "b"]);
+        t.row(&[&1]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let dir = std::env::temp_dir().join("gnet_bench_test_csv");
+        let mut t = TableBuilder::new("demo", &["a", "b"]);
+        t.row_strings(vec!["x,y".into(), "plain".into()]);
+        let path = t.write_csv_to(&dir, "demo").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert!(text.contains("\"x,y\",plain"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

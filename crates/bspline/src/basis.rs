@@ -1,0 +1,338 @@
+//! Open uniform B-spline basis over `b` bins (Cox–de Boor recursion).
+//!
+//! Following Daub et al., for `b` basis functions of order `k` the knot
+//! vector has `b + k` entries:
+//!
+//! ```text
+//! t_i = 0                for i < k
+//! t_i = i - k + 1        for k ≤ i < b
+//! t_i = b - k + 1        for i ≥ b
+//! ```
+//!
+//! so the domain is `[0, b - k + 1]` and a normalized sample `x ∈ [0, 1]`
+//! maps to `z = x · (b - k + 1)`. At any `z`, at most `k` consecutive basis
+//! functions are non-zero and they sum to one (partition of unity), which is
+//! what lets the weighted histogram remain a probability distribution.
+
+/// Largest supported spline order. TINGe uses `k = 3`; we allow up to 8 so
+/// ablations over the order are possible without changing storage layouts.
+pub const MAX_ORDER: usize = 8;
+
+/// An order-`k` B-spline basis over `b` bins with an open uniform knot
+/// vector, plus scratch-free evaluation routines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BsplineBasis {
+    order: usize,
+    bins: usize,
+    /// `bins + order` knots, non-decreasing.
+    knots: Vec<f32>,
+}
+
+impl BsplineBasis {
+    /// Create a basis with `bins` basis functions of order `order`.
+    ///
+    /// ```
+    /// use gnet_bspline::BsplineBasis;
+    /// let basis = BsplineBasis::new(3, 10);
+    /// // Partition of unity at any sample point:
+    /// let w = basis.eval_all(basis.sample_to_domain(0.37));
+    /// assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `order == 0`, `order > MAX_ORDER`, or `bins < order`
+    /// (fewer bins than the order leaves no interior span).
+    pub fn new(order: usize, bins: usize) -> Self {
+        assert!(order >= 1, "spline order must be at least 1");
+        assert!(order <= MAX_ORDER, "spline order {order} exceeds MAX_ORDER={MAX_ORDER}");
+        assert!(bins >= order, "need at least as many bins ({bins}) as the order ({order})");
+        assert!(bins <= 64, "more than 64 bins is outside the estimator's useful range");
+        let mut knots = Vec::with_capacity(bins + order);
+        for i in 0..bins + order {
+            let t = if i < order {
+                0.0
+            } else if i < bins {
+                (i - order + 1) as f32
+            } else {
+                (bins - order + 1) as f32
+            };
+            knots.push(t);
+        }
+        Self { order, bins, knots }
+    }
+
+    /// The TINGe default: order 3, 10 bins.
+    pub fn tinge_default() -> Self {
+        Self::new(3, 10)
+    }
+
+    /// Spline order `k`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of bins / basis functions `b`.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Upper end of the knot domain, `b - k + 1`.
+    pub fn domain_max(&self) -> f32 {
+        (self.bins - self.order + 1) as f32
+    }
+
+    /// Knot vector (length `b + k`).
+    pub fn knots(&self) -> &[f32] {
+        &self.knots
+    }
+
+    /// Map a normalized sample `x ∈ [0, 1]` into the knot domain.
+    /// Values outside `[0, 1]` are clamped — upstream rank transformation
+    /// guarantees the range, so clamping only absorbs rounding noise.
+    pub fn sample_to_domain(&self, x: f32) -> f32 {
+        x.clamp(0.0, 1.0) * self.domain_max()
+    }
+
+    /// Evaluate **all** `b` basis functions at `z` via the Cox–de Boor
+    /// recursion. Returns a freshly allocated vector; prefer
+    /// [`Self::eval_all_into`] in hot paths.
+    pub fn eval_all(&self, z: f32) -> Vec<f32> {
+        let mut out = vec![0.0; self.bins];
+        self.eval_all_into(z, &mut out);
+        out
+    }
+
+    /// Evaluate all `b` basis functions at `z` into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != bins`.
+    pub fn eval_all_into(&self, z: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.bins, "output buffer must have one slot per bin");
+        let k = self.order;
+        let n_knots = self.knots.len();
+        let z = z.clamp(0.0, self.domain_max());
+
+        // Order-1 indicator functions over every knot interval. The final
+        // non-empty interval is treated as closed so z == domain_max lands
+        // in the last basis function instead of nowhere.
+        let mut scratch = [0.0f32; 2 * MAX_ORDER + 64];
+        let buf = &mut scratch[..n_knots - 1];
+        let last_span = self.last_nonempty_span();
+        for i in 0..n_knots - 1 {
+            let t0 = self.knots[i];
+            let t1 = self.knots[i + 1];
+            let inside = (z >= t0 && z < t1) || (i == last_span && z >= t0 && z <= t1);
+            buf[i] = if inside && t0 < t1 { 1.0 } else { 0.0 };
+        }
+
+        // Raise the order: B_{i,ord} from B_{i,ord-1} and B_{i+1,ord-1},
+        // with the 0/0 = 0 convention for repeated knots.
+        for ord in 2..=k {
+            for i in 0..n_knots - ord {
+                let denom_l = self.knots[i + ord - 1] - self.knots[i];
+                let denom_r = self.knots[i + ord] - self.knots[i + 1];
+                let left = if denom_l > 0.0 { (z - self.knots[i]) / denom_l * buf[i] } else { 0.0 };
+                let right = if denom_r > 0.0 {
+                    (self.knots[i + ord] - z) / denom_r * buf[i + 1]
+                } else {
+                    0.0
+                };
+                buf[i] = left + right;
+            }
+        }
+
+        out.copy_from_slice(&buf[..self.bins]);
+    }
+
+    /// Evaluate the (at most `k`) non-zero basis functions at `z`.
+    ///
+    /// Returns `(first, weights)` where `weights[j]` is the value of basis
+    /// function `first + j` and `first + k ≤ bins`. Weights sum to 1.
+    pub fn eval_nonzero(&self, z: f32) -> (usize, [f32; MAX_ORDER]) {
+        let mut full = [0.0f32; 64];
+        debug_assert!(self.bins <= 64, "eval_nonzero scratch assumes ≤ 64 bins");
+        self.eval_all_into(z, &mut full[..self.bins]);
+
+        // At z in span [t_j, t_{j+1}), the non-zero functions are
+        // j-k+1 ..= j; clamp the window into [0, bins - k].
+        let span = self.find_span(z);
+        let first = span.saturating_sub(self.order - 1).min(self.bins - self.order);
+        let mut w = [0.0f32; MAX_ORDER];
+        w[..self.order].copy_from_slice(&full[first..first + self.order]);
+        (first, w)
+    }
+
+    /// Index `i` of the knot span `[t_i, t_{i+1})` containing `z`, clamped
+    /// to non-empty spans.
+    fn find_span(&self, z: f32) -> usize {
+        let z = z.clamp(0.0, self.domain_max());
+        let last = self.last_nonempty_span();
+        let mut i = self.order - 1; // first non-empty span starts at t_{k-1}
+        while i < last && z >= self.knots[i + 1] {
+            i += 1;
+        }
+        i
+    }
+
+    /// Index of the last non-empty knot span.
+    fn last_nonempty_span(&self) -> usize {
+        // Knots repeat at the tail; the last non-empty span is
+        // [t_{b-1}, t_b) = [b-k, b-k+1).
+        self.bins - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn knot_vector_matches_daub_construction() {
+        let b = BsplineBasis::new(3, 10);
+        assert_eq!(
+            b.knots(),
+            &[0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 8.0, 8.0]
+        );
+        assert_eq!(b.domain_max(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 1")]
+    fn zero_order_rejected() {
+        let _ = BsplineBasis::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_ORDER")]
+    fn huge_order_rejected() {
+        let _ = BsplineBasis::new(9, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many bins")]
+    fn too_few_bins_rejected() {
+        let _ = BsplineBasis::new(4, 3);
+    }
+
+    #[test]
+    fn order_one_is_plain_histogram() {
+        // Order-1 B-splines are the indicator functions of the bins, so the
+        // estimator degenerates to the classic equal-width histogram.
+        let b = BsplineBasis::new(1, 8);
+        for (x, expected_bin) in [(0.0, 0), (0.124, 0), (0.126, 1), (0.5, 4), (0.99, 7), (1.0, 7)]
+        {
+            let z = b.sample_to_domain(x);
+            let vals = b.eval_all(z);
+            for (i, v) in vals.iter().enumerate() {
+                if i == expected_bin {
+                    assert_eq!(*v, 1.0, "x={x} should activate bin {expected_bin}");
+                } else {
+                    assert_eq!(*v, 0.0, "x={x} bin {i} should be empty");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_unity_at_sample_points() {
+        for order in 1..=4 {
+            let b = BsplineBasis::new(order, 10);
+            for s in 0..=1000 {
+                let x = s as f32 / 1000.0;
+                let z = b.sample_to_domain(x);
+                let sum: f32 = b.eval_all(z).iter().sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-5,
+                    "order {order}, x={x}: weights sum to {sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_are_interpolatory() {
+        // Open knot vectors make the first/last basis function reach 1 at
+        // the domain ends.
+        let b = BsplineBasis::new(3, 10);
+        let at0 = b.eval_all(0.0);
+        assert!((at0[0] - 1.0).abs() < 1e-6);
+        assert!(at0[1..].iter().all(|&v| v.abs() < 1e-6));
+        let at_end = b.eval_all(b.domain_max());
+        assert!((at_end[9] - 1.0).abs() < 1e-6, "got {at_end:?}");
+        assert!(at_end[..9].iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn quadratic_midspan_value_is_exact() {
+        // For order 3 on an interior span, the uniform quadratic B-spline at
+        // the middle of its central span takes value 3/4 (the classic
+        // quadratic cardinal B-spline peak).
+        let b = BsplineBasis::new(3, 10);
+        // Basis function i=4 has support [t4, t7] = [2, 5]; its central span
+        // midpoint is 3.5.
+        let vals = b.eval_all(3.5);
+        assert!((vals[4] - 0.75).abs() < 1e-6, "got {}", vals[4]);
+        assert!((vals[3] - 0.125).abs() < 1e-6);
+        assert!((vals[5] - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eval_nonzero_matches_full_evaluation() {
+        for order in 1..=5 {
+            let b = BsplineBasis::new(order, 12);
+            for s in 0..=500 {
+                let x = s as f32 / 500.0;
+                let z = b.sample_to_domain(x);
+                let full = b.eval_all(z);
+                let (first, w) = b.eval_nonzero(z);
+                assert!(first + order <= b.bins());
+                for (i, &fv) in full.iter().enumerate() {
+                    let in_window = i >= first && i < first + order;
+                    let wv = if in_window { w[i - first] } else { 0.0 };
+                    assert!(
+                        (fv - wv).abs() < 1e-6,
+                        "order {order} x={x} bin {i}: full={fv} window={wv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp() {
+        let b = BsplineBasis::new(3, 10);
+        assert_eq!(b.sample_to_domain(-0.5), 0.0);
+        assert_eq!(b.sample_to_domain(1.5), b.domain_max());
+        // Evaluation beyond the domain clamps rather than returning zeros.
+        let v = b.eval_all(1e9);
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_of_unity(order in 1usize..=6, bins in 6usize..=24, x in 0.0f32..=1.0) {
+            prop_assume!(bins >= order);
+            let b = BsplineBasis::new(order, bins);
+            let sum: f32 = b.eval_all(b.sample_to_domain(x)).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_weights_nonnegative(order in 1usize..=6, bins in 6usize..=24, x in 0.0f32..=1.0) {
+            prop_assume!(bins >= order);
+            let b = BsplineBasis::new(order, bins);
+            for v in b.eval_all(b.sample_to_domain(x)) {
+                prop_assert!(v >= -1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_nonzero_window_sums_to_one(order in 1usize..=6, x in 0.0f32..=1.0) {
+            let b = BsplineBasis::new(order, 16);
+            let (_, w) = b.eval_nonzero(b.sample_to_domain(x));
+            let s: f32 = w[..order].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

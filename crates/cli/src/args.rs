@@ -1,0 +1,146 @@
+//! Minimal `--key value` / `--flag` argument parsing (no external deps).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed arguments: `--key value` pairs plus bare `--flag`s.
+#[derive(Clone, Debug, Default)]
+pub struct ArgMap {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Argument-parsing error with the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ArgMap {
+    /// Parse a token stream. A token `--name` followed by a non-`--`
+    /// token is a key/value pair; a `--name` followed by another option
+    /// (or the end) is a flag. Bare tokens are rejected.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut values = BTreeMap::new();
+        let mut flags = Vec::new();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected bare argument {tok:?}")));
+            };
+            if name.is_empty() {
+                return Err(ArgError("empty option name".into()));
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    if values.insert(name.to_string(), value).is_some() {
+                        return Err(ArgError(format!("duplicate option --{name}")));
+                    }
+                }
+                _ => flags.push(name.to_string()),
+            }
+        }
+        Ok(Self { values, flags, consumed: Default::default() })
+    }
+
+    /// Value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(key.to_string());
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parsed value of `--key`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("cannot parse --{key} value {raw:?}"))),
+        }
+    }
+
+    /// Required value of `--key`.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// Was bare `--flag` given?
+    pub fn flag(&self, name: &str) -> bool {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Error if any provided option was never consumed — catches typos.
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for key in self.values.keys().chain(self.flags.iter()) {
+            if !consumed.iter().any(|c| c == key) {
+                return Err(ArgError(format!("unknown option --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ArgMap, ArgError> {
+        ArgMap::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn pairs_and_flags() {
+        let a = parse(&["--genes", "100", "--quick", "--out", "x.tsv"]).unwrap();
+        assert_eq!(a.get("genes"), Some("100"));
+        assert_eq!(a.get("out"), Some("x.tsv"));
+        assert!(a.flag("quick"));
+        assert!(!a.flag("verbose"));
+        a.reject_unknown().unwrap();
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let a = parse(&["--genes", "64"]).unwrap();
+        assert_eq!(a.get_or("genes", 10usize).unwrap(), 64);
+        assert_eq!(a.get_or("samples", 200usize).unwrap(), 200);
+        assert!(a.get_or::<usize>("genes", 0).is_ok());
+        let b = parse(&["--genes", "xyz"]).unwrap();
+        assert!(b.get_or::<usize>("genes", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&[]).unwrap();
+        let err = a.require("input").unwrap_err();
+        assert!(err.0.contains("--input"));
+    }
+
+    #[test]
+    fn bare_and_duplicate_rejected() {
+        assert!(parse(&["oops"]).is_err());
+        assert!(parse(&["--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn unknown_options_detected() {
+        let a = parse(&["--tyop", "7"]).unwrap();
+        let _ = a.get("typo");
+        assert!(a.reject_unknown().is_err());
+    }
+
+    #[test]
+    fn trailing_option_is_a_flag() {
+        let a = parse(&["--dpi"]).unwrap();
+        assert!(a.flag("dpi"));
+    }
+}

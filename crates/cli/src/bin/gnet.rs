@@ -1,0 +1,71 @@
+//! `gnet` — construct and analyse whole-genome MI networks.
+//!
+//! ```text
+//! gnet generate --genes 500 --samples 400 --out m.tsv --truth t.tsv
+//! gnet infer    --input m.tsv --output edges.tsv --q 30 [--dpi 0.05] [--ranks 4]
+//! gnet score    --edges edges.tsv --truth t.tsv --matrix m.tsv
+//! gnet stats    --input m.tsv
+//! gnet predict  --genes 15575 --samples 3137 --q 30
+//! ```
+
+use gnet_cli::{cmd_analyze, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats, ArgMap};
+
+const USAGE: &str = "\
+gnet — whole-genome mutual-information network construction
+
+subcommands:
+  generate  synthesize a ground-truth GRN expression matrix
+            --genes N --samples M [--seed S] [--avg-degree D]
+            [--topology scale-free|erdos-renyi] [--batches N --batch-sd S]
+            --out FILE [--truth FILE]
+  infer     infer a network from a TSV matrix
+            --input FILE --output FILE [--q N] [--alpha A] [--bins B]
+            [--order K] [--threshold T] [--threads T] [--tile T]
+            [--kernel vector|scalar] [--scheduler dynamic|static-block|
+            static-cyclic|rayon] [--early-exit] [--dpi EPS] [--ranks P]
+            [--quantile-normalize] [--center-batches N]
+  score     score an edge list against a ground truth
+            --edges FILE --truth FILE --matrix FILE
+  analyze   topology report of an edge list
+            --edges FILE --matrix FILE [--hubs N]
+  stats     summarize a TSV matrix            --input FILE
+  predict   modeled platform runtimes         [--genes N] [--samples M] [--q N]
+";
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(sub) = argv.next() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let args = match ArgMap::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    let result = match sub.as_str() {
+        "generate" => cmd_generate(&args, &mut stdout),
+        "infer" => cmd_infer(&args, &mut stdout),
+        "score" => cmd_score(&args, &mut stdout),
+        "analyze" => cmd_analyze(&args, &mut stdout),
+        "stats" => cmd_stats(&args, &mut stdout),
+        "predict" => cmd_predict(&args, &mut stdout),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return;
+        }
+        other => {
+            eprintln!("error: unknown subcommand {other:?}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,547 @@
+//! The five `gnet` subcommands.
+
+use crate::args::{ArgError, ArgMap};
+use gnet_cluster::infer_network_distributed;
+use gnet_core::config::NullStrategy;
+use gnet_core::{infer_network, InferenceConfig};
+use gnet_expr::io as expr_io;
+use gnet_expr::{ExpressionMatrix, MissingPolicy};
+use gnet_graph::dpi::dpi_prune;
+use gnet_graph::io as graph_io;
+use gnet_graph::{recovery_score, Edge, GeneNetwork};
+use gnet_grnsim::{GrnConfig, SyntheticDataset, TopologyKind};
+use gnet_mi::MiKernel;
+use gnet_parallel::SchedulerPolicy;
+use gnet_phi::scenarios;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+/// Any failure a command can produce, rendered for the terminal.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        Self(e.0)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self(format!("I/O error: {e}"))
+    }
+}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// `gnet generate` — synthesize a ground-truth GRN dataset.
+///
+/// Options: `--genes` `--samples` `--seed` `--avg-degree`
+/// `--topology scale-free|erdos-renyi` `--out FILE` `--truth FILE`.
+pub fn cmd_generate(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let genes = args.get_or("genes", 200usize)?;
+    let samples = args.get_or("samples", 300usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let avg_degree = args.get_or("avg-degree", 3.0f64)?;
+    let topology = match args.get("topology").unwrap_or("scale-free") {
+        "scale-free" => TopologyKind::ScaleFree,
+        "erdos-renyi" => TopologyKind::ErdosRenyi,
+        other => return fail(format!("unknown topology {other:?}")),
+    };
+    let batches = args.get_or("batches", 1usize)?;
+    let batch_sd = args.get_or("batch-sd", 0.0f32)?;
+    let matrix_path = args.require("out")?.to_string();
+    let truth_path = args.get("truth").map(str::to_string);
+    args.reject_unknown()?;
+
+    let ds = SyntheticDataset::generate(
+        GrnConfig { genes, samples, topology, avg_degree, batches, batch_sd, ..GrnConfig::small() },
+        seed,
+    );
+    expr_io::write_tsv(&ds.matrix, BufWriter::new(File::create(&matrix_path)?))
+        .map_err(|e| CliError(e.to_string()))?;
+    writeln!(out, "wrote {genes}×{samples} matrix to {matrix_path}")?;
+
+    if let Some(path) = truth_path {
+        let truth_net = GeneNetwork::from_edges(
+            genes,
+            ds.matrix.gene_names().to_vec(),
+            ds.truth_edges().into_iter().map(|(a, b)| Edge::new(a, b, 1.0)),
+        );
+        graph_io::write_edge_list(&truth_net, BufWriter::new(File::create(&path)?))
+            .map_err(|e| CliError(e.to_string()))?;
+        writeln!(out, "wrote {} ground-truth edges to {path}", truth_net.edge_count())?;
+    }
+    Ok(())
+}
+
+fn load_matrix(path: &str) -> Result<ExpressionMatrix, CliError> {
+    let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    expr_io::read_tsv(file, true, MissingPolicy::MeanImpute).map_err(|e| CliError(e.to_string()))
+}
+
+fn config_from_args(args: &ArgMap) -> Result<InferenceConfig, CliError> {
+    let mut cfg = InferenceConfig {
+        bins: args.get_or("bins", 10usize)?,
+        spline_order: args.get_or("order", 3usize)?,
+        permutations: args.get_or("q", 30usize)?,
+        alpha: args.get_or("alpha", 0.01f64)?,
+        seed: args.get_or("seed", InferenceConfig::default().seed)?,
+        ..InferenceConfig::default()
+    };
+    if let Some(t) = args.get("threshold") {
+        cfg.mi_threshold =
+            Some(t.parse().map_err(|_| CliError(format!("bad --threshold {t:?}")))?);
+    }
+    if let Some(t) = args.get("threads") {
+        cfg.threads = Some(t.parse().map_err(|_| CliError(format!("bad --threads {t:?}")))?);
+    }
+    if let Some(t) = args.get("tile") {
+        cfg.tile_size = Some(t.parse().map_err(|_| CliError(format!("bad --tile {t:?}")))?);
+    }
+    cfg.kernel = match args.get("kernel").unwrap_or("vector") {
+        "vector" => MiKernel::VectorDense,
+        "scalar" => MiKernel::ScalarSparse,
+        other => return fail(format!("unknown kernel {other:?} (vector|scalar)")),
+    };
+    cfg.scheduler = match args.get("scheduler").unwrap_or("dynamic") {
+        "dynamic" => SchedulerPolicy::DynamicCounter,
+        "static-block" => SchedulerPolicy::StaticBlock,
+        "static-cyclic" => SchedulerPolicy::StaticCyclic,
+        "rayon" => SchedulerPolicy::RayonSteal,
+        other => return fail(format!("unknown scheduler {other:?}")),
+    };
+    if args.flag("early-exit") {
+        cfg.null_strategy = NullStrategy::EarlyExit;
+    }
+    Ok(cfg)
+}
+
+/// `gnet infer` — run the pipeline on a TSV matrix.
+///
+/// Options: `--input FILE` `--output FILE` plus the config options of
+/// [`config_from_args`], `--dpi EPS` for post-pruning, and `--ranks P`
+/// to run over the simulated cluster instead of shared memory.
+pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.require("input")?.to_string();
+    let output = args.require("output")?.to_string();
+    let dpi: Option<f32> = match args.get("dpi") {
+        Some(raw) => Some(raw.parse().map_err(|_| CliError(format!("bad --dpi {raw:?}")))?),
+        None => None,
+    };
+    let ranks: Option<usize> = match args.get("ranks") {
+        Some(raw) => Some(raw.parse().map_err(|_| CliError(format!("bad --ranks {raw:?}")))?),
+        None => None,
+    };
+    let quantile = args.flag("quantile-normalize");
+    let center_batches: Option<usize> = match args.get("center-batches") {
+        Some(raw) => {
+            let b: usize =
+                raw.parse().map_err(|_| CliError(format!("bad --center-batches {raw:?}")))?;
+            if b < 1 {
+                return fail("--center-batches needs at least one batch");
+            }
+            Some(b)
+        }
+        None => None,
+    };
+    let cfg = config_from_args(args)?;
+    args.reject_unknown()?;
+
+    let mut matrix = load_matrix(&input)?;
+    writeln!(out, "loaded {} genes × {} samples from {input}", matrix.genes(), matrix.samples())?;
+
+    if quantile {
+        matrix = gnet_expr::normalize::quantile_normalize(&matrix);
+        writeln!(out, "quantile-normalized {} samples", matrix.samples())?;
+    }
+    if let Some(batches) = center_batches {
+        // Contiguous equal batches, matching `gnet generate`'s layout.
+        let per = matrix.samples().div_ceil(batches);
+        let labels: Vec<u32> =
+            (0..matrix.samples()).map(|s| ((s / per).min(batches - 1)) as u32).collect();
+        matrix = gnet_expr::normalize::center_batches(&matrix, &labels);
+        writeln!(out, "centered {batches} contiguous batches")?;
+    }
+
+    let (mut network, summary) = match ranks {
+        Some(p) => {
+            let r = infer_network_distributed(&matrix, &cfg, p);
+            let pairs: u64 = r.rank_stats.iter().map(|s| s.pairs).sum();
+            (r.network, format!("{} ranks, {} pairs, I* = {:.4}", p, pairs, r.threshold))
+        }
+        None => {
+            let r = infer_network(&matrix, &cfg);
+            (
+                r.network,
+                format!(
+                    "{} pairs in {:?} ({:.0} pairs/s), I* = {:.4}",
+                    r.stats.pairs,
+                    r.stats.total_time(),
+                    r.stats.pair_rate(),
+                    r.stats.threshold
+                ),
+            )
+        }
+    };
+    writeln!(out, "{summary}")?;
+
+    if let Some(eps) = dpi {
+        let before = network.edge_count();
+        network = dpi_prune(&network, eps);
+        writeln!(out, "DPI(ε={eps}): {before} → {} edges", network.edge_count())?;
+    }
+
+    graph_io::write_edge_list(&network, BufWriter::new(File::create(&output)?))
+        .map_err(|e| CliError(e.to_string()))?;
+    writeln!(out, "wrote {} edges to {output}", network.edge_count())?;
+    Ok(())
+}
+
+fn load_edges(path: &str, genes: usize, names: Vec<String>) -> Result<GeneNetwork, CliError> {
+    let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    graph_io::read_edge_list(file, genes, names).map_err(|e| CliError(e.to_string()))
+}
+
+/// `gnet score` — precision/recall of an inferred edge list against a
+/// ground-truth edge list.
+///
+/// Options: `--edges FILE` `--truth FILE` `--matrix FILE` (for gene names
+/// and count).
+pub fn cmd_score(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let edges_path = args.require("edges")?.to_string();
+    let truth_path = args.require("truth")?.to_string();
+    let matrix_path = args.require("matrix")?.to_string();
+    args.reject_unknown()?;
+
+    let matrix = load_matrix(&matrix_path)?;
+    let names = matrix.gene_names().to_vec();
+    let inferred = load_edges(&edges_path, matrix.genes(), names.clone())?;
+    let truth_net = load_edges(&truth_path, matrix.genes(), names)?;
+    let truth: Vec<(u32, u32)> = truth_net.edges().iter().map(|e| e.key()).collect();
+
+    let score = recovery_score(&inferred, &truth);
+    writeln!(out, "edges      {}", inferred.edge_count())?;
+    writeln!(out, "truth      {}", truth.len())?;
+    writeln!(out, "precision  {:.4}", score.precision())?;
+    writeln!(out, "recall     {:.4}", score.recall())?;
+    writeln!(out, "F1         {:.4}", score.f1())?;
+    Ok(())
+}
+
+/// `gnet stats` — summary of an expression matrix.
+pub fn cmd_stats(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.require("input")?.to_string();
+    args.reject_unknown()?;
+    let matrix = load_matrix(&input)?;
+    writeln!(out, "genes    {}", matrix.genes())?;
+    writeln!(out, "samples  {}", matrix.samples())?;
+    writeln!(out, "bytes    {}", matrix.heap_bytes())?;
+    let mut grand = gnet_expr::stats::summarize(matrix.gene(0));
+    for g in 1..matrix.genes() {
+        let s = gnet_expr::stats::summarize(matrix.gene(g));
+        grand.min = grand.min.min(s.min);
+        grand.max = grand.max.max(s.max);
+    }
+    writeln!(out, "range    [{:.4}, {:.4}]", grand.min, grand.max)?;
+    let low_var = gnet_expr::stats::low_variance_genes(&matrix, 1e-9).len();
+    writeln!(out, "constant genes (var < 1e-9): {low_var}")?;
+    Ok(())
+}
+
+/// `gnet analyze` — topology report of an inferred network.
+///
+/// Options: `--edges FILE` `--matrix FILE` (for gene names/count)
+/// `[--hubs N]`.
+pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    use gnet_graph::{analysis, connected_components};
+    let edges_path = args.require("edges")?.to_string();
+    let matrix_path = args.require("matrix")?.to_string();
+    let hub_count = args.get_or("hubs", 10usize)?;
+    args.reject_unknown()?;
+
+    let matrix = load_matrix(&matrix_path)?;
+    let net = load_edges(&edges_path, matrix.genes(), matrix.gene_names().to_vec())?;
+
+    writeln!(out, "genes            {}", net.genes())?;
+    writeln!(out, "edges            {}", net.edge_count())?;
+    writeln!(out, "density          {:.6}", net.density())?;
+    let comps = connected_components(&net);
+    writeln!(out, "components       {} (largest: {})", comps.len(), comps[0].len())?;
+    match analysis::degree_assortativity(&net) {
+        Some(r) => writeln!(out, "assortativity    {r:.4}")?,
+        None => writeln!(out, "assortativity    undefined")?,
+    }
+    let core = analysis::core_numbers(&net);
+    let max_core = core.iter().copied().max().unwrap_or(0);
+    let in_max_core = core.iter().filter(|&&c| c == max_core).count();
+    writeln!(out, "max k-core       {max_core} ({in_max_core} genes)")?;
+
+    writeln!(out, "\ntop hubs:")?;
+    for (g, d) in analysis::top_hubs(&net, hub_count) {
+        writeln!(out, "  {:24} degree {d}", net.gene_names()[g as usize])?;
+    }
+    Ok(())
+}
+
+/// `gnet predict` — modeled platform runtimes for a problem size.
+///
+/// Options: `--genes` `--samples` `--q`.
+pub fn cmd_predict(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let genes = args.get_or("genes", 15_575usize)?;
+    let samples = args.get_or("samples", 3_137usize)?;
+    let q = args.get_or("q", 30usize)?;
+    args.reject_unknown()?;
+
+    let workload = gnet_phi::WorkloadModel {
+        genes,
+        samples,
+        q,
+        ..gnet_phi::WorkloadModel::arabidopsis_headline()
+    };
+    writeln!(out, "workload: {genes} genes × {samples} samples, q = {q}")?;
+    for machine in [
+        gnet_phi::MachineModel::xeon_phi_5110p(),
+        gnet_phi::MachineModel::xeon_e5_2670_2s(),
+        gnet_phi::MachineModel::bluegene_l_1024(),
+    ] {
+        let rep = scenarios::simulate_scenario(
+            &machine,
+            &workload,
+            scenarios::tile_size_for(genes, machine.max_threads()),
+            machine.max_threads(),
+            SchedulerPolicy::DynamicCounter,
+        );
+        writeln!(out, "{:55} {:9.2} min", machine.name, rep.wall_seconds / 60.0)?;
+    }
+    let offload = gnet_phi::OffloadModel::paper_system();
+    let tiles = gnet_parallel::TileSpace::new(genes, scenarios::tile_size_for(genes, 244));
+    let (share, wall) = offload.optimal_split(tiles.tiles(), &workload, 20);
+    writeln!(
+        out,
+        "{:55} {:9.2} min  (device share {:.0}%)",
+        "host + coprocessor offload (optimal split)",
+        wall / 60.0,
+        share * 100.0
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ArgMap;
+
+    fn argmap(tokens: &[&str]) -> ArgMap {
+        ArgMap::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gnet_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generate_infer_score_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let matrix = dir.join("m.tsv");
+        let truth = dir.join("t.tsv");
+        let edges = dir.join("e.tsv");
+        let mut sink = Vec::new();
+
+        cmd_generate(
+            &argmap(&[
+                "--genes", "40", "--samples", "250", "--seed", "9",
+                "--out", matrix.to_str().unwrap(), "--truth", truth.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(matrix.exists() && truth.exists());
+
+        cmd_infer(
+            &argmap(&[
+                "--input", matrix.to_str().unwrap(),
+                "--output", edges.to_str().unwrap(),
+                "--q", "10", "--threads", "2", "--dpi", "0.05",
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(edges.exists());
+
+        let mut score_out = Vec::new();
+        cmd_score(
+            &argmap(&[
+                "--edges", edges.to_str().unwrap(),
+                "--truth", truth.to_str().unwrap(),
+                "--matrix", matrix.to_str().unwrap(),
+            ]),
+            &mut score_out,
+        )
+        .unwrap();
+        let text = String::from_utf8(score_out).unwrap();
+        assert!(text.contains("precision"), "{text}");
+        let recall_line = text.lines().find(|l| l.starts_with("recall")).unwrap();
+        let recall: f64 = recall_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(recall > 0.2, "recall {recall} suspiciously low\n{text}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn infer_distributed_ranks() {
+        let dir = tmpdir("ranks");
+        let matrix = dir.join("m.tsv");
+        let edges = dir.join("e.tsv");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&["--genes", "18", "--samples", "120", "--out", matrix.to_str().unwrap()]),
+            &mut sink,
+        )
+        .unwrap();
+        cmd_infer(
+            &argmap(&[
+                "--input", matrix.to_str().unwrap(),
+                "--output", edges.to_str().unwrap(),
+                "--q", "8", "--ranks", "3",
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("3 ranks"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_reports_topology() {
+        let dir = tmpdir("analyze");
+        let matrix = dir.join("m.tsv");
+        let edges = dir.join("e.tsv");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&["--genes", "30", "--samples", "200", "--out", matrix.to_str().unwrap()]),
+            &mut sink,
+        )
+        .unwrap();
+        cmd_infer(
+            &argmap(&[
+                "--input", matrix.to_str().unwrap(),
+                "--output", edges.to_str().unwrap(), "--q", "10",
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let mut report = Vec::new();
+        cmd_analyze(
+            &argmap(&[
+                "--edges", edges.to_str().unwrap(),
+                "--matrix", matrix.to_str().unwrap(), "--hubs", "3",
+            ]),
+            &mut report,
+        )
+        .unwrap();
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("components"), "{text}");
+        assert!(text.contains("top hubs"), "{text}");
+        assert!(text.contains("max k-core"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preprocessing_flags_run_end_to_end() {
+        let dir = tmpdir("preproc");
+        let matrix = dir.join("m.tsv");
+        let edges = dir.join("e.tsv");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&[
+                "--genes", "24", "--samples", "120", "--batches", "4",
+                "--batch-sd", "1.5", "--out", matrix.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        cmd_infer(
+            &argmap(&[
+                "--input", matrix.to_str().unwrap(),
+                "--output", edges.to_str().unwrap(),
+                "--q", "8", "--quantile-normalize", "--center-batches", "4",
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("quantile-normalized"), "{text}");
+        assert!(text.contains("centered 4"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_reports_shape() {
+        let dir = tmpdir("stats");
+        let matrix = dir.join("m.tsv");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&["--genes", "12", "--samples", "30", "--out", matrix.to_str().unwrap()]),
+            &mut sink,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        cmd_stats(&argmap(&["--input", matrix.to_str().unwrap()]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("genes    12"), "{text}");
+        assert!(text.contains("samples  30"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn predict_prints_every_platform() {
+        let mut out = Vec::new();
+        cmd_predict(
+            &argmap(&["--genes", "2048", "--samples", "1024", "--q", "10"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Phi"), "{text}");
+        assert!(text.contains("Blue Gene"), "{text}");
+        assert!(text.contains("offload"), "{text}");
+    }
+
+    #[test]
+    fn unknown_option_is_an_error() {
+        let mut out = Vec::new();
+        let err = cmd_predict(&argmap(&["--bogus", "7"]), &mut out).unwrap_err();
+        assert!(err.0.contains("--bogus"));
+    }
+
+    #[test]
+    fn bad_kernel_name_rejected() {
+        let args = argmap(&["--input", "x", "--output", "y", "--kernel", "gpu"]);
+        let mut out = Vec::new();
+        let err = cmd_infer(&args, &mut out).unwrap_err();
+        assert!(err.0.contains("gpu"));
+    }
+
+    #[test]
+    fn early_exit_flag_switches_strategy() {
+        let args = argmap(&["--early-exit", "--q", "5"]);
+        let cfg = config_from_args(&args).unwrap();
+        assert_eq!(cfg.null_strategy, NullStrategy::EarlyExit);
+        assert_eq!(cfg.permutations, 5);
+    }
+}

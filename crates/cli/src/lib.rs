@@ -1,0 +1,13 @@
+//! Command implementations behind the `gnet` binary.
+//!
+//! Everything lives in the library so the commands are unit-testable; the
+//! binary (`src/bin/gnet.rs`) only parses `std::env::args` into an
+//! [`args::ArgMap`] and dispatches.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::ArgMap;
+pub use commands::{cmd_analyze, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats, CliError};

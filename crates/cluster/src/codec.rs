@@ -1,0 +1,152 @@
+//! Wire format for blocks of prepared genes.
+//!
+//! The distributed algorithm ships each rank's block of sparse B-spline
+//! weight matrices around the ring. The format is a length-prefixed
+//! little-endian layout:
+//!
+//! ```text
+//! u32 gene_count | u32 order | u32 bins | u32 samples
+//! per gene: u32 global_index | f64 h_marginal
+//!           samples × u16 first_bin | samples·order × f32 weights
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gnet_bspline::SparseWeights;
+use gnet_mi::PreparedGene;
+
+/// A block of prepared genes with their global indices.
+#[derive(Clone, Debug)]
+pub struct GeneBlock {
+    /// Global gene indices, parallel to `genes`.
+    pub indices: Vec<u32>,
+    /// The prepared genes.
+    pub genes: Vec<PreparedGene>,
+}
+
+impl GeneBlock {
+    /// Number of genes in the block.
+    pub fn len(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Is the block empty?
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+}
+
+/// Serialize a block.
+///
+/// # Panics
+/// Panics on an empty block or mismatched index count (blocks of zero
+/// genes never travel in the algorithm).
+pub fn encode_block(block: &GeneBlock) -> Bytes {
+    assert!(!block.is_empty(), "empty blocks never travel");
+    assert_eq!(block.indices.len(), block.genes.len(), "one index per gene");
+    let first = &block.genes[0].sparse;
+    let (order, bins, samples) = (first.order(), first.bins(), first.samples());
+
+    let per_gene = 4 + 8 + samples * 2 + samples * order * 4;
+    let mut buf = BytesMut::with_capacity(16 + block.len() * per_gene);
+    buf.put_u32_le(block.len() as u32);
+    buf.put_u32_le(order as u32);
+    buf.put_u32_le(bins as u32);
+    buf.put_u32_le(samples as u32);
+    for (idx, gene) in block.indices.iter().zip(&block.genes) {
+        let sw = &gene.sparse;
+        assert_eq!(sw.order(), order, "heterogeneous block");
+        assert_eq!(sw.samples(), samples, "heterogeneous block");
+        buf.put_u32_le(*idx);
+        buf.put_f64_le(gene.h_marginal);
+        for &fb in sw.first_bins_flat() {
+            buf.put_u16_le(fb);
+        }
+        for &w in sw.weights_flat() {
+            buf.put_f32_le(w);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a block.
+///
+/// # Panics
+/// Panics on a malformed payload (the fabric is lossless, so corruption
+/// here is a logic error, not an I/O condition).
+pub fn decode_block(mut bytes: Bytes) -> GeneBlock {
+    let count = bytes.get_u32_le() as usize;
+    let order = bytes.get_u32_le() as usize;
+    let bins = bytes.get_u32_le() as usize;
+    let samples = bytes.get_u32_le() as usize;
+    let mut indices = Vec::with_capacity(count);
+    let mut genes = Vec::with_capacity(count);
+    for _ in 0..count {
+        indices.push(bytes.get_u32_le());
+        let h_marginal = bytes.get_f64_le();
+        let mut first_bin = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            first_bin.push(bytes.get_u16_le());
+        }
+        let mut weights = Vec::with_capacity(samples * order);
+        for _ in 0..samples * order {
+            weights.push(bytes.get_f32_le());
+        }
+        let sparse = SparseWeights::from_raw_parts(order, bins, samples, first_bin, weights);
+        genes.push(PreparedGene { sparse, h_marginal });
+    }
+    assert!(!bytes.has_remaining(), "trailing bytes in gene block");
+    GeneBlock { indices, genes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnet_bspline::BsplineBasis;
+    use gnet_expr::synth;
+    use gnet_mi::prepare_gene;
+
+    fn sample_block(genes: usize, samples: usize) -> GeneBlock {
+        let basis = BsplineBasis::tinge_default();
+        let m = synth::independent_gaussian(genes, samples, 7);
+        GeneBlock {
+            indices: (100..100 + genes as u32).collect(),
+            genes: (0..genes).map(|g| prepare_gene(m.gene(g), &basis)).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let block = sample_block(5, 37);
+        let decoded = decode_block(encode_block(&block));
+        assert_eq!(decoded.indices, block.indices);
+        assert_eq!(decoded.len(), 5);
+        for (a, b) in decoded.genes.iter().zip(&block.genes) {
+            assert_eq!(a.sparse, b.sparse);
+            assert_eq!(a.h_marginal, b.h_marginal);
+        }
+    }
+
+    #[test]
+    fn encoded_size_is_as_documented() {
+        let block = sample_block(3, 20);
+        let bytes = encode_block(&block);
+        let per_gene = 4 + 8 + 20 * 2 + 20 * 3 * 4;
+        assert_eq!(bytes.len(), 16 + 3 * per_gene);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty blocks")]
+    fn empty_block_rejected() {
+        let block = GeneBlock { indices: vec![], genes: vec![] };
+        let _ = encode_block(&block);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing bytes")]
+    fn trailing_garbage_detected() {
+        let block = sample_block(1, 8);
+        let mut raw = bytes::BytesMut::from(&encode_block(&block)[..]);
+        raw.extend_from_slice(&[0u8; 3]);
+        let _ = decode_block(raw.freeze());
+    }
+}

@@ -1,0 +1,348 @@
+//! In-process message-passing fabric.
+//!
+//! `P` ranks communicate over reliable, ordered, typed-as-bytes channels —
+//! the semantics of MPI point-to-point with unbounded buffering (sends
+//! never block, receives block until a matching message arrives). One
+//! channel exists per ordered rank pair, so `recv(from)` is deterministic
+//! and messages from distinct senders cannot be confused.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cumulative traffic counters of one endpoint (shared with the fabric so
+/// totals survive the endpoint's move into its rank thread).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Messages sent.
+    pub messages: AtomicU64,
+    /// Payload bytes sent.
+    pub bytes: AtomicU64,
+}
+
+impl CommStats {
+    /// Messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes sent so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// One rank's handle onto the fabric.
+pub struct Endpoint {
+    rank: usize,
+    size: usize,
+    /// `tx[to]` sends to rank `to`.
+    tx: Vec<Sender<Bytes>>,
+    /// `rx[from]` receives from rank `from`.
+    rx: Vec<Receiver<Bytes>>,
+    stats: Arc<CommStats>,
+}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the fabric.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `payload` to `to` (never blocks; buffering is unbounded).
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or the peer endpoint was dropped.
+    pub fn send(&self, to: usize, payload: Bytes) {
+        assert!(to < self.size, "rank {to} out of range");
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.tx[to].send(payload).expect("peer endpoint dropped");
+    }
+
+    /// Block until a message from `from` arrives.
+    ///
+    /// # Panics
+    /// Panics if `from` is out of range or the peer endpoint was dropped
+    /// without sending.
+    pub fn recv(&self, from: usize) -> Bytes {
+        assert!(from < self.size, "rank {from} out of range");
+        self.rx[from].recv().expect("peer endpoint dropped before sending")
+    }
+
+    /// Ring shift: send `payload` to `(rank + 1) % size`, receive from
+    /// `(rank + size − 1) % size`. The building block of the block
+    /// rotation.
+    pub fn ring_shift(&self, payload: Bytes) -> Bytes {
+        if self.size == 1 {
+            return payload;
+        }
+        let next = (self.rank + 1) % self.size;
+        let prev = (self.rank + self.size - 1) % self.size;
+        self.send(next, payload);
+        self.recv(prev)
+    }
+
+    /// Barrier: no rank leaves before every rank has entered.
+    /// Implemented as gather-to-0 + broadcast (2(P−1) messages).
+    pub fn barrier(&self) {
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            for from in 1..self.size {
+                let _ = self.recv(from);
+            }
+            for to in 1..self.size {
+                self.send(to, Bytes::new());
+            }
+        } else {
+            self.send(0, Bytes::new());
+            let _ = self.recv(0);
+        }
+    }
+
+    /// Broadcast from `root`: the root's payload is returned on every
+    /// rank.
+    pub fn broadcast(&self, root: usize, payload: Option<Bytes>) -> Bytes {
+        assert!(root < self.size, "root {root} out of range");
+        if self.rank == root {
+            let data = payload.expect("root must supply the broadcast payload");
+            for to in 0..self.size {
+                if to != root {
+                    self.send(to, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Gather to `root`: returns `Some(vec)` (indexed by rank, including
+    /// the root's own contribution) on the root, `None` elsewhere.
+    pub fn gather(&self, root: usize, payload: Bytes) -> Option<Vec<Bytes>> {
+        assert!(root < self.size, "root {root} out of range");
+        if self.rank == root {
+            let mut out = vec![Bytes::new(); self.size];
+            out[root] = payload;
+            for from in 0..self.size {
+                if from != root {
+                    out[from] = self.recv(from);
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, payload);
+            None
+        }
+    }
+
+    /// Shared traffic counters of this endpoint.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+}
+
+/// Builder for a `P`-rank fabric.
+pub struct Fabric {
+    endpoints: Vec<Endpoint>,
+    stats: Vec<Arc<CommStats>>,
+}
+
+impl Fabric {
+    /// Build a fully connected fabric of `size` ranks.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "need at least one rank");
+        // channels[from][to]
+        let mut senders: Vec<Vec<Option<Sender<Bytes>>>> =
+            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Bytes>>>> =
+            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        for from in 0..size {
+            for to in 0..size {
+                let (tx, rx) = unbounded();
+                senders[from][to] = Some(tx);
+                // rx lives at the receiving endpoint, indexed by sender.
+                receivers[to][from] = Some(rx);
+            }
+        }
+        let stats: Vec<Arc<CommStats>> =
+            (0..size).map(|_| Arc::new(CommStats::default())).collect();
+        let endpoints = senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| Endpoint {
+                rank,
+                size,
+                tx: tx_row.into_iter().map(|t| t.expect("filled")).collect(),
+                rx: rx_row.into_iter().map(|r| r.expect("filled")).collect(),
+                stats: Arc::clone(&stats[rank]),
+            })
+            .collect();
+        Self { endpoints, stats }
+    }
+
+    /// Take the endpoints (one per rank, in rank order).
+    pub fn into_endpoints(self) -> Vec<Endpoint> {
+        self.endpoints
+    }
+
+    /// Shared traffic counters, indexed by rank (clone before
+    /// `into_endpoints` if totals are needed after the run).
+    pub fn stats_handles(&self) -> Vec<Arc<CommStats>> {
+        self.stats.clone()
+    }
+}
+
+/// Run `body` on `size` ranks (scoped threads), returning each rank's
+/// output in rank order. Panics in any rank propagate.
+pub fn run_ranks<T, F>(size: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Endpoint) -> T + Sync,
+{
+    let endpoints = Fabric::new(size).into_endpoints();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let body = &body;
+                scope.spawn(move |_| body(ep))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+    .expect("cluster scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_is_ordered_and_addressed() {
+        let outputs = run_ranks(3, |ep| {
+            // Every rank sends two tagged messages to every other rank.
+            for to in 0..ep.size() {
+                if to != ep.rank() {
+                    ep.send(to, Bytes::from(vec![ep.rank() as u8, 1]));
+                    ep.send(to, Bytes::from(vec![ep.rank() as u8, 2]));
+                }
+            }
+            let mut seen = Vec::new();
+            for from in 0..ep.size() {
+                if from != ep.rank() {
+                    let a = ep.recv(from);
+                    let b = ep.recv(from);
+                    assert_eq!(a[0] as usize, from, "message mis-addressed");
+                    assert_eq!((a[1], b[1]), (1, 2), "ordering violated");
+                    seen.push(from);
+                }
+            }
+            seen.len()
+        });
+        assert_eq!(outputs, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn ring_shift_rotates_blocks() {
+        let outputs = run_ranks(4, |ep| {
+            let mut block = Bytes::from(vec![ep.rank() as u8]);
+            let mut seen = vec![block[0]];
+            for _ in 0..ep.size() - 1 {
+                block = ep.ring_shift(block);
+                seen.push(block[0]);
+            }
+            seen
+        });
+        for (rank, seen) in outputs.iter().enumerate() {
+            // Rank r sees blocks r, r-1, r-2, … (mod P).
+            for (d, &b) in seen.iter().enumerate() {
+                assert_eq!(b as usize, (rank + 4 - d) % 4, "rank {rank} round {d}");
+            }
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "rank {rank} must see every block");
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let outputs = run_ranks(5, |ep| {
+            let payload =
+                if ep.rank() == 2 { Some(Bytes::from_static(b"hello")) } else { None };
+            ep.broadcast(2, payload)
+        });
+        for out in outputs {
+            assert_eq!(&out[..], b"hello");
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let outputs = run_ranks(4, |ep| {
+            ep.gather(0, Bytes::from(vec![ep.rank() as u8 * 10]))
+        });
+        let root = outputs[0].as_ref().expect("root gets the gather");
+        let values: Vec<u8> = root.iter().map(|b| b[0]).collect();
+        assert_eq!(values, vec![0, 10, 20, 30]);
+        assert!(outputs[1].is_none() && outputs[2].is_none() && outputs[3].is_none());
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        run_ranks(6, |ep| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ep.barrier();
+            // After the barrier every rank must observe all six arrivals.
+            assert_eq!(phase1.load(Ordering::SeqCst), 6);
+        });
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let out = run_ranks(1, |ep| {
+            ep.barrier();
+            let b = ep.ring_shift(Bytes::from_static(b"x"));
+            let g = ep.gather(0, b.clone()).unwrap();
+            assert_eq!(g.len(), 1);
+            ep.broadcast(0, Some(b)).len()
+        });
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let fabric = Fabric::new(2);
+        let stats = fabric.stats_handles();
+        let eps = fabric.into_endpoints();
+        crossbeam::thread::scope(|scope| {
+            let mut it = eps.into_iter();
+            let e0 = it.next().unwrap();
+            let e1 = it.next().unwrap();
+            scope.spawn(move |_| {
+                e0.send(1, Bytes::from(vec![0u8; 100]));
+            });
+            scope.spawn(move |_| {
+                let _ = e1.recv(0);
+            });
+        })
+        .unwrap();
+        assert_eq!(stats[0].messages(), 1);
+        assert_eq!(stats[0].bytes(), 100);
+        assert_eq!(stats[1].messages(), 0);
+    }
+}

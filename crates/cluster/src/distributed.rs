@@ -1,0 +1,469 @@
+//! Distributed TINGe-style network construction over the simulated
+//! cluster.
+//!
+//! Genes are block-distributed over `P` ranks. Every rank prepares its
+//! own block (rank transform + B-spline weights) and computes the pairs
+//! *within* it; the cross-block pairs are covered by rotating blocks
+//! around a ring for `⌊P/2⌋` rounds — after round `d` rank `r` holds
+//! block `(r − d) mod P`, and each unordered block pair has exactly one
+//! *owner* (the rank that meets the partner block in the earlier round,
+//! ties to the lower rank), so every gene pair is computed exactly once
+//! across the cluster. Pooled-null moments and candidate edges are then
+//! gathered to rank 0, which applies the global threshold — the same
+//! statistics, in the same arithmetic, as the shared-memory pipeline.
+//!
+//! This is the structure of the original TINGe MPI implementation (the
+//! cluster baseline the paper compares against), realized over the
+//! in-process fabric of [`crate::comm`].
+
+use crate::codec::{decode_block, encode_block, GeneBlock};
+use crate::comm::{run_ranks, Endpoint};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gnet_bspline::BsplineBasis;
+use gnet_core::config::NullStrategy;
+use gnet_core::InferenceConfig;
+use gnet_expr::ExpressionMatrix;
+use gnet_graph::{Edge, GeneNetwork};
+use gnet_mi::{mi_with_nulls, prepare_gene, MiKernel, MiScratch};
+use gnet_permute::{PermutationSet, PooledNull};
+use std::time::{Duration, Instant};
+
+/// Per-rank execution statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankStats {
+    /// Rank id.
+    pub rank: usize,
+    /// Gene pairs this rank evaluated.
+    pub pairs: u64,
+    /// Block pairs (incl. its diagonal block) this rank owned.
+    pub block_pairs: usize,
+    /// Messages this rank sent.
+    pub messages: u64,
+    /// Payload bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Wall time this rank spent computing (excludes waiting).
+    pub busy: Duration,
+}
+
+/// Output of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistributedResult {
+    /// The inferred network (identical in structure to the shared-memory
+    /// pipeline's output).
+    pub network: GeneNetwork,
+    /// Global threshold applied.
+    pub threshold: f64,
+    /// Per-rank statistics, in rank order.
+    pub rank_stats: Vec<RankStats>,
+}
+
+/// Contiguous block bounds of rank `r` among `p` ranks over `n` genes.
+fn block_range(n: usize, p: usize, r: usize) -> (usize, usize) {
+    let base = n / p;
+    let extra = n % p;
+    let start = r * base + r.min(extra);
+    let len = base + usize::from(r < extra);
+    (start, start + len)
+}
+
+/// Owner of the unordered block pair `{a, b}` among `p` ranks: the rank
+/// that meets the partner block in the earlier ring round (ties to the
+/// smaller rank). For `a == b` the owner is `a`.
+fn block_pair_owner(a: usize, b: usize, p: usize) -> usize {
+    if a == b {
+        return a;
+    }
+    let delta_b = (b + p - a) % p; // round at which b holds block a
+    let delta_a = (a + p - b) % p; // round at which a holds block b
+    match delta_b.cmp(&delta_a) {
+        std::cmp::Ordering::Less => b,
+        std::cmp::Ordering::Greater => a,
+        std::cmp::Ordering::Equal => a.min(b),
+    }
+}
+
+/// Run the full inference distributed over `ranks` simulated cluster
+/// ranks.
+///
+/// # Panics
+/// Panics if `ranks` is zero or exceeds the gene count, or if the config
+/// requests the early-exit strategy (the distributed path implements the
+/// paper-faithful exact test only).
+pub fn infer_network_distributed(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+) -> DistributedResult {
+    config.validate();
+    assert!(ranks >= 1, "need at least one rank");
+    assert!(ranks <= matrix.genes(), "more ranks than genes");
+    assert_eq!(
+        config.null_strategy,
+        NullStrategy::ExactFull,
+        "distributed path implements the exact strategy only"
+    );
+
+    let n = matrix.genes();
+    let outputs = run_ranks(ranks, |ep| rank_main(ep, matrix, config, n));
+
+    let mut network = None;
+    let mut threshold = 0.0;
+    let mut rank_stats = Vec::with_capacity(ranks);
+    for (net, thr, stats) in outputs {
+        if let Some(net) = net {
+            network = Some(net);
+            threshold = thr;
+        }
+        rank_stats.push(stats);
+    }
+    DistributedResult {
+        network: network.expect("rank 0 produces the network"),
+        threshold,
+        rank_stats,
+    }
+}
+
+type RankOutput = (Option<GeneNetwork>, f64, RankStats);
+
+fn rank_main(
+    ep: Endpoint,
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    n: usize,
+) -> RankOutput {
+    let p = ep.size();
+    let r = ep.rank();
+    let (start, end) = block_range(n, p, r);
+    let basis = BsplineBasis::new(config.spline_order, config.bins);
+    let perms = PermutationSet::generate(matrix.samples(), config.permutations, config.seed);
+    let mut scratch = MiScratch::for_basis(&basis);
+    let mut stats = RankStats { rank: r, ..Default::default() };
+    let mut busy = Duration::ZERO;
+
+    // Prepare the local block.
+    let t0 = Instant::now();
+    let own = GeneBlock {
+        indices: (start as u32..end as u32).collect(),
+        genes: (start..end).map(|g| prepare_gene(matrix.gene(g), &basis)).collect(),
+    };
+    busy += t0.elapsed();
+
+    let mut pooled = PooledNull::new();
+    let mut candidates: Vec<(u32, u32, f64)> = Vec::new();
+
+    // Diagonal block: pairs within the local gene range.
+    let t1 = Instant::now();
+    compute_block_pair(
+        &own,
+        None,
+        config.kernel,
+        &perms,
+        &mut scratch,
+        &mut pooled,
+        &mut candidates,
+        &mut stats.pairs,
+    );
+    stats.block_pairs += 1;
+    busy += t1.elapsed();
+
+    // Ring rotation: ⌊P/2⌋ rounds cover every cross-block pair once.
+    let rounds = p / 2;
+    let mut travelling = encode_block(&own);
+    for d in 1..=rounds {
+        travelling = ep.ring_shift(travelling);
+        let held = (r + p - d) % p;
+        // Even-P tie round: both ranks of a pair hold each other's block;
+        // only the owner computes.
+        if block_pair_owner(r, held, p) != r {
+            continue;
+        }
+        let t = Instant::now();
+        let foreign = decode_block(travelling.clone());
+        // Canonical orientation: the block with the lower global indices
+        // is always the x (row) side, exactly as in the shared-memory
+        // tiles. MI is symmetric, but the permutation null I(x, π(y)) is
+        // a *different draw* under role swap, so orientation must match
+        // for bit-identical candidate decisions.
+        let (lo, hi) = if foreign.indices[0] < own.indices[0] {
+            (&foreign, &own)
+        } else {
+            (&own, &foreign)
+        };
+        compute_block_pair(
+            lo,
+            Some(hi),
+            config.kernel,
+            &perms,
+            &mut scratch,
+            &mut pooled,
+            &mut candidates,
+            &mut stats.pairs,
+        );
+        stats.block_pairs += 1;
+        busy += t.elapsed();
+    }
+
+    // Reduce pooled-null moments and candidates to rank 0.
+    let payload = encode_rank_results(&pooled, &candidates);
+    let gathered = ep.gather(0, payload);
+
+    stats.messages = ep.stats().messages();
+    stats.bytes_sent = ep.stats().bytes();
+    stats.busy = busy;
+
+    if let Some(parts) = gathered {
+        let mut merged = PooledNull::new();
+        let mut all_candidates: Vec<(u32, u32, f64)> = Vec::new();
+        for part in parts {
+            let (pp, cc) = decode_rank_results(part);
+            merged.merge(&pp);
+            all_candidates.extend(cc);
+        }
+        let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+        let threshold = match config.mi_threshold {
+            Some(t) => t,
+            None => merged.global_threshold(config.alpha, total_pairs.max(1)),
+        };
+        all_candidates.sort_by_key(|c| (c.0, c.1));
+        let network = GeneNetwork::from_edges(
+            n,
+            matrix.gene_names().to_vec(),
+            all_candidates
+                .into_iter()
+                .filter(|&(_, _, v)| v > threshold)
+                .map(|(i, j, v)| Edge::new(i, j, v as f32)),
+        );
+        (Some(network), threshold, stats)
+    } else {
+        (None, 0.0, stats)
+    }
+}
+
+/// Evaluate all pairs between `x_block` and `y_block` (or within
+/// `x_block` when `y_block` is `None`), accumulating nulls and
+/// candidates. Dense expansions of the column side are built once per
+/// block — the cluster-side analogue of tile reuse.
+#[allow(clippy::too_many_arguments)]
+fn compute_block_pair(
+    x_block: &GeneBlock,
+    y_block: Option<&GeneBlock>,
+    kernel: MiKernel,
+    perms: &PermutationSet,
+    scratch: &mut MiScratch,
+    pooled: &mut PooledNull,
+    candidates: &mut Vec<(u32, u32, f64)>,
+    pair_counter: &mut u64,
+) {
+    let y = y_block.unwrap_or(x_block);
+    let dense: Vec<_> = match kernel {
+        MiKernel::VectorDense => y.genes.iter().map(|g| Some(g.to_dense())).collect(),
+        MiKernel::ScalarSparse => y.genes.iter().map(|_| None).collect(),
+    };
+    for (xi, xg) in x_block.genes.iter().enumerate() {
+        let y_start = if y_block.is_none() { xi + 1 } else { 0 };
+        for yi in y_start..y.genes.len() {
+            let res =
+                mi_with_nulls(kernel, xg, &y.genes[yi], dense[yi].as_ref(), perms.as_vecs(), scratch);
+            pooled.extend(&res.null);
+            *pair_counter += 1;
+            if res.exceed_count() == 0 {
+                let gi = x_block.indices[xi];
+                let gj = y.indices[yi];
+                let (a, b) = if gi < gj { (gi, gj) } else { (gj, gi) };
+                candidates.push((a, b, res.observed));
+            }
+        }
+    }
+}
+
+fn encode_rank_results(pooled: &PooledNull, candidates: &[(u32, u32, f64)]) -> Bytes {
+    let (count, mean, m2, max) = pooled.raw_parts();
+    let mut buf = BytesMut::with_capacity(32 + 4 + candidates.len() * 16);
+    buf.put_u64_le(count);
+    buf.put_f64_le(mean);
+    buf.put_f64_le(m2);
+    buf.put_f64_le(max);
+    buf.put_u32_le(candidates.len() as u32);
+    for &(i, j, v) in candidates {
+        buf.put_u32_le(i);
+        buf.put_u32_le(j);
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+fn decode_rank_results(mut bytes: Bytes) -> (PooledNull, Vec<(u32, u32, f64)>) {
+    let count = bytes.get_u64_le();
+    let mean = bytes.get_f64_le();
+    let m2 = bytes.get_f64_le();
+    let max = bytes.get_f64_le();
+    let pooled = PooledNull::from_raw_parts(count, mean, m2, max);
+    let c = bytes.get_u32_le() as usize;
+    let mut candidates = Vec::with_capacity(c);
+    for _ in 0..c {
+        let i = bytes.get_u32_le();
+        let j = bytes.get_u32_le();
+        let v = bytes.get_f64_le();
+        candidates.push((i, j, v));
+    }
+    assert!(!bytes.has_remaining(), "trailing bytes in rank results");
+    (pooled, candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnet_core::infer_network;
+    use gnet_expr::synth::{coupled_pairs, Coupling};
+    use gnet_grnsim::{GrnConfig, SyntheticDataset};
+
+    fn cfg() -> InferenceConfig {
+        InferenceConfig {
+            permutations: 12,
+            threads: Some(1),
+            tile_size: Some(8),
+            ..InferenceConfig::default()
+        }
+    }
+
+    #[test]
+    fn block_ranges_partition_the_genes() {
+        for (n, p) in [(10usize, 3usize), (7, 7), (100, 8), (5, 5), (16, 4)] {
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for r in 0..p {
+                let (s, e) = block_range(n, p, r);
+                assert_eq!(s, prev_end, "blocks must be contiguous");
+                assert!(e > s, "every rank needs at least one gene (n={n}, p={p})");
+                covered += e - s;
+                prev_end = e;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn every_block_pair_has_exactly_one_owner() {
+        for p in 1..=9 {
+            for a in 0..p {
+                for b in 0..p {
+                    let owner = block_pair_owner(a, b, p);
+                    assert!(owner == a || owner == b, "owner must be a member");
+                    assert_eq!(
+                        owner,
+                        block_pair_owner(b, a, p),
+                        "ownership must be order-independent"
+                    );
+                    if a != b {
+                        // The owner must actually meet the partner block
+                        // within ⌊P/2⌋ ring rounds.
+                        let partner = if owner == a { b } else { a };
+                        let round = (owner + p - partner) % p;
+                        assert!(
+                            round >= 1 && round <= p / 2,
+                            "p={p} pair ({a},{b}): owner {owner} meets partner at round {round}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owner_load_is_balanced() {
+        let p = 8;
+        let mut owned = vec![0usize; p];
+        for a in 0..p {
+            for b in a..p {
+                owned[block_pair_owner(a, b, p)] += 1;
+            }
+        }
+        let max = *owned.iter().max().unwrap();
+        let min = *owned.iter().min().unwrap();
+        assert!(max - min <= 1, "block-pair ownership skewed: {owned:?}");
+    }
+
+    #[test]
+    fn distributed_matches_shared_memory_pipeline() {
+        let (matrix, _) = coupled_pairs(6, 260, Coupling::Linear(0.85), 77);
+        let shared = infer_network(&matrix, &cfg());
+        for ranks in [1usize, 2, 3, 4, 6] {
+            let dist = infer_network_distributed(&matrix, &cfg(), ranks);
+            assert_eq!(
+                dist.network.edge_count(),
+                shared.network.edge_count(),
+                "{ranks} ranks changed the edge count"
+            );
+            for (a, b) in dist.network.edges().iter().zip(shared.network.edges()) {
+                assert_eq!(a.key(), b.key(), "{ranks} ranks changed the edges");
+                assert!((a.weight - b.weight).abs() < 1e-5);
+            }
+            let total_pairs: u64 = dist.rank_stats.iter().map(|s| s.pairs).sum();
+            assert_eq!(total_pairs, shared.stats.pairs, "{ranks} ranks: pair coverage");
+        }
+    }
+
+    #[test]
+    fn knife_edge_pairs_do_not_flip_across_rank_counts() {
+        // Weak couplings put many pairs near the threshold; any role-swap
+        // in the permutation null (a bug this test exists to catch) flips
+        // some of them between rank counts.
+        let (matrix, _) = coupled_pairs(12, 180, Coupling::Linear(0.35), 321);
+        let shared = infer_network(&matrix, &cfg());
+        for ranks in [2usize, 3, 5, 8] {
+            let dist = infer_network_distributed(&matrix, &cfg(), ranks);
+            let a: Vec<_> = dist.network.edges().iter().map(|e| e.key()).collect();
+            let b: Vec<_> = shared.network.edges().iter().map(|e| e.key()).collect();
+            assert_eq!(a, b, "{ranks} ranks flipped a knife-edge pair");
+            for (x, y) in dist.network.edges().iter().zip(shared.network.edges()) {
+                assert_eq!(
+                    x.weight, y.weight,
+                    "{ranks} ranks: weights must be bit-identical under canonical orientation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_works_on_grn_data_with_odd_ranks() {
+        let ds = SyntheticDataset::generate(
+            GrnConfig { genes: 21, samples: 150, ..GrnConfig::small() },
+            5,
+        );
+        let shared = infer_network(&ds.matrix, &cfg());
+        let dist = infer_network_distributed(&ds.matrix, &cfg(), 5);
+        let a: Vec<_> = dist.network.edges().iter().map(|e| e.key()).collect();
+        let b: Vec<_> = shared.network.edges().iter().map(|e| e.key()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn communication_volume_scales_with_rounds_not_pairs() {
+        let (matrix, _) = coupled_pairs(8, 100, Coupling::Linear(0.8), 3);
+        let dist = infer_network_distributed(&matrix, &cfg(), 4);
+        for s in &dist.rank_stats {
+            // Each rank ships its travelling block ⌊P/2⌋ times plus the
+            // gather/barrier traffic — single-digit message counts.
+            assert!(s.messages <= 8, "rank {} sent {} messages", s.rank, s.messages);
+            assert!(s.bytes_sent > 0);
+        }
+    }
+
+    #[test]
+    fn scalar_kernel_path_matches_too() {
+        let (matrix, _) = coupled_pairs(4, 120, Coupling::Linear(0.9), 9);
+        let scalar_cfg = InferenceConfig { kernel: MiKernel::ScalarSparse, ..cfg() };
+        let shared = infer_network(&matrix, &scalar_cfg);
+        let dist = infer_network_distributed(&matrix, &scalar_cfg, 3);
+        let a: Vec<_> = dist.network.edges().iter().map(|e| e.key()).collect();
+        let b: Vec<_> = shared.network.edges().iter().map(|e| e.key()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks than genes")]
+    fn too_many_ranks_rejected() {
+        let (matrix, _) = coupled_pairs(2, 50, Coupling::Linear(0.5), 1);
+        let _ = infer_network_distributed(&matrix, &cfg(), 10);
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated cluster substrate and the distributed network construction.
+//!
+//! The paper positions its single-chip solution against the original
+//! distributed TINGe, which reconstructed the same Arabidopsis network on
+//! 1,024 Blue Gene/L cores using MPI. No MPI (or second machine) exists
+//! in this environment, so — per the substitution rule in DESIGN.md — this
+//! crate builds the closest synthetic equivalent:
+//!
+//! * [`comm`] — an in-process message-passing fabric: `P` ranks as
+//!   threads, reliable ordered point-to-point byte channels between every
+//!   pair, and the collectives the algorithm needs (barrier, broadcast,
+//!   gather, ring shift), with per-endpoint traffic accounting;
+//! * [`codec`] — a compact wire format for blocks of prepared genes
+//!   (the sparse B-spline weight matrices TINGe ships between ranks);
+//! * [`distributed`] — the TINGe-style algorithm: genes block-distributed
+//!   over ranks, ring-pass of gene blocks so each unordered block pair is
+//!   computed by exactly one owner rank, mergeable pooled-null reduction
+//!   to rank 0, and a final gather of candidate edges.
+//!
+//! The distributed result is bit-identical in edge structure to the
+//! shared-memory pipeline (asserted in tests across rank counts), which
+//! is the property that makes the paper's single-chip-vs-cluster
+//! comparison an apples-to-apples one.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod comm;
+pub mod distributed;
+
+pub use comm::{CommStats, Endpoint, Fabric};
+pub use distributed::{infer_network_distributed, DistributedResult, RankStats};

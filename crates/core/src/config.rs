@@ -1,0 +1,185 @@
+//! Pipeline configuration.
+
+use gnet_mi::MiKernel;
+use gnet_parallel::SchedulerPolicy;
+use serde::{Deserialize, Serialize};
+
+/// How the permutation null is evaluated per pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NullStrategy {
+    /// Evaluate all `q` nulls for every pair and pool them for the global
+    /// threshold — the paper's (TINGe's) procedure. Work per pair is
+    /// exactly `q + 1` joint entropies.
+    #[default]
+    ExactFull,
+    /// Adaptive extension (DESIGN.md §7): obtain the global threshold
+    /// first — from `mi_threshold` if set, otherwise from a full-null
+    /// pre-pass over `null_sample_pairs` sampled pairs — then skip nulls
+    /// for pairs below it and stop at the first null that ties or beats
+    /// the observed value. Decisions are identical to [`Self::ExactFull`]
+    /// *given the same threshold*; only the work changes (≈ 2 joints per
+    /// null pair instead of `q + 1`).
+    EarlyExit,
+}
+
+/// Complete configuration of one inference run.
+///
+/// The defaults reproduce the paper's operating point: TINGe estimator
+/// settings (order-3 B-splines over 10 bins), 30 shared permutations,
+/// α = 0.01 family-wise, the vectorized kernel, dynamic tile scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Histogram bins `b` of the B-spline estimator.
+    pub bins: usize,
+    /// Spline order `k`.
+    pub spline_order: usize,
+    /// Shared permutations `q` per pair. `0` disables permutation testing
+    /// entirely (then `mi_threshold` must be set).
+    pub permutations: usize,
+    /// Family-wise significance level α for the pooled-null threshold.
+    pub alpha: f64,
+    /// Explicit MI threshold in nats; when set (`Some`), it replaces the
+    /// pooled-null `I*` (used by kernel benchmarks and by `q = 0` runs).
+    pub mi_threshold: Option<f64>,
+    /// RNG seed for the permutation set.
+    pub seed: u64,
+    /// Which MI kernel to run.
+    pub kernel: MiKernel,
+    /// Tile edge length; `None` picks the cache-blocking default.
+    pub tile_size: Option<usize>,
+    /// Worker threads; `None` uses the host's available parallelism.
+    pub threads: Option<usize>,
+    /// Tile scheduling policy.
+    pub scheduler: SchedulerPolicy,
+    /// Null-evaluation strategy (exact, or the adaptive early-exit
+    /// extension).
+    pub null_strategy: NullStrategy,
+    /// For [`NullStrategy::EarlyExit`] without an explicit `mi_threshold`:
+    /// the number of randomly sampled pairs whose full nulls estimate the
+    /// pooled threshold in a pre-pass.
+    pub null_sample_pairs: usize,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        Self {
+            bins: 10,
+            spline_order: 3,
+            permutations: 30,
+            alpha: 0.01,
+            mi_threshold: None,
+            seed: 0x71_4E_67_45, // "TINGE"-ish; any fixed value works
+            kernel: MiKernel::VectorDense,
+            tile_size: None,
+            threads: None,
+            scheduler: SchedulerPolicy::DynamicCounter,
+            null_strategy: NullStrategy::ExactFull,
+            null_sample_pairs: 1_000,
+        }
+    }
+}
+
+impl InferenceConfig {
+    /// A fast configuration for tests and examples: fewer permutations,
+    /// a single thread unless overridden.
+    pub fn fast() -> Self {
+        Self { permutations: 10, ..Self::default() }
+    }
+
+    /// Validate the configuration, panicking with a clear message on
+    /// nonsense (called by the pipeline before any work).
+    pub fn validate(&self) {
+        assert!(self.bins >= 2, "need at least two bins");
+        assert!(self.spline_order >= 1, "spline order must be at least 1");
+        assert!(
+            self.spline_order <= self.bins,
+            "spline order cannot exceed the bin count"
+        );
+        assert!((f64::MIN_POSITIVE..1.0).contains(&self.alpha), "alpha must lie in (0, 1)");
+        if self.permutations == 0 {
+            assert!(
+                self.mi_threshold.is_some(),
+                "with q = 0 an explicit mi_threshold is required"
+            );
+        }
+        if self.null_strategy == NullStrategy::EarlyExit && self.mi_threshold.is_none() {
+            assert!(
+                self.null_sample_pairs >= 2,
+                "early-exit needs an mi_threshold or a null_sample_pairs pre-pass"
+            );
+        }
+        if let Some(t) = self.tile_size {
+            assert!(t >= 1, "tile size must be positive");
+        }
+        if let Some(t) = self.threads {
+            assert!(t >= 1, "thread count must be positive");
+        }
+    }
+
+    /// Resolved thread count.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+    }
+
+    /// Resolved tile size for `genes` genes with `bytes_per_gene` working
+    /// set, following the L2 blocking rule with a 512 KiB default share.
+    pub fn resolved_tile_size(&self, genes: usize, bytes_per_gene: usize) -> usize {
+        self.tile_size.unwrap_or_else(|| {
+            gnet_parallel::TileSpace::tile_size_for_cache(genes, bytes_per_gene, 512 * 1024)
+                .min(genes)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_operating_point() {
+        let c = InferenceConfig::default();
+        assert_eq!(c.bins, 10);
+        assert_eq!(c.spline_order, 3);
+        assert_eq!(c.permutations, 30);
+        assert_eq!(c.kernel, MiKernel::VectorDense);
+        assert_eq!(c.scheduler, SchedulerPolicy::DynamicCounter);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit mi_threshold")]
+    fn zero_permutations_without_threshold_rejected() {
+        let c = InferenceConfig { permutations: 0, ..InferenceConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn zero_permutations_with_threshold_allowed() {
+        let c = InferenceConfig {
+            permutations: 0,
+            mi_threshold: Some(0.2),
+            ..InferenceConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "order cannot exceed")]
+    fn order_above_bins_rejected() {
+        let c = InferenceConfig { bins: 2, spline_order: 3, ..InferenceConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn resolved_values() {
+        let c = InferenceConfig { threads: Some(3), tile_size: Some(7), ..Default::default() };
+        assert_eq!(c.resolved_threads(), 3);
+        assert_eq!(c.resolved_tile_size(100, 1), 7);
+        let auto = InferenceConfig::default();
+        assert!(auto.resolved_threads() >= 1);
+        let t = auto.resolved_tile_size(1000, 44_000);
+        assert!(t >= 4 && t <= 1000);
+    }
+}

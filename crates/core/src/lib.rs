@@ -1,0 +1,40 @@
+//! Whole-genome network inference — the paper's primary contribution as a
+//! library.
+//!
+//! [`infer_network`] runs the complete TINGe-style pipeline:
+//!
+//! 1. **Preprocess** — rank-transform every gene ([`gnet_expr`]).
+//! 2. **Prepare** — B-spline weight matrix + marginal entropy per gene,
+//!    computed once and reused for all `n−1` pairs ([`gnet_mi`]).
+//! 3. **Pairwise MI + permutation nulls** — the `n(n−1)/2` pair space is
+//!    tiled ([`gnet_parallel`]); worker threads claim tiles under the
+//!    configured scheduling policy, expand each tile's column genes into
+//!    the dense vector layout once, and evaluate every pair together with
+//!    its `q` shared-permutation nulls ([`gnet_permute`]). Pairs that beat
+//!    all of their own nulls become *candidates*; every null value feeds a
+//!    mergeable pooled-null accumulator.
+//! 4. **Threshold** — the pooled null yields the Bonferroni-corrected
+//!    global threshold `I*`; candidates above it become edges.
+//! 5. **Output** — a [`gnet_graph::GeneNetwork`] plus run statistics.
+//!
+//! [`baselines`] holds the comparison methods (naive histogram-MI network,
+//! Pearson correlation network, and a deliberately simple sequential
+//! reference implementation used as the correctness oracle for the tiled
+//! parallel path).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod checkpoint;
+pub mod config;
+pub mod mi_matrix;
+pub mod pipeline;
+pub mod plan;
+pub mod result;
+
+pub use checkpoint::{infer_network_resumable, Checkpoint};
+pub use config::{InferenceConfig, NullStrategy};
+pub use mi_matrix::{compute_mi_matrix, MiMatrix};
+pub use plan::MemoryPlan;
+pub use pipeline::infer_network;
+pub use result::{InferenceResult, RunStats};

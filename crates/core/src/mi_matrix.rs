@@ -1,0 +1,177 @@
+//! Full pairwise MI matrix computation (no significance testing).
+//!
+//! Methods downstream of the relevance network — CLR's background
+//! z-scoring, clustering on MI distances, module detection — need the
+//! whole `n × n` MI matrix rather than a thresholded edge list. This
+//! module computes it in parallel over the same tiled runtime the
+//! pipeline uses, packed into the upper-triangular layout of
+//! [`gnet_parallel::pair_index`].
+
+use crate::config::InferenceConfig;
+use gnet_bspline::{BsplineBasis, DenseWeights};
+use gnet_expr::ExpressionMatrix;
+use gnet_mi::{mi_scalar, mi_vector, prepare_gene, MiKernel, MiScratch, PreparedGene};
+use gnet_parallel::{compute_pairwise, pair_index, SchedulerPolicy};
+
+/// A symmetric MI matrix in packed upper-triangular storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MiMatrix {
+    genes: usize,
+    packed: Vec<f32>,
+}
+
+impl MiMatrix {
+    /// Number of genes `n`.
+    pub fn genes(&self) -> usize {
+        self.genes
+    }
+
+    /// `I(i, j)` in nats (`i ≠ j`; both orders accepted).
+    ///
+    /// # Panics
+    /// Panics on `i == j` or out-of-range indices.
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        assert_ne!(i, j, "self-MI is not stored (it is not a pairwise quantity here)");
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.packed[pair_index(self.genes, a, b)]
+    }
+
+    /// The packed upper-triangular values (row-major by smaller index).
+    pub fn packed(&self) -> &[f32] {
+        &self.packed
+    }
+
+    /// Mean and standard deviation of gene `g`'s MI against all others —
+    /// the background moments CLR normalizes with.
+    pub fn row_moments(&self, g: usize) -> (f64, f64) {
+        let n = self.genes;
+        let mut sum = 0.0f64;
+        let mut sum2 = 0.0f64;
+        for other in 0..n {
+            if other == g {
+                continue;
+            }
+            let v = self.get(g, other) as f64;
+            sum += v;
+            sum2 += v * v;
+        }
+        let count = (n - 1) as f64;
+        let mean = sum / count;
+        let var = (sum2 / count - mean * mean).max(0.0);
+        (mean, var.sqrt())
+    }
+}
+
+/// Compute the full MI matrix of a raw expression matrix, in parallel.
+/// Uses the config's estimator settings, kernel, thread count, and
+/// scheduler; permutation/threshold settings are ignored.
+pub fn compute_mi_matrix(matrix: &ExpressionMatrix, config: &InferenceConfig) -> MiMatrix {
+    config.validate();
+    assert!(matrix.genes() >= 2, "need at least two genes");
+    let basis = BsplineBasis::new(config.spline_order, config.bins);
+    let prepared: Vec<PreparedGene> =
+        (0..matrix.genes()).map(|g| prepare_gene(matrix.gene(g), &basis)).collect();
+    let n = matrix.genes();
+    let tile = config.resolved_tile_size(n, prepared[0].heap_bytes());
+    let threads = config.resolved_threads();
+    let kernel = config.kernel;
+    let prepared_ref = &prepared;
+    let basis_ref = &basis;
+
+    struct Ctx {
+        scratch: MiScratch,
+        /// Dense expansions keyed by gene, bounded to a tile-scale working
+        /// set (tiles iterate j within a bounded column range, so hits are
+        /// high and the clear is rare).
+        dense: std::collections::HashMap<usize, DenseWeights>,
+    }
+
+    let (packed, _report) = compute_pairwise(
+        n,
+        tile,
+        threads,
+        SchedulerPolicy::DynamicCounter,
+        |_tid| Ctx { scratch: MiScratch::for_basis(basis_ref), dense: Default::default() },
+        |ctx, i, j| match kernel {
+            MiKernel::ScalarSparse => {
+                mi_scalar(&prepared_ref[i], &prepared_ref[j], &mut ctx.scratch) as f32
+            }
+            MiKernel::VectorDense => {
+                if ctx.dense.len() > 4 * tile.max(16) {
+                    ctx.dense.clear();
+                }
+                let yd = ctx
+                    .dense
+                    .entry(j)
+                    .or_insert_with(|| prepared_ref[j].to_dense());
+                mi_vector(&prepared_ref[i], &prepared_ref[j], yd, &mut ctx.scratch) as f32
+            }
+        },
+    );
+    MiMatrix { genes: n, packed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnet_expr::synth::{coupled_pairs, Coupling};
+
+    fn cfg() -> InferenceConfig {
+        InferenceConfig { threads: Some(2), tile_size: Some(5), ..InferenceConfig::default() }
+    }
+
+    #[test]
+    fn matrix_agrees_with_direct_kernel_calls() {
+        let (matrix, _) = coupled_pairs(4, 150, Coupling::Linear(0.8), 6);
+        let mm = compute_mi_matrix(&matrix, &cfg());
+        let basis = BsplineBasis::tinge_default();
+        let mut scratch = MiScratch::for_basis(&basis);
+        for i in 0..matrix.genes() {
+            for j in i + 1..matrix.genes() {
+                let a = prepare_gene(matrix.gene(i), &basis);
+                let b = prepare_gene(matrix.gene(j), &basis);
+                let direct = mi_scalar(&a, &b, &mut scratch) as f32;
+                assert!(
+                    (mm.get(i, j) - direct).abs() < 1e-4,
+                    "({i},{j}): matrix {} vs direct {direct}",
+                    mm.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_access() {
+        let (matrix, _) = coupled_pairs(3, 100, Coupling::Linear(0.7), 2);
+        let mm = compute_mi_matrix(&matrix, &cfg());
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    assert_eq!(mm.get(i, j), mm.get(j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_moments_match_two_pass() {
+        let (matrix, _) = coupled_pairs(5, 120, Coupling::Linear(0.6), 9);
+        let mm = compute_mi_matrix(&matrix, &cfg());
+        let g = 3;
+        let vals: Vec<f64> =
+            (0..10).filter(|&o| o != g).map(|o| mm.get(g, o) as f64).collect();
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        let sd = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
+        let (m, s) = mm.row_moments(g);
+        assert!((m - mean).abs() < 1e-9);
+        assert!((s - sd).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-MI")]
+    fn diagonal_access_rejected() {
+        let (matrix, _) = coupled_pairs(2, 50, Coupling::Linear(0.5), 1);
+        let mm = compute_mi_matrix(&matrix, &cfg());
+        let _ = mm.get(1, 1);
+    }
+}

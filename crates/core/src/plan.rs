@@ -1,0 +1,182 @@
+//! Memory planning for whole-genome runs.
+//!
+//! The Xeon Phi the paper targets has 8 GB of on-card GDDR5, and the
+//! whole-genome problem is sized uncomfortably close to it: the raw
+//! matrix is ~195 MB, the per-gene sparse weight matrices ~684 MB, and
+//! every worker thread additionally materializes the dense lane-padded
+//! expansions of its current tile's column genes. This module makes those
+//! footprints explicit so callers can pick a tile size that fits a memory
+//! budget *before* starting a multi-hour run.
+
+use crate::config::InferenceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Byte-level footprint model of one inference run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPlan {
+    /// Number of genes `n`.
+    pub genes: usize,
+    /// Number of samples `m`.
+    pub samples: usize,
+    /// Spline order `k`.
+    pub order: usize,
+    /// Lane-padded bins of the dense layout.
+    pub bins_padded: usize,
+    /// Permutations `q`.
+    pub permutations: usize,
+}
+
+impl MemoryPlan {
+    /// Build a plan from a config and matrix shape.
+    pub fn new(config: &InferenceConfig, genes: usize, samples: usize) -> Self {
+        config.validate();
+        let lanes = 16; // F32x16 padding of the dense layout
+        Self {
+            genes,
+            samples,
+            order: config.spline_order,
+            bins_padded: config.bins.div_ceil(lanes) * lanes,
+            permutations: config.permutations,
+        }
+    }
+
+    /// Raw expression matrix bytes (`n × m × 4`).
+    pub fn matrix_bytes(&self) -> usize {
+        self.genes * self.samples * 4
+    }
+
+    /// All sparse weight matrices (`n × m × (4k + 2)`), resident for the
+    /// whole run.
+    pub fn prepared_bytes(&self) -> usize {
+        self.genes * self.samples * (4 * self.order + 2)
+    }
+
+    /// Shared permutation set (`q × m × 4`).
+    pub fn permutations_bytes(&self) -> usize {
+        self.permutations * self.samples * 4
+    }
+
+    /// One thread's dense expansion of a tile's column genes
+    /// (`tile × m × bins_padded × 4`) plus its joint grid.
+    pub fn per_thread_tile_bytes(&self, tile: usize) -> usize {
+        tile * self.samples * self.bins_padded * 4 + self.bins_padded * self.bins_padded * 4
+    }
+
+    /// Peak resident bytes with `threads` workers at tile size `tile`.
+    pub fn peak_bytes(&self, tile: usize, threads: usize) -> usize {
+        self.matrix_bytes()
+            + self.prepared_bytes()
+            + self.permutations_bytes()
+            + threads * self.per_thread_tile_bytes(tile)
+    }
+
+    /// Largest tile size whose peak stays within `budget_bytes`, or
+    /// `None` if even tile 1 does not fit (the fixed state alone exceeds
+    /// the budget).
+    pub fn max_tile_for_budget(&self, budget_bytes: usize, threads: usize) -> Option<usize> {
+        let fixed = self.matrix_bytes() + self.prepared_bytes() + self.permutations_bytes();
+        let grid = self.bins_padded * self.bins_padded * 4;
+        let per_thread_fixed = threads * grid;
+        if fixed + per_thread_fixed + threads * self.samples * self.bins_padded * 4 > budget_bytes
+        {
+            return None;
+        }
+        let spare = budget_bytes - fixed - per_thread_fixed;
+        let per_gene = self.samples * self.bins_padded * 4;
+        Some((spare / (threads * per_gene)).min(self.genes).max(1))
+    }
+
+    /// Human-readable footprint summary.
+    pub fn summary(&self, tile: usize, threads: usize) -> String {
+        let gb = |b: usize| b as f64 / (1024.0 * 1024.0 * 1024.0);
+        format!(
+            "matrix {:.2} GiB + weights {:.2} GiB + perms {:.3} GiB + {} threads × tile {} ({:.2} GiB) = peak {:.2} GiB",
+            gb(self.matrix_bytes()),
+            gb(self.prepared_bytes()),
+            gb(self.permutations_bytes()),
+            threads,
+            tile,
+            gb(threads * self.per_thread_tile_bytes(tile)),
+            gb(self.peak_bytes(tile, threads)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn headline_plan() -> MemoryPlan {
+        MemoryPlan::new(&InferenceConfig::default(), 15_575, 3_137)
+    }
+
+    #[test]
+    fn headline_footprints_match_hand_arithmetic() {
+        let p = headline_plan();
+        assert_eq!(p.matrix_bytes(), 15_575 * 3_137 * 4); // ≈ 195 MB
+        assert_eq!(p.prepared_bytes(), 15_575 * 3_137 * 14); // ≈ 684 MB
+        assert_eq!(p.permutations_bytes(), 30 * 3_137 * 4);
+        assert_eq!(p.bins_padded, 16);
+        // One thread at T=64: 64 × 3,137 × 16 × 4 ≈ 12.8 MB + grid.
+        let per = p.per_thread_tile_bytes(64);
+        assert!((12_800_000..13_000_000).contains(&per), "{per}");
+    }
+
+    #[test]
+    fn headline_fits_the_phis_8_gb_at_the_paper_operating_point() {
+        let p = headline_plan();
+        let budget = 8usize * 1024 * 1024 * 1024;
+        // 244 threads with the cache-rule tile (T=5 for 44 KB genes in a
+        // 512 KB L2 share) sits far inside the card.
+        assert!(p.peak_bytes(5, 244) < budget);
+        // And the planner can tell how far tiles could grow.
+        let max_tile = p.max_tile_for_budget(budget, 244).unwrap();
+        assert!(max_tile >= 64, "8 GB admits large tiles, got {max_tile}");
+        assert!(p.peak_bytes(max_tile, 244) <= budget);
+        assert!(
+            p.peak_bytes(max_tile + 1, 244) > budget || max_tile == p.genes,
+            "planner answer must be maximal"
+        );
+    }
+
+    #[test]
+    fn budget_solver_is_inverse_of_peak() {
+        let p = MemoryPlan::new(&InferenceConfig::default(), 2_048, 1_000);
+        for threads in [1usize, 4, 61] {
+            for budget_mb in [64usize, 256, 1024] {
+                let budget = budget_mb * 1024 * 1024;
+                match p.max_tile_for_budget(budget, threads) {
+                    Some(tile) => {
+                        assert!(
+                            p.peak_bytes(tile, threads) <= budget,
+                            "threads={threads} budget={budget_mb}MB tile={tile}"
+                        );
+                    }
+                    None => {
+                        assert!(p.peak_bytes(1, threads) > budget);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_small_budget_is_reported_as_unfittable() {
+        let p = headline_plan();
+        assert_eq!(p.max_tile_for_budget(100 * 1024 * 1024, 244), None);
+    }
+
+    #[test]
+    fn peak_is_monotone_in_tile_and_threads() {
+        let p = MemoryPlan::new(&InferenceConfig::default(), 1_000, 500);
+        assert!(p.peak_bytes(8, 4) < p.peak_bytes(16, 4));
+        assert!(p.peak_bytes(8, 4) < p.peak_bytes(8, 8));
+    }
+
+    #[test]
+    fn summary_mentions_all_components() {
+        let p = headline_plan();
+        let s = p.summary(64, 244);
+        assert!(s.contains("matrix") && s.contains("weights") && s.contains("peak"));
+    }
+}

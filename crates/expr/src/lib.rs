@@ -1,0 +1,26 @@
+//! Gene expression matrices and the preprocessing stage of the pipeline.
+//!
+//! The inference pipeline consumes an `n × m` matrix of expression values —
+//! `n` genes (rows) by `m` experiments/samples (columns) — stored flat and
+//! row-major so each gene's profile is one contiguous cache-friendly slice.
+//! This crate owns:
+//!
+//! * [`ExpressionMatrix`] — the storage type, with validation and
+//!   missing-value policies;
+//! * [`normalize`] — the rank transformation TINGe applies before MI
+//!   estimation (distribution-free, maps every profile onto a uniform grid
+//!   in `[0, 1]`), plus z-score and min–max alternatives;
+//! * [`stats`] — per-gene summary statistics and correlation measures used
+//!   by the baseline methods and the data generators' tests;
+//! * [`io`] — TSV interchange and a compact binary snapshot format.
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod matrix;
+pub mod normalize;
+pub mod stats;
+pub mod synth;
+
+pub use matrix::{ExpressionMatrix, MissingPolicy};
+pub use normalize::{min_max_normalize, rank_transform, z_score};

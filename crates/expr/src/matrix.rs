@@ -1,0 +1,413 @@
+//! Flat row-major expression matrix storage.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How to treat missing (NaN) expression values on construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissingPolicy {
+    /// Reject matrices containing any missing value.
+    Error,
+    /// Replace each gene's missing values with that gene's mean over the
+    /// present values (the standard microarray-compendium fallback).
+    MeanImpute,
+    /// Replace missing values with zero (useful for already-centred data).
+    ZeroFill,
+}
+
+/// Errors produced while building or mutating an expression matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatrixError {
+    /// Data length does not equal `genes * samples`.
+    ShapeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// A missing value was found under [`MissingPolicy::Error`].
+    MissingValue {
+        /// Gene (row) index of the offending entry.
+        gene: usize,
+        /// Sample (column) index of the offending entry.
+        sample: usize,
+    },
+    /// A gene row consists entirely of missing values, so imputation has no
+    /// information to work with.
+    AllMissingGene {
+        /// Gene (row) index.
+        gene: usize,
+    },
+    /// A non-finite (infinite) value was found.
+    NonFinite {
+        /// Gene (row) index of the offending entry.
+        gene: usize,
+        /// Sample (column) index of the offending entry.
+        sample: usize,
+    },
+    /// Gene-name count does not match the number of rows.
+    NameCountMismatch {
+        /// Expected name count (rows).
+        expected: usize,
+        /// Provided name count.
+        got: usize,
+    },
+    /// The matrix has zero genes or zero samples.
+    Empty,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { expected, got } => {
+                write!(f, "data length {got} does not match genes*samples = {expected}")
+            }
+            Self::MissingValue { gene, sample } => {
+                write!(f, "missing value at gene {gene}, sample {sample}")
+            }
+            Self::AllMissingGene { gene } => {
+                write!(f, "gene {gene} has no observed values to impute from")
+            }
+            Self::NonFinite { gene, sample } => {
+                write!(f, "non-finite value at gene {gene}, sample {sample}")
+            }
+            Self::NameCountMismatch { expected, got } => {
+                write!(f, "{got} gene names provided for {expected} genes")
+            }
+            Self::Empty => write!(f, "matrix must have at least one gene and one sample"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// An `n × m` expression matrix: `n` genes (rows) × `m` samples (columns),
+/// stored flat and row-major so each gene is a contiguous slice.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExpressionMatrix {
+    genes: usize,
+    samples: usize,
+    gene_names: Vec<String>,
+    data: Vec<f32>,
+}
+
+impl ExpressionMatrix {
+    /// Build from flat row-major data, applying `policy` to NaN entries.
+    ///
+    /// Infinite values are always rejected — they indicate a corrupted
+    /// input rather than a biological missing measurement.
+    pub fn from_flat(
+        genes: usize,
+        samples: usize,
+        mut data: Vec<f32>,
+        policy: MissingPolicy,
+    ) -> Result<Self, MatrixError> {
+        if genes == 0 || samples == 0 {
+            return Err(MatrixError::Empty);
+        }
+        if data.len() != genes * samples {
+            return Err(MatrixError::ShapeMismatch { expected: genes * samples, got: data.len() });
+        }
+        for g in 0..genes {
+            let row = &mut data[g * samples..(g + 1) * samples];
+            // Infinities are rejected outright.
+            for (s, v) in row.iter().enumerate() {
+                if v.is_infinite() {
+                    return Err(MatrixError::NonFinite { gene: g, sample: s });
+                }
+            }
+            match policy {
+                MissingPolicy::Error => {
+                    if let Some(s) = row.iter().position(|v| v.is_nan()) {
+                        return Err(MatrixError::MissingValue { gene: g, sample: s });
+                    }
+                }
+                MissingPolicy::ZeroFill => {
+                    for v in row.iter_mut() {
+                        if v.is_nan() {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                MissingPolicy::MeanImpute => {
+                    let mut sum = 0.0f64;
+                    let mut count = 0usize;
+                    for &v in row.iter() {
+                        if !v.is_nan() {
+                            sum += v as f64;
+                            count += 1;
+                        }
+                    }
+                    if count == 0 {
+                        return Err(MatrixError::AllMissingGene { gene: g });
+                    }
+                    if count < samples {
+                        let mean = (sum / count as f64) as f32;
+                        for v in row.iter_mut() {
+                            if v.is_nan() {
+                                *v = mean;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let gene_names = (0..genes).map(|g| format!("G{g:05}")).collect();
+        Ok(Self { genes, samples, gene_names, data })
+    }
+
+    /// Build from per-gene rows (each row one gene's profile).
+    pub fn from_rows(rows: &[Vec<f32>], policy: MissingPolicy) -> Result<Self, MatrixError> {
+        if rows.is_empty() {
+            return Err(MatrixError::Empty);
+        }
+        let samples = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * samples);
+        for (g, row) in rows.iter().enumerate() {
+            if row.len() != samples {
+                return Err(MatrixError::ShapeMismatch {
+                    expected: samples,
+                    got: row.len().max(g), // row length is the informative part
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Self::from_flat(rows.len(), samples, data, policy)
+    }
+
+    /// Zero-filled matrix (no missing-value handling needed).
+    pub fn zeroed(genes: usize, samples: usize) -> Result<Self, MatrixError> {
+        Self::from_flat(genes, samples, vec![0.0; genes * samples], MissingPolicy::Error)
+    }
+
+    /// Replace the default (`G00000`-style) gene names.
+    pub fn set_gene_names(&mut self, names: Vec<String>) -> Result<(), MatrixError> {
+        if names.len() != self.genes {
+            return Err(MatrixError::NameCountMismatch { expected: self.genes, got: names.len() });
+        }
+        self.gene_names = names;
+        Ok(())
+    }
+
+    /// Number of genes (rows).
+    pub fn genes(&self) -> usize {
+        self.genes
+    }
+
+    /// Number of samples (columns).
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Gene names, one per row.
+    pub fn gene_names(&self) -> &[String] {
+        &self.gene_names
+    }
+
+    /// The contiguous expression profile of gene `g`.
+    #[inline(always)]
+    pub fn gene(&self, g: usize) -> &[f32] {
+        &self.data[g * self.samples..(g + 1) * self.samples]
+    }
+
+    /// Mutable profile of gene `g`.
+    #[inline(always)]
+    pub fn gene_mut(&mut self, g: usize) -> &mut [f32] {
+        &mut self.data[g * self.samples..(g + 1) * self.samples]
+    }
+
+    /// Single entry accessor.
+    #[inline(always)]
+    pub fn get(&self, g: usize, s: usize) -> f32 {
+        debug_assert!(s < self.samples);
+        self.data[g * self.samples + s]
+    }
+
+    /// Single entry mutator.
+    #[inline(always)]
+    pub fn set(&mut self, g: usize, s: usize, v: f32) {
+        debug_assert!(s < self.samples);
+        self.data[g * self.samples + s] = v;
+    }
+
+    /// Whole backing slice, row-major.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consume into the backing vector.
+    pub fn into_flat(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// A new matrix containing only the selected gene rows (in the given
+    /// order). Useful for sub-sampling experiments (R5 gene sweeps).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn select_genes(&self, indices: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(indices.len() * self.samples);
+        let mut names = Vec::with_capacity(indices.len());
+        for &g in indices {
+            data.extend_from_slice(self.gene(g));
+            names.push(self.gene_names[g].clone());
+        }
+        Self { genes: indices.len(), samples: self.samples, gene_names: names, data }
+    }
+
+    /// A new matrix containing only the first `m` samples of every gene.
+    /// Useful for sample-count sweeps (R6).
+    ///
+    /// # Panics
+    /// Panics if `m` is zero or exceeds the sample count.
+    pub fn truncate_samples(&self, m: usize) -> Self {
+        assert!(m >= 1 && m <= self.samples, "sample truncation out of range");
+        let mut data = Vec::with_capacity(self.genes * m);
+        for g in 0..self.genes {
+            data.extend_from_slice(&self.gene(g)[..m]);
+        }
+        Self { genes: self.genes, samples: m, gene_names: self.gene_names.clone(), data }
+    }
+
+    /// Heap footprint of the expression data in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * core::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flat_shape_checks() {
+        assert_eq!(
+            ExpressionMatrix::from_flat(2, 3, vec![0.0; 5], MissingPolicy::Error),
+            Err(MatrixError::ShapeMismatch { expected: 6, got: 5 })
+        );
+        assert_eq!(
+            ExpressionMatrix::from_flat(0, 3, vec![], MissingPolicy::Error),
+            Err(MatrixError::Empty)
+        );
+    }
+
+    #[test]
+    fn row_access_is_contiguous_and_correct() {
+        let m =
+            ExpressionMatrix::from_flat(2, 3, vec![1., 2., 3., 4., 5., 6.], MissingPolicy::Error)
+                .unwrap();
+        assert_eq!(m.gene(0), &[1., 2., 3.]);
+        assert_eq!(m.gene(1), &[4., 5., 6.]);
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn missing_policy_error_reports_location() {
+        let err = ExpressionMatrix::from_flat(
+            2,
+            2,
+            vec![1.0, 2.0, f32::NAN, 4.0],
+            MissingPolicy::Error,
+        )
+        .unwrap_err();
+        assert_eq!(err, MatrixError::MissingValue { gene: 1, sample: 0 });
+    }
+
+    #[test]
+    fn mean_impute_fills_with_row_mean() {
+        let m = ExpressionMatrix::from_flat(
+            1,
+            4,
+            vec![2.0, f32::NAN, 4.0, f32::NAN],
+            MissingPolicy::MeanImpute,
+        )
+        .unwrap();
+        assert_eq!(m.gene(0), &[2.0, 3.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_impute_rejects_all_missing_gene() {
+        let err = ExpressionMatrix::from_flat(
+            1,
+            2,
+            vec![f32::NAN, f32::NAN],
+            MissingPolicy::MeanImpute,
+        )
+        .unwrap_err();
+        assert_eq!(err, MatrixError::AllMissingGene { gene: 0 });
+    }
+
+    #[test]
+    fn zero_fill_policy() {
+        let m = ExpressionMatrix::from_flat(1, 3, vec![1.0, f32::NAN, 3.0], MissingPolicy::ZeroFill)
+            .unwrap();
+        assert_eq!(m.gene(0), &[1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn infinities_always_rejected() {
+        let err = ExpressionMatrix::from_flat(
+            1,
+            2,
+            vec![1.0, f32::INFINITY],
+            MissingPolicy::MeanImpute,
+        )
+        .unwrap_err();
+        assert_eq!(err, MatrixError::NonFinite { gene: 0, sample: 1 });
+    }
+
+    #[test]
+    fn default_names_then_custom_names() {
+        let mut m = ExpressionMatrix::zeroed(3, 2).unwrap();
+        assert_eq!(m.gene_names(), &["G00000", "G00001", "G00002"]);
+        assert!(m
+            .set_gene_names(vec!["AT1G01010".into(), "AT1G01020".into(), "AT1G01030".into()])
+            .is_ok());
+        assert_eq!(m.gene_names()[0], "AT1G01010");
+        assert!(m.set_gene_names(vec!["x".into()]).is_err());
+    }
+
+    #[test]
+    fn select_genes_reorders_rows_and_names() {
+        let mut m =
+            ExpressionMatrix::from_flat(3, 2, vec![1., 2., 3., 4., 5., 6.], MissingPolicy::Error)
+                .unwrap();
+        m.set_gene_names(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        let sub = m.select_genes(&[2, 0]);
+        assert_eq!(sub.genes(), 2);
+        assert_eq!(sub.gene(0), &[5., 6.]);
+        assert_eq!(sub.gene(1), &[1., 2.]);
+        assert_eq!(sub.gene_names(), &["c", "a"]);
+    }
+
+    #[test]
+    fn truncate_samples_keeps_prefix() {
+        let m =
+            ExpressionMatrix::from_flat(2, 3, vec![1., 2., 3., 4., 5., 6.], MissingPolicy::Error)
+                .unwrap();
+        let t = m.truncate_samples(2);
+        assert_eq!(t.samples(), 2);
+        assert_eq!(t.gene(0), &[1., 2.]);
+        assert_eq!(t.gene(1), &[4., 5.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn truncate_to_zero_panics() {
+        let m = ExpressionMatrix::zeroed(1, 3).unwrap();
+        let _ = m.truncate_samples(0);
+    }
+
+    #[test]
+    fn from_rows_checks_ragged_input() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(ExpressionMatrix::from_rows(&rows, MissingPolicy::Error).is_err());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = MatrixError::MissingValue { gene: 3, sample: 7 };
+        assert!(e.to_string().contains("gene 3"));
+        assert!(MatrixError::Empty.to_string().contains("at least one"));
+    }
+}

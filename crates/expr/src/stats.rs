@@ -1,0 +1,147 @@
+//! Per-gene summary statistics and correlation measures.
+//!
+//! Pearson correlation backs the correlation-network baseline compared
+//! against the MI network (extension experiments), and the summaries feed
+//! the data generators' sanity tests. Accumulations run in `f64` regardless
+//! of storage precision so long profiles do not lose mass.
+
+use crate::matrix::ExpressionMatrix;
+use crate::normalize::rank_transform_profile;
+
+/// Summary statistics of one expression profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfileSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (divides by `m`).
+    pub variance: f64,
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+}
+
+/// Compute a [`ProfileSummary`] with a single Welford pass.
+pub fn summarize(values: &[f32]) -> ProfileSummary {
+    assert!(!values.is_empty(), "cannot summarize an empty profile");
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        let x = v as f64;
+        let delta = x - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (x - mean);
+        min = min.min(v);
+        max = max.max(v);
+    }
+    ProfileSummary { mean, variance: m2 / values.len() as f64, min, max }
+}
+
+/// Pearson correlation coefficient of two equal-length profiles.
+///
+/// Returns 0 when either profile is constant (no linear association is
+/// definable), which is the convention the correlation-network baseline
+/// needs to avoid spurious ±1 edges from flat genes.
+///
+/// # Panics
+/// Panics if the profiles differ in length or are empty.
+pub fn pearson(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    assert!(!x.is_empty(), "pearson: empty profiles");
+    let m = x.len() as f64;
+    let mean_x = x.iter().map(|&v| v as f64).sum::<f64>() / m;
+    let mean_y = y.iter().map(|&v| v as f64).sum::<f64>() / m;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for i in 0..x.len() {
+        let dx = x[i] as f64 - mean_x;
+        let dy = y[i] as f64 - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+/// Spearman rank correlation: Pearson on the rank-transformed profiles.
+pub fn spearman(x: &[f32], y: &[f32]) -> f64 {
+    let rx = rank_transform_profile(x);
+    let ry = rank_transform_profile(y);
+    pearson(&rx, &ry)
+}
+
+/// Indices of genes whose variance falls below `threshold` — candidates for
+/// filtering before network construction (near-constant genes carry no MI
+/// signal but cost as much as any other).
+pub fn low_variance_genes(matrix: &ExpressionMatrix, threshold: f64) -> Vec<usize> {
+    (0..matrix.genes()).filter(|&g| summarize(matrix.gene(g)).variance < threshold).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MissingPolicy;
+
+    #[test]
+    fn summary_of_known_profile() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty profile")]
+    fn summary_of_empty_panics() {
+        let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn pearson_perfectly_correlated() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f32> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_profile_is_zero() {
+        assert_eq!(pearson(&[1.0; 4], &[1.0, 2.0, 3.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_independent_axes() {
+        // Symmetric cross pattern has zero linear correlation.
+        let x = [1.0, -1.0, 0.0, 0.0];
+        let y = [0.0, 0.0, 1.0, -1.0];
+        assert!(pearson(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear_relation() {
+        let x: Vec<f32> = (1..=20).map(|i| i as f32).collect();
+        let y: Vec<f32> = x.iter().map(|&v| v.powi(3)).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-6);
+        // Pearson of the same data is noticeably below 1.
+        assert!(pearson(&x, &y) < 0.97);
+    }
+
+    #[test]
+    fn low_variance_filter() {
+        let m = ExpressionMatrix::from_rows(
+            &[vec![1.0, 1.0, 1.0], vec![0.0, 10.0, 20.0], vec![2.0, 2.0, 2.1]],
+            MissingPolicy::Error,
+        )
+        .unwrap();
+        assert_eq!(low_variance_genes(&m, 0.01), vec![0, 2]);
+        assert_eq!(low_variance_genes(&m, 1e-9), vec![0]);
+    }
+}

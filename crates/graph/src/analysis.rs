@@ -1,0 +1,196 @@
+//! Topology analyses beyond the basic metrics: hubs, degree
+//! assortativity, and k-core decomposition.
+//!
+//! These are the descriptive statistics a whole-genome network paper's
+//! biology section reports (hub transcription factors, the disassortative
+//! signature of regulatory networks, dense cores), provided so the
+//! examples can characterize what the pipeline builds.
+
+use crate::network::GeneNetwork;
+
+/// The `k` highest-degree genes as `(gene, degree)`, descending (ties by
+/// index).
+pub fn top_hubs(net: &GeneNetwork, k: usize) -> Vec<(u32, usize)> {
+    let mut degrees: Vec<(u32, usize)> =
+        (0..net.genes()).map(|g| (g as u32, net.degree(g))).collect();
+    degrees.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    degrees.truncate(k);
+    degrees
+}
+
+/// Degree assortativity (Newman's r): the Pearson correlation of the
+/// degrees at the two ends of every edge. Negative for disassortative
+/// graphs (hubs prefer low-degree partners — the empirical signature of
+/// transcriptional networks); `None` for graphs where it is undefined
+/// (fewer than 2 edges, or all endpoint degrees equal).
+pub fn degree_assortativity(net: &GeneNetwork) -> Option<f64> {
+    if net.edge_count() < 2 {
+        return None;
+    }
+    // Over edges (u, v): correlate deg(u) with deg(v), symmetrized.
+    let mut sum_x = 0.0f64;
+    let mut sum_x2 = 0.0f64;
+    let mut sum_xy = 0.0f64;
+    let m2 = (2 * net.edge_count()) as f64; // both orientations
+    for e in net.edges() {
+        let du = net.degree(e.a as usize) as f64;
+        let dv = net.degree(e.b as usize) as f64;
+        // Both orientations keep the statistic symmetric.
+        sum_x += du + dv;
+        sum_x2 += du * du + dv * dv;
+        sum_xy += 2.0 * du * dv;
+    }
+    let mean = sum_x / m2;
+    let var = sum_x2 / m2 - mean * mean;
+    if var <= 0.0 {
+        return None;
+    }
+    let cov = sum_xy / m2 - mean * mean;
+    Some(cov / var)
+}
+
+/// k-core decomposition: `core[g]` is the largest `k` such that gene `g`
+/// belongs to a subgraph where every member has degree ≥ `k` (Batagelj–
+/// Zaveršnik peeling, O(E)).
+pub fn core_numbers(net: &GeneNetwork) -> Vec<u32> {
+    let n = net.genes();
+    let mut degree: Vec<usize> = (0..n).map(|g| net.degree(g)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort vertices by degree.
+    let mut bins = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0usize; n];
+    for g in 0..n {
+        pos[g] = bins[degree[g]];
+        order[pos[g]] = g;
+        bins[degree[g]] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..bins.len()).rev() {
+        bins[d] = bins[d - 1];
+    }
+    bins[0] = 0;
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i];
+        core[v] = degree[v] as u32;
+        for &u in net.neighbors(v) {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap with the first vertex of
+                // its current bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = order[pw];
+                if u != w {
+                    order[pu] = w;
+                    order[pw] = u;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Edge;
+
+    fn star_plus_triangle() -> GeneNetwork {
+        // Gene 0 is a 4-hub; genes 5,6,7 form a triangle.
+        GeneNetwork::from_edges(
+            8,
+            Vec::new(),
+            [
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 2, 1.0),
+                Edge::new(0, 3, 1.0),
+                Edge::new(0, 4, 1.0),
+                Edge::new(5, 6, 1.0),
+                Edge::new(6, 7, 1.0),
+                Edge::new(5, 7, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn hubs_are_ranked_by_degree() {
+        let hubs = top_hubs(&star_plus_triangle(), 3);
+        assert_eq!(hubs[0], (0, 4));
+        assert_eq!(hubs[1].1, 2, "triangle members have degree 2");
+        assert_eq!(top_hubs(&star_plus_triangle(), 100).len(), 8);
+    }
+
+    #[test]
+    fn star_is_perfectly_disassortative() {
+        // A pure star has r = −1 (every edge joins degree n−1 to degree 1).
+        let star = GeneNetwork::from_edges(
+            5,
+            Vec::new(),
+            (1..5).map(|i| Edge::new(0, i, 1.0)).collect::<Vec<_>>(),
+        );
+        let r = degree_assortativity(&star).expect("defined for a 4-edge star");
+        assert!((r + 1.0).abs() < 1e-9, "star assortativity {r}");
+    }
+
+    #[test]
+    fn regular_graph_assortativity_is_undefined() {
+        // A triangle: all degrees equal ⇒ zero variance ⇒ undefined.
+        let tri = GeneNetwork::from_edges(
+            3,
+            Vec::new(),
+            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(0, 2, 1.0)],
+        );
+        assert_eq!(degree_assortativity(&tri), None);
+        assert_eq!(degree_assortativity(&GeneNetwork::empty(4)), None);
+    }
+
+    #[test]
+    fn core_numbers_of_star_plus_triangle() {
+        let core = core_numbers(&star_plus_triangle());
+        // Star leaves and hub peel at k=1; the triangle is a 2-core.
+        assert_eq!(core[0], 1);
+        for leaf in 1..5 {
+            assert_eq!(core[leaf], 1, "leaf {leaf}");
+        }
+        for member in 5..8 {
+            assert_eq!(core[member], 2, "triangle member {member}");
+        }
+    }
+
+    #[test]
+    fn core_numbers_of_clique() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in i + 1..5 {
+                edges.push(Edge::new(i, j, 1.0));
+            }
+        }
+        let clique = GeneNetwork::from_edges(5, Vec::new(), edges);
+        assert!(core_numbers(&clique).iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn isolated_genes_have_core_zero() {
+        let net = GeneNetwork::from_edges(3, Vec::new(), [Edge::new(0, 1, 1.0)]);
+        let core = core_numbers(&net);
+        assert_eq!(core, vec![1, 1, 0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Data Processing Inequality pruning (ARACNE-style extension).
+//!
+//! The relevance network keeps every statistically significant pair, which
+//! includes *indirect* interactions: if gene X regulates Y and Y regulates
+//! Z, the pair (X, Z) often carries significant MI too. ARACNE's classic
+//! refinement removes, from every closed triangle, the edge with the
+//! smallest MI — justified by the data processing inequality
+//! `I(X,Z) ≤ min(I(X,Y), I(Y,Z))` when X→Y→Z forms a Markov chain.
+//!
+//! This is a post-processing extension beyond the IPDPS 2014 paper (which
+//! stops at the relevance network), included because it is the canonical
+//! next step in the method lineage and gives the accuracy experiments a
+//! second operating point.
+
+use crate::network::{Edge, GeneNetwork};
+use std::collections::HashSet;
+
+/// Apply DPI pruning with tolerance `epsilon ∈ [0, 1)`: in every triangle,
+/// the weakest edge is removed unless its weight is within a `(1 − ε)`
+/// factor of the second-weakest (the tolerance keeps near-ties).
+///
+/// Edge removal is decided against the *original* weights (standard
+/// ARACNE semantics: all triangles are examined on the unpruned graph,
+/// marks are applied at the end), so the result is independent of
+/// triangle enumeration order.
+///
+/// # Panics
+/// Panics if `epsilon` is outside `[0, 1)`.
+pub fn dpi_prune(net: &GeneNetwork, epsilon: f32) -> GeneNetwork {
+    assert!((0.0..1.0).contains(&epsilon), "epsilon must lie in [0, 1)");
+    let mut doomed: HashSet<(u32, u32)> = HashSet::new();
+
+    for g in 0..net.genes() {
+        let g = g as u32;
+        let neigh = net.neighbors(g as usize);
+        for (ai, &a) in neigh.iter().enumerate() {
+            // Only examine each triangle once: demand g < a < b.
+            if a <= g {
+                continue;
+            }
+            for &b in &neigh[ai + 1..] {
+                if b <= a {
+                    continue;
+                }
+                let Some(w_ab) = net.weight(a, b) else { continue };
+                let w_ga = net.weight(g, a).expect("a is a neighbor of g");
+                let w_gb = net.weight(g, b).expect("b is a neighbor of g");
+
+                // Identify the weakest edge of the triangle.
+                let edges = [((g, a), w_ga), ((g, b), w_gb), ((a, b), w_ab)];
+                let (weak_idx, &(weak_key, weak_w)) = edges
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (_, x)), (_, (_, y))| {
+                        x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("three edges");
+                let second = edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != weak_idx)
+                    .map(|(_, (_, w))| *w)
+                    .fold(f32::INFINITY, f32::min);
+
+                if weak_w < second * (1.0 - epsilon) {
+                    doomed.insert(weak_key);
+                }
+            }
+        }
+    }
+
+    let kept: Vec<Edge> =
+        net.edges().iter().filter(|e| !doomed.contains(&e.key())).copied().collect();
+    GeneNetwork::from_edges(net.genes(), net.gene_names().to_vec(), kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_triangle() -> GeneNetwork {
+        // X—Y strong, Y—Z strong, X—Z weak (indirect).
+        GeneNetwork::from_edges(
+            3,
+            Vec::new(),
+            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 0.9), Edge::new(0, 2, 0.3)],
+        )
+    }
+
+    #[test]
+    fn weakest_triangle_edge_is_removed() {
+        let pruned = dpi_prune(&chain_triangle(), 0.0);
+        assert_eq!(pruned.edge_count(), 2);
+        assert!(pruned.has_edge(0, 1));
+        assert!(pruned.has_edge(1, 2));
+        assert!(!pruned.has_edge(0, 2), "indirect edge must fall");
+    }
+
+    #[test]
+    fn tolerance_keeps_near_ties() {
+        let net = GeneNetwork::from_edges(
+            3,
+            Vec::new(),
+            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 0.98), Edge::new(0, 2, 0.95)],
+        );
+        // ε = 0.1: weakest (0.95) is within 10% of 0.98 ⇒ keep everything.
+        assert_eq!(dpi_prune(&net, 0.1).edge_count(), 3);
+        // ε = 0: strict inequality removes it.
+        assert_eq!(dpi_prune(&net, 0.0).edge_count(), 2);
+    }
+
+    #[test]
+    fn triangle_free_graph_is_unchanged() {
+        let path = GeneNetwork::from_edges(
+            4,
+            Vec::new(),
+            [Edge::new(0, 1, 0.5), Edge::new(1, 2, 0.4), Edge::new(2, 3, 0.3)],
+        );
+        let pruned = dpi_prune(&path, 0.0);
+        assert_eq!(pruned.edges(), path.edges());
+    }
+
+    #[test]
+    fn marks_use_original_graph_not_incremental_removal() {
+        // Two triangles sharing the weak edge (1,2): removing it once must
+        // not change the verdict for the second triangle's own weak edge.
+        let net = GeneNetwork::from_edges(
+            4,
+            Vec::new(),
+            [
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 2, 0.9),
+                Edge::new(1, 2, 0.2), // weakest in both triangles
+                Edge::new(1, 3, 0.8),
+                Edge::new(2, 3, 0.7),
+            ],
+        );
+        let pruned = dpi_prune(&net, 0.0);
+        assert!(!pruned.has_edge(1, 2));
+        // All other edges survive: in triangle (1,2,3) the weakest was
+        // also (1,2).
+        assert_eq!(pruned.edge_count(), 4);
+    }
+
+    #[test]
+    fn equal_weight_triangle_loses_no_edges_at_zero_epsilon() {
+        // weak < second * (1-0) is false when all equal ⇒ keep all.
+        let net = GeneNetwork::from_edges(
+            3,
+            Vec::new(),
+            [Edge::new(0, 1, 0.5), Edge::new(1, 2, 0.5), Edge::new(0, 2, 0.5)],
+        );
+        assert_eq!(dpi_prune(&net, 0.0).edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_rejected() {
+        let _ = dpi_prune(&chain_triangle(), 1.0);
+    }
+}

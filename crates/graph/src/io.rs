@@ -1,0 +1,188 @@
+//! Network interchange: TSV edge lists and a minimal JSON export.
+
+use crate::network::{Edge, GeneNetwork};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from network parsing.
+#[derive(Debug)]
+pub enum NetIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed edge line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetIoError {}
+
+impl From<std::io::Error> for NetIoError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Write the network as a TSV edge list: `gene_a<TAB>gene_b<TAB>weight`
+/// using gene *names*, one edge per line, preceded by a comment header.
+pub fn write_edge_list<W: Write>(net: &GeneNetwork, mut writer: W) -> Result<(), NetIoError> {
+    writeln!(writer, "# genes={} edges={}", net.genes(), net.edge_count())?;
+    writeln!(writer, "gene_a\tgene_b\tmi_nats")?;
+    let names = net.gene_names();
+    for e in net.edges() {
+        writeln!(writer, "{}\t{}\t{}", names[e.a as usize], names[e.b as usize], e.weight)?;
+    }
+    Ok(())
+}
+
+/// Read a TSV edge list written by [`write_edge_list`] (or by hand with
+/// numeric gene indices in place of names). `genes` fixes the node count;
+/// name tokens resolve by exact match against `names`, falling back to a
+/// numeric index parse. Pass an empty `names` for index-only files.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    genes: usize,
+    names: Vec<String>,
+) -> Result<GeneNetwork, NetIoError> {
+    let name_index: std::collections::HashMap<&str, u32> =
+        names.iter().enumerate().map(|(i, n)| (n.as_str(), i as u32)).collect();
+    let resolve = |token: &str, line: usize| -> Result<u32, NetIoError> {
+        if let Some(&idx) = name_index.get(token) {
+            return Ok(idx);
+        }
+        token
+            .parse::<u32>()
+            .map_err(|_| NetIoError::Parse { line, message: format!("unknown gene {token:?}") })
+    };
+
+    let mut edges = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with("gene_a") {
+            continue;
+        }
+        let mut parts = trimmed.split('\t');
+        let (Some(a), Some(b), Some(w)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(NetIoError::Parse {
+                line: lineno,
+                message: "expected 3 tab-separated fields".into(),
+            });
+        };
+        let a = resolve(a, lineno)?;
+        let b = resolve(b, lineno)?;
+        let w: f32 = w
+            .parse()
+            .map_err(|_| NetIoError::Parse { line: lineno, message: format!("bad weight {w:?}") })?;
+        edges.push(Edge::new(a, b, w));
+    }
+    Ok(GeneNetwork::from_edges(genes, names, edges))
+}
+
+/// Minimal JSON export (`{"genes":N,"edges":[[a,b,w],…]}`). The full
+/// structure also derives `serde::Serialize` for callers that want richer
+/// formats through their own serializer.
+pub fn to_json(net: &GeneNetwork) -> String {
+    let mut s = String::new();
+    s.push_str("{\"genes\":");
+    s.push_str(&net.genes().to_string());
+    s.push_str(",\"edges\":[");
+    for (i, e) in net.edges().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("[{},{},{}]", e.a, e.b, e.weight));
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> GeneNetwork {
+        GeneNetwork::from_edges(
+            4,
+            vec!["alpha".into(), "beta".into(), "gamma".into(), "delta".into()],
+            [Edge::new(0, 1, 0.75), Edge::new(2, 3, 0.5)],
+        )
+    }
+
+    #[test]
+    fn edge_list_roundtrip_with_names() {
+        let net = demo();
+        let mut buf = Vec::new();
+        write_edge_list(&net, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("alpha\tbeta\t0.75"));
+        let back = read_edge_list(&buf[..], 4, net.gene_names().to_vec()).unwrap();
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn numeric_indices_accepted() {
+        let text = "0\t2\t0.9\n1\t3\t0.1\n";
+        let net = read_edge_list(text.as_bytes(), 4, Vec::new()).unwrap();
+        assert_eq!(net.edge_count(), 2);
+        assert_eq!(net.weight(0, 2), Some(0.9));
+    }
+
+    #[test]
+    fn comments_headers_and_blanks_are_skipped() {
+        let text = "# a comment\ngene_a\tgene_b\tmi_nats\n\n0\t1\t0.4\n";
+        let net = read_edge_list(text.as_bytes(), 2, Vec::new()).unwrap();
+        assert_eq!(net.edge_count(), 1);
+    }
+
+    #[test]
+    fn unknown_gene_reports_line() {
+        let text = "0\t1\t0.4\nzzz\t1\t0.2\n";
+        match read_edge_list(text.as_bytes(), 2, Vec::new()) {
+            Err(NetIoError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("zzz"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_line_rejected() {
+        let text = "0\t1\n";
+        assert!(read_edge_list(text.as_bytes(), 2, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn bad_weight_rejected() {
+        let text = "0\t1\tnot-a-number\n";
+        assert!(read_edge_list(text.as_bytes(), 2, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let j = to_json(&demo());
+        assert_eq!(j, "{\"genes\":4,\"edges\":[[0,1,0.75],[2,3,0.5]]}");
+    }
+
+    #[test]
+    fn serde_json_roundtrip() {
+        let net = demo();
+        let s = serde_json::to_string(&net).unwrap();
+        let back: GeneNetwork = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, net);
+    }
+}

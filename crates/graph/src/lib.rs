@@ -1,0 +1,21 @@
+//! The inferred gene network: storage, analysis, and interchange.
+//!
+//! The pipeline's output is an undirected, MI-weighted graph over the gene
+//! set. This crate keeps it in a compact sorted edge list with an
+//! on-demand CSR adjacency ([`network`]), provides the graph measures the
+//! evaluation reports ([`metrics`]: degree distributions, connected
+//! components, and precision/recall against a planted ground truth), the
+//! ARACNE-style Data Processing Inequality pruning extension ([`dpi`]),
+//! and edge-list I/O ([`io`]).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dpi;
+pub mod io;
+pub mod metrics;
+pub mod network;
+
+pub use analysis::{core_numbers, degree_assortativity, top_hubs};
+pub use metrics::{connected_components, recovery_score, RecoveryScore};
+pub use network::{Edge, GeneNetwork};

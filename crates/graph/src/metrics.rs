@@ -1,0 +1,222 @@
+//! Graph measures and ground-truth recovery scoring.
+
+use crate::network::GeneNetwork;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Connected components by union–find (path halving + union by size).
+/// Returns one sorted vector of gene indices per component, largest first.
+pub fn connected_components(net: &GeneNetwork) -> Vec<Vec<u32>> {
+    let n = net.genes();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut size = vec![1u32; n];
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    for e in net.edges() {
+        let ra = find(&mut parent, e.a);
+        let rb = find(&mut parent, e.b);
+        if ra != rb {
+            let (big, small) =
+                if size[ra as usize] >= size[rb as usize] { (ra, rb) } else { (rb, ra) };
+            parent[small as usize] = big;
+            size[big as usize] += size[small as usize];
+        }
+    }
+
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for g in 0..n as u32 {
+        let root = find(&mut parent, g);
+        groups.entry(root).or_default().push(g);
+    }
+    let mut components: Vec<Vec<u32>> = groups.into_values().collect();
+    for c in &mut components {
+        c.sort_unstable();
+    }
+    components.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    components
+}
+
+/// Precision/recall of an inferred network against a planted edge set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryScore {
+    /// Planted edges recovered.
+    pub true_positives: usize,
+    /// Inferred edges not in the truth.
+    pub false_positives: usize,
+    /// Planted edges missed.
+    pub false_negatives: usize,
+}
+
+impl RecoveryScore {
+    /// Precision `TP / (TP + FP)`; 1.0 when nothing was inferred.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`; 1.0 when nothing was planted.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Score `net` against the planted undirected edge set `truth` (endpoint
+/// order in `truth` is irrelevant).
+pub fn recovery_score(net: &GeneNetwork, truth: &[(u32, u32)]) -> RecoveryScore {
+    let truth_set: HashSet<(u32, u32)> =
+        truth.iter().map(|&(i, j)| if i < j { (i, j) } else { (j, i) }).collect();
+    let inferred: HashSet<(u32, u32)> = net.edges().iter().map(|e| e.key()).collect();
+    let tp = inferred.intersection(&truth_set).count();
+    RecoveryScore {
+        true_positives: tp,
+        false_positives: inferred.len() - tp,
+        false_negatives: truth_set.len() - tp,
+    }
+}
+
+/// Global clustering coefficient: `3 × triangles / open triads`. Returns 0
+/// for triangle-free graphs.
+pub fn clustering_coefficient(net: &GeneNetwork) -> f64 {
+    let mut triangles = 0u64;
+    let mut triads = 0u64;
+    for g in 0..net.genes() {
+        let d = net.degree(g) as u64;
+        triads += d * d.saturating_sub(1) / 2;
+        let neigh = net.neighbors(g);
+        for (ai, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[ai + 1..] {
+                if net.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    // Each triangle is counted once per corner = 3 times.
+    if triads == 0 {
+        0.0
+    } else {
+        triangles as f64 / triads as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Edge;
+
+    fn path_and_isolated() -> GeneNetwork {
+        // 0-1-2 path, 3 isolated, 4-5 pair.
+        GeneNetwork::from_edges(
+            6,
+            Vec::new(),
+            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(4, 5, 1.0)],
+        )
+    }
+
+    #[test]
+    fn components_of_path_and_isolated() {
+        let comps = connected_components(&path_and_isolated());
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![4, 5]);
+        assert_eq!(comps[2], vec![3]);
+    }
+
+    #[test]
+    fn components_of_empty_network_are_singletons() {
+        let comps = connected_components(&GeneNetwork::empty(4));
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in i + 1..5 {
+                edges.push(Edge::new(i, j, 1.0));
+            }
+        }
+        let comps = connected_components(&GeneNetwork::from_edges(5, Vec::new(), edges));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recovery_score_counts() {
+        let net = path_and_isolated();
+        // Truth: (0,1) recovered, (2,3) missed; (1,2) and (4,5) are FPs.
+        let score = recovery_score(&net, &[(1, 0), (2, 3)]);
+        assert_eq!(score.true_positives, 1);
+        assert_eq!(score.false_positives, 2);
+        assert_eq!(score.false_negatives, 1);
+        assert!((score.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((score.recall() - 0.5).abs() < 1e-12);
+        let f1 = score.f1();
+        assert!((f1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_recovery() {
+        let net = path_and_isolated();
+        let truth: Vec<(u32, u32)> = net.edges().iter().map(|e| e.key()).collect();
+        let score = recovery_score(&net, &truth);
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 1.0);
+        assert_eq!(score.f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_cases_are_well_defined() {
+        let score = recovery_score(&GeneNetwork::empty(3), &[]);
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 1.0);
+
+        let score2 = recovery_score(&GeneNetwork::empty(3), &[(0, 1)]);
+        assert_eq!(score2.precision(), 1.0, "no inferences ⇒ no false positives");
+        assert_eq!(score2.recall(), 0.0);
+        assert_eq!(score2.f1(), 0.0);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_triangle_is_one() {
+        let tri = GeneNetwork::from_edges(
+            3,
+            Vec::new(),
+            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(0, 2, 1.0)],
+        );
+        assert!((clustering_coefficient(&tri) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_path_is_zero() {
+        assert_eq!(clustering_coefficient(&path_and_isolated()), 0.0);
+    }
+}

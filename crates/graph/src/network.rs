@@ -1,0 +1,312 @@
+//! Compact undirected weighted network storage.
+
+use serde::{Deserialize, Serialize};
+
+/// One undirected edge with its MI weight (nats). Endpoints are stored
+/// normalized (`a < b`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub a: u32,
+    /// Larger endpoint.
+    pub b: u32,
+    /// Mutual information of the pair, in nats.
+    pub weight: f32,
+}
+
+impl Edge {
+    /// Build an edge, normalizing endpoint order.
+    ///
+    /// # Panics
+    /// Panics on a self-loop.
+    pub fn new(i: u32, j: u32, weight: f32) -> Self {
+        assert_ne!(i, j, "gene networks have no self-loops");
+        if i < j {
+            Self { a: i, b: j, weight }
+        } else {
+            Self { a: j, b: i, weight }
+        }
+    }
+
+    /// Canonical `(a, b)` key.
+    pub fn key(&self) -> (u32, u32) {
+        (self.a, self.b)
+    }
+}
+
+/// An undirected MI-weighted gene network: sorted edge list + CSR
+/// adjacency.
+///
+/// ```
+/// use gnet_graph::{Edge, GeneNetwork};
+/// let net = GeneNetwork::from_edges(4, Vec::new(), [
+///     Edge::new(0, 1, 0.9),
+///     Edge::new(2, 1, 0.4), // endpoint order is normalized
+/// ]);
+/// assert_eq!(net.degree(1), 2);
+/// assert_eq!(net.weight(1, 2), Some(0.4));
+/// assert!(!net.has_edge(0, 3));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneNetwork {
+    genes: usize,
+    gene_names: Vec<String>,
+    /// Sorted by `(a, b)`, unique.
+    edges: Vec<Edge>,
+    /// CSR offsets (genes + 1 entries) into `csr_neighbors`.
+    csr_offsets: Vec<u32>,
+    /// Neighbor list, both directions.
+    csr_neighbors: Vec<u32>,
+}
+
+impl GeneNetwork {
+    /// Build from an arbitrary edge list. Edges are normalized, sorted and
+    /// deduplicated (last write wins on duplicates).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or `names.len() != genes`
+    /// (pass an empty vector to get default names).
+    pub fn from_edges(genes: usize, names: Vec<String>, raw: impl IntoIterator<Item = Edge>) -> Self {
+        let gene_names = if names.is_empty() {
+            (0..genes).map(|g| format!("G{g:05}")).collect()
+        } else {
+            assert_eq!(names.len(), genes, "one name per gene");
+            names
+        };
+        let mut edges: Vec<Edge> = raw
+            .into_iter()
+            .inspect(|e| {
+                assert!((e.b as usize) < genes, "edge endpoint {} out of range", e.b);
+                assert!(e.a < e.b, "edges must be normalized (Edge::new does this)");
+            })
+            .collect();
+        edges.sort_by_key(Edge::key);
+        edges.dedup_by(|later, earlier| {
+            if later.key() == earlier.key() {
+                earlier.weight = later.weight;
+                true
+            } else {
+                false
+            }
+        });
+
+        // CSR over both directions.
+        let mut degree = vec![0u32; genes];
+        for e in &edges {
+            degree[e.a as usize] += 1;
+            degree[e.b as usize] += 1;
+        }
+        let mut csr_offsets = Vec::with_capacity(genes + 1);
+        let mut acc = 0u32;
+        csr_offsets.push(0);
+        for d in &degree {
+            acc += d;
+            csr_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = csr_offsets[..genes].to_vec();
+        let mut csr_neighbors = vec![0u32; edges.len() * 2];
+        for e in &edges {
+            csr_neighbors[cursor[e.a as usize] as usize] = e.b;
+            cursor[e.a as usize] += 1;
+            csr_neighbors[cursor[e.b as usize] as usize] = e.a;
+            cursor[e.b as usize] += 1;
+        }
+
+        Self { genes, gene_names, edges, csr_offsets, csr_neighbors }
+    }
+
+    /// An empty network over `genes` genes.
+    pub fn empty(genes: usize) -> Self {
+        Self::from_edges(genes, Vec::new(), std::iter::empty())
+    }
+
+    /// Number of genes (nodes).
+    pub fn genes(&self) -> usize {
+        self.genes
+    }
+
+    /// Gene names.
+    pub fn gene_names(&self) -> &[String] {
+        &self.gene_names
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The sorted edge list.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Degree of gene `g`.
+    pub fn degree(&self, g: usize) -> usize {
+        (self.csr_offsets[g + 1] - self.csr_offsets[g]) as usize
+    }
+
+    /// Neighbors of gene `g`, ascending.
+    pub fn neighbors(&self, g: usize) -> &[u32] {
+        &self.csr_neighbors[self.csr_offsets[g] as usize..self.csr_offsets[g + 1] as usize]
+    }
+
+    /// Does the network contain edge `(i, j)`?
+    pub fn has_edge(&self, i: u32, j: u32) -> bool {
+        self.weight(i, j).is_some()
+    }
+
+    /// Weight of edge `(i, j)` if present.
+    pub fn weight(&self, i: u32, j: u32) -> Option<f32> {
+        if i == j {
+            return None;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.edges
+            .binary_search_by_key(&(a, b), Edge::key)
+            .ok()
+            .map(|idx| self.edges[idx].weight)
+    }
+
+    /// The `k` heaviest edges, descending by weight (ties by key).
+    pub fn top_edges(&self, k: usize) -> Vec<Edge> {
+        let mut sorted = self.edges.clone();
+        sorted.sort_by(|x, y| {
+            y.weight.partial_cmp(&x.weight).unwrap_or(std::cmp::Ordering::Equal).then(x.key().cmp(&y.key()))
+        });
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// Histogram of node degrees: `out[d]` = number of genes with degree
+    /// `d` (trailing zeros trimmed).
+    pub fn degree_distribution(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.genes.max(1)];
+        let mut max_d = 0;
+        for g in 0..self.genes {
+            let d = self.degree(g);
+            hist[d] += 1;
+            max_d = max_d.max(d);
+        }
+        hist.truncate(max_d + 1);
+        hist
+    }
+
+    /// Density: edges over possible pairs.
+    pub fn density(&self) -> f64 {
+        let pairs = self.genes as f64 * (self.genes as f64 - 1.0) / 2.0;
+        if pairs > 0.0 {
+            self.edges.len() as f64 / pairs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> GeneNetwork {
+        GeneNetwork::from_edges(
+            5,
+            Vec::new(),
+            [
+                Edge::new(0, 1, 0.9),
+                Edge::new(3, 0, 0.5), // reversed endpoints on purpose
+                Edge::new(1, 2, 0.7),
+            ],
+        )
+    }
+
+    #[test]
+    fn edge_normalizes_endpoints() {
+        let e = Edge::new(7, 3, 1.0);
+        assert_eq!((e.a, e.b), (3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-loops")]
+    fn self_loop_rejected() {
+        let _ = Edge::new(2, 2, 1.0);
+    }
+
+    #[test]
+    fn adjacency_is_consistent_with_edges() {
+        let g = demo();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn weight_lookup_both_orders() {
+        let g = demo();
+        assert_eq!(g.weight(0, 3), Some(0.5));
+        assert_eq!(g.weight(3, 0), Some(0.5));
+        assert_eq!(g.weight(0, 0), None);
+        assert_eq!(g.weight(0, 4), None);
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn duplicate_edges_keep_last_weight() {
+        let g = GeneNetwork::from_edges(
+            3,
+            Vec::new(),
+            [Edge::new(0, 1, 0.1), Edge::new(1, 0, 0.9)],
+        );
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.weight(0, 1), Some(0.9));
+    }
+
+    #[test]
+    fn top_edges_sorted_by_weight() {
+        let g = demo();
+        let top = g.top_edges(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].weight, 0.9);
+        assert_eq!(top[1].weight, 0.7);
+        assert_eq!(g.top_edges(100).len(), 3);
+    }
+
+    #[test]
+    fn degree_distribution_counts() {
+        let g = demo();
+        // Degrees: [2, 2, 1, 1, 0] → hist [1, 2, 2].
+        assert_eq!(g.degree_distribution(), vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn density_of_demo() {
+        let g = demo();
+        assert!((g.density() - 0.3).abs() < 1e-12); // 3 / C(5,2)=10
+        assert_eq!(GeneNetwork::empty(1).density(), 0.0);
+    }
+
+    #[test]
+    fn default_names_generated() {
+        let g = demo();
+        assert_eq!(g.gene_names()[3], "G00003");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = GeneNetwork::from_edges(3, Vec::new(), [Edge::new(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn empty_network() {
+        let g = GeneNetwork::empty(4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree_distribution(), vec![4]);
+        for i in 0..4 {
+            assert_eq!(g.degree(i), 0);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Ground-truth regulatory topologies.
+//!
+//! Regulatory edges are *directed* (regulator → target) and oriented from
+//! lower to higher gene index, making every generated topology a DAG whose
+//! topological order is simply `0..n` — which is what lets the kinetics
+//! stage compute a steady state in one forward pass. The inference target
+//! (what MI can recover) is the undirected skeleton.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which random topology family to draw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TopologyKind {
+    /// Preferential attachment (Barabási–Albert): heavy-tailed degrees,
+    /// matching empirical transcriptional networks.
+    #[default]
+    ScaleFree,
+    /// Erdős–Rényi with matched expected edge count, as a control.
+    ErdosRenyi,
+}
+
+/// One directed regulatory interaction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Regulation {
+    /// Regulator gene (always `< target`).
+    pub regulator: u32,
+    /// Target gene.
+    pub target: u32,
+    /// +1 activation, −1 repression.
+    pub sign: i8,
+    /// Interaction strength in `[0.4, 1.0]`.
+    pub strength: f32,
+}
+
+/// A ground-truth regulatory network (DAG by construction).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthNetwork {
+    genes: usize,
+    regulations: Vec<Regulation>,
+    /// `incoming[g]` = indices into `regulations` whose target is `g`.
+    incoming: Vec<Vec<u32>>,
+}
+
+impl GroundTruthNetwork {
+    /// Draw a topology of `genes` genes with roughly `avg_degree`
+    /// undirected mean degree.
+    ///
+    /// # Panics
+    /// Panics if `genes < 2` or `avg_degree <= 0`.
+    pub fn generate(kind: TopologyKind, genes: usize, avg_degree: f64, seed: u64) -> Self {
+        assert!(genes >= 2, "need at least two genes");
+        assert!(avg_degree > 0.0, "average degree must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = match kind {
+            TopologyKind::ScaleFree => scale_free_edges(genes, avg_degree, &mut rng),
+            TopologyKind::ErdosRenyi => erdos_renyi_edges(genes, avg_degree, &mut rng),
+        };
+        Self::from_pairs(genes, &pairs, &mut rng)
+    }
+
+    /// Build from explicit undirected pairs, orienting low → high and
+    /// drawing random signs/strengths.
+    pub fn from_pairs(genes: usize, pairs: &[(u32, u32)], rng: &mut StdRng) -> Self {
+        let mut regulations = Vec::with_capacity(pairs.len());
+        let mut incoming = vec![Vec::new(); genes];
+        let mut seen = std::collections::HashSet::new();
+        for &(i, j) in pairs {
+            assert!(i != j, "self-regulation is not representable");
+            assert!((i as usize) < genes && (j as usize) < genes, "edge out of range");
+            let (regulator, target) = if i < j { (i, j) } else { (j, i) };
+            if !seen.insert((regulator, target)) {
+                continue;
+            }
+            let sign: i8 = if rng.gen_bool(0.65) { 1 } else { -1 }; // activation-biased
+            let strength = rng.gen_range(0.4f32..=1.0);
+            incoming[target as usize].push(regulations.len() as u32);
+            regulations.push(Regulation { regulator, target, sign, strength });
+        }
+        Self { genes, regulations, incoming }
+    }
+
+    /// Number of genes.
+    pub fn genes(&self) -> usize {
+        self.genes
+    }
+
+    /// All directed regulations.
+    pub fn regulations(&self) -> &[Regulation] {
+        &self.regulations
+    }
+
+    /// Regulations targeting gene `g`.
+    pub fn regulators_of(&self, g: usize) -> impl Iterator<Item = &Regulation> + '_ {
+        self.incoming[g].iter().map(move |&idx| &self.regulations[idx as usize])
+    }
+
+    /// Is `g` a root (no regulators)?
+    pub fn is_root(&self, g: usize) -> bool {
+        self.incoming[g].is_empty()
+    }
+
+    /// The undirected skeleton — the edge set MI-based inference targets.
+    pub fn skeleton(&self) -> Vec<(u32, u32)> {
+        self.regulations.iter().map(|r| (r.regulator, r.target)).collect()
+    }
+
+    /// Undirected degree of each gene.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.genes];
+        for r in &self.regulations {
+            d[r.regulator as usize] += 1;
+            d[r.target as usize] += 1;
+        }
+        d
+    }
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches
+/// `m = avg_degree / 2` (rounded, ≥ 1) edges to existing nodes with
+/// probability proportional to their current degree.
+fn scale_free_edges(genes: usize, avg_degree: f64, rng: &mut StdRng) -> Vec<(u32, u32)> {
+    let m = ((avg_degree / 2.0).round() as usize).max(1);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Repeated-endpoints list: sampling uniformly from it is sampling
+    // proportional to degree.
+    let mut endpoint_pool: Vec<u32> = Vec::new();
+
+    // Seed clique over the first m+1 nodes.
+    let seed_n = (m + 1).min(genes);
+    for i in 0..seed_n as u32 {
+        for j in i + 1..seed_n as u32 {
+            edges.push((i, j));
+            endpoint_pool.push(i);
+            endpoint_pool.push(j);
+        }
+    }
+
+    for v in seed_n as u32..genes as u32 {
+        let mut targets = std::collections::HashSet::new();
+        let mut guard = 0;
+        while targets.len() < m && guard < 100 * m {
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            targets.insert(t);
+            guard += 1;
+        }
+        // HashSet iteration order is instance-random; sort for
+        // reproducibility of both the edge order and the RNG consumption
+        // downstream.
+        let mut targets: Vec<u32> = targets.into_iter().collect();
+        targets.sort_unstable();
+        for &t in &targets {
+            edges.push((t.min(v), t.max(v)));
+            endpoint_pool.push(t);
+            endpoint_pool.push(v);
+        }
+    }
+    edges
+}
+
+/// Erdős–Rényi with expected edge count `genes · avg_degree / 2`, sampled
+/// by index pairs.
+fn erdos_renyi_edges(genes: usize, avg_degree: f64, rng: &mut StdRng) -> Vec<(u32, u32)> {
+    let target_edges = ((genes as f64 * avg_degree) / 2.0).round() as usize;
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::with_capacity(target_edges);
+    let max_possible = genes * (genes - 1) / 2;
+    let want = target_edges.min(max_possible);
+    while edges.len() < want {
+        let i = rng.gen_range(0..genes as u32);
+        let j = rng.gen_range(0..genes as u32);
+        if i == j {
+            continue;
+        }
+        let key = (i.min(j), i.max(j));
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GroundTruthNetwork::generate(TopologyKind::ScaleFree, 100, 4.0, 9);
+        let b = GroundTruthNetwork::generate(TopologyKind::ScaleFree, 100, 4.0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edges_are_dag_oriented() {
+        for kind in [TopologyKind::ScaleFree, TopologyKind::ErdosRenyi] {
+            let net = GroundTruthNetwork::generate(kind, 200, 3.0, 5);
+            for r in net.regulations() {
+                assert!(r.regulator < r.target, "{kind:?}: must orient low → high");
+                assert!((0.4..=1.0).contains(&r.strength));
+                assert!(r.sign == 1 || r.sign == -1);
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        let net = GroundTruthNetwork::generate(TopologyKind::ScaleFree, 300, 6.0, 2);
+        let mut seen = std::collections::HashSet::new();
+        for r in net.regulations() {
+            assert!(seen.insert((r.regulator, r.target)), "duplicate regulation");
+        }
+    }
+
+    #[test]
+    fn average_degree_is_approximately_requested() {
+        for kind in [TopologyKind::ScaleFree, TopologyKind::ErdosRenyi] {
+            let net = GroundTruthNetwork::generate(kind, 1000, 4.0, 7);
+            let mean = net.degrees().iter().sum::<usize>() as f64 / 1000.0;
+            assert!((mean - 4.0).abs() < 1.0, "{kind:?}: mean degree {mean}");
+        }
+    }
+
+    #[test]
+    fn scale_free_has_heavier_tail_than_er() {
+        let sf = GroundTruthNetwork::generate(TopologyKind::ScaleFree, 2000, 4.0, 3);
+        let er = GroundTruthNetwork::generate(TopologyKind::ErdosRenyi, 2000, 4.0, 3);
+        let max_sf = *sf.degrees().iter().max().unwrap();
+        let max_er = *er.degrees().iter().max().unwrap();
+        assert!(
+            max_sf > 2 * max_er,
+            "scale-free hub degree {max_sf} should dwarf ER max {max_er}"
+        );
+    }
+
+    #[test]
+    fn roots_exist_and_have_no_regulators() {
+        let net = GroundTruthNetwork::generate(TopologyKind::ScaleFree, 50, 2.0, 1);
+        assert!(net.is_root(0), "gene 0 can never have a lower-index regulator");
+        for g in 0..50 {
+            if net.is_root(g) {
+                assert_eq!(net.regulators_of(g).count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_matches_regulations() {
+        let net = GroundTruthNetwork::generate(TopologyKind::ErdosRenyi, 40, 3.0, 11);
+        let sk = net.skeleton();
+        assert_eq!(sk.len(), net.regulations().len());
+        for (pair, reg) in sk.iter().zip(net.regulations()) {
+            assert_eq!(*pair, (reg.regulator, reg.target));
+        }
+    }
+
+    #[test]
+    fn incoming_index_is_consistent() {
+        let net = GroundTruthNetwork::generate(TopologyKind::ScaleFree, 120, 5.0, 13);
+        let mut count = 0;
+        for g in 0..net.genes() {
+            for r in net.regulators_of(g) {
+                assert_eq!(r.target as usize, g);
+                count += 1;
+            }
+        }
+        assert_eq!(count, net.regulations().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two genes")]
+    fn tiny_network_rejected() {
+        let _ = GroundTruthNetwork::generate(TopologyKind::ScaleFree, 1, 2.0, 0);
+    }
+}

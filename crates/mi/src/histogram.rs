@@ -1,0 +1,153 @@
+//! Equal-width histogram MI estimator (the classical baseline).
+//!
+//! Each normalized sample is assigned to exactly one of `b` bins; marginal
+//! and joint distributions are plain frequency tables. Equivalent to the
+//! B-spline estimator at order 1 (asserted by a cross-crate test), but kept
+//! as an independent implementation so the equivalence test is meaningful.
+
+use crate::entropy::entropy_from_counts;
+
+/// Equal-width histogram estimator over `[0, 1]`-normalized profiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramEstimator {
+    bins: usize,
+}
+
+impl HistogramEstimator {
+    /// Create an estimator with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `bins < 2`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins >= 2, "need at least two bins");
+        Self { bins }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Bin index of a normalized value (clamped into range).
+    #[inline(always)]
+    pub fn bin_of(&self, x: f32) -> usize {
+        let idx = (x.clamp(0.0, 1.0) * self.bins as f32) as usize;
+        idx.min(self.bins - 1)
+    }
+
+    /// Marginal entropy (nats) of one normalized profile.
+    pub fn entropy(&self, x: &[f32]) -> f64 {
+        assert!(!x.is_empty(), "empty profile");
+        let mut counts = vec![0.0f32; self.bins];
+        for &v in x {
+            counts[self.bin_of(v)] += 1.0;
+        }
+        entropy_from_counts(&counts, x.len() as f64)
+    }
+
+    /// Mutual information (nats) of two equal-length normalized profiles.
+    ///
+    /// # Panics
+    /// Panics if the profiles differ in length or are empty.
+    pub fn mi(&self, x: &[f32], y: &[f32]) -> f64 {
+        assert_eq!(x.len(), y.len(), "mi: length mismatch");
+        assert!(!x.is_empty(), "mi: empty profiles");
+        let b = self.bins;
+        let mut joint = vec![0.0f32; b * b];
+        let mut px = vec![0.0f32; b];
+        let mut py = vec![0.0f32; b];
+        for i in 0..x.len() {
+            let u = self.bin_of(x[i]);
+            let v = self.bin_of(y[i]);
+            joint[u * b + v] += 1.0;
+            px[u] += 1.0;
+            py[v] += 1.0;
+        }
+        let m = x.len() as f64;
+        let hx = entropy_from_counts(&px, m);
+        let hy = entropy_from_counts(&py, m);
+        let hxy = entropy_from_counts(&joint, m);
+        hx + hy - hxy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnet_expr::normalize::rank_transform_profile;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    #[should_panic(expected = "at least two bins")]
+    fn one_bin_rejected() {
+        let _ = HistogramEstimator::new(1);
+    }
+
+    #[test]
+    fn bin_assignment_boundaries() {
+        let h = HistogramEstimator::new(4);
+        assert_eq!(h.bin_of(0.0), 0);
+        assert_eq!(h.bin_of(0.24), 0);
+        assert_eq!(h.bin_of(0.25), 1);
+        assert_eq!(h.bin_of(0.999), 3);
+        assert_eq!(h.bin_of(1.0), 3, "right edge belongs to the last bin");
+        assert_eq!(h.bin_of(-5.0), 0);
+        assert_eq!(h.bin_of(7.0), 3);
+    }
+
+    #[test]
+    fn entropy_of_uniform_grid_is_log_bins() {
+        let h = HistogramEstimator::new(8);
+        // 800 evenly spread points → exactly 100 per bin.
+        let x: Vec<f32> = (0..800).map(|i| (i as f32 + 0.5) / 800.0).collect();
+        assert!((h.entropy(&x) - 8.0f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_mi_equals_marginal_entropy() {
+        let h = HistogramEstimator::new(10);
+        let x: Vec<f32> = (0..500).map(|i| ((i * 37) % 500) as f32 / 499.0).collect();
+        let hx = h.entropy(&x);
+        let mi = h.mi(&x, &x);
+        assert!((mi - hx).abs() < 1e-9, "I(X,X)={mi} should equal H(X)={hx}");
+    }
+
+    #[test]
+    fn independent_profiles_have_small_mi() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let m = 5000;
+        let x: Vec<f32> = (0..m).map(|_| rng.gen()).collect();
+        let y: Vec<f32> = (0..m).map(|_| rng.gen()).collect();
+        let h = HistogramEstimator::new(10);
+        let mi = h.mi(&x, &y);
+        // Plug-in bias is ≈ (b−1)²/(2m) ≈ 0.008 nats here.
+        assert!(mi < 0.03, "independent MI should be near zero, got {mi}");
+        assert!(mi >= 0.0, "plug-in MI is non-negative");
+    }
+
+    #[test]
+    fn mi_detects_rank_coupled_profiles() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = 2000;
+        let raw: Vec<f32> = (0..m).map(|_| rng.gen::<f32>()).collect();
+        let noisy: Vec<f32> = raw.iter().map(|&v| v + 0.05 * rng.gen::<f32>()).collect();
+        let x = rank_transform_profile(&raw);
+        let y = rank_transform_profile(&noisy);
+        let h = HistogramEstimator::new(10);
+        let coupled = h.mi(&x, &y);
+        let shuffled: Vec<f32> = y.iter().rev().cloned().collect();
+        let null = h.mi(&x, &shuffled);
+        assert!(coupled > 1.0, "tight coupling should carry > 1 nat, got {coupled}");
+        assert!(coupled > 10.0 * null.max(1e-3), "coupled {coupled} vs null {null}");
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x: Vec<f32> = (0..300).map(|_| rng.gen()).collect();
+        let y: Vec<f32> = (0..300).map(|_| rng.gen()).collect();
+        let h = HistogramEstimator::new(6);
+        assert!((h.mi(&x, &y) - h.mi(&y, &x)).abs() < 1e-12);
+    }
+}

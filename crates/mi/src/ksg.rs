@@ -1,0 +1,298 @@
+//! Kraskov–Stögbauer–Grassberger (KSG) k-nearest-neighbour MI estimator.
+//!
+//! An independent estimator family used to cross-validate the B-spline
+//! plug-in estimator: instead of binning, KSG (algorithm 1 of Kraskov et
+//! al., Phys. Rev. E 2004) estimates MI from nearest-neighbour statistics
+//!
+//! ```text
+//! I(X,Y) ≈ ψ(k) + ψ(m) − ⟨ψ(n_x + 1) + ψ(n_y + 1)⟩
+//! ```
+//!
+//! where `ε_i` is each sample's distance (max-norm in the joint space) to
+//! its `k`-th neighbour and `n_x(i)`, `n_y(i)` count marginal neighbours
+//! strictly within `ε_i`. It is nearly unbiased for smooth densities,
+//! which makes it the right instrument for checking the spline
+//! estimator's known low bias — at `O(m²)` cost per pair, which is why it
+//! is an analysis tool here and not a pipeline kernel.
+//!
+//! KSG assumes continuous data (no ties); a deterministic sub-resolution
+//! jitter is applied to break the exact ties that microarray quantization
+//! and rank transforms produce.
+
+
+/// Digamma function ψ(x) for x > 0: upward recurrence onto x ≥ 12, then
+/// the asymptotic series. Absolute error < 1e-10 on the domain used.
+pub fn digamma(mut x: f64) -> f64 {
+    assert!(x > 0.0, "digamma domain is x > 0, got {x}");
+    let mut acc = 0.0;
+    while x < 12.0 {
+        acc -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    acc + x.ln() - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)))
+}
+
+/// KSG algorithm-1 estimator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsgEstimator {
+    /// Neighbour order `k` (3–5 is customary).
+    pub k: usize,
+    /// Sub-resolution jitter amplitude for tie-breaking (scaled by each
+    /// profile's value range). 1e-6 is ample for f32 expression data.
+    pub jitter: f64,
+}
+
+impl Default for KsgEstimator {
+    fn default() -> Self {
+        Self { k: 4, jitter: 1e-6 }
+    }
+}
+
+impl KsgEstimator {
+    /// Estimate `I(X, Y)` in nats. `O(m²)` time, `O(m)` space.
+    ///
+    /// # Panics
+    /// Panics unless `x.len() == y.len()` and `len > k + 1`.
+    pub fn mi(&self, x: &[f32], y: &[f32]) -> f64 {
+        assert_eq!(x.len(), y.len(), "ksg: length mismatch");
+        let m = x.len();
+        assert!(m > self.k + 1, "ksg needs more than k+1 = {} samples", self.k + 1);
+
+        // Deterministic tie-breaking jitter derived from the index.
+        let spread = |v: &[f32]| -> f64 {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &e in v {
+                lo = lo.min(e as f64);
+                hi = hi.max(e as f64);
+            }
+            (hi - lo).max(1e-12)
+        };
+        let jx = spread(x) * self.jitter;
+        let jy = spread(y) * self.jitter;
+        let hash = |i: usize, salt: u64| -> f64 {
+            let mut z = (i as u64).wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z ^= z >> 33;
+            z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            z ^= z >> 33;
+            (z as f64 / u64::MAX as f64) - 0.5
+        };
+        let xs: Vec<f64> = x.iter().enumerate().map(|(i, &v)| v as f64 + jx * hash(i, 1)).collect();
+        let ys: Vec<f64> = y.iter().enumerate().map(|(i, &v)| v as f64 + jy * hash(i, 2)).collect();
+
+        let mut psi_nx = 0.0;
+        let mut psi_ny = 0.0;
+        let mut dist = vec![0.0f64; m];
+        for i in 0..m {
+            // Max-norm joint distances to every other point.
+            for (j, d) in dist.iter_mut().enumerate() {
+                *d = if i == j {
+                    f64::INFINITY
+                } else {
+                    (xs[i] - xs[j]).abs().max((ys[i] - ys[j]).abs())
+                };
+            }
+            // ε_i = distance to the k-th nearest neighbour.
+            let eps = kth_smallest(&mut dist.clone(), self.k - 1);
+
+            let mut nx = 0usize;
+            let mut ny = 0usize;
+            for j in 0..m {
+                if j == i {
+                    continue;
+                }
+                if (xs[i] - xs[j]).abs() < eps {
+                    nx += 1;
+                }
+                if (ys[i] - ys[j]).abs() < eps {
+                    ny += 1;
+                }
+            }
+            psi_nx += digamma((nx + 1) as f64);
+            psi_ny += digamma((ny + 1) as f64);
+        }
+
+        (digamma(self.k as f64) + digamma(m as f64) - (psi_nx + psi_ny) / m as f64).max(0.0)
+    }
+}
+
+/// k-th smallest element (0-indexed) via quickselect.
+fn kth_smallest(data: &mut [f64], k: usize) -> f64 {
+    let (mut lo, mut hi) = (0usize, data.len() - 1);
+    loop {
+        if lo == hi {
+            return data[lo];
+        }
+        // Median-of-three pivot.
+        let mid = lo + (hi - lo) / 2;
+        if data[mid] < data[lo] {
+            data.swap(mid, lo);
+        }
+        if data[hi] < data[lo] {
+            data.swap(hi, lo);
+        }
+        if data[hi] < data[mid] {
+            data.swap(hi, mid);
+        }
+        let pivot = data[mid];
+        let (mut i, mut j) = (lo, hi);
+        while i <= j {
+            while data[i] < pivot {
+                i += 1;
+            }
+            while data[j] > pivot {
+                j -= 1;
+            }
+            if i <= j {
+                data.swap(i, j);
+                i += 1;
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+        }
+        if k <= j {
+            hi = j;
+        } else if k >= i {
+            lo = i;
+        } else {
+            return data[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn normal(rng: &mut StdRng) -> f32 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+
+    fn gaussian_pair(rho: f32, m: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(m);
+        let mut y = Vec::with_capacity(m);
+        for _ in 0..m {
+            let a = normal(&mut rng);
+            let e = normal(&mut rng);
+            x.push(a);
+            y.push(rho * a + (1.0 - rho * rho).sqrt() * e);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn digamma_known_values() {
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        assert!((digamma(1.0) + EULER_GAMMA).abs() < 1e-10);
+        assert!((digamma(2.0) - (1.0 - EULER_GAMMA)).abs() < 1e-10);
+        assert!((digamma(0.5) + 2.0 * std::f64::consts::LN_2 + EULER_GAMMA).abs() < 1e-9);
+        // Recurrence ψ(x+1) = ψ(x) + 1/x.
+        for x in [0.3, 1.7, 4.2, 11.0] {
+            assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn digamma_rejects_nonpositive() {
+        let _ = digamma(0.0);
+    }
+
+    #[test]
+    fn kth_smallest_matches_sort() {
+        let data = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0];
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for k in 0..data.len() {
+            let mut work = data.to_vec();
+            assert_eq!(kth_smallest(&mut work, k), sorted[k], "k={k}");
+        }
+    }
+
+    #[test]
+    fn ksg_matches_gaussian_closed_form() {
+        let est = KsgEstimator::default();
+        for rho in [0.5f32, 0.9] {
+            let (x, y) = gaussian_pair(rho, 1500, 7);
+            let exact = -0.5 * (1.0 - (rho as f64).powi(2)).ln();
+            let got = est.mi(&x, &y);
+            assert!(
+                (got - exact).abs() < 0.08,
+                "ρ={rho}: KSG {got:.3} vs exact {exact:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn ksg_near_zero_on_independent_data() {
+        let est = KsgEstimator::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<f32> = (0..1200).map(|_| normal(&mut rng)).collect();
+        let y: Vec<f32> = (0..1200).map(|_| normal(&mut rng)).collect();
+        let got = est.mi(&x, &y);
+        assert!(got < 0.05, "independent KSG MI {got}");
+    }
+
+    #[test]
+    fn ksg_is_less_biased_than_the_spline_estimator() {
+        // The property KSG exists to check: at ρ = 0.9 the order-3 spline
+        // plug-in underestimates (≈ 0.63 vs 0.83); KSG should land closer.
+        use crate::entropy::entropy_nats;
+        use crate::sparse_kernel;
+        use gnet_bspline::{BsplineBasis, SparseWeights};
+        use gnet_expr::normalize::rank_transform_profile;
+
+        let (x, y) = gaussian_pair(0.9, 1500, 11);
+        let exact = -0.5f64 * (1.0 - 0.81f64).ln();
+
+        let ksg = KsgEstimator::default().mi(&x, &y);
+
+        let basis = BsplineBasis::tinge_default();
+        let sx = SparseWeights::from_normalized(&rank_transform_profile(&x), &basis);
+        let sy = SparseWeights::from_normalized(&rank_transform_profile(&y), &basis);
+        let hx = entropy_nats(&sx.marginal());
+        let hy = entropy_nats(&sy.marginal());
+        let mut grid = vec![0.0; 100];
+        let spline = sparse_kernel::mi(&sx, &sy, hx, hy, &mut grid);
+
+        assert!(
+            (ksg - exact).abs() < (spline - exact).abs(),
+            "KSG ({ksg:.3}) should beat the spline plug-in ({spline:.3}) against {exact:.3}"
+        );
+    }
+
+    #[test]
+    fn ksg_handles_heavily_tied_data() {
+        // Quantized (tied) inputs exercise the jitter path.
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<f32> = (0..600).map(|_| (normal(&mut rng) * 2.0).round() / 2.0).collect();
+        let y: Vec<f32> = x.iter().map(|&v| v + (normal(&mut rng) * 2.0).round() * 0.05).collect();
+        let got = KsgEstimator::default().mi(&x, &y);
+        assert!(got.is_finite() && got > 0.5, "tied-data MI {got}");
+    }
+
+    #[test]
+    fn ksg_symmetry() {
+        let (x, y) = gaussian_pair(0.7, 400, 9);
+        let est = KsgEstimator::default();
+        let a = est.mi(&x, &y);
+        let b = est.mi(&y, &x);
+        assert!((a - b).abs() < 0.02, "I(X,Y)={a} vs I(Y,X)={b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more than k+1")]
+    fn tiny_sample_rejected() {
+        let est = KsgEstimator::default();
+        let _ = est.mi(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Scalar B-spline MI kernel on the sparse weight layout.
+//!
+//! This is the paper's "vectorization disabled" baseline: per sample, a
+//! `k × k` block of weight products is scattered into the joint grid at a
+//! data-dependent offset. It performs the *fewest* floating-point
+//! operations of any kernel in this crate (`m·k²` multiply-adds), yet loses
+//! on wide-vector machines because every store address depends on the
+//! sample's bin indices — there is nothing for the vector unit to do.
+//! Keeping it separate (and free of any `gnet-simd` lane code) is what
+//! makes the R4 vectorization-speedup experiment a fair comparison.
+
+use crate::entropy::entropy_from_counts_scalar;
+use gnet_bspline::SparseWeights;
+
+/// Accumulate the unnormalized joint weight grid of `(x, y)` into `grid`
+/// (row-major `b × b`, zeroed first). Total accumulated mass equals the
+/// sample count because every sample's weights sum to one in each gene.
+///
+/// # Panics
+/// Panics if the genes disagree on sample count, bins, or order, or if
+/// `grid.len() != bins²`.
+pub fn joint_counts(x: &SparseWeights, y: &SparseWeights, grid: &mut [f32]) {
+    check_pair(x, y);
+    let b = x.bins();
+    assert_eq!(grid.len(), b * b, "grid must be bins² long");
+    grid.fill(0.0);
+    let k = x.order();
+    for s in 0..x.samples() {
+        let fx = x.first_bin(s);
+        let fy = y.first_bin(s);
+        let wx = x.sample_weights(s);
+        let wy = y.sample_weights(s);
+        for i in 0..k {
+            let row = (fx + i) * b + fy;
+            let wxi = wx[i];
+            for j in 0..k {
+                grid[row + j] += wxi * wy[j];
+            }
+        }
+    }
+}
+
+/// Joint weight grid of `x` against a sample-permuted `y`: sample `s` of
+/// `x` is paired with sample `perm[s]` of `y`. This is the gather access
+/// pattern the permutation-testing null uses to avoid materializing
+/// permuted weight matrices.
+///
+/// # Panics
+/// As [`joint_counts`], plus if `perm.len()` differs from the sample count.
+pub fn joint_counts_permuted(
+    x: &SparseWeights,
+    y: &SparseWeights,
+    perm: &[u32],
+    grid: &mut [f32],
+) {
+    check_pair(x, y);
+    assert_eq!(perm.len(), x.samples(), "permutation length mismatch");
+    let b = x.bins();
+    assert_eq!(grid.len(), b * b, "grid must be bins² long");
+    grid.fill(0.0);
+    let k = x.order();
+    for s in 0..x.samples() {
+        let sy = perm[s] as usize;
+        let fx = x.first_bin(s);
+        let fy = y.first_bin(sy);
+        let wx = x.sample_weights(s);
+        let wy = y.sample_weights(sy);
+        for i in 0..k {
+            let row = (fx + i) * b + fy;
+            let wxi = wx[i];
+            for j in 0..k {
+                grid[row + j] += wxi * wy[j];
+            }
+        }
+    }
+}
+
+/// Mutual information (nats) of a pair given precomputed marginal
+/// entropies. `grid` is caller-provided scratch of length `bins²`.
+pub fn mi(x: &SparseWeights, y: &SparseWeights, hx: f64, hy: f64, grid: &mut [f32]) -> f64 {
+    joint_counts(x, y, grid);
+    let hxy = entropy_from_counts_scalar(grid, x.samples() as f64);
+    hx + hy - hxy
+}
+
+/// Mutual information (nats) of `x` against permuted `y`. The marginal
+/// entropy of `y` is permutation invariant, so the caller passes the same
+/// `hy` used for the unpermuted pair.
+pub fn mi_permuted(
+    x: &SparseWeights,
+    y: &SparseWeights,
+    perm: &[u32],
+    hx: f64,
+    hy: f64,
+    grid: &mut [f32],
+) -> f64 {
+    joint_counts_permuted(x, y, perm, grid);
+    let hxy = entropy_from_counts_scalar(grid, x.samples() as f64);
+    hx + hy - hxy
+}
+
+fn check_pair(x: &SparseWeights, y: &SparseWeights) {
+    assert_eq!(x.samples(), y.samples(), "genes must share the sample count");
+    assert_eq!(x.bins(), y.bins(), "genes must share the bin count");
+    assert_eq!(x.order(), y.order(), "genes must share the spline order");
+    assert!(x.samples() > 0, "cannot compute MI over zero samples");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::entropy_nats;
+    use gnet_bspline::BsplineBasis;
+    use gnet_expr::normalize::rank_transform_profile;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn prep(values: &[f32], basis: &BsplineBasis) -> SparseWeights {
+        SparseWeights::from_normalized(&rank_transform_profile(values), basis)
+    }
+
+    #[test]
+    fn joint_grid_mass_equals_sample_count() {
+        let basis = BsplineBasis::tinge_default();
+        let x = prep(&[1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0], &basis);
+        let y = prep(&[2.0, 1.0, 7.0, 3.0, 5.0, 6.0, 4.0], &basis);
+        let mut grid = vec![0.0; 100];
+        joint_counts(&x, &y, &mut grid);
+        let mass: f32 = grid.iter().sum();
+        assert!((mass - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn self_mi_equals_marginal_entropy_at_order_one() {
+        // At order 1 the B-spline estimator degenerates to the hard
+        // histogram, whose joint of (X, X) is diagonal ⇒ I(X,X) = H(X).
+        let basis = BsplineBasis::new(1, 10);
+        let vals: Vec<f32> = (0..200).map(|i| ((i * 89) % 200) as f32).collect();
+        let x = prep(&vals, &basis);
+        let hx = entropy_nats(&x.marginal());
+        let mut grid = vec![0.0; 100];
+        let mi_xx = mi(&x, &x, hx, hx, &mut grid);
+        assert!((mi_xx - hx).abs() < 1e-4, "I(X,X)={mi_xx}, H(X)={hx}");
+    }
+
+    #[test]
+    fn self_mi_bounded_by_marginal_entropy_at_higher_order() {
+        // For k > 1 the spline weights spread joint mass off the diagonal,
+        // so I(X,X) < H(X) — but it must stay the estimator's maximum and
+        // remain a substantial fraction of H(X).
+        let basis = BsplineBasis::tinge_default();
+        let vals: Vec<f32> = (0..200).map(|i| ((i * 89) % 200) as f32).collect();
+        let x = prep(&vals, &basis);
+        let hx = entropy_nats(&x.marginal());
+        let mut grid = vec![0.0; 100];
+        let mi_xx = mi(&x, &x, hx, hx, &mut grid);
+        assert!(mi_xx <= hx + 1e-6, "I(X,X)={mi_xx} cannot exceed H(X)={hx}");
+        assert!(mi_xx > 0.4 * hx, "I(X,X)={mi_xx} suspiciously small vs H(X)={hx}");
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let basis = BsplineBasis::tinge_default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: Vec<f32> = (0..150).map(|_| rng.gen::<f32>()).collect();
+        let b: Vec<f32> = (0..150).map(|_| rng.gen::<f32>()).collect();
+        let x = prep(&a, &basis);
+        let y = prep(&b, &basis);
+        let hx = entropy_nats(&x.marginal());
+        let hy = entropy_nats(&y.marginal());
+        let mut grid = vec![0.0; 100];
+        let ixy = mi(&x, &y, hx, hy, &mut grid);
+        let iyx = mi(&y, &x, hy, hx, &mut grid);
+        assert!((ixy - iyx).abs() < 1e-5);
+    }
+
+    #[test]
+    fn independent_profiles_have_near_zero_mi() {
+        let basis = BsplineBasis::tinge_default();
+        let mut rng = StdRng::seed_from_u64(10);
+        let a: Vec<f32> = (0..4000).map(|_| rng.gen::<f32>()).collect();
+        let b: Vec<f32> = (0..4000).map(|_| rng.gen::<f32>()).collect();
+        let x = prep(&a, &basis);
+        let y = prep(&b, &basis);
+        let hx = entropy_nats(&x.marginal());
+        let hy = entropy_nats(&y.marginal());
+        let mut grid = vec![0.0; 100];
+        let v = mi(&x, &y, hx, hy, &mut grid);
+        assert!(v.abs() < 0.02, "independent MI {v}");
+        assert!(v > -1e-4, "plug-in MI must be non-negative up to rounding, got {v}");
+    }
+
+    #[test]
+    fn linear_coupling_raises_mi_close_to_gaussian_form() {
+        // After rank transform a bivariate Gaussian with correlation ρ has
+        // MI ≈ −½ln(1−ρ²); the B-spline plug-in estimator should land in
+        // the right neighbourhood for large m.
+        let rho: f32 = 0.9;
+        let mut rng = StdRng::seed_from_u64(77);
+        let m = 20_000;
+        let mut a = Vec::with_capacity(m);
+        let mut b = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x: f32 = {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen();
+                ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+            };
+            let e: f32 = {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen();
+                ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+            };
+            a.push(x);
+            b.push(rho * x + (1.0 - rho * rho).sqrt() * e);
+        }
+        let basis = BsplineBasis::tinge_default();
+        let x = prep(&a, &basis);
+        let y = prep(&b, &basis);
+        let hx = entropy_nats(&x.marginal());
+        let hy = entropy_nats(&y.marginal());
+        let mut grid = vec![0.0; 100];
+        let estimate = mi(&x, &y, hx, hy, &mut grid);
+        let exact = -0.5 * (1.0 - (rho as f64).powi(2)).ln(); // ≈ 0.830
+        // The order-3 spline estimator is a smoother, so it is biased low
+        // (Daub et al. report the same); it must land in the right
+        // neighbourhood and never above the true value by much.
+        assert!(
+            estimate > 0.6 * exact && estimate < exact + 0.05,
+            "estimate {estimate} vs Gaussian closed form {exact}"
+        );
+    }
+
+    #[test]
+    fn permuted_mi_destroys_coupling() {
+        let basis = BsplineBasis::tinge_default();
+        let vals: Vec<f32> = (0..1009).map(|i| i as f32).collect();
+        let x = prep(&vals, &basis);
+        let y = x.clone();
+        let hx = entropy_nats(&x.marginal());
+        let m = vals.len() as u32;
+        // 1009 is prime, so multiplication by 13 is a bijection mod 1009.
+        let perm: Vec<u32> = (0..m).map(|i| (i * 13) % m).collect();
+        let mut grid = vec![0.0; 100];
+        let coupled = mi(&x, &y, hx, hx, &mut grid);
+        let null = mi_permuted(&x, &y, &perm, hx, hx, &mut grid);
+        assert!(coupled > 1.0, "identical genes should carry high MI, got {coupled}");
+        assert!(null < 0.2, "permutation should destroy it, got {null}");
+    }
+
+    #[test]
+    fn identity_permutation_reproduces_plain_mi() {
+        let basis = BsplineBasis::tinge_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<f32> = (0..64).map(|_| rng.gen::<f32>()).collect();
+        let b: Vec<f32> = (0..64).map(|_| rng.gen::<f32>()).collect();
+        let x = prep(&a, &basis);
+        let y = prep(&b, &basis);
+        let hx = entropy_nats(&x.marginal());
+        let hy = entropy_nats(&y.marginal());
+        let id: Vec<u32> = (0..64).collect();
+        let mut grid = vec![0.0; 100];
+        let direct = mi(&x, &y, hx, hy, &mut grid);
+        let via_perm = mi_permuted(&x, &y, &id, hx, hy, &mut grid);
+        assert!((direct - via_perm).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the sample count")]
+    fn mismatched_samples_panic() {
+        let basis = BsplineBasis::tinge_default();
+        let x = prep(&[1.0, 2.0, 3.0], &basis);
+        let y = prep(&[1.0, 2.0], &basis);
+        let mut grid = vec![0.0; 100];
+        joint_counts(&x, &y, &mut grid);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be bins")]
+    fn wrong_grid_size_panics() {
+        let basis = BsplineBasis::tinge_default();
+        let x = prep(&[1.0, 2.0, 3.0], &basis);
+        let mut grid = vec![0.0; 99];
+        joint_counts(&x, &x, &mut grid);
+    }
+}

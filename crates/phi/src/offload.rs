@@ -1,0 +1,217 @@
+//! Heterogeneous host + coprocessor execution model (extension R12).
+//!
+//! The paper presents a Xeon solution *and* a Xeon Phi solution; the
+//! natural deployment (and the stated direction of the offload ecosystem
+//! the Phi shipped with) is to use both at once: split the tile set
+//! between the host CPU and the coprocessor, shipping the per-gene weight
+//! matrices to the card once over PCIe. This module models that split:
+//! each side runs its share of tiles under its own machine model, the
+//! device additionally pays the one-off transfer and launch costs, and
+//! the wall time is the maximum of the two sides.
+
+use crate::machine::MachineModel;
+use crate::sim::simulate_tiles;
+use crate::workload::WorkloadModel;
+use gnet_parallel::{SchedulerPolicy, Tile};
+use serde::{Deserialize, Serialize};
+
+/// A host + coprocessor pairing with its interconnect.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OffloadModel {
+    /// The host processor.
+    pub host: MachineModel,
+    /// The coprocessor.
+    pub device: MachineModel,
+    /// Sustained host→device transfer bandwidth (GB/s). PCIe 2.0 x16 as
+    /// shipped with KNC systems sustains ≈ 6 GB/s.
+    pub transfer_gbs: f64,
+    /// Fixed offload launch/teardown overhead in seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl OffloadModel {
+    /// The paper's machine pair: dual E5-2670 host + Xeon Phi 5110P.
+    pub fn paper_system() -> Self {
+        Self {
+            host: MachineModel::xeon_e5_2670_2s(),
+            device: MachineModel::xeon_phi_5110p(),
+            transfer_gbs: 6.0,
+            launch_overhead_s: 0.5,
+        }
+    }
+
+    /// Bytes of input state the device needs: every gene's sparse weight
+    /// matrix (the dense expansion is rebuilt on-card per tile, exactly as
+    /// on the host).
+    pub fn transfer_bytes(&self, workload: &WorkloadModel) -> f64 {
+        workload.genes as f64 * workload.samples as f64 * (workload.order as f64 * 4.0 + 2.0)
+    }
+
+    /// Simulate the run with a fraction `device_share ∈ [0, 1]` of the
+    /// pair work on the coprocessor. Tiles are assigned greedily by pair
+    /// count until the device share is reached, mirroring how the offload
+    /// runtime would carve the tile list.
+    ///
+    /// Returns `(wall_seconds, device_seconds, host_seconds)`.
+    ///
+    /// # Panics
+    /// Panics if `device_share` is outside `[0, 1]`.
+    pub fn simulate_split(
+        &self,
+        tiles: &[Tile],
+        workload: &WorkloadModel,
+        device_share: f64,
+    ) -> (f64, f64, f64) {
+        assert!((0.0..=1.0).contains(&device_share), "share must lie in [0, 1]");
+        let total_pairs: u64 = tiles.iter().map(Tile::pair_count).sum();
+        let target = (total_pairs as f64 * device_share) as u64;
+
+        let mut device_tiles = Vec::new();
+        let mut host_tiles = Vec::new();
+        let mut shipped = 0u64;
+        for t in tiles {
+            if shipped < target {
+                device_tiles.push(*t);
+                shipped += t.pair_count();
+            } else {
+                host_tiles.push(*t);
+            }
+        }
+
+        let device_seconds = if device_tiles.is_empty() {
+            0.0
+        } else {
+            let compute = simulate_tiles(
+                &device_tiles,
+                &self.device,
+                workload,
+                self.device.max_threads(),
+                SchedulerPolicy::DynamicCounter,
+            )
+            .wall_seconds;
+            let transfer = self.transfer_bytes(workload) / (self.transfer_gbs * 1e9);
+            compute + transfer + self.launch_overhead_s
+        };
+        let host_seconds = if host_tiles.is_empty() {
+            0.0
+        } else {
+            simulate_tiles(
+                &host_tiles,
+                &self.host,
+                workload,
+                self.host.max_threads(),
+                SchedulerPolicy::DynamicCounter,
+            )
+            .wall_seconds
+        };
+        (device_seconds.max(host_seconds), device_seconds, host_seconds)
+    }
+
+    /// Sweep the device share and return `(share, wall_seconds)` rows.
+    pub fn split_curve(
+        &self,
+        tiles: &[Tile],
+        workload: &WorkloadModel,
+        steps: usize,
+    ) -> Vec<(f64, f64)> {
+        (0..=steps)
+            .map(|k| {
+                let share = k as f64 / steps as f64;
+                let (wall, _, _) = self.simulate_split(tiles, workload, share);
+                (share, wall)
+            })
+            .collect()
+    }
+
+    /// The best split of the sweep.
+    pub fn optimal_split(
+        &self,
+        tiles: &[Tile],
+        workload: &WorkloadModel,
+        steps: usize,
+    ) -> (f64, f64) {
+        self.split_curve(tiles, workload, steps)
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .expect("non-empty sweep")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnet_parallel::TileSpace;
+
+    fn setup() -> (OffloadModel, TileSpace, WorkloadModel) {
+        let model = OffloadModel::paper_system();
+        let workload = WorkloadModel { genes: 2_048, ..WorkloadModel::arabidopsis_headline() };
+        let tiles = TileSpace::new(2_048, 16);
+        (model, tiles, workload)
+    }
+
+    #[test]
+    fn endpoints_match_single_machine_runs() {
+        let (model, tiles, w) = setup();
+        let (host_only, d0, h0) = model.simulate_split(tiles.tiles(), &w, 0.0);
+        assert_eq!(d0, 0.0);
+        assert!(h0 > 0.0);
+        assert_eq!(host_only, h0);
+
+        let (device_only, d1, h1) = model.simulate_split(tiles.tiles(), &w, 1.0);
+        assert_eq!(h1, 0.0);
+        assert!(d1 > 0.0);
+        assert_eq!(device_only, d1);
+
+        // The Phi side is the faster chip on this workload.
+        assert!(device_only < host_only);
+    }
+
+    #[test]
+    fn combined_beats_both_single_machines() {
+        let (model, tiles, w) = setup();
+        let (share, best) = model.optimal_split(tiles.tiles(), &w, 20);
+        let (host_only, _, _) = model.simulate_split(tiles.tiles(), &w, 0.0);
+        let (device_only, _, _) = model.simulate_split(tiles.tiles(), &w, 1.0);
+        assert!(best < host_only && best < device_only, "{best} vs {host_only}/{device_only}");
+        // Optimal share tracks the device's throughput fraction (~2.3×
+        // faster than the host ⇒ ~0.65–0.8 of the work).
+        assert!((0.55..0.9).contains(&share), "optimal share {share}");
+    }
+
+    #[test]
+    fn transfer_costs_are_charged() {
+        let (mut model, tiles, w) = setup();
+        let (fast, _, _) = model.simulate_split(tiles.tiles(), &w, 1.0);
+        model.transfer_gbs = 0.01; // strangle the bus
+        let (slow, _, _) = model.simulate_split(tiles.tiles(), &w, 1.0);
+        assert!(slow > fast + 1.0, "transfer must matter: {fast} → {slow}");
+    }
+
+    #[test]
+    fn curve_is_v_shaped() {
+        let (model, tiles, w) = setup();
+        let curve = model.split_curve(tiles.tiles(), &w, 10);
+        assert_eq!(curve.len(), 11);
+        let best_idx = curve
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .unwrap()
+            .0;
+        assert!(best_idx > 0 && best_idx < 10, "optimum must be interior");
+        // Decreasing to the optimum, increasing after.
+        for w2 in curve[..=best_idx].windows(2) {
+            assert!(w2[1].1 <= w2[0].1 * 1.05);
+        }
+        for w2 in curve[best_idx..].windows(2) {
+            assert!(w2[1].1 >= w2[0].1 * 0.95);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share must lie")]
+    fn bad_share_rejected() {
+        let (model, tiles, w) = setup();
+        let _ = model.simulate_split(tiles.tiles(), &w, 1.5);
+    }
+}

@@ -1,0 +1,33 @@
+//! Portable fixed-width vector lanes for the mutual-information kernels.
+//!
+//! The IPDPS 2014 paper vectorizes its B-spline mutual-information kernel
+//! with the Xeon Phi's 512-bit IMCI instruction set (16 × f32 lanes). This
+//! crate provides the portable equivalent: fixed-width lane types written as
+//! plain arrays with fully unrolled elementwise operations, which LLVM
+//! auto-vectorizes into whatever SIMD width the host offers. The same source
+//! therefore expresses the paper's *algorithmic* vectorization (dense,
+//! gather-free FMA streams over restructured data) without tying the build
+//! to one ISA.
+//!
+//! Two families are provided:
+//!
+//! * Lane value types — [`F32x8`], [`F32x16`], [`F64x4`], [`F64x8`] — with
+//!   arithmetic operators, FMA, and deterministic horizontal reductions.
+//! * Slice kernels — [`slice_ops`] — the handful of whole-slice primitives
+//!   the MI estimators are built from (`sum`, `dot`, `axpy`, `xlogx_sum`,
+//!   `scale`), each in a `_scalar` reference form and a laned form. The
+//!   scalar forms are the paper's "no vectorization" baseline and are kept
+//!   deliberately un-unrolled.
+//!
+//! The [`VectorModel`] descriptor exports the lane geometry to the
+//! `gnet-phi` machine model so simulated platforms can be given the vector
+//! widths of the paper's hardware (16-lane Phi vs 8-lane AVX Xeon).
+
+#![warn(missing_docs)]
+
+pub mod lanes;
+pub mod model;
+pub mod slice_ops;
+
+pub use lanes::{F32x16, F32x8, F64x4, F64x8, LaneCount};
+pub use model::VectorModel;

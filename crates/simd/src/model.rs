@@ -1,0 +1,80 @@
+//! Vector-unit descriptors consumed by the `gnet-phi` machine model.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and throughput characteristics of one vector unit.
+///
+/// The machine simulator multiplies a kernel's scalar operation count by
+/// `1 / (lanes * efficiency)` to obtain its vectorized cost, mirroring how
+/// the paper attributes its kernel speedups to the 512-bit VPU.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VectorModel {
+    /// Single-precision lanes per vector register (16 on KNC, 8 on AVX).
+    pub f32_lanes: usize,
+    /// Fraction of peak lane utilization a real kernel achieves (0, 1].
+    /// Captures masked tails, alignment fix-ups, and reduction overhead.
+    pub efficiency: f64,
+    /// Whether fused multiply-add issues as a single operation.
+    pub has_fma: bool,
+}
+
+impl VectorModel {
+    /// 512-bit IMCI unit of the Xeon Phi (Knights Corner).
+    pub fn imci_512() -> Self {
+        Self { f32_lanes: 16, efficiency: 0.70, has_fma: true }
+    }
+
+    /// 256-bit AVX unit of a Sandy Bridge Xeon E5 (no FMA).
+    pub fn avx_256() -> Self {
+        Self { f32_lanes: 8, efficiency: 0.75, has_fma: false }
+    }
+
+    /// Scalar pseudo-unit: one lane, full efficiency. Used to model the
+    /// paper's "vectorization disabled" baseline.
+    pub fn scalar() -> Self {
+        Self { f32_lanes: 1, efficiency: 1.0, has_fma: true }
+    }
+
+    /// Effective speedup over scalar code for a lane-friendly kernel.
+    pub fn effective_speedup(&self) -> f64 {
+        let fma_boost = if self.has_fma { 1.0 } else { 0.75 };
+        (self.f32_lanes as f64 * self.efficiency * fma_boost).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_widths() {
+        assert_eq!(VectorModel::imci_512().f32_lanes, 16);
+        assert_eq!(VectorModel::avx_256().f32_lanes, 8);
+        assert_eq!(VectorModel::scalar().f32_lanes, 1);
+    }
+
+    #[test]
+    fn scalar_speedup_is_one() {
+        assert_eq!(VectorModel::scalar().effective_speedup(), 1.0);
+    }
+
+    #[test]
+    fn phi_vector_speedup_exceeds_xeon() {
+        assert!(
+            VectorModel::imci_512().effective_speedup()
+                > VectorModel::avx_256().effective_speedup()
+        );
+    }
+
+    #[test]
+    fn effective_speedup_never_below_one() {
+        let v = VectorModel { f32_lanes: 1, efficiency: 0.1, has_fma: false };
+        assert_eq!(v.effective_speedup(), 1.0);
+    }
+
+    #[test]
+    fn avx_without_fma_pays_penalty() {
+        let with_fma = VectorModel { has_fma: true, ..VectorModel::avx_256() };
+        assert!(with_fma.effective_speedup() > VectorModel::avx_256().effective_speedup());
+    }
+}

@@ -1,0 +1,327 @@
+//! Whole-slice kernels in scalar-reference and laned forms.
+//!
+//! Every primitive the MI estimators use appears twice:
+//!
+//! * `*_scalar` — a plain element-at-a-time loop. These are the paper's
+//!   "vectorization disabled" baseline (experiment R4) and double as the
+//!   reference implementations the laned forms are tested against.
+//! * the laned form — processes [`F32x16::LANES`] elements per step with a
+//!   masked tail, accumulating into lane registers and reducing once at the
+//!   end with the deterministic pairwise tree.
+//!
+//! The laned forms intentionally mirror how the paper restructures the
+//! B-spline accumulation: a single dense FMA stream, no per-element
+//! branches, reductions deferred to the end.
+
+use crate::lanes::F32x16;
+
+/// Width used by the laned slice kernels.
+pub const W: usize = F32x16::LANES;
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels ("no vectorization" baseline)
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements (scalar reference).
+pub fn sum_scalar(x: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for &v in x {
+        acc += v;
+    }
+    acc
+}
+
+/// Dot product of two equal-length slices (scalar reference).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot_scalar(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0f32;
+    for i in 0..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// `y[i] += a * x[i]` (scalar reference).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy_scalar(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for i in 0..x.len() {
+        y[i] += a * x[i];
+    }
+}
+
+/// `Σ x_i ln x_i` with `0 ln 0 = 0` (scalar reference) — the inner sum of a
+/// plug-in entropy estimate.
+pub fn xlogx_sum_scalar(x: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for &v in x {
+        if v > 0.0 {
+            acc += v * v.ln();
+        }
+    }
+    acc
+}
+
+/// Multiply every element by `a` in place (scalar reference).
+pub fn scale_scalar(a: f32, x: &mut [f32]) {
+    for v in x {
+        *v *= a;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Laned kernels
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements using 16-wide lanes with a masked tail.
+pub fn sum(x: &[f32]) -> f32 {
+    let mut acc = F32x16::zero();
+    let chunks = x.len() / W;
+    for c in 0..chunks {
+        acc += F32x16::from_slice(&x[c * W..]);
+    }
+    let tail = &x[chunks * W..];
+    if !tail.is_empty() {
+        acc += F32x16::from_slice_padded(tail);
+    }
+    acc.reduce_add()
+}
+
+/// Dot product using 16-wide FMA lanes with a masked tail.
+///
+/// ```
+/// let x = vec![1.0f32; 20];
+/// let y: Vec<f32> = (0..20).map(|i| i as f32).collect();
+/// assert_eq!(gnet_simd::slice_ops::dot(&x, &y), 190.0);
+/// ```
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = F32x16::zero();
+    let chunks = x.len() / W;
+    for c in 0..chunks {
+        let xv = F32x16::from_slice(&x[c * W..]);
+        let yv = F32x16::from_slice(&y[c * W..]);
+        acc = xv.mul_add(yv, acc);
+    }
+    let tail_at = chunks * W;
+    if tail_at < x.len() {
+        let xv = F32x16::from_slice_padded(&x[tail_at..]);
+        let yv = F32x16::from_slice_padded(&y[tail_at..]);
+        acc = xv.mul_add(yv, acc);
+    }
+    acc.reduce_add()
+}
+
+/// `y[i] += a * x[i]` using 16-wide FMA lanes.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let av = F32x16::splat(a);
+    let chunks = x.len() / W;
+    for c in 0..chunks {
+        let xv = F32x16::from_slice(&x[c * W..]);
+        let yv = F32x16::from_slice(&y[c * W..]);
+        xv.mul_add(av, yv).write_to_slice(&mut y[c * W..]);
+    }
+    for i in chunks * W..x.len() {
+        y[i] = x[i].mul_add(a, y[i]);
+    }
+}
+
+/// `Σ x_i ln x_i` with `0 ln 0 = 0`, 16 lanes at a time.
+///
+/// The zero-padded tail load is safe here because padding lanes contribute
+/// `0 ln 0 = 0` under the entropy convention.
+pub fn xlogx_sum(x: &[f32]) -> f32 {
+    let mut acc = F32x16::zero();
+    let chunks = x.len() / W;
+    for c in 0..chunks {
+        acc += F32x16::from_slice(&x[c * W..]).xlogx();
+    }
+    let tail = &x[chunks * W..];
+    if !tail.is_empty() {
+        acc += F32x16::from_slice_padded(tail).xlogx();
+    }
+    acc.reduce_add()
+}
+
+/// Multiply every element by `a` in place, 16 lanes at a time.
+pub fn scale(a: f32, x: &mut [f32]) {
+    let av = F32x16::splat(a);
+    let chunks = x.len() / W;
+    for c in 0..chunks {
+        let xv = F32x16::from_slice(&x[c * W..]);
+        (xv * av).write_to_slice(&mut x[c * W..]);
+    }
+    for v in &mut x[chunks * W..] {
+        *v *= a;
+    }
+}
+
+/// Rank-4 outer-product accumulation used by the B-spline joint histogram:
+/// for one sample with row weights `wx[0..k]` at bin `bx` and column weights
+/// `wy[0..k]` at bin `by`, add `wx[i] * wy[j]` into the dense `b × b` grid.
+///
+/// `k` is the spline order (≤ 8 supported) and `stride` the row length of
+/// `grid`. This is the scalar-per-sample form; the vectorized estimator in
+/// `gnet-mi` instead restructures the loop so that lanes run across samples.
+///
+/// # Panics
+/// Panics (in debug builds) on out-of-bounds bin indices.
+#[inline]
+pub fn outer_accumulate(
+    grid: &mut [f32],
+    stride: usize,
+    bx: usize,
+    wx: &[f32],
+    by: usize,
+    wy: &[f32],
+) {
+    for (i, &wxi) in wx.iter().enumerate() {
+        let row = (bx + i) * stride + by;
+        let dst = &mut grid[row..row + wy.len()];
+        for (j, &wyj) in wy.iter().enumerate() {
+            dst[j] = wxi.mul_add(wyj, dst[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f32, b: f32, tol: f32) -> bool {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() <= tol * scale
+    }
+
+    #[test]
+    fn sum_empty_is_zero() {
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(sum_scalar(&[]), 0.0);
+    }
+
+    #[test]
+    fn sum_matches_scalar_on_non_multiple_length() {
+        let x: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
+        assert!(close(sum(&x), sum_scalar(&x), 1e-6));
+    }
+
+    #[test]
+    fn dot_basic() {
+        let x = vec![1.0f32; 33];
+        let y: Vec<f32> = (0..33).map(|i| i as f32).collect();
+        assert_eq!(dot(&x, &y), (0..33).sum::<i32>() as f32);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_matches_scalar() {
+        let x: Vec<f32> = (0..21).map(|i| i as f32 * 0.25).collect();
+        let mut y1 = vec![1.0f32; 21];
+        let mut y2 = y1.clone();
+        axpy(2.5, &x, &mut y1);
+        axpy_scalar(2.5, &x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!(close(*a, *b, 1e-6));
+        }
+    }
+
+    #[test]
+    fn xlogx_sum_of_uniform_distribution() {
+        // H = -Σ p ln p = ln 8 for uniform over 8 outcomes.
+        let p = vec![0.125f32; 8];
+        let h = -xlogx_sum(&p);
+        assert!(close(h, 8.0f32.ln(), 1e-6));
+        assert!(close(-xlogx_sum_scalar(&p), 8.0f32.ln(), 1e-6));
+    }
+
+    #[test]
+    fn xlogx_sum_ignores_zeros() {
+        let mut p = vec![0.0f32; 40];
+        p[3] = 0.5;
+        p[29] = 0.5;
+        assert!(close(xlogx_sum(&p), 2.0 * 0.5 * 0.5f32.ln(), 1e-6));
+    }
+
+    #[test]
+    fn scale_matches_scalar() {
+        let mut a: Vec<f32> = (0..19).map(|i| i as f32).collect();
+        let mut b = a.clone();
+        scale(0.5, &mut a);
+        scale_scalar(0.5, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outer_accumulate_places_weights() {
+        let b = 6;
+        let mut grid = vec![0.0f32; b * b];
+        outer_accumulate(&mut grid, b, 1, &[0.25, 0.5, 0.25], 2, &[0.5, 0.5, 0.0]);
+        assert_eq!(grid[b + 2], 0.125);
+        assert_eq!(grid[2 * b + 3], 0.25);
+        assert_eq!(grid[3 * b + 2], 0.125);
+        // Total mass added = (Σwx)(Σwy) = 1.0 * 1.0.
+        let total: f32 = grid.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sum_matches_scalar(x in proptest::collection::vec(-100.0f32..100.0, 0..200)) {
+            // Tolerance must scale with the *mass* Σ|x|, not the result:
+            // a near-zero sum of large terms legitimately differs between
+            // summation orders by ≈ ε·Σ|x| (catastrophic cancellation).
+            let mass: f32 = x.iter().map(|v| v.abs()).sum();
+            let tol = 1e-6 * mass + 1e-4;
+            prop_assert!((sum(&x) - sum_scalar(&x)).abs() <= tol);
+        }
+
+        #[test]
+        fn prop_dot_matches_scalar(
+            xy in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 0..200)
+        ) {
+            let x: Vec<f32> = xy.iter().map(|p| p.0).collect();
+            let y: Vec<f32> = xy.iter().map(|p| p.1).collect();
+            let mass: f32 = xy.iter().map(|p| (p.0 * p.1).abs()).sum();
+            let tol = 1e-6 * mass + 1e-4;
+            prop_assert!((dot(&x, &y) - dot_scalar(&x, &y)).abs() <= tol);
+        }
+
+        #[test]
+        fn prop_xlogx_matches_scalar(x in proptest::collection::vec(0.0f32..1.0, 0..200)) {
+            prop_assert!(close(xlogx_sum(&x), xlogx_sum_scalar(&x), 1e-4));
+        }
+
+        #[test]
+        fn prop_axpy_matches_scalar(
+            a in -5.0f32..5.0,
+            xy in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 0..100)
+        ) {
+            let x: Vec<f32> = xy.iter().map(|p| p.0).collect();
+            let mut y1: Vec<f32> = xy.iter().map(|p| p.1).collect();
+            let mut y2 = y1.clone();
+            axpy(a, &x, &mut y1);
+            axpy_scalar(a, &x, &mut y2);
+            for (u, v) in y1.iter().zip(&y2) {
+                prop_assert!(close(*u, *v, 1e-4));
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Statistical-recovery study (experiment R10): how network quality grows
+//! with the number of experiments, and how the MI pipeline compares with
+//! linear baselines — measurable here (unlike in the paper) because the
+//! synthetic compendium has a known ground truth.
+//!
+//! ```text
+//! cargo run --release --example accuracy_study
+//! ```
+
+use genome_net::core::baselines::{histogram_network, pearson_network};
+use genome_net::core::{infer_network, InferenceConfig};
+use genome_net::expr::synth::{coupled_pairs, Coupling};
+use genome_net::graph::dpi::dpi_prune;
+use genome_net::graph::recovery_score;
+use genome_net::grnsim::{GrnConfig, SyntheticDataset};
+
+fn main() {
+    println!("── recovery vs sample count (n = 60 genes, scale-free GRN, q = 20) ──");
+    println!(
+        "{:>8}  {:>6}  {:>9}  {:>7}  {:>6}  {:>9}  {:>9}",
+        "samples", "edges", "precision", "recall", "F1", "DPI prec", "DPI rec"
+    );
+    for samples in [50usize, 100, 200, 400, 800] {
+        let ds = SyntheticDataset::generate(
+            GrnConfig { genes: 60, samples, ..GrnConfig::small() },
+            7,
+        );
+        let cfg = InferenceConfig { permutations: 20, ..InferenceConfig::default() };
+        let result = infer_network(&ds.matrix, &cfg);
+        let truth = ds.truth_edges();
+        let raw = recovery_score(&result.network, &truth);
+        let dpi = recovery_score(&dpi_prune(&result.network, 0.05), &truth);
+        println!(
+            "{samples:>8}  {:>6}  {:>9.3}  {:>7.3}  {:>6.3}  {:>9.3}  {:>9.3}",
+            result.network.edge_count(),
+            raw.precision(),
+            raw.recall(),
+            raw.f1(),
+            dpi.precision(),
+            dpi.recall()
+        );
+    }
+
+    println!("\n── why mutual information: quadratic (non-monotone) coupling ──");
+    let (matrix, truth) = coupled_pairs(6, 600, Coupling::Quadratic(0.15), 99);
+    let cfg = InferenceConfig { permutations: 20, ..InferenceConfig::default() };
+
+    let mi = infer_network(&matrix, &cfg);
+    let mi_score = recovery_score(&mi.network, &truth);
+
+    let pearson = pearson_network(&matrix, 0.5);
+    let pearson_score = recovery_score(&pearson, &truth);
+
+    let hist = histogram_network(&matrix, 10, 0.25);
+    let hist_score = recovery_score(&hist, &truth);
+
+    println!("{:>14}  {:>9}  {:>7}", "method", "precision", "recall");
+    for (name, s) in [
+        ("bspline-MI", mi_score),
+        ("histogram-MI", hist_score),
+        ("pearson", pearson_score),
+    ] {
+        println!("{name:>14}  {:>9.3}  {:>7.3}", s.precision(), s.recall());
+    }
+    println!(
+        "\nreading: y = x² has near-zero linear correlation, so the Pearson\n\
+         baseline recovers nothing while both MI estimators see the planted\n\
+         pairs — the motivation the paper's introduction gives for MI-based\n\
+         whole-genome reconstruction."
+    );
+}

@@ -1,0 +1,64 @@
+//! The headline experiment at adjustable scale: a whole-genome-style run
+//! with the paper's per-pair shape (3,137 experiments, q = 30).
+//!
+//! ```text
+//! cargo run --release --example arabidopsis                 # 512 genes
+//! cargo run --release --example arabidopsis -- 2048         # 2,048 genes
+//! cargo run --release --example arabidopsis -- 2048 1024 10 # n, m, q
+//! ```
+//!
+//! The paper constructs a 15,575-gene Arabidopsis thaliana network from
+//! 3,137 microarrays in 22 minutes on one Xeon Phi. This example runs the
+//! identical pipeline on a synthetic compendium of the requested size,
+//! then projects the measured pair rate to the full 15,575-gene problem
+//! and prints it next to the calibrated platform-model predictions.
+
+use genome_net::core::{infer_network, InferenceConfig};
+use genome_net::grnsim::{GrnConfig, SyntheticDataset};
+use genome_net::phi::scenarios::{headline_predictions, paper_claims};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let genes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(512);
+    let samples: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3_137);
+    let q: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    println!("generating synthetic compendium: {genes} genes × {samples} experiments …");
+    let dataset = SyntheticDataset::generate(
+        GrnConfig { genes, samples, ..GrnConfig::arabidopsis_like_scaled(genes) },
+        2014,
+    );
+
+    let config = InferenceConfig { permutations: q, ..InferenceConfig::default() };
+    println!(
+        "running pipeline (b=10, k=3, q={q}, α={}, kernel=vector, scheduler=dynamic) …",
+        config.alpha
+    );
+    let result = infer_network(&dataset.matrix, &config);
+
+    let stats = &result.stats;
+    println!("\n── this machine ──");
+    println!("  genes           {genes}");
+    println!("  pairs           {}", stats.pairs);
+    println!("  edges           {}", result.network.edge_count());
+    println!("  prep            {:?}", stats.prep_time);
+    println!("  MI stage        {:?}", stats.mi_time);
+    println!("  pair rate       {:.0} pairs/s", stats.pair_rate());
+    println!("  threshold I*    {:.4} nats", stats.threshold);
+
+    // Project this host's measured rate to the full problem.
+    let full_pairs = (paper_claims::GENES as u64 * (paper_claims::GENES as u64 - 1)) / 2;
+    let projected_minutes = full_pairs as f64 / stats.pair_rate() / 60.0;
+    println!("\n── projected to the full 15,575-gene compendium ──");
+    println!("  this host       {projected_minutes:.0} min ({:.1} h)", projected_minutes / 60.0);
+
+    println!("\n── calibrated platform models (full problem, q=30) ──");
+    for p in headline_predictions() {
+        println!("  {:55} {:7.1} min", p.platform, p.minutes);
+    }
+    println!(
+        "  {:55} {:7.1} min   ← the paper's cited result",
+        "Xeon Phi (paper, IPDPS 2014 abstract)",
+        paper_claims::PHI_HEADLINE_MINUTES
+    );
+}

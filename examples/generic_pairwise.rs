@@ -1,0 +1,91 @@
+//! The paper's closing claim — "our optimization … holds out lessons that
+//! are applicable to other domains" — demonstrated on a different domain:
+//! an all-pairs *Jaccard similarity* matrix over random item sets,
+//! computed with the exact tiled runtime (tile decomposition, per-thread
+//! contexts, scheduling policies) the MI pipeline uses.
+//!
+//! ```text
+//! cargo run --release --example generic_pairwise
+//! ```
+
+use genome_net::parallel::{compute_pairwise, pair_index, SchedulerPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    // 400 items, each a sparse set of tags out of a 512-tag universe.
+    let n = 400;
+    let universe = 512;
+    let mut rng = StdRng::seed_from_u64(7);
+    let items: Vec<Vec<u64>> = (0..n)
+        .map(|_| {
+            // Bitset representation: 8 × u64 = 512 bits.
+            let mut bits = vec![0u64; universe / 64];
+            for _ in 0..rng.gen_range(10..60) {
+                let tag = rng.gen_range(0..universe);
+                bits[tag / 64] |= 1 << (tag % 64);
+            }
+            bits
+        })
+        .collect();
+    let items = &items;
+
+    println!("all-pairs Jaccard over {n} items ({} pairs)\n", n * (n - 1) / 2);
+    println!("{:>14}  {:>10}  {:>10}", "policy", "ms", "imbalance");
+    let mut reference: Option<Vec<f32>> = None;
+    for policy in SchedulerPolicy::ALL {
+        let t0 = Instant::now();
+        let (packed, report) = compute_pairwise(
+            n,
+            32, // tile: 64 items' bitsets per tile — cache-resident
+            4,
+            policy,
+            |_tid| (),
+            |_, i, j| {
+                let (a, b) = (&items[i], &items[j]);
+                let mut inter = 0u32;
+                let mut union = 0u32;
+                for (x, y) in a.iter().zip(b) {
+                    inter += (x & y).count_ones();
+                    union += (x | y).count_ones();
+                }
+                if union == 0 {
+                    0.0
+                } else {
+                    inter as f32 / union as f32
+                }
+            },
+        );
+        println!(
+            "{:>14}  {:>10.1}  {:>10.3}",
+            policy.name(),
+            t0.elapsed().as_secs_f64() * 1e3,
+            report.imbalance()
+        );
+        match &reference {
+            None => reference = Some(packed),
+            Some(r) => assert_eq!(r, &packed, "policies must agree exactly"),
+        }
+    }
+
+    let packed = reference.expect("at least one policy ran");
+    let (mut best, mut best_pair) = (0.0f32, (0usize, 0usize));
+    for i in 0..n {
+        for j in i + 1..n {
+            let v = packed[pair_index(n, i, j)];
+            if v > best {
+                best = v;
+                best_pair = (i, j);
+            }
+        }
+    }
+    println!(
+        "\nmost similar pair: items {} and {} at Jaccard {:.3}",
+        best_pair.0, best_pair.1, best
+    );
+    println!(
+        "\nSame runtime, different domain — the tile/scheduler machinery is\n\
+         exactly what ran the 15,575-gene MI computation."
+    );
+}

@@ -1,0 +1,44 @@
+//! Scaling study over the calibrated platform models (experiments R2/R3).
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+//!
+//! Prints the strong-scaling speedup curves for the Xeon Phi (1 → 244
+//! threads) and the dual-socket Xeon (1 → 32 threads), and the Phi's
+//! threads-per-core series — the two figures that characterize the
+//! paper's multi-level parallelism.
+
+use genome_net::phi::scenarios::{strong_scaling, threads_per_core};
+
+fn bar(speedup: f64, scale: f64) -> String {
+    "█".repeat(((speedup / scale).ceil() as usize).max(1))
+}
+
+fn main() {
+    let genes = 2_048;
+    println!("workload: n = {genes}, m = 3,137, q = 30 (modeled)\n");
+
+    for (platform, curve) in strong_scaling(genes) {
+        println!("strong scaling — {platform}");
+        println!("{:>8}  {:>9}  curve", "threads", "speedup");
+        let max = curve.iter().map(|&(_, s)| s).fold(1.0, f64::max);
+        for (threads, speedup) in &curve {
+            println!("{threads:>8}  {speedup:>8.1}x  {}", bar(*speedup, max / 40.0));
+        }
+        println!();
+    }
+
+    println!("threads per core — Xeon Phi, all 61 cores busy");
+    println!("{:>12}  {:>12}  {:>10}", "threads/core", "wall seconds", "speedup");
+    let series = threads_per_core(genes);
+    let base = series[0].1;
+    for (tpc, wall) in series {
+        println!("{tpc:>12}  {wall:>12.1}  {:>9.2}x", base / wall);
+    }
+    println!(
+        "\nreading: the KNC core cannot issue from a single thread on consecutive\n\
+         cycles, so 2 threads/core ≈ doubles throughput and 3–4 add a final ~20%.\n\
+         This is the signature shape of the paper's Figure-family R2/R3."
+    );
+}

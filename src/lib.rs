@@ -1,0 +1,17 @@
+//! `genome-net` — facade crate re-exporting the full workspace API.
+//!
+//! See the individual crates for documentation; this facade exists so the
+//! repository-level examples and integration tests can address everything
+//! through one dependency, the way a downstream user would.
+
+pub use gnet_bspline as bspline;
+pub use gnet_cluster as cluster;
+pub use gnet_core as core;
+pub use gnet_expr as expr;
+pub use gnet_graph as graph;
+pub use gnet_grnsim as grnsim;
+pub use gnet_mi as mi;
+pub use gnet_parallel as parallel;
+pub use gnet_permute as permute;
+pub use gnet_phi as phi;
+pub use gnet_simd as simd;

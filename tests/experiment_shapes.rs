@@ -1,0 +1,105 @@
+//! Shape checks over the experiment harness — the same invariants
+//! EXPERIMENTS.md commits to, asserted in CI so the reproduction cannot
+//! silently drift away from the paper's qualitative results.
+
+use genome_net::phi::scenarios::{
+    self, headline_predictions, paper_claims, strong_scaling, threads_per_core,
+    vectorization_speedups,
+};
+use genome_net::phi::{KernelClass, MachineModel, WorkloadModel};
+
+#[test]
+fn r1_headline_is_in_the_papers_regime() {
+    let preds = headline_predictions();
+    let phi = preds.iter().find(|p| p.platform.contains("Phi")).unwrap();
+    // Within ±50% of the cited 22 minutes and faster than the dual Xeon.
+    assert!(
+        phi.minutes > paper_claims::PHI_HEADLINE_MINUTES * 0.5
+            && phi.minutes < paper_claims::PHI_HEADLINE_MINUTES * 1.5,
+        "Phi modeled at {:.1} min vs cited 22",
+        phi.minutes
+    );
+}
+
+#[test]
+fn r2_scaling_curves_saturate_where_the_hardware_does() {
+    for (platform, curve) in strong_scaling(2048) {
+        let best = curve.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+        if platform.contains("Phi") {
+            assert!(best > 100.0, "{platform}: peak speedup {best}");
+        } else {
+            assert!(best > 14.0 && best < 33.0, "{platform}: peak speedup {best}");
+        }
+        // Monotone non-decreasing in threads.
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 * 0.99, "{platform}: speedup regressed: {curve:?}");
+        }
+    }
+}
+
+#[test]
+fn r3_best_operating_point_is_four_threads_per_core() {
+    let series = threads_per_core(2048);
+    let best = series
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(best, 4, "KNC wants all four SMT threads");
+}
+
+#[test]
+fn r4_vectorization_gain_ordering() {
+    let rows = vectorization_speedups();
+    let phi = rows.iter().find(|r| r.0.contains("Phi")).unwrap().1;
+    let xeon = rows.iter().find(|r| r.0.contains("E5")).unwrap().1;
+    assert!(phi > 6.0, "Phi gain {phi}");
+    assert!(xeon > 1.2, "Xeon gain {xeon}");
+    assert!(phi > xeon, "Phi must gain more from vectorization");
+}
+
+#[test]
+fn r5_quadratic_r6_linear() {
+    let genes = scenarios::gene_sweep(&[2_000, 4_000, 8_000]);
+    let g_ratio = genes[2].1 / genes[0].1;
+    assert!((12.0..20.0).contains(&g_ratio), "4× genes ⇒ ~16× time, got {g_ratio:.1}");
+
+    let samples = scenarios::sample_sweep(2_048, &[1_000, 2_000, 4_000]);
+    let s_ratio = samples[2].1 / samples[0].1;
+    assert!((3.0..5.0).contains(&s_ratio), "4× samples ⇒ ~4× time, got {s_ratio:.1}");
+}
+
+#[test]
+fn r7_dynamic_never_loses() {
+    let rows = scenarios::scheduler_comparison(2048);
+    let dynamic = rows.iter().find(|r| r.0 == "dynamic").unwrap().1;
+    for (name, wall, imbalance) in &rows {
+        assert!(dynamic <= wall * 1.001, "dynamic lost to {name}");
+        assert!(*imbalance >= 1.0, "{name} reported impossible imbalance {imbalance}");
+    }
+}
+
+#[test]
+fn r9_platform_ordering_matches_the_paper() {
+    let preds = headline_predictions();
+    let get = |needle: &str| preds.iter().find(|p| p.platform.contains(needle)).unwrap().minutes;
+    let phi = get("Phi");
+    let xeon = get("E5");
+    let bgl = get("Blue Gene");
+    assert!(bgl < phi, "1,024 BG/L cores beat one Phi (paper: 9 vs 22 min)");
+    assert!(phi < xeon, "one Phi beats the dual Xeon");
+    assert!(phi / bgl < 6.0, "…but the single chip stays within a few ×");
+}
+
+#[test]
+fn workload_model_agrees_with_kernel_flop_ratios() {
+    // The modeled scalar/vector cycle ratio must track the actual flop
+    // ratio within the documented overhead constants.
+    let w = WorkloadModel::arabidopsis_headline();
+    let phi = MachineModel::xeon_phi_5110p();
+    let scalar = WorkloadModel { kernel: KernelClass::ScalarSparse, ..w };
+    let vector = WorkloadModel { kernel: KernelClass::VectorDense, ..w };
+    // At q=30 the joints dominate; prep and entropy are second order.
+    let ratio = scalar.pair_cycles(&phi) / vector.pair_cycles(&phi);
+    assert!((ratio - w.vectorization_speedup(&phi)).abs() < 1e-9);
+}

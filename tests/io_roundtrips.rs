@@ -1,0 +1,91 @@
+//! Interchange-format round trips across crates: expression TSV, binary
+//! snapshots, and network edge lists survive a full write/read cycle and
+//! reproduce identical inference results.
+
+use genome_net::core::{infer_network, InferenceConfig};
+use genome_net::expr::io::{from_snapshot, read_tsv, to_snapshot, write_tsv};
+use genome_net::expr::MissingPolicy;
+use genome_net::graph::io::{read_edge_list, write_edge_list};
+use genome_net::grnsim::{GrnConfig, SyntheticDataset};
+
+fn config() -> InferenceConfig {
+    InferenceConfig {
+        permutations: 10,
+        threads: Some(1),
+        tile_size: Some(10),
+        ..InferenceConfig::default()
+    }
+}
+
+#[test]
+fn expression_tsv_roundtrip_preserves_inference() {
+    let ds = SyntheticDataset::generate(
+        GrnConfig { genes: 20, samples: 120, ..GrnConfig::small() },
+        31,
+    );
+    let direct = infer_network(&ds.matrix, &config());
+
+    let mut buf = Vec::new();
+    write_tsv(&ds.matrix, &mut buf).unwrap();
+    let reparsed = read_tsv(&buf[..], true, MissingPolicy::Error).unwrap();
+    // f32 values printed with full shortest-roundtrip precision.
+    assert_eq!(reparsed, ds.matrix);
+
+    let via_tsv = infer_network(&reparsed, &config());
+    assert_eq!(direct.network, via_tsv.network);
+}
+
+#[test]
+fn snapshot_roundtrip_is_bit_exact() {
+    let ds = SyntheticDataset::generate(
+        GrnConfig { genes: 15, samples: 64, ..GrnConfig::small() },
+        77,
+    );
+    let bytes = to_snapshot(&ds.matrix);
+    let back = from_snapshot(bytes).unwrap();
+    assert_eq!(back, ds.matrix);
+}
+
+#[test]
+fn network_edge_list_roundtrip() {
+    let ds = SyntheticDataset::generate(
+        GrnConfig { genes: 25, samples: 200, ..GrnConfig::small() },
+        13,
+    );
+    let result = infer_network(&ds.matrix, &config());
+    assert!(result.network.edge_count() > 0, "test needs a non-empty network");
+
+    let mut buf = Vec::new();
+    write_edge_list(&result.network, &mut buf).unwrap();
+    let back = read_edge_list(
+        &buf[..],
+        result.network.genes(),
+        result.network.gene_names().to_vec(),
+    )
+    .unwrap();
+    assert_eq!(back, result.network);
+}
+
+#[test]
+fn tsv_with_missing_values_is_imputed_then_inferable() {
+    // Corrupt a matrix with NAs, write, read with mean imputation, infer.
+    let ds = SyntheticDataset::generate(
+        GrnConfig { genes: 12, samples: 80, ..GrnConfig::small() },
+        55,
+    );
+    let mut buf = Vec::new();
+    write_tsv(&ds.matrix, &mut buf).unwrap();
+    let mut text = String::from_utf8(buf).unwrap();
+    // Replace the first data cell of the second data line with NA.
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let cells: Vec<&str> = lines[2].split('\t').collect();
+    let mut new_cells: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+    new_cells[1] = "NA".into();
+    lines[2] = new_cells.join("\t");
+    text = lines.join("\n");
+
+    assert!(read_tsv(text.as_bytes(), true, MissingPolicy::Error).is_err());
+    let imputed = read_tsv(text.as_bytes(), true, MissingPolicy::MeanImpute).unwrap();
+    let result = infer_network(&imputed, &config());
+    assert_eq!(result.stats.pairs, 66);
+}

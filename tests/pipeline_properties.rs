@@ -1,0 +1,90 @@
+//! Property-based tests over the whole pipeline (random small matrices).
+
+use genome_net::core::{infer_network, InferenceConfig, NullStrategy};
+use genome_net::expr::{ExpressionMatrix, MissingPolicy};
+use genome_net::mi::MiKernel;
+use proptest::prelude::*;
+
+fn arbitrary_matrix() -> impl Strategy<Value = ExpressionMatrix> {
+    // 4–10 genes × 12–40 samples of bounded floats.
+    (4usize..=10, 12usize..=40).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(-100.0f32..100.0, n * m).prop_map(move |data| {
+            ExpressionMatrix::from_flat(n, m, data, MissingPolicy::Error)
+                .expect("generated data is finite")
+        })
+    })
+}
+
+fn small_config(seed: u64) -> InferenceConfig {
+    InferenceConfig {
+        permutations: 6,
+        threads: Some(2),
+        tile_size: Some(3),
+        seed,
+        ..InferenceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn network_invariants_hold_for_any_input(matrix in arbitrary_matrix(), seed in 0u64..100) {
+        let cfg = small_config(seed);
+        let result = infer_network(&matrix, &cfg);
+        let net = &result.network;
+
+        // Structural invariants.
+        prop_assert_eq!(net.genes(), matrix.genes());
+        prop_assert_eq!(net.gene_names().len(), matrix.genes());
+        let pairs = (matrix.genes() as u64) * (matrix.genes() as u64 - 1) / 2;
+        prop_assert_eq!(result.stats.pairs, pairs);
+        prop_assert!(net.edge_count() as u64 <= result.stats.candidates);
+        prop_assert_eq!(result.stats.joints_evaluated, pairs * 7); // q=6 → 7 joints
+
+        // Every edge beat the threshold and has a positive weight.
+        for e in net.edges() {
+            prop_assert!(e.a < e.b);
+            prop_assert!((e.b as usize) < matrix.genes());
+            prop_assert!(e.weight as f64 > result.stats.threshold);
+        }
+
+        // Degrees are consistent with the edge list.
+        let degree_sum: usize = (0..net.genes()).map(|g| net.degree(g)).sum();
+        prop_assert_eq!(degree_sum, 2 * net.edge_count());
+    }
+
+    #[test]
+    fn kernels_agree_on_any_input(matrix in arbitrary_matrix(), seed in 0u64..50) {
+        let vector = infer_network(&matrix, &InferenceConfig {
+            kernel: MiKernel::VectorDense, ..small_config(seed)
+        });
+        let scalar = infer_network(&matrix, &InferenceConfig {
+            kernel: MiKernel::ScalarSparse, ..small_config(seed)
+        });
+        let a: Vec<_> = vector.network.edges().iter().map(|e| e.key()).collect();
+        let b: Vec<_> = scalar.network.edges().iter().map(|e| e.key()).collect();
+        prop_assert_eq!(a, b, "kernels disagreed on the edge set");
+    }
+
+    #[test]
+    fn early_exit_is_exact_under_a_shared_threshold(
+        matrix in arbitrary_matrix(),
+        seed in 0u64..50,
+        threshold in 0.01f64..0.5,
+    ) {
+        let exact = infer_network(&matrix, &InferenceConfig {
+            mi_threshold: Some(threshold),
+            ..small_config(seed)
+        });
+        let early = infer_network(&matrix, &InferenceConfig {
+            mi_threshold: Some(threshold),
+            null_strategy: NullStrategy::EarlyExit,
+            ..small_config(seed)
+        });
+        let a: Vec<_> = exact.network.edges().iter().map(|e| e.key()).collect();
+        let b: Vec<_> = early.network.edges().iter().map(|e| e.key()).collect();
+        prop_assert_eq!(a, b, "early exit changed a decision");
+        prop_assert!(early.stats.joints_evaluated <= exact.stats.joints_evaluated);
+    }
+}
