@@ -148,6 +148,9 @@ mod tests {
         let x: Vec<f32> = (0..300).map(|_| rng.gen()).collect();
         let y: Vec<f32> = (0..300).map(|_| rng.gen()).collect();
         let h = HistogramEstimator::new(6);
-        assert!((h.mi(&x, &y) - h.mi(&y, &x)).abs() < 1e-12);
+        // mi(y, x) walks the transposed joint table, so xlogx_sum adds the
+        // same f32 terms in a different order; the mismatch is bounded by
+        // f32 rounding of the joint sum, not f64 precision.
+        assert!((h.mi(&x, &y) - h.mi(&y, &x)).abs() < 1e-6);
     }
 }

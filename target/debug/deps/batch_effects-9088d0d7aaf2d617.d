@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_effects-9088d0d7aaf2d617.d: tests/batch_effects.rs
+
+/root/repo/target/debug/deps/batch_effects-9088d0d7aaf2d617: tests/batch_effects.rs
+
+tests/batch_effects.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_integration-77f6301313d20679.d: tests/cluster_integration.rs
+
+/root/repo/target/debug/deps/cluster_integration-77f6301313d20679: tests/cluster_integration.rs
+
+tests/cluster_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-75b4515f39b70e13.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-75b4515f39b70e13: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

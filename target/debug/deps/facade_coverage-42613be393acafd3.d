@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facade_coverage-42613be393acafd3.d: tests/facade_coverage.rs
+
+/root/repo/target/debug/deps/facade_coverage-42613be393acafd3: tests/facade_coverage.rs
+
+tests/facade_coverage.rs:

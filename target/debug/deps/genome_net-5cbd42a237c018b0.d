@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/genome_net-5cbd42a237c018b0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgenome_net-5cbd42a237c018b0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgenome_net-5cbd42a237c018b0.rmeta: src/lib.rs
+
+src/lib.rs:

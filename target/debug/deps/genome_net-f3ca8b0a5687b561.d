@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/genome_net-f3ca8b0a5687b561.d: src/lib.rs
+
+/root/repo/target/debug/deps/genome_net-f3ca8b0a5687b561: src/lib.rs
+
+src/lib.rs:

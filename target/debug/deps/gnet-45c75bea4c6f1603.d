@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gnet-45c75bea4c6f1603.d: crates/cli/src/bin/gnet.rs
+
+/root/repo/target/debug/deps/gnet-45c75bea4c6f1603: crates/cli/src/bin/gnet.rs
+
+crates/cli/src/bin/gnet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gnet_bench-1cfe2449dd0b796f.d: crates/bench/src/lib.rs crates/bench/src/measured.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/gnet_bench-1cfe2449dd0b796f: crates/bench/src/lib.rs crates/bench/src/measured.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measured.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gnet_bench-5a0a42e35c914a9e.d: crates/bench/src/lib.rs crates/bench/src/measured.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libgnet_bench-5a0a42e35c914a9e.rlib: crates/bench/src/lib.rs crates/bench/src/measured.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libgnet_bench-5a0a42e35c914a9e.rmeta: crates/bench/src/lib.rs crates/bench/src/measured.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measured.rs:
+crates/bench/src/table.rs:

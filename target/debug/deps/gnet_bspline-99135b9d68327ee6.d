@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gnet_bspline-99135b9d68327ee6.d: crates/bspline/src/lib.rs crates/bspline/src/basis.rs crates/bspline/src/weights.rs
+
+/root/repo/target/debug/deps/libgnet_bspline-99135b9d68327ee6.rlib: crates/bspline/src/lib.rs crates/bspline/src/basis.rs crates/bspline/src/weights.rs
+
+/root/repo/target/debug/deps/libgnet_bspline-99135b9d68327ee6.rmeta: crates/bspline/src/lib.rs crates/bspline/src/basis.rs crates/bspline/src/weights.rs
+
+crates/bspline/src/lib.rs:
+crates/bspline/src/basis.rs:
+crates/bspline/src/weights.rs:

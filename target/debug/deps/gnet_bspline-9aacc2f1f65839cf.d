@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gnet_bspline-9aacc2f1f65839cf.d: crates/bspline/src/lib.rs crates/bspline/src/basis.rs crates/bspline/src/weights.rs
+
+/root/repo/target/debug/deps/gnet_bspline-9aacc2f1f65839cf: crates/bspline/src/lib.rs crates/bspline/src/basis.rs crates/bspline/src/weights.rs
+
+crates/bspline/src/lib.rs:
+crates/bspline/src/basis.rs:
+crates/bspline/src/weights.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gnet_cli-7e9603f1db063fd6.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/gnet_cli-7e9603f1db063fd6: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gnet_cluster-3df90b1719aa8d44.d: crates/cluster/src/lib.rs crates/cluster/src/codec.rs crates/cluster/src/comm.rs crates/cluster/src/distributed.rs
+
+/root/repo/target/debug/deps/libgnet_cluster-3df90b1719aa8d44.rlib: crates/cluster/src/lib.rs crates/cluster/src/codec.rs crates/cluster/src/comm.rs crates/cluster/src/distributed.rs
+
+/root/repo/target/debug/deps/libgnet_cluster-3df90b1719aa8d44.rmeta: crates/cluster/src/lib.rs crates/cluster/src/codec.rs crates/cluster/src/comm.rs crates/cluster/src/distributed.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/codec.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/distributed.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gnet_cluster-e35a1841ba335d52.d: crates/cluster/src/lib.rs crates/cluster/src/codec.rs crates/cluster/src/comm.rs crates/cluster/src/distributed.rs
+
+/root/repo/target/debug/deps/gnet_cluster-e35a1841ba335d52: crates/cluster/src/lib.rs crates/cluster/src/codec.rs crates/cluster/src/comm.rs crates/cluster/src/distributed.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/codec.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/distributed.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gnet_core-1cdd00799f12dd33.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/mi_matrix.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/result.rs
+
+/root/repo/target/debug/deps/gnet_core-1cdd00799f12dd33: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/mi_matrix.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/result.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/mi_matrix.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/plan.rs:
+crates/core/src/result.rs:

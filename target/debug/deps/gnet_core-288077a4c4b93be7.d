@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gnet_core-288077a4c4b93be7.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/mi_matrix.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/result.rs
+
+/root/repo/target/debug/deps/libgnet_core-288077a4c4b93be7.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/mi_matrix.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/result.rs
+
+/root/repo/target/debug/deps/libgnet_core-288077a4c4b93be7.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/mi_matrix.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/result.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/mi_matrix.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/plan.rs:
+crates/core/src/result.rs:

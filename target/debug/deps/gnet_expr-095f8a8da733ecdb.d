@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gnet_expr-095f8a8da733ecdb.d: crates/expr/src/lib.rs crates/expr/src/io.rs crates/expr/src/matrix.rs crates/expr/src/normalize.rs crates/expr/src/stats.rs crates/expr/src/synth.rs
+
+/root/repo/target/debug/deps/gnet_expr-095f8a8da733ecdb: crates/expr/src/lib.rs crates/expr/src/io.rs crates/expr/src/matrix.rs crates/expr/src/normalize.rs crates/expr/src/stats.rs crates/expr/src/synth.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/io.rs:
+crates/expr/src/matrix.rs:
+crates/expr/src/normalize.rs:
+crates/expr/src/stats.rs:
+crates/expr/src/synth.rs:

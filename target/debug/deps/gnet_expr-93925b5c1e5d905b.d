@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gnet_expr-93925b5c1e5d905b.d: crates/expr/src/lib.rs crates/expr/src/io.rs crates/expr/src/matrix.rs crates/expr/src/normalize.rs crates/expr/src/stats.rs crates/expr/src/synth.rs
+
+/root/repo/target/debug/deps/libgnet_expr-93925b5c1e5d905b.rlib: crates/expr/src/lib.rs crates/expr/src/io.rs crates/expr/src/matrix.rs crates/expr/src/normalize.rs crates/expr/src/stats.rs crates/expr/src/synth.rs
+
+/root/repo/target/debug/deps/libgnet_expr-93925b5c1e5d905b.rmeta: crates/expr/src/lib.rs crates/expr/src/io.rs crates/expr/src/matrix.rs crates/expr/src/normalize.rs crates/expr/src/stats.rs crates/expr/src/synth.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/io.rs:
+crates/expr/src/matrix.rs:
+crates/expr/src/normalize.rs:
+crates/expr/src/stats.rs:
+crates/expr/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gnet_graph-3f4e9539cb33b979.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/dpi.rs crates/graph/src/io.rs crates/graph/src/metrics.rs crates/graph/src/network.rs
+
+/root/repo/target/debug/deps/libgnet_graph-3f4e9539cb33b979.rlib: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/dpi.rs crates/graph/src/io.rs crates/graph/src/metrics.rs crates/graph/src/network.rs
+
+/root/repo/target/debug/deps/libgnet_graph-3f4e9539cb33b979.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/dpi.rs crates/graph/src/io.rs crates/graph/src/metrics.rs crates/graph/src/network.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/dpi.rs:
+crates/graph/src/io.rs:
+crates/graph/src/metrics.rs:
+crates/graph/src/network.rs:

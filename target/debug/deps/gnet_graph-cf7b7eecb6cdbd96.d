@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gnet_graph-cf7b7eecb6cdbd96.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/dpi.rs crates/graph/src/io.rs crates/graph/src/metrics.rs crates/graph/src/network.rs
+
+/root/repo/target/debug/deps/gnet_graph-cf7b7eecb6cdbd96: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/dpi.rs crates/graph/src/io.rs crates/graph/src/metrics.rs crates/graph/src/network.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/dpi.rs:
+crates/graph/src/io.rs:
+crates/graph/src/metrics.rs:
+crates/graph/src/network.rs:

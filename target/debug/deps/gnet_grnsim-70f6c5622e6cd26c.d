@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gnet_grnsim-70f6c5622e6cd26c.d: crates/grnsim/src/lib.rs crates/grnsim/src/dataset.rs crates/grnsim/src/kinetics.rs crates/grnsim/src/topology.rs
+
+/root/repo/target/debug/deps/gnet_grnsim-70f6c5622e6cd26c: crates/grnsim/src/lib.rs crates/grnsim/src/dataset.rs crates/grnsim/src/kinetics.rs crates/grnsim/src/topology.rs
+
+crates/grnsim/src/lib.rs:
+crates/grnsim/src/dataset.rs:
+crates/grnsim/src/kinetics.rs:
+crates/grnsim/src/topology.rs:

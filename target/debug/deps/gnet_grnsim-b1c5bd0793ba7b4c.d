@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gnet_grnsim-b1c5bd0793ba7b4c.d: crates/grnsim/src/lib.rs crates/grnsim/src/dataset.rs crates/grnsim/src/kinetics.rs crates/grnsim/src/topology.rs
+
+/root/repo/target/debug/deps/libgnet_grnsim-b1c5bd0793ba7b4c.rlib: crates/grnsim/src/lib.rs crates/grnsim/src/dataset.rs crates/grnsim/src/kinetics.rs crates/grnsim/src/topology.rs
+
+/root/repo/target/debug/deps/libgnet_grnsim-b1c5bd0793ba7b4c.rmeta: crates/grnsim/src/lib.rs crates/grnsim/src/dataset.rs crates/grnsim/src/kinetics.rs crates/grnsim/src/topology.rs
+
+crates/grnsim/src/lib.rs:
+crates/grnsim/src/dataset.rs:
+crates/grnsim/src/kinetics.rs:
+crates/grnsim/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gnet_mi-b1640a4fbc921ea1.d: crates/mi/src/lib.rs crates/mi/src/entropy.rs crates/mi/src/gene.rs crates/mi/src/histogram.rs crates/mi/src/ksg.rs crates/mi/src/sparse_kernel.rs crates/mi/src/vector_kernel.rs
+
+/root/repo/target/debug/deps/libgnet_mi-b1640a4fbc921ea1.rlib: crates/mi/src/lib.rs crates/mi/src/entropy.rs crates/mi/src/gene.rs crates/mi/src/histogram.rs crates/mi/src/ksg.rs crates/mi/src/sparse_kernel.rs crates/mi/src/vector_kernel.rs
+
+/root/repo/target/debug/deps/libgnet_mi-b1640a4fbc921ea1.rmeta: crates/mi/src/lib.rs crates/mi/src/entropy.rs crates/mi/src/gene.rs crates/mi/src/histogram.rs crates/mi/src/ksg.rs crates/mi/src/sparse_kernel.rs crates/mi/src/vector_kernel.rs
+
+crates/mi/src/lib.rs:
+crates/mi/src/entropy.rs:
+crates/mi/src/gene.rs:
+crates/mi/src/histogram.rs:
+crates/mi/src/ksg.rs:
+crates/mi/src/sparse_kernel.rs:
+crates/mi/src/vector_kernel.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gnet_mi-cbdf3885c703e26b.d: crates/mi/src/lib.rs crates/mi/src/entropy.rs crates/mi/src/gene.rs crates/mi/src/histogram.rs crates/mi/src/ksg.rs crates/mi/src/sparse_kernel.rs crates/mi/src/vector_kernel.rs
+
+/root/repo/target/debug/deps/gnet_mi-cbdf3885c703e26b: crates/mi/src/lib.rs crates/mi/src/entropy.rs crates/mi/src/gene.rs crates/mi/src/histogram.rs crates/mi/src/ksg.rs crates/mi/src/sparse_kernel.rs crates/mi/src/vector_kernel.rs
+
+crates/mi/src/lib.rs:
+crates/mi/src/entropy.rs:
+crates/mi/src/gene.rs:
+crates/mi/src/histogram.rs:
+crates/mi/src/ksg.rs:
+crates/mi/src/sparse_kernel.rs:
+crates/mi/src/vector_kernel.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gnet_parallel-8d918c75f9e7284f.d: crates/parallel/src/lib.rs crates/parallel/src/pairwise.rs crates/parallel/src/scheduler.rs crates/parallel/src/tile.rs
+
+/root/repo/target/debug/deps/gnet_parallel-8d918c75f9e7284f: crates/parallel/src/lib.rs crates/parallel/src/pairwise.rs crates/parallel/src/scheduler.rs crates/parallel/src/tile.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/pairwise.rs:
+crates/parallel/src/scheduler.rs:
+crates/parallel/src/tile.rs:

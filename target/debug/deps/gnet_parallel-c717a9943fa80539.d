@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gnet_parallel-c717a9943fa80539.d: crates/parallel/src/lib.rs crates/parallel/src/pairwise.rs crates/parallel/src/scheduler.rs crates/parallel/src/tile.rs
+
+/root/repo/target/debug/deps/libgnet_parallel-c717a9943fa80539.rlib: crates/parallel/src/lib.rs crates/parallel/src/pairwise.rs crates/parallel/src/scheduler.rs crates/parallel/src/tile.rs
+
+/root/repo/target/debug/deps/libgnet_parallel-c717a9943fa80539.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pairwise.rs crates/parallel/src/scheduler.rs crates/parallel/src/tile.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/pairwise.rs:
+crates/parallel/src/scheduler.rs:
+crates/parallel/src/tile.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gnet_permute-596bf9ec58ee5c04.d: crates/permute/src/lib.rs crates/permute/src/normal.rs crates/permute/src/permutation.rs crates/permute/src/significance.rs
+
+/root/repo/target/debug/deps/libgnet_permute-596bf9ec58ee5c04.rlib: crates/permute/src/lib.rs crates/permute/src/normal.rs crates/permute/src/permutation.rs crates/permute/src/significance.rs
+
+/root/repo/target/debug/deps/libgnet_permute-596bf9ec58ee5c04.rmeta: crates/permute/src/lib.rs crates/permute/src/normal.rs crates/permute/src/permutation.rs crates/permute/src/significance.rs
+
+crates/permute/src/lib.rs:
+crates/permute/src/normal.rs:
+crates/permute/src/permutation.rs:
+crates/permute/src/significance.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gnet_permute-fc10622712ff3593.d: crates/permute/src/lib.rs crates/permute/src/normal.rs crates/permute/src/permutation.rs crates/permute/src/significance.rs
+
+/root/repo/target/debug/deps/gnet_permute-fc10622712ff3593: crates/permute/src/lib.rs crates/permute/src/normal.rs crates/permute/src/permutation.rs crates/permute/src/significance.rs
+
+crates/permute/src/lib.rs:
+crates/permute/src/normal.rs:
+crates/permute/src/permutation.rs:
+crates/permute/src/significance.rs:

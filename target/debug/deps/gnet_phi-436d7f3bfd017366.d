@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gnet_phi-436d7f3bfd017366.d: crates/phi/src/lib.rs crates/phi/src/calibrate.rs crates/phi/src/energy.rs crates/phi/src/machine.rs crates/phi/src/offload.rs crates/phi/src/scenarios.rs crates/phi/src/sim.rs crates/phi/src/workload.rs
+
+/root/repo/target/debug/deps/gnet_phi-436d7f3bfd017366: crates/phi/src/lib.rs crates/phi/src/calibrate.rs crates/phi/src/energy.rs crates/phi/src/machine.rs crates/phi/src/offload.rs crates/phi/src/scenarios.rs crates/phi/src/sim.rs crates/phi/src/workload.rs
+
+crates/phi/src/lib.rs:
+crates/phi/src/calibrate.rs:
+crates/phi/src/energy.rs:
+crates/phi/src/machine.rs:
+crates/phi/src/offload.rs:
+crates/phi/src/scenarios.rs:
+crates/phi/src/sim.rs:
+crates/phi/src/workload.rs:

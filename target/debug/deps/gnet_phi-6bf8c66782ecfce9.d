@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gnet_phi-6bf8c66782ecfce9.d: crates/phi/src/lib.rs crates/phi/src/calibrate.rs crates/phi/src/energy.rs crates/phi/src/machine.rs crates/phi/src/offload.rs crates/phi/src/scenarios.rs crates/phi/src/sim.rs crates/phi/src/workload.rs
+
+/root/repo/target/debug/deps/libgnet_phi-6bf8c66782ecfce9.rlib: crates/phi/src/lib.rs crates/phi/src/calibrate.rs crates/phi/src/energy.rs crates/phi/src/machine.rs crates/phi/src/offload.rs crates/phi/src/scenarios.rs crates/phi/src/sim.rs crates/phi/src/workload.rs
+
+/root/repo/target/debug/deps/libgnet_phi-6bf8c66782ecfce9.rmeta: crates/phi/src/lib.rs crates/phi/src/calibrate.rs crates/phi/src/energy.rs crates/phi/src/machine.rs crates/phi/src/offload.rs crates/phi/src/scenarios.rs crates/phi/src/sim.rs crates/phi/src/workload.rs
+
+crates/phi/src/lib.rs:
+crates/phi/src/calibrate.rs:
+crates/phi/src/energy.rs:
+crates/phi/src/machine.rs:
+crates/phi/src/offload.rs:
+crates/phi/src/scenarios.rs:
+crates/phi/src/sim.rs:
+crates/phi/src/workload.rs:

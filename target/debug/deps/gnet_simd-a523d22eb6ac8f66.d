@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gnet_simd-a523d22eb6ac8f66.d: crates/simd/src/lib.rs crates/simd/src/lanes.rs crates/simd/src/model.rs crates/simd/src/slice_ops.rs
+
+/root/repo/target/debug/deps/gnet_simd-a523d22eb6ac8f66: crates/simd/src/lib.rs crates/simd/src/lanes.rs crates/simd/src/model.rs crates/simd/src/slice_ops.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/lanes.rs:
+crates/simd/src/model.rs:
+crates/simd/src/slice_ops.rs:

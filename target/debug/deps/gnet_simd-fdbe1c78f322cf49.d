@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gnet_simd-fdbe1c78f322cf49.d: crates/simd/src/lib.rs crates/simd/src/lanes.rs crates/simd/src/model.rs crates/simd/src/slice_ops.rs
+
+/root/repo/target/debug/deps/libgnet_simd-fdbe1c78f322cf49.rlib: crates/simd/src/lib.rs crates/simd/src/lanes.rs crates/simd/src/model.rs crates/simd/src/slice_ops.rs
+
+/root/repo/target/debug/deps/libgnet_simd-fdbe1c78f322cf49.rmeta: crates/simd/src/lib.rs crates/simd/src/lanes.rs crates/simd/src/model.rs crates/simd/src/slice_ops.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/lanes.rs:
+crates/simd/src/model.rs:
+crates/simd/src/slice_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_roundtrips-b176653697e30c04.d: tests/io_roundtrips.rs
+
+/root/repo/target/debug/deps/io_roundtrips-b176653697e30c04: tests/io_roundtrips.rs
+
+tests/io_roundtrips.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-b4af0e7ec667cd81.d: tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-b4af0e7ec667cd81: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

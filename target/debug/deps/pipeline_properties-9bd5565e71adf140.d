@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-9bd5565e71adf140.d: tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-9bd5565e71adf140: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

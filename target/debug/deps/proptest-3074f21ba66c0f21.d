@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-3074f21ba66c0f21.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-3074f21ba66c0f21.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-3074f21ba66c0f21.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8edff6b662e0f9bf.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8edff6b662e0f9bf: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-a20118b4d2b2ea37.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-a20118b4d2b2ea37: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/statistical_validity-58099cd4cd0504d1.d: tests/statistical_validity.rs
+
+/root/repo/target/debug/deps/statistical_validity-58099cd4cd0504d1: tests/statistical_validity.rs
+
+tests/statistical_validity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accuracy_study-4c72aec03ac63428.d: examples/accuracy_study.rs
+
+/root/repo/target/debug/examples/accuracy_study-4c72aec03ac63428: examples/accuracy_study.rs
+
+examples/accuracy_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arabidopsis-694db0ef2b8f43d7.d: examples/arabidopsis.rs
+
+/root/repo/target/debug/examples/arabidopsis-694db0ef2b8f43d7: examples/arabidopsis.rs
+
+examples/arabidopsis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_cluster-db7c06ceae7cdf7d.d: examples/distributed_cluster.rs
+
+/root/repo/target/debug/examples/distributed_cluster-db7c06ceae7cdf7d: examples/distributed_cluster.rs
+
+examples/distributed_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generic_pairwise-3ccb5241682f9d62.d: examples/generic_pairwise.rs
+
+/root/repo/target/debug/examples/generic_pairwise-3ccb5241682f9d62: examples/generic_pairwise.rs
+
+examples/generic_pairwise.rs:

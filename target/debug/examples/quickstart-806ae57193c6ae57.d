@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-806ae57193c6ae57.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-806ae57193c6ae57: examples/quickstart.rs
+
+examples/quickstart.rs:

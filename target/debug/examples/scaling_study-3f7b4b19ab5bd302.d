@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-3f7b4b19ab5bd302.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-3f7b4b19ab5bd302: examples/scaling_study.rs
+
+examples/scaling_study.rs:

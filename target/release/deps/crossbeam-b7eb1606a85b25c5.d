@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-b7eb1606a85b25c5.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/release/deps/libcrossbeam-b7eb1606a85b25c5.rlib: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/release/deps/libcrossbeam-b7eb1606a85b25c5.rmeta: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:
+vendor/crossbeam/src/thread.rs:

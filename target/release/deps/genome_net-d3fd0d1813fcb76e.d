@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/genome_net-d3fd0d1813fcb76e.d: src/lib.rs
+
+/root/repo/target/release/deps/libgenome_net-d3fd0d1813fcb76e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgenome_net-d3fd0d1813fcb76e.rmeta: src/lib.rs
+
+src/lib.rs:

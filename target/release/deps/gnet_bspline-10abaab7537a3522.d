@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gnet_bspline-10abaab7537a3522.d: crates/bspline/src/lib.rs crates/bspline/src/basis.rs crates/bspline/src/weights.rs
+
+/root/repo/target/release/deps/libgnet_bspline-10abaab7537a3522.rlib: crates/bspline/src/lib.rs crates/bspline/src/basis.rs crates/bspline/src/weights.rs
+
+/root/repo/target/release/deps/libgnet_bspline-10abaab7537a3522.rmeta: crates/bspline/src/lib.rs crates/bspline/src/basis.rs crates/bspline/src/weights.rs
+
+crates/bspline/src/lib.rs:
+crates/bspline/src/basis.rs:
+crates/bspline/src/weights.rs:

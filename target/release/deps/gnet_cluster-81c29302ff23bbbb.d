@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gnet_cluster-81c29302ff23bbbb.d: crates/cluster/src/lib.rs crates/cluster/src/codec.rs crates/cluster/src/comm.rs crates/cluster/src/distributed.rs
+
+/root/repo/target/release/deps/libgnet_cluster-81c29302ff23bbbb.rlib: crates/cluster/src/lib.rs crates/cluster/src/codec.rs crates/cluster/src/comm.rs crates/cluster/src/distributed.rs
+
+/root/repo/target/release/deps/libgnet_cluster-81c29302ff23bbbb.rmeta: crates/cluster/src/lib.rs crates/cluster/src/codec.rs crates/cluster/src/comm.rs crates/cluster/src/distributed.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/codec.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/distributed.rs:

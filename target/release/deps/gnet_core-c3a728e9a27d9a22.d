@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gnet_core-c3a728e9a27d9a22.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/mi_matrix.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/result.rs
+
+/root/repo/target/release/deps/libgnet_core-c3a728e9a27d9a22.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/mi_matrix.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/result.rs
+
+/root/repo/target/release/deps/libgnet_core-c3a728e9a27d9a22.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/mi_matrix.rs crates/core/src/pipeline.rs crates/core/src/plan.rs crates/core/src/result.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/mi_matrix.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/plan.rs:
+crates/core/src/result.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gnet_expr-7cb33c60d0831c83.d: crates/expr/src/lib.rs crates/expr/src/io.rs crates/expr/src/matrix.rs crates/expr/src/normalize.rs crates/expr/src/stats.rs crates/expr/src/synth.rs
+
+/root/repo/target/release/deps/libgnet_expr-7cb33c60d0831c83.rlib: crates/expr/src/lib.rs crates/expr/src/io.rs crates/expr/src/matrix.rs crates/expr/src/normalize.rs crates/expr/src/stats.rs crates/expr/src/synth.rs
+
+/root/repo/target/release/deps/libgnet_expr-7cb33c60d0831c83.rmeta: crates/expr/src/lib.rs crates/expr/src/io.rs crates/expr/src/matrix.rs crates/expr/src/normalize.rs crates/expr/src/stats.rs crates/expr/src/synth.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/io.rs:
+crates/expr/src/matrix.rs:
+crates/expr/src/normalize.rs:
+crates/expr/src/stats.rs:
+crates/expr/src/synth.rs:

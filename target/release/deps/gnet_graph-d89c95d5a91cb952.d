@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gnet_graph-d89c95d5a91cb952.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/dpi.rs crates/graph/src/io.rs crates/graph/src/metrics.rs crates/graph/src/network.rs
+
+/root/repo/target/release/deps/libgnet_graph-d89c95d5a91cb952.rlib: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/dpi.rs crates/graph/src/io.rs crates/graph/src/metrics.rs crates/graph/src/network.rs
+
+/root/repo/target/release/deps/libgnet_graph-d89c95d5a91cb952.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/dpi.rs crates/graph/src/io.rs crates/graph/src/metrics.rs crates/graph/src/network.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/dpi.rs:
+crates/graph/src/io.rs:
+crates/graph/src/metrics.rs:
+crates/graph/src/network.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gnet_grnsim-a554cb0cf25e9529.d: crates/grnsim/src/lib.rs crates/grnsim/src/dataset.rs crates/grnsim/src/kinetics.rs crates/grnsim/src/topology.rs
+
+/root/repo/target/release/deps/libgnet_grnsim-a554cb0cf25e9529.rlib: crates/grnsim/src/lib.rs crates/grnsim/src/dataset.rs crates/grnsim/src/kinetics.rs crates/grnsim/src/topology.rs
+
+/root/repo/target/release/deps/libgnet_grnsim-a554cb0cf25e9529.rmeta: crates/grnsim/src/lib.rs crates/grnsim/src/dataset.rs crates/grnsim/src/kinetics.rs crates/grnsim/src/topology.rs
+
+crates/grnsim/src/lib.rs:
+crates/grnsim/src/dataset.rs:
+crates/grnsim/src/kinetics.rs:
+crates/grnsim/src/topology.rs:

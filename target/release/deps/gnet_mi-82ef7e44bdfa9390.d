@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gnet_mi-82ef7e44bdfa9390.d: crates/mi/src/lib.rs crates/mi/src/entropy.rs crates/mi/src/gene.rs crates/mi/src/histogram.rs crates/mi/src/ksg.rs crates/mi/src/sparse_kernel.rs crates/mi/src/vector_kernel.rs
+
+/root/repo/target/release/deps/libgnet_mi-82ef7e44bdfa9390.rlib: crates/mi/src/lib.rs crates/mi/src/entropy.rs crates/mi/src/gene.rs crates/mi/src/histogram.rs crates/mi/src/ksg.rs crates/mi/src/sparse_kernel.rs crates/mi/src/vector_kernel.rs
+
+/root/repo/target/release/deps/libgnet_mi-82ef7e44bdfa9390.rmeta: crates/mi/src/lib.rs crates/mi/src/entropy.rs crates/mi/src/gene.rs crates/mi/src/histogram.rs crates/mi/src/ksg.rs crates/mi/src/sparse_kernel.rs crates/mi/src/vector_kernel.rs
+
+crates/mi/src/lib.rs:
+crates/mi/src/entropy.rs:
+crates/mi/src/gene.rs:
+crates/mi/src/histogram.rs:
+crates/mi/src/ksg.rs:
+crates/mi/src/sparse_kernel.rs:
+crates/mi/src/vector_kernel.rs:

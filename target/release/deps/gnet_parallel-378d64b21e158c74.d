@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gnet_parallel-378d64b21e158c74.d: crates/parallel/src/lib.rs crates/parallel/src/pairwise.rs crates/parallel/src/scheduler.rs crates/parallel/src/tile.rs
+
+/root/repo/target/release/deps/libgnet_parallel-378d64b21e158c74.rlib: crates/parallel/src/lib.rs crates/parallel/src/pairwise.rs crates/parallel/src/scheduler.rs crates/parallel/src/tile.rs
+
+/root/repo/target/release/deps/libgnet_parallel-378d64b21e158c74.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pairwise.rs crates/parallel/src/scheduler.rs crates/parallel/src/tile.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/pairwise.rs:
+crates/parallel/src/scheduler.rs:
+crates/parallel/src/tile.rs:

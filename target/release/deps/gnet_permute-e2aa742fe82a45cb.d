@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gnet_permute-e2aa742fe82a45cb.d: crates/permute/src/lib.rs crates/permute/src/normal.rs crates/permute/src/permutation.rs crates/permute/src/significance.rs
+
+/root/repo/target/release/deps/libgnet_permute-e2aa742fe82a45cb.rlib: crates/permute/src/lib.rs crates/permute/src/normal.rs crates/permute/src/permutation.rs crates/permute/src/significance.rs
+
+/root/repo/target/release/deps/libgnet_permute-e2aa742fe82a45cb.rmeta: crates/permute/src/lib.rs crates/permute/src/normal.rs crates/permute/src/permutation.rs crates/permute/src/significance.rs
+
+crates/permute/src/lib.rs:
+crates/permute/src/normal.rs:
+crates/permute/src/permutation.rs:
+crates/permute/src/significance.rs:

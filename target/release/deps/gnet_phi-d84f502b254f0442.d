@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gnet_phi-d84f502b254f0442.d: crates/phi/src/lib.rs crates/phi/src/calibrate.rs crates/phi/src/energy.rs crates/phi/src/machine.rs crates/phi/src/offload.rs crates/phi/src/scenarios.rs crates/phi/src/sim.rs crates/phi/src/workload.rs
+
+/root/repo/target/release/deps/libgnet_phi-d84f502b254f0442.rlib: crates/phi/src/lib.rs crates/phi/src/calibrate.rs crates/phi/src/energy.rs crates/phi/src/machine.rs crates/phi/src/offload.rs crates/phi/src/scenarios.rs crates/phi/src/sim.rs crates/phi/src/workload.rs
+
+/root/repo/target/release/deps/libgnet_phi-d84f502b254f0442.rmeta: crates/phi/src/lib.rs crates/phi/src/calibrate.rs crates/phi/src/energy.rs crates/phi/src/machine.rs crates/phi/src/offload.rs crates/phi/src/scenarios.rs crates/phi/src/sim.rs crates/phi/src/workload.rs
+
+crates/phi/src/lib.rs:
+crates/phi/src/calibrate.rs:
+crates/phi/src/energy.rs:
+crates/phi/src/machine.rs:
+crates/phi/src/offload.rs:
+crates/phi/src/scenarios.rs:
+crates/phi/src/sim.rs:
+crates/phi/src/workload.rs:

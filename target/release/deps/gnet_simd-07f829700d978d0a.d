@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gnet_simd-07f829700d978d0a.d: crates/simd/src/lib.rs crates/simd/src/lanes.rs crates/simd/src/model.rs crates/simd/src/slice_ops.rs
+
+/root/repo/target/release/deps/libgnet_simd-07f829700d978d0a.rlib: crates/simd/src/lib.rs crates/simd/src/lanes.rs crates/simd/src/model.rs crates/simd/src/slice_ops.rs
+
+/root/repo/target/release/deps/libgnet_simd-07f829700d978d0a.rmeta: crates/simd/src/lib.rs crates/simd/src/lanes.rs crates/simd/src/model.rs crates/simd/src/slice_ops.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/lanes.rs:
+crates/simd/src/model.rs:
+crates/simd/src/slice_ops.rs:

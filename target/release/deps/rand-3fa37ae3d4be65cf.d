@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rand-3fa37ae3d4be65cf.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-3fa37ae3d4be65cf.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-3fa37ae3d4be65cf.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:

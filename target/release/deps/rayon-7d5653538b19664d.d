@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-7d5653538b19664d.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-7d5653538b19664d.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-7d5653538b19664d.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

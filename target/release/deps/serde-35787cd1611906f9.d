@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-35787cd1611906f9.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-35787cd1611906f9.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-35787cd1611906f9.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,223 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the benchmarking surface the `gnet-bench` suites compile
+//! against. Measurement is a deliberately simple wall-clock loop (warmup
+//! + fixed iteration batch, median-of-batches report) rather than
+//! criterion's statistical machinery; benches remain runnable and their
+//! relative ordering is meaningful, but confidence intervals and HTML
+//! reports are out of scope. When the harness binary is invoked by
+//! `cargo test` (`--test` flag), benchmarks are skipped entirely, exactly
+//! like upstream criterion.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Measure `routine`, retaining its output so the optimizer cannot
+    /// delete the work.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warmup call, then timed batches.
+        black_box(routine());
+        let samples = 7usize;
+        let iters = self.iters_per_sample.max(1);
+        self.samples.clear();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters);
+        }
+        self.samples.sort();
+    }
+
+    fn median(&self) -> Option<Duration> {
+        (!self.samples.is_empty()).then(|| self.samples[self.samples.len() / 2])
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Whether to actually run timing loops (false under `cargo test`).
+    run: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness-less bench binaries with `--test`;
+        // criterion's contract is to do nothing in that mode.
+        let run = !std::env::args().any(|a| a == "--test");
+        Self { run, sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    fn run_one(&mut self, label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+        if !self.run {
+            return;
+        }
+        let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+        f(&mut bencher);
+        let Some(median) = bencher.median() else {
+            println!("{label}: no samples");
+            return;
+        };
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(" ({:.3e} elem/s)", n as f64 / median.as_secs_f64())
+            }
+            Throughput::Bytes(n) => {
+                format!(" ({:.3e} B/s)", n as f64 / median.as_secs_f64())
+            }
+        });
+        println!("{label}: median {median:?}{}", rate.unwrap_or_default());
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the nominal sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        self.criterion.run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        self.criterion.run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.median().is_some());
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { run: false, sample_size: 10 };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .throughput(Throughput::Elements(10))
+            .bench_function(BenchmarkId::from_parameter(1), |b| b.iter(|| 1u32))
+            .bench_with_input(BenchmarkId::new("x", 2), &3u32, |b, &v| b.iter(|| v));
+        group.finish();
+    }
+}

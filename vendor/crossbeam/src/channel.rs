@@ -1,0 +1,80 @@
+//! Unbounded MPMC-ish channels over `std::sync::mpsc`.
+//!
+//! Only the MPSC subset this workspace uses is exposed: `unbounded()`,
+//! cloneable `Sender`, and a blocking `Receiver::recv`.
+
+use std::sync::mpsc;
+
+/// Error returned when the receiving side is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned when every sender is gone and the queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Sending half of an unbounded channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`; never blocks.
+    ///
+    /// # Errors
+    /// Returns the value back if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// Receiving half of an unbounded channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives.
+    ///
+    /// # Errors
+    /// Errors once every sender is dropped and the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|mpsc::RecvError| RecvError)
+    }
+}
+
+/// Create an unbounded channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

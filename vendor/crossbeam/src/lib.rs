@@ -1,0 +1,13 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Wraps `std::thread::scope` and `std::sync::mpsc` behind the subset of
+//! the `crossbeam 0.8` API this workspace uses. Scoped-thread semantics
+//! (borrowing non-`'static` data, join handles carrying results) come
+//! straight from std; channel semantics (unbounded, multi-producer,
+//! cloneable receivers) are layered over `mpsc` with a shared mutex on the
+//! receiving side.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod thread;

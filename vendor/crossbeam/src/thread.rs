@@ -1,0 +1,72 @@
+//! Scoped threads over `std::thread::scope`.
+//!
+//! Mirrors the `crossbeam::thread` calling convention: the spawn closure
+//! receives a `&Scope` (so workers can spawn siblings), and `scope`
+//! returns a `Result` the caller unwraps.
+
+use std::any::Any;
+
+/// Boxed panic payload, as produced by `std::thread::JoinHandle::join`.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope in which non-`'static` borrows may cross thread boundaries.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread; joining yields the closure's return value.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker inside this scope. The closure receives the scope
+    /// itself, matching crossbeam's `|scope| …` convention.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })) }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread and return its result.
+    ///
+    /// # Errors
+    /// Returns the panic payload if the thread panicked.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope handle; all threads spawned in the scope are
+/// joined before this returns.
+///
+/// # Errors
+/// Never errors itself (a panicking un-joined child propagates its panic
+/// when the scope closes, as with `std::thread::scope`); the `Result`
+/// exists for crossbeam API compatibility.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = super::scope(|scope| {
+            let handles: Vec<_> =
+                data.iter().map(|&v| scope.spawn(move |_| v * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+}

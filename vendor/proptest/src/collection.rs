@@ -1,0 +1,50 @@
+//! Collection strategies (`vec`).
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// Size specification for [`vec`]: a fixed length or a length range.
+pub trait SizeRange {
+    /// Draw a concrete length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        use rand::Rng as _;
+        rng.inner.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        use rand::Rng as _;
+        rng.inner.gen_range(self.clone())
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,333 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest surface this workspace uses:
+//! `proptest! { #[test] fn f(x in strategy, y: Type) { … } }` blocks with
+//! an optional `#![proptest_config(ProptestConfig::with_cases(N))]`
+//! header, range and `collection::vec` strategies, `prop_map` /
+//! `prop_flat_map` combinators, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Semantics versus upstream: cases are sampled from a fixed-seed
+//! deterministic RNG (so failures reproduce), there is NO shrinking, and
+//! `prop_assert*` failures panic immediately with the failing values'
+//! Debug rendering. The default case count is 256.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Arbitrary, Just, Strategy};
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { strategy: self, f }
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut test_runner::TestRng) -> U {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// `prop_flat_map` combinator.
+pub struct FlatMap<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut test_runner::TestRng) -> S2::Value {
+        (self.f)(self.strategy.sample(rng)).sample(rng)
+    }
+}
+
+/// Strategy producing one constant value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                use rand::Rng as _;
+                rng.inner.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                use rand::Rng as _;
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a default "any value" strategy, used for bare `name: Type`
+/// parameters in `proptest!` signatures.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                use rand::Rng as _;
+                // Full-range draw, truncated to width.
+                #[allow(clippy::cast_possible_truncation)]
+                { rng.inner.gen::<u64>() as $t }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        use rand::Rng as _;
+        rng.inner.gen()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        use rand::Rng as _;
+        rng.inner.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        use rand::Rng as _;
+        rng.inner.gen()
+    }
+}
+
+/// Strategy wrapper over [`Arbitrary`] (`any::<T>()`).
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy: arbitrary values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub(crate) fn fresh_rng(case: u64) -> test_runner::TestRng {
+    // Fixed base seed: deterministic runs, distinct stream per case.
+    test_runner::TestRng { inner: StdRng::seed_from_u64(0x6e65_7470_726f_7000 ^ case) }
+}
+
+/// Drive one `proptest!`-generated test: `cases` iterations of `body`,
+/// each with a fresh deterministic RNG.
+pub fn run_cases(config: &test_runner::ProptestConfig, body: impl Fn(&mut test_runner::TestRng)) {
+    for case in 0..config.cases {
+        let mut rng = fresh_rng(u64::from(case));
+        body(&mut rng);
+    }
+}
+
+/// Property-test block. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: optional config header.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config); $($rest)*);
+    };
+    (@funcs ($config:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            $crate::run_cases(&__config, |__rng| {
+                $crate::proptest!(@bind __rng; $($params)*);
+                $body
+            });
+        }
+        $crate::proptest!(@funcs ($config); $($rest)*);
+    };
+    (@funcs ($config:expr);) => {};
+    // Parameter binding: `pat in strategy` or `name: Type`, comma-separated.
+    (@bind $rng:ident; $pat:pat in $strategy:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::sample(&($strategy), $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $pat:pat in $strategy:expr) => {
+        let $pat = $crate::Strategy::sample(&($strategy), $rng);
+    };
+    (@bind $rng:ident; $param:ident : $ty:ty, $($rest:tt)*) => {
+        let $param = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $param:ident : $ty:ty) => {
+        let $param = <$ty as $crate::Arbitrary>::arbitrary($rng);
+    };
+    (@bind $rng:ident;) => {};
+    // Entry without config header.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert inside a property body (panics with the rendered condition).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)*)?) => {
+        assert_eq!($left, $right $(, $($fmt)*)?);
+    };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)*)?) => {
+        assert_ne!($left, $right $(, $($fmt)*)?);
+    };
+}
+
+/// Discard the current case when its precondition does not hold.
+///
+/// Upstream proptest retries discarded cases; this stand-in simply skips
+/// the case (the body closure returns early).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let strat = 0usize..100;
+        let a = Strategy::sample(&strat, &mut crate::fresh_rng(3));
+        let b = Strategy::sample(&strat, &mut crate::fresh_rng(3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_bare_types_bind(x in 1usize..10, flip: bool, y in 0.0f64..=1.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assume!(flip || !flip);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+
+        #[test]
+        fn combinators_compose(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategy() {
+        let strat = (2usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0.0f32..1.0, n..n + 1).prop_map(move |v| (n, v))
+        });
+        let (n, v) = Strategy::sample(&strat, &mut crate::fresh_rng(1));
+        assert_eq!(v.len(), n);
+    }
+}

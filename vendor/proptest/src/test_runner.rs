@@ -1,0 +1,30 @@
+//! Test-runner configuration and the RNG handed to strategies.
+
+use rand::rngs::StdRng;
+
+/// RNG wrapper passed to [`crate::Strategy::sample`].
+pub struct TestRng {
+    /// Underlying deterministic generator.
+    pub inner: StdRng,
+}
+
+/// Run configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}

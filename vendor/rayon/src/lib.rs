@@ -1,0 +1,282 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! Implements the slice `par_iter().fold(..).map(..).collect()` pipeline
+//! this workspace uses. Instead of work-stealing deques, the input slice
+//! is split into one contiguous chunk per pool thread and each chunk is
+//! folded on its own `std::thread::scope` worker — preserving rayon's
+//! observable contract for mergeable-accumulator pipelines: every item is
+//! visited exactly once, one fold partial is produced per execution
+//! split, and `current_thread_index()` is stable within a worker.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static THREAD_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Index of the current pool worker, if running inside a pool.
+#[must_use]
+pub fn current_thread_index() -> Option<usize> {
+    THREAD_INDEX.with(Cell::get)
+}
+
+/// Error building a thread pool (never produced by this stand-in; kept
+/// for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the number of worker threads (0 = available parallelism).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Never errors in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A fixed-width execution pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool installed as the ambient pool for parallel
+    /// iterators created inside it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(self.threads));
+        let out = f();
+        POOL_THREADS.with(|p| p.set(prev));
+        out
+    }
+}
+
+/// `par_iter()` entry point for slices.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator borrowing the collection.
+    fn par_iter(&'data self) -> ParSliceIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParSliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParSliceIter<'data, T> {
+    /// Fold each execution chunk into one accumulator seeded by `init`;
+    /// one partial is produced per chunk, in chunk order.
+    pub fn fold<S, FInit, FFold>(self, init: FInit, fold: FFold) -> Fold<Self, FInit, FFold>
+    where
+        S: Send,
+        FInit: Fn() -> S + Sync,
+        FFold: Fn(S, &'data T) -> S + Sync,
+    {
+        Fold { upstream: self, init, fold }
+    }
+}
+
+/// Minimal parallel-iterator interface: `fold` then `map` then `collect`.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by this stage.
+    type Item: Send;
+
+    /// Execute the pipeline, producing the per-chunk outputs in chunk
+    /// order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Transform every produced item.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { upstream: self, f }
+    }
+
+    /// Execute and gather the results.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+fn pool_width() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed == 0 {
+        1
+    } else {
+        installed
+    }
+}
+
+/// Run `worker(tid, chunk)` over contiguous chunks of `slice`, one chunk
+/// per pool thread, and return the per-chunk outputs in chunk order.
+/// Empty chunks produce no output, matching rayon's "partials only where
+/// work happened" shape.
+fn run_chunked<'data, T: Sync, U: Send>(
+    slice: &'data [T],
+    worker: &(impl Fn(usize, &'data [T]) -> U + Sync),
+) -> Vec<U> {
+    let threads = pool_width().min(slice.len().max(1));
+    let chunk = slice.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .filter_map(|tid| {
+                let lo = (tid * chunk).min(slice.len());
+                let hi = ((tid + 1) * chunk).min(slice.len());
+                if lo >= hi && !(slice.is_empty() && tid == 0) {
+                    return None;
+                }
+                let part = &slice[lo..hi];
+                Some(scope.spawn(move || {
+                    THREAD_INDEX.with(|t| t.set(Some(tid)));
+                    worker(tid, part)
+                }))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+    })
+}
+
+/// Fold stage (see [`ParallelIterator::fold`]).
+pub struct Fold<P, FInit, FFold> {
+    upstream: P,
+    init: FInit,
+    fold: FFold,
+}
+
+impl<'data, T, S, FInit, FFold> ParallelIterator for Fold<ParSliceIter<'data, T>, FInit, FFold>
+where
+    T: Sync,
+    S: Send,
+    FInit: Fn() -> S + Sync,
+    FFold: Fn(S, &'data T) -> S + Sync,
+{
+    type Item = S;
+
+    fn run(self) -> Vec<S> {
+        let init = &self.init;
+        let fold = &self.fold;
+        run_chunked(self.upstream.slice, &|_tid, part: &'data [T]| {
+            // One partial per chunk; the chunk borrow lives as long as
+            // the scope, which is contained within `'data`.
+            let mut acc = init();
+            for item in part {
+                acc = fold(acc, item);
+            }
+            acc
+        })
+    }
+}
+
+/// Map stage (see [`ParallelIterator::map`]).
+pub struct Map<P, F> {
+    upstream: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        self.upstream.run().into_iter().map(self.f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn fold_map_collect_covers_every_item_once() {
+        let data: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let partials: Vec<u64> = pool.install(|| {
+            data.par_iter().fold(|| 0u64, |acc, &v| acc + v).map(|s| s * 10).collect()
+        });
+        assert!(partials.len() <= 4);
+        assert_eq!(partials.iter().sum::<u64>(), 10 * 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn thread_index_visible_inside_workers() {
+        let data = [0u8; 64];
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let ids: Vec<usize> = pool.install(|| {
+            data.par_iter()
+                .fold(
+                    || super::current_thread_index().unwrap_or(usize::MAX),
+                    |acc, _| acc,
+                )
+                .collect()
+        });
+        assert!(ids.iter().all(|&i| i < 2));
+    }
+
+    #[test]
+    fn outside_a_pool_runs_single_chunk() {
+        let data = [1u32, 2, 3];
+        let sums: Vec<u32> = data.par_iter().fold(|| 0u32, |a, &v| a + v).collect();
+        assert_eq!(sums, vec![6]);
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a small self-describing data model in place of upstream serde: a value
+//! serializes into a [`Content`] tree and deserializes back from one.
+//! `#[derive(Serialize, Deserialize)]` is provided by the sibling
+//! `serde_derive` stand-in and covers the shapes this workspace uses
+//! (named-field structs and unit-variant enums). `serde_json` renders
+//! `Content` to JSON text and back.
+//!
+//! This is NOT wire-compatible with upstream serde in general; it is
+//! JSON-compatible for the shapes used here (structs as objects, unit
+//! enum variants as strings, `Duration` as `{secs, nanos}`).
+
+#![forbid(unsafe_code)]
+
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (negative values only land here).
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (`Vec`, tuples).
+    Seq(Vec<Content>),
+    /// Key-ordered map (structs); insertion order preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Human-readable kind name for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) => "integer",
+            Content::U64(_) => "unsigned integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom(message: impl std::fmt::Display) -> Self {
+        Self { message: message.to_string() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Content`] tree.
+pub trait Serialize {
+    /// Convert `self` into its serialized form.
+    fn serialize(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild a value.
+    ///
+    /// # Errors
+    /// Errors when the content shape does not match `Self`.
+    fn deserialize(content: &Content) -> Result<Self, Error>;
+}
+
+/// Look up a struct field by name in a serialized map.
+///
+/// # Errors
+/// Errors when `content` is not a map or lacks `name`.
+pub fn field<'c>(content: &'c Content, name: &str) -> Result<&'c Content, Error> {
+    match content {
+        Content::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+        other => Err(Error::custom(format!("expected map, found {}", other.kind()))),
+    }
+}
+
+fn mismatch<T>(expected: &str, found: &Content) -> Result<T, Error> {
+    Err(Error::custom(format!("expected {expected}, found {}", found.kind())))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => mismatch("bool", other),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(u64::from_param(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let wide = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| Error::custom("negative value for unsigned field"))?,
+                    other => return mismatch("unsigned integer", other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+/// Lossless widening helper (`u64::from` is not implemented for `usize`).
+trait FromParam<T> {
+    fn from_param(v: T) -> Self;
+}
+
+impl FromParam<u8> for u64 {
+    fn from_param(v: u8) -> u64 {
+        u64::from(v)
+    }
+}
+impl FromParam<u16> for u64 {
+    fn from_param(v: u16) -> u64 {
+        u64::from(v)
+    }
+}
+impl FromParam<u32> for u64 {
+    fn from_param(v: u32) -> u64 {
+        u64::from(v)
+    }
+}
+impl FromParam<u64> for u64 {
+    fn from_param(v: u64) -> u64 {
+        v
+    }
+}
+impl FromParam<usize> for u64 {
+    fn from_param(v: usize) -> u64 {
+        v as u64
+    }
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let wide: i64 = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error::custom("value exceeds i64 range"))?,
+                    other => return mismatch("integer", other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => mismatch("float", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        // Widening is exact, so f32 -> f64 -> f32 roundtrips bitwise.
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        f64::deserialize(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => mismatch("string", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => mismatch("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match content {
+                    Content::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    Content::Seq(items) => Err(Error::custom(format!(
+                        "expected tuple of {LEN}, found sequence of {}", items.len()
+                    ))),
+                    other => mismatch("sequence", other),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_owned(), Content::U64(self.as_secs())),
+            ("nanos".to_owned(), Content::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let secs = u64::deserialize(field(content, "secs")?)?;
+        let nanos = u32::deserialize(field(content, "nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&u64::MAX.serialize()), Ok(u64::MAX));
+        assert_eq!(i64::deserialize(&(-5i64).serialize()), Ok(-5));
+        assert_eq!(f32::deserialize(&0.3f32.serialize()), Ok(0.3f32));
+        assert_eq!(Option::<f64>::deserialize(&Content::Null), Ok(None));
+        assert_eq!(
+            Vec::<u32>::deserialize(&vec![1u32, 2, 3].serialize()),
+            Ok(vec![1, 2, 3])
+        );
+        let t = (3u32, 4u32, 2.5f64);
+        assert_eq!(<(u32, u32, f64)>::deserialize(&t.serialize()), Ok(t));
+    }
+
+    #[test]
+    fn duration_roundtrips() {
+        let d = Duration::new(12, 345_678_901);
+        assert_eq!(Duration::deserialize(&d.serialize()), Ok(d));
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let m = Content::Map(vec![("a".to_owned(), Content::U64(1))]);
+        assert!(field(&m, "a").is_ok());
+        assert!(field(&m, "b").is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! A syn-free derive implementation: the input item is parsed directly
+//! from the `proc_macro` token stream. Exactly the shapes this workspace
+//! uses are supported — non-generic structs with named fields, and
+//! non-generic enums whose variants are all unit variants. Anything else
+//! is a compile error naming the unsupported construct.
+//!
+//! Generated code targets the vendored `serde` stand-in: structs
+//! serialize to `Content::Map` (declaration order), unit enum variants to
+//! `Content::Str(variant_name)`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct or unit-variant enum.
+///
+/// # Panics
+/// Panics (compile error) on unsupported shapes: generics, tuple/unit
+/// structs, enum variants with payloads.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!("Self::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\"))")
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let name = &item.name;
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` for a named-field struct or unit-variant
+/// enum.
+///
+/// # Panics
+/// Panics (compile error) on unsupported shapes: generics, tuple/unit
+/// structs, enum variants with payloads.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(::serde::field(__content, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("\"{v}\" => ::std::result::Result::Ok(Self::{v})")).collect();
+            format!(
+                "match __content {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {arms},\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected string for {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                arms = arms.join(",\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__content: &::serde::Content)\n\
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive generated invalid Deserialize impl")
+}
+
+enum Shape {
+    /// Named fields, declaration order.
+    Struct(Vec<String>),
+    /// Unit variant names, declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive ({name})");
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive: only braced (named-field / unit-variant) items are supported \
+             for {name}, found {other:?}"
+        ),
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(body, &name)),
+        "enum" => Shape::Enum(parse_enum_variants(body, &name)),
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume any leading `#[...]` outer attributes (doc comments included).
+fn skip_attributes(tokens: &mut TokenIter) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde_derive: malformed attribute, found {other:?}"),
+        }
+    }
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(tokens: &mut TokenIter) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_struct_fields(body: TokenStream, name: &str) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(tree) = tokens.next() else { break };
+        let field = match tree {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde_derive: expected field name in {name}, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive: {name} must use named fields \
+                 (tuple/unit structs unsupported), found {other:?} after `{field}`"
+            ),
+        }
+        fields.push(field);
+        // Skip the type: everything up to a top-level comma. Generic
+        // argument lists nest `<...>` with bare `,` inside, so track
+        // angle-bracket depth; `->` never appears in field types here.
+        let mut angle_depth = 0i32;
+        for tree in tokens.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    assert!(!fields.is_empty(), "serde_derive: {name} has no named fields");
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let Some(tree) = tokens.next() else { break };
+        let variant = match tree {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde_derive: expected variant name in {name}, found {other:?}"),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(other) => panic!(
+                "serde_derive: enum {name} variant `{variant}` carries a payload \
+                 ({other:?}); only unit variants are supported"
+            ),
+        }
+    }
+    assert!(!variants.is_empty(), "serde_derive: {name} has no variants");
+    variants
+}
