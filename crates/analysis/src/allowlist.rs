@@ -1,0 +1,168 @@
+//! Vetted exceptions to the lints.
+//!
+//! The allowlist is a plain-text file, one entry per line:
+//!
+//! ```text
+//! # comment
+//! <lint-name> <path-suffix>[:<line>] <reason…>
+//! ```
+//!
+//! * `lint-name` — a name from [`crate::lints::all_lints`], or `*` for
+//!   any lint.
+//! * `path-suffix` — matched against the end of the diagnostic's
+//!   workspace-relative path (so `mi/src/gene.rs` matches
+//!   `crates/mi/src/gene.rs`). An optional `:<line>` pins the entry to
+//!   one line; without it the whole file is exempt for that lint.
+//! * `reason` — required free text; unexplained exceptions are rejected
+//!   at load time so the file stays reviewable.
+
+use crate::diagnostics::Diagnostic;
+use std::path::Path;
+
+/// One vetted exception.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint name, or `*` for any lint.
+    pub lint: String,
+    /// Path suffix the exception applies to.
+    pub path: String,
+    /// Specific line, or `None` for the whole file.
+    pub line: Option<usize>,
+    /// Why the exception is acceptable.
+    pub reason: String,
+}
+
+/// Parsed allowlist.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line when an entry is
+    /// malformed or missing its reason.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let lint = parts.next().unwrap_or_default().to_string();
+            let Some(loc) = parts.next() else {
+                return Err(format!("allowlist line {}: missing path", idx + 1));
+            };
+            let reason = parts.next().unwrap_or("").trim().to_string();
+            if reason.is_empty() {
+                return Err(format!(
+                    "allowlist line {}: entry for {loc} needs a reason",
+                    idx + 1
+                ));
+            }
+            let (path, line_no) = match loc.rsplit_once(':') {
+                Some((p, n)) if n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty() => {
+                    let parsed = n.parse().map_err(|_| {
+                        format!("allowlist line {}: bad line number {n:?}", idx + 1)
+                    })?;
+                    (p.to_string(), Some(parsed))
+                }
+                _ => (loc.to_string(), None),
+            };
+            entries.push(Entry {
+                lint,
+                path,
+                line: line_no,
+                reason,
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Load and parse an allowlist file.
+    ///
+    /// # Errors
+    /// Returns a message if the file cannot be read or fails to parse.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read allowlist {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `d` is covered by a vetted exception.
+    #[must_use]
+    pub fn permits(&self, d: &Diagnostic) -> bool {
+        self.entries.iter().any(|e| {
+            (e.lint == "*" || e.lint == d.lint)
+                && path_suffix_matches(&d.file, &e.path)
+                && e.line.is_none_or(|l| l == d.line)
+        })
+    }
+}
+
+/// Suffix match on whole path components: `mi/src/gene.rs` matches
+/// `crates/mi/src/gene.rs` but not `crates/xmi/src/gene.rs`.
+fn path_suffix_matches(full: &str, suffix: &str) -> bool {
+    full == suffix
+        || full
+            .strip_suffix(suffix)
+            .is_some_and(|head| head.ends_with('/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(lint: &str, file: &str, line: usize) -> Diagnostic {
+        Diagnostic::new(lint, file, line, "m")
+    }
+
+    #[test]
+    fn parses_entries_and_matches_suffixes() {
+        let a = Allowlist::parse(
+            "# vetted\nno-unwrap mi/src/gene.rs:12 scratch invariant upheld by caller\n\
+             kernel-cast simd/src/lanes.rs lane width fits in u32 by construction\n",
+        )
+        .expect("well-formed allowlist parses");
+        assert_eq!(a.len(), 2);
+        assert!(a.permits(&diag("no-unwrap", "crates/mi/src/gene.rs", 12)));
+        assert!(!a.permits(&diag("no-unwrap", "crates/mi/src/gene.rs", 13)));
+        assert!(a.permits(&diag("kernel-cast", "crates/simd/src/lanes.rs", 99)));
+        assert!(!a.permits(&diag("kernel-cast", "crates/xsimd/src/lanes.rs", 99)));
+    }
+
+    #[test]
+    fn wildcard_lint_matches_everything() {
+        let a = Allowlist::parse("* crates/phi/src/model.rs modeled constants, not statistics\n")
+            .expect("wildcard entry parses");
+        assert!(a.permits(&diag("float-eq", "crates/phi/src/model.rs", 5)));
+        assert!(a.permits(&diag("no-unwrap", "crates/phi/src/model.rs", 50)));
+    }
+
+    #[test]
+    fn reasonless_entries_rejected() {
+        let err = Allowlist::parse("no-unwrap mi/src/gene.rs:12\n").unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let a = Allowlist::parse("\n# nothing here\n\n").expect("empty allowlist parses");
+        assert!(a.is_empty());
+    }
+}

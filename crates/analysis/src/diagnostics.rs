@@ -1,0 +1,138 @@
+//! Lint findings and the report they aggregate into.
+
+use serde::{Deserialize, Serialize};
+
+/// One lint finding, anchored to a `file:line` location.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable lint name (e.g. `no-unwrap`).
+    pub lint: String,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic for `lint` at `file:line`.
+    pub fn new(lint: &str, file: &str, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            lint: lint.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Render as `file:line: [lint] message`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Aggregated result of one analysis run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// Source files scanned.
+    pub files_scanned: usize,
+    /// Findings that survived the allowlist, sorted by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by allowlist entries.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Whether the run found no (unsuppressed) violations.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Sort diagnostics by `(file, line, lint)` for stable output.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    }
+
+    /// Plain-text rendering, one finding per line plus a summary footer.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} violation(s), {} suppressed by allowlist\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.suppressed
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering of the whole report.
+    ///
+    /// # Errors
+    /// Propagates serializer failures (none are expected for this type).
+    pub fn render_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_file_line_lint_message() {
+        let d = Diagnostic::new(
+            "no-unwrap",
+            "crates/core/src/pipeline.rs",
+            17,
+            "bare unwrap",
+        );
+        assert_eq!(
+            d.render(),
+            "crates/core/src/pipeline.rs:17: [no-unwrap] bare unwrap"
+        );
+    }
+
+    #[test]
+    fn report_sorts_and_counts() {
+        let mut r = Report {
+            files_scanned: 2,
+            diagnostics: vec![
+                Diagnostic::new("b", "z.rs", 9, "later"),
+                Diagnostic::new("a", "a.rs", 3, "earlier"),
+            ],
+            suppressed: 1,
+        };
+        r.sort();
+        assert_eq!(r.diagnostics[0].file, "a.rs");
+        let text = r.render_text();
+        assert!(
+            text.contains("2 file(s) scanned, 2 violation(s), 1 suppressed"),
+            "{text}"
+        );
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = Report {
+            files_scanned: 1,
+            diagnostics: vec![Diagnostic::new("x", "f.rs", 1, "m \"quoted\"")],
+            suppressed: 0,
+        };
+        let json = r.render_json().expect("report serializes");
+        let back: Report = serde_json::from_str(&json).expect("report deserializes");
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,35 @@
+//! Workspace-wide correctness tooling: custom source lints and the
+//! deterministic scheduler race checker, surfaced as `gnet analyze`.
+//!
+//! The crate has two independent halves:
+//!
+//! * [`lints`] — text/line-based source checks tuned to this repository's
+//!   invariants (no `unwrap()` in library code, justified atomic orderings,
+//!   documented `as` casts in kernel hot paths, no float `==` in
+//!   statistical code). They are deliberately *not* built on `syn`: a
+//!   line-oriented scanner with comment/string/`#[cfg(test)]` tracking is
+//!   enough for these rules, keeps the crate std-only, and makes every
+//!   diagnostic trivially explainable as `file:line`.
+//! * [`interleave`] — a seeded interleaving harness that runs the tile
+//!   executor under every [`gnet_parallel::SchedulerPolicy`] and several
+//!   thread counts with randomized tile-completion delays, asserting the
+//!   merged MI matrix is *bitwise* identical to a single-threaded
+//!   reference. This is the executable form of the scheduler module's
+//!   "bitwise identical across policies" contract.
+//!
+//! Vetted exceptions to the lints live in an allowlist file
+//! (see [`allowlist`]); diagnostics can be rendered as text or JSON.
+
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod diagnostics;
+pub mod interleave;
+pub mod lints;
+pub mod source;
+
+pub use allowlist::Allowlist;
+pub use diagnostics::{Diagnostic, Report};
+pub use interleave::{check_determinism, InterleaveConfig, InterleaveError, InterleaveOutcome};
+pub use lints::{all_lints, run_lints, Lint};
+pub use source::SourceFile;

@@ -1,0 +1,137 @@
+//! `kernel-cast`: `as` casts in kernel hot paths need a `// cast-ok:`
+//! justification.
+//!
+//! The MI kernels, the B-spline weight generators and the SIMD layer are
+//! where index arithmetic meets float accumulation; a silently
+//! truncating or precision-losing `as` there corrupts results instead of
+//! crashing. Every cast in those files must carry a `// cast-ok: <why>`
+//! comment on the same line or the line above, stating why the value
+//! fits.
+
+use super::{justified, Lint};
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// Primitive targets a flagged `as` cast can have.
+const CAST_TARGETS: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// The `kernel-cast` lint.
+pub struct KernelCast;
+
+impl Lint for KernelCast {
+    fn name(&self) -> &'static str {
+        "kernel-cast"
+    }
+
+    fn description(&self) -> &'static str {
+        "as-casts in kernel hot paths need a `// cast-ok:` justification"
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        if rel.starts_with("crates/bspline/src/") || rel.starts_with("crates/simd/src/") {
+            return true;
+        }
+        rel.starts_with("crates/mi/src/")
+            && rel.rsplit('/').next().is_some_and(|f| f.contains("kernel"))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let casts = cast_targets(&line.code);
+            if casts.is_empty() || justified(file, idx, "cast-ok:") {
+                continue;
+            }
+            for target in casts {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &file.rel,
+                    idx + 1,
+                    format!(
+                        "bare `as {target}` in a kernel hot path; add \
+                         `// cast-ok: <why the value fits>` or use a checked conversion"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The primitive targets of every `as` cast on a code line.
+fn cast_targets(code: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let tokens: Vec<&str> = code.split_whitespace().collect();
+    for window in tokens.windows(2) {
+        if window[0] == "as" {
+            let tail = window[1].trim_end_matches([')', ']', '}', ',', ';', '.']);
+            if let Some(t) = CAST_TARGETS.iter().find(|t| **t == tail) {
+                out.push(*t);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scan_str;
+    use super::*;
+
+    fn run(rel: &str, text: &str) -> Vec<Diagnostic> {
+        let file = scan_str(rel, text);
+        let mut out = Vec::new();
+        KernelCast.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_cast_flagged_in_kernel_file() {
+        let d = run(
+            "crates/mi/src/vector_kernel.rs",
+            "fn f(n: usize) -> u32 { n as u32 }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("as u32"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn cast_ok_comment_suppresses_same_line_and_line_above() {
+        let same = "fn f(n: usize) -> u32 { n as u32 } // cast-ok: n < genes <= u32::MAX\n";
+        assert!(run("crates/simd/src/lanes.rs", same).is_empty());
+        let above =
+            "// cast-ok: bins <= 64 so the product fits\nfn g(b: usize) -> f32 { b as f32 }\n";
+        assert!(run("crates/bspline/src/basis.rs", above).is_empty());
+    }
+
+    #[test]
+    fn scope_is_kernels_bspline_and_simd_only() {
+        assert!(KernelCast.applies("crates/mi/src/sparse_kernel.rs"));
+        assert!(KernelCast.applies("crates/bspline/src/weights.rs"));
+        assert!(KernelCast.applies("crates/simd/src/slice_ops.rs"));
+        assert!(!KernelCast.applies("crates/mi/src/gene.rs"));
+        assert!(!KernelCast.applies("crates/core/src/pipeline.rs"));
+    }
+
+    #[test]
+    fn trailing_punctuation_does_not_hide_the_target() {
+        let d = run(
+            "crates/simd/src/lanes.rs",
+            "fn f(n: usize) { g(n as u32); h(n as f64, 1); }\n",
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn as_in_use_statement_not_flagged() {
+        let d = run(
+            "crates/simd/src/lanes.rs",
+            "use crate::lanes as simd_lanes;\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! `float-eq`: no float `==`/`!=` in statistical code.
+//!
+//! MI values, entropies and scores come out of order-sensitive float
+//! accumulation; exact equality on them is either a latent bug or an
+//! exact-representation argument that belongs in a comment next to an
+//! explicit tolerance (or a sign test like `<= 0.0` for provably
+//! non-negative quantities). The lint flags any `==`/`!=` whose operand
+//! is recognisably floating point: a float literal (`0.0`, `1e-9`,
+//! `2f64`) or an `as f32`/`as f64` cast result.
+
+use super::{under_any, Lint, STATISTICAL_CRATES};
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// The `float-eq` lint.
+pub struct FloatEq;
+
+impl Lint for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn description(&self) -> &'static str {
+        "statistical code must not compare floats with == or !="
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        under_any(rel, &STATISTICAL_CRATES)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for op_at in equality_ops(&line.code) {
+                let lhs = operand_before(&line.code[..op_at]);
+                let rhs = operand_after(&line.code[op_at + 2..]);
+                if is_floaty(lhs) || is_floaty(rhs) {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &file.rel,
+                        idx + 1,
+                        "float equality comparison in statistical code; use a sign \
+                         test or an explicit tolerance",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Byte offsets of `==`/`!=` operators (excluding `<=`, `>=`, `===`…).
+fn equality_ops(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for i in 0..bytes.len().saturating_sub(1) {
+        let pair = &bytes[i..i + 2];
+        let eq = pair == b"=="
+            && !matches!(
+                bytes.get(i.wrapping_sub(1)),
+                Some(b'<' | b'>' | b'=' | b'!')
+            )
+            && bytes.get(i + 2) != Some(&b'=');
+        let ne = pair == b"!=" && bytes.get(i + 2) != Some(&b'=');
+        if eq || ne {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// The token-ish operand text to the left of an operator.
+fn operand_before(head: &str) -> &str {
+    let head = head.trim_end();
+    let start = head
+        .rfind(['(', ',', '{', '[', '&', '|', '=', ';'])
+        .map_or(0, |p| p + 1);
+    head[start..].trim()
+}
+
+/// The token-ish operand text to the right of an operator.
+fn operand_after(tail: &str) -> &str {
+    let tail = tail.trim_start();
+    let end = tail
+        .find([')', ',', '{', '&', '|', ';'])
+        .unwrap_or(tail.len());
+    tail[..end].trim()
+}
+
+/// Whether operand text is recognisably a float expression.
+fn is_floaty(op: &str) -> bool {
+    if op.contains("as f32") || op.contains("as f64") {
+        return true;
+    }
+    op.split(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-'))
+        .any(is_float_literal)
+}
+
+fn is_float_literal(tok: &str) -> bool {
+    let tok = tok.trim_start_matches('-');
+    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    if tok.starts_with("0x") || tok.starts_with("0b") || tok.starts_with("0o") {
+        return false;
+    }
+    // An explicit `f32`/`f64` suffix makes any numeric literal a float.
+    if tok.ends_with("f32") || tok.ends_with("f64") {
+        return tok[..tok.len() - 3]
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '-' | '_'));
+    }
+    let tok = tok.trim_end_matches('_');
+    // `1.`, `1.5`, `1e-9`, `2.5e3` — but not integers or integer-typed
+    // literals like `10u32`.
+    let has_dot = tok.contains('.');
+    let has_exp = tok.contains('e') || tok.contains('E');
+    (has_dot || has_exp)
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '-' | '_'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scan_str;
+    use super::*;
+
+    fn run(text: &str) -> Vec<Diagnostic> {
+        let file = scan_str("crates/expr/src/stats.rs", text);
+        let mut out = Vec::new();
+        FloatEq.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn float_literal_comparison_flagged() {
+        assert_eq!(run("if var == 0.0 { return; }\n").len(), 1);
+        assert_eq!(run("if 1e-9 != tol { x(); }\n").len(), 1);
+        assert_eq!(run("let b = (n as f64) == total;\n").len(), 1);
+    }
+
+    #[test]
+    fn integer_and_string_comparisons_pass() {
+        assert!(run("if count == 0 { return; }\n").is_empty());
+        assert!(run("if name == \"dynamic\" { x(); }\n").is_empty());
+        assert!(run("if bins == order { x(); }\n").is_empty());
+    }
+
+    #[test]
+    fn relational_operators_pass() {
+        assert!(run("if var <= 0.0 || x >= 1.0 { return; }\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let d = run("#[cfg(test)]\nmod t {\n  fn f(x: f64) { assert!(x == 0.0); }\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn float_suffix_literals_flagged_integer_suffixes_pass() {
+        assert_eq!(run("if x == 1f64 { y(); }\n").len(), 1);
+        assert!(run("if x == 10u32 { y(); }\n").is_empty());
+    }
+}

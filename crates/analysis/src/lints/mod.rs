@@ -1,0 +1,191 @@
+//! The lint rules and the workspace walker that applies them.
+//!
+//! Each lint declares which workspace-relative paths it applies to; the
+//! walker scans every `crates/*/src/**/*.rs` file once (skipping
+//! `tests/`, `benches/` and `examples/` directories outright, and
+//! `#[cfg(test)]` regions via [`crate::source`]) and offers each file to
+//! each lint.
+
+mod casts;
+mod float_eq;
+mod ordering;
+mod unwrap;
+
+pub use casts::KernelCast;
+pub use float_eq::FloatEq;
+pub use ordering::OrderingJustified;
+pub use unwrap::NoUnwrap;
+
+use crate::allowlist::Allowlist;
+use crate::diagnostics::{Diagnostic, Report};
+use crate::source::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A single lint rule.
+pub trait Lint {
+    /// Stable name used in diagnostics and the allowlist.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--help`-style listings.
+    fn description(&self) -> &'static str;
+    /// Whether the rule applies to this workspace-relative path.
+    fn applies(&self, rel: &str) -> bool;
+    /// Scan one file, appending findings to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Every lint, in reporting order.
+#[must_use]
+pub fn all_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(NoUnwrap),
+        Box::new(KernelCast),
+        Box::new(OrderingJustified),
+        Box::new(FloatEq),
+    ]
+}
+
+/// Library crates whose non-test code must not `unwrap()`.
+pub(crate) const LIBRARY_CRATES: [&str; 8] = [
+    "crates/mi",
+    "crates/parallel",
+    "crates/permute",
+    "crates/bspline",
+    "crates/core",
+    "crates/cluster",
+    "crates/simd",
+    "crates/analysis",
+];
+
+/// Crates whose code is statistical: float `==` is forbidden there.
+pub(crate) const STATISTICAL_CRATES: [&str; 7] = [
+    "crates/mi",
+    "crates/bspline",
+    "crates/expr",
+    "crates/permute",
+    "crates/core",
+    "crates/graph",
+    "crates/simd",
+];
+
+pub(crate) fn under_any(rel: &str, crates: &[&str]) -> bool {
+    crates.iter().any(|c| rel.starts_with(&format!("{c}/src/")))
+}
+
+/// Collect the `.rs` files under `<root>/crates/*/src`, sorted, skipping
+/// `tests/`, `benches/` and `examples/` directories.
+///
+/// # Errors
+/// Propagates directory-walk I/O errors.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if matches!(name.as_str(), "tests" | "benches" | "examples") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run every lint over the workspace at `root`, filtering findings
+/// through `allow`.
+///
+/// # Errors
+/// Propagates file-read and directory-walk I/O errors.
+pub fn run_lints(root: &Path, allow: &Allowlist) -> io::Result<Report> {
+    let lints = all_lints();
+    let mut report = Report::default();
+    for path in workspace_sources(root)? {
+        let file = SourceFile::load(root, &path)?;
+        report.files_scanned += 1;
+        let mut found = Vec::new();
+        for lint in &lints {
+            if lint.applies(&file.rel) {
+                lint.check(&file, &mut found);
+            }
+        }
+        for d in found {
+            if allow.permits(&d) {
+                report.suppressed += 1;
+            } else {
+                report.diagnostics.push(d);
+            }
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Shared helper: does this line, or the contiguous comment block
+/// directly above it, carry `marker`? Used for `ordering:` and
+/// `cast-ok:` justifications, which may span several comment lines.
+pub(crate) fn justified(file: &SourceFile, line_idx: usize, marker: &str) -> bool {
+    if file.lines[line_idx].comment.contains(marker) {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 {
+        i -= 1;
+        let line = &file.lines[i];
+        if line.code.trim().is_empty() && !line.comment.is_empty() {
+            if line.comment.contains(marker) {
+                return true;
+            }
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+pub(crate) fn scan_str(rel: &str, text: &str) -> SourceFile {
+    SourceFile::scan(PathBuf::from(rel), rel.to_string(), text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_helpers_match_src_paths_only() {
+        assert!(under_any("crates/mi/src/gene.rs", &LIBRARY_CRATES));
+        assert!(!under_any("crates/mi/tests/x.rs", &LIBRARY_CRATES));
+        assert!(!under_any("crates/cli/src/commands.rs", &LIBRARY_CRATES));
+        assert!(under_any(
+            "crates/graph/src/metrics.rs",
+            &STATISTICAL_CRATES
+        ));
+    }
+
+    #[test]
+    fn all_lints_have_distinct_names() {
+        let names: Vec<_> = all_lints().iter().map(|l| l.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+}

@@ -1,0 +1,106 @@
+//! `ordering-justified`: every atomic memory-ordering use needs an
+//! `// ordering:` justification.
+//!
+//! The scheduler's dynamic counter and the cluster's traffic statistics
+//! are the only lock-free pieces of the pipeline; each is correct for a
+//! reason that is invisible at the use site (the scoped-thread join
+//! provides the happens-before edge, the counters are telemetry). The
+//! lint makes that reasoning mandatory: any `Ordering::Relaxed`,
+//! `Acquire`, `Release`, `AcqRel` or `SeqCst` argument must carry an
+//! `// ordering: <why this ordering suffices>` comment on the same line
+//! or the line above.
+
+use super::{justified, Lint};
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+const ORDERINGS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// The `ordering-justified` lint.
+pub struct OrderingJustified;
+
+impl Lint for OrderingJustified {
+    fn name(&self) -> &'static str {
+        "ordering-justified"
+    }
+
+    fn description(&self) -> &'static str {
+        "atomic Ordering arguments need an `// ordering:` justification"
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        rel.starts_with("crates/") && rel.contains("/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            // `cmp::Ordering` variants (Less/Equal/Greater) never collide
+            // with these names, so a plain substring check is exact.
+            let Some(which) = ORDERINGS.iter().find(|o| line.code.contains(**o)) else {
+                continue;
+            };
+            if justified(file, idx, "ordering:") {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                self.name(),
+                &file.rel,
+                idx + 1,
+                format!(
+                    "`{which}` without justification; add \
+                     `// ordering: <why this ordering suffices>`"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scan_str;
+    use super::*;
+
+    fn run(text: &str) -> Vec<Diagnostic> {
+        let file = scan_str("crates/parallel/src/scheduler.rs", text);
+        let mut out = Vec::new();
+        OrderingJustified.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn unjustified_relaxed_flagged() {
+        let d = run("let i = next.fetch_add(1, Ordering::Relaxed);\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Relaxed"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn justification_on_same_line_or_above_accepted() {
+        let same =
+            "let i = n.fetch_add(1, Ordering::Relaxed); // ordering: counter only claims indices\n";
+        assert!(run(same).is_empty());
+        let above = "// ordering: join provides the happens-before edge\nlet v = n.load(Ordering::Relaxed);\n";
+        assert!(run(above).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_not_flagged() {
+        let d = run("a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let d = run("#[cfg(test)]\nmod tests {\n  fn f(n: &A) { n.load(Ordering::SeqCst); }\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,173 @@
+//! `no-unwrap`: library code must not panic through bare `unwrap()` or
+//! an undocumented `expect`.
+//!
+//! In the listed library crates (see [`super::LIBRARY_CRATES`]) the
+//! non-test code paths feed multi-hour whole-genome runs; a panic there
+//! throws away the work. Errors must either propagate as `Result` or
+//! panic through `.expect("…")` with a message long enough to state the
+//! violated invariant (at least [`MIN_EXPECT_CHARS`] characters).
+
+use super::{under_any, Lint, LIBRARY_CRATES};
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// Minimum length of an `expect` message that counts as documentation.
+pub const MIN_EXPECT_CHARS: usize = 8;
+
+/// The `no-unwrap` lint.
+pub struct NoUnwrap;
+
+impl Lint for NoUnwrap {
+    fn name(&self) -> &'static str {
+        "no-unwrap"
+    }
+
+    fn description(&self) -> &'static str {
+        "library code must propagate errors or use a documented expect()"
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        under_any(rel, &LIBRARY_CRATES)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            if line.code.contains(".unwrap()") {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &file.rel,
+                    idx + 1,
+                    "bare `.unwrap()` in library code; propagate the error or \
+                     use `.expect(\"<invariant>\")`",
+                ));
+            }
+            let mut search = 0usize;
+            while let Some(pos) = line.code[search..].find(".expect(") {
+                let at = search + pos;
+                search = at + ".expect(".len();
+                if !expect_is_documented(file, idx, at) {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &file.rel,
+                        idx + 1,
+                        format!(
+                            "`.expect()` message shorter than {MIN_EXPECT_CHARS} chars; \
+                             state the invariant that makes the panic impossible"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// An expect call is documented when its argument is a string literal of
+/// at least [`MIN_EXPECT_CHARS`] characters. rustfmt may wrap the literal
+/// onto the next line, so that one line of lookahead is checked too.
+fn expect_is_documented(file: &SourceFile, line_idx: usize, code_at: usize) -> bool {
+    let raw = &file.lines[line_idx].raw;
+    // `code` blanks string contents but keeps all delimiters, so byte
+    // offsets line up with `raw` for ASCII source; fall back to a plain
+    // search when the line holds multi-byte characters.
+    let tail = if raw.is_char_boundary(code_at) {
+        &raw[code_at..]
+    } else {
+        raw.as_str()
+    };
+    if let Some(len) = literal_len_after_expect(tail) {
+        return len >= MIN_EXPECT_CHARS;
+    }
+    // Literal wrapped to the following line.
+    if tail.trim_end().ends_with(".expect(") {
+        if let Some(next) = file.lines.get(line_idx + 1) {
+            if let Some(len) = leading_literal_len(next.raw.trim_start()) {
+                return len >= MIN_EXPECT_CHARS;
+            }
+        }
+    }
+    // Non-literal argument (e.g. a formatted message): treat as
+    // documented; the formatting call carries the explanation.
+    !tail.contains(".expect(\"")
+}
+
+/// Length of the string literal directly inside `.expect("…")`, if the
+/// argument is a literal starting on this line.
+fn literal_len_after_expect(tail: &str) -> Option<usize> {
+    let rest = tail.strip_prefix(".expect(")?;
+    leading_literal_len(rest)
+}
+
+fn leading_literal_len(s: &str) -> Option<usize> {
+    let rest = s.strip_prefix('"')?;
+    let mut len = 0usize;
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(len),
+            '\\' => {
+                let _ = chars.next();
+                len += 1;
+            }
+            _ => len += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scan_str;
+    use super::*;
+
+    fn run(text: &str) -> Vec<Diagnostic> {
+        let file = scan_str("crates/core/src/x.rs", text);
+        let mut out = Vec::new();
+        NoUnwrap.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_unwrap_flagged() {
+        let d = run("fn f() { y().unwrap(); }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("bare"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_ignored() {
+        let d = run("#[cfg(test)]\nmod tests {\n  fn f() { y().unwrap(); }\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn documented_expect_passes_short_expect_fails() {
+        let d = run("fn f() { a().expect(\"tile indices validated at build\"); }\n");
+        assert!(d.is_empty(), "{d:?}");
+        let d = run("fn f() { a().expect(\"oops\"); }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn wrapped_expect_literal_checked_on_next_line() {
+        let d =
+            run("fn f() {\n  a().expect(\n    \"rank table filled by the loop above\",\n  );\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let d = run(
+            "fn f() { a().unwrap_or(0); b().unwrap_or_else(|| 1); c().unwrap_or_default(); }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_ignored() {
+        let d = run("fn f() { let s = \".unwrap()\"; } // never .unwrap() here\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

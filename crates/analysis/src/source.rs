@@ -1,0 +1,348 @@
+//! Line-oriented Rust source model for the custom lints.
+//!
+//! A tiny state machine walks each file once and produces, per line:
+//!
+//! * `code` — the line with comment text and string/char *contents*
+//!   blanked to spaces (delimiters kept), so lints can pattern-match
+//!   without tripping on prose or literals;
+//! * `comment` — the comment text carried by the line (line, block and
+//!   doc comments), so lints can look for justification markers such as
+//!   `ordering:` and `cast-ok:`;
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item,
+//!   tracked by brace counting from the attribute's opening brace.
+//!
+//! This is deliberately not a parser: the lints only need token-level
+//! facts, and a scanner keeps diagnostics exact and dependencies at zero.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One scanned source line.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// Original text (no trailing newline).
+    pub raw: String,
+    /// Text with comments and literal contents blanked to spaces.
+    pub code: String,
+    /// Comment text on this line (without the `//`/`/*` markers).
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A scanned source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Absolute (or as-opened) path.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators, used in diagnostics.
+    pub rel: String,
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+}
+
+impl SourceFile {
+    /// Read and scan `path`, reporting diagnostics relative to `root`.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the file cannot be read.
+    pub fn load(root: &Path, path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        Ok(Self::scan(path.to_path_buf(), rel, &text))
+    }
+
+    /// Scan already-loaded text (used directly by unit tests).
+    #[must_use]
+    pub fn scan(path: PathBuf, rel: String, text: &str) -> Self {
+        let mut lines = Vec::new();
+        let mut state = State::Code;
+        // Brace depth of surrounding code and the depth at which each
+        // active `#[cfg(test)]` region opened.
+        let mut depth: i64 = 0;
+        let mut test_regions: Vec<i64> = Vec::new();
+        // A `#[cfg(test)]` attribute has been seen and its item's opening
+        // brace has not yet arrived.
+        let mut pending_test = false;
+
+        for raw_line in text.lines() {
+            let mut code = String::with_capacity(raw_line.len());
+            let mut comment = String::new();
+            let mut in_test = pending_test || !test_regions.is_empty();
+
+            let bytes: Vec<char> = raw_line.chars().collect();
+            let mut i = 0usize;
+            while i < bytes.len() {
+                let c = bytes[i];
+                let next = bytes.get(i + 1).copied();
+                match state {
+                    State::Code => match c {
+                        '/' if next == Some('/') => {
+                            state = State::LineComment;
+                            comment.push_str(&raw_line[char_byte_offset(&bytes, i + 2)..]);
+                            code.push_str("  ");
+                            i = bytes.len();
+                            continue;
+                        }
+                        '/' if next == Some('*') => {
+                            state = State::BlockComment(1);
+                            code.push_str("  ");
+                            i += 2;
+                            continue;
+                        }
+                        '"' => {
+                            state = State::Str;
+                            code.push('"');
+                        }
+                        'r' if is_raw_string_start(&bytes, i) => {
+                            let hashes = count_hashes(&bytes, i + 1);
+                            state = State::RawStr(hashes);
+                            code.push('r');
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                            code.push('"');
+                            i += 2 + hashes as usize;
+                            continue;
+                        }
+                        '\'' => {
+                            // Distinguish char literals from lifetimes.
+                            if let Some(skip) = char_literal_len(&bytes, i) {
+                                code.push('\'');
+                                for _ in 0..skip - 2 {
+                                    code.push(' ');
+                                }
+                                code.push('\'');
+                                i += skip;
+                                continue;
+                            }
+                            code.push('\'');
+                        }
+                        '{' => {
+                            depth += 1;
+                            if pending_test {
+                                test_regions.push(depth);
+                                pending_test = false;
+                            }
+                            in_test = in_test || !test_regions.is_empty();
+                            code.push('{');
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if test_regions.last().is_some_and(|&open| depth < open) {
+                                test_regions.pop();
+                            }
+                            code.push('}');
+                        }
+                        other => code.push(other),
+                    },
+                    State::LineComment => unreachable!("line comments consume the whole line"),
+                    State::BlockComment(d) => {
+                        if c == '*' && next == Some('/') {
+                            let d = d - 1;
+                            state = if d == 0 {
+                                State::Code
+                            } else {
+                                State::BlockComment(d)
+                            };
+                            code.push_str("  ");
+                            i += 2;
+                            continue;
+                        }
+                        if c == '/' && next == Some('*') {
+                            state = State::BlockComment(d + 1);
+                            code.push_str("  ");
+                            i += 2;
+                            continue;
+                        }
+                        comment.push(c);
+                        code.push(' ');
+                    }
+                    State::Str => match c {
+                        '\\' => {
+                            code.push_str("  ");
+                            i += 2;
+                            continue;
+                        }
+                        '"' => {
+                            state = State::Code;
+                            code.push('"');
+                        }
+                        _ => code.push(' '),
+                    },
+                    State::RawStr(hashes) => {
+                        if c == '"' && closes_raw_string(&bytes, i, hashes) {
+                            state = State::Code;
+                            code.push('"');
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                        code.push(' ');
+                    }
+                }
+                i += 1;
+            }
+            // Line comments and (non-terminated) plain strings end at the
+            // newline; plain strings only continue when escaped, which the
+            // blanking above already treats as content.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+
+            if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+                pending_test = true;
+                in_test = true;
+            }
+
+            lines.push(Line {
+                raw: raw_line.to_string(),
+                code,
+                comment,
+                in_test,
+            });
+        }
+        Self { path, rel, lines }
+    }
+}
+
+/// Byte offset of `chars[idx]` within the line the chars came from.
+fn char_byte_offset(chars: &[char], idx: usize) -> usize {
+    chars.iter().take(idx).map(|c| c.len_utf8()).sum()
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"` or `r#...#"`, but not the middle of an identifier like `var"`.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], from: usize) -> u8 {
+    let mut n = 0u8;
+    let mut j = from;
+    while chars.get(j) == Some(&'#') {
+        n += 1;
+        j += 1;
+    }
+    n
+}
+
+fn closes_raw_string(chars: &[char], quote: usize, hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(quote + k) == Some(&'#'))
+}
+
+/// Length in chars of a char literal starting at `start` (the `'`), or
+/// `None` if this quote is a lifetime.
+fn char_literal_len(chars: &[char], start: usize) -> Option<usize> {
+    match chars.get(start + 1)? {
+        '\\' => {
+            // Escape: scan forward to the closing quote.
+            let mut j = start + 2;
+            while j < chars.len() && j < start + 12 {
+                if chars[j] == '\'' {
+                    return Some(j - start + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            if chars.get(start + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None // lifetime such as `'data`
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan(PathBuf::from("x.rs"), "x.rs".into(), text)
+    }
+
+    #[test]
+    fn comments_are_blanked_and_captured() {
+        let f = scan("let x = 1; // trailing note\n/* block */ let y = 2;\n");
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[0].code.contains("trailing"));
+        assert!(f.lines[0].comment.contains("trailing note"));
+        assert!(f.lines[1].code.contains("let y = 2;"));
+        assert!(f.lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let f = scan("let s = \"a.unwrap() == 0.0\"; s.len();\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("s.len();"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_blanked() {
+        let f = scan("let s = r#\"x \"inner\" y\"#; let t = \"a\\\"b\"; t.len();\n");
+        assert!(!f.lines[0].code.contains("inner"));
+        assert!(f.lines[0].code.contains("t.len();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[0].code.contains("'x'") || f.lines[0].code.contains("' '"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked_by_braces() {
+        let text = "\
+fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn more_lib() {}
+";
+        let f = scan(text);
+        assert!(!f.lines[0].in_test, "lib code before the region");
+        assert!(f.lines[1].in_test, "attribute line");
+        assert!(f.lines[2].in_test && f.lines[3].in_test && f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "lib code after the region");
+    }
+
+    #[test]
+    fn multiline_block_comments_span_lines() {
+        let f = scan("/* a\nb.unwrap()\n*/ let z = 3;\n");
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[1].comment.contains("b.unwrap()"));
+        assert!(f.lines[2].code.contains("let z = 3;"));
+    }
+}

@@ -1,0 +1,55 @@
+//! The lints dogfood their own workspace: this repository must scan
+//! clean with an *empty* allowlist.
+//!
+//! In particular this pins the satellite guarantees: no `unwrap()` and
+//! no undocumented `expect()` in the non-test code of `crates/core` and
+//! `crates/cluster`, justified atomic orderings everywhere, documented
+//! casts in the kernels, and no float `==` in statistical code.
+
+use gnet_analysis::{run_lints, Allowlist};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists two levels above this crate")
+}
+
+#[test]
+fn workspace_is_lint_clean_with_empty_allowlist() {
+    let report = run_lints(&workspace_root(), &Allowlist::default())
+        .expect("workspace sources are readable");
+    assert!(
+        report.files_scanned > 50,
+        "walker found the crates: {}",
+        report.files_scanned
+    );
+    let rendered = report.render_text();
+    assert!(report.is_clean(), "unexpected violations:\n{rendered}");
+}
+
+#[test]
+fn core_and_cluster_have_no_lib_unwraps() {
+    let report = run_lints(&workspace_root(), &Allowlist::default())
+        .expect("workspace sources are readable");
+    let offenders: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| {
+            d.lint == "no-unwrap"
+                && (d.file.starts_with("crates/core/") || d.file.starts_with("crates/cluster/"))
+        })
+        .collect();
+    assert!(offenders.is_empty(), "{offenders:?}");
+}
+
+#[test]
+fn checked_in_allowlist_parses_if_present() {
+    let path = workspace_root().join("analyze.allowlist");
+    if path.exists() {
+        let allow = Allowlist::load(&path).expect("checked-in allowlist must stay well-formed");
+        // Every checked-in exception needs a reason; parsing enforces it.
+        let _ = allow.len();
+    }
+}

@@ -16,12 +16,17 @@ fn bench_null_strategy(c: &mut Criterion) {
     let mut group = c.benchmark_group("null_strategy");
     group.sample_size(10);
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 96, samples: 200, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 96,
+            samples: 200,
+            ..GrnConfig::small()
+        },
         77,
     );
-    for (name, strategy) in
-        [("exact", NullStrategy::ExactFull), ("early_exit", NullStrategy::EarlyExit)]
-    {
+    for (name, strategy) in [
+        ("exact", NullStrategy::ExactFull),
+        ("early_exit", NullStrategy::EarlyExit),
+    ] {
         let cfg = InferenceConfig {
             permutations: 20,
             threads: Some(1),
@@ -39,7 +44,11 @@ fn bench_null_strategy(c: &mut Criterion) {
 
 fn bench_post_processing(c: &mut Criterion) {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 120, samples: 250, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 120,
+            samples: 250,
+            ..GrnConfig::small()
+        },
         5,
     );
     let cfg = InferenceConfig {
@@ -64,7 +73,11 @@ fn bench_cluster_ranks(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_ranks");
     group.sample_size(10);
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 64, samples: 150, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 64,
+            samples: 150,
+            ..GrnConfig::small()
+        },
         11,
     );
     let cfg = InferenceConfig {
@@ -81,5 +94,10 @@ fn bench_cluster_ranks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_null_strategy, bench_post_processing, bench_cluster_ranks);
+criterion_group!(
+    benches,
+    bench_null_strategy,
+    bench_post_processing,
+    bench_cluster_ranks
+);
 criterion_main!(benches);

@@ -23,7 +23,12 @@ fn bench_preparation(c: &mut Criterion) {
         });
         let normalized = rank_transform_profile(&raw);
         group.bench_with_input(BenchmarkId::new("spline_weights", m), &m, |b, _| {
-            b.iter(|| black_box(SparseWeights::from_normalized(black_box(&normalized), &basis)))
+            b.iter(|| {
+                black_box(SparseWeights::from_normalized(
+                    black_box(&normalized),
+                    &basis,
+                ))
+            })
         });
     }
     group.finish();

@@ -52,5 +52,10 @@ fn bench_headline_slab(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gene_scaling, bench_sample_scaling, bench_headline_slab);
+criterion_group!(
+    benches,
+    bench_gene_scaling,
+    bench_sample_scaling,
+    bench_headline_slab
+);
 criterion_main!(benches);

@@ -18,9 +18,11 @@ fn bench_policies(c: &mut Criterion) {
             scheduler: policy,
             ..perf_config(2, 2, 16, MiKernel::VectorDense)
         };
-        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, _| {
-            b.iter(|| black_box(infer_network(black_box(&matrix), &cfg)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, _| b.iter(|| black_box(infer_network(black_box(&matrix), &cfg))),
+        );
     }
     group.finish();
 }

@@ -32,7 +32,9 @@ fn parse_args() -> Opts {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--experiment" | "-e" => {
-                experiment = args.next().unwrap_or_else(|| usage("missing experiment id"));
+                experiment = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing experiment id"));
             }
             "--out" | "-o" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing out dir")));
@@ -42,7 +44,11 @@ fn parse_args() -> Opts {
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
-    Opts { experiment: experiment.to_lowercase(), out, quick }
+    Opts {
+        experiment: experiment.to_lowercase(),
+        out,
+        quick,
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -99,7 +105,10 @@ fn main() {
     if ran == 0 {
         usage(&format!("unknown experiment {:?}", opts.experiment));
     }
-    println!("done: {ran} experiment(s) in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "done: {ran} experiment(s) in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 /// R1 — headline whole-genome run: modeled platforms vs the paper's cited
@@ -146,7 +155,11 @@ fn r2_scaling(opts: &Opts) {
     );
     for (platform, curve) in scenarios::strong_scaling(genes) {
         for (threads, speedup) in curve {
-            t.row_strings(vec![platform.clone(), threads.to_string(), format!("{speedup:.1}")]);
+            t.row_strings(vec![
+                platform.clone(),
+                threads.to_string(),
+                format!("{speedup:.1}"),
+            ]);
         }
     }
     emit(&t, &opts.out, "r2_scaling");
@@ -174,7 +187,13 @@ fn r3_threads_per_core(opts: &Opts) {
 fn r4_vectorization(opts: &Opts) {
     let mut t = TableBuilder::new(
         "R4 — vectorized vs scalar MI kernel (m=3,137)",
-        &["platform", "scalar ns/pair", "vector ns/pair", "speedup", "source"],
+        &[
+            "platform",
+            "scalar ns/pair",
+            "vector ns/pair",
+            "speedup",
+            "source",
+        ],
     );
     for (platform, speedup) in scenarios::vectorization_speedups() {
         t.row_strings(vec![
@@ -211,8 +230,11 @@ fn r5_gene_sweep(opts: &Opts) {
             "modeled".into(),
         ]);
     }
-    let (samples, q, counts): (usize, usize, &[usize]) =
-        if opts.quick { (128, 2, &[64, 128, 256]) } else { (256, 4, &[128, 256, 512]) };
+    let (samples, q, counts): (usize, usize, &[usize]) = if opts.quick {
+        (128, 2, &[64, 128, 256])
+    } else {
+        (256, 4, &[128, 256, 512])
+    };
     for (n, secs) in measured::host_gene_sweep(counts, samples, q) {
         t.row_strings(vec![
             n.to_string(),
@@ -238,8 +260,11 @@ fn r6_sample_sweep(opts: &Opts) {
             "modeled".into(),
         ]);
     }
-    let (genes, q, counts): (usize, usize, &[usize]) =
-        if opts.quick { (96, 2, &[64, 128, 256]) } else { (192, 4, &[128, 256, 512, 1024]) };
+    let (genes, q, counts): (usize, usize, &[usize]) = if opts.quick {
+        (96, 2, &[64, 128, 256])
+    } else {
+        (192, 4, &[128, 256, 512, 1024])
+    };
     for (m, secs) in measured::host_sample_sweep(genes, counts, q) {
         t.row_strings(vec![
             m.to_string(),
@@ -265,7 +290,11 @@ fn r7_schedulers(opts: &Opts) {
             "modeled (Phi, 200t)".into(),
         ]);
     }
-    let (n, m, q, threads) = if opts.quick { (96, 128, 2, 2) } else { (192, 256, 4, 4) };
+    let (n, m, q, threads) = if opts.quick {
+        (96, 128, 2, 2)
+    } else {
+        (192, 256, 4, 4)
+    };
     for (name, secs, imb) in measured::host_schedulers(n, m, q, threads) {
         t.row_strings(vec![
             name,
@@ -279,14 +308,22 @@ fn r7_schedulers(opts: &Opts) {
 
 /// R8 — tile-size sweep (measured; cache blocking).
 fn r8_tiles(opts: &Opts) {
-    let (n, m, q) = if opts.quick { (128, 256, 2) } else { (256, 512, 4) };
+    let (n, m, q) = if opts.quick {
+        (128, 256, 2)
+    } else {
+        (256, 512, 4)
+    };
     let tiles: &[usize] = &[2, 4, 8, 16, 32, 64, 128];
     let mut t = TableBuilder::new(
         format!("R8 — tile size sweep (host, n={n}, m={m}, q={q})"),
         &["tile", "mi seconds", "pairs/s"],
     );
     for (tile, secs, rate) in measured::host_tile_sweep(n, m, q, tiles) {
-        t.row_strings(vec![tile.to_string(), format!("{secs:.2}"), format!("{rate:.0}")]);
+        t.row_strings(vec![
+            tile.to_string(),
+            format!("{secs:.2}"),
+            format!("{rate:.0}"),
+        ]);
     }
     emit(&t, &opts.out, "r8_tiles");
 }
@@ -324,7 +361,15 @@ fn r10_accuracy(opts: &Opts) {
     };
     let mut t = TableBuilder::new(
         format!("R10 — recovery vs samples (grnsim, n={genes}, q={q}, α=0.01)"),
-        &["samples", "edges", "precision", "recall", "F1", "DPI prec", "DPI recall"],
+        &[
+            "samples",
+            "edges",
+            "precision",
+            "recall",
+            "F1",
+            "DPI prec",
+            "DPI recall",
+        ],
     );
     for row in measured::accuracy_vs_samples(genes, counts, q) {
         t.row_strings(vec![
@@ -351,7 +396,11 @@ fn r10_accuracy(opts: &Opts) {
 
 /// R11 — extensions: early-exit ablation and the distributed cluster run.
 fn r11_extensions(opts: &Opts) {
-    let (n, m, q) = if opts.quick { (48, 150, 10) } else { (96, 250, 20) };
+    let (n, m, q) = if opts.quick {
+        (48, 150, 10)
+    } else {
+        (96, 250, 20)
+    };
     let mut t = TableBuilder::new(
         format!("R11 — early-exit null strategy ablation (host, n={n}, m={m}, q={q})"),
         &["strategy", "joint evaluations", "mi seconds", "edges"],
@@ -368,7 +417,14 @@ fn r11_extensions(opts: &Opts) {
 
     let mut c = TableBuilder::new(
         format!("R11b — simulated-cluster distributed run (n={n}, m={m}, q={q})"),
-        &["ranks", "max pairs/rank", "min pairs/rank", "bytes shipped", "edges", "matches shared"],
+        &[
+            "ranks",
+            "max pairs/rank",
+            "min pairs/rank",
+            "bytes shipped",
+            "edges",
+            "matches shared",
+        ],
     );
     for (ranks, maxp, minp, bytes, edges, matches) in measured::cluster_rows(n, m, q) {
         c.row_strings(vec![
@@ -387,9 +443,15 @@ fn r11_extensions(opts: &Opts) {
 fn r12_offload(opts: &Opts) {
     use gnet_parallel::TileSpace;
     use gnet_phi::{OffloadModel, WorkloadModel};
-    let workload = WorkloadModel { genes: 4_096, ..WorkloadModel::arabidopsis_headline() };
+    let workload = WorkloadModel {
+        genes: 4_096,
+        ..WorkloadModel::arabidopsis_headline()
+    };
     let model = OffloadModel::paper_system();
-    let tiles = TileSpace::new(workload.genes, scenarios::tile_size_for(workload.genes, 244));
+    let tiles = TileSpace::new(
+        workload.genes,
+        scenarios::tile_size_for(workload.genes, 244),
+    );
     let mut t = TableBuilder::new(
         "R12 — host+coprocessor split, n=4,096 (modeled)",
         &["device share", "wall seconds"],
@@ -398,7 +460,10 @@ fn r12_offload(opts: &Opts) {
         t.row_strings(vec![format!("{share:.1}"), format!("{wall:.1}")]);
     }
     let (best_share, best_wall) = model.optimal_split(tiles.tiles(), &workload, 40);
-    t.row_strings(vec![format!("optimal {best_share:.2}"), format!("{best_wall:.1}")]);
+    t.row_strings(vec![
+        format!("optimal {best_share:.2}"),
+        format!("{best_wall:.1}"),
+    ]);
     emit(&t, &opts.out, "r12_offload");
 }
 
@@ -407,7 +472,13 @@ fn r13_estimators(opts: &Opts) {
     let samples = if opts.quick { 500 } else { 1_500 };
     let mut t = TableBuilder::new(
         format!("R13 — estimator bias vs Gaussian closed form (m={samples})"),
-        &["rho", "exact", "bspline(k=3,b=10)", "histogram(b=10)", "KSG(k=4)"],
+        &[
+            "rho",
+            "exact",
+            "bspline(k=3,b=10)",
+            "histogram(b=10)",
+            "KSG(k=4)",
+        ],
     );
     for (rho, exact, spline, hist, ksg) in
         measured::estimator_bias(samples, &[0.0, 0.3, 0.5, 0.7, 0.9])
@@ -430,7 +501,11 @@ fn r14_forward(opts: &Opts) {
         &["platform", "threads", "minutes"],
     );
     for p in scenarios::forward_projection() {
-        t.row_strings(vec![p.platform, p.threads.to_string(), format!("{:.1}", p.minutes)]);
+        t.row_strings(vec![
+            p.platform,
+            p.threads.to_string(),
+            format!("{:.1}", p.minutes),
+        ]);
     }
     emit(&t, &opts.out, "r14_forward");
 }

@@ -19,7 +19,7 @@ use gnet_phi::KernelClass;
 /// Deterministic matrix used by the measured performance experiments
 /// (contents do not affect kernel cost — only the shape does).
 pub fn perf_matrix(genes: usize, samples: usize) -> ExpressionMatrix {
-    gnet_expr::synth::independent_gaussian(genes, samples, 0xBE7C_11)
+    gnet_expr::synth::independent_gaussian(genes, samples, 0x00BE_7C11)
 }
 
 /// Performance-measurement config: fixed explicit threshold (so edge
@@ -150,7 +150,11 @@ pub fn accuracy_vs_samples(genes: usize, sample_counts: &[usize], q: usize) -> V
         .iter()
         .map(|&m| {
             let ds = SyntheticDataset::generate(
-                GrnConfig { genes, samples: m, ..GrnConfig::small() },
+                GrnConfig {
+                    genes,
+                    samples: m,
+                    ..GrnConfig::small()
+                },
                 1717,
             );
             let cfg = InferenceConfig {
@@ -187,7 +191,11 @@ pub fn early_exit_ablation(
 ) -> Vec<(String, u64, f64, usize)> {
     use gnet_core::config::NullStrategy;
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes, samples, ..GrnConfig::small() },
+        GrnConfig {
+            genes,
+            samples,
+            ..GrnConfig::small()
+        },
         2024,
     );
     let base = InferenceConfig {
@@ -197,10 +205,15 @@ pub fn early_exit_ablation(
         ..InferenceConfig::default()
     };
     let mut rows = Vec::new();
-    for (name, strategy) in
-        [("exact-full", NullStrategy::ExactFull), ("early-exit", NullStrategy::EarlyExit)]
-    {
-        let cfg = InferenceConfig { null_strategy: strategy, null_sample_pairs: 200, ..base };
+    for (name, strategy) in [
+        ("exact-full", NullStrategy::ExactFull),
+        ("early-exit", NullStrategy::EarlyExit),
+    ] {
+        let cfg = InferenceConfig {
+            null_strategy: strategy,
+            null_sample_pairs: 200,
+            ..base
+        };
         let r = infer_network(&ds.matrix, &cfg);
         rows.push((
             name.to_string(),
@@ -223,7 +236,11 @@ pub fn method_comparison(samples: usize) -> Vec<(String, f64, f64)> {
     );
     let mut rows = Vec::new();
 
-    let cfg = InferenceConfig { permutations: 20, threads: Some(1), ..InferenceConfig::default() };
+    let cfg = InferenceConfig {
+        permutations: 20,
+        threads: Some(1),
+        ..InferenceConfig::default()
+    };
     let mi = infer_network(&matrix, &cfg);
     let s = recovery_score(&mi.network, &truth);
     rows.push(("bspline-mi".to_string(), s.precision(), s.recall()));
@@ -287,6 +304,8 @@ fn rand_free_gaussian(rho: f32, m: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         (z ^ (z >> 31)) as f64 / u64::MAX as f64
     };
+    // cast-ok: benchmark fixtures are f32 like real expression data.
+    #[allow(clippy::cast_possible_truncation)]
     let mut normal = move || {
         let u1 = next().max(f64::MIN_POSITIVE);
         let u2 = next();
@@ -306,9 +325,17 @@ fn rand_free_gaussian(rho: f32, m: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
 /// R11b — distributed run over the simulated cluster: `(ranks, pairs per
 /// rank max/min, bytes shipped, edges)` plus equivalence with the shared-
 /// memory result.
-pub fn cluster_rows(genes: usize, samples: usize, q: usize) -> Vec<(usize, u64, u64, u64, usize, bool)> {
+pub fn cluster_rows(
+    genes: usize,
+    samples: usize,
+    q: usize,
+) -> Vec<(usize, u64, u64, u64, usize, bool)> {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes, samples, ..GrnConfig::small() },
+        GrnConfig {
+            genes,
+            samples,
+            ..GrnConfig::small()
+        },
         515,
     );
     let cfg = InferenceConfig {
@@ -327,7 +354,14 @@ pub fn cluster_rows(genes: usize, samples: usize, q: usize) -> Vec<(usize, u64, 
             let min_pairs = r.rank_stats.iter().map(|s| s.pairs).min().unwrap_or(0);
             let bytes: u64 = r.rank_stats.iter().map(|s| s.bytes_sent).sum();
             let keys: Vec<_> = r.network.edges().iter().map(|e| e.key()).collect();
-            (ranks, max_pairs, min_pairs, bytes, r.network.edge_count(), keys == shared_keys)
+            (
+                ranks,
+                max_pairs,
+                min_pairs,
+                bytes,
+                r.network.edge_count(),
+                keys == shared_keys,
+            )
         })
         .collect()
 }

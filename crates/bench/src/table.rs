@@ -29,14 +29,23 @@ impl TableBuilder {
     /// # Panics
     /// Panics if the cell count does not match the header.
     pub fn row(&mut self, cells: &[&dyn Display]) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
     /// Append one row of preformatted strings.
     pub fn row_strings(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
         self
     }

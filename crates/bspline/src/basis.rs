@@ -44,17 +44,26 @@ impl BsplineBasis {
     /// (fewer bins than the order leaves no interior span).
     pub fn new(order: usize, bins: usize) -> Self {
         assert!(order >= 1, "spline order must be at least 1");
-        assert!(order <= MAX_ORDER, "spline order {order} exceeds MAX_ORDER={MAX_ORDER}");
-        assert!(bins >= order, "need at least as many bins ({bins}) as the order ({order})");
-        assert!(bins <= 64, "more than 64 bins is outside the estimator's useful range");
+        assert!(
+            order <= MAX_ORDER,
+            "spline order {order} exceeds MAX_ORDER={MAX_ORDER}"
+        );
+        assert!(
+            bins >= order,
+            "need at least as many bins ({bins}) as the order ({order})"
+        );
+        assert!(
+            bins <= 64,
+            "more than 64 bins is outside the estimator's useful range"
+        );
         let mut knots = Vec::with_capacity(bins + order);
         for i in 0..bins + order {
             let t = if i < order {
                 0.0
             } else if i < bins {
-                (i - order + 1) as f32
+                (i - order + 1) as f32 // cast-ok: i < bins <= 64, exact in f32
             } else {
-                (bins - order + 1) as f32
+                (bins - order + 1) as f32 // cast-ok: bins <= 64, exact in f32
             };
             knots.push(t);
         }
@@ -78,7 +87,7 @@ impl BsplineBasis {
 
     /// Upper end of the knot domain, `b - k + 1`.
     pub fn domain_max(&self) -> f32 {
-        (self.bins - self.order + 1) as f32
+        (self.bins - self.order + 1) as f32 // cast-ok: bins <= 64, exact in f32
     }
 
     /// Knot vector (length `b + k`).
@@ -107,7 +116,11 @@ impl BsplineBasis {
     /// # Panics
     /// Panics if `out.len() != bins`.
     pub fn eval_all_into(&self, z: f32, out: &mut [f32]) {
-        assert_eq!(out.len(), self.bins, "output buffer must have one slot per bin");
+        assert_eq!(
+            out.len(),
+            self.bins,
+            "output buffer must have one slot per bin"
+        );
         let k = self.order;
         let n_knots = self.knots.len();
         let z = z.clamp(0.0, self.domain_max());
@@ -118,11 +131,11 @@ impl BsplineBasis {
         let mut scratch = [0.0f32; 2 * MAX_ORDER + 64];
         let buf = &mut scratch[..n_knots - 1];
         let last_span = self.last_nonempty_span();
-        for i in 0..n_knots - 1 {
+        for (i, slot) in buf.iter_mut().enumerate() {
             let t0 = self.knots[i];
             let t1 = self.knots[i + 1];
             let inside = (z >= t0 && z < t1) || (i == last_span && z >= t0 && z <= t1);
-            buf[i] = if inside && t0 < t1 { 1.0 } else { 0.0 };
+            *slot = if inside && t0 < t1 { 1.0 } else { 0.0 };
         }
 
         // Raise the order: B_{i,ord} from B_{i,ord-1} and B_{i+1,ord-1},
@@ -131,7 +144,11 @@ impl BsplineBasis {
             for i in 0..n_knots - ord {
                 let denom_l = self.knots[i + ord - 1] - self.knots[i];
                 let denom_r = self.knots[i + ord] - self.knots[i + 1];
-                let left = if denom_l > 0.0 { (z - self.knots[i]) / denom_l * buf[i] } else { 0.0 };
+                let left = if denom_l > 0.0 {
+                    (z - self.knots[i]) / denom_l * buf[i]
+                } else {
+                    0.0
+                };
                 let right = if denom_r > 0.0 {
                     (self.knots[i + ord] - z) / denom_r * buf[i + 1]
                 } else {
@@ -156,7 +173,9 @@ impl BsplineBasis {
         // At z in span [t_j, t_{j+1}), the non-zero functions are
         // j-k+1 ..= j; clamp the window into [0, bins - k].
         let span = self.find_span(z);
-        let first = span.saturating_sub(self.order - 1).min(self.bins - self.order);
+        let first = span
+            .saturating_sub(self.order - 1)
+            .min(self.bins - self.order);
         let mut w = [0.0f32; MAX_ORDER];
         w[..self.order].copy_from_slice(&full[first..first + self.order]);
         (first, w)
@@ -220,8 +239,14 @@ mod tests {
         // Order-1 B-splines are the indicator functions of the bins, so the
         // estimator degenerates to the classic equal-width histogram.
         let b = BsplineBasis::new(1, 8);
-        for (x, expected_bin) in [(0.0, 0), (0.124, 0), (0.126, 1), (0.5, 4), (0.99, 7), (1.0, 7)]
-        {
+        for (x, expected_bin) in [
+            (0.0, 0),
+            (0.124, 0),
+            (0.126, 1),
+            (0.5, 4),
+            (0.99, 7),
+            (1.0, 7),
+        ] {
             let z = b.sample_to_domain(x);
             let vals = b.eval_all(z);
             for (i, v) in vals.iter().enumerate() {

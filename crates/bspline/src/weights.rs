@@ -43,10 +43,16 @@ impl SparseWeights {
         for &x in values {
             let z = basis.sample_to_domain(x);
             let (first, w) = basis.eval_nonzero(z);
-            first_bin.push(first as u16);
+            first_bin.push(u16::try_from(first).expect("first + order <= bins <= 64 fits u16"));
             weights.extend_from_slice(&w[..k]);
         }
-        Self { order: k, bins: basis.bins(), samples: values.len(), first_bin, weights }
+        Self {
+            order: k,
+            bins: basis.bins(),
+            samples: values.len(),
+            first_bin,
+            weights,
+        }
     }
 
     /// Spline order `k`.
@@ -67,7 +73,7 @@ impl SparseWeights {
     /// First-bin index of sample `s`.
     #[inline(always)]
     pub fn first_bin(&self, s: usize) -> usize {
-        self.first_bin[s] as usize
+        self.first_bin[s] as usize // cast-ok: u16 to usize widens losslessly
     }
 
     /// The `k` weights of sample `s`.
@@ -85,6 +91,7 @@ impl SparseWeights {
                 p[fb + j] += w;
             }
         }
+        // cast-ok: sample counts are far below f32's 2^24 exact-integer range
         let inv_m = 1.0 / self.samples as f32;
         for v in &mut p {
             *v *= inv_m;
@@ -103,11 +110,15 @@ impl SparseWeights {
         let mut first_bin = Vec::with_capacity(self.samples);
         let mut weights = Vec::with_capacity(self.samples * k);
         for &src in perm {
-            let s = src as usize;
+            let s = src as usize; // cast-ok: u32 to usize widens losslessly
             first_bin.push(self.first_bin[s]);
             weights.extend_from_slice(self.sample_weights(s));
         }
-        Self { first_bin, weights, ..*self }
+        Self {
+            first_bin,
+            weights,
+            ..*self
+        }
     }
 
     /// Expand into the dense, lane-padded layout.
@@ -153,17 +164,26 @@ impl SparseWeights {
         first_bin: Vec<u16>,
         weights: Vec<f32>,
     ) -> Self {
-        assert!(order >= 1 && order <= crate::basis::MAX_ORDER, "bad order {order}");
+        assert!(
+            (1..=crate::basis::MAX_ORDER).contains(&order),
+            "bad order {order}"
+        );
         assert!(bins >= order, "bins {bins} below order {order}");
         assert_eq!(first_bin.len(), samples, "one first-bin index per sample");
         assert_eq!(weights.len(), samples * order, "k weights per sample");
         for &fb in &first_bin {
             assert!(
-                fb as usize + order <= bins,
+                fb as usize + order <= bins, // cast-ok: u16 to usize widens losslessly
                 "first bin {fb} overruns the {bins}-bin grid at order {order}"
             );
         }
-        Self { order, bins, samples, first_bin, weights }
+        Self {
+            order,
+            bins,
+            samples,
+            first_bin,
+            weights,
+        }
     }
 }
 
@@ -184,7 +204,12 @@ impl DenseWeights {
     pub fn zeroed(samples: usize, bins: usize) -> Self {
         let lanes = F32x16::LANES;
         let stride = bins.div_ceil(lanes) * lanes;
-        Self { samples, bins, stride, data: vec![0.0; samples * stride] }
+        Self {
+            samples,
+            bins,
+            stride,
+            data: vec![0.0; samples * stride],
+        }
     }
 
     /// Number of samples `m` (rows).
@@ -223,7 +248,9 @@ impl DenseWeights {
     /// vectorized joint kernel uses column views to stream over samples.
     pub fn column(&self, u: usize) -> Vec<f32> {
         assert!(u < self.bins, "column {u} out of range");
-        (0..self.samples).map(|s| self.data[s * self.stride + u]).collect()
+        (0..self.samples)
+            .map(|s| self.data[s * self.stride + u])
+            .collect()
     }
 
     /// Marginal bin distribution `p[u] = (1/m) Σ_s row_s[u]`.
@@ -235,6 +262,7 @@ impl DenseWeights {
                 *acc += row[u];
             }
         }
+        // cast-ok: sample counts are far below f32's 2^24 exact-integer range
         let inv_m = 1.0 / self.samples as f32;
         for v in &mut p {
             *v *= inv_m;
@@ -271,7 +299,12 @@ impl DenseWeights {
                 data[u * spad + s] = row[u];
             }
         }
-        TransposedWeights { bins: self.bins, samples: self.samples, samples_padded: spad, data }
+        TransposedWeights {
+            bins: self.bins,
+            samples: self.samples,
+            samples_padded: spad,
+            data,
+        }
     }
 
     /// Approximate heap footprint in bytes.
@@ -386,7 +419,8 @@ mod tests {
     fn identity_permutation_is_noop() {
         let basis = BsplineBasis::tinge_default();
         let w = SparseWeights::from_normalized(&demo_values(), &basis);
-        let id: Vec<u32> = (0..w.samples() as u32).collect();
+        let m = u32::try_from(w.samples()).expect("test sample count fits u32");
+        let id: Vec<u32> = (0..m).collect();
         assert_eq!(w.permuted(&id), w);
         let d = w.to_dense();
         assert_eq!(d.permuted(&id), d);
@@ -396,12 +430,15 @@ mod tests {
     fn permutation_preserves_marginal() {
         let basis = BsplineBasis::tinge_default();
         let w = SparseWeights::from_normalized(&demo_values(), &basis);
-        let m = w.samples() as u32;
+        let m = u32::try_from(w.samples()).expect("test sample count fits u32");
         let perm: Vec<u32> = (0..m).map(|i| (i * 7 + 3) % m).collect(); // 37 prime ⇒ bijection
         let p0 = w.marginal();
         let p1 = w.permuted(&perm).marginal();
         for (a, b) in p0.iter().zip(&p1) {
-            assert!((a - b).abs() < 1e-6, "marginal must be permutation-invariant");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "marginal must be permutation-invariant"
+            );
         }
     }
 

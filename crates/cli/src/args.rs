@@ -48,7 +48,11 @@ impl ArgMap {
                 _ => flags.push(name.to_string()),
             }
         }
-        Ok(Self { values, flags, consumed: Default::default() })
+        Ok(Self {
+            values,
+            flags,
+            consumed: Default::default(),
+        })
     }
 
     /// Value of `--key`, if present.
@@ -69,7 +73,8 @@ impl ArgMap {
 
     /// Required value of `--key`.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError(format!("missing required option --{key}")))
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
     }
 
     /// Was bare `--flag` given?

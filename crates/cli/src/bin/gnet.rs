@@ -8,7 +8,9 @@
 //! gnet predict  --genes 15575 --samples 3137 --q 30
 //! ```
 
-use gnet_cli::{cmd_analyze, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats, ArgMap};
+use gnet_cli::{
+    cmd_analyze, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats, cmd_topology, ArgMap,
+};
 
 const USAGE: &str = "\
 gnet — whole-genome mutual-information network construction
@@ -26,8 +28,11 @@ subcommands:
             [--quantile-normalize] [--center-batches N]
   score     score an edge list against a ground truth
             --edges FILE --truth FILE --matrix FILE
-  analyze   topology report of an edge list
+  topology  topology report of an edge list
             --edges FILE --matrix FILE [--hubs N]
+  analyze   workspace static analysis + scheduler race checker
+            [--root DIR] [--allowlist FILE] [--json] [--deny]
+            [--concurrency] [--runs N]
   stats     summarize a TSV matrix            --input FILE
   predict   modeled platform runtimes         [--genes N] [--samples M] [--q N]
 ";
@@ -51,6 +56,7 @@ fn main() {
         "generate" => cmd_generate(&args, &mut stdout),
         "infer" => cmd_infer(&args, &mut stdout),
         "score" => cmd_score(&args, &mut stdout),
+        "topology" => cmd_topology(&args, &mut stdout),
         "analyze" => cmd_analyze(&args, &mut stdout),
         "stats" => cmd_stats(&args, &mut stdout),
         "predict" => cmd_predict(&args, &mut stdout),

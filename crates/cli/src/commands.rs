@@ -66,7 +66,15 @@ pub fn cmd_generate(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> 
     args.reject_unknown()?;
 
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes, samples, topology, avg_degree, batches, batch_sd, ..GrnConfig::small() },
+        GrnConfig {
+            genes,
+            samples,
+            topology,
+            avg_degree,
+            batches,
+            batch_sd,
+            ..GrnConfig::small()
+        },
         seed,
     );
     expr_io::write_tsv(&ds.matrix, BufWriter::new(File::create(&matrix_path)?))
@@ -77,11 +85,17 @@ pub fn cmd_generate(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> 
         let truth_net = GeneNetwork::from_edges(
             genes,
             ds.matrix.gene_names().to_vec(),
-            ds.truth_edges().into_iter().map(|(a, b)| Edge::new(a, b, 1.0)),
+            ds.truth_edges()
+                .into_iter()
+                .map(|(a, b)| Edge::new(a, b, 1.0)),
         );
         graph_io::write_edge_list(&truth_net, BufWriter::new(File::create(&path)?))
             .map_err(|e| CliError(e.to_string()))?;
-        writeln!(out, "wrote {} ground-truth edges to {path}", truth_net.edge_count())?;
+        writeln!(
+            out,
+            "wrote {} ground-truth edges to {path}",
+            truth_net.edge_count()
+        )?;
     }
     Ok(())
 }
@@ -101,14 +115,22 @@ fn config_from_args(args: &ArgMap) -> Result<InferenceConfig, CliError> {
         ..InferenceConfig::default()
     };
     if let Some(t) = args.get("threshold") {
-        cfg.mi_threshold =
-            Some(t.parse().map_err(|_| CliError(format!("bad --threshold {t:?}")))?);
+        cfg.mi_threshold = Some(
+            t.parse()
+                .map_err(|_| CliError(format!("bad --threshold {t:?}")))?,
+        );
     }
     if let Some(t) = args.get("threads") {
-        cfg.threads = Some(t.parse().map_err(|_| CliError(format!("bad --threads {t:?}")))?);
+        cfg.threads = Some(
+            t.parse()
+                .map_err(|_| CliError(format!("bad --threads {t:?}")))?,
+        );
     }
     if let Some(t) = args.get("tile") {
-        cfg.tile_size = Some(t.parse().map_err(|_| CliError(format!("bad --tile {t:?}")))?);
+        cfg.tile_size = Some(
+            t.parse()
+                .map_err(|_| CliError(format!("bad --tile {t:?}")))?,
+        );
     }
     cfg.kernel = match args.get("kernel").unwrap_or("vector") {
         "vector" => MiKernel::VectorDense,
@@ -137,18 +159,25 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let input = args.require("input")?.to_string();
     let output = args.require("output")?.to_string();
     let dpi: Option<f32> = match args.get("dpi") {
-        Some(raw) => Some(raw.parse().map_err(|_| CliError(format!("bad --dpi {raw:?}")))?),
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError(format!("bad --dpi {raw:?}")))?,
+        ),
         None => None,
     };
     let ranks: Option<usize> = match args.get("ranks") {
-        Some(raw) => Some(raw.parse().map_err(|_| CliError(format!("bad --ranks {raw:?}")))?),
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError(format!("bad --ranks {raw:?}")))?,
+        ),
         None => None,
     };
     let quantile = args.flag("quantile-normalize");
     let center_batches: Option<usize> = match args.get("center-batches") {
         Some(raw) => {
-            let b: usize =
-                raw.parse().map_err(|_| CliError(format!("bad --center-batches {raw:?}")))?;
+            let b: usize = raw
+                .parse()
+                .map_err(|_| CliError(format!("bad --center-batches {raw:?}")))?;
             if b < 1 {
                 return fail("--center-batches needs at least one batch");
             }
@@ -160,7 +189,12 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     args.reject_unknown()?;
 
     let mut matrix = load_matrix(&input)?;
-    writeln!(out, "loaded {} genes × {} samples from {input}", matrix.genes(), matrix.samples())?;
+    writeln!(
+        out,
+        "loaded {} genes × {} samples from {input}",
+        matrix.genes(),
+        matrix.samples()
+    )?;
 
     if quantile {
         matrix = gnet_expr::normalize::quantile_normalize(&matrix);
@@ -169,8 +203,11 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(batches) = center_batches {
         // Contiguous equal batches, matching `gnet generate`'s layout.
         let per = matrix.samples().div_ceil(batches);
-        let labels: Vec<u32> =
-            (0..matrix.samples()).map(|s| ((s / per).min(batches - 1)) as u32).collect();
+        let labels: Vec<u32> = (0..matrix.samples())
+            .map(|s| {
+                u32::try_from((s / per).min(batches - 1)).expect("batch count fits the u32 label")
+            })
+            .collect();
         matrix = gnet_expr::normalize::center_batches(&matrix, &labels);
         writeln!(out, "centered {batches} contiguous batches")?;
     }
@@ -179,7 +216,10 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         Some(p) => {
             let r = infer_network_distributed(&matrix, &cfg, p);
             let pairs: u64 = r.rank_stats.iter().map(|s| s.pairs).sum();
-            (r.network, format!("{} ranks, {} pairs, I* = {:.4}", p, pairs, r.threshold))
+            (
+                r.network,
+                format!("{} ranks, {} pairs, I* = {:.4}", p, pairs, r.threshold),
+            )
         }
         None => {
             let r = infer_network(&matrix, &cfg);
@@ -200,7 +240,11 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(eps) = dpi {
         let before = network.edge_count();
         network = dpi_prune(&network, eps);
-        writeln!(out, "DPI(ε={eps}): {before} → {} edges", network.edge_count())?;
+        writeln!(
+            out,
+            "DPI(ε={eps}): {before} → {} edges",
+            network.edge_count()
+        )?;
     }
 
     graph_io::write_edge_list(&network, BufWriter::new(File::create(&output)?))
@@ -260,11 +304,11 @@ pub fn cmd_stats(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `gnet analyze` — topology report of an inferred network.
+/// `gnet topology` — topology report of an inferred network.
 ///
 /// Options: `--edges FILE` `--matrix FILE` (for gene names/count)
 /// `[--hubs N]`.
-pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+pub fn cmd_topology(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     use gnet_graph::{analysis, connected_components};
     let edges_path = args.require("edges")?.to_string();
     let matrix_path = args.require("matrix")?.to_string();
@@ -278,7 +322,12 @@ pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "edges            {}", net.edge_count())?;
     writeln!(out, "density          {:.6}", net.density())?;
     let comps = connected_components(&net);
-    writeln!(out, "components       {} (largest: {})", comps.len(), comps[0].len())?;
+    writeln!(
+        out,
+        "components       {} (largest: {})",
+        comps.len(),
+        comps[0].len()
+    )?;
     match analysis::degree_assortativity(&net) {
         Some(r) => writeln!(out, "assortativity    {r:.4}")?,
         None => writeln!(out, "assortativity    undefined")?,
@@ -291,6 +340,95 @@ pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "\ntop hubs:")?;
     for (g, d) in analysis::top_hubs(&net, hub_count) {
         writeln!(out, "  {:24} degree {d}", net.gene_names()[g as usize])?;
+    }
+    Ok(())
+}
+
+/// `gnet analyze` — workspace static analysis and the scheduler race
+/// checker.
+///
+/// Options: `--root DIR` (workspace root, default `.`),
+/// `--allowlist FILE` (vetted exceptions), `--json` (machine-readable
+/// report), `--deny` (exit non-zero on any violation), `--concurrency`
+/// (also run the deterministic interleaving checker), `--runs N`
+/// (seeded repetitions for the checker, default 25).
+pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    use gnet_analysis::{check_determinism, run_lints, Allowlist, InterleaveConfig};
+
+    let root = std::path::PathBuf::from(args.get("root").unwrap_or("."));
+    let allowlist = match args.get("allowlist") {
+        Some(path) => Allowlist::load(std::path::Path::new(path)).map_err(CliError)?,
+        None => Allowlist::default(),
+    };
+    let json = args.flag("json");
+    let deny = args.flag("deny");
+    let concurrency = args.flag("concurrency");
+    let runs = args.get_or("runs", 25usize)?;
+    if concurrency && runs == 0 {
+        return fail("--runs must be at least 1: zero runs would verify nothing");
+    }
+    args.reject_unknown()?;
+
+    let report = run_lints(&root, &allowlist)
+        .map_err(|e| CliError(format!("cannot scan {}: {e}", root.display())))?;
+    if report.files_scanned == 0 {
+        return fail(format!(
+            "no sources under {} — is --root the workspace?",
+            root.display()
+        ));
+    }
+
+    let interleave = if concurrency {
+        let cfg = InterleaveConfig {
+            runs,
+            ..InterleaveConfig::default()
+        };
+        Some(check_determinism(&cfg).map(|ok| (ok, cfg)))
+    } else {
+        None
+    };
+
+    if json {
+        // The lint report serializes itself; the concurrency summary is
+        // appended as a sibling object so the output stays one document.
+        let lints = report.render_json().map_err(|e| CliError(e.to_string()))?;
+        let concurrency_json = match &interleave {
+            None => "null".to_string(),
+            Some(Ok((o, _))) => format!(
+                "{{\"passed\":true,\"runs\":{},\"checks\":{},\"pairs\":{}}}",
+                o.runs, o.checks, o.pairs
+            ),
+            Some(Err(e)) => format!(
+                "{{\"passed\":false,\"error\":{}}}",
+                serde_json::to_string(&e.to_string()).map_err(|e| CliError(e.to_string()))?
+            ),
+        };
+        writeln!(
+            out,
+            "{{\"lints\":{lints},\"concurrency\":{concurrency_json}}}"
+        )?;
+    } else {
+        write!(out, "{}", report.render_text())?;
+        match &interleave {
+            None => {}
+            Some(Ok((o, cfg))) => writeln!(
+                out,
+                "concurrency: {} scheduler executions ({} runs × 4 policies × {:?} threads), \
+                 {} pairs each, all bitwise identical to the single-threaded reference",
+                o.checks, o.runs, cfg.threads, o.pairs
+            )?,
+            Some(Err(e)) => writeln!(out, "concurrency: FAILED — {e}")?,
+        }
+    }
+
+    if let Some(Err(e)) = interleave {
+        return fail(e.to_string());
+    }
+    if deny && !report.is_clean() {
+        return fail(format!(
+            "{} static-analysis violation(s)",
+            report.diagnostics.len()
+        ));
     }
     Ok(())
 }
@@ -323,7 +461,12 @@ pub fn cmd_predict(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
             machine.max_threads(),
             SchedulerPolicy::DynamicCounter,
         );
-        writeln!(out, "{:55} {:9.2} min", machine.name, rep.wall_seconds / 60.0)?;
+        writeln!(
+            out,
+            "{:55} {:9.2} min",
+            machine.name,
+            rep.wall_seconds / 60.0
+        )?;
     }
     let offload = gnet_phi::OffloadModel::paper_system();
     let tiles = gnet_parallel::TileSpace::new(genes, scenarios::tile_size_for(genes, 244));
@@ -363,8 +506,16 @@ mod tests {
 
         cmd_generate(
             &argmap(&[
-                "--genes", "40", "--samples", "250", "--seed", "9",
-                "--out", matrix.to_str().unwrap(), "--truth", truth.to_str().unwrap(),
+                "--genes",
+                "40",
+                "--samples",
+                "250",
+                "--seed",
+                "9",
+                "--out",
+                matrix.to_str().unwrap(),
+                "--truth",
+                truth.to_str().unwrap(),
             ]),
             &mut sink,
         )
@@ -373,9 +524,16 @@ mod tests {
 
         cmd_infer(
             &argmap(&[
-                "--input", matrix.to_str().unwrap(),
-                "--output", edges.to_str().unwrap(),
-                "--q", "10", "--threads", "2", "--dpi", "0.05",
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                edges.to_str().unwrap(),
+                "--q",
+                "10",
+                "--threads",
+                "2",
+                "--dpi",
+                "0.05",
             ]),
             &mut sink,
         )
@@ -385,9 +543,12 @@ mod tests {
         let mut score_out = Vec::new();
         cmd_score(
             &argmap(&[
-                "--edges", edges.to_str().unwrap(),
-                "--truth", truth.to_str().unwrap(),
-                "--matrix", matrix.to_str().unwrap(),
+                "--edges",
+                edges.to_str().unwrap(),
+                "--truth",
+                truth.to_str().unwrap(),
+                "--matrix",
+                matrix.to_str().unwrap(),
             ]),
             &mut score_out,
         )
@@ -395,7 +556,12 @@ mod tests {
         let text = String::from_utf8(score_out).unwrap();
         assert!(text.contains("precision"), "{text}");
         let recall_line = text.lines().find(|l| l.starts_with("recall")).unwrap();
-        let recall: f64 = recall_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let recall: f64 = recall_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(recall > 0.2, "recall {recall} suspiciously low\n{text}");
 
         let _ = std::fs::remove_dir_all(&dir);
@@ -408,15 +574,27 @@ mod tests {
         let edges = dir.join("e.tsv");
         let mut sink = Vec::new();
         cmd_generate(
-            &argmap(&["--genes", "18", "--samples", "120", "--out", matrix.to_str().unwrap()]),
+            &argmap(&[
+                "--genes",
+                "18",
+                "--samples",
+                "120",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
             &mut sink,
         )
         .unwrap();
         cmd_infer(
             &argmap(&[
-                "--input", matrix.to_str().unwrap(),
-                "--output", edges.to_str().unwrap(),
-                "--q", "8", "--ranks", "3",
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                edges.to_str().unwrap(),
+                "--q",
+                "8",
+                "--ranks",
+                "3",
             ]),
             &mut sink,
         )
@@ -433,23 +611,38 @@ mod tests {
         let edges = dir.join("e.tsv");
         let mut sink = Vec::new();
         cmd_generate(
-            &argmap(&["--genes", "30", "--samples", "200", "--out", matrix.to_str().unwrap()]),
+            &argmap(&[
+                "--genes",
+                "30",
+                "--samples",
+                "200",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
             &mut sink,
         )
         .unwrap();
         cmd_infer(
             &argmap(&[
-                "--input", matrix.to_str().unwrap(),
-                "--output", edges.to_str().unwrap(), "--q", "10",
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                edges.to_str().unwrap(),
+                "--q",
+                "10",
             ]),
             &mut sink,
         )
         .unwrap();
         let mut report = Vec::new();
-        cmd_analyze(
+        cmd_topology(
             &argmap(&[
-                "--edges", edges.to_str().unwrap(),
-                "--matrix", matrix.to_str().unwrap(), "--hubs", "3",
+                "--edges",
+                edges.to_str().unwrap(),
+                "--matrix",
+                matrix.to_str().unwrap(),
+                "--hubs",
+                "3",
             ]),
             &mut report,
         )
@@ -461,6 +654,54 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Workspace root relative to this crate, for `cmd_analyze` tests.
+    fn workspace_root() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap()
+    }
+
+    #[test]
+    fn analyze_scans_the_workspace() {
+        let mut out = Vec::new();
+        cmd_analyze(
+            &argmap(&["--root", workspace_root().to_str().unwrap(), "--deny"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("file(s) scanned"), "{text}");
+        assert!(text.contains("0 violation(s)"), "{text}");
+    }
+
+    #[test]
+    fn analyze_json_is_machine_readable() {
+        let mut out = Vec::new();
+        cmd_analyze(
+            &argmap(&["--root", workspace_root().to_str().unwrap(), "--json"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("{\"lints\":"), "{text}");
+        assert!(text.contains("\"files_scanned\""), "{text}");
+        assert!(text.contains("\"concurrency\":null"), "{text}");
+    }
+
+    #[test]
+    fn analyze_rejects_a_rootless_directory() {
+        let dir = tmpdir("analyze_empty");
+        let mut out = Vec::new();
+        let err = cmd_analyze(&argmap(&["--root", dir.to_str().unwrap()]), &mut out).unwrap_err();
+        assert!(
+            err.0.contains("cannot scan") || err.0.contains("no sources"),
+            "{}",
+            err.0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn preprocessing_flags_run_end_to_end() {
         let dir = tmpdir("preproc");
@@ -469,17 +710,31 @@ mod tests {
         let mut sink = Vec::new();
         cmd_generate(
             &argmap(&[
-                "--genes", "24", "--samples", "120", "--batches", "4",
-                "--batch-sd", "1.5", "--out", matrix.to_str().unwrap(),
+                "--genes",
+                "24",
+                "--samples",
+                "120",
+                "--batches",
+                "4",
+                "--batch-sd",
+                "1.5",
+                "--out",
+                matrix.to_str().unwrap(),
             ]),
             &mut sink,
         )
         .unwrap();
         cmd_infer(
             &argmap(&[
-                "--input", matrix.to_str().unwrap(),
-                "--output", edges.to_str().unwrap(),
-                "--q", "8", "--quantile-normalize", "--center-batches", "4",
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                edges.to_str().unwrap(),
+                "--q",
+                "8",
+                "--quantile-normalize",
+                "--center-batches",
+                "4",
             ]),
             &mut sink,
         )
@@ -496,7 +751,14 @@ mod tests {
         let matrix = dir.join("m.tsv");
         let mut sink = Vec::new();
         cmd_generate(
-            &argmap(&["--genes", "12", "--samples", "30", "--out", matrix.to_str().unwrap()]),
+            &argmap(&[
+                "--genes",
+                "12",
+                "--samples",
+                "30",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
             &mut sink,
         )
         .unwrap();

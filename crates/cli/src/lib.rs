@@ -10,4 +10,6 @@ pub mod args;
 pub mod commands;
 
 pub use args::ArgMap;
-pub use commands::{cmd_analyze, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats, CliError};
+pub use commands::{
+    cmd_analyze, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats, cmd_topology, CliError,
+};

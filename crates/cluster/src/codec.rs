@@ -110,7 +110,9 @@ mod tests {
         let m = synth::independent_gaussian(genes, samples, 7);
         GeneBlock {
             indices: (100..100 + genes as u32).collect(),
-            genes: (0..genes).map(|g| prepare_gene(m.gene(g), &basis)).collect(),
+            genes: (0..genes)
+                .map(|g| prepare_gene(m.gene(g), &basis))
+                .collect(),
         }
     }
 
@@ -137,7 +139,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty blocks")]
     fn empty_block_rejected() {
-        let block = GeneBlock { indices: vec![], genes: vec![] };
+        let block = GeneBlock {
+            indices: vec![],
+            genes: vec![],
+        };
         let _ = encode_block(&block);
     }
 

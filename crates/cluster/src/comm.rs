@@ -24,11 +24,15 @@ pub struct CommStats {
 impl CommStats {
     /// Messages sent so far.
     pub fn messages(&self) -> u64 {
+        // ordering: telemetry read; exactness is only needed after the
+        // cluster scope joins, which already synchronizes.
         self.messages.load(Ordering::Relaxed)
     }
 
     /// Payload bytes sent so far.
     pub fn bytes(&self) -> u64 {
+        // ordering: telemetry read; the scope join provides the final
+        // happens-before edge.
         self.bytes.load(Ordering::Relaxed)
     }
 }
@@ -61,8 +65,12 @@ impl Endpoint {
     /// Panics if `to` is out of range or the peer endpoint was dropped.
     pub fn send(&self, to: usize, payload: Bytes) {
         assert!(to < self.size, "rank {to} out of range");
+        // ordering: pure counters — nothing is published through them;
+        // the channel send below carries all data synchronization.
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let n = payload.len() as u64;
+        // ordering: same telemetry argument as the message counter above.
+        self.stats.bytes.fetch_add(n, Ordering::Relaxed);
         self.tx[to].send(payload).expect("peer endpoint dropped");
     }
 
@@ -73,7 +81,9 @@ impl Endpoint {
     /// without sending.
     pub fn recv(&self, from: usize) -> Bytes {
         assert!(from < self.size, "rank {from} out of range");
-        self.rx[from].recv().expect("peer endpoint dropped before sending")
+        self.rx[from]
+            .recv()
+            .expect("peer endpoint dropped before sending")
     }
 
     /// Ring shift: send `payload` to `(rank + 1) % size`, receive from
@@ -132,9 +142,9 @@ impl Endpoint {
         if self.rank == root {
             let mut out = vec![Bytes::new(); self.size];
             out[root] = payload;
-            for from in 0..self.size {
+            for (from, slot) in out.iter_mut().enumerate() {
                 if from != root {
-                    out[from] = self.recv(from);
+                    *slot = self.recv(from);
                 }
             }
             Some(out)
@@ -164,10 +174,12 @@ impl Fabric {
     pub fn new(size: usize) -> Self {
         assert!(size >= 1, "need at least one rank");
         // channels[from][to]
-        let mut senders: Vec<Vec<Option<Sender<Bytes>>>> =
-            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Bytes>>>> =
-            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        let mut senders: Vec<Vec<Option<Sender<Bytes>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Bytes>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
         for from in 0..size {
             for to in 0..size {
                 let (tx, rx) = unbounded();
@@ -185,8 +197,14 @@ impl Fabric {
             .map(|(rank, (tx_row, rx_row))| Endpoint {
                 rank,
                 size,
-                tx: tx_row.into_iter().map(|t| t.expect("filled")).collect(),
-                rx: rx_row.into_iter().map(|r| r.expect("filled")).collect(),
+                tx: tx_row
+                    .into_iter()
+                    .map(|t| t.expect("wiring loop fills every slot"))
+                    .collect(),
+                rx: rx_row
+                    .into_iter()
+                    .map(|r| r.expect("wiring loop fills every slot"))
+                    .collect(),
                 stats: Arc::clone(&stats[rank]),
             })
             .collect();
@@ -221,7 +239,10 @@ where
                 scope.spawn(move |_| body(ep))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
     .expect("cluster scope failed")
 }
@@ -280,8 +301,11 @@ mod tests {
     #[test]
     fn broadcast_reaches_everyone() {
         let outputs = run_ranks(5, |ep| {
-            let payload =
-                if ep.rank() == 2 { Some(Bytes::from_static(b"hello")) } else { None };
+            let payload = if ep.rank() == 2 {
+                Some(Bytes::from_static(b"hello"))
+            } else {
+                None
+            };
             ep.broadcast(2, payload)
         });
         for out in outputs {

@@ -137,14 +137,19 @@ fn rank_main(
     let basis = BsplineBasis::new(config.spline_order, config.bins);
     let perms = PermutationSet::generate(matrix.samples(), config.permutations, config.seed);
     let mut scratch = MiScratch::for_basis(&basis);
-    let mut stats = RankStats { rank: r, ..Default::default() };
+    let mut stats = RankStats {
+        rank: r,
+        ..Default::default()
+    };
     let mut busy = Duration::ZERO;
 
     // Prepare the local block.
     let t0 = Instant::now();
     let own = GeneBlock {
         indices: (start as u32..end as u32).collect(),
-        genes: (start..end).map(|g| prepare_gene(matrix.gene(g), &basis)).collect(),
+        genes: (start..end)
+            .map(|g| prepare_gene(matrix.gene(g), &basis))
+            .collect(),
     };
     busy += t0.elapsed();
 
@@ -261,9 +266,15 @@ fn compute_block_pair(
     };
     for (xi, xg) in x_block.genes.iter().enumerate() {
         let y_start = if y_block.is_none() { xi + 1 } else { 0 };
-        for yi in y_start..y.genes.len() {
-            let res =
-                mi_with_nulls(kernel, xg, &y.genes[yi], dense[yi].as_ref(), perms.as_vecs(), scratch);
+        for (yi, dy) in dense.iter().enumerate().skip(y_start) {
+            let res = mi_with_nulls(
+                kernel,
+                xg,
+                &y.genes[yi],
+                dy.as_ref(),
+                perms.as_vecs(),
+                scratch,
+            );
             pooled.extend(&res.null);
             *pair_counter += 1;
             if res.exceed_count() == 0 {
@@ -399,7 +410,10 @@ mod tests {
                 assert!((a.weight - b.weight).abs() < 1e-5);
             }
             let total_pairs: u64 = dist.rank_stats.iter().map(|s| s.pairs).sum();
-            assert_eq!(total_pairs, shared.stats.pairs, "{ranks} ranks: pair coverage");
+            assert_eq!(
+                total_pairs, shared.stats.pairs,
+                "{ranks} ranks: pair coverage"
+            );
         }
     }
 
@@ -427,7 +441,11 @@ mod tests {
     #[test]
     fn distributed_works_on_grn_data_with_odd_ranks() {
         let ds = SyntheticDataset::generate(
-            GrnConfig { genes: 21, samples: 150, ..GrnConfig::small() },
+            GrnConfig {
+                genes: 21,
+                samples: 150,
+                ..GrnConfig::small()
+            },
             5,
         );
         let shared = infer_network(&ds.matrix, &cfg());
@@ -444,7 +462,12 @@ mod tests {
         for s in &dist.rank_stats {
             // Each rank ships its travelling block ⌊P/2⌋ times plus the
             // gather/barrier traffic — single-digit message counts.
-            assert!(s.messages <= 8, "rank {} sent {} messages", s.rank, s.messages);
+            assert!(
+                s.messages <= 8,
+                "rank {} sent {} messages",
+                s.rank,
+                s.messages
+            );
             assert!(s.bytes_sent > 0);
         }
     }
@@ -452,7 +475,10 @@ mod tests {
     #[test]
     fn scalar_kernel_path_matches_too() {
         let (matrix, _) = coupled_pairs(4, 120, Coupling::Linear(0.9), 9);
-        let scalar_cfg = InferenceConfig { kernel: MiKernel::ScalarSparse, ..cfg() };
+        let scalar_cfg = InferenceConfig {
+            kernel: MiKernel::ScalarSparse,
+            ..cfg()
+        };
         let shared = infer_network(&matrix, &scalar_cfg);
         let dist = infer_network_distributed(&matrix, &scalar_cfg, 3);
         let a: Vec<_> = dist.network.edges().iter().map(|e| e.key()).collect();

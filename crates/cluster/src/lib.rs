@@ -22,6 +22,10 @@
 //! is the property that makes the paper's single-chip-vs-cluster
 //! comparison an apples-to-apples one.
 
+// cast-ok (crate-wide): the wire format carries u32 lengths/ids and f32
+// edge weights by design; block sizes and gene counts are bounded far
+// below u32::MAX, so the narrowing casts are the intended representation.
+#![allow(clippy::cast_possible_truncation)]
 #![warn(missing_docs)]
 
 pub mod codec;

@@ -24,14 +24,12 @@ use gnet_permute::{PermutationSet, PooledNull};
 /// Deliberately simple reference implementation of the full statistical
 /// procedure (rank transform → B-spline MI → shared-permutation test →
 /// pooled threshold). O(n²·q·m·k²) scalar work, single thread.
-pub fn sequential_reference(
-    matrix: &ExpressionMatrix,
-    config: &InferenceConfig,
-) -> GeneNetwork {
+pub fn sequential_reference(matrix: &ExpressionMatrix, config: &InferenceConfig) -> GeneNetwork {
     config.validate();
     let basis = BsplineBasis::new(config.spline_order, config.bins);
-    let prepared: Vec<_> =
-        (0..matrix.genes()).map(|g| prepare_gene(matrix.gene(g), &basis)).collect();
+    let prepared: Vec<_> = (0..matrix.genes())
+        .map(|g| prepare_gene(matrix.gene(g), &basis))
+        .collect();
     let perms = PermutationSet::generate(matrix.samples(), config.permutations, config.seed);
     let mut scratch = MiScratch::for_basis(&basis);
 
@@ -106,7 +104,11 @@ pub fn clr_network(
     z_threshold: f64,
 ) -> GeneNetwork {
     assert!(z_threshold >= 0.0, "z threshold cannot be negative");
-    let cfg = InferenceConfig { bins, spline_order: order, ..InferenceConfig::default() };
+    let cfg = InferenceConfig {
+        bins,
+        spline_order: order,
+        ..InferenceConfig::default()
+    };
     let mi = crate::mi_matrix::compute_mi_matrix(matrix, &cfg);
 
     let n = matrix.genes();
@@ -134,7 +136,10 @@ pub fn clr_network(
 
 /// Absolute-Pearson-correlation network with threshold `min_abs_r`.
 pub fn pearson_network(matrix: &ExpressionMatrix, min_abs_r: f64) -> GeneNetwork {
-    assert!((0.0..=1.0).contains(&min_abs_r), "correlation threshold must lie in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&min_abs_r),
+        "correlation threshold must lie in [0, 1]"
+    );
     let n = matrix.genes();
     let mut edges = Vec::new();
     for i in 0..n {
@@ -206,7 +211,11 @@ mod tests {
         let net = histogram_network(&matrix, 10, 0.35);
         let score = recovery_score(&net, &truth);
         assert_eq!(score.false_negatives, 0);
-        assert!(score.precision() > 0.7, "histogram precision {}", score.precision());
+        assert!(
+            score.precision() > 0.7,
+            "histogram precision {}",
+            score.precision()
+        );
     }
 
     #[test]
@@ -221,7 +230,12 @@ mod tests {
         let (matrix, truth) = synth::coupled_pairs(5, 400, Coupling::Linear(0.9), 44);
         let net = clr_network(&matrix, 10, 3, 3.0);
         let score = recovery_score(&net, &truth);
-        assert_eq!(score.false_negatives, 0, "CLR must find strong pairs: {:?}", net.edges());
+        assert_eq!(
+            score.false_negatives,
+            0,
+            "CLR must find strong pairs: {:?}",
+            net.edges()
+        );
         assert!(score.precision() > 0.8, "precision {}", score.precision());
     }
 

@@ -94,8 +94,9 @@ pub fn infer_network_resumable(
 
     let t0 = Instant::now();
     let basis = BsplineBasis::new(config.spline_order, config.bins);
-    let prepared: Vec<PreparedGene> =
-        (0..matrix.genes()).map(|g| prepare_gene(matrix.gene(g), &basis)).collect();
+    let prepared: Vec<PreparedGene> = (0..matrix.genes())
+        .map(|g| prepare_gene(matrix.gene(g), &basis))
+        .collect();
     let perms = PermutationSet::generate(matrix.samples(), config.permutations, config.seed);
     let tile_size = config.resolved_tile_size(matrix.genes(), prepared[0].heap_bytes());
     let space = TileSpace::new(matrix.genes(), tile_size);
@@ -105,7 +106,10 @@ pub fn infer_network_resumable(
     let mut progress = match resume_from {
         Some(cp) => {
             assert_eq!(cp.digest, digest, "checkpoint does not match this run");
-            assert!(cp.tiles_done <= space.tiles().len(), "corrupt checkpoint prefix");
+            assert!(
+                cp.tiles_done <= space.tiles().len(),
+                "corrupt checkpoint prefix"
+            );
             cp
         }
         None => Checkpoint {
@@ -129,7 +133,14 @@ pub fn infer_network_resumable(
             config.scheduler,
             |_tid| WorkerState::new(MiScratch::for_basis(&basis)),
             |state, tile| {
-                process_tile(tile, &prepared, &perms, config.kernel, config.mi_threshold, state);
+                process_tile(
+                    tile,
+                    &prepared,
+                    &perms,
+                    config.kernel,
+                    config.mi_threshold,
+                    state,
+                );
             },
         );
         for s in states {
@@ -174,7 +185,11 @@ pub fn infer_network_resumable(
         joints_evaluated: progress.joints,
         threshold,
         null_mean: progress.pooled.mean(),
-        null_sd: if progress.pooled.count() >= 2 { progress.pooled.std_dev() } else { 0.0 },
+        null_sd: if progress.pooled.count() >= 2 {
+            progress.pooled.std_dev()
+        } else {
+            0.0
+        },
         tile_size,
         threads,
         execution: last_report,
@@ -212,11 +227,19 @@ mod tests {
             resumable.network.edges().len(),
             one_shot.network.edges().len()
         );
-        for (a, b) in resumable.network.edges().iter().zip(one_shot.network.edges()) {
+        for (a, b) in resumable
+            .network
+            .edges()
+            .iter()
+            .zip(one_shot.network.edges())
+        {
             assert_eq!(a.key(), b.key());
         }
         assert_eq!(resumable.stats.pairs, one_shot.stats.pairs);
-        assert_eq!(resumable.stats.joints_evaluated, one_shot.stats.joints_evaluated);
+        assert_eq!(
+            resumable.stats.joints_evaluated,
+            one_shot.stats.joints_evaluated
+        );
     }
 
     #[test]
@@ -236,12 +259,21 @@ mod tests {
         assert!(checkpoint.tiles_done < TileSpace::new(12, 6).tiles().len() * 100); // sanity
 
         // Resume to completion.
-        let resumed =
-            infer_network_resumable(&matrix, &cfg(), Some(checkpoint), 4, |_| true)
-                .expect("resume finishes");
+        let resumed = infer_network_resumable(&matrix, &cfg(), Some(checkpoint), 4, |_| true)
+            .expect("resume finishes");
         assert_eq!(
-            resumed.network.edges().iter().map(|e| e.key()).collect::<Vec<_>>(),
-            reference.network.edges().iter().map(|e| e.key()).collect::<Vec<_>>()
+            resumed
+                .network
+                .edges()
+                .iter()
+                .map(|e| e.key())
+                .collect::<Vec<_>>(),
+            reference
+                .network
+                .edges()
+                .iter()
+                .map(|e| e.key())
+                .collect::<Vec<_>>()
         );
         assert_eq!(resumed.stats.candidates, reference.stats.candidates);
     }
@@ -251,22 +283,22 @@ mod tests {
     fn foreign_checkpoint_rejected() {
         let (matrix, _) = coupled_pairs(4, 100, Coupling::Linear(0.8), 1);
         let (other, _) = coupled_pairs(5, 100, Coupling::Linear(0.8), 1);
-        let cp = infer_network_resumable(&other, &cfg(), None, 2, |_| false)
-            .expect_err("interrupted");
+        let cp =
+            infer_network_resumable(&other, &cfg(), None, 2, |_| false).expect_err("interrupted");
         let _ = infer_network_resumable(&matrix, &cfg(), Some(cp), 2, |_| true);
     }
 
     #[test]
     fn checkpoint_serde_roundtrip() {
         let (matrix, _) = coupled_pairs(4, 120, Coupling::Linear(0.9), 3);
-        let cp = infer_network_resumable(&matrix, &cfg(), None, 2, |_| false)
-            .expect_err("interrupted");
+        let cp =
+            infer_network_resumable(&matrix, &cfg(), None, 2, |_| false).expect_err("interrupted");
         let json = serde_json::to_string(&cp).unwrap();
         let back: Checkpoint = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cp);
         // And the deserialized checkpoint actually resumes.
-        let done = infer_network_resumable(&matrix, &cfg(), Some(back), 2, |_| true)
-            .expect("finishes");
+        let done =
+            infer_network_resumable(&matrix, &cfg(), Some(back), 2, |_| true).expect("finishes");
         assert_eq!(done.stats.pairs, 28); // C(8,2) — 4 coupled pairs = 8 genes
     }
 

@@ -83,7 +83,10 @@ impl InferenceConfig {
     /// A fast configuration for tests and examples: fewer permutations,
     /// a single thread unless overridden.
     pub fn fast() -> Self {
-        Self { permutations: 10, ..Self::default() }
+        Self {
+            permutations: 10,
+            ..Self::default()
+        }
     }
 
     /// Validate the configuration, panicking with a clear message on
@@ -95,7 +98,10 @@ impl InferenceConfig {
             self.spline_order <= self.bins,
             "spline order cannot exceed the bin count"
         );
-        assert!((f64::MIN_POSITIVE..1.0).contains(&self.alpha), "alpha must lie in (0, 1)");
+        assert!(
+            (f64::MIN_POSITIVE..1.0).contains(&self.alpha),
+            "alpha must lie in (0, 1)"
+        );
         if self.permutations == 0 {
             assert!(
                 self.mi_threshold.is_some(),
@@ -119,7 +125,9 @@ impl InferenceConfig {
     /// Resolved thread count.
     pub fn resolved_threads(&self) -> usize {
         self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         })
     }
 
@@ -151,7 +159,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "explicit mi_threshold")]
     fn zero_permutations_without_threshold_rejected() {
-        let c = InferenceConfig { permutations: 0, ..InferenceConfig::default() };
+        let c = InferenceConfig {
+            permutations: 0,
+            ..InferenceConfig::default()
+        };
         c.validate();
     }
 
@@ -168,18 +179,26 @@ mod tests {
     #[test]
     #[should_panic(expected = "order cannot exceed")]
     fn order_above_bins_rejected() {
-        let c = InferenceConfig { bins: 2, spline_order: 3, ..InferenceConfig::default() };
+        let c = InferenceConfig {
+            bins: 2,
+            spline_order: 3,
+            ..InferenceConfig::default()
+        };
         c.validate();
     }
 
     #[test]
     fn resolved_values() {
-        let c = InferenceConfig { threads: Some(3), tile_size: Some(7), ..Default::default() };
+        let c = InferenceConfig {
+            threads: Some(3),
+            tile_size: Some(7),
+            ..Default::default()
+        };
         assert_eq!(c.resolved_threads(), 3);
         assert_eq!(c.resolved_tile_size(100, 1), 7);
         let auto = InferenceConfig::default();
         assert!(auto.resolved_threads() >= 1);
         let t = auto.resolved_tile_size(1000, 44_000);
-        assert!(t >= 4 && t <= 1000);
+        assert!((4..=1000).contains(&t));
     }
 }

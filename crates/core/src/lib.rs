@@ -17,6 +17,11 @@
 //!    global threshold `I*`; candidates above it become edges.
 //! 5. **Output** — a [`gnet_graph::GeneNetwork`] plus run statistics.
 //!
+// cast-ok (crate-wide): gene indices are u32 and edge weights f32 by
+// design (the paper's ~15k-gene scale); MI is accumulated in f64 and
+// narrowed once at the edge boundary. These narrowing casts are the data
+// model, not accidents.
+#![allow(clippy::cast_possible_truncation)]
 //! [`baselines`] holds the comparison methods (naive histogram-MI network,
 //! Pearson correlation network, and a deliberately simple sequential
 //! reference implementation used as the correctness oracle for the tiled
@@ -35,6 +40,6 @@ pub mod result;
 pub use checkpoint::{infer_network_resumable, Checkpoint};
 pub use config::{InferenceConfig, NullStrategy};
 pub use mi_matrix::{compute_mi_matrix, MiMatrix};
-pub use plan::MemoryPlan;
 pub use pipeline::infer_network;
+pub use plan::MemoryPlan;
 pub use result::{InferenceResult, RunStats};

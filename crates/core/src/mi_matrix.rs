@@ -31,7 +31,10 @@ impl MiMatrix {
     /// # Panics
     /// Panics on `i == j` or out-of-range indices.
     pub fn get(&self, i: usize, j: usize) -> f32 {
-        assert_ne!(i, j, "self-MI is not stored (it is not a pairwise quantity here)");
+        assert_ne!(
+            i, j,
+            "self-MI is not stored (it is not a pairwise quantity here)"
+        );
         let (a, b) = if i < j { (i, j) } else { (j, i) };
         self.packed[pair_index(self.genes, a, b)]
     }
@@ -69,8 +72,9 @@ pub fn compute_mi_matrix(matrix: &ExpressionMatrix, config: &InferenceConfig) ->
     config.validate();
     assert!(matrix.genes() >= 2, "need at least two genes");
     let basis = BsplineBasis::new(config.spline_order, config.bins);
-    let prepared: Vec<PreparedGene> =
-        (0..matrix.genes()).map(|g| prepare_gene(matrix.gene(g), &basis)).collect();
+    let prepared: Vec<PreparedGene> = (0..matrix.genes())
+        .map(|g| prepare_gene(matrix.gene(g), &basis))
+        .collect();
     let n = matrix.genes();
     let tile = config.resolved_tile_size(n, prepared[0].heap_bytes());
     let threads = config.resolved_threads();
@@ -91,7 +95,10 @@ pub fn compute_mi_matrix(matrix: &ExpressionMatrix, config: &InferenceConfig) ->
         tile,
         threads,
         SchedulerPolicy::DynamicCounter,
-        |_tid| Ctx { scratch: MiScratch::for_basis(basis_ref), dense: Default::default() },
+        |_tid| Ctx {
+            scratch: MiScratch::for_basis(basis_ref),
+            dense: Default::default(),
+        },
         |ctx, i, j| match kernel {
             MiKernel::ScalarSparse => {
                 mi_scalar(&prepared_ref[i], &prepared_ref[j], &mut ctx.scratch) as f32
@@ -117,7 +124,11 @@ mod tests {
     use gnet_expr::synth::{coupled_pairs, Coupling};
 
     fn cfg() -> InferenceConfig {
-        InferenceConfig { threads: Some(2), tile_size: Some(5), ..InferenceConfig::default() }
+        InferenceConfig {
+            threads: Some(2),
+            tile_size: Some(5),
+            ..InferenceConfig::default()
+        }
     }
 
     #[test]
@@ -158,8 +169,10 @@ mod tests {
         let (matrix, _) = coupled_pairs(5, 120, Coupling::Linear(0.6), 9);
         let mm = compute_mi_matrix(&matrix, &cfg());
         let g = 3;
-        let vals: Vec<f64> =
-            (0..10).filter(|&o| o != g).map(|o| mm.get(g, o) as f64).collect();
+        let vals: Vec<f64> = (0..10)
+            .filter(|&o| o != g)
+            .map(|o| mm.get(g, o) as f64)
+            .collect();
         let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
         let sd = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
         let (m, s) = mm.row_moments(g);

@@ -34,7 +34,12 @@ impl ThreadState {
     /// Fresh state around a kernel scratch (used by the checkpointing
     /// driver, which shares this worker).
     pub(crate) fn new(scratch: MiScratch) -> Self {
-        Self { scratch, pooled: PooledNull::new(), candidates: Vec::new(), joints: 0 }
+        Self {
+            scratch,
+            pooled: PooledNull::new(),
+            candidates: Vec::new(),
+            joints: 0,
+        }
     }
 }
 
@@ -60,6 +65,9 @@ impl SplitMix64 {
 /// pairs with full nulls — the pre-pass of the early-exit strategy. Valid
 /// because the rank transform gives every gene the same marginal, so the
 /// null MI distribution is pair-independent.
+// The pre-pass genuinely consumes eight independent inputs; bundling them
+// into a one-shot struct would only rename the argument list.
+#[allow(clippy::too_many_arguments)]
 fn estimate_threshold(
     prepared: &[PreparedGene],
     perms: &PermutationSet,
@@ -118,13 +126,17 @@ fn estimate_threshold(
 /// permutations to exist.
 pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> InferenceResult {
     config.validate();
-    assert!(matrix.genes() >= 2, "need at least two genes to infer a network");
+    assert!(
+        matrix.genes() >= 2,
+        "need at least two genes to infer a network"
+    );
 
     // ---- Stage 1+2: preprocess and prepare every gene -------------------
     let t0 = Instant::now();
     let basis = BsplineBasis::new(config.spline_order, config.bins);
-    let prepared: Vec<PreparedGene> =
-        (0..matrix.genes()).map(|g| prepare_gene(matrix.gene(g), &basis)).collect();
+    let prepared: Vec<PreparedGene> = (0..matrix.genes())
+        .map(|g| prepare_gene(matrix.gene(g), &basis))
+        .collect();
     let perms = PermutationSet::generate(matrix.samples(), config.permutations, config.seed);
     let prep_time = t0.elapsed();
 
@@ -151,7 +163,10 @@ pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> Inf
     let early_threshold: Option<f64> = match (strategy, explicit_threshold) {
         (NullStrategy::EarlyExit, Some(t)) => Some(t),
         (NullStrategy::EarlyExit, None) => {
-            let sample = config.null_sample_pairs.min(space.total_pairs() as usize).max(2);
+            let sample = config
+                .null_sample_pairs
+                .min(space.total_pairs() as usize)
+                .max(2);
             let (t, pooled) = estimate_threshold(
                 &prepared,
                 &perms,
@@ -180,7 +195,14 @@ pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> Inf
         },
         |state, tile| match strategy {
             NullStrategy::ExactFull => {
-                process_tile(tile, prepared_ref, perms_ref, kernel, explicit_threshold, state);
+                process_tile(
+                    tile,
+                    prepared_ref,
+                    perms_ref,
+                    kernel,
+                    explicit_threshold,
+                    state,
+                );
             }
             NullStrategy::EarlyExit => {
                 process_tile_early_exit(
@@ -230,7 +252,11 @@ pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> Inf
         joints_evaluated,
         threshold,
         null_mean: pooled.mean(),
-        null_sd: if pooled.count() >= 2 { pooled.std_dev() } else { 0.0 },
+        null_sd: if pooled.count() >= 2 {
+            pooled.std_dev()
+        } else {
+            0.0
+        },
         tile_size,
         threads,
         execution,
@@ -277,7 +303,11 @@ pub(crate) fn process_tile(
                 None => true,
             };
             if keep {
-                state.candidates.push(Candidate { i, j, observed: res.observed });
+                state.candidates.push(Candidate {
+                    i,
+                    j,
+                    observed: res.observed,
+                });
             }
         }
     }
@@ -318,7 +348,11 @@ fn process_tile_early_exit(
         );
         state.joints += res.joints_evaluated as u64;
         if res.survived {
-            state.candidates.push(Candidate { i, j, observed: res.observed });
+            state.candidates.push(Candidate {
+                i,
+                j,
+                observed: res.observed,
+            });
         }
     }
 }
@@ -345,7 +379,10 @@ mod tests {
         let (matrix, truth) = synth::coupled_pairs(5, 400, Coupling::Linear(0.9), 3);
         let result = infer_network(&matrix, &fast_config());
         let score = recovery_score(&result.network, &truth);
-        assert_eq!(score.false_negatives, 0, "all strong planted pairs must be found");
+        assert_eq!(
+            score.false_negatives, 0,
+            "all strong planted pairs must be found"
+        );
         assert!(
             score.precision() > 0.8,
             "at α=0.01 spurious edges must be rare: {:?}",
@@ -360,7 +397,8 @@ mod tests {
         let result = infer_network(&matrix, &fast_config());
         let score = recovery_score(&result.network, &truth);
         assert_eq!(
-            score.false_negatives, 0,
+            score.false_negatives,
+            0,
             "MI must see the quadratic coupling, got {:?}",
             result.network.edges()
         );
@@ -461,7 +499,11 @@ mod tests {
     #[test]
     fn works_on_mechanistic_grn_data() {
         let ds = SyntheticDataset::generate(
-            GrnConfig { genes: 40, samples: 300, ..GrnConfig::small() },
+            GrnConfig {
+                genes: 40,
+                samples: 300,
+                ..GrnConfig::small()
+            },
             21,
         );
         let r = infer_network(&ds.matrix, &fast_config());
@@ -524,8 +566,14 @@ mod tests {
         let score = recovery_score(&r.network, &truth);
         assert_eq!(score.false_negatives, 0, "edges: {:?}", r.network.edges());
         assert!(score.precision() > 0.8);
-        assert!(r.stats.threshold > 0.0, "pre-pass must have produced a threshold");
-        assert!(r.stats.null_sd > 0.0, "pre-pass pooled stats must be recorded");
+        assert!(
+            r.stats.threshold > 0.0,
+            "pre-pass must have produced a threshold"
+        );
+        assert!(
+            r.stats.null_sd > 0.0,
+            "pre-pass pooled stats must be recorded"
+        );
     }
 
     #[test]

@@ -77,8 +77,7 @@ impl MemoryPlan {
         let fixed = self.matrix_bytes() + self.prepared_bytes() + self.permutations_bytes();
         let grid = self.bins_padded * self.bins_padded * 4;
         let per_thread_fixed = threads * grid;
-        if fixed + per_thread_fixed + threads * self.samples * self.bins_padded * 4 > budget_bytes
-        {
+        if fixed + per_thread_fixed + threads * self.samples * self.bins_padded * 4 > budget_bytes {
             return None;
         }
         let spare = budget_bytes - fixed - per_thread_fixed;

@@ -91,9 +91,10 @@ pub fn read_tsv<R: Read>(
             continue;
         }
         let mut fields = line.split('\t');
-        let name = fields
-            .next()
-            .ok_or_else(|| IoError::Parse { line: lineno, message: "empty line".into() })?;
+        let name = fields.next().ok_or_else(|| IoError::Parse {
+            line: lineno,
+            message: "empty line".into(),
+        })?;
         let mut count = 0usize;
         for field in fields {
             rows.push(parse_field(field, lineno)?);
@@ -154,7 +155,12 @@ const SNAPSHOT_VERSION: u8 = 1;
 /// Serialize to the compact `GNEX` binary snapshot.
 pub fn to_snapshot(matrix: &ExpressionMatrix) -> Bytes {
     let mut buf = BytesMut::with_capacity(
-        16 + matrix.heap_bytes() + matrix.gene_names().iter().map(|n| n.len() + 4).sum::<usize>(),
+        16 + matrix.heap_bytes()
+            + matrix
+                .gene_names()
+                .iter()
+                .map(|n| n.len() + 4)
+                .sum::<usize>(),
     );
     buf.put_slice(SNAPSHOT_MAGIC);
     buf.put_u8(SNAPSHOT_VERSION);
@@ -226,7 +232,8 @@ mod tests {
             MissingPolicy::Error,
         )
         .unwrap();
-        m.set_gene_names(vec!["AT1G01010".into(), "AT1G01020".into()]).unwrap();
+        m.set_gene_names(vec!["AT1G01010".into(), "AT1G01020".into()])
+            .unwrap();
         m
     }
 
@@ -298,7 +305,10 @@ mod tests {
         // Wrong magic.
         let mut bad = BytesMut::from(&bytes[..]);
         bad[0] = b'X';
-        assert!(matches!(from_snapshot(bad.freeze()), Err(IoError::BadSnapshot("wrong magic"))));
+        assert!(matches!(
+            from_snapshot(bad.freeze()),
+            Err(IoError::BadSnapshot("wrong magic"))
+        ));
 
         // Truncated payload.
         let truncated = bytes.slice(..bytes.len() - 3);
@@ -321,13 +331,8 @@ mod tests {
 
     #[test]
     fn nan_written_as_na_token() {
-        let m = ExpressionMatrix::from_flat(
-            1,
-            2,
-            vec![1.0, f32::NAN],
-            MissingPolicy::ZeroFill,
-        )
-        .unwrap();
+        let m = ExpressionMatrix::from_flat(1, 2, vec![1.0, f32::NAN], MissingPolicy::ZeroFill)
+            .unwrap();
         // ZeroFill resolved the NaN, so write a literal NaN via set().
         let mut m2 = m;
         m2.set(0, 1, f32::NAN);

@@ -1,3 +1,9 @@
+// cast-ok (crate-wide): expression values are f32 and gene/sample indices
+// are u32 by design (the paper's scale is ~15k genes × ~3k samples), so
+// narrowing from f64 accumulators and usize counters is the intended
+// representation, not an accident.
+#![allow(clippy::cast_possible_truncation)]
+
 //! Gene expression matrices and the preprocessing stage of the pipeline.
 //!
 //! The inference pipeline consumes an `n × m` matrix of expression values —

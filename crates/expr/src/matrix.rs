@@ -60,7 +60,10 @@ impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::ShapeMismatch { expected, got } => {
-                write!(f, "data length {got} does not match genes*samples = {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match genes*samples = {expected}"
+                )
             }
             Self::MissingValue { gene, sample } => {
                 write!(f, "missing value at gene {gene}, sample {sample}")
@@ -106,7 +109,10 @@ impl ExpressionMatrix {
             return Err(MatrixError::Empty);
         }
         if data.len() != genes * samples {
-            return Err(MatrixError::ShapeMismatch { expected: genes * samples, got: data.len() });
+            return Err(MatrixError::ShapeMismatch {
+                expected: genes * samples,
+                got: data.len(),
+            });
         }
         for g in 0..genes {
             let row = &mut data[g * samples..(g + 1) * samples];
@@ -153,7 +159,12 @@ impl ExpressionMatrix {
             }
         }
         let gene_names = (0..genes).map(|g| format!("G{g:05}")).collect();
-        Ok(Self { genes, samples, gene_names, data })
+        Ok(Self {
+            genes,
+            samples,
+            gene_names,
+            data,
+        })
     }
 
     /// Build from per-gene rows (each row one gene's profile).
@@ -177,13 +188,21 @@ impl ExpressionMatrix {
 
     /// Zero-filled matrix (no missing-value handling needed).
     pub fn zeroed(genes: usize, samples: usize) -> Result<Self, MatrixError> {
-        Self::from_flat(genes, samples, vec![0.0; genes * samples], MissingPolicy::Error)
+        Self::from_flat(
+            genes,
+            samples,
+            vec![0.0; genes * samples],
+            MissingPolicy::Error,
+        )
     }
 
     /// Replace the default (`G00000`-style) gene names.
     pub fn set_gene_names(&mut self, names: Vec<String>) -> Result<(), MatrixError> {
         if names.len() != self.genes {
-            return Err(MatrixError::NameCountMismatch { expected: self.genes, got: names.len() });
+            return Err(MatrixError::NameCountMismatch {
+                expected: self.genes,
+                got: names.len(),
+            });
         }
         self.gene_names = names;
         Ok(())
@@ -252,7 +271,12 @@ impl ExpressionMatrix {
             data.extend_from_slice(self.gene(g));
             names.push(self.gene_names[g].clone());
         }
-        Self { genes: indices.len(), samples: self.samples, gene_names: names, data }
+        Self {
+            genes: indices.len(),
+            samples: self.samples,
+            gene_names: names,
+            data,
+        }
     }
 
     /// A new matrix containing only the first `m` samples of every gene.
@@ -261,12 +285,20 @@ impl ExpressionMatrix {
     /// # Panics
     /// Panics if `m` is zero or exceeds the sample count.
     pub fn truncate_samples(&self, m: usize) -> Self {
-        assert!(m >= 1 && m <= self.samples, "sample truncation out of range");
+        assert!(
+            m >= 1 && m <= self.samples,
+            "sample truncation out of range"
+        );
         let mut data = Vec::with_capacity(self.genes * m);
         for g in 0..self.genes {
             data.extend_from_slice(&self.gene(g)[..m]);
         }
-        Self { genes: self.genes, samples: m, gene_names: self.gene_names.clone(), data }
+        Self {
+            genes: self.genes,
+            samples: m,
+            gene_names: self.gene_names.clone(),
+            data,
+        }
     }
 
     /// Heap footprint of the expression data in bytes.
@@ -283,7 +315,10 @@ mod tests {
     fn from_flat_shape_checks() {
         assert_eq!(
             ExpressionMatrix::from_flat(2, 3, vec![0.0; 5], MissingPolicy::Error),
-            Err(MatrixError::ShapeMismatch { expected: 6, got: 5 })
+            Err(MatrixError::ShapeMismatch {
+                expected: 6,
+                got: 5
+            })
         );
         assert_eq!(
             ExpressionMatrix::from_flat(0, 3, vec![], MissingPolicy::Error),
@@ -303,13 +338,9 @@ mod tests {
 
     #[test]
     fn missing_policy_error_reports_location() {
-        let err = ExpressionMatrix::from_flat(
-            2,
-            2,
-            vec![1.0, 2.0, f32::NAN, 4.0],
-            MissingPolicy::Error,
-        )
-        .unwrap_err();
+        let err =
+            ExpressionMatrix::from_flat(2, 2, vec![1.0, 2.0, f32::NAN, 4.0], MissingPolicy::Error)
+                .unwrap_err();
         assert_eq!(err, MatrixError::MissingValue { gene: 1, sample: 0 });
     }
 
@@ -327,32 +358,25 @@ mod tests {
 
     #[test]
     fn mean_impute_rejects_all_missing_gene() {
-        let err = ExpressionMatrix::from_flat(
-            1,
-            2,
-            vec![f32::NAN, f32::NAN],
-            MissingPolicy::MeanImpute,
-        )
-        .unwrap_err();
+        let err =
+            ExpressionMatrix::from_flat(1, 2, vec![f32::NAN, f32::NAN], MissingPolicy::MeanImpute)
+                .unwrap_err();
         assert_eq!(err, MatrixError::AllMissingGene { gene: 0 });
     }
 
     #[test]
     fn zero_fill_policy() {
-        let m = ExpressionMatrix::from_flat(1, 3, vec![1.0, f32::NAN, 3.0], MissingPolicy::ZeroFill)
-            .unwrap();
+        let m =
+            ExpressionMatrix::from_flat(1, 3, vec![1.0, f32::NAN, 3.0], MissingPolicy::ZeroFill)
+                .unwrap();
         assert_eq!(m.gene(0), &[1.0, 0.0, 3.0]);
     }
 
     #[test]
     fn infinities_always_rejected() {
-        let err = ExpressionMatrix::from_flat(
-            1,
-            2,
-            vec![1.0, f32::INFINITY],
-            MissingPolicy::MeanImpute,
-        )
-        .unwrap_err();
+        let err =
+            ExpressionMatrix::from_flat(1, 2, vec![1.0, f32::INFINITY], MissingPolicy::MeanImpute)
+                .unwrap_err();
         assert_eq!(err, MatrixError::NonFinite { gene: 0, sample: 1 });
     }
 
@@ -361,7 +385,11 @@ mod tests {
         let mut m = ExpressionMatrix::zeroed(3, 2).unwrap();
         assert_eq!(m.gene_names(), &["G00000", "G00001", "G00002"]);
         assert!(m
-            .set_gene_names(vec!["AT1G01010".into(), "AT1G01020".into(), "AT1G01030".into()])
+            .set_gene_names(vec![
+                "AT1G01010".into(),
+                "AT1G01020".into(),
+                "AT1G01030".into()
+            ])
             .is_ok());
         assert_eq!(m.gene_names()[0], "AT1G01010");
         assert!(m.set_gene_names(vec!["x".into()]).is_err());
@@ -372,7 +400,8 @@ mod tests {
         let mut m =
             ExpressionMatrix::from_flat(3, 2, vec![1., 2., 3., 4., 5., 6.], MissingPolicy::Error)
                 .unwrap();
-        m.set_gene_names(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        m.set_gene_names(vec!["a".into(), "b".into(), "c".into()])
+            .unwrap();
         let sub = m.select_genes(&[2, 0]);
         assert_eq!(sub.genes(), 2);
         assert_eq!(sub.gene(0), &[5., 6.]);

@@ -49,7 +49,10 @@ pub fn rank_transform_profile(values: &[f32]) -> Vec<f32> {
     }
 
     let denom = (m - 1) as f64;
-    ranks.iter().map(|&r| (((r - 1.0) / denom) as f32).clamp(0.0, 1.0)).collect()
+    ranks
+        .iter()
+        .map(|&r| (((r - 1.0) / denom) as f32).clamp(0.0, 1.0))
+        .collect()
 }
 
 /// Rank-transform every gene of a matrix (the TINGe preprocessing stage).
@@ -95,7 +98,11 @@ pub fn z_score(matrix: &ExpressionMatrix) -> ExpressionMatrix {
 /// # Panics
 /// Panics if `batch_labels.len() != matrix.samples()`.
 pub fn center_batches(matrix: &ExpressionMatrix, batch_labels: &[u32]) -> ExpressionMatrix {
-    assert_eq!(batch_labels.len(), matrix.samples(), "one batch label per sample");
+    assert_eq!(
+        batch_labels.len(),
+        matrix.samples(),
+        "one batch label per sample"
+    );
     let m = matrix.samples();
     let max_batch = batch_labels.iter().copied().max().unwrap_or(0) as usize;
     let mut out = matrix.clone();
@@ -133,8 +140,8 @@ pub fn quantile_normalize(matrix: &ExpressionMatrix) -> ExpressionMatrix {
     let mut reference = vec![0.0f64; n];
     let mut column = vec![0.0f32; n];
     for s in 0..m {
-        for g in 0..n {
-            column[g] = matrix.get(g, s);
+        for (g, slot) in column.iter_mut().enumerate() {
+            *slot = matrix.get(g, s);
         }
         column.sort_by(f32::total_cmp);
         for (r, &v) in column.iter().enumerate() {
@@ -235,7 +242,10 @@ mod tests {
     fn rank_transform_is_monotone_invariant() {
         let base = vec![0.3f32, -1.2, 5.5, 2.0, 0.0, 7.7];
         let mapped: Vec<f32> = base.iter().map(|&v| (v * 2.0 + 3.0).exp()).collect();
-        assert_eq!(rank_transform_profile(&base), rank_transform_profile(&mapped));
+        assert_eq!(
+            rank_transform_profile(&base),
+            rank_transform_profile(&mapped)
+        );
     }
 
     #[test]
@@ -270,8 +280,7 @@ mod tests {
 
     #[test]
     fn min_max_covers_range() {
-        let m =
-            ExpressionMatrix::from_rows(&[vec![2.0, 6.0, 4.0]], MissingPolicy::Error).unwrap();
+        let m = ExpressionMatrix::from_rows(&[vec![2.0, 6.0, 4.0]], MissingPolicy::Error).unwrap();
         assert_eq!(min_max_normalize(&m).gene(0), &[0.0, 1.0, 0.5]);
         let c = ExpressionMatrix::from_rows(&[vec![3.0; 3]], MissingPolicy::Error).unwrap();
         assert_eq!(min_max_normalize(&c).gene(0), &[0.5; 3]);
@@ -327,7 +336,11 @@ mod tests {
     #[test]
     fn quantile_normalize_is_idempotent() {
         let m = ExpressionMatrix::from_rows(
-            &[vec![3.0, 7.0, 1.0], vec![9.0, 2.0, 5.0], vec![4.0, 6.0, 8.0]],
+            &[
+                vec![3.0, 7.0, 1.0],
+                vec![9.0, 2.0, 5.0],
+                vec![4.0, 6.0, 8.0],
+            ],
             MissingPolicy::Error,
         )
         .unwrap();
@@ -352,8 +365,8 @@ mod tests {
         let clean = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
         let labels = vec![0u32, 0, 0, 1, 1, 1];
         let mut shifted = clean.clone();
-        for s in 3..6 {
-            shifted[s] += 10.0;
+        for v in &mut shifted[3..6] {
+            *v += 10.0;
         }
         let m = ExpressionMatrix::from_rows(&[shifted], MissingPolicy::Error).unwrap();
         let fixed = center_batches(&m, &labels);
@@ -362,7 +375,10 @@ mod tests {
         let row = fixed.gene(0);
         let b0: f32 = row[..3].iter().sum::<f32>() / 3.0;
         let b1: f32 = row[3..].iter().sum::<f32>() / 3.0;
-        assert!((b0 - b1).abs() < 1e-4, "batch means must agree: {b0} vs {b1}");
+        assert!(
+            (b0 - b1).abs() < 1e-4,
+            "batch means must agree: {b0} vs {b1}"
+        );
         // Within-batch structure (differences) is untouched.
         assert!((row[1] - row[0] - 1.0).abs() < 1e-5);
         assert!((row[5] - row[4] - 1.0).abs() < 1e-5);
@@ -370,8 +386,7 @@ mod tests {
 
     #[test]
     fn center_batches_is_identity_for_single_batch() {
-        let m =
-            ExpressionMatrix::from_rows(&[vec![3.0, 1.0, 2.0]], MissingPolicy::Error).unwrap();
+        let m = ExpressionMatrix::from_rows(&[vec![3.0, 1.0, 2.0]], MissingPolicy::Error).unwrap();
         let out = center_batches(&m, &[0, 0, 0]);
         for (a, b) in out.gene(0).iter().zip(m.gene(0)) {
             assert!((a - b).abs() < 1e-6);

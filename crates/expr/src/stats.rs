@@ -36,7 +36,12 @@ pub fn summarize(values: &[f32]) -> ProfileSummary {
         min = min.min(v);
         max = max.max(v);
     }
-    ProfileSummary { mean, variance: m2 / values.len() as f64, min, max }
+    ProfileSummary {
+        mean,
+        variance: m2 / values.len() as f64,
+        min,
+        max,
+    }
 }
 
 /// Pearson correlation coefficient of two equal-length profiles.
@@ -63,7 +68,9 @@ pub fn pearson(x: &[f32], y: &[f32]) -> f64 {
         var_x += dx * dx;
         var_y += dy * dy;
     }
-    if var_x == 0.0 || var_y == 0.0 {
+    // Sums of squares are non-negative; <= 0.0 is the exact constant-profile
+    // guard without comparing floats for equality.
+    if var_x <= 0.0 || var_y <= 0.0 {
         return 0.0;
     }
     cov / (var_x.sqrt() * var_y.sqrt())
@@ -80,7 +87,9 @@ pub fn spearman(x: &[f32], y: &[f32]) -> f64 {
 /// filtering before network construction (near-constant genes carry no MI
 /// signal but cost as much as any other).
 pub fn low_variance_genes(matrix: &ExpressionMatrix, threshold: f64) -> Vec<usize> {
-    (0..matrix.genes()).filter(|&g| summarize(matrix.gene(g)).variance < threshold).collect()
+    (0..matrix.genes())
+        .filter(|&g| summarize(matrix.gene(g)).variance < threshold)
+        .collect()
 }
 
 #[cfg(test)]
@@ -137,7 +146,11 @@ mod tests {
     #[test]
     fn low_variance_filter() {
         let m = ExpressionMatrix::from_rows(
-            &[vec![1.0, 1.0, 1.0], vec![0.0, 10.0, 20.0], vec![2.0, 2.0, 2.1]],
+            &[
+                vec![1.0, 1.0, 1.0],
+                vec![0.0, 10.0, 20.0],
+                vec![2.0, 2.0, 2.1],
+            ],
             MissingPolicy::Error,
         )
         .unwrap();

@@ -139,7 +139,10 @@ mod tests {
     fn quadratic_coupling_hides_from_pearson() {
         let (m, _) = coupled_pairs(1, 8000, Coupling::Quadratic(0.05), 13);
         let r = pearson(m.gene(0), m.gene(1));
-        assert!(r.abs() < 0.1, "quadratic coupling should defeat Pearson, got {r}");
+        assert!(
+            r.abs() < 0.1,
+            "quadratic coupling should defeat Pearson, got {r}"
+        );
         // …but y clearly depends on x: variance of y given |x| small differs
         // from overall. Proxy check: correlation of x² with y is high.
         let x2: Vec<f32> = m.gene(0).iter().map(|v| v * v).collect();
@@ -149,7 +152,15 @@ mod tests {
 
     #[test]
     fn sinusoidal_coupling_runs() {
-        let (m, truth) = coupled_pairs(2, 256, Coupling::Sinusoidal { cycles: 1.5, noise: 0.1 }, 5);
+        let (m, truth) = coupled_pairs(
+            2,
+            256,
+            Coupling::Sinusoidal {
+                cycles: 1.5,
+                noise: 0.1,
+            },
+            5,
+        );
         assert_eq!(m.genes(), 4);
         assert_eq!(truth.len(), 2);
     }

@@ -42,7 +42,9 @@ pub fn dpi_prune(net: &GeneNetwork, epsilon: f32) -> GeneNetwork {
                 if b <= a {
                     continue;
                 }
-                let Some(w_ab) = net.weight(a, b) else { continue };
+                let Some(w_ab) = net.weight(a, b) else {
+                    continue;
+                };
                 let w_ga = net.weight(g, a).expect("a is a neighbor of g");
                 let w_gb = net.weight(g, b).expect("b is a neighbor of g");
 
@@ -69,8 +71,12 @@ pub fn dpi_prune(net: &GeneNetwork, epsilon: f32) -> GeneNetwork {
         }
     }
 
-    let kept: Vec<Edge> =
-        net.edges().iter().filter(|e| !doomed.contains(&e.key())).copied().collect();
+    let kept: Vec<Edge> = net
+        .edges()
+        .iter()
+        .filter(|e| !doomed.contains(&e.key()))
+        .copied()
+        .collect();
     GeneNetwork::from_edges(net.genes(), net.gene_names().to_vec(), kept)
 }
 
@@ -83,7 +89,11 @@ mod tests {
         GeneNetwork::from_edges(
             3,
             Vec::new(),
-            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 0.9), Edge::new(0, 2, 0.3)],
+            [
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 0.9),
+                Edge::new(0, 2, 0.3),
+            ],
         )
     }
 
@@ -101,7 +111,11 @@ mod tests {
         let net = GeneNetwork::from_edges(
             3,
             Vec::new(),
-            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 0.98), Edge::new(0, 2, 0.95)],
+            [
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 0.98),
+                Edge::new(0, 2, 0.95),
+            ],
         );
         // ε = 0.1: weakest (0.95) is within 10% of 0.98 ⇒ keep everything.
         assert_eq!(dpi_prune(&net, 0.1).edge_count(), 3);
@@ -114,7 +128,11 @@ mod tests {
         let path = GeneNetwork::from_edges(
             4,
             Vec::new(),
-            [Edge::new(0, 1, 0.5), Edge::new(1, 2, 0.4), Edge::new(2, 3, 0.3)],
+            [
+                Edge::new(0, 1, 0.5),
+                Edge::new(1, 2, 0.4),
+                Edge::new(2, 3, 0.3),
+            ],
         );
         let pruned = dpi_prune(&path, 0.0);
         assert_eq!(pruned.edges(), path.edges());
@@ -148,7 +166,11 @@ mod tests {
         let net = GeneNetwork::from_edges(
             3,
             Vec::new(),
-            [Edge::new(0, 1, 0.5), Edge::new(1, 2, 0.5), Edge::new(0, 2, 0.5)],
+            [
+                Edge::new(0, 1, 0.5),
+                Edge::new(1, 2, 0.5),
+                Edge::new(0, 2, 0.5),
+            ],
         );
         assert_eq!(dpi_prune(&net, 0.0).edge_count(), 3);
     }

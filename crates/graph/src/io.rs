@@ -42,7 +42,11 @@ pub fn write_edge_list<W: Write>(net: &GeneNetwork, mut writer: W) -> Result<(),
     writeln!(writer, "gene_a\tgene_b\tmi_nats")?;
     let names = net.gene_names();
     for e in net.edges() {
-        writeln!(writer, "{}\t{}\t{}", names[e.a as usize], names[e.b as usize], e.weight)?;
+        writeln!(
+            writer,
+            "{}\t{}\t{}",
+            names[e.a as usize], names[e.b as usize], e.weight
+        )?;
     }
     Ok(())
 }
@@ -56,15 +60,19 @@ pub fn read_edge_list<R: Read>(
     genes: usize,
     names: Vec<String>,
 ) -> Result<GeneNetwork, NetIoError> {
-    let name_index: std::collections::HashMap<&str, u32> =
-        names.iter().enumerate().map(|(i, n)| (n.as_str(), i as u32)).collect();
+    let name_index: std::collections::HashMap<&str, u32> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as u32))
+        .collect();
     let resolve = |token: &str, line: usize| -> Result<u32, NetIoError> {
         if let Some(&idx) = name_index.get(token) {
             return Ok(idx);
         }
-        token
-            .parse::<u32>()
-            .map_err(|_| NetIoError::Parse { line, message: format!("unknown gene {token:?}") })
+        token.parse::<u32>().map_err(|_| NetIoError::Parse {
+            line,
+            message: format!("unknown gene {token:?}"),
+        })
     };
 
     let mut edges = Vec::new();
@@ -84,9 +92,10 @@ pub fn read_edge_list<R: Read>(
         };
         let a = resolve(a, lineno)?;
         let b = resolve(b, lineno)?;
-        let w: f32 = w
-            .parse()
-            .map_err(|_| NetIoError::Parse { line: lineno, message: format!("bad weight {w:?}") })?;
+        let w: f32 = w.parse().map_err(|_| NetIoError::Parse {
+            line: lineno,
+            message: format!("bad weight {w:?}"),
+        })?;
         edges.push(Edge::new(a, b, w));
     }
     Ok(GeneNetwork::from_edges(genes, names, edges))
@@ -117,7 +126,12 @@ mod tests {
     fn demo() -> GeneNetwork {
         GeneNetwork::from_edges(
             4,
-            vec!["alpha".into(), "beta".into(), "gamma".into(), "delta".into()],
+            vec![
+                "alpha".into(),
+                "beta".into(),
+                "gamma".into(),
+                "delta".into(),
+            ],
             [Edge::new(0, 1, 0.75), Edge::new(2, 3, 0.5)],
         )
     }

@@ -8,6 +8,10 @@
 //! ARACNE-style Data Processing Inequality pruning extension ([`dpi`]),
 //! and edge-list I/O ([`io`]).
 
+// cast-ok (crate-wide): vertex ids are u32 by design (the paper's scale is
+// ~15k genes), so narrowing usize loop counters and degrees into the edge
+// list's u32 domain is the intended representation, not an accident.
+#![allow(clippy::cast_possible_truncation)]
 #![warn(missing_docs)]
 
 pub mod analysis;

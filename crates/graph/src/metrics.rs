@@ -23,8 +23,11 @@ pub fn connected_components(net: &GeneNetwork) -> Vec<Vec<u32>> {
         let ra = find(&mut parent, e.a);
         let rb = find(&mut parent, e.b);
         if ra != rb {
-            let (big, small) =
-                if size[ra as usize] >= size[rb as usize] { (ra, rb) } else { (rb, ra) };
+            let (big, small) = if size[ra as usize] >= size[rb as usize] {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
             parent[small as usize] = big;
             size[big as usize] += size[small as usize];
         }
@@ -79,7 +82,9 @@ impl RecoveryScore {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 {
+        // Precision and recall are non-negative, so <= 0.0 catches exactly
+        // the both-zero case without a float equality.
+        if p + r <= 0.0 {
             0.0
         } else {
             2.0 * p * r / (p + r)
@@ -90,8 +95,10 @@ impl RecoveryScore {
 /// Score `net` against the planted undirected edge set `truth` (endpoint
 /// order in `truth` is irrelevant).
 pub fn recovery_score(net: &GeneNetwork, truth: &[(u32, u32)]) -> RecoveryScore {
-    let truth_set: HashSet<(u32, u32)> =
-        truth.iter().map(|&(i, j)| if i < j { (i, j) } else { (j, i) }).collect();
+    let truth_set: HashSet<(u32, u32)> = truth
+        .iter()
+        .map(|&(i, j)| if i < j { (i, j) } else { (j, i) })
+        .collect();
     let inferred: HashSet<(u32, u32)> = net.edges().iter().map(|e| e.key()).collect();
     let tp = inferred.intersection(&truth_set).count();
     RecoveryScore {
@@ -136,7 +143,11 @@ mod tests {
         GeneNetwork::from_edges(
             6,
             Vec::new(),
-            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(4, 5, 1.0)],
+            [
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(4, 5, 1.0),
+            ],
         )
     }
 
@@ -200,7 +211,11 @@ mod tests {
         assert_eq!(score.recall(), 1.0);
 
         let score2 = recovery_score(&GeneNetwork::empty(3), &[(0, 1)]);
-        assert_eq!(score2.precision(), 1.0, "no inferences ⇒ no false positives");
+        assert_eq!(
+            score2.precision(),
+            1.0,
+            "no inferences ⇒ no false positives"
+        );
         assert_eq!(score2.recall(), 0.0);
         assert_eq!(score2.f1(), 0.0);
     }
@@ -210,7 +225,11 @@ mod tests {
         let tri = GeneNetwork::from_edges(
             3,
             Vec::new(),
-            [Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(0, 2, 1.0)],
+            [
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(0, 2, 1.0),
+            ],
         );
         assert!((clustering_coefficient(&tri) - 1.0).abs() < 1e-12);
     }

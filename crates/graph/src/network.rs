@@ -66,7 +66,11 @@ impl GeneNetwork {
     /// # Panics
     /// Panics if an endpoint is out of range or `names.len() != genes`
     /// (pass an empty vector to get default names).
-    pub fn from_edges(genes: usize, names: Vec<String>, raw: impl IntoIterator<Item = Edge>) -> Self {
+    pub fn from_edges(
+        genes: usize,
+        names: Vec<String>,
+        raw: impl IntoIterator<Item = Edge>,
+    ) -> Self {
         let gene_names = if names.is_empty() {
             (0..genes).map(|g| format!("G{g:05}")).collect()
         } else {
@@ -112,7 +116,13 @@ impl GeneNetwork {
             cursor[e.b as usize] += 1;
         }
 
-        Self { genes, gene_names, edges, csr_offsets, csr_neighbors }
+        Self {
+            genes,
+            gene_names,
+            edges,
+            csr_offsets,
+            csr_neighbors,
+        }
     }
 
     /// An empty network over `genes` genes.
@@ -171,7 +181,10 @@ impl GeneNetwork {
     pub fn top_edges(&self, k: usize) -> Vec<Edge> {
         let mut sorted = self.edges.clone();
         sorted.sort_by(|x, y| {
-            y.weight.partial_cmp(&x.weight).unwrap_or(std::cmp::Ordering::Equal).then(x.key().cmp(&y.key()))
+            y.weight
+                .partial_cmp(&x.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.key().cmp(&y.key()))
         });
         sorted.truncate(k);
         sorted
@@ -255,11 +268,8 @@ mod tests {
 
     #[test]
     fn duplicate_edges_keep_last_weight() {
-        let g = GeneNetwork::from_edges(
-            3,
-            Vec::new(),
-            [Edge::new(0, 1, 0.1), Edge::new(1, 0, 0.9)],
-        );
+        let g =
+            GeneNetwork::from_edges(3, Vec::new(), [Edge::new(0, 1, 0.1), Edge::new(1, 0, 0.9)]);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.weight(0, 1), Some(0.9));
     }

@@ -59,7 +59,10 @@ impl GrnConfig {
     /// Same structure at a reduced gene count (sample count preserved),
     /// for sweeps on machines that cannot hold the full run.
     pub fn arabidopsis_like_scaled(genes: usize) -> Self {
-        Self { genes, ..Self::arabidopsis_like() }
+        Self {
+            genes,
+            ..Self::arabidopsis_like()
+        }
     }
 }
 
@@ -111,9 +114,16 @@ impl SyntheticDataset {
             }
         }
 
-        let matrix = ExpressionMatrix::from_flat(config.genes, config.samples, flat, MissingPolicy::Error)
-            .expect("simulation produces finite values");
-        Self { matrix, truth, batch_labels, config, seed }
+        let matrix =
+            ExpressionMatrix::from_flat(config.genes, config.samples, flat, MissingPolicy::Error)
+                .expect("simulation produces finite values");
+        Self {
+            matrix,
+            truth,
+            batch_labels,
+            config,
+            seed,
+        }
     }
 
     /// The undirected ground-truth edge set (inference target).
@@ -158,7 +168,11 @@ mod tests {
     #[test]
     fn coupled_pairs_carry_more_association_than_random_pairs() {
         let ds = SyntheticDataset::generate(
-            GrnConfig { genes: 60, samples: 400, ..GrnConfig::small() },
+            GrnConfig {
+                genes: 60,
+                samples: 400,
+                ..GrnConfig::small()
+            },
             3,
         );
         // Mean |spearman| over true edges vs over random non-edges.
@@ -166,11 +180,9 @@ mod tests {
         let edge_set: std::collections::HashSet<_> = truth.iter().cloned().collect();
         let mut edge_assoc = 0.0;
         for &(i, j) in &truth {
-            edge_assoc += gnet_expr::stats::spearman(
-                ds.matrix.gene(i as usize),
-                ds.matrix.gene(j as usize),
-            )
-            .abs();
+            edge_assoc +=
+                gnet_expr::stats::spearman(ds.matrix.gene(i as usize), ds.matrix.gene(j as usize))
+                    .abs();
         }
         edge_assoc /= truth.len() as f64;
 

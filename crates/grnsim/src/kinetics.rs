@@ -40,7 +40,12 @@ pub struct Kinetics {
 
 impl Default for Kinetics {
     fn default() -> Self {
-        Self { root_sd: 1.0, gain: 2.0, hill: 2.0, noise_sd: 0.25 }
+        Self {
+            root_sd: 1.0,
+            gain: 2.0,
+            hill: 2.0,
+            noise_sd: 0.25,
+        }
     }
 }
 
@@ -53,7 +58,10 @@ impl Kinetics {
     pub fn validate(&self) {
         assert!(self.root_sd > 0.0, "root_sd must be positive");
         assert!(self.gain > 0.0, "gain must be positive");
-        assert!(self.hill >= 1.0, "hill exponent below 1 is not a saturating response");
+        assert!(
+            self.hill >= 1.0,
+            "hill exponent below 1 is not a saturating response"
+        );
         assert!(self.noise_sd >= 0.0, "noise_sd cannot be negative");
     }
 
@@ -146,8 +154,14 @@ mod tests {
 
     #[test]
     fn higher_hill_is_more_switch_like() {
-        let soft = Kinetics { hill: 1.0, ..Kinetics::default() };
-        let hard = Kinetics { hill: 6.0, ..Kinetics::default() };
+        let soft = Kinetics {
+            hill: 1.0,
+            ..Kinetics::default()
+        };
+        let hard = Kinetics {
+            hill: 6.0,
+            ..Kinetics::default()
+        };
         // Near zero the hard curve is steeper…
         let d_soft = soft.transfer(0.3) - soft.transfer(-0.3);
         let d_hard = hard.transfer(0.3) - hard.transfer(-0.3);
@@ -177,26 +191,41 @@ mod tests {
         // Hand-built two-gene chain with strong activation, no noise.
         let mut rng = StdRng::seed_from_u64(3);
         let net = GroundTruthNetwork::from_pairs(2, &[(0, 1)], &mut rng);
-        let k = Kinetics { noise_sd: 0.0, ..Kinetics::default() };
+        let k = Kinetics {
+            noise_sd: 0.0,
+            ..Kinetics::default()
+        };
         let mut sim_rng = StdRng::seed_from_u64(4);
         let flat = simulate_matrix(&net, &k, 500, &mut sim_rng);
         let x: Vec<f32> = flat[0..500].to_vec();
         let y: Vec<f32> = flat[500..1000].to_vec();
         let r = gnet_expr::stats::spearman(&x, &y).abs();
-        assert!(r > 0.95, "noise-free chain must be near-deterministic, |ρ_s|={r}");
+        assert!(
+            r > 0.95,
+            "noise-free chain must be near-deterministic, |ρ_s|={r}"
+        );
     }
 
     #[test]
     fn noise_weakens_the_association() {
         let mut rng = StdRng::seed_from_u64(3);
         let net = GroundTruthNetwork::from_pairs(2, &[(0, 1)], &mut rng);
-        let quiet = Kinetics { noise_sd: 0.05, ..Kinetics::default() };
-        let loud = Kinetics { noise_sd: 2.0, ..Kinetics::default() };
+        let quiet = Kinetics {
+            noise_sd: 0.05,
+            ..Kinetics::default()
+        };
+        let loud = Kinetics {
+            noise_sd: 2.0,
+            ..Kinetics::default()
+        };
         let f1 = simulate_matrix(&net, &quiet, 800, &mut StdRng::seed_from_u64(6));
         let f2 = simulate_matrix(&net, &loud, 800, &mut StdRng::seed_from_u64(6));
         let r1 = gnet_expr::stats::spearman(&f1[..800], &f1[800..]).abs();
         let r2 = gnet_expr::stats::spearman(&f2[..800], &f2[800..]).abs();
-        assert!(r1 > r2, "more noise must weaken the dependency ({r1} vs {r2})");
+        assert!(
+            r1 > r2,
+            "more noise must weaken the dependency ({r1} vs {r2})"
+        );
     }
 
     #[test]
@@ -208,13 +237,19 @@ mod tests {
         let g0: Vec<f32> = flat[0..3000].to_vec();
         let g2: Vec<f32> = flat[6000..9000].to_vec();
         let r = gnet_expr::stats::spearman(&g0, &g2).abs();
-        assert!(r < 0.08, "cross-component genes must stay independent, |ρ_s|={r}");
+        assert!(
+            r < 0.08,
+            "cross-component genes must stay independent, |ρ_s|={r}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "hill exponent")]
     fn invalid_kinetics_rejected() {
-        let k = Kinetics { hill: 0.5, ..Kinetics::default() };
+        let k = Kinetics {
+            hill: 0.5,
+            ..Kinetics::default()
+        };
         let net = small_net(4);
         let _ = simulate_matrix(&net, &k, 1, &mut StdRng::seed_from_u64(1));
     }

@@ -25,6 +25,10 @@
 //! precision/recall of the inferred network (experiment R10) — something
 //! the original paper could not measure.
 
+// cast-ok (crate-wide): generated data uses the pipeline's own u32 gene
+// ids and f32 expression values, and topology sizing rounds f64 targets to
+// small counts — the narrowing casts are the intended representation.
+#![allow(clippy::cast_possible_truncation)]
 #![warn(missing_docs)]
 
 pub mod dataset;

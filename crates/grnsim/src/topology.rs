@@ -68,7 +68,10 @@ impl GroundTruthNetwork {
         let mut seen = std::collections::HashSet::new();
         for &(i, j) in pairs {
             assert!(i != j, "self-regulation is not representable");
-            assert!((i as usize) < genes && (j as usize) < genes, "edge out of range");
+            assert!(
+                (i as usize) < genes && (j as usize) < genes,
+                "edge out of range"
+            );
             let (regulator, target) = if i < j { (i, j) } else { (j, i) };
             if !seen.insert((regulator, target)) {
                 continue;
@@ -76,9 +79,18 @@ impl GroundTruthNetwork {
             let sign: i8 = if rng.gen_bool(0.65) { 1 } else { -1 }; // activation-biased
             let strength = rng.gen_range(0.4f32..=1.0);
             incoming[target as usize].push(regulations.len() as u32);
-            regulations.push(Regulation { regulator, target, sign, strength });
+            regulations.push(Regulation {
+                regulator,
+                target,
+                sign,
+                strength,
+            });
         }
-        Self { genes, regulations, incoming }
+        Self {
+            genes,
+            regulations,
+            incoming,
+        }
     }
 
     /// Number of genes.
@@ -93,7 +105,9 @@ impl GroundTruthNetwork {
 
     /// Regulations targeting gene `g`.
     pub fn regulators_of(&self, g: usize) -> impl Iterator<Item = &Regulation> + '_ {
-        self.incoming[g].iter().map(move |&idx| &self.regulations[idx as usize])
+        self.incoming[g]
+            .iter()
+            .map(move |&idx| &self.regulations[idx as usize])
     }
 
     /// Is `g` a root (no regulators)?
@@ -103,7 +117,10 @@ impl GroundTruthNetwork {
 
     /// The undirected skeleton — the edge set MI-based inference targets.
     pub fn skeleton(&self) -> Vec<(u32, u32)> {
-        self.regulations.iter().map(|r| (r.regulator, r.target)).collect()
+        self.regulations
+            .iter()
+            .map(|r| (r.regulator, r.target))
+            .collect()
     }
 
     /// Undirected degree of each gene.
@@ -237,7 +254,10 @@ mod tests {
     #[test]
     fn roots_exist_and_have_no_regulators() {
         let net = GroundTruthNetwork::generate(TopologyKind::ScaleFree, 50, 2.0, 1);
-        assert!(net.is_root(0), "gene 0 can never have a lower-index regulator");
+        assert!(
+            net.is_root(0),
+            "gene 0 can never have a lower-index regulator"
+        );
         for g in 0..50 {
             if net.is_root(g) {
                 assert_eq!(net.regulators_of(g).count(), 0);

@@ -75,7 +75,9 @@ pub fn prepare_gene(values: &[f32], basis: &BsplineBasis) -> PreparedGene {
 /// Prepare every gene of a matrix (the pipeline's preprocessing +
 /// weight-computation stages fused).
 pub fn prepare_matrix(matrix: &ExpressionMatrix, basis: &BsplineBasis) -> Vec<PreparedGene> {
-    (0..matrix.genes()).map(|g| prepare_gene(matrix.gene(g), basis)).collect()
+    (0..matrix.genes())
+        .map(|g| prepare_gene(matrix.gene(g), basis))
+        .collect()
 }
 
 /// Reusable per-thread scratch covering both kernels.
@@ -90,7 +92,11 @@ impl MiScratch {
     /// Scratch for genes produced with `basis`.
     pub fn for_basis(basis: &BsplineBasis) -> Self {
         let b = basis.bins();
-        Self { scalar_grid: vec![0.0; b * b], vector_grid: None, bins: b }
+        Self {
+            scalar_grid: vec![0.0; b * b],
+            vector_grid: None,
+            bins: b,
+        }
     }
 
     fn vector_grid_for(&mut self, dense: &DenseWeights) -> &mut VectorGrid {
@@ -108,7 +114,13 @@ impl MiScratch {
 /// MI (nats) of a prepared pair with the scalar kernel.
 pub fn mi_scalar(x: &PreparedGene, y: &PreparedGene, scratch: &mut MiScratch) -> f64 {
     debug_assert_eq!(scratch.bins, x.sparse.bins());
-    sparse_kernel::mi(&x.sparse, &y.sparse, x.h_marginal, y.h_marginal, &mut scratch.scalar_grid)
+    sparse_kernel::mi(
+        &x.sparse,
+        &y.sparse,
+        x.h_marginal,
+        y.h_marginal,
+        &mut scratch.scalar_grid,
+    )
 }
 
 /// MI (nats) of a prepared pair with the vector kernel. `y_dense` must be
@@ -185,14 +197,7 @@ pub fn mi_with_nulls(
             let null = perms
                 .iter()
                 .map(|p| {
-                    vector_kernel::mi_permuted(
-                        &x.sparse,
-                        yd,
-                        p,
-                        x.h_marginal,
-                        y.h_marginal,
-                        grid,
-                    )
+                    vector_kernel::mi_permuted(&x.sparse, yd, p, x.h_marginal, y.h_marginal, grid)
                 })
                 .collect();
             PairMi { observed, null }
@@ -251,7 +256,11 @@ pub fn mi_with_nulls_early_exit(
     };
     let mut joints = 1u32;
     if observed <= threshold {
-        return EarlyExitMi { observed, survived: false, joints_evaluated: joints };
+        return EarlyExitMi {
+            observed,
+            survived: false,
+            joints_evaluated: joints,
+        };
     }
     for p in perms {
         let null = match kernel {
@@ -271,10 +280,18 @@ pub fn mi_with_nulls_early_exit(
         };
         joints += 1;
         if null >= observed {
-            return EarlyExitMi { observed, survived: false, joints_evaluated: joints };
+            return EarlyExitMi {
+                observed,
+                survived: false,
+                joints_evaluated: joints,
+            };
         }
     }
-    EarlyExitMi { observed, survived: true, joints_evaluated: joints }
+    EarlyExitMi {
+        observed,
+        survived: true,
+        joints_evaluated: joints,
+    }
 }
 
 #[cfg(test)]
@@ -289,7 +306,10 @@ mod tests {
     fn prepared_pair(seed: u64, m: usize) -> (PreparedGene, PreparedGene) {
         let matrix = synth::independent_gaussian(2, m, seed);
         let b = basis();
-        (prepare_gene(matrix.gene(0), &b), prepare_gene(matrix.gene(1), &b))
+        (
+            prepare_gene(matrix.gene(0), &b),
+            prepare_gene(matrix.gene(1), &b),
+        )
     }
 
     #[test]
@@ -317,14 +337,21 @@ mod tests {
     fn mi_with_nulls_batches_consistently() {
         let (x, y) = prepared_pair(8, 101);
         let m = 101u32;
-        let perms: Vec<Vec<u32>> =
-            (1..4).map(|mult| (0..m).map(|i| (i * (2 * mult + 1)) % m).collect()).collect();
+        let perms: Vec<Vec<u32>> = (1..4)
+            .map(|mult| (0..m).map(|i| (i * (2 * mult + 1)) % m).collect())
+            .collect();
         let mut scratch = MiScratch::for_basis(&basis());
 
         let yd = y.to_dense();
         let scalar = mi_with_nulls(MiKernel::ScalarSparse, &x, &y, None, &perms, &mut scratch);
-        let vector =
-            mi_with_nulls(MiKernel::VectorDense, &x, &y, Some(&yd), &perms, &mut scratch);
+        let vector = mi_with_nulls(
+            MiKernel::VectorDense,
+            &x,
+            &y,
+            Some(&yd),
+            &perms,
+            &mut scratch,
+        );
 
         assert_eq!(scalar.null.len(), 3);
         assert!((scalar.observed - vector.observed).abs() < 1e-4);
@@ -335,7 +362,10 @@ mod tests {
 
     #[test]
     fn exceed_count_counts_ties_conservatively() {
-        let pair = PairMi { observed: 0.5, null: vec![0.1, 0.5, 0.9, 0.4] };
+        let pair = PairMi {
+            observed: 0.5,
+            null: vec![0.1, 0.5, 0.9, 0.4],
+        };
         // Ties count as exceedances (conservative test).
         assert_eq!(pair.exceed_count(), 2);
     }
@@ -356,25 +386,38 @@ mod tests {
         let x = prepare_gene(matrix.gene(truth[0].0 as usize), &b);
         let y = prepare_gene(matrix.gene(truth[0].1 as usize), &b);
         let m = 600u32;
-        let perms: Vec<Vec<u32>> =
-            (0..20).map(|r| (0..m).map(|i| (i * 7 + r * 13 + 1) % m).collect()).collect();
+        let perms: Vec<Vec<u32>> = (0..20)
+            .map(|r| (0..m).map(|i| (i * 7 + r * 13 + 1) % m).collect())
+            .collect();
         let mut scratch = MiScratch::for_basis(&b);
         let yd = y.to_dense();
-        let res = mi_with_nulls(MiKernel::VectorDense, &x, &y, Some(&yd), &perms, &mut scratch);
-        assert_eq!(res.exceed_count(), 0, "no null should beat a 0.95-coupled pair");
+        let res = mi_with_nulls(
+            MiKernel::VectorDense,
+            &x,
+            &y,
+            Some(&yd),
+            &perms,
+            &mut scratch,
+        );
+        assert_eq!(
+            res.exceed_count(),
+            0,
+            "no null should beat a 0.95-coupled pair"
+        );
         assert!(res.observed > 0.3);
     }
 
     #[test]
     fn early_exit_agrees_with_exact_test() {
-        let (matrix, _) =
-            synth::coupled_pairs(6, 250, gnet_expr::synth::Coupling::Linear(0.7), 23);
+        let (matrix, _) = synth::coupled_pairs(6, 250, gnet_expr::synth::Coupling::Linear(0.7), 23);
         let b = basis();
-        let prepared: Vec<_> =
-            (0..matrix.genes()).map(|g| prepare_gene(matrix.gene(g), &b)).collect();
+        let prepared: Vec<_> = (0..matrix.genes())
+            .map(|g| prepare_gene(matrix.gene(g), &b))
+            .collect();
         let m = matrix.samples() as u32;
-        let perms: Vec<Vec<u32>> =
-            (0..12).map(|r| (0..m).map(|i| (i * 7 + r * 11 + 3) % m).collect()).collect();
+        let perms: Vec<Vec<u32>> = (0..12)
+            .map(|r| (0..m).map(|i| (i * 7 + r * 11 + 3) % m).collect())
+            .collect();
         let mut scratch = MiScratch::for_basis(&b);
         let threshold = 0.05;
 
@@ -433,7 +476,10 @@ mod tests {
             &mut scratch,
         );
         assert!(!res.survived);
-        assert_eq!(res.joints_evaluated, 1, "below-threshold pair must not touch nulls");
+        assert_eq!(
+            res.joints_evaluated, 1,
+            "below-threshold pair must not touch nulls"
+        );
     }
 
     #[test]

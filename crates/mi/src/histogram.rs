@@ -29,6 +29,9 @@ impl HistogramEstimator {
     }
 
     /// Bin index of a normalized value (clamped into range).
+    // Truncation toward zero IS the binning operation; the clamp bounds the
+    // product to [0, bins] beforehand.
+    #[allow(clippy::cast_possible_truncation)]
     #[inline(always)]
     pub fn bin_of(&self, x: f32) -> usize {
         let idx = (x.clamp(0.0, 1.0) * self.bins as f32) as usize;
@@ -138,8 +141,14 @@ mod tests {
         let coupled = h.mi(&x, &y);
         let shuffled: Vec<f32> = y.iter().rev().cloned().collect();
         let null = h.mi(&x, &shuffled);
-        assert!(coupled > 1.0, "tight coupling should carry > 1 nat, got {coupled}");
-        assert!(coupled > 10.0 * null.max(1e-3), "coupled {coupled} vs null {null}");
+        assert!(
+            coupled > 1.0,
+            "tight coupling should carry > 1 nat, got {coupled}"
+        );
+        assert!(
+            coupled > 10.0 * null.max(1e-3),
+            "coupled {coupled} vs null {null}"
+        );
     }
 
     #[test]

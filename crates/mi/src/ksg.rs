@@ -19,7 +19,6 @@
 //! jitter is applied to break the exact ties that microarray quantization
 //! and rank transforms produce.
 
-
 /// Digamma function ψ(x) for x > 0: upward recurrence onto x ≥ 12, then
 /// the asymptotic series. Absolute error < 1e-10 on the domain used.
 pub fn digamma(mut x: f64) -> f64 {
@@ -31,7 +30,8 @@ pub fn digamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    acc + x.ln() - 0.5 * inv
+    acc + x.ln()
+        - 0.5 * inv
         - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)))
 }
 
@@ -59,7 +59,11 @@ impl KsgEstimator {
     pub fn mi(&self, x: &[f32], y: &[f32]) -> f64 {
         assert_eq!(x.len(), y.len(), "ksg: length mismatch");
         let m = x.len();
-        assert!(m > self.k + 1, "ksg needs more than k+1 = {} samples", self.k + 1);
+        assert!(
+            m > self.k + 1,
+            "ksg needs more than k+1 = {} samples",
+            self.k + 1
+        );
 
         // Deterministic tie-breaking jitter derived from the index.
         let spread = |v: &[f32]| -> f64 {
@@ -73,14 +77,24 @@ impl KsgEstimator {
         let jx = spread(x) * self.jitter;
         let jy = spread(y) * self.jitter;
         let hash = |i: usize, salt: u64| -> f64 {
-            let mut z = (i as u64).wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut z = (i as u64)
+                .wrapping_add(salt)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             z ^= z >> 33;
             z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
             z ^= z >> 33;
             (z as f64 / u64::MAX as f64) - 0.5
         };
-        let xs: Vec<f64> = x.iter().enumerate().map(|(i, &v)| v as f64 + jx * hash(i, 1)).collect();
-        let ys: Vec<f64> = y.iter().enumerate().map(|(i, &v)| v as f64 + jy * hash(i, 2)).collect();
+        let xs: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v as f64 + jx * hash(i, 1))
+            .collect();
+        let ys: Vec<f64> = y
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v as f64 + jy * hash(i, 2))
+            .collect();
 
         let mut psi_nx = 0.0;
         let mut psi_ny = 0.0;
@@ -197,7 +211,10 @@ mod tests {
         assert!((digamma(0.5) + 2.0 * std::f64::consts::LN_2 + EULER_GAMMA).abs() < 1e-9);
         // Recurrence ψ(x+1) = ψ(x) + 1/x.
         for x in [0.3, 1.7, 4.2, 11.0] {
-            assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9, "x={x}");
+            assert!(
+                (digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9,
+                "x={x}"
+            );
         }
     }
 
@@ -212,9 +229,9 @@ mod tests {
         let data = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0];
         let mut sorted = data.to_vec();
         sorted.sort_by(f64::total_cmp);
-        for k in 0..data.len() {
+        for (k, &expected) in sorted.iter().enumerate() {
             let mut work = data.to_vec();
-            assert_eq!(kth_smallest(&mut work, k), sorted[k], "k={k}");
+            assert_eq!(kth_smallest(&mut work, k), expected, "k={k}");
         }
     }
 
@@ -274,8 +291,13 @@ mod tests {
     fn ksg_handles_heavily_tied_data() {
         // Quantized (tied) inputs exercise the jitter path.
         let mut rng = StdRng::seed_from_u64(5);
-        let x: Vec<f32> = (0..600).map(|_| (normal(&mut rng) * 2.0).round() / 2.0).collect();
-        let y: Vec<f32> = x.iter().map(|&v| v + (normal(&mut rng) * 2.0).round() * 0.05).collect();
+        let x: Vec<f32> = (0..600)
+            .map(|_| (normal(&mut rng) * 2.0).round() / 2.0)
+            .collect();
+        let y: Vec<f32> = x
+            .iter()
+            .map(|&v| v + (normal(&mut rng) * 2.0).round() * 0.05)
+            .collect();
         let got = KsgEstimator::default().mi(&x, &y);
         assert!(got.is_finite() && got > 0.5, "tied-data MI {got}");
     }

@@ -24,6 +24,11 @@
 //!
 //! All entropies are in **nats**; convert with [`entropy::nats_to_bits`].
 
+// cast-ok (crate-wide): weights and expression values are f32 and sample
+// indices u32 by design; entropies accumulate in f64 and narrow only where
+// the f32 storage layout requires it. The `kernel-cast` lint in
+// `gnet-analysis` still audits every `as` cast in the kernel files.
+#![allow(clippy::cast_possible_truncation)]
 #![warn(missing_docs)]
 
 pub mod entropy;
@@ -34,8 +39,8 @@ pub mod sparse_kernel;
 pub mod vector_kernel;
 
 pub use entropy::{entropy_nats, nats_to_bits};
-pub use ksg::KsgEstimator;
 pub use gene::{
     mi_scalar, mi_vector, mi_with_nulls, mi_with_nulls_early_exit, prepare_gene, prepare_matrix,
     EarlyExitMi, MiKernel, MiScratch, PairMi, PreparedGene,
 };
+pub use ksg::KsgEstimator;

@@ -30,9 +30,8 @@ pub fn joint_counts(x: &SparseWeights, y: &SparseWeights, grid: &mut [f32]) {
         let fy = y.first_bin(s);
         let wx = x.sample_weights(s);
         let wy = y.sample_weights(s);
-        for i in 0..k {
+        for (i, &wxi) in wx.iter().enumerate() {
             let row = (fx + i) * b + fy;
-            let wxi = wx[i];
             for j in 0..k {
                 grid[row + j] += wxi * wy[j];
             }
@@ -47,27 +46,21 @@ pub fn joint_counts(x: &SparseWeights, y: &SparseWeights, grid: &mut [f32]) {
 ///
 /// # Panics
 /// As [`joint_counts`], plus if `perm.len()` differs from the sample count.
-pub fn joint_counts_permuted(
-    x: &SparseWeights,
-    y: &SparseWeights,
-    perm: &[u32],
-    grid: &mut [f32],
-) {
+pub fn joint_counts_permuted(x: &SparseWeights, y: &SparseWeights, perm: &[u32], grid: &mut [f32]) {
     check_pair(x, y);
     assert_eq!(perm.len(), x.samples(), "permutation length mismatch");
     let b = x.bins();
     assert_eq!(grid.len(), b * b, "grid must be bins² long");
     grid.fill(0.0);
     let k = x.order();
-    for s in 0..x.samples() {
-        let sy = perm[s] as usize;
+    for (s, &p) in perm.iter().enumerate() {
+        let sy = p as usize; // cast-ok: u32 to usize widens losslessly
         let fx = x.first_bin(s);
         let fy = y.first_bin(sy);
         let wx = x.sample_weights(s);
         let wy = y.sample_weights(sy);
-        for i in 0..k {
+        for (i, &wxi) in wx.iter().enumerate() {
             let row = (fx + i) * b + fy;
-            let wxi = wx[i];
             for j in 0..k {
                 grid[row + j] += wxi * wy[j];
             }
@@ -79,6 +72,7 @@ pub fn joint_counts_permuted(
 /// entropies. `grid` is caller-provided scratch of length `bins²`.
 pub fn mi(x: &SparseWeights, y: &SparseWeights, hx: f64, hy: f64, grid: &mut [f32]) -> f64 {
     joint_counts(x, y, grid);
+    // cast-ok: sample counts are far below f64's 2^53 exact-integer range
     let hxy = entropy_from_counts_scalar(grid, x.samples() as f64);
     hx + hy - hxy
 }
@@ -95,12 +89,17 @@ pub fn mi_permuted(
     grid: &mut [f32],
 ) -> f64 {
     joint_counts_permuted(x, y, perm, grid);
+    // cast-ok: sample counts are far below f64's 2^53 exact-integer range
     let hxy = entropy_from_counts_scalar(grid, x.samples() as f64);
     hx + hy - hxy
 }
 
 fn check_pair(x: &SparseWeights, y: &SparseWeights) {
-    assert_eq!(x.samples(), y.samples(), "genes must share the sample count");
+    assert_eq!(
+        x.samples(),
+        y.samples(),
+        "genes must share the sample count"
+    );
     assert_eq!(x.bins(), y.bins(), "genes must share the bin count");
     assert_eq!(x.order(), y.order(), "genes must share the spline order");
     assert!(x.samples() > 0, "cannot compute MI over zero samples");
@@ -155,7 +154,10 @@ mod tests {
         let mut grid = vec![0.0; 100];
         let mi_xx = mi(&x, &x, hx, hx, &mut grid);
         assert!(mi_xx <= hx + 1e-6, "I(X,X)={mi_xx} cannot exceed H(X)={hx}");
-        assert!(mi_xx > 0.4 * hx, "I(X,X)={mi_xx} suspiciously small vs H(X)={hx}");
+        assert!(
+            mi_xx > 0.4 * hx,
+            "I(X,X)={mi_xx} suspiciously small vs H(X)={hx}"
+        );
     }
 
     #[test]
@@ -187,7 +189,10 @@ mod tests {
         let mut grid = vec![0.0; 100];
         let v = mi(&x, &y, hx, hy, &mut grid);
         assert!(v.abs() < 0.02, "independent MI {v}");
-        assert!(v > -1e-4, "plug-in MI must be non-negative up to rounding, got {v}");
+        assert!(
+            v > -1e-4,
+            "plug-in MI must be non-negative up to rounding, got {v}"
+        );
     }
 
     #[test]
@@ -222,9 +227,9 @@ mod tests {
         let mut grid = vec![0.0; 100];
         let estimate = mi(&x, &y, hx, hy, &mut grid);
         let exact = -0.5 * (1.0 - (rho as f64).powi(2)).ln(); // ≈ 0.830
-        // The order-3 spline estimator is a smoother, so it is biased low
-        // (Daub et al. report the same); it must land in the right
-        // neighbourhood and never above the true value by much.
+                                                              // The order-3 spline estimator is a smoother, so it is biased low
+                                                              // (Daub et al. report the same); it must land in the right
+                                                              // neighbourhood and never above the true value by much.
         assert!(
             estimate > 0.6 * exact && estimate < exact + 0.05,
             "estimate {estimate} vs Gaussian closed form {exact}"
@@ -244,7 +249,10 @@ mod tests {
         let mut grid = vec![0.0; 100];
         let coupled = mi(&x, &y, hx, hx, &mut grid);
         let null = mi_permuted(&x, &y, &perm, hx, hx, &mut grid);
-        assert!(coupled > 1.0, "identical genes should carry high MI, got {coupled}");
+        assert!(
+            coupled > 1.0,
+            "identical genes should carry high MI, got {coupled}"
+        );
         assert!(null < 0.2, "permutation should destroy it, got {null}");
     }
 

@@ -81,14 +81,13 @@ pub fn joint_counts(x: &SparseWeights, y: &DenseWeights, grid: &mut VectorGrid) 
     if joint_counts_w16(x, y, None, grid) {
         return;
     }
-    let k = x.order();
     for s in 0..x.samples() {
         let fx = x.first_bin(s);
         let wx = x.sample_weights(s);
         let y_row = y.row(s);
-        for i in 0..k {
+        for (i, &wxi) in wx.iter().enumerate() {
             // Row-wide FMA: one padded row of y scaled by one x weight.
-            axpy(wx[i], y_row, grid.row_mut(fx + i));
+            axpy(wxi, y_row, grid.row_mut(fx + i));
         }
     }
 }
@@ -127,8 +126,9 @@ fn joint_counts_w16(
             }
         }
         Some(p) => {
-            for s in 0..m {
-                let y_row = F32x16::from_slice(y.row(p[s] as usize));
+            for (s, &py) in p.iter().enumerate() {
+                // cast-ok: u32 to usize widens losslessly
+                let y_row = F32x16::from_slice(y.row(py as usize));
                 let fx = x.first_bin(s);
                 let wx = x.sample_weights(s);
                 for i in 0..k {
@@ -160,13 +160,12 @@ pub fn joint_counts_permuted(
     if joint_counts_w16(x, y, Some(perm), grid) {
         return;
     }
-    let k = x.order();
-    for s in 0..x.samples() {
+    for (s, &p) in perm.iter().enumerate() {
         let fx = x.first_bin(s);
         let wx = x.sample_weights(s);
-        let y_row = y.row(perm[s] as usize);
-        for i in 0..k {
-            axpy(wx[i], y_row, grid.row_mut(fx + i));
+        let y_row = y.row(p as usize); // cast-ok: u32 to usize widens losslessly
+        for (i, &wxi) in wx.iter().enumerate() {
+            axpy(wxi, y_row, grid.row_mut(fx + i));
         }
     }
 }
@@ -175,6 +174,7 @@ pub fn joint_counts_permuted(
 /// marginal entropies.
 pub fn mi(x: &SparseWeights, y: &DenseWeights, hx: f64, hy: f64, grid: &mut VectorGrid) -> f64 {
     joint_counts(x, y, grid);
+    // cast-ok: sample counts are far below f64's 2^53 exact-integer range
     let hxy = entropy_from_counts(grid.as_slice(), x.samples() as f64);
     hx + hy - hxy
 }
@@ -190,12 +190,17 @@ pub fn mi_permuted(
     grid: &mut VectorGrid,
 ) -> f64 {
     joint_counts_permuted(x, y, perm, grid);
+    // cast-ok: sample counts are far below f64's 2^53 exact-integer range
     let hxy = entropy_from_counts(grid.as_slice(), x.samples() as f64);
     hx + hy - hxy
 }
 
 fn check_pair(x: &SparseWeights, y: &DenseWeights) {
-    assert_eq!(x.samples(), y.samples(), "genes must share the sample count");
+    assert_eq!(
+        x.samples(),
+        y.samples(),
+        "genes must share the sample count"
+    );
     assert_eq!(x.bins(), y.bins(), "genes must share the bin count");
     assert!(x.samples() > 0, "cannot compute MI over zero samples");
 }
@@ -264,7 +269,10 @@ mod tests {
         let mut vgrid = VectorGrid::for_dense(&yd);
         let vector = mi_permuted(&x, &yd, &perm, hx, hy, &mut vgrid);
 
-        assert!((scalar - vector).abs() < 1e-4, "scalar {scalar} vs vector {vector}");
+        assert!(
+            (scalar - vector).abs() < 1e-4,
+            "scalar {scalar} vs vector {vector}"
+        );
     }
 
     #[test]

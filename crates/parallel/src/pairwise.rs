@@ -138,6 +138,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two")]
     fn degenerate_n_rejected() {
-        let _ = compute_pairwise(1, 1, 1, SchedulerPolicy::DynamicCounter, |_| (), |_, _, _| 0.0);
+        let _ = compute_pairwise(
+            1,
+            1,
+            1,
+            SchedulerPolicy::DynamicCounter,
+            |_| (),
+            |_, _, _| 0.0,
+        );
     }
 }

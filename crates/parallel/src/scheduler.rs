@@ -40,8 +40,12 @@ pub enum SchedulerPolicy {
 
 impl SchedulerPolicy {
     /// All policies, for sweep experiments.
-    pub const ALL: [SchedulerPolicy; 4] =
-        [Self::StaticBlock, Self::StaticCyclic, Self::DynamicCounter, Self::RayonSteal];
+    pub const ALL: [SchedulerPolicy; 4] = [
+        Self::StaticBlock,
+        Self::StaticCyclic,
+        Self::DynamicCounter,
+        Self::RayonSteal,
+    ];
 
     /// Short stable name used in experiment output.
     pub fn name(&self) -> &'static str {
@@ -82,7 +86,11 @@ impl ExecutionReport {
         if self.per_thread.is_empty() {
             return 1.0;
         }
-        let times: Vec<f64> = self.per_thread.iter().map(|t| t.busy.as_secs_f64()).collect();
+        let times: Vec<f64> = self
+            .per_thread
+            .iter()
+            .map(|t| t.busy.as_secs_f64())
+            .collect();
         let max = times.iter().cloned().fold(0.0, f64::max);
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         if mean > 0.0 {
@@ -124,16 +132,30 @@ where
     assert!(threads >= 1, "need at least one worker thread");
     let start = Instant::now();
     let (states, per_thread) = match policy {
-        SchedulerPolicy::StaticBlock => {
-            run_static(tiles, threads, &make_state, &work, assign_block(tiles.len(), threads))
-        }
-        SchedulerPolicy::StaticCyclic => {
-            run_static(tiles, threads, &make_state, &work, assign_cyclic(tiles.len(), threads))
-        }
+        SchedulerPolicy::StaticBlock => run_static(
+            tiles,
+            threads,
+            &make_state,
+            &work,
+            assign_block(tiles.len(), threads),
+        ),
+        SchedulerPolicy::StaticCyclic => run_static(
+            tiles,
+            threads,
+            &make_state,
+            &work,
+            assign_cyclic(tiles.len(), threads),
+        ),
         SchedulerPolicy::DynamicCounter => run_dynamic(tiles, threads, &make_state, &work),
         SchedulerPolicy::RayonSteal => run_rayon(tiles, threads, &make_state, &work),
     };
-    (states, ExecutionReport { elapsed: start.elapsed(), per_thread })
+    (
+        states,
+        ExecutionReport {
+            elapsed: start.elapsed(),
+            per_thread,
+        },
+    )
 }
 
 /// Contiguous chunk assignment: thread `t` gets tile indices
@@ -151,7 +173,9 @@ pub fn assign_block(n: usize, threads: usize) -> Vec<Vec<usize>> {
 
 /// Cyclic assignment: thread `t` gets tiles `t, t+T, t+2T, …`.
 pub fn assign_cyclic(n: usize, threads: usize) -> Vec<Vec<usize>> {
-    (0..threads).map(|t| (t..n).step_by(threads.max(1)).collect()).collect()
+    (0..threads)
+        .map(|t| (t..n).step_by(threads.max(1)).collect())
+        .collect()
 }
 
 fn run_static<S, FMake, FWork>(
@@ -219,6 +243,9 @@ where
                     let mut stats = ThreadStats::default();
                     let t0 = Instant::now();
                     loop {
+                        // ordering: the counter only claims tile indices —
+                        // no data is published through it, and the scoped
+                        // join below synchronizes the merged states.
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= tiles.len() {
                             break;
@@ -337,7 +364,11 @@ mod tests {
             let executed = executed.into_inner().unwrap();
             assert_eq!(executed.len(), sp.tiles().len(), "policy {policy:?}");
             let set: HashSet<_> = executed.iter().collect();
-            assert_eq!(set.len(), sp.tiles().len(), "policy {policy:?} duplicated a tile");
+            assert_eq!(
+                set.len(),
+                sp.tiles().len(),
+                "policy {policy:?} duplicated a tile"
+            );
             assert_eq!(report.total_pairs(), sp.total_pairs(), "policy {policy:?}");
         }
     }
@@ -395,7 +426,13 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let sp = space();
-        let _ = execute_tiles(sp.tiles(), 0, SchedulerPolicy::DynamicCounter, |_| (), |_, _| ());
+        let _ = execute_tiles(
+            sp.tiles(),
+            0,
+            SchedulerPolicy::DynamicCounter,
+            |_| (),
+            |_, _| (),
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl Tile {
     pub fn pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         let tile = *self;
         (tile.row_start..tile.row_end).flat_map(move |i| {
-            let cstart = if tile.is_diagonal() { i + 1 } else { tile.col_start };
+            let cstart = if tile.is_diagonal() {
+                i + 1
+            } else {
+                tile.col_start
+            };
             (cstart.max(tile.col_start)..tile.col_end).map(move |j| (i, j))
         })
     }
@@ -84,8 +88,8 @@ impl TileSpace {
     pub fn new(genes: usize, tile_size: usize) -> Self {
         assert!(genes >= 2, "need at least two genes to have a pair");
         assert!(tile_size >= 1, "tile size must be positive");
-        let n = genes as u32;
-        let t = tile_size as u32;
+        let n = u32::try_from(genes).expect("gene count fits the u32 tile index space");
+        let t = u32::try_from(tile_size).expect("tile size fits the u32 tile index space");
         let blocks = n.div_ceil(t);
         let mut tiles = Vec::with_capacity((blocks * (blocks + 1) / 2) as usize);
         for br in 0..blocks {
@@ -101,7 +105,11 @@ impl TileSpace {
                 }
             }
         }
-        Self { genes: n, tile_size: t, tiles }
+        Self {
+            genes: n,
+            tile_size: t,
+            tiles,
+        }
     }
 
     /// Number of genes `n`.
@@ -142,7 +150,14 @@ mod tests {
 
     #[test]
     fn tiles_partition_the_pair_space_exactly() {
-        for (n, t) in [(10usize, 3usize), (16, 4), (17, 4), (100, 7), (5, 64), (2, 1)] {
+        for (n, t) in [
+            (10usize, 3usize),
+            (16, 4),
+            (17, 4),
+            (100, 7),
+            (5, 64),
+            (2, 1),
+        ] {
             let space = TileSpace::new(n, t);
             let mut seen = HashSet::new();
             for tile in space.tiles() {
@@ -152,7 +167,11 @@ mod tests {
                     assert!(seen.insert((i, j)), "pair ({i},{j}) covered twice");
                 }
             }
-            assert_eq!(seen.len() as u64, (n as u64) * (n as u64 - 1) / 2, "n={n}, t={t}");
+            assert_eq!(
+                seen.len() as u64,
+                (n as u64) * (n as u64 - 1) / 2,
+                "n={n}, t={t}"
+            );
             assert_eq!(space.total_pairs(), seen.len() as u64);
         }
     }
@@ -187,9 +206,19 @@ mod tests {
 
     #[test]
     fn gene_indices_cover_rows_and_columns() {
-        let t = Tile { row_start: 0, row_end: 2, col_start: 4, col_end: 6 };
+        let t = Tile {
+            row_start: 0,
+            row_end: 2,
+            col_start: 4,
+            col_end: 6,
+        };
         assert_eq!(t.gene_indices(), vec![0, 1, 4, 5]);
-        let d = Tile { row_start: 4, row_end: 6, col_start: 4, col_end: 6 };
+        let d = Tile {
+            row_start: 4,
+            row_end: 6,
+            col_start: 4,
+            col_end: 6,
+        };
         assert_eq!(d.gene_indices(), vec![4, 5]);
     }
 

@@ -6,7 +6,8 @@ use serde::{Deserialize, Serialize};
 
 /// Draw a uniform random permutation of `0..m` with Fisher–Yates.
 pub fn fisher_yates(m: usize, rng: &mut StdRng) -> Vec<u32> {
-    let mut p: Vec<u32> = (0..m as u32).collect();
+    let m32 = u32::try_from(m).expect("sample count fits the u32 permutation domain");
+    let mut p: Vec<u32> = (0..m32).collect();
     // Classic downward Fisher–Yates: swap i with a uniform j ≤ i.
     for i in (1..m).rev() {
         let j = rng.gen_range(0..=i);
@@ -70,7 +71,11 @@ impl PermutationSet {
                 perms.push(p);
             }
         }
-        Self { samples, seed, perms }
+        Self {
+            samples,
+            seed,
+            perms,
+        }
     }
 
     /// Number of permutations `q`.

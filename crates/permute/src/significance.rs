@@ -26,7 +26,12 @@ pub struct PooledNull {
 impl PooledNull {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Fold in one null MI value.
@@ -101,7 +106,12 @@ impl PooledNull {
 
     /// Reassemble from raw moments produced by [`Self::raw_parts`].
     pub fn from_raw_parts(count: u64, mean: f64, m2: f64, max: f64) -> Self {
-        Self { count, mean, m2, max }
+        Self {
+            count,
+            mean,
+            m2,
+            max,
+        }
     }
 
     /// The TINGe-style family-wise threshold `I*`: the Bonferroni-corrected
@@ -112,7 +122,10 @@ impl PooledNull {
     /// Panics if `alpha ∉ (0, 1)`, `tests == 0`, or fewer than two null
     /// values were pooled.
     pub fn global_threshold(&self, alpha: f64, tests: u64) -> f64 {
-        assert!((f64::MIN_POSITIVE..1.0).contains(&alpha), "alpha must lie in (0, 1)");
+        assert!(
+            (f64::MIN_POSITIVE..1.0).contains(&alpha),
+            "alpha must lie in (0, 1)"
+        );
         assert!(tests > 0, "must correct over at least one test");
         assert!(self.count >= 2, "need at least two pooled null values");
         let corrected = (alpha / tests as f64).max(f64::MIN_POSITIVE);
@@ -136,14 +149,22 @@ pub struct EdgeTest {
 impl EdgeTest {
     /// Build the test from a finished pooled-null accumulator.
     pub fn from_pooled(pooled: &PooledNull, alpha: f64, tests: u64) -> Self {
-        Self { alpha, tests, threshold: pooled.global_threshold(alpha, tests) }
+        Self {
+            alpha,
+            tests,
+            threshold: pooled.global_threshold(alpha, tests),
+        }
     }
 
     /// A test with an explicit MI threshold and no permutation component —
     /// the "fixed threshold" mode used for kernel benchmarks where
     /// statistics are irrelevant.
     pub fn fixed(threshold: f64) -> Self {
-        Self { alpha: 1.0 - f64::EPSILON, tests: 1, threshold }
+        Self {
+            alpha: 1.0 - f64::EPSILON,
+            tests: 1,
+            threshold,
+        }
     }
 
     /// TINGe keeps an edge iff the observed MI beats every one of its own
@@ -239,7 +260,11 @@ mod tests {
 
     #[test]
     fn edge_test_requires_both_conditions() {
-        let t = EdgeTest { alpha: 0.05, tests: 100, threshold: 0.4 };
+        let t = EdgeTest {
+            alpha: 0.05,
+            tests: 100,
+            threshold: 0.4,
+        };
         assert!(t.keeps(0.5, &[0.1, 0.2]));
         assert!(!t.keeps(0.35, &[0.1, 0.2]), "below global threshold");
         assert!(!t.keeps(0.5, &[0.1, 0.6]), "loses to one of its own nulls");

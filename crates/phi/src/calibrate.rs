@@ -60,7 +60,9 @@ pub fn measure_kernel(
     assert!(genes >= 2, "need at least two genes");
     let basis = BsplineBasis::tinge_default();
     let matrix = synth::independent_gaussian(genes, samples, 0xCA11B7A7E);
-    let prepared: Vec<_> = (0..genes).map(|g| prepare_gene(matrix.gene(g), &basis)).collect();
+    let prepared: Vec<_> = (0..genes)
+        .map(|g| prepare_gene(matrix.gene(g), &basis))
+        .collect();
     let perms = PermutationSet::generate(samples, q, 7);
     let mut scratch = MiScratch::for_basis(&basis);
 
@@ -120,12 +122,21 @@ pub fn measure_kernel(
     }
     std::hint::black_box(sink);
 
-    KernelRate { kernel, samples, q, ns_per_pair: best_ns_per_pair }
+    KernelRate {
+        kernel,
+        samples,
+        q,
+        ns_per_pair: best_ns_per_pair,
+    }
 }
 
 /// Measured host vectorization ratio (scalar ns over vector ns) at the
 /// given problem shape — the host row of experiment R4.
-pub fn host_vectorization_ratio(samples: usize, q: usize, pairs: usize) -> (KernelRate, KernelRate) {
+pub fn host_vectorization_ratio(
+    samples: usize,
+    q: usize,
+    pairs: usize,
+) -> (KernelRate, KernelRate) {
     let scalar = measure_kernel(KernelClass::ScalarSparse, samples, q, 16, pairs);
     let vector = measure_kernel(KernelClass::VectorDense, samples, q, 16, pairs);
     (scalar, vector)

@@ -27,16 +27,28 @@ impl PowerModel {
         let name = machine.name.as_str();
         if name.contains("5110P") {
             // 225 W TDP card + ~120 W idling host system.
-            Some(Self { active_watts: 225.0, overhead_watts: 120.0 })
+            Some(Self {
+                active_watts: 225.0,
+                overhead_watts: 120.0,
+            })
         } else if name.contains("KNL") {
             // Self-hosted: 215 W TDP + platform overhead.
-            Some(Self { active_watts: 215.0, overhead_watts: 80.0 })
+            Some(Self {
+                active_watts: 215.0,
+                overhead_watts: 80.0,
+            })
         } else if name.contains("E5-2670") {
             // 2 × 115 W TDP + platform overhead.
-            Some(Self { active_watts: 230.0, overhead_watts: 100.0 })
+            Some(Self {
+                active_watts: 230.0,
+                overhead_watts: 100.0,
+            })
         } else if name.contains("Blue Gene") {
             // BG/L: ≈ 20 W per dual-core node ⇒ 512 nodes for 1,024 cores.
-            Some(Self { active_watts: 512.0 * 20.0, overhead_watts: 0.0 })
+            Some(Self {
+                active_watts: 512.0 * 20.0,
+                overhead_watts: 0.0,
+            })
         } else {
             None
         }
@@ -73,7 +85,11 @@ pub fn headline_energy() -> Vec<EnergyRow> {
     let mut rows = Vec::new();
     let mut predictions = headline_predictions();
     // forward_projection re-lists KNC; take only the KNL row from it.
-    predictions.extend(forward_projection().into_iter().filter(|p| p.platform.contains("KNL")));
+    predictions.extend(
+        forward_projection()
+            .into_iter()
+            .filter(|p| p.platform.contains("KNL")),
+    );
     for p in predictions {
         let machine_power = [
             MachineModel::xeon_phi_5110p(),
@@ -115,7 +131,10 @@ mod tests {
 
     #[test]
     fn energy_arithmetic() {
-        let p = PowerModel { active_watts: 200.0, overhead_watts: 100.0 };
+        let p = PowerModel {
+            active_watts: 200.0,
+            overhead_watts: 100.0,
+        };
         assert_eq!(p.total_watts(), 300.0);
         assert!((p.energy_kj(1000.0) - 300.0).abs() < 1e-9);
     }
@@ -123,8 +142,14 @@ mod tests {
     #[test]
     fn phi_wins_energy_against_the_cluster_despite_losing_time() {
         let rows = headline_energy();
-        let phi = rows.iter().find(|r| r.platform.contains("5110P")).expect("phi row");
-        let bgl = rows.iter().find(|r| r.platform.contains("Blue Gene")).expect("bgl row");
+        let phi = rows
+            .iter()
+            .find(|r| r.platform.contains("5110P"))
+            .expect("phi row");
+        let bgl = rows
+            .iter()
+            .find(|r| r.platform.contains("Blue Gene"))
+            .expect("bgl row");
         assert!(phi.minutes > bgl.minutes, "cluster is faster in time");
         assert!(
             phi.kilojoules < bgl.kilojoules,
@@ -137,8 +162,14 @@ mod tests {
     #[test]
     fn knl_dominates_knc_in_both_time_and_energy() {
         let rows = headline_energy();
-        let knc = rows.iter().find(|r| r.platform.contains("KNC")).expect("knc row");
-        let knl = rows.iter().find(|r| r.platform.contains("KNL")).expect("knl row");
+        let knc = rows
+            .iter()
+            .find(|r| r.platform.contains("KNC"))
+            .expect("knc row");
+        let knl = rows
+            .iter()
+            .find(|r| r.platform.contains("KNL"))
+            .expect("knl row");
         assert!(knl.minutes < knc.minutes);
         assert!(knl.kilojoules < knc.kilojoules);
     }

@@ -31,6 +31,10 @@
 //! the same operation counts the real hardware executed, not to re-derive
 //! cycle-accurate KNC behaviour.
 
+// cast-ok (crate-wide): the performance model rounds f64 quantities (pair
+// budgets, block counts, nanosecond heap keys) into integer domains on
+// purpose; the values are bounded by the modeled machines' sizes.
+#![allow(clippy::cast_possible_truncation)]
 #![warn(missing_docs)]
 
 pub mod calibrate;

@@ -97,7 +97,11 @@ impl MachineModel {
             cores: 68,
             threads_per_core: 4,
             clock_ghz: 1.4,
-            vector: VectorModel { f32_lanes: 16, efficiency: 0.75, has_fma: true },
+            vector: VectorModel {
+                f32_lanes: 16,
+                efficiency: 0.75,
+                has_fma: true,
+            },
             smt_efficiency: vec![1.0, 1.3, 1.4, 1.45],
             scalar_mac_cycles: 3.5,
             // Two VPUs ⇒ roughly half the per-row-FMA cost of KNC.
@@ -117,7 +121,11 @@ impl MachineModel {
             cores: 1024,
             threads_per_core: 1,
             clock_ghz: 0.7,
-            vector: VectorModel { f32_lanes: 2, efficiency: 0.8, has_fma: true },
+            vector: VectorModel {
+                f32_lanes: 2,
+                efficiency: 0.8,
+                has_fma: true,
+            },
             smt_efficiency: vec![1.0],
             scalar_mac_cycles: 2.0,
             vector_op_overhead: 2.0,
@@ -154,7 +162,10 @@ impl MachineModel {
     /// Throughput of one thread (fraction of nominal single-core peak)
     /// when `resident` threads share its core.
     pub fn thread_throughput(&self, resident: usize) -> f64 {
-        assert!(resident >= 1 && resident <= self.threads_per_core, "bad residency {resident}");
+        assert!(
+            resident >= 1 && resident <= self.threads_per_core,
+            "bad residency {resident}"
+        );
         self.smt_efficiency[resident - 1] / resident as f64
     }
 
@@ -199,10 +210,14 @@ mod tests {
         let knc = MachineModel::xeon_phi_5110p();
         let knl = MachineModel::xeon_phi_7250_knl();
         assert!(knl.peak_gflops_f32() > knc.peak_gflops_f32());
-        assert!(knl.thread_throughput(1) > knc.thread_throughput(1),
-            "KNL's OoO core removes the single-thread issue restriction");
-        assert!(knl.aggregate_throughput(knl.max_threads())
-            > knc.aggregate_throughput(knc.max_threads()));
+        assert!(
+            knl.thread_throughput(1) > knc.thread_throughput(1),
+            "KNL's OoO core removes the single-thread issue restriction"
+        );
+        assert!(
+            knl.aggregate_throughput(knl.max_threads())
+                > knc.aggregate_throughput(knc.max_threads())
+        );
     }
 
     #[test]
@@ -242,7 +257,10 @@ mod tests {
         assert!((t61 - 30.5).abs() < 1e-9);
         assert!((t122 - 61.0).abs() < 1e-9);
         assert!(t122 > t61 * 1.9, "2 threads/core ≈ doubles KNC throughput");
-        assert!(t244 > t183 && t244 < t122 * 1.3, "3rd/4th thread help modestly");
+        assert!(
+            t244 > t183 && t244 < t122 * 1.3,
+            "3rd/4th thread help modestly"
+        );
     }
 
     #[test]

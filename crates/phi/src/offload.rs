@@ -62,7 +62,10 @@ impl OffloadModel {
         workload: &WorkloadModel,
         device_share: f64,
     ) -> (f64, f64, f64) {
-        assert!((0.0..=1.0).contains(&device_share), "share must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&device_share),
+            "share must lie in [0, 1]"
+        );
         let total_pairs: u64 = tiles.iter().map(Tile::pair_count).sum();
         let target = (total_pairs as f64 * device_share) as u64;
 
@@ -104,7 +107,11 @@ impl OffloadModel {
             )
             .wall_seconds
         };
-        (device_seconds.max(host_seconds), device_seconds, host_seconds)
+        (
+            device_seconds.max(host_seconds),
+            device_seconds,
+            host_seconds,
+        )
     }
 
     /// Sweep the device share and return `(share, wall_seconds)` rows.
@@ -144,7 +151,10 @@ mod tests {
 
     fn setup() -> (OffloadModel, TileSpace, WorkloadModel) {
         let model = OffloadModel::paper_system();
-        let workload = WorkloadModel { genes: 2_048, ..WorkloadModel::arabidopsis_headline() };
+        let workload = WorkloadModel {
+            genes: 2_048,
+            ..WorkloadModel::arabidopsis_headline()
+        };
         let tiles = TileSpace::new(2_048, 16);
         (model, tiles, workload)
     }
@@ -172,7 +182,10 @@ mod tests {
         let (share, best) = model.optimal_split(tiles.tiles(), &w, 20);
         let (host_only, _, _) = model.simulate_split(tiles.tiles(), &w, 0.0);
         let (device_only, _, _) = model.simulate_split(tiles.tiles(), &w, 1.0);
-        assert!(best < host_only && best < device_only, "{best} vs {host_only}/{device_only}");
+        assert!(
+            best < host_only && best < device_only,
+            "{best} vs {host_only}/{device_only}"
+        );
         // Optimal share tracks the device's throughput fraction (~2.3×
         // faster than the host ⇒ ~0.65–0.8 of the work).
         assert!((0.55..0.9).contains(&share), "optimal share {share}");

@@ -45,20 +45,29 @@ pub fn headline_predictions() -> Vec<HeadlinePrediction> {
     let workload = WorkloadModel::arabidopsis_headline();
     // Simulating 1.2e8 pairs tile-by-tile at T=64 means ~30k tiles — cheap.
     let tiles = TileSpace::new(workload.genes, SCENARIO_TILE);
-    [MachineModel::xeon_phi_5110p(), MachineModel::xeon_e5_2670_2s(), MachineModel::bluegene_l_1024()]
-        .into_iter()
-        .map(|machine| {
-            let threads = machine.max_threads();
-            let rep =
-                simulate_tiles(tiles.tiles(), &machine, &workload, threads, SchedulerPolicy::DynamicCounter);
-            HeadlinePrediction {
-                platform: machine.name.clone(),
-                threads,
-                minutes: rep.wall_seconds / 60.0,
-                pair_rate: rep.pair_rate,
-            }
-        })
-        .collect()
+    [
+        MachineModel::xeon_phi_5110p(),
+        MachineModel::xeon_e5_2670_2s(),
+        MachineModel::bluegene_l_1024(),
+    ]
+    .into_iter()
+    .map(|machine| {
+        let threads = machine.max_threads();
+        let rep = simulate_tiles(
+            tiles.tiles(),
+            &machine,
+            &workload,
+            threads,
+            SchedulerPolicy::DynamicCounter,
+        );
+        HeadlinePrediction {
+            platform: machine.name.clone(),
+            threads,
+            minutes: rep.wall_seconds / 60.0,
+            pair_rate: rep.pair_rate,
+        }
+    })
+    .collect()
 }
 
 /// R2 — strong-scaling speedup curves on Phi and Xeon. Returns
@@ -71,10 +80,15 @@ pub fn strong_scaling(genes: usize) -> Vec<(String, Vec<(usize, f64)>)> {
         ..WorkloadModel::arabidopsis_headline()
     };
     let mut out = Vec::new();
-    for machine in [MachineModel::xeon_phi_5110p(), MachineModel::xeon_e5_2670_2s()] {
+    for machine in [
+        MachineModel::xeon_phi_5110p(),
+        MachineModel::xeon_e5_2670_2s(),
+    ] {
         let mut counts: Vec<usize> = vec![1, 2, 4, 8, 16];
         counts.extend(
-            [30, 61, 122, 183, 244, 32].into_iter().filter(|&t| t <= machine.max_threads()),
+            [30, 61, 122, 183, 244, 32]
+                .into_iter()
+                .filter(|&t| t <= machine.max_threads()),
         );
         counts.sort_unstable();
         counts.dedup();
@@ -92,7 +106,10 @@ pub fn strong_scaling(genes: usize) -> Vec<(String, Vec<(usize, f64)>)> {
 /// 1–4 resident threads each.
 pub fn threads_per_core(genes: usize) -> Vec<(usize, f64)> {
     let machine = MachineModel::xeon_phi_5110p();
-    let workload = WorkloadModel { genes, ..WorkloadModel::arabidopsis_headline() };
+    let workload = WorkloadModel {
+        genes,
+        ..WorkloadModel::arabidopsis_headline()
+    };
     let tiles = TileSpace::new(genes, tile_size_for(genes, machine.max_threads()));
     (1..=machine.threads_per_core)
         .map(|tpc| {
@@ -112,13 +129,16 @@ pub fn threads_per_core(genes: usize) -> Vec<(usize, f64)> {
 /// R4 (modeled rows) — vectorization speedup per platform.
 pub fn vectorization_speedups() -> Vec<(String, f64)> {
     let workload = WorkloadModel::arabidopsis_headline();
-    [MachineModel::xeon_phi_5110p(), MachineModel::xeon_e5_2670_2s()]
-        .into_iter()
-        .map(|m| {
-            let s = workload.vectorization_speedup(&m);
-            (m.name.clone(), s)
-        })
-        .collect()
+    [
+        MachineModel::xeon_phi_5110p(),
+        MachineModel::xeon_e5_2670_2s(),
+    ]
+    .into_iter()
+    .map(|m| {
+        let s = workload.vectorization_speedup(&m);
+        (m.name.clone(), s)
+    })
+    .collect()
 }
 
 /// R5 — wall minutes vs gene count at fixed samples (Phi, full threads).
@@ -127,7 +147,10 @@ pub fn gene_sweep(gene_counts: &[usize]) -> Vec<(usize, f64)> {
     gene_counts
         .iter()
         .map(|&n| {
-            let workload = WorkloadModel { genes: n, ..WorkloadModel::arabidopsis_headline() };
+            let workload = WorkloadModel {
+                genes: n,
+                ..WorkloadModel::arabidopsis_headline()
+            };
             let tiles = TileSpace::new(n, tile_size_for(n, machine.max_threads()));
             let rep = simulate_tiles(
                 tiles.tiles(),
@@ -169,7 +192,10 @@ pub fn sample_sweep(genes: usize, sample_counts: &[usize]) -> Vec<(usize, f64)> 
 /// `(policy name, wall seconds, imbalance)`.
 pub fn scheduler_comparison(genes: usize) -> Vec<(String, f64, f64)> {
     let machine = MachineModel::xeon_phi_5110p();
-    let workload = WorkloadModel { genes, ..WorkloadModel::arabidopsis_headline() };
+    let workload = WorkloadModel {
+        genes,
+        ..WorkloadModel::arabidopsis_headline()
+    };
     // 200 threads: 17 cores carry 4 SMT threads, 44 carry 3, so thread
     // rates differ by ~24%. Static policies hand every thread the same
     // tile count regardless of its speed; the dynamic schemes adapt —
@@ -191,25 +217,28 @@ pub fn scheduler_comparison(genes: usize) -> Vec<(String, f64, f64)> {
 pub fn forward_projection() -> Vec<HeadlinePrediction> {
     let workload = WorkloadModel::arabidopsis_headline();
     let tiles = TileSpace::new(workload.genes, SCENARIO_TILE);
-    [MachineModel::xeon_phi_5110p(), MachineModel::xeon_phi_7250_knl()]
-        .into_iter()
-        .map(|machine| {
-            let threads = machine.max_threads();
-            let rep = simulate_tiles(
-                tiles.tiles(),
-                &machine,
-                &workload,
-                threads,
-                SchedulerPolicy::DynamicCounter,
-            );
-            HeadlinePrediction {
-                platform: machine.name.clone(),
-                threads,
-                minutes: rep.wall_seconds / 60.0,
-                pair_rate: rep.pair_rate,
-            }
-        })
-        .collect()
+    [
+        MachineModel::xeon_phi_5110p(),
+        MachineModel::xeon_phi_7250_knl(),
+    ]
+    .into_iter()
+    .map(|machine| {
+        let threads = machine.max_threads();
+        let rep = simulate_tiles(
+            tiles.tiles(),
+            &machine,
+            &workload,
+            threads,
+            SchedulerPolicy::DynamicCounter,
+        );
+        HeadlinePrediction {
+            platform: machine.name.clone(),
+            threads,
+            minutes: rep.wall_seconds / 60.0,
+            pair_rate: rep.pair_rate,
+        }
+    })
+    .collect()
 }
 
 /// Full simulation report for an arbitrary scenario (used by the repro
@@ -277,7 +306,10 @@ mod tests {
     fn single_chip_is_within_a_few_x_of_the_1024_core_cluster() {
         let preds = headline_predictions();
         let phi = preds.iter().find(|p| p.platform.contains("Phi")).unwrap();
-        let bgl = preds.iter().find(|p| p.platform.contains("Blue Gene")).unwrap();
+        let bgl = preds
+            .iter()
+            .find(|p| p.platform.contains("Blue Gene"))
+            .unwrap();
         let ratio = phi.minutes / bgl.minutes;
         assert!(
             (1.0..6.0).contains(&ratio),
@@ -298,8 +330,14 @@ mod tests {
         let sweep = gene_sweep(&[1000, 2000, 4000]);
         let r1 = sweep[1].1 / sweep[0].1;
         let r2 = sweep[2].1 / sweep[1].1;
-        assert!((3.0..5.0).contains(&r1), "doubling genes ≈ 4× time, got {r1:.2}");
-        assert!((3.0..5.0).contains(&r2), "doubling genes ≈ 4× time, got {r2:.2}");
+        assert!(
+            (3.0..5.0).contains(&r1),
+            "doubling genes ≈ 4× time, got {r1:.2}"
+        );
+        assert!(
+            (3.0..5.0).contains(&r2),
+            "doubling genes ≈ 4× time, got {r2:.2}"
+        );
     }
 
     #[test]
@@ -307,8 +345,14 @@ mod tests {
         let sweep = sample_sweep(2048, &[500, 1000, 2000]);
         let r1 = sweep[1].1 / sweep[0].1;
         let r2 = sweep[2].1 / sweep[1].1;
-        assert!((1.6..2.4).contains(&r1), "doubling samples ≈ 2× time, got {r1:.2}");
-        assert!((1.6..2.4).contains(&r2), "doubling samples ≈ 2× time, got {r2:.2}");
+        assert!(
+            (1.6..2.4).contains(&r1),
+            "doubling samples ≈ 2× time, got {r1:.2}"
+        );
+        assert!(
+            (1.6..2.4).contains(&r2),
+            "doubling samples ≈ 2× time, got {r2:.2}"
+        );
     }
 
     #[test]
@@ -344,6 +388,9 @@ mod tests {
         let phi_max = phi_curve.iter().map(|&(_, s)| s).fold(0.0, f64::max);
         let xeon_max = xeon_curve.iter().map(|&(_, s)| s).fold(0.0, f64::max);
         assert!(phi_max > 100.0, "Phi peak speedup {phi_max}");
-        assert!(xeon_max > 14.0 && xeon_max < 32.0, "Xeon peak speedup {xeon_max}");
+        assert!(
+            xeon_max > 14.0 && xeon_max < 32.0,
+            "Xeon peak speedup {xeon_max}"
+        );
     }
 }

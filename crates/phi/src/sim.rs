@@ -42,8 +42,7 @@ impl SimReport {
             return 1.0;
         }
         let max = self.per_thread_busy.iter().cloned().fold(0.0, f64::max);
-        let mean =
-            self.per_thread_busy.iter().sum::<f64>() / self.per_thread_busy.len() as f64;
+        let mean = self.per_thread_busy.iter().sum::<f64>() / self.per_thread_busy.len() as f64;
         if mean > 0.0 {
             max / mean
         } else {
@@ -102,15 +101,17 @@ pub fn simulate_tiles(
     };
 
     let pair_wall = busy.iter().cloned().fold(0.0, f64::max);
-    let prep_seconds = workload.prep_cycles()
-        / (machine.clock_ghz * 1e9 * machine.aggregate_throughput(threads));
+    let prep_seconds =
+        workload.prep_cycles() / (machine.clock_ghz * 1e9 * machine.aggregate_throughput(threads));
 
     // First-order roofline: every tile streams its touched genes from DRAM
     // once (sparse weights plus the dense expansion of its column genes).
     let bytes_per_gene = workload.samples as f64
         * ((workload.order as f64 * 4.0 + 2.0) + workload.bins_padded(machine) as f64 * 4.0);
-    let total_bytes: f64 =
-        tiles.iter().map(|t| t.genes_touched() as f64 * bytes_per_gene).sum();
+    let total_bytes: f64 = tiles
+        .iter()
+        .map(|t| t.genes_touched() as f64 * bytes_per_gene)
+        .sum();
     let demanded_gbs = total_bytes / pair_wall.max(1e-12) / 1e9;
     let bandwidth_utilization = demanded_gbs / machine.stream_bw_gbs;
     let clamped_wall = pair_wall * bandwidth_utilization.max(1.0);
@@ -175,8 +176,11 @@ pub fn scaling_curve(
     thread_counts
         .iter()
         .map(|&t| {
-            (t, simulate_tiles(tiles, machine, workload, t, SchedulerPolicy::DynamicCounter)
-                .wall_seconds)
+            (
+                t,
+                simulate_tiles(tiles, machine, workload, t, SchedulerPolicy::DynamicCounter)
+                    .wall_seconds,
+            )
         })
         .collect()
 }
@@ -187,7 +191,14 @@ mod tests {
     use gnet_parallel::TileSpace;
 
     fn small_workload() -> WorkloadModel {
-        WorkloadModel { genes: 256, samples: 500, order: 3, bins: 10, q: 10, ..WorkloadModel::arabidopsis_headline() }
+        WorkloadModel {
+            genes: 256,
+            samples: 500,
+            order: 3,
+            bins: 10,
+            q: 10,
+            ..WorkloadModel::arabidopsis_headline()
+        }
     }
 
     fn tiles() -> TileSpace {
@@ -202,7 +213,12 @@ mod tests {
         // (with fewer tiles than threads, adding SMT residents genuinely
         // slows the run — a real granularity effect, tested separately).
         let sp = TileSpace::new(256, 4);
-        let curve = scaling_curve(sp.tiles(), &machine, &w, &[1, 2, 4, 8, 16, 32, 61, 122, 244]);
+        let curve = scaling_curve(
+            sp.tiles(),
+            &machine,
+            &w,
+            &[1, 2, 4, 8, 16, 32, 61, 122, 244],
+        );
         for pair in curve.windows(2) {
             assert!(
                 pair[1].1 <= pair[0].1 * 1.01,
@@ -224,8 +240,14 @@ mod tests {
         let s122 = curve[0].1 / curve[2].1;
         let s244 = curve[0].1 / curve[3].1;
         assert!(s61 > 45.0 && s61 <= 61.5, "61-thread speedup {s61}");
-        assert!(s122 / s61 > 1.7, "second thread/core ≈ doubles: {s122} vs {s61}");
-        assert!(s244 > s122 && s244 < s122 * 1.35, "tail threads help modestly");
+        assert!(
+            s122 / s61 > 1.7,
+            "second thread/core ≈ doubles: {s122} vs {s61}"
+        );
+        assert!(
+            s244 > s122 && s244 < s122 * 1.35,
+            "tail threads help modestly"
+        );
     }
 
     #[test]
@@ -236,8 +258,13 @@ mod tests {
         let machine = MachineModel::xeon_phi_5110p();
         let w = small_workload();
         let sp = TileSpace::new(300, 8);
-        let dynamic =
-            simulate_tiles(sp.tiles(), &machine, &w, 150, SchedulerPolicy::DynamicCounter);
+        let dynamic = simulate_tiles(
+            sp.tiles(),
+            &machine,
+            &w,
+            150,
+            SchedulerPolicy::DynamicCounter,
+        );
         let static_b = simulate_tiles(sp.tiles(), &machine, &w, 150, SchedulerPolicy::StaticBlock);
         assert!(
             dynamic.wall_seconds < static_b.wall_seconds,
@@ -264,7 +291,13 @@ mod tests {
     fn prep_time_is_small_but_positive() {
         let machine = MachineModel::xeon_phi_5110p();
         let w = small_workload();
-        let rep = simulate_tiles(tiles().tiles(), &machine, &w, 61, SchedulerPolicy::DynamicCounter);
+        let rep = simulate_tiles(
+            tiles().tiles(),
+            &machine,
+            &w,
+            61,
+            SchedulerPolicy::DynamicCounter,
+        );
         assert!(rep.prep_seconds > 0.0);
         assert!(
             rep.prep_seconds < rep.wall_seconds * 0.2,
@@ -278,7 +311,13 @@ mod tests {
     fn compute_bound_workload_stays_under_the_roofline() {
         let machine = MachineModel::xeon_phi_5110p();
         let w = small_workload();
-        let rep = simulate_tiles(tiles().tiles(), &machine, &w, 244, SchedulerPolicy::DynamicCounter);
+        let rep = simulate_tiles(
+            tiles().tiles(),
+            &machine,
+            &w,
+            244,
+            SchedulerPolicy::DynamicCounter,
+        );
         assert!(
             rep.bandwidth_utilization < 1.0,
             "MI at q=10 is compute-bound, got utilization {}",
@@ -291,7 +330,13 @@ mod tests {
         let machine = MachineModel::xeon_e5_2670_2s();
         let w = small_workload();
         let sp = tiles();
-        let rep = simulate_tiles(sp.tiles(), &machine, &w, 16, SchedulerPolicy::DynamicCounter);
+        let rep = simulate_tiles(
+            sp.tiles(),
+            &machine,
+            &w,
+            16,
+            SchedulerPolicy::DynamicCounter,
+        );
         let expected = sp.total_pairs() as f64 / rep.wall_seconds;
         assert!((rep.pair_rate - expected).abs() / expected < 1e-9);
     }
@@ -301,6 +346,12 @@ mod tests {
     fn zero_threads_rejected() {
         let machine = MachineModel::xeon_phi_5110p();
         let w = small_workload();
-        let _ = simulate_tiles(tiles().tiles(), &machine, &w, 0, SchedulerPolicy::DynamicCounter);
+        let _ = simulate_tiles(
+            tiles().tiles(),
+            &machine,
+            &w,
+            0,
+            SchedulerPolicy::DynamicCounter,
+        );
     }
 }

@@ -106,7 +106,8 @@ impl WorkloadModel {
             KernelClass::VectorDense => {
                 let lanes = machine.vector.f32_lanes as f64;
                 let rows = (self.bins_padded(machine) as f64 / lanes).ceil();
-                let accumulate = m * k * rows * machine.vector_op_overhead / machine.vector.efficiency;
+                let accumulate =
+                    m * k * rows * machine.vector_op_overhead / machine.vector.efficiency;
                 let cells = (self.bins * self.bins_padded(machine)) as f64;
                 let entropy = cells * ENTROPY_CYCLES_PER_CELL / lanes;
                 joints * (accumulate + entropy)
@@ -125,8 +126,11 @@ impl WorkloadModel {
     /// Cycles for the one-off per-gene preparation stage (rank transform,
     /// spline weights, marginal entropy) over the whole matrix.
     pub fn prep_cycles(&self) -> f64 {
-        (self.genes as f64) * (self.samples as f64) * (self.bins as f64).max(1.0)
-            * PREP_CYCLES_PER_ELEMENT / 10.0
+        (self.genes as f64)
+            * (self.samples as f64)
+            * (self.bins as f64).max(1.0)
+            * PREP_CYCLES_PER_ELEMENT
+            / 10.0
     }
 
     /// Approximate DRAM traffic per pair in bytes (both weight matrices
@@ -147,8 +151,14 @@ impl WorkloadModel {
     /// Vectorization speedup predicted for `machine`: scalar over vector
     /// per-pair cycles (experiment R4's modeled series).
     pub fn vectorization_speedup(&self, machine: &MachineModel) -> f64 {
-        let scalar = Self { kernel: KernelClass::ScalarSparse, ..*self };
-        let vector = Self { kernel: KernelClass::VectorDense, ..*self };
+        let scalar = Self {
+            kernel: KernelClass::ScalarSparse,
+            ..*self
+        };
+        let vector = Self {
+            kernel: KernelClass::VectorDense,
+            ..*self
+        };
         scalar.pair_cycles(machine) / vector.pair_cycles(machine)
     }
 }
@@ -193,18 +203,32 @@ mod tests {
         let phi = w.vectorization_speedup(&MachineModel::xeon_phi_5110p());
         let xeon = w.vectorization_speedup(&MachineModel::xeon_e5_2670_2s());
         assert!(xeon > 1.2, "AVX must still win, got {xeon:.2}");
-        assert!(phi > 2.0 * xeon, "the Phi gain must dominate: {phi:.2} vs {xeon:.2}");
+        assert!(
+            phi > 2.0 * xeon,
+            "the Phi gain must dominate: {phi:.2} vs {xeon:.2}"
+        );
     }
 
     #[test]
     fn scalar_kernel_costs_more_cycles_than_vector_everywhere() {
         let w = headline();
-        for m in
-            [MachineModel::xeon_phi_5110p(), MachineModel::xeon_e5_2670_2s()]
-        {
-            let scalar = WorkloadModel { kernel: KernelClass::ScalarSparse, ..w };
-            let vector = WorkloadModel { kernel: KernelClass::VectorDense, ..w };
-            assert!(scalar.pair_cycles(&m) > vector.pair_cycles(&m), "{}", m.name);
+        for m in [
+            MachineModel::xeon_phi_5110p(),
+            MachineModel::xeon_e5_2670_2s(),
+        ] {
+            let scalar = WorkloadModel {
+                kernel: KernelClass::ScalarSparse,
+                ..w
+            };
+            let vector = WorkloadModel {
+                kernel: KernelClass::VectorDense,
+                ..w
+            };
+            assert!(
+                scalar.pair_cycles(&m) > vector.pair_cycles(&m),
+                "{}",
+                m.name
+            );
         }
     }
 
@@ -212,7 +236,10 @@ mod tests {
     fn pair_cycles_scale_linearly_in_samples_and_q() {
         let w = headline();
         let machine = MachineModel::xeon_phi_5110p();
-        let double_m = WorkloadModel { samples: w.samples * 2, ..w };
+        let double_m = WorkloadModel {
+            samples: w.samples * 2,
+            ..w
+        };
         let ratio = double_m.pair_cycles(&machine) / w.pair_cycles(&machine);
         assert!((ratio - 2.0).abs() < 0.05, "samples ratio {ratio}");
 
@@ -236,7 +263,10 @@ mod tests {
         let w = headline();
         let phi = MachineModel::xeon_phi_5110p();
         let t = w.pair_seconds(&phi, 4);
-        assert!(t > 1e-5 && t < 5e-3, "per-pair time {t}s out of plausible range");
+        assert!(
+            t > 1e-5 && t < 5e-3,
+            "per-pair time {t}s out of plausible range"
+        );
     }
 
     #[test]

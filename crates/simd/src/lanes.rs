@@ -385,7 +385,7 @@ mod tests {
         let c = F32x16::splat(1.0);
         let r = a.mul_add(b, c);
         for i in 0..16 {
-            assert_eq!(r[i], (a[i] as f32).mul_add(0.5, 1.0));
+            assert_eq!(r[i], a[i].mul_add(0.5, 1.0));
         }
     }
 

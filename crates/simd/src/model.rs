@@ -21,23 +21,36 @@ pub struct VectorModel {
 impl VectorModel {
     /// 512-bit IMCI unit of the Xeon Phi (Knights Corner).
     pub fn imci_512() -> Self {
-        Self { f32_lanes: 16, efficiency: 0.70, has_fma: true }
+        Self {
+            f32_lanes: 16,
+            efficiency: 0.70,
+            has_fma: true,
+        }
     }
 
     /// 256-bit AVX unit of a Sandy Bridge Xeon E5 (no FMA).
     pub fn avx_256() -> Self {
-        Self { f32_lanes: 8, efficiency: 0.75, has_fma: false }
+        Self {
+            f32_lanes: 8,
+            efficiency: 0.75,
+            has_fma: false,
+        }
     }
 
     /// Scalar pseudo-unit: one lane, full efficiency. Used to model the
     /// paper's "vectorization disabled" baseline.
     pub fn scalar() -> Self {
-        Self { f32_lanes: 1, efficiency: 1.0, has_fma: true }
+        Self {
+            f32_lanes: 1,
+            efficiency: 1.0,
+            has_fma: true,
+        }
     }
 
     /// Effective speedup over scalar code for a lane-friendly kernel.
     pub fn effective_speedup(&self) -> f64 {
         let fma_boost = if self.has_fma { 1.0 } else { 0.75 };
+        // cast-ok: lane counts are small integers, exact in f64
         (self.f32_lanes as f64 * self.efficiency * fma_boost).max(1.0)
     }
 }
@@ -68,13 +81,20 @@ mod tests {
 
     #[test]
     fn effective_speedup_never_below_one() {
-        let v = VectorModel { f32_lanes: 1, efficiency: 0.1, has_fma: false };
+        let v = VectorModel {
+            f32_lanes: 1,
+            efficiency: 0.1,
+            has_fma: false,
+        };
         assert_eq!(v.effective_speedup(), 1.0);
     }
 
     #[test]
     fn avx_without_fma_pays_penalty() {
-        let with_fma = VectorModel { has_fma: true, ..VectorModel::avx_256() };
+        let with_fma = VectorModel {
+            has_fma: true,
+            ..VectorModel::avx_256()
+        };
         assert!(with_fma.effective_speedup() > VectorModel::avx_256().effective_speedup());
     }
 }

@@ -22,10 +22,17 @@ fn main() {
     );
     for samples in [50usize, 100, 200, 400, 800] {
         let ds = SyntheticDataset::generate(
-            GrnConfig { genes: 60, samples, ..GrnConfig::small() },
+            GrnConfig {
+                genes: 60,
+                samples,
+                ..GrnConfig::small()
+            },
             7,
         );
-        let cfg = InferenceConfig { permutations: 20, ..InferenceConfig::default() };
+        let cfg = InferenceConfig {
+            permutations: 20,
+            ..InferenceConfig::default()
+        };
         let result = infer_network(&ds.matrix, &cfg);
         let truth = ds.truth_edges();
         let raw = recovery_score(&result.network, &truth);
@@ -43,7 +50,10 @@ fn main() {
 
     println!("\n── why mutual information: quadratic (non-monotone) coupling ──");
     let (matrix, truth) = coupled_pairs(6, 600, Coupling::Quadratic(0.15), 99);
-    let cfg = InferenceConfig { permutations: 20, ..InferenceConfig::default() };
+    let cfg = InferenceConfig {
+        permutations: 20,
+        ..InferenceConfig::default()
+    };
 
     let mi = infer_network(&matrix, &cfg);
     let mi_score = recovery_score(&mi.network, &truth);

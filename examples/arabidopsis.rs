@@ -25,11 +25,18 @@ fn main() {
 
     println!("generating synthetic compendium: {genes} genes × {samples} experiments …");
     let dataset = SyntheticDataset::generate(
-        GrnConfig { genes, samples, ..GrnConfig::arabidopsis_like_scaled(genes) },
+        GrnConfig {
+            genes,
+            samples,
+            ..GrnConfig::arabidopsis_like_scaled(genes)
+        },
         2014,
     );
 
-    let config = InferenceConfig { permutations: q, ..InferenceConfig::default() };
+    let config = InferenceConfig {
+        permutations: q,
+        ..InferenceConfig::default()
+    };
     println!(
         "running pipeline (b=10, k=3, q={q}, α={}, kernel=vector, scheduler=dynamic) …",
         config.alpha
@@ -50,7 +57,10 @@ fn main() {
     let full_pairs = (paper_claims::GENES as u64 * (paper_claims::GENES as u64 - 1)) / 2;
     let projected_minutes = full_pairs as f64 / stats.pair_rate() / 60.0;
     println!("\n── projected to the full 15,575-gene compendium ──");
-    println!("  this host       {projected_minutes:.0} min ({:.1} h)", projected_minutes / 60.0);
+    println!(
+        "  this host       {projected_minutes:.0} min ({:.1} h)",
+        projected_minutes / 60.0
+    );
 
     println!("\n── calibrated platform models (full problem, q=30) ──");
     for p in headline_predictions() {

@@ -20,10 +20,17 @@ fn main() {
     let genes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(120);
 
     let dataset = SyntheticDataset::generate(
-        GrnConfig { genes, samples: 300, ..GrnConfig::small() },
+        GrnConfig {
+            genes,
+            samples: 300,
+            ..GrnConfig::small()
+        },
         7,
     );
-    let config = InferenceConfig { permutations: 20, ..InferenceConfig::default() };
+    let config = InferenceConfig {
+        permutations: 20,
+        ..InferenceConfig::default()
+    };
 
     println!("shared-memory pipeline …");
     let shared = infer_network(&dataset.matrix, &config);
@@ -35,7 +42,11 @@ fn main() {
 
     println!("distributed over {ranks} simulated ranks …");
     let dist = infer_network_distributed(&dataset.matrix, &config, ranks);
-    println!("  {} edges, I* = {:.4}\n", dist.network.edge_count(), dist.threshold);
+    println!(
+        "  {} edges, I* = {:.4}\n",
+        dist.network.edge_count(),
+        dist.threshold
+    );
 
     println!(
         "{:>5}  {:>10}  {:>12}  {:>10}  {:>10}",
@@ -52,8 +63,18 @@ fn main() {
         );
     }
 
-    let same = shared.network.edges().iter().map(|e| e.key()).collect::<Vec<_>>()
-        == dist.network.edges().iter().map(|e| e.key()).collect::<Vec<_>>();
+    let same = shared
+        .network
+        .edges()
+        .iter()
+        .map(|e| e.key())
+        .collect::<Vec<_>>()
+        == dist
+            .network
+            .edges()
+            .iter()
+            .map(|e| e.key())
+            .collect::<Vec<_>>();
     println!(
         "\nnetworks identical: {same} — the property that makes the paper's\n\
          single-chip-vs-cluster comparison apples-to-apples."

@@ -31,7 +31,10 @@ fn main() {
         .collect();
     let items = &items;
 
-    println!("all-pairs Jaccard over {n} items ({} pairs)\n", n * (n - 1) / 2);
+    println!(
+        "all-pairs Jaccard over {n} items ({} pairs)\n",
+        n * (n - 1) / 2
+    );
     println!("{:>14}  {:>10}  {:>10}", "policy", "ms", "imbalance");
     let mut reference: Option<Vec<f32>> = None;
     for policy in SchedulerPolicy::ALL {

@@ -18,7 +18,11 @@ fn main() {
     // 1. A synthetic dataset with known ground truth: 60 genes, 300
     //    microarray-like experiments, scale-free regulatory topology.
     let dataset = SyntheticDataset::generate(
-        GrnConfig { genes: 60, samples: 300, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 60,
+            samples: 300,
+            ..GrnConfig::small()
+        },
         42,
     );
     println!(

@@ -11,6 +11,8 @@
 
 use genome_net::phi::scenarios::{strong_scaling, threads_per_core};
 
+// cast-ok: bar lengths are tiny positive counts; rounding is the point.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 fn bar(speedup: f64, scale: f64) -> String {
     "█".repeat(((speedup / scale).ceil() as usize).max(1))
 }
@@ -24,13 +26,19 @@ fn main() {
         println!("{:>8}  {:>9}  curve", "threads", "speedup");
         let max = curve.iter().map(|&(_, s)| s).fold(1.0, f64::max);
         for (threads, speedup) in &curve {
-            println!("{threads:>8}  {speedup:>8.1}x  {}", bar(*speedup, max / 40.0));
+            println!(
+                "{threads:>8}  {speedup:>8.1}x  {}",
+                bar(*speedup, max / 40.0)
+            );
         }
         println!();
     }
 
     println!("threads per core — Xeon Phi, all 61 cores busy");
-    println!("{:>12}  {:>12}  {:>10}", "threads/core", "wall seconds", "speedup");
+    println!(
+        "{:>12}  {:>12}  {:>10}",
+        "threads/core", "wall seconds", "speedup"
+    );
     let series = threads_per_core(genes);
     let base = series[0].1;
     for (tpc, wall) in series {

@@ -4,6 +4,7 @@
 //! repository-level examples and integration tests can address everything
 //! through one dependency, the way a downstream user would.
 
+pub use gnet_analysis as analysis;
 pub use gnet_bspline as bspline;
 pub use gnet_cluster as cluster;
 pub use gnet_core as core;

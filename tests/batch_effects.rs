@@ -36,12 +36,18 @@ fn batch_effects_flood_the_network_with_false_edges() {
     // Independent genes (avg_degree → edges exist but we use a disconnected
     // control: generate with batch effects and compare edge counts).
     let clean = SyntheticDataset::generate(
-        GrnConfig { batches: 1, batch_sd: 0.0, ..batchy_config(30) },
+        GrnConfig {
+            batches: 1,
+            batch_sd: 0.0,
+            ..batchy_config(30)
+        },
         99,
     );
     let batchy = SyntheticDataset::generate(batchy_config(30), 99);
     let clean_edges = infer_network(&clean.matrix, &config()).network.edge_count();
-    let batchy_edges = infer_network(&batchy.matrix, &config()).network.edge_count();
+    let batchy_edges = infer_network(&batchy.matrix, &config())
+        .network
+        .edge_count();
     assert!(
         batchy_edges as f64 > 1.5 * clean_edges as f64,
         "a strong batch confounder must inflate the network: {clean_edges} → {batchy_edges}"

@@ -19,15 +19,28 @@ fn cfg() -> InferenceConfig {
 #[test]
 fn distributed_grn_inference_matches_shared_memory() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 36, samples: 250, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 36,
+            samples: 250,
+            ..GrnConfig::small()
+        },
         44,
     );
     let shared = infer_network(&ds.matrix, &cfg());
     for ranks in [3usize, 6] {
         let dist = infer_network_distributed(&ds.matrix, &cfg(), ranks);
         assert_eq!(
-            dist.network.edges().iter().map(|e| e.key()).collect::<Vec<_>>(),
-            shared.network.edges().iter().map(|e| e.key()).collect::<Vec<_>>(),
+            dist.network
+                .edges()
+                .iter()
+                .map(|e| e.key())
+                .collect::<Vec<_>>(),
+            shared
+                .network
+                .edges()
+                .iter()
+                .map(|e| e.key())
+                .collect::<Vec<_>>(),
             "{ranks} ranks"
         );
         // The gathered threshold is numerically consistent with shared.
@@ -64,7 +77,11 @@ fn fabric_composes_into_a_reduction_tree() {
 #[test]
 fn rank_statistics_account_for_all_work() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 24, samples: 120, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 24,
+            samples: 120,
+            ..GrnConfig::small()
+        },
         2,
     );
     let dist = infer_network_distributed(&ds.matrix, &cfg(), 4);
@@ -73,7 +90,12 @@ fn rank_statistics_account_for_all_work() {
     // Ring rounds: every rank owns its diagonal plus ⌈(P−1)/2⌉-ish cross
     // blocks; for P=4 that is 1 + (1 or 2).
     for s in &dist.rank_stats {
-        assert!(s.block_pairs >= 2 && s.block_pairs <= 3, "rank {}: {}", s.rank, s.block_pairs);
+        assert!(
+            s.block_pairs >= 2 && s.block_pairs <= 3,
+            "rank {}: {}",
+            s.rank,
+            s.block_pairs
+        );
         assert!(s.busy.as_nanos() > 0);
     }
 }

@@ -28,11 +28,17 @@ fn r2_scaling_curves_saturate_where_the_hardware_does() {
         if platform.contains("Phi") {
             assert!(best > 100.0, "{platform}: peak speedup {best}");
         } else {
-            assert!(best > 14.0 && best < 33.0, "{platform}: peak speedup {best}");
+            assert!(
+                best > 14.0 && best < 33.0,
+                "{platform}: peak speedup {best}"
+            );
         }
         // Monotone non-decreasing in threads.
         for w in curve.windows(2) {
-            assert!(w[1].1 >= w[0].1 * 0.99, "{platform}: speedup regressed: {curve:?}");
+            assert!(
+                w[1].1 >= w[0].1 * 0.99,
+                "{platform}: speedup regressed: {curve:?}"
+            );
         }
     }
 }
@@ -62,11 +68,17 @@ fn r4_vectorization_gain_ordering() {
 fn r5_quadratic_r6_linear() {
     let genes = scenarios::gene_sweep(&[2_000, 4_000, 8_000]);
     let g_ratio = genes[2].1 / genes[0].1;
-    assert!((12.0..20.0).contains(&g_ratio), "4× genes ⇒ ~16× time, got {g_ratio:.1}");
+    assert!(
+        (12.0..20.0).contains(&g_ratio),
+        "4× genes ⇒ ~16× time, got {g_ratio:.1}"
+    );
 
     let samples = scenarios::sample_sweep(2_048, &[1_000, 2_000, 4_000]);
     let s_ratio = samples[2].1 / samples[0].1;
-    assert!((3.0..5.0).contains(&s_ratio), "4× samples ⇒ ~4× time, got {s_ratio:.1}");
+    assert!(
+        (3.0..5.0).contains(&s_ratio),
+        "4× samples ⇒ ~4× time, got {s_ratio:.1}"
+    );
 }
 
 #[test]
@@ -75,18 +87,30 @@ fn r7_dynamic_never_loses() {
     let dynamic = rows.iter().find(|r| r.0 == "dynamic").unwrap().1;
     for (name, wall, imbalance) in &rows {
         assert!(dynamic <= wall * 1.001, "dynamic lost to {name}");
-        assert!(*imbalance >= 1.0, "{name} reported impossible imbalance {imbalance}");
+        assert!(
+            *imbalance >= 1.0,
+            "{name} reported impossible imbalance {imbalance}"
+        );
     }
 }
 
 #[test]
 fn r9_platform_ordering_matches_the_paper() {
     let preds = headline_predictions();
-    let get = |needle: &str| preds.iter().find(|p| p.platform.contains(needle)).unwrap().minutes;
+    let get = |needle: &str| {
+        preds
+            .iter()
+            .find(|p| p.platform.contains(needle))
+            .unwrap()
+            .minutes
+    };
     let phi = get("Phi");
     let xeon = get("E5");
     let bgl = get("Blue Gene");
-    assert!(bgl < phi, "1,024 BG/L cores beat one Phi (paper: 9 vs 22 min)");
+    assert!(
+        bgl < phi,
+        "1,024 BG/L cores beat one Phi (paper: 9 vs 22 min)"
+    );
     assert!(phi < xeon, "one Phi beats the dual Xeon");
     assert!(phi / bgl < 6.0, "…but the single chip stays within a few ×");
 }
@@ -97,8 +121,14 @@ fn workload_model_agrees_with_kernel_flop_ratios() {
     // ratio within the documented overhead constants.
     let w = WorkloadModel::arabidopsis_headline();
     let phi = MachineModel::xeon_phi_5110p();
-    let scalar = WorkloadModel { kernel: KernelClass::ScalarSparse, ..w };
-    let vector = WorkloadModel { kernel: KernelClass::VectorDense, ..w };
+    let scalar = WorkloadModel {
+        kernel: KernelClass::ScalarSparse,
+        ..w
+    };
+    let vector = WorkloadModel {
+        kernel: KernelClass::VectorDense,
+        ..w
+    };
     // At q=30 the joints dominate; prep and entropy are second order.
     let ratio = scalar.pair_cycles(&phi) / vector.pair_cycles(&phi);
     assert!((ratio - w.vectorization_speedup(&phi)).abs() < 1e-9);

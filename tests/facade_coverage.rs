@@ -51,8 +51,7 @@ fn ksg_confirms_the_pipelines_top_edge() {
     let top = &result.network.top_edges(1)[0];
     assert!(truth.contains(&top.key()), "top edge should be planted");
     // The unbiased KSG estimator sees substantial MI on the same pair.
-    let ksg = KsgEstimator::default()
-        .mi(matrix.gene(top.a as usize), matrix.gene(top.b as usize));
+    let ksg = KsgEstimator::default().mi(matrix.gene(top.a as usize), matrix.gene(top.b as usize));
     assert!(ksg > 0.4, "KSG cross-check {ksg}");
 }
 
@@ -70,7 +69,11 @@ fn clr_and_pipeline_agree_on_strong_structure() {
 #[test]
 fn memory_plan_matches_observed_configuration() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 50, samples: 120, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 50,
+            samples: 120,
+            ..GrnConfig::small()
+        },
         4,
     );
     let config = cfg();
@@ -78,7 +81,9 @@ fn memory_plan_matches_observed_configuration() {
     // The plan's matrix bytes equal the real matrix's heap use.
     assert_eq!(plan.matrix_bytes(), ds.matrix.heap_bytes());
     // A generous budget admits the whole gene set as one tile.
-    let tile = plan.max_tile_for_budget(1 << 30, 2).expect("1 GiB is plenty");
+    let tile = plan
+        .max_tile_for_budget(1 << 30, 2)
+        .expect("1 GiB is plenty");
     assert_eq!(tile, 50);
     // The summary is printable.
     assert!(plan.summary(8, 2).contains("peak"));
@@ -104,7 +109,12 @@ fn checkpointed_run_through_the_facade() {
 #[test]
 fn inferred_grn_has_regulatory_topology_signatures() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 80, samples: 500, avg_degree: 3.0, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 80,
+            samples: 500,
+            avg_degree: 3.0,
+            ..GrnConfig::small()
+        },
         31,
     );
     let result = infer_network(&ds.matrix, &cfg());
@@ -117,8 +127,8 @@ fn inferred_grn_has_regulatory_topology_signatures() {
 
     // … the k-core structure is consistent with degrees …
     let core = core_numbers(net);
-    for g in 0..net.genes() {
-        assert!(core[g] as usize <= net.degree(g));
+    for (g, &c) in core.iter().enumerate() {
+        assert!(c as usize <= net.degree(g));
     }
     let max_core = core.iter().copied().max().unwrap();
     assert!(max_core >= 1);

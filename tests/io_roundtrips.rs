@@ -20,7 +20,11 @@ fn config() -> InferenceConfig {
 #[test]
 fn expression_tsv_roundtrip_preserves_inference() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 20, samples: 120, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 20,
+            samples: 120,
+            ..GrnConfig::small()
+        },
         31,
     );
     let direct = infer_network(&ds.matrix, &config());
@@ -38,7 +42,11 @@ fn expression_tsv_roundtrip_preserves_inference() {
 #[test]
 fn snapshot_roundtrip_is_bit_exact() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 15, samples: 64, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 15,
+            samples: 64,
+            ..GrnConfig::small()
+        },
         77,
     );
     let bytes = to_snapshot(&ds.matrix);
@@ -49,11 +57,18 @@ fn snapshot_roundtrip_is_bit_exact() {
 #[test]
 fn network_edge_list_roundtrip() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 25, samples: 200, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 25,
+            samples: 200,
+            ..GrnConfig::small()
+        },
         13,
     );
     let result = infer_network(&ds.matrix, &config());
-    assert!(result.network.edge_count() > 0, "test needs a non-empty network");
+    assert!(
+        result.network.edge_count() > 0,
+        "test needs a non-empty network"
+    );
 
     let mut buf = Vec::new();
     write_edge_list(&result.network, &mut buf).unwrap();
@@ -70,7 +85,11 @@ fn network_edge_list_roundtrip() {
 fn tsv_with_missing_values_is_imputed_then_inferable() {
     // Corrupt a matrix with NAs, write, read with mean imputation, infer.
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 12, samples: 80, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 12,
+            samples: 80,
+            ..GrnConfig::small()
+        },
         55,
     );
     let mut buf = Vec::new();

@@ -22,11 +22,18 @@ fn test_config() -> InferenceConfig {
 #[test]
 fn end_to_end_on_mechanistic_data() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 50, samples: 400, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 50,
+            samples: 400,
+            ..GrnConfig::small()
+        },
         99,
     );
     let result = infer_network(&ds.matrix, &test_config());
-    assert!(result.network.edge_count() > 0, "a coupled GRN must yield edges");
+    assert!(
+        result.network.edge_count() > 0,
+        "a coupled GRN must yield edges"
+    );
 
     let score = recovery_score(&result.network, &ds.truth_edges());
     assert!(score.recall() > 0.4, "recall {}", score.recall());
@@ -57,7 +64,11 @@ fn erdos_renyi_topology_also_recovers() {
 #[test]
 fn optimized_matches_reference_on_grn_data() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 24, samples: 250, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 24,
+            samples: 250,
+            ..GrnConfig::small()
+        },
         3,
     );
     let cfg = test_config();
@@ -76,7 +87,11 @@ fn kernels_and_schedulers_commute_with_results() {
     let baseline = infer_network(&matrix, &test_config());
     for kernel in [MiKernel::ScalarSparse, MiKernel::VectorDense] {
         for policy in [SchedulerPolicy::StaticCyclic, SchedulerPolicy::RayonSteal] {
-            let cfg = InferenceConfig { kernel, scheduler: policy, ..test_config() };
+            let cfg = InferenceConfig {
+                kernel,
+                scheduler: policy,
+                ..test_config()
+            };
             let run = infer_network(&matrix, &cfg);
             let a: Vec<_> = run.network.edges().iter().map(|e| e.key()).collect();
             let b: Vec<_> = baseline.network.edges().iter().map(|e| e.key()).collect();
@@ -88,7 +103,11 @@ fn kernels_and_schedulers_commute_with_results() {
 #[test]
 fn dpi_pruning_only_removes_edges() {
     let ds = SyntheticDataset::generate(
-        GrnConfig { genes: 40, samples: 400, ..GrnConfig::small() },
+        GrnConfig {
+            genes: 40,
+            samples: 400,
+            ..GrnConfig::small()
+        },
         8,
     );
     let result = infer_network(&ds.matrix, &test_config());

@@ -25,7 +25,10 @@ fn family_wise_error_is_controlled_across_many_nulls() {
         };
         total_edges += infer_network(&matrix, &cfg).network.edge_count();
     }
-    assert!(total_edges <= 3, "{total_edges} false edges over 1,200 null pairs");
+    assert!(
+        total_edges <= 3,
+        "{total_edges} false edges over 1,200 null pairs"
+    );
 }
 
 #[test]
@@ -56,7 +59,9 @@ fn permutation_p_values_are_uniformish_under_the_null() {
     // near zero. Average p over many pairs ≈ 0.5.
     let matrix = synth::independent_gaussian(20, 150, 77);
     let basis = BsplineBasis::tinge_default();
-    let prepared: Vec<_> = (0..20).map(|g| prepare_gene(matrix.gene(g), &basis)).collect();
+    let prepared: Vec<_> = (0..20)
+        .map(|g| prepare_gene(matrix.gene(g), &basis))
+        .collect();
     let perms = PermutationSet::generate(150, 19, 5);
     let mut scratch = MiScratch::for_basis(&basis);
 
@@ -106,8 +111,9 @@ fn rank_transform_makes_marginals_identical_across_genes() {
     // null valid for all pairs.
     let matrix = synth::independent_gaussian(10, 400, 21);
     let basis = BsplineBasis::tinge_default();
-    let entropies: Vec<f64> =
-        (0..10).map(|g| prepare_gene(matrix.gene(g), &basis).h_marginal).collect();
+    let entropies: Vec<f64> = (0..10)
+        .map(|g| prepare_gene(matrix.gene(g), &basis).h_marginal)
+        .collect();
     let first = entropies[0];
     for (g, h) in entropies.iter().enumerate() {
         assert!(

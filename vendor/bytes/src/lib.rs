@@ -42,7 +42,11 @@ impl Bytes {
 
     fn from_vec(v: Vec<u8>) -> Self {
         let end = v.len();
-        Self { data: Arc::from(v.into_boxed_slice()), pos: 0, end }
+        Self {
+            data: Arc::from(v.into_boxed_slice()),
+            pos: 0,
+            end,
+        }
     }
 
     /// Remaining (unread) length.
@@ -75,7 +79,11 @@ impl Bytes {
             Bound::Unbounded => self.len(),
         };
         assert!(start <= end && end <= self.len(), "slice out of bounds");
-        Self { data: Arc::clone(&self.data), pos: self.pos + start, end: self.pos + end }
+        Self {
+            data: Arc::clone(&self.data),
+            pos: self.pos + start,
+            end: self.pos + end,
+        }
     }
 
     /// Split off and return the first `at` unread bytes, advancing `self`.
@@ -84,7 +92,11 @@ impl Bytes {
     /// Panics if `at` exceeds the unread length.
     pub fn split_to(&mut self, at: usize) -> Self {
         assert!(at <= self.len(), "split_to out of bounds");
-        let head = Self { data: Arc::clone(&self.data), pos: self.pos, end: self.pos + at };
+        let head = Self {
+            data: Arc::clone(&self.data),
+            pos: self.pos,
+            end: self.pos + at,
+        };
         self.pos += at;
         head
     }
@@ -136,7 +148,10 @@ impl BytesMut {
     /// An empty buffer with `cap` bytes preallocated.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
-        Self { data: Vec::with_capacity(cap), pos: 0 }
+        Self {
+            data: Vec::with_capacity(cap),
+            pos: 0,
+        }
     }
 
     /// Unread length.
@@ -168,7 +183,10 @@ impl BytesMut {
 
 impl From<&[u8]> for BytesMut {
     fn from(v: &[u8]) -> Self {
-        Self { data: v.to_vec(), pos: 0 }
+        Self {
+            data: v.to_vec(),
+            pos: 0,
+        }
     }
 }
 

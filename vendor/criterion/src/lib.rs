@@ -2,7 +2,7 @@
 //!
 //! Provides the benchmarking surface the `gnet-bench` suites compile
 //! against. Measurement is a deliberately simple wall-clock loop (warmup
-//! + fixed iteration batch, median-of-batches report) rather than
+//! plus fixed iteration batch, median-of-batches report) rather than
 //! criterion's statistical machinery; benches remain runnable and their
 //! relative ordering is meaningful, but confidence intervals and HTML
 //! reports are out of scope. When the harness binary is invoked by
@@ -24,12 +24,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Identifier `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self { label: format!("{}/{parameter}", name.into()) }
+        Self {
+            label: format!("{}/{parameter}", name.into()),
+        }
     }
 
     /// Identifier from the parameter alone.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -92,7 +96,10 @@ impl Default for Criterion {
         // `cargo test` invokes harness-less bench binaries with `--test`;
         // criterion's contract is to do nothing in that mode.
         let run = !std::env::args().any(|a| a == "--test");
-        Self { run, sample_size: 10 }
+        Self {
+            run,
+            sample_size: 10,
+        }
     }
 }
 
@@ -105,14 +112,26 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
-    fn run_one(&mut self, label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    fn run_one(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
         if !self.run {
             return;
         }
-        let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
         f(&mut bencher);
         let Some(median) = bencher.median() else {
             println!("{label}: no samples");
@@ -169,7 +188,8 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
         let label = format!("{}/{id}", self.name);
-        self.criterion.run_one(&label, self.throughput, |b| f(b, input));
+        self.criterion
+            .run_one(&label, self.throughput, |b| f(b, input));
         self
     }
 
@@ -211,7 +231,10 @@ mod tests {
 
     #[test]
     fn group_api_chains() {
-        let mut c = Criterion { run: false, sample_size: 10 };
+        let mut c = Criterion {
+            run: false,
+            sample_size: 10,
+        };
         let mut group = c.benchmark_group("g");
         group
             .sample_size(5)

@@ -21,7 +21,9 @@ pub struct Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Self { inner: self.inner.clone() }
+        Self {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -31,7 +33,9 @@ impl<T> Sender<T> {
     /// # Errors
     /// Returns the value back if the receiver was dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        self.inner
+            .send(value)
+            .map_err(|mpsc::SendError(v)| SendError(v))
     }
 }
 

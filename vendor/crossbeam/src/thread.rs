@@ -28,7 +28,9 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         T: Send + 'scope,
     {
         let inner_scope = self.inner;
-        ScopedJoinHandle { inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })) }
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })),
+        }
     }
 }
 
@@ -60,10 +62,9 @@ where
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = super::scope(|scope| {
-            let handles: Vec<_> =
-                data.iter().map(|&v| scope.spawn(move |_| v * 2)).collect();
+            let handles: Vec<_> = data.iter().map(|&v| scope.spawn(move |_| v * 2)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         })
         .unwrap();

@@ -130,7 +130,11 @@ impl<'data, T: Sync> ParSliceIter<'data, T> {
         FInit: Fn() -> S + Sync,
         FFold: Fn(S, &'data T) -> S + Sync,
     {
-        Fold { upstream: self, init, fold }
+        Fold {
+            upstream: self,
+            init,
+            fold,
+        }
     }
 }
 
@@ -188,7 +192,10 @@ fn run_chunked<'data, T: Sync, U: Send>(
                 }))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
     })
 }
 
@@ -252,7 +259,10 @@ mod tests {
         let data: Vec<u64> = (0..1000).collect();
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         let partials: Vec<u64> = pool.install(|| {
-            data.par_iter().fold(|| 0u64, |acc, &v| acc + v).map(|s| s * 10).collect()
+            data.par_iter()
+                .fold(|| 0u64, |acc, &v| acc + v)
+                .map(|s| s * 10)
+                .collect()
         });
         assert!(partials.len() <= 4);
         assert_eq!(partials.iter().sum::<u64>(), 10 * 999 * 1000 / 2);

@@ -65,7 +65,9 @@ pub struct Error {
 impl Error {
     /// Build an error from any displayable message.
     pub fn custom(message: impl std::fmt::Display) -> Self {
-        Self { message: message.to_string() }
+        Self {
+            message: message.to_string(),
+        }
     }
 }
 
@@ -103,12 +105,18 @@ pub fn field<'c>(content: &'c Content, name: &str) -> Result<&'c Content, Error>
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
             .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
-        other => Err(Error::custom(format!("expected map, found {}", other.kind()))),
+        other => Err(Error::custom(format!(
+            "expected map, found {}",
+            other.kind()
+        ))),
     }
 }
 
 fn mismatch<T>(expected: &str, found: &Content) -> Result<T, Error> {
-    Err(Error::custom(format!("expected {expected}, found {}", found.kind())))
+    Err(Error::custom(format!(
+        "expected {expected}, found {}",
+        found.kind()
+    )))
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
@@ -240,6 +248,9 @@ impl Serialize for f32 {
 }
 
 impl Deserialize for f32 {
+    // Rounding back from the widened f64 is the intended (exact) inverse
+    // of the Serialize impl above.
+    #[allow(clippy::cast_possible_truncation)]
     fn deserialize(content: &Content) -> Result<Self, Error> {
         f64::deserialize(content).map(|v| v as f32)
     }
@@ -339,7 +350,10 @@ impl Serialize for Duration {
     fn serialize(&self) -> Content {
         Content::Map(vec![
             ("secs".to_owned(), Content::U64(self.as_secs())),
-            ("nanos".to_owned(), Content::U64(u64::from(self.subsec_nanos()))),
+            (
+                "nanos".to_owned(),
+                Content::U64(u64::from(self.subsec_nanos())),
+            ),
         ])
     }
 }

@@ -37,7 +37,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let arms: Vec<String> = variants
                 .iter()
                 .map(|v| {
-                    format!("Self::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\"))")
+                    format!(
+                        "Self::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\"))"
+                    )
                 })
                 .collect();
             format!("match self {{ {} }}", arms.join(", "))
@@ -78,8 +80,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
         }
         Shape::Enum(variants) => {
-            let arms: Vec<String> =
-                variants.iter().map(|v| format!("\"{v}\" => ::std::result::Result::Ok(Self::{v})")).collect();
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok(Self::{v})"))
+                .collect();
             format!(
                 "match __content {{\n\
                      ::serde::Content::Str(__s) => match __s.as_str() {{\n\
@@ -209,7 +213,10 @@ fn parse_struct_fields(body: TokenStream, name: &str) -> Vec<String> {
             }
         }
     }
-    assert!(!fields.is_empty(), "serde_derive: {name} has no named fields");
+    assert!(
+        !fields.is_empty(),
+        "serde_derive: {name} has no named fields"
+    );
     fields
 }
 

@@ -35,12 +35,18 @@ pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
 /// # Errors
 /// Errors on malformed JSON or a shape mismatch with `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let content = parser.parse_value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
-        return Err(Error::custom(format!("trailing characters at byte {}", parser.pos)));
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
     }
     T::deserialize(&content)
 }
@@ -167,7 +173,10 @@ impl Parser<'_> {
             self.pos += literal.len();
             Ok(value)
         } else {
-            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -194,7 +203,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Content::Map(entries));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -217,7 +231,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Content::Seq(items));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -323,7 +342,10 @@ mod tests {
     fn scalar_roundtrips() {
         let s = to_string(&0.1f64).unwrap();
         assert_eq!(from_str::<f64>(&s).unwrap().to_bits(), 0.1f64.to_bits());
-        assert_eq!(from_str::<u64>(&to_string(&u64::MAX).unwrap()), Ok(u64::MAX));
+        assert_eq!(
+            from_str::<u64>(&to_string(&u64::MAX).unwrap()),
+            Ok(u64::MAX)
+        );
         assert_eq!(from_str::<i64>(&to_string(&-42i64).unwrap()), Ok(-42));
         assert_eq!(from_str::<bool>("true"), Ok(true));
         assert_eq!(from_str::<Option<f64>>("null"), Ok(None));
