@@ -46,7 +46,7 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
 }
 
 /// Library crates whose non-test code must not `unwrap()`.
-pub(crate) const LIBRARY_CRATES: [&str; 8] = [
+pub(crate) const LIBRARY_CRATES: [&str; 9] = [
     "crates/mi",
     "crates/parallel",
     "crates/permute",
@@ -55,6 +55,7 @@ pub(crate) const LIBRARY_CRATES: [&str; 8] = [
     "crates/cluster",
     "crates/simd",
     "crates/analysis",
+    "crates/trace",
 ];
 
 /// Crates whose code is statistical: float `==` is forbidden there.

@@ -5,6 +5,8 @@
 //! repro --experiment all        # everything (default)
 //! repro --out results           # CSV output directory (default: results)
 //! repro --quick                 # smaller measured sizes
+//! repro --metrics FILE          # also run one instrumented inference and
+//!                               # write its gnet-trace metrics JSON
 //! ```
 //!
 //! Modeled series come from the calibrated machine models in `gnet-phi`
@@ -22,12 +24,14 @@ struct Opts {
     experiment: String,
     out: PathBuf,
     quick: bool,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Opts {
     let mut experiment = "all".to_string();
     let mut out = PathBuf::from("results");
     let mut quick = false;
+    let mut metrics = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,6 +44,11 @@ fn parse_args() -> Opts {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing out dir")));
             }
             "--quick" | "-q" => quick = true,
+            "--metrics" | "-m" => {
+                metrics = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("missing metrics path")),
+                ));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -48,6 +57,7 @@ fn parse_args() -> Opts {
         experiment: experiment.to_lowercase(),
         out,
         quick,
+        metrics,
     }
 }
 
@@ -56,10 +66,28 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--experiment r1|r2|...|r15|all] [--out DIR] [--quick]\n\
+        "usage: repro [--experiment r1|r2|...|r15|all] [--out DIR] [--quick] [--metrics FILE]\n\
          Regenerates the evaluation tables (see DESIGN.md §4)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// `--metrics FILE` — one instrumented small inference, exported in the
+/// same metrics-JSON schema as `gnet infer --metrics`.
+fn emit_metrics(path: &std::path::Path, quick: bool) {
+    use gnet_bench::measured::instrumented_inference;
+    let (n, m, q) = if quick { (64, 96, 2) } else { (128, 192, 4) };
+    let rec = gnet_trace::Recorder::enabled();
+    let stats = instrumented_inference(n, m, q, 2, &rec);
+    match std::fs::write(path, rec.metrics_json() + "\n") {
+        Ok(()) => println!(
+            "metrics: instrumented n={n} m={m} q={q} run ({} pairs, {:.2}s) → {}",
+            stats.pairs,
+            stats.total_time().as_secs_f64(),
+            path.display()
+        ),
+        Err(e) => eprintln!("metrics: cannot write {}: {e}", path.display()),
+    }
 }
 
 fn emit(table: &TableBuilder, out: &std::path::Path, stem: &str) {
@@ -101,6 +129,12 @@ fn main() {
     run!("r13", r13_estimators(&opts));
     run!("r14", r14_forward(&opts));
     run!("r15", r15_energy(&opts));
+
+    if let Some(path) = &opts.metrics {
+        println!("──────── instrumented metrics ────────");
+        emit_metrics(path, opts.quick);
+        ran += 1;
+    }
 
     if ran == 0 {
         usage(&format!("unknown experiment {:?}", opts.experiment));

@@ -6,7 +6,7 @@
 //! (R…) refer to DESIGN.md §4.
 
 use gnet_core::baselines;
-use gnet_core::{infer_network, InferenceConfig};
+use gnet_core::{infer_network, infer_network_traced, InferenceConfig, RunStats};
 use gnet_expr::ExpressionMatrix;
 use gnet_graph::dpi::dpi_prune;
 use gnet_graph::recovery_score;
@@ -15,6 +15,7 @@ use gnet_mi::MiKernel;
 use gnet_parallel::SchedulerPolicy;
 use gnet_phi::calibrate::{measure_kernel, KernelRate};
 use gnet_phi::KernelClass;
+use gnet_trace::Recorder;
 
 /// Deterministic matrix used by the measured performance experiments
 /// (contents do not affect kernel cost — only the shape does).
@@ -33,6 +34,22 @@ pub fn perf_config(q: usize, threads: usize, tile: usize, kernel: MiKernel) -> I
         kernel,
         ..InferenceConfig::default()
     }
+}
+
+/// Run one instrumented inference on the deterministic perf matrix and
+/// record into `rec` — the measured counterpart of `gnet infer --metrics`.
+/// The `repro` harness uses this to emit the same metrics-JSON schema the
+/// CLI produces, so CI can archive one artifact format from either path.
+pub fn instrumented_inference(
+    genes: usize,
+    samples: usize,
+    q: usize,
+    threads: usize,
+    rec: &Recorder,
+) -> RunStats {
+    let matrix = perf_matrix(genes, samples);
+    let cfg = perf_config(q, threads, 16, MiKernel::VectorDense);
+    infer_network_traced(&matrix, &cfg, rec).stats
 }
 
 /// R1 (host row) — measure the vector kernel at the paper's exact
@@ -378,6 +395,17 @@ mod tests {
             assert!(secs > 0.0, "tile {t} took {secs}");
             assert!(rate > 0.0);
         }
+    }
+
+    #[test]
+    fn instrumented_inference_populates_the_recorder() {
+        let rec = Recorder::enabled();
+        let stats = instrumented_inference(24, 48, 2, 2, &rec);
+        assert_eq!(rec.counter("mi.pairs"), Some(stats.pairs));
+        assert!(rec.histogram("scheduler.tile_us").is_some());
+        let json = rec.metrics_json();
+        assert!(json.contains("\"format\":\"gnet-trace-metrics\""), "{json}");
+        assert!(json.contains("stage.mi"), "{json}");
     }
 
     #[test]

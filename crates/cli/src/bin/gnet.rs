@@ -26,6 +26,7 @@ subcommands:
             [--kernel vector|scalar] [--scheduler dynamic|static-block|
             static-cyclic|rayon] [--early-exit] [--dpi EPS] [--ranks P]
             [--quantile-normalize] [--center-batches N]
+            [--trace FILE] [--metrics FILE] [--progress]
   score     score an edge list against a ground truth
             --edges FILE --truth FILE --matrix FILE
   topology  topology report of an edge list

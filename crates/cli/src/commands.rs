@@ -3,7 +3,7 @@
 use crate::args::{ArgError, ArgMap};
 use gnet_cluster::infer_network_distributed;
 use gnet_core::config::NullStrategy;
-use gnet_core::{infer_network, InferenceConfig};
+use gnet_core::{infer_network_traced, InferenceConfig};
 use gnet_expr::io as expr_io;
 use gnet_expr::{ExpressionMatrix, MissingPolicy};
 use gnet_graph::dpi::dpi_prune;
@@ -13,6 +13,7 @@ use gnet_grnsim::{GrnConfig, SyntheticDataset, TopologyKind};
 use gnet_mi::MiKernel;
 use gnet_parallel::SchedulerPolicy;
 use gnet_phi::scenarios;
+use gnet_trace::{Progress, Recorder};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -150,11 +151,46 @@ fn config_from_args(args: &ArgMap) -> Result<InferenceConfig, CliError> {
     Ok(cfg)
 }
 
+/// Build the progress sink installed behind `gnet infer --progress`: a
+/// single stderr status line (tiles done / total / percent / ETA),
+/// rewritten in place and rate-limited to ~5 updates per second. The
+/// final update (done == total) is always printed.
+fn progress_sink() -> impl Fn(Progress) + Send + Sync + 'static {
+    let last = std::sync::Mutex::new(None::<std::time::Instant>);
+    move |p: Progress| {
+        let mut last = last
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let due = p.done >= p.total
+            || last.is_none_or(|t| t.elapsed() >= std::time::Duration::from_millis(200));
+        if !due {
+            return;
+        }
+        *last = Some(std::time::Instant::now());
+        let eta = match p.eta() {
+            Some(d) => format!("{d:.0?}"),
+            None => "?".to_string(),
+        };
+        eprint!(
+            "\rtiles {}/{} ({:3.0}%)  ETA {eta}    ",
+            p.done,
+            p.total,
+            p.fraction() * 100.0
+        );
+        if p.done >= p.total {
+            eprintln!();
+        }
+    }
+}
+
 /// `gnet infer` — run the pipeline on a TSV matrix.
 ///
 /// Options: `--input FILE` `--output FILE` plus the config options of
-/// [`config_from_args`], `--dpi EPS` for post-pruning, and `--ranks P`
-/// to run over the simulated cluster instead of shared memory.
+/// [`config_from_args`], `--dpi EPS` for post-pruning, `--ranks P`
+/// to run over the simulated cluster instead of shared memory, and the
+/// observability options `--trace FILE` (NDJSON event stream),
+/// `--metrics FILE` (metrics summary JSON), `--progress` (live stderr
+/// status line).
 pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let input = args.require("input")?.to_string();
     let output = args.require("output")?.to_string();
@@ -172,6 +208,12 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         ),
         None => None,
     };
+    let trace_path = args.get("trace").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let progress = args.flag("progress");
+    if ranks.is_some() && (trace_path.is_some() || metrics_path.is_some() || progress) {
+        return fail("--trace/--metrics/--progress instrument the shared-memory pipeline and cannot be combined with --ranks");
+    }
     let quantile = args.flag("quantile-normalize");
     let center_batches: Option<usize> = match args.get("center-batches") {
         Some(raw) => {
@@ -212,6 +254,18 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "centered {batches} contiguous batches")?;
     }
 
+    // One recorder serves all three observability options; without any of
+    // them it is the inert handle and the run is uninstrumented.
+    let rec = if trace_path.is_some() || metrics_path.is_some() || progress {
+        if progress {
+            Recorder::enabled_with_progress(progress_sink())
+        } else {
+            Recorder::enabled()
+        }
+    } else {
+        Recorder::disabled()
+    };
+
     let (mut network, summary) = match ranks {
         Some(p) => {
             let r = infer_network_distributed(&matrix, &cfg, p);
@@ -222,7 +276,7 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
             )
         }
         None => {
-            let r = infer_network(&matrix, &cfg);
+            let r = infer_network_traced(&matrix, &cfg, &rec);
             (
                 r.network,
                 format!(
@@ -236,6 +290,19 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         }
     };
     writeln!(out, "{summary}")?;
+
+    if let Some(path) = &trace_path {
+        let mut w = BufWriter::new(File::create(path)?);
+        rec.write_ndjson(&mut w)?;
+        w.flush()?;
+        writeln!(out, "wrote trace events to {path}")?;
+    }
+    if let Some(path) = &metrics_path {
+        let mut w = BufWriter::new(File::create(path)?);
+        rec.write_metrics_json(&mut w)?;
+        w.flush()?;
+        writeln!(out, "wrote metrics to {path}")?;
+    }
 
     if let Some(eps) = dpi {
         let before = network.edge_count();
@@ -797,6 +864,81 @@ mod tests {
         let mut out = Vec::new();
         let err = cmd_infer(&args, &mut out).unwrap_err();
         assert!(err.0.contains("gpu"));
+    }
+
+    #[test]
+    fn infer_writes_trace_and_metrics_files() {
+        let dir = tmpdir("trace");
+        let matrix = dir.join("m.tsv");
+        let edges = dir.join("e.tsv");
+        let trace = dir.join("run.ndjson");
+        let metrics = dir.join("run.metrics.json");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&[
+                "--genes",
+                "20",
+                "--samples",
+                "150",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        cmd_infer(
+            &argmap(&[
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                edges.to_str().unwrap(),
+                "--q",
+                "8",
+                "--threads",
+                "2",
+                "--tile",
+                "5",
+                "--trace",
+                trace.to_str().unwrap(),
+                "--metrics",
+                metrics.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("wrote trace events"), "{text}");
+        assert!(text.contains("wrote metrics"), "{text}");
+
+        let ndjson = std::fs::read_to_string(&trace).unwrap();
+        assert!(ndjson.lines().count() > 4, "{ndjson}");
+        assert!(ndjson.contains("\"type\":\"meta\""));
+        assert!(ndjson.contains("\"name\":\"stage.mi\""));
+        assert!(ndjson.contains("\"name\":\"scheduler.tile_us\""));
+        assert!(ndjson.contains("\"name\":\"mi.pairs\""));
+
+        let summary = std::fs::read_to_string(&metrics).unwrap();
+        assert!(summary.contains("\"format\":\"gnet-trace-metrics\""));
+        assert!(summary.contains("\"mi.pairs\":190"), "{summary}"); // C(20,2)
+        assert!(summary.contains("\"version\":1"), "{summary}");
+        assert!(summary.trim_end().ends_with('}'), "{summary}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_flags_rejected_with_ranks() {
+        let args = argmap(&[
+            "--input",
+            "x",
+            "--output",
+            "y",
+            "--ranks",
+            "2",
+            "--progress",
+        ]);
+        let mut out = Vec::new();
+        let err = cmd_infer(&args, &mut out).unwrap_err();
+        assert!(err.0.contains("--ranks"), "{}", err.0);
     }
 
     #[test]

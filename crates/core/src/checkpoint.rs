@@ -19,8 +19,9 @@ use gnet_bspline::BsplineBasis;
 use gnet_expr::ExpressionMatrix;
 use gnet_graph::{Edge, GeneNetwork};
 use gnet_mi::{prepare_gene, MiScratch, PreparedGene};
-use gnet_parallel::{execute_tiles, ExecutionReport, TileSpace};
+use gnet_parallel::{execute_tiles_traced, ExecutionReport, TileSpace};
 use gnet_permute::{PermutationSet, PooledNull};
+use gnet_trace::Recorder;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -81,7 +82,29 @@ pub fn infer_network_resumable(
     config: &InferenceConfig,
     resume_from: Option<Checkpoint>,
     chunk_tiles: usize,
+    on_checkpoint: impl FnMut(&Checkpoint) -> bool,
+) -> ResumableOutcome {
+    infer_network_resumable_traced(
+        matrix,
+        config,
+        resume_from,
+        chunk_tiles,
+        on_checkpoint,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`infer_network_resumable`] with an instrumentation hook: stage spans,
+/// the scheduler's per-tile/per-thread telemetry, and one
+/// `checkpoint.chunk` event per completed chunk (tiles done, total tiles,
+/// joints and candidates so far).
+pub fn infer_network_resumable_traced(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    resume_from: Option<Checkpoint>,
+    chunk_tiles: usize,
     mut on_checkpoint: impl FnMut(&Checkpoint) -> bool,
+    rec: &Recorder,
 ) -> ResumableOutcome {
     config.validate();
     assert!(chunk_tiles >= 1, "chunk size must be positive");
@@ -93,6 +116,7 @@ pub fn infer_network_resumable(
     );
 
     let t0 = Instant::now();
+    let span_prep = rec.span("stage.prep");
     let basis = BsplineBasis::new(config.spline_order, config.bins);
     let prepared: Vec<PreparedGene> = (0..matrix.genes())
         .map(|g| prepare_gene(matrix.gene(g), &basis))
@@ -101,6 +125,7 @@ pub fn infer_network_resumable(
     let tile_size = config.resolved_tile_size(matrix.genes(), prepared[0].heap_bytes());
     let space = TileSpace::new(matrix.genes(), tile_size);
     let digest = run_digest(config, matrix, space.tiles().len());
+    drop(span_prep);
     let prep_time = t0.elapsed();
 
     let mut progress = match resume_from {
@@ -123,11 +148,15 @@ pub fn infer_network_resumable(
 
     let threads = config.resolved_threads();
     let t1 = Instant::now();
-    let mut last_report = ExecutionReport::default();
+    let span_mi = rec.span("stage.mi");
+    // The execution report must cover *every* chunk of this invocation.
+    // The old code kept only the last chunk's report, so `RunStats::
+    // execution` under-counted tiles/pairs/busy for any multi-chunk run.
+    let mut execution = ExecutionReport::default();
     while progress.tiles_done < space.tiles().len() {
         let hi = (progress.tiles_done + chunk_tiles).min(space.tiles().len());
         let chunk = &space.tiles()[progress.tiles_done..hi];
-        let (states, report) = execute_tiles(
+        let (states, report) = execute_tiles_traced(
             chunk,
             threads,
             config.scheduler,
@@ -142,6 +171,7 @@ pub fn infer_network_resumable(
                     state,
                 );
             },
+            rec,
         );
         for s in states {
             progress.pooled.merge(&s.pooled);
@@ -151,15 +181,29 @@ pub fn infer_network_resumable(
             progress.joints += s.joints;
         }
         progress.tiles_done = hi;
-        last_report = report;
+        execution.absorb(&report);
+        if rec.is_enabled() {
+            rec.event(
+                "checkpoint.chunk",
+                &[
+                    ("tiles_done", (progress.tiles_done as u64).into()),
+                    ("total_tiles", (space.tiles().len() as u64).into()),
+                    ("joints", progress.joints.into()),
+                    ("candidates", (progress.candidates.len() as u64).into()),
+                ],
+            );
+            rec.progress(progress.tiles_done, space.tiles().len());
+        }
         if !on_checkpoint(&progress) {
             return Err(progress);
         }
     }
+    drop(span_mi);
     let mi_time = t1.elapsed();
 
     // Finalize exactly as the one-shot pipeline does.
     let t2 = Instant::now();
+    let span_finalize = rec.span("stage.finalize");
     let pairs = space.total_pairs();
     let threshold = match config.mi_threshold {
         Some(t) => t,
@@ -192,8 +236,9 @@ pub fn infer_network_resumable(
         },
         tile_size,
         threads,
-        execution: last_report,
+        execution,
     };
+    drop(span_finalize);
     Ok(InferenceResult { network, stats })
 }
 
@@ -300,6 +345,61 @@ mod tests {
         let done =
             infer_network_resumable(&matrix, &cfg(), Some(back), 2, |_| true).expect("finishes");
         assert_eq!(done.stats.pairs, 28); // C(8,2) — 4 coupled pairs = 8 genes
+    }
+
+    #[test]
+    fn execution_report_covers_every_chunk() {
+        // Regression: the report used to be overwritten per chunk, so a
+        // multi-chunk run reported only the *final* chunk's tiles/pairs.
+        let (matrix, _) = coupled_pairs(6, 150, Coupling::Linear(0.8), 5);
+        let r = infer_network_resumable(&matrix, &cfg(), None, 1, |_| true).expect("finishes");
+        let tiles = TileSpace::new(12, 6).tiles().len();
+        assert!(tiles > 1, "test must span multiple chunks");
+        assert_eq!(
+            r.stats.execution.total_pairs(),
+            r.stats.pairs,
+            "execution report must account for all pairs, not the last chunk"
+        );
+        assert_eq!(r.stats.execution.total_tiles(), tiles);
+        assert!(r.stats.execution.elapsed > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn resumed_run_reports_only_its_own_tiles() {
+        // A resumed invocation accounts for the tiles *it* processed; the
+        // interrupted prefix was accounted by the first invocation.
+        let (matrix, _) = coupled_pairs(6, 150, Coupling::Linear(0.8), 5);
+        let mut seen = 0;
+        let cp = infer_network_resumable(&matrix, &cfg(), None, 1, |_| {
+            seen += 1;
+            seen < 2
+        })
+        .expect_err("interrupted");
+        let done_before = cp.tiles_done;
+        let total_tiles = TileSpace::new(12, 6).tiles().len();
+        let resumed =
+            infer_network_resumable(&matrix, &cfg(), Some(cp), 1, |_| true).expect("finishes");
+        assert_eq!(
+            resumed.stats.execution.total_tiles(),
+            total_tiles - done_before
+        );
+    }
+
+    #[test]
+    fn traced_resumable_run_emits_chunk_events() {
+        let (matrix, _) = coupled_pairs(5, 120, Coupling::Linear(0.85), 17);
+        let rec = Recorder::enabled();
+        let r = infer_network_resumable_traced(&matrix, &cfg(), None, 1, |_| true, &rec)
+            .expect("finishes");
+        let tiles = r.stats.execution.total_tiles();
+        assert_eq!(rec.event_count("checkpoint.chunk"), tiles); // chunk_tiles=1
+        assert_eq!(
+            rec.histogram(gnet_parallel::HIST_TILE_US)
+                .expect("tile histogram recorded")
+                .count(),
+            tiles as u64
+        );
+        assert!(rec.span_count() >= 3);
     }
 
     #[test]

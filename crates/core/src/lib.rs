@@ -37,9 +37,10 @@ pub mod pipeline;
 pub mod plan;
 pub mod result;
 
-pub use checkpoint::{infer_network_resumable, Checkpoint};
+pub use checkpoint::{infer_network_resumable, infer_network_resumable_traced, Checkpoint};
 pub use config::{InferenceConfig, NullStrategy};
+pub use gnet_trace::Recorder;
 pub use mi_matrix::{compute_mi_matrix, MiMatrix};
-pub use pipeline::infer_network;
+pub use pipeline::{infer_network, infer_network_traced};
 pub use plan::MemoryPlan;
 pub use result::{InferenceResult, RunStats};

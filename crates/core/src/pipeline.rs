@@ -8,8 +8,9 @@ use gnet_graph::{Edge, GeneNetwork};
 use gnet_mi::{
     mi_with_nulls, mi_with_nulls_early_exit, prepare_gene, MiKernel, MiScratch, PreparedGene,
 };
-use gnet_parallel::{execute_tiles, Tile, TileSpace};
+use gnet_parallel::{execute_tiles_traced, Tile, TileSpace};
 use gnet_permute::{PermutationSet, PooledNull};
+use gnet_trace::Recorder;
 use std::time::Instant;
 
 /// A pair that beat all of its own permutation nulls, awaiting the global
@@ -45,7 +46,7 @@ impl ThreadState {
 
 /// SplitMix64 — a tiny seeded generator for the threshold pre-pass pair
 /// sampling (keeps `gnet-core` free of an RNG dependency).
-struct SplitMix64(u64);
+pub(crate) struct SplitMix64(pub(crate) u64);
 
 impl SplitMix64 {
     fn next_u64(&mut self) -> u64 {
@@ -56,9 +57,48 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next_u64() % bound.max(1)
+    /// Uniform draw from `0..bound` via rejection sampling. The old `%`
+    /// reduction was modulo-biased: whenever `2^64 % bound != 0`, the
+    /// low residues were drawn more often, skewing the pre-pass pair
+    /// sample. Rejecting the first `2^64 mod bound` raw values leaves an
+    /// exact multiple of `bound`, so the reduction is exactly uniform;
+    /// the rejection probability is `bound / 2^64` per draw, so the loop
+    /// terminates after ~1 iteration for any realistic gene count.
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        let bound = bound.max(1);
+        // 2^64 mod bound, computed without 128-bit arithmetic.
+        let cutoff = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            if x >= cutoff {
+                return x % bound;
+            }
+        }
     }
+}
+
+/// Draw `want` *distinct* unordered gene pairs `(i, j)` with `i < j` from
+/// `n` genes, uniformly. The old pre-pass drew pairs independently and
+/// could sample the same unordered pair twice, double-weighting its nulls
+/// in the pooled estimate; drawn pairs are now deduplicated. The caller
+/// must keep `want <= n(n−1)/2` or the loop could not terminate — the
+/// clamp in [`infer_network`] guarantees it.
+pub(crate) fn sample_unique_pairs(rng: &mut SplitMix64, n: u64, want: usize) -> Vec<(u32, u32)> {
+    debug_assert!(want as u64 <= n * (n.saturating_sub(1)) / 2);
+    let mut seen = std::collections::HashSet::with_capacity(want * 2);
+    let mut out = Vec::with_capacity(want);
+    while out.len() < want {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a == b {
+            continue; // rejecting diagonals keeps off-diagonal pairs uniform
+        }
+        let pair = (a.min(b) as u32, a.max(b) as u32);
+        if seen.insert(pair) {
+            out.push(pair);
+        }
+    }
+    out
 }
 
 /// Estimate the pooled-null threshold from `sample_pairs` randomly drawn
@@ -82,12 +122,8 @@ fn estimate_threshold(
     let mut rng = SplitMix64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     let mut scratch = MiScratch::for_basis(basis);
     let mut pooled = PooledNull::new();
-    for _ in 0..sample_pairs {
-        let i = rng.below(n) as usize;
-        let mut j = rng.below(n) as usize;
-        if i == j {
-            j = (j + 1) % n as usize;
-        }
+    for (i, j) in sample_unique_pairs(&mut rng, n, sample_pairs) {
+        let (i, j) = (i as usize, j as usize);
         let dense = match kernel {
             MiKernel::VectorDense => Some(prepared[j].to_dense()),
             MiKernel::ScalarSparse => None,
@@ -125,6 +161,22 @@ fn estimate_threshold(
 /// genes. Matrices with `q > 0` need at least two samples for non-identity
 /// permutations to exist.
 pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> InferenceResult {
+    infer_network_traced(matrix, config, &Recorder::disabled())
+}
+
+/// [`infer_network`] with an instrumentation hook.
+///
+/// When `rec` is enabled the run records stage spans (`stage.prep`,
+/// `stage.mi`, `stage.finalize`), per-tile latency and per-thread claim
+/// counters (via the scheduler), and post-merge MI counters (`mi.pairs`,
+/// `mi.joints_evaluated`, `mi.candidates`, and under early exit
+/// `mi.prepass_pairs` / `mi.early_exit_survivors` / `mi.early_exit_pruned`).
+/// A disabled recorder costs one branch per call site.
+pub fn infer_network_traced(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    rec: &Recorder,
+) -> InferenceResult {
     config.validate();
     assert!(
         matrix.genes() >= 2,
@@ -133,15 +185,18 @@ pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> Inf
 
     // ---- Stage 1+2: preprocess and prepare every gene -------------------
     let t0 = Instant::now();
+    let span_prep = rec.span("stage.prep");
     let basis = BsplineBasis::new(config.spline_order, config.bins);
     let prepared: Vec<PreparedGene> = (0..matrix.genes())
         .map(|g| prepare_gene(matrix.gene(g), &basis))
         .collect();
     let perms = PermutationSet::generate(matrix.samples(), config.permutations, config.seed);
+    drop(span_prep);
     let prep_time = t0.elapsed();
 
     // ---- Stage 3: tiled pairwise MI + permutation nulls ------------------
     let t1 = Instant::now();
+    let span_mi = rec.span("stage.mi");
     let bytes_per_gene = prepared[0].heap_bytes();
     let tile_size = config.resolved_tile_size(matrix.genes(), bytes_per_gene);
     let threads = config.resolved_threads();
@@ -163,10 +218,14 @@ pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> Inf
     let early_threshold: Option<f64> = match (strategy, explicit_threshold) {
         (NullStrategy::EarlyExit, Some(t)) => Some(t),
         (NullStrategy::EarlyExit, None) => {
+            // `.max(2)` must come *before* `.min(total_pairs)`: the old
+            // order could force `sample > total_pairs` on a 2-gene matrix,
+            // which the deduplicating sampler could never satisfy.
             let sample = config
                 .null_sample_pairs
-                .min(space.total_pairs() as usize)
-                .max(2);
+                .max(2)
+                .min(space.total_pairs() as usize);
+            rec.counter_add("mi.prepass_pairs", sample as u64);
             let (t, pooled) = estimate_threshold(
                 &prepared,
                 &perms,
@@ -183,7 +242,7 @@ pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> Inf
         (NullStrategy::ExactFull, _) => None,
     };
 
-    let (states, execution) = execute_tiles(
+    let (states, execution) = execute_tiles_traced(
         space.tiles(),
         threads,
         config.scheduler,
@@ -215,11 +274,14 @@ pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> Inf
                 );
             }
         },
+        rec,
     );
+    drop(span_mi);
     let mi_time = t1.elapsed();
 
     // ---- Stage 4: pooled threshold + candidate filtering -----------------
     let t2 = Instant::now();
+    let span_finalize = rec.span("stage.finalize");
     let mut pooled = prepass_pooled.unwrap_or_default();
     let mut candidates: Vec<Candidate> = Vec::new();
     let mut joints_evaluated = 0u64;
@@ -241,6 +303,24 @@ pub fn infer_network(matrix: &ExpressionMatrix, config: &InferenceConfig) -> Inf
         .filter(|c| c.observed > threshold)
         .map(|c| Edge::new(c.i, c.j, c.observed as f32));
     let network = GeneNetwork::from_edges(matrix.genes(), matrix.gene_names().to_vec(), edges);
+    if rec.is_enabled() {
+        rec.counter_add("mi.pairs", pairs);
+        rec.counter_add("mi.joints_evaluated", joints_evaluated);
+        rec.counter_add("mi.candidates", candidate_count);
+        if matches!(strategy, NullStrategy::EarlyExit) {
+            rec.counter_add("mi.early_exit_survivors", candidate_count);
+            rec.counter_add("mi.early_exit_pruned", pairs - candidate_count);
+        }
+        rec.event(
+            "pipeline.done",
+            &[
+                ("pairs", pairs.into()),
+                ("edges", (network.edge_count() as u64).into()),
+                ("threshold", threshold.into()),
+            ],
+        );
+    }
+    drop(span_finalize);
     let finalize_time = t2.elapsed();
 
     let stats = RunStats {
@@ -597,5 +677,125 @@ mod tests {
     fn single_gene_matrix_rejected() {
         let matrix = synth::independent_uniform(1, 50, 1);
         let _ = infer_network(&matrix, &fast_config());
+    }
+
+    // --- PRNG / pre-pass sampling regressions ---------------------------
+
+    #[test]
+    fn below_is_unbiased_at_large_bounds() {
+        // With bound = 3·2^62, the raw modulo reduction maps the first
+        // 2^62 residues twice and the rest once, so P(x < 2^62) ≈ 1/2
+        // under the old biased code but exactly 1/3 under rejection
+        // sampling. 20k draws separate the two decisively.
+        let bound = 3u64 << 62;
+        let mark = 1u64 << 62;
+        let mut rng = SplitMix64(42);
+        let draws = 20_000;
+        let mut low = 0u64;
+        for _ in 0..draws {
+            let x = rng.below(bound);
+            assert!(x < bound);
+            if x < mark {
+                low += 1;
+            }
+        }
+        let frac = low as f64 / draws as f64;
+        assert!(
+            (frac - 1.0 / 3.0).abs() < 0.02,
+            "rejection sampling must hit the low third ~1/3 of the time, got {frac}"
+        );
+    }
+
+    #[test]
+    fn below_stays_in_range_for_small_bounds() {
+        let mut rng = SplitMix64(7);
+        for bound in [1u64, 2, 3, 5, 17, 244] {
+            for _ in 0..1_000 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+        // bound 0 is clamped to 1 rather than dividing by zero.
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn sampled_prepass_pairs_are_distinct_and_in_range() {
+        // 8 genes → 28 unordered pairs; ask for all of them. Any duplicate
+        // draw (the old pre-pass bug) would loop forever or repeat a pair.
+        let mut rng = SplitMix64(1234);
+        let pairs = sample_unique_pairs(&mut rng, 8, 28);
+        assert_eq!(pairs.len(), 28);
+        let mut seen = std::collections::HashSet::new();
+        for &(i, j) in &pairs {
+            assert!(i < j, "pairs must be normalized to i < j: ({i}, {j})");
+            assert!(j < 8);
+            assert!(seen.insert((i, j)), "duplicate pair ({i}, {j})");
+        }
+    }
+
+    #[test]
+    fn pair_sampling_is_roughly_uniform() {
+        // Draw 5 of 45 pairs many times and check that every pair is hit
+        // with a frequency close to 5/45 = 1/9.
+        let mut counts = std::collections::HashMap::new();
+        let rounds = 9_000;
+        for seed in 0..rounds {
+            let mut rng = SplitMix64(seed);
+            for pair in sample_unique_pairs(&mut rng, 10, 5) {
+                *counts.entry(pair).or_insert(0u64) += 1;
+            }
+        }
+        assert_eq!(counts.len(), 45, "every pair must eventually be drawn");
+        let expect = rounds as f64 * 5.0 / 45.0;
+        for (pair, count) in counts {
+            let ratio = count as f64 / expect;
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "pair {pair:?} drawn {count} times, expected ≈{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_exit_on_two_gene_matrix_terminates() {
+        // Regression for the clamp order: total_pairs = 1 but the old code
+        // forced sample ≥ 2, which the dedupe sampler can never satisfy.
+        let (matrix, _) = synth::coupled_pairs(1, 100, Coupling::Linear(0.9), 3);
+        let cfg = InferenceConfig {
+            null_strategy: crate::config::NullStrategy::EarlyExit,
+            null_sample_pairs: 50,
+            ..fast_config()
+        };
+        let r = infer_network(&matrix, &cfg);
+        assert_eq!(r.stats.pairs, 1);
+    }
+
+    // --- tracing --------------------------------------------------------
+
+    #[test]
+    fn traced_run_records_stages_counters_and_tiles() {
+        let (matrix, _) = synth::coupled_pairs(4, 200, Coupling::Linear(0.9), 4);
+        let rec = Recorder::enabled();
+        let r = infer_network_traced(&matrix, &fast_config(), &rec);
+        assert_eq!(rec.counter("mi.pairs"), Some(28));
+        assert_eq!(
+            rec.counter("mi.joints_evaluated"),
+            Some(r.stats.joints_evaluated)
+        );
+        assert_eq!(rec.counter("mi.candidates"), Some(r.stats.candidates));
+        let hist = rec
+            .histogram(gnet_parallel::HIST_TILE_US)
+            .expect("tile histogram must be recorded");
+        assert_eq!(hist.count(), r.stats.execution.total_tiles() as u64);
+        assert!(rec.span_count() >= 3, "three stage spans expected");
+    }
+
+    #[test]
+    fn disabled_recorder_changes_nothing() {
+        let (matrix, _) = synth::coupled_pairs(3, 200, Coupling::Linear(0.8), 9);
+        let a = infer_network(&matrix, &fast_config());
+        let b = infer_network_traced(&matrix, &fast_config(), &Recorder::disabled());
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.stats.threshold, b.stats.threshold);
     }
 }

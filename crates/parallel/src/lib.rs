@@ -21,5 +21,8 @@ pub mod scheduler;
 pub mod tile;
 
 pub use pairwise::{compute_pairwise, pair_index};
-pub use scheduler::{execute_tiles, ExecutionReport, SchedulerPolicy, ThreadStats};
+pub use scheduler::{
+    execute_tiles, execute_tiles_traced, ExecutionReport, SchedulerPolicy, ThreadStats,
+    HIST_TILE_US,
+};
 pub use tile::{Tile, TileSpace};

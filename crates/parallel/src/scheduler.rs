@@ -18,11 +18,15 @@
 //!   idiomatic Rust equivalent.
 
 use crossbeam::thread as cb_thread;
+use gnet_trace::Recorder;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::tile::Tile;
+
+/// Histogram name for per-tile execution latency (µs).
+pub const HIST_TILE_US: &str = "scheduler.tile_us";
 
 /// Tile distribution policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -104,6 +108,29 @@ impl ExecutionReport {
     pub fn total_pairs(&self) -> u64 {
         self.per_thread.iter().map(|t| t.pairs).sum()
     }
+
+    /// Total tiles executed across threads.
+    pub fn total_tiles(&self) -> usize {
+        self.per_thread.iter().map(|t| t.tiles).sum()
+    }
+
+    /// Fold another report into this one, thread-index-wise: chunked
+    /// drivers (checkpointing) run several parallel sections and must
+    /// account for all of them, not just the last. Wall times add (the
+    /// sections ran back to back); per-thread tiles/pairs/busy add
+    /// entry-wise, growing the vector if `other` saw more threads.
+    pub fn absorb(&mut self, other: &ExecutionReport) {
+        self.elapsed += other.elapsed;
+        if self.per_thread.len() < other.per_thread.len() {
+            self.per_thread
+                .resize(other.per_thread.len(), ThreadStats::default());
+        }
+        for (mine, theirs) in self.per_thread.iter_mut().zip(&other.per_thread) {
+            mine.tiles += theirs.tiles;
+            mine.pairs += theirs.pairs;
+            mine.busy += theirs.busy;
+        }
+    }
 }
 
 /// Execute `work` over every tile using `threads` workers under `policy`.
@@ -129,8 +156,41 @@ where
     FMake: Fn(usize) -> S + Sync,
     FWork: Fn(&mut S, &Tile) + Sync,
 {
+    execute_tiles_traced(
+        tiles,
+        threads,
+        policy,
+        make_state,
+        work,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`execute_tiles`] with instrumentation: when `rec` is enabled, every
+/// tile's execution latency feeds the [`HIST_TILE_US`] histogram, each
+/// worker's claim count lands in a `scheduler.claims.t<tid>` counter, and
+/// a progress update (tiles done / total) is forwarded after every tile.
+/// With a disabled recorder this is exactly `execute_tiles` — one branch
+/// per tile of overhead.
+///
+/// # Panics
+/// Panics if `threads == 0` or a worker panics.
+pub fn execute_tiles_traced<S, FMake, FWork>(
+    tiles: &[Tile],
+    threads: usize,
+    policy: SchedulerPolicy,
+    make_state: FMake,
+    work: FWork,
+    rec: &Recorder,
+) -> (Vec<S>, ExecutionReport)
+where
+    S: Send,
+    FMake: Fn(usize) -> S + Sync,
+    FWork: Fn(&mut S, &Tile) + Sync,
+{
     assert!(threads >= 1, "need at least one worker thread");
     let start = Instant::now();
+    let tracer = TileTracer::new(rec, tiles.len());
     let (states, per_thread) = match policy {
         SchedulerPolicy::StaticBlock => run_static(
             tiles,
@@ -138,6 +198,7 @@ where
             &make_state,
             &work,
             assign_block(tiles.len(), threads),
+            &tracer,
         ),
         SchedulerPolicy::StaticCyclic => run_static(
             tiles,
@@ -145,9 +206,10 @@ where
             &make_state,
             &work,
             assign_cyclic(tiles.len(), threads),
+            &tracer,
         ),
-        SchedulerPolicy::DynamicCounter => run_dynamic(tiles, threads, &make_state, &work),
-        SchedulerPolicy::RayonSteal => run_rayon(tiles, threads, &make_state, &work),
+        SchedulerPolicy::DynamicCounter => run_dynamic(tiles, threads, &make_state, &work, &tracer),
+        SchedulerPolicy::RayonSteal => run_rayon(tiles, threads, &make_state, &work, &tracer),
     };
     (
         states,
@@ -156,6 +218,45 @@ where
             per_thread,
         },
     )
+}
+
+/// Shared per-run instrumentation state: the recorder plus a cross-thread
+/// completion counter driving the progress feed.
+struct TileTracer<'a> {
+    rec: &'a Recorder,
+    done: AtomicUsize,
+    total: usize,
+}
+
+impl<'a> TileTracer<'a> {
+    fn new(rec: &'a Recorder, total: usize) -> Self {
+        Self {
+            rec,
+            done: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.rec.is_enabled()
+    }
+
+    /// Record one completed tile (latency histogram + progress update).
+    fn tile_done(&self, dur: Duration) {
+        self.rec.observe(HIST_TILE_US, dur);
+        // ordering: the counter is telemetry only — progress may be
+        // observed slightly stale, nothing synchronizes through it.
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.rec.progress(done, self.total);
+    }
+
+    /// Record a worker's total claim count under its thread id.
+    fn claims(&self, tid: usize, tiles: usize) {
+        if self.enabled() && tiles > 0 {
+            self.rec
+                .counter_add(&format!("scheduler.claims.t{tid}"), tiles as u64);
+        }
+    }
 }
 
 /// Contiguous chunk assignment: thread `t` gets tile indices
@@ -184,6 +285,7 @@ fn run_static<S, FMake, FWork>(
     make_state: &FMake,
     work: &FWork,
     assignment: Vec<Vec<usize>>,
+    tracer: &TileTracer<'_>,
 ) -> (Vec<S>, Vec<ThreadStats>)
 where
     S: Send,
@@ -201,11 +303,18 @@ where
                     let t0 = Instant::now();
                     for idx in indices {
                         let tile = &tiles[idx];
-                        work(&mut state, tile);
+                        if tracer.enabled() {
+                            let t_tile = Instant::now();
+                            work(&mut state, tile);
+                            tracer.tile_done(t_tile.elapsed());
+                        } else {
+                            work(&mut state, tile);
+                        }
                         stats.tiles += 1;
                         stats.pairs += tile.pair_count();
                     }
                     stats.busy = t0.elapsed();
+                    tracer.claims(tid, stats.tiles);
                     (state, stats)
                 })
             })
@@ -227,6 +336,7 @@ fn run_dynamic<S, FMake, FWork>(
     threads: usize,
     make_state: &FMake,
     work: &FWork,
+    tracer: &TileTracer<'_>,
 ) -> (Vec<S>, Vec<ThreadStats>)
 where
     S: Send,
@@ -251,11 +361,18 @@ where
                             break;
                         }
                         let tile = &tiles[idx];
-                        work(&mut state, tile);
+                        if tracer.enabled() {
+                            let t_tile = Instant::now();
+                            work(&mut state, tile);
+                            tracer.tile_done(t_tile.elapsed());
+                        } else {
+                            work(&mut state, tile);
+                        }
                         stats.tiles += 1;
                         stats.pairs += tile.pair_count();
                     }
                     stats.busy = t0.elapsed();
+                    tracer.claims(tid, stats.tiles);
                     (state, stats)
                 })
             })
@@ -277,6 +394,7 @@ fn run_rayon<S, FMake, FWork>(
     threads: usize,
     make_state: &FMake,
     work: &FWork,
+    tracer: &TileTracer<'_>,
 ) -> (Vec<S>, Vec<ThreadStats>)
 where
     S: Send,
@@ -288,29 +406,51 @@ where
         .num_threads(threads)
         .build()
         .expect("failed to build rayon pool");
-    // fold() gives one partial state per rayon job batch; each carries its
-    // own stats. The number of partials is ≤ the number of stolen splits,
-    // not necessarily `threads`.
-    let partials: Vec<(S, ThreadStats)> = pool.install(|| {
+    // fold() gives one partial state per rayon job batch. A worker thread
+    // can own several partials whose lifetimes overlap on its clock, so
+    // busy time is measured per work item (not from the partial's creation
+    // — that double-counted overlapping windows and broke `imbalance()`)
+    // and the partials' stats are then aggregated per worker thread. The
+    // thread index is captured in the fold closure because `map` runs on
+    // the collecting thread, not the worker.
+    let partials: Vec<(S, ThreadStats, usize)> = pool.install(|| {
         tiles
             .par_iter()
             .fold(
                 || {
                     let tid = rayon::current_thread_index().unwrap_or(0);
-                    (make_state(tid), ThreadStats::default(), Instant::now())
+                    (make_state(tid), ThreadStats::default(), tid)
                 },
-                |(mut state, mut stats, t0), tile| {
+                |(mut state, mut stats, tid), tile| {
+                    let t_item = Instant::now();
                     work(&mut state, tile);
+                    let dur = t_item.elapsed();
+                    if tracer.enabled() {
+                        tracer.tile_done(dur);
+                    }
+                    stats.busy += dur;
                     stats.tiles += 1;
                     stats.pairs += tile.pair_count();
-                    stats.busy = t0.elapsed();
-                    (state, stats, t0)
+                    (state, stats, tid)
                 },
             )
-            .map(|(s, st, _)| (s, st))
             .collect()
     });
-    partials.into_iter().unzip()
+    let mut states = Vec::with_capacity(partials.len());
+    let mut per_thread = vec![ThreadStats::default(); threads];
+    for (state, stats, tid) in partials {
+        states.push(state);
+        let agg = per_thread
+            .get_mut(tid)
+            .expect("rayon thread index is bounded by the pool width");
+        agg.tiles += stats.tiles;
+        agg.pairs += stats.pairs;
+        agg.busy += stats.busy;
+    }
+    for (tid, stats) in per_thread.iter().enumerate() {
+        tracer.claims(tid, stats.tiles);
+    }
+    (states, per_thread)
 }
 
 #[cfg(test)]
@@ -455,6 +595,124 @@ mod tests {
         );
         assert!(report.imbalance() >= 1.0);
         assert_eq!(report.per_thread.len(), 2);
+    }
+
+    /// Synthetic spin proportional to a tile's pair count, so busy times
+    /// differ measurably across threads.
+    fn spin_work(tile: &Tile) {
+        let spin = tile.pair_count() * 200;
+        let mut acc = 0u64;
+        for i in 0..spin {
+            acc = acc.wrapping_add(i ^ (i << 3));
+        }
+        std::hint::black_box(acc);
+    }
+
+    /// Regression: `run_rayon` used to stamp `busy = t0.elapsed()` per
+    /// fold partial from the *partial's creation time*, so one worker
+    /// owning several partials reported overlapping busy windows. Busy is
+    /// now per-item time aggregated per worker thread, which restores the
+    /// physical invariants: imbalance ≥ 1 and the busy sum bounded by
+    /// wall-clock × threads.
+    #[test]
+    fn rayon_busy_is_per_thread_and_physically_bounded() {
+        let sp = space();
+        let threads = 3;
+        let (_, report) = execute_tiles(
+            sp.tiles(),
+            threads,
+            SchedulerPolicy::RayonSteal,
+            |_| (),
+            |_, tile| spin_work(tile),
+        );
+        assert!(report.imbalance() >= 1.0, "{}", report.imbalance());
+        assert_eq!(report.per_thread.len(), threads);
+        assert_eq!(report.total_pairs(), sp.total_pairs());
+        assert_eq!(report.total_tiles(), sp.tiles().len());
+        let busy_sum: Duration = report.per_thread.iter().map(|t| t.busy).sum();
+        assert!(
+            busy_sum <= report.elapsed * u32::try_from(threads).expect("tiny thread count"),
+            "busy sum {busy_sum:?} exceeds wall {:?} × {threads}",
+            report.elapsed
+        );
+        // Each thread's own busy time is also bounded by the wall clock.
+        for t in &report.per_thread {
+            assert!(
+                t.busy <= report.elapsed,
+                "{:?} > {:?}",
+                t.busy,
+                report.elapsed
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates_reports_entrywise() {
+        let mut a = ExecutionReport {
+            elapsed: Duration::from_millis(10),
+            per_thread: vec![ThreadStats {
+                tiles: 2,
+                pairs: 20,
+                busy: Duration::from_millis(8),
+            }],
+        };
+        let b = ExecutionReport {
+            elapsed: Duration::from_millis(5),
+            per_thread: vec![
+                ThreadStats {
+                    tiles: 1,
+                    pairs: 10,
+                    busy: Duration::from_millis(4),
+                },
+                ThreadStats {
+                    tiles: 3,
+                    pairs: 30,
+                    busy: Duration::from_millis(5),
+                },
+            ],
+        };
+        a.absorb(&b);
+        assert_eq!(a.elapsed, Duration::from_millis(15));
+        assert_eq!(a.per_thread.len(), 2);
+        assert_eq!(a.per_thread[0].tiles, 3);
+        assert_eq!(a.per_thread[0].pairs, 30);
+        assert_eq!(a.per_thread[0].busy, Duration::from_millis(12));
+        assert_eq!(a.per_thread[1].tiles, 3);
+        assert_eq!(a.total_pairs(), 60);
+    }
+
+    #[test]
+    fn traced_execution_records_tiles_claims_and_progress() {
+        use std::sync::atomic::AtomicUsize as Counter;
+        use std::sync::Arc;
+        let sp = space();
+        for policy in SchedulerPolicy::ALL {
+            let max_done = Arc::new(Counter::new(0));
+            let max_done2 = Arc::clone(&max_done);
+            let total_tiles = sp.tiles().len();
+            let rec = gnet_trace::Recorder::enabled_with_progress(move |p| {
+                assert_eq!(p.total, total_tiles);
+                max_done2.fetch_max(p.done, Ordering::SeqCst);
+            });
+            let (_, report) = execute_tiles_traced(
+                sp.tiles(),
+                2,
+                policy,
+                |_| (),
+                |_, tile| spin_work(tile),
+                &rec,
+            );
+            let hist = rec
+                .histogram(HIST_TILE_US)
+                .expect("tile histogram recorded");
+            assert_eq!(hist.count(), total_tiles as u64, "{policy:?}");
+            assert_eq!(max_done.load(Ordering::SeqCst), total_tiles, "{policy:?}");
+            let claims: u64 = (0..2)
+                .filter_map(|t| rec.counter(&format!("scheduler.claims.t{t}")))
+                .sum();
+            assert_eq!(claims, total_tiles as u64, "{policy:?}");
+            assert_eq!(report.total_tiles(), total_tiles);
+        }
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub mod workload;
 
 pub use machine::MachineModel;
 pub use offload::OffloadModel;
-pub use sim::{simulate_tiles, SimReport};
+pub use sim::{scaling_curve, simulate_tiles, simulate_tiles_traced, SimReport};
 pub use workload::{KernelClass, WorkloadModel};

@@ -13,9 +13,15 @@ use crate::machine::MachineModel;
 use crate::workload::WorkloadModel;
 use gnet_parallel::scheduler::{assign_block, assign_cyclic};
 use gnet_parallel::{SchedulerPolicy, Tile};
+use gnet_trace::Recorder;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Seconds of simulated time → whole microseconds for the trace clock.
+fn sim_us(secs: f64) -> u64 {
+    (secs * 1e6).max(0.0) as u64
+}
 
 /// Result of one simulated run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -63,6 +69,31 @@ pub fn simulate_tiles(
     threads: usize,
     policy: SchedulerPolicy,
 ) -> SimReport {
+    simulate_tiles_traced(
+        tiles,
+        machine,
+        workload,
+        threads,
+        policy,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`simulate_tiles`] with an instrumentation hook. Events carry
+/// *simulated* timestamps (µs of modeled time, not wall time): one
+/// `sim.tile` per tile placement (thread, pairs, duration), one
+/// `sim.thread` summary per worker, and a final `sim.run` summary.
+///
+/// # Panics
+/// Panics if `threads` is zero or exceeds the machine's hardware contexts.
+pub fn simulate_tiles_traced(
+    tiles: &[Tile],
+    machine: &MachineModel,
+    workload: &WorkloadModel,
+    threads: usize,
+    policy: SchedulerPolicy,
+    rec: &Recorder,
+) -> SimReport {
     assert!(threads >= 1, "need at least one thread");
     let occupancy = machine.occupancy(threads); // validates the bound
 
@@ -86,17 +117,25 @@ pub fn simulate_tiles(
     };
 
     let (busy, tile_counts) = match policy {
-        SchedulerPolicy::StaticBlock => {
-            replay_static(tiles, &pair_secs, sync, assign_block(tiles.len(), threads))
-        }
-        SchedulerPolicy::StaticCyclic => {
-            replay_static(tiles, &pair_secs, sync, assign_cyclic(tiles.len(), threads))
-        }
+        SchedulerPolicy::StaticBlock => replay_static(
+            tiles,
+            &pair_secs,
+            sync,
+            assign_block(tiles.len(), threads),
+            rec,
+        ),
+        SchedulerPolicy::StaticCyclic => replay_static(
+            tiles,
+            &pair_secs,
+            sync,
+            assign_cyclic(tiles.len(), threads),
+            rec,
+        ),
         // Work stealing behaves like ideal list scheduling at this
         // granularity; the shared counter is list scheduling by
         // construction.
         SchedulerPolicy::DynamicCounter | SchedulerPolicy::RayonSteal => {
-            replay_dynamic(tiles, &pair_secs, sync)
+            replay_dynamic(tiles, &pair_secs, sync, rec)
         }
     };
 
@@ -118,6 +157,31 @@ pub fn simulate_tiles(
 
     let total_pairs: u64 = tiles.iter().map(Tile::pair_count).sum();
     let wall_seconds = prep_seconds + clamped_wall;
+    if rec.is_enabled() {
+        for (t, (&b, &n)) in busy.iter().zip(&tile_counts).enumerate() {
+            rec.event_at_us(
+                "sim.thread",
+                sim_us(b),
+                &[
+                    ("thread", (t as u64).into()),
+                    ("busy_s", b.into()),
+                    ("tiles", (n as u64).into()),
+                ],
+            );
+        }
+        rec.event_at_us(
+            "sim.run",
+            sim_us(wall_seconds),
+            &[
+                ("wall_s", wall_seconds.into()),
+                ("prep_s", prep_seconds.into()),
+                ("threads", (threads as u64).into()),
+                ("tiles", (tiles.len() as u64).into()),
+                ("pairs", total_pairs.into()),
+                ("bandwidth_utilization", bandwidth_utilization.into()),
+            ],
+        );
+    }
     SimReport {
         wall_seconds,
         prep_seconds,
@@ -133,22 +197,45 @@ fn replay_static(
     pair_secs: &[f64],
     sync: f64,
     assignment: Vec<Vec<usize>>,
+    rec: &Recorder,
 ) -> (Vec<f64>, Vec<usize>) {
     let mut busy = vec![0.0; pair_secs.len()];
     let mut counts = vec![0usize; pair_secs.len()];
     for (t, indices) in assignment.into_iter().enumerate() {
         for idx in indices {
+            let start = busy[t];
             busy[t] += sync + tiles[idx].pair_count() as f64 * pair_secs[t];
             counts[t] += 1;
+            emit_sim_tile(rec, t, start, busy[t], tiles[idx].pair_count());
         }
     }
     (busy, counts)
 }
 
+/// Per-tile placement event on the *simulated* clock.
+fn emit_sim_tile(rec: &Recorder, thread: usize, start_s: f64, end_s: f64, pairs: u64) {
+    if rec.is_enabled() {
+        rec.event_at_us(
+            "sim.tile",
+            sim_us(start_s),
+            &[
+                ("thread", (thread as u64).into()),
+                ("dur_us", (sim_us(end_s) - sim_us(start_s)).into()),
+                ("pairs", pairs.into()),
+            ],
+        );
+    }
+}
+
 /// Greedy list scheduling: each tile (in order) goes to the thread that
 /// becomes free first — the fluid limit of both the shared-counter scheme
 /// and work stealing.
-fn replay_dynamic(tiles: &[Tile], pair_secs: &[f64], sync: f64) -> (Vec<f64>, Vec<usize>) {
+fn replay_dynamic(
+    tiles: &[Tile],
+    pair_secs: &[f64],
+    sync: f64,
+    rec: &Recorder,
+) -> (Vec<f64>, Vec<usize>) {
     let threads = pair_secs.len();
     let mut busy = vec![0.0f64; threads];
     let mut counts = vec![0usize; threads];
@@ -158,8 +245,10 @@ fn replay_dynamic(tiles: &[Tile], pair_secs: &[f64], sync: f64) -> (Vec<f64>, Ve
         (0..threads).map(|t| Reverse((0u64, t))).collect();
     for tile in tiles {
         let Reverse((_, t)) = heap.pop().expect("heap holds every thread");
+        let start = busy[t];
         busy[t] += sync + tile.pair_count() as f64 * pair_secs[t];
         counts[t] += 1;
+        emit_sim_tile(rec, t, start, busy[t], tile.pair_count());
         heap.push(Reverse(((busy[t] * 1e9) as u64, t)));
     }
     (busy, counts)
@@ -339,6 +428,23 @@ mod tests {
         );
         let expected = sp.total_pairs() as f64 / rep.wall_seconds;
         assert!((rep.pair_rate - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn traced_simulation_emits_simulated_time_events() {
+        let machine = MachineModel::xeon_e5_2670_2s();
+        let w = small_workload();
+        let sp = tiles();
+        for policy in SchedulerPolicy::ALL {
+            let rec = Recorder::enabled();
+            let rep = simulate_tiles_traced(sp.tiles(), &machine, &w, 8, policy, &rec);
+            assert_eq!(rec.event_count("sim.tile"), sp.tiles().len(), "{policy:?}");
+            assert_eq!(rec.event_count("sim.thread"), 8, "{policy:?}");
+            assert_eq!(rec.event_count("sim.run"), 1, "{policy:?}");
+            // Tracing must not perturb the model.
+            let plain = simulate_tiles(sp.tiles(), &machine, &w, 8, policy);
+            assert_eq!(rep, plain, "{policy:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Fixed-bucket latency histogram.
+//!
+//! Buckets are powers of two in microseconds: bucket `i` counts
+//! observations with `value_us <= 2^i`, for `i` in `0..=25` (1 µs up to
+//! ~33.5 s), plus one overflow bucket. Power-of-two bounds make
+//! `observe` branch-free (a leading-zeros instruction) and keep the
+//! struct a fixed 28-word array — cheap to merge across threads and to
+//! snapshot under a lock.
+
+/// Number of bounded buckets (upper bounds `2^0 .. 2^25` µs).
+const BOUNDED: usize = 26;
+
+/// A fixed-bucket histogram of microsecond latencies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BOUNDED + 1],
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Total number of buckets, including the overflow bucket.
+    pub const BUCKETS: usize = BOUNDED + 1;
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BOUNDED + 1],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// Upper bound (inclusive, in µs) of bucket `i`, or `None` for the
+    /// overflow bucket.
+    #[must_use]
+    pub fn bucket_bound_us(i: usize) -> Option<u64> {
+        (i < BOUNDED).then(|| 1u64 << i)
+    }
+
+    /// Record one observation of `value_us` microseconds.
+    pub fn observe_us(&mut self, value_us: u64) {
+        let idx = if value_us <= 1 {
+            0
+        } else {
+            // Index of the first power of two >= value: ceil(log2(v)).
+            let ceil_log2 = 64 - (value_us - 1).leading_zeros() as usize;
+            ceil_log2.min(BOUNDED)
+        };
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(value_us);
+        self.min_us = self.min_us.min(value_us);
+        self.max_us = self.max_us.max(value_us);
+    }
+
+    /// Add every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, µs.
+    #[must_use]
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Smallest observation, µs (`None` when empty).
+    #[must_use]
+    pub fn min_us(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_us)
+    }
+
+    /// Largest observation, µs (`None` when empty).
+    #[must_use]
+    pub fn max_us(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_us)
+    }
+
+    /// Mean observation, µs (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`) in µs: the
+    /// bound of the first bucket whose cumulative count reaches
+    /// `q × count`. Overflow-bucket quantiles report the observed max.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // cast-ok: rank ≤ count, which fits u64
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(Self::bucket_bound_us(i).unwrap_or(self.max_us));
+            }
+        }
+        Some(self.max_us)
+    }
+
+    /// Per-bucket counts, in bound order (overflow last).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let mut h = Histogram::new();
+        h.observe_us(0); // bucket 0 (<= 1)
+        h.observe_us(1); // bucket 0
+        h.observe_us(2); // bucket 1 (<= 2)
+        h.observe_us(3); // bucket 2 (<= 4)
+        h.observe_us(1024); // bucket 10
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.bucket_counts()[1], 1);
+        assert_eq!(h.bucket_counts()[2], 1);
+        assert_eq!(h.bucket_counts()[10], 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_us(), 1030);
+        assert_eq!(h.min_us(), Some(0));
+        assert_eq!(h.max_us(), Some(1024));
+    }
+
+    #[test]
+    fn huge_values_go_to_overflow() {
+        let mut h = Histogram::new();
+        h.observe_us(u64::MAX);
+        assert_eq!(h.bucket_counts()[Histogram::BUCKETS - 1], 1);
+        assert_eq!(h.quantile_us(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 1000] {
+            h.observe_us(v);
+        }
+        // p50 over ten ordered values ranks at the 5th (= 16 → bucket
+        // bound 16).
+        assert_eq!(h.quantile_us(0.5), Some(16));
+        assert_eq!(h.quantile_us(1.0), Some(1024)); // bound of 1000's bucket
+        assert!(h.quantile_us(0.0).is_some());
+        assert!((h.mean_us() - 151.1).abs() < 0.5);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.observe_us(5);
+        a.observe_us(500);
+        b.observe_us(50);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum_us(), 555);
+        assert_eq!(merged.min_us(), Some(5));
+        assert_eq!(merged.max_us(), Some(500));
+    }
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.min_us(), None);
+        assert_eq!(h.max_us(), None);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Lightweight, std-only tracing and metrics for the pipeline.
+//!
+//! The paper's whole claim is a wall-clock number, so the reproduction
+//! needs to *explain* its own timings, not just report three coarse stage
+//! durations. This crate provides the instrumentation layer every other
+//! crate records into:
+//!
+//! * **Spans** — monotonic wall-time intervals (`stage.prep`,
+//!   `stage.mi`, …) captured via an RAII guard.
+//! * **Counters** — named monotonic `u64` totals (`mi.joints_evaluated`,
+//!   `scheduler.claims.t3`, …).
+//! * **Histograms** — fixed power-of-two-bucket latency histograms in
+//!   microseconds (`scheduler.tile_us`), mergeable and quantile-queryable.
+//! * **Events** — point-in-time records with typed fields
+//!   (`checkpoint.chunk`, `sim.tile`), timestamped either on the real
+//!   monotonic clock or with caller-supplied *simulated* time.
+//!
+//! Everything hangs off a cheap, cloneable [`Recorder`] handle. The
+//! default handle is **disabled**: every record call is a single
+//! `Option` branch and no allocation, so instrumented hot paths cost
+//! nothing in production runs (the acceptance budget is < 2% pipeline
+//! overhead with tracing off — in practice it is unmeasurable, because
+//! the pipeline only records at tile granularity).
+//!
+//! Exports: [`Recorder::write_ndjson`] streams every span/event/counter/
+//! histogram as one JSON object per line (the `--trace` file);
+//! [`Recorder::metrics_json`] renders a single summary document (the
+//! `--metrics` file) that `gnet infer`, the `repro` harness, and CI all
+//! share, so benchmark trajectories come from one instrumentation source.
+//!
+//! The crate is deliberately std-only (no serde, no clocks beyond
+//! `Instant`): it sits below every other crate in the workspace graph.
+
+#![warn(missing_docs)]
+
+mod export;
+mod histogram;
+mod recorder;
+
+pub use export::escape_json;
+pub use histogram::Histogram;
+pub use recorder::{Progress, Recorder, Span, Value};

@@ -1,0 +1,418 @@
+//! The [`Recorder`] handle and its record types.
+
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// A typed field value attached to an [event](Recorder::event).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (NaN/inf render as JSON `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+/// A completed span, relative to the recorder's epoch.
+#[derive(Clone, Debug)]
+pub(crate) struct SpanRecord {
+    pub(crate) name: String,
+    pub(crate) start_us: u64,
+    pub(crate) dur_us: u64,
+}
+
+/// A point-in-time event.
+#[derive(Clone, Debug)]
+pub(crate) struct EventRecord {
+    pub(crate) name: String,
+    pub(crate) t_us: u64,
+    pub(crate) fields: Vec<(String, Value)>,
+}
+
+/// Progress of a tiled run, delivered to the progress sink installed via
+/// [`Recorder::enabled_with_progress`].
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Work items completed so far.
+    pub done: usize,
+    /// Total work items.
+    pub total: usize,
+    /// Wall time since the recorder's epoch.
+    pub elapsed: Duration,
+}
+
+impl Progress {
+    /// Estimated time remaining, extrapolating the mean rate so far.
+    /// `None` before the first completed item.
+    #[must_use]
+    pub fn eta(&self) -> Option<Duration> {
+        if self.done == 0 || self.total <= self.done {
+            return (self.total <= self.done).then_some(Duration::ZERO);
+        }
+        let per_item = self.elapsed.as_secs_f64() / self.done as f64;
+        Some(Duration::from_secs_f64(
+            per_item * (self.total - self.done) as f64,
+        ))
+    }
+
+    /// Completed fraction in `0.0..=1.0`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done as f64 / self.total as f64
+        }
+    }
+}
+
+type ProgressSink = Box<dyn Fn(Progress) + Send + Sync>;
+
+pub(crate) struct Inner {
+    pub(crate) epoch: Instant,
+    pub(crate) spans: Mutex<Vec<SpanRecord>>,
+    pub(crate) events: Mutex<Vec<EventRecord>>,
+    pub(crate) counters: Mutex<BTreeMap<String, u64>>,
+    pub(crate) histograms: Mutex<BTreeMap<String, Histogram>>,
+    progress: Option<ProgressSink>,
+}
+
+/// Cheap, cloneable handle to a trace buffer — or to nothing.
+///
+/// The default/[`disabled`](Recorder::disabled) handle is inert: every
+/// record method returns after one branch, so instrumented code pays
+/// nothing when tracing is off. An [`enabled`](Recorder::enabled) handle
+/// shares one buffer across clones; recording is `&self` and thread-safe
+/// (mutex-protected, called at tile granularity — never per pair).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+/// RAII guard for a span: records `[creation, drop)` against the
+/// recorder it came from. Inert when the recorder is disabled.
+pub struct Span {
+    ctx: Option<(Arc<Inner>, String, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, name, start)) = self.ctx.take() {
+            let start_us = duration_us(start.duration_since(inner.epoch));
+            let dur_us = duration_us(start.elapsed());
+            lock(&inner.spans).push(SpanRecord {
+                name,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+/// Truncating conversion to whole microseconds (saturating at `u64::MAX`,
+/// ~585 millennia).
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Mutex acquisition that survives a poisoned lock: trace buffers hold
+/// plain data, so a panicked recording thread leaves them merely
+/// incomplete, never structurally invalid.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Recorder {
+    /// The inert handle: records nothing, costs one branch per call.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live recorder with a fresh buffer; its epoch is `now`.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self::build(None)
+    }
+
+    /// A live recorder that additionally forwards [`Progress`] updates
+    /// (tiles done / total / elapsed) to `sink`. The sink is called from
+    /// worker threads after every completed work item — it should be
+    /// cheap and rate-limit its own output.
+    #[must_use]
+    pub fn enabled_with_progress(sink: impl Fn(Progress) + Send + Sync + 'static) -> Self {
+        Self::build(Some(Box::new(sink)))
+    }
+
+    fn build(progress: Option<ProgressSink>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                events: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                progress,
+            })),
+        }
+    }
+
+    /// Is this handle recording?
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Wall time since the recorder's epoch (zero when disabled).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.inner
+            .as_ref()
+            .map_or(Duration::ZERO, |i| i.epoch.elapsed())
+    }
+
+    /// Start a span; it records itself when the guard drops.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            ctx: self
+                .inner
+                .as_ref()
+                .map(|i| (Arc::clone(i), name.to_string(), Instant::now())),
+        }
+    }
+
+    /// Record a point event with typed fields, stamped on the real clock.
+    pub fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        let Some(inner) = &self.inner else { return };
+        let t_us = duration_us(inner.epoch.elapsed());
+        self.event_at_us(name, t_us, fields);
+    }
+
+    /// Record a point event at an explicit timestamp (µs since epoch) —
+    /// used by the simulator to emit *simulated-time* events.
+    pub fn event_at_us(&self, name: &str, t_us: u64, fields: &[(&str, Value)]) {
+        let Some(inner) = &self.inner else { return };
+        lock(&inner.events).push(EventRecord {
+            name: name.to_string(),
+            t_us,
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        *lock(&inner.counters).entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Record a latency observation into the named histogram.
+    pub fn observe(&self, name: &str, latency: Duration) {
+        self.observe_us(name, duration_us(latency));
+    }
+
+    /// Record a raw microsecond observation into the named histogram.
+    pub fn observe_us(&self, name: &str, value_us: u64) {
+        let Some(inner) = &self.inner else { return };
+        lock(&inner.histograms)
+            .entry(name.to_string())
+            .or_default()
+            .observe_us(value_us);
+    }
+
+    /// Forward a progress update to the installed sink, if any.
+    pub fn progress(&self, done: usize, total: usize) {
+        let Some(inner) = &self.inner else { return };
+        if let Some(sink) = &inner.progress {
+            sink(Progress {
+                done,
+                total,
+                elapsed: inner.epoch.elapsed(),
+            });
+        }
+    }
+
+    /// Current value of a counter (`None` when disabled or never set).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        lock(&inner.counters).get(name).copied()
+    }
+
+    /// Snapshot of a histogram (`None` when disabled or never observed).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let inner = self.inner.as_ref()?;
+        lock(&inner.histograms).get(name).cloned()
+    }
+
+    /// Number of completed spans so far (0 when disabled).
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| lock(&i.spans).len())
+    }
+
+    /// Number of recorded events with the given name (0 when disabled).
+    #[must_use]
+    pub fn event_count(&self, name: &str) -> usize {
+        self.inner.as_ref().map_or(0, |i| {
+            lock(&i.events).iter().filter(|e| e.name == name).count()
+        })
+    }
+
+    pub(crate) fn inner(&self) -> Option<&Arc<Inner>> {
+        self.inner.as_ref()
+    }
+
+    pub(crate) fn lock_of<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        lock(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.counter_add("x", 5);
+        rec.observe_us("h", 100);
+        rec.event("e", &[("k", Value::U64(1))]);
+        let _span = rec.span("s");
+        rec.progress(1, 2);
+        assert_eq!(rec.counter("x"), None);
+        assert_eq!(rec.span_count(), 0);
+        assert!(rec.histogram("h").is_none());
+        assert_eq!(rec.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let rec = Recorder::enabled();
+        let other = rec.clone();
+        rec.counter_add("tiles", 3);
+        other.counter_add("tiles", 4);
+        assert_eq!(rec.counter("tiles"), Some(7));
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let rec = Recorder::enabled();
+        {
+            let _s = rec.span("stage.prep");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(rec.span_count(), 1);
+    }
+
+    #[test]
+    fn histograms_observe_durations() {
+        let rec = Recorder::enabled();
+        rec.observe("tile_us", Duration::from_micros(7));
+        rec.observe("tile_us", Duration::from_micros(900));
+        let h = rec.histogram("tile_us").expect("histogram was observed");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_us(), 907);
+    }
+
+    #[test]
+    fn progress_sink_receives_updates() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let rec = Recorder::enabled_with_progress(move |p| {
+            assert!(p.done <= p.total);
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        rec.progress(1, 4);
+        rec.progress(2, 4);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn progress_eta_extrapolates() {
+        let p = Progress {
+            done: 2,
+            total: 6,
+            elapsed: Duration::from_secs(4),
+        };
+        let eta = p.eta().expect("eta defined after first item");
+        assert!((eta.as_secs_f64() - 8.0).abs() < 1e-9);
+        assert!((p.fraction() - 1.0 / 3.0).abs() < 1e-12);
+        let done = Progress {
+            done: 6,
+            total: 6,
+            elapsed: Duration::from_secs(4),
+        };
+        assert_eq!(done.eta(), Some(Duration::ZERO));
+        let fresh = Progress {
+            done: 0,
+            total: 6,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(fresh.eta(), None);
+    }
+
+    #[test]
+    fn simulated_time_events_keep_their_timestamps() {
+        let rec = Recorder::enabled();
+        rec.event_at_us("sim.tile", 123_456, &[("thread", Value::U64(3))]);
+        let mut out = Vec::new();
+        rec.write_ndjson(&mut out).expect("vec sink cannot fail");
+        let text = String::from_utf8(out).expect("ndjson output is utf-8");
+        assert!(text.contains("\"t_us\":123456"), "{text}");
+    }
+}

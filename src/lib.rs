@@ -16,3 +16,4 @@ pub use gnet_parallel as parallel;
 pub use gnet_permute as permute;
 pub use gnet_phi as phi;
 pub use gnet_simd as simd;
+pub use gnet_trace as trace;
