@@ -46,7 +46,7 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
 }
 
 /// Library crates whose non-test code must not `unwrap()`.
-pub(crate) const LIBRARY_CRATES: [&str; 9] = [
+pub(crate) const LIBRARY_CRATES: [&str; 10] = [
     "crates/mi",
     "crates/parallel",
     "crates/permute",
@@ -56,6 +56,7 @@ pub(crate) const LIBRARY_CRATES: [&str; 9] = [
     "crates/simd",
     "crates/analysis",
     "crates/trace",
+    "crates/fault",
 ];
 
 /// Crates whose code is statistical: float `==` is forbidden there.

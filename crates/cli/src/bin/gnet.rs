@@ -27,6 +27,8 @@ subcommands:
             static-cyclic|rayon] [--early-exit] [--dpi EPS] [--ranks P]
             [--quantile-normalize] [--center-batches N]
             [--trace FILE] [--metrics FILE] [--progress]
+            [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]
+            [--fault-plan PLAN]
   score     score an edge list against a ground truth
             --edges FILE --truth FILE --matrix FILE
   topology  topology report of an edge list

@@ -1,9 +1,9 @@
 //! The five `gnet` subcommands.
 
 use crate::args::{ArgError, ArgMap};
-use gnet_cluster::infer_network_distributed;
+use gnet_cluster::{infer_network_distributed_faulty, DEFAULT_PEER_TIMEOUT};
 use gnet_core::config::NullStrategy;
-use gnet_core::{infer_network_traced, InferenceConfig};
+use gnet_core::{infer_network_durable, infer_network_traced, CheckpointStore, InferenceConfig};
 use gnet_expr::io as expr_io;
 use gnet_expr::{ExpressionMatrix, MissingPolicy};
 use gnet_graph::dpi::dpi_prune;
@@ -46,6 +46,12 @@ fn fail<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError(msg.into()))
 }
 
+/// Create an output file, naming the path in the error — a bare
+/// "permission denied" with no path is useless in a pipeline log.
+fn create_file(path: &str) -> Result<File, CliError> {
+    File::create(path).map_err(|e| CliError(format!("cannot create {path}: {e}")))
+}
+
 /// `gnet generate` — synthesize a ground-truth GRN dataset.
 ///
 /// Options: `--genes` `--samples` `--seed` `--avg-degree`
@@ -78,8 +84,8 @@ pub fn cmd_generate(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> 
         },
         seed,
     );
-    expr_io::write_tsv(&ds.matrix, BufWriter::new(File::create(&matrix_path)?))
-        .map_err(|e| CliError(e.to_string()))?;
+    expr_io::write_tsv(&ds.matrix, BufWriter::new(create_file(&matrix_path)?))
+        .map_err(|e| CliError(format!("cannot write {matrix_path}: {e}")))?;
     writeln!(out, "wrote {genes}×{samples} matrix to {matrix_path}")?;
 
     if let Some(path) = truth_path {
@@ -90,8 +96,8 @@ pub fn cmd_generate(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> 
                 .into_iter()
                 .map(|(a, b)| Edge::new(a, b, 1.0)),
         );
-        graph_io::write_edge_list(&truth_net, BufWriter::new(File::create(&path)?))
-            .map_err(|e| CliError(e.to_string()))?;
+        graph_io::write_edge_list(&truth_net, BufWriter::new(create_file(&path)?))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         writeln!(
             out,
             "wrote {} ground-truth edges to {path}",
@@ -103,7 +109,8 @@ pub fn cmd_generate(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> 
 
 fn load_matrix(path: &str) -> Result<ExpressionMatrix, CliError> {
     let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
-    expr_io::read_tsv(file, true, MissingPolicy::MeanImpute).map_err(|e| CliError(e.to_string()))
+    expr_io::read_tsv(file, true, MissingPolicy::MeanImpute)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))
 }
 
 fn config_from_args(args: &ArgMap) -> Result<InferenceConfig, CliError> {
@@ -191,6 +198,12 @@ fn progress_sink() -> impl Fn(Progress) + Send + Sync + 'static {
 /// observability options `--trace FILE` (NDJSON event stream),
 /// `--metrics FILE` (metrics summary JSON), `--progress` (live stderr
 /// status line).
+///
+/// Fault tolerance: `--checkpoint-dir DIR` enables durable checkpoints
+/// every `--checkpoint-every N` tiles (shared-memory path), `--resume`
+/// continues from the checkpoint in that directory, and
+/// `--fault-plan PLAN` injects a deterministic, replayable fault plan
+/// (see `gnet_fault`) into either execution path.
 pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let input = args.require("input")?.to_string();
     let output = args.require("output")?.to_string();
@@ -214,6 +227,25 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     if ranks.is_some() && (trace_path.is_some() || metrics_path.is_some() || progress) {
         return fail("--trace/--metrics/--progress instrument the shared-memory pipeline and cannot be combined with --ranks");
     }
+    let checkpoint_dir = args.get("checkpoint-dir").map(str::to_string);
+    let checkpoint_every = args.get_or("checkpoint-every", 8usize)?;
+    let resume = args.flag("resume");
+    if checkpoint_every == 0 {
+        return fail("--checkpoint-every must be at least 1 tile");
+    }
+    if (resume || args.get("checkpoint-every").is_some()) && checkpoint_dir.is_none() {
+        return fail("--resume/--checkpoint-every need --checkpoint-dir");
+    }
+    if ranks.is_some() && checkpoint_dir.is_some() {
+        return fail("checkpoints cover the shared-memory pipeline; the distributed path (--ranks) recovers via rank failover instead");
+    }
+    let fault_plan = match args.get("fault-plan") {
+        Some(raw) => Some(
+            gnet_fault::FaultPlan::parse(raw)
+                .map_err(|e| CliError(format!("bad --fault-plan: {e}")))?,
+        ),
+        None => None,
+    };
     let quantile = args.flag("quantile-normalize");
     let center_batches: Option<usize> = match args.get("center-batches") {
         Some(raw) => {
@@ -266,39 +298,79 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         Recorder::disabled()
     };
 
+    let injector = match &fault_plan {
+        Some(plan) => gnet_fault::FaultInjector::from_plan_traced(plan, &rec),
+        None => gnet_fault::FaultInjector::none(),
+    };
+
     let (mut network, summary) = match ranks {
         Some(p) => {
-            let r = infer_network_distributed(&matrix, &cfg, p);
+            let r = infer_network_distributed_faulty(
+                &matrix,
+                &cfg,
+                p,
+                &injector,
+                &rec,
+                DEFAULT_PEER_TIMEOUT,
+            )
+            .map_err(|e| CliError(e.to_string()))?;
             let pairs: u64 = r.rank_stats.iter().map(|s| s.pairs).sum();
-            (
-                r.network,
-                format!("{} ranks, {} pairs, I* = {:.4}", p, pairs, r.threshold),
-            )
+            let mut summary = format!("{} ranks, {} pairs, I* = {:.4}", p, pairs, r.threshold);
+            if !r.crashed_ranks.is_empty() {
+                summary.push_str(&format!(
+                    " (recovered from {} lost rank(s): {:?})",
+                    r.crashed_ranks.len(),
+                    r.crashed_ranks
+                ));
+            }
+            (r.network, summary)
         }
-        None => {
-            let r = infer_network_traced(&matrix, &cfg, &rec);
-            (
-                r.network,
-                format!(
-                    "{} pairs in {:?} ({:.0} pairs/s), I* = {:.4}",
-                    r.stats.pairs,
-                    r.stats.total_time(),
-                    r.stats.pair_rate(),
-                    r.stats.threshold
-                ),
-            )
-        }
+        None => match &checkpoint_dir {
+            Some(dir) => {
+                let store = CheckpointStore::with_faults(dir, injector.clone(), &rec);
+                let r = infer_network_durable(&matrix, &cfg, &store, checkpoint_every, resume, &rec)
+                    .map_err(|e| match e {
+                        gnet_core::CheckpointError::Interrupted { tiles_done } => CliError(format!(
+                            "run interrupted after {tiles_done} tile(s); checkpoint saved in {dir} — rerun with --resume to continue"
+                        )),
+                        other => CliError(other.to_string()),
+                    })?;
+                (
+                    r.network,
+                    format!(
+                        "{} pairs in {:?} ({:.0} pairs/s), I* = {:.4} [checkpointed every {checkpoint_every} tiles]",
+                        r.stats.pairs,
+                        r.stats.total_time(),
+                        r.stats.pair_rate(),
+                        r.stats.threshold
+                    ),
+                )
+            }
+            None => {
+                let r = infer_network_traced(&matrix, &cfg, &rec);
+                (
+                    r.network,
+                    format!(
+                        "{} pairs in {:?} ({:.0} pairs/s), I* = {:.4}",
+                        r.stats.pairs,
+                        r.stats.total_time(),
+                        r.stats.pair_rate(),
+                        r.stats.threshold
+                    ),
+                )
+            }
+        },
     };
     writeln!(out, "{summary}")?;
 
     if let Some(path) = &trace_path {
-        let mut w = BufWriter::new(File::create(path)?);
+        let mut w = BufWriter::new(create_file(path)?);
         rec.write_ndjson(&mut w)?;
         w.flush()?;
         writeln!(out, "wrote trace events to {path}")?;
     }
     if let Some(path) = &metrics_path {
-        let mut w = BufWriter::new(File::create(path)?);
+        let mut w = BufWriter::new(create_file(path)?);
         rec.write_metrics_json(&mut w)?;
         w.flush()?;
         writeln!(out, "wrote metrics to {path}")?;
@@ -314,15 +386,16 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         )?;
     }
 
-    graph_io::write_edge_list(&network, BufWriter::new(File::create(&output)?))
-        .map_err(|e| CliError(e.to_string()))?;
+    graph_io::write_edge_list(&network, BufWriter::new(create_file(&output)?))
+        .map_err(|e| CliError(format!("cannot write {output}: {e}")))?;
     writeln!(out, "wrote {} edges to {output}", network.edge_count())?;
     Ok(())
 }
 
 fn load_edges(path: &str, genes: usize, names: Vec<String>) -> Result<GeneNetwork, CliError> {
     let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
-    graph_io::read_edge_list(file, genes, names).map_err(|e| CliError(e.to_string()))
+    graph_io::read_edge_list(file, genes, names)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))
 }
 
 /// `gnet score` — precision/recall of an inferred edge list against a
@@ -939,6 +1012,189 @@ mod tests {
         let mut out = Vec::new();
         let err = cmd_infer(&args, &mut out).unwrap_err();
         assert!(err.0.contains("--ranks"), "{}", err.0);
+    }
+
+    #[test]
+    fn checkpoint_crash_then_resume_roundtrip() {
+        let dir = tmpdir("ckpt");
+        let matrix = dir.join("m.tsv");
+        let edges = dir.join("e.tsv");
+        let ckpt = dir.join("ckpt");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&[
+                "--genes",
+                "24",
+                "--samples",
+                "120",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        // StaticCyclic + 1 thread: deterministic merge order, so the
+        // resumed run must reproduce the uninterrupted one exactly.
+        let common = [
+            "--input",
+            matrix.to_str().unwrap(),
+            "--output",
+            edges.to_str().unwrap(),
+            "--q",
+            "8",
+            "--threads",
+            "1",
+            "--scheduler",
+            "static-cyclic",
+            "--tile",
+            "5",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+        ];
+        let mut crash_args: Vec<&str> = common.to_vec();
+        crash_args.extend(["--fault-plan", "seed=1;chunk-crash(boundary=2)"]);
+        let err = cmd_infer(&argmap(&crash_args), &mut sink).unwrap_err();
+        assert!(err.0.contains("--resume"), "{}", err.0);
+        assert!(ckpt.join("gnet.ckpt").exists(), "checkpoint must survive");
+
+        let mut resume_args: Vec<&str> = common.to_vec();
+        resume_args.push("--resume");
+        let mut out = Vec::new();
+        cmd_infer(&argmap(&resume_args), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("checkpointed every 2 tiles"), "{text}");
+        assert!(edges.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_flags_need_a_directory() {
+        let args = argmap(&["--input", "x", "--output", "y", "--resume"]);
+        let mut out = Vec::new();
+        let err = cmd_infer(&args, &mut out).unwrap_err();
+        assert!(err.0.contains("--checkpoint-dir"), "{}", err.0);
+    }
+
+    #[test]
+    fn checkpoints_rejected_with_ranks() {
+        let args = argmap(&[
+            "--input",
+            "x",
+            "--output",
+            "y",
+            "--ranks",
+            "2",
+            "--checkpoint-dir",
+            "d",
+        ]);
+        let mut out = Vec::new();
+        let err = cmd_infer(&args, &mut out).unwrap_err();
+        assert!(err.0.contains("--ranks"), "{}", err.0);
+    }
+
+    #[test]
+    fn bad_fault_plan_is_a_typed_cli_error() {
+        let args = argmap(&["--input", "x", "--output", "y", "--fault-plan", "nonsense"]);
+        let mut out = Vec::new();
+        let err = cmd_infer(&args, &mut out).unwrap_err();
+        assert!(err.0.contains("--fault-plan"), "{}", err.0);
+    }
+
+    #[test]
+    fn distributed_rank_crash_recovers_end_to_end() {
+        let dir = tmpdir("rank_crash");
+        let matrix = dir.join("m.tsv");
+        let edges = dir.join("e.tsv");
+        let edges_ok = dir.join("e_ok.tsv");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&[
+                "--genes",
+                "16",
+                "--samples",
+                "120",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        cmd_infer(
+            &argmap(&[
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                edges_ok.to_str().unwrap(),
+                "--q",
+                "8",
+                "--ranks",
+                "4",
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        cmd_infer(
+            &argmap(&[
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                edges.to_str().unwrap(),
+                "--q",
+                "8",
+                "--ranks",
+                "4",
+                "--fault-plan",
+                "seed=1;crash(rank=2,round=1)",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("recovered from 1 lost rank"), "{text}");
+        let a = std::fs::read_to_string(&edges).unwrap();
+        let b = std::fs::read_to_string(&edges_ok).unwrap();
+        assert_eq!(a, b, "recovered run must emit the same edge list");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coordinator_crash_plan_is_a_clean_error() {
+        let dir = tmpdir("rank0_crash");
+        let matrix = dir.join("m.tsv");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&[
+                "--genes",
+                "12",
+                "--samples",
+                "100",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let err = cmd_infer(
+            &argmap(&[
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                dir.join("e.tsv").to_str().unwrap(),
+                "--q",
+                "8",
+                "--ranks",
+                "3",
+                "--fault-plan",
+                "seed=1;crash(rank=0,round=1)",
+            ]),
+            &mut sink,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("rank 0"), "{}", err.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! ```
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gnet_bspline::SparseWeights;
+use gnet_bspline::{SparseWeights, MAX_ORDER};
 use gnet_mi::PreparedGene;
+use std::fmt;
 
 /// A block of prepared genes with their global indices.
 #[derive(Clone, Debug)]
@@ -68,34 +69,144 @@ pub fn encode_block(block: &GeneBlock) -> Bytes {
     buf.freeze()
 }
 
-/// Deserialize a block.
+/// Why a byte payload is not a valid gene block.
 ///
-/// # Panics
-/// Panics on a malformed payload (the fabric is lossless, so corruption
-/// here is a logic error, not an I/O condition).
-pub fn decode_block(mut bytes: Bytes) -> GeneBlock {
+/// Every variant is a *data* condition, never a panic: a fault-injected
+/// or truncated message is an expected runtime event in the failure-aware
+/// driver, which treats an undecodable block like a dropped one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Payload shorter than the 16-byte header.
+    TruncatedHeader {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// Header field is structurally impossible.
+    BadHeader {
+        /// Which constraint failed.
+        reason: String,
+    },
+    /// Declared gene count does not match the bytes present.
+    LengthMismatch {
+        /// Bytes the header implies the body needs.
+        expected: usize,
+        /// Bytes actually present after the header.
+        actual: usize,
+    },
+    /// A sample's first-bin index overruns the spline grid.
+    BinOverrun {
+        /// 0-based gene position within the block.
+        gene: usize,
+        /// The offending first-bin value.
+        first_bin: u16,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TruncatedHeader { len } => {
+                write!(f, "gene block truncated: {len} bytes, header needs 16")
+            }
+            Self::BadHeader { reason } => write!(f, "gene block header invalid: {reason}"),
+            Self::LengthMismatch { expected, actual } => write!(
+                f,
+                "gene block length mismatch: header implies {expected} body bytes, found {actual}"
+            ),
+            Self::BinOverrun { gene, first_bin } => write!(
+                f,
+                "gene {gene} carries first-bin index {first_bin} overrunning the spline grid"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Deserialize a block, validating structure before every read.
+///
+/// The in-process fabric is lossless, but the failure-aware driver must
+/// survive whatever bytes arrive (chaos plans corrupt and truncate
+/// payloads deliberately), so *every* malformed input — truncated,
+/// oversized, garbage header, out-of-range bin index — comes back as a
+/// typed [`CodecError`] instead of a `bytes::Buf` underflow panic.
+///
+/// # Errors
+/// See [`CodecError`].
+pub fn decode_block(mut bytes: Bytes) -> Result<GeneBlock, CodecError> {
+    if bytes.remaining() < 16 {
+        return Err(CodecError::TruncatedHeader {
+            len: bytes.remaining(),
+        });
+    }
     let count = bytes.get_u32_le() as usize;
     let order = bytes.get_u32_le() as usize;
     let bins = bytes.get_u32_le() as usize;
     let samples = bytes.get_u32_le() as usize;
+    if count == 0 {
+        return Err(CodecError::BadHeader {
+            reason: "zero genes (empty blocks never travel)".into(),
+        });
+    }
+    if !(1..=MAX_ORDER).contains(&order) {
+        return Err(CodecError::BadHeader {
+            reason: format!("spline order {order} outside 1..={MAX_ORDER}"),
+        });
+    }
+    if bins < order {
+        return Err(CodecError::BadHeader {
+            reason: format!("bins {bins} below spline order {order}"),
+        });
+    }
+    if samples == 0 {
+        return Err(CodecError::BadHeader {
+            reason: "zero samples".into(),
+        });
+    }
+    // One exact size check makes every later read infallible and bounds
+    // the allocations below by the actual payload size (a garbage header
+    // cannot demand more than the bytes it arrived with).
+    let per_gene = samples
+        .checked_mul(order)
+        .and_then(|so| so.checked_mul(4))
+        .and_then(|w| w.checked_add(samples.checked_mul(2)?))
+        .and_then(|body| body.checked_add(4 + 8));
+    let expected = per_gene.and_then(|pg| pg.checked_mul(count));
+    match expected {
+        Some(expected) if expected == bytes.remaining() => {}
+        _ => {
+            return Err(CodecError::LengthMismatch {
+                expected: expected.unwrap_or(usize::MAX),
+                actual: bytes.remaining(),
+            })
+        }
+    }
     let mut indices = Vec::with_capacity(count);
     let mut genes = Vec::with_capacity(count);
-    for _ in 0..count {
+    for gene in 0..count {
         indices.push(bytes.get_u32_le());
         let h_marginal = bytes.get_f64_le();
         let mut first_bin = Vec::with_capacity(samples);
         for _ in 0..samples {
-            first_bin.push(bytes.get_u16_le());
+            let fb = bytes.get_u16_le();
+            if fb as usize + order > bins {
+                return Err(CodecError::BinOverrun {
+                    gene,
+                    first_bin: fb,
+                });
+            }
+            first_bin.push(fb);
         }
         let mut weights = Vec::with_capacity(samples * order);
         for _ in 0..samples * order {
             weights.push(bytes.get_f32_le());
         }
+        // The checks above mirror `from_raw_parts`' asserts exactly, so
+        // this construction cannot panic on any input.
         let sparse = SparseWeights::from_raw_parts(order, bins, samples, first_bin, weights);
         genes.push(PreparedGene { sparse, h_marginal });
     }
-    assert!(!bytes.has_remaining(), "trailing bytes in gene block");
-    GeneBlock { indices, genes }
+    Ok(GeneBlock { indices, genes })
 }
 
 #[cfg(test)]
@@ -119,7 +230,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let block = sample_block(5, 37);
-        let decoded = decode_block(encode_block(&block));
+        let decoded = decode_block(encode_block(&block)).expect("well-formed block decodes");
         assert_eq!(decoded.indices, block.indices);
         assert_eq!(decoded.len(), 5);
         for (a, b) in decoded.genes.iter().zip(&block.genes) {
@@ -147,11 +258,121 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "trailing bytes")]
-    fn trailing_garbage_detected() {
+    fn trailing_garbage_is_a_typed_error() {
         let block = sample_block(1, 8);
         let mut raw = bytes::BytesMut::from(&encode_block(&block)[..]);
         raw.extend_from_slice(&[0u8; 3]);
-        let _ = decode_block(raw.freeze());
+        assert!(matches!(
+            decode_block(raw.freeze()),
+            Err(CodecError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let full = encode_block(&sample_block(3, 20));
+        for cut in 0..full.len() {
+            let err = decode_block(full.slice(0..cut)).expect_err("truncation must be rejected");
+            match cut {
+                0..=15 => assert!(
+                    matches!(err, CodecError::TruncatedHeader { .. }),
+                    "cut {cut}"
+                ),
+                _ => assert!(
+                    matches!(err, CodecError::LengthMismatch { .. }),
+                    "cut {cut}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declared_count_is_rejected_without_allocating() {
+        let full = encode_block(&sample_block(2, 10));
+        let mut raw = bytes::BytesMut::from(&full[..]);
+        // Claim u32::MAX genes; the size product overflows/mismatches and
+        // must be rejected before any allocation sized from the header.
+        raw[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_block(raw.freeze()),
+            Err(CodecError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_headers_are_rejected() {
+        let full = encode_block(&sample_block(1, 6));
+        for (offset, value, what) in [
+            (0u32, 0u32, "zero genes"), // count = 0
+            (4, 0, "order zero"),       // order = 0
+            (4, 200, "order huge"),     // order > MAX_ORDER
+            (8, 1, "bins below order"), // bins < order (order is 3)
+            (12, 0, "zero samples"),    // samples = 0
+        ] {
+            let mut raw = bytes::BytesMut::from(&full[..]);
+            let at = offset as usize;
+            raw[at..at + 4].copy_from_slice(&value.to_le_bytes());
+            let err = decode_block(raw.freeze()).expect_err(what);
+            assert!(
+                matches!(
+                    err,
+                    CodecError::BadHeader { .. } | CodecError::LengthMismatch { .. }
+                ),
+                "{what}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_first_bin_is_rejected() {
+        let block = sample_block(1, 8);
+        let full = encode_block(&block);
+        let mut raw = bytes::BytesMut::from(&full[..]);
+        // First first-bin field sits right after the header and the
+        // gene's u32 index + f64 marginal entropy.
+        let at = 16 + 4 + 8;
+        raw[at..at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_block(raw.freeze()),
+            Err(CodecError::BinOverrun { gene: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn fuzzed_mutations_never_panic() {
+        // Deterministic fuzz: flip bytes, splice lengths, and bit-flip
+        // across the whole encoding. Decode must return Ok or a typed
+        // error on every mutant — any panic fails the test.
+        let full = encode_block(&sample_block(4, 25));
+        let mut rng = gnet_fault::SplitMix64::new(0xFEED_FACE);
+        for _ in 0..2_000 {
+            let mut mutant = full.to_vec();
+            match rng.below(4) {
+                0 => {
+                    // cast-ok: below(len) fits usize.
+                    let at = rng.below(mutant.len() as u64) as usize;
+                    // cast-ok: below(256) fits u8.
+                    mutant[at] = rng.below(256) as u8;
+                }
+                1 => {
+                    // cast-ok: below(len+1) fits usize.
+                    let cut = rng.below(mutant.len() as u64 + 1) as usize;
+                    mutant.truncate(cut);
+                }
+                2 => {
+                    // cast-ok: below(64) fits usize.
+                    let extra = rng.below(64) as usize;
+                    // cast-ok: below(256) fits u8.
+                    mutant.extend(std::iter::repeat_with(|| rng.below(256) as u8).take(extra));
+                }
+                _ => {
+                    // cast-ok: below(len) fits usize.
+                    let at = rng.below(mutant.len() as u64) as usize;
+                    // cast-ok: below(8) fits u32 shift amount.
+                    mutant[at] ^= 1 << (rng.below(8) as u32);
+                }
+            }
+            let _ = decode_block(Bytes::from(mutant));
+        }
     }
 }

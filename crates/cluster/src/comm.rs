@@ -5,11 +5,31 @@
 //! never block, receives block until a matching message arrives). One
 //! channel exists per ordered rank pair, so `recv(from)` is deterministic
 //! and messages from distinct senders cannot be confused.
+//!
+//! ## Failure awareness
+//!
+//! Two facilities make the fabric usable under failures:
+//!
+//! * [`Endpoint::recv_timeout`] bounds every wait — a dead peer yields a
+//!   typed [`RecvTimeoutError`] instead of a hang. A crashed rank drops
+//!   its endpoint, which closes its sending halves, so survivors usually
+//!   see `Disconnected` near-instantly; the timeout covers messages lost
+//!   in flight.
+//! * [`Fabric::with_faults`] threads a [`FaultInjector`] through every
+//!   endpoint: sends consult the injector (drop/delay), and a send to a
+//!   dead peer is silently discarded — the semantics of a datagram to a
+//!   dead host — instead of panicking. The fault-free [`Fabric::new`]
+//!   keeps the strict panic, because there a dropped peer is a logic
+//!   error worth crashing on.
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use gnet_fault::{FaultInjector, MessageAction};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+pub use crossbeam::channel::RecvTimeoutError;
 
 /// Cumulative traffic counters of one endpoint (shared with the fabric so
 /// totals survive the endpoint's move into its rank thread).
@@ -46,6 +66,9 @@ pub struct Endpoint {
     /// `rx[from]` receives from rank `from`.
     rx: Vec<Receiver<Bytes>>,
     stats: Arc<CommStats>,
+    /// Armed only on fabrics built with [`Fabric::with_faults`]; an
+    /// unarmed injector is a zero-cost pass-through.
+    faults: FaultInjector,
 }
 
 impl Endpoint {
@@ -61,8 +84,15 @@ impl Endpoint {
 
     /// Send `payload` to `to` (never blocks; buffering is unbounded).
     ///
+    /// With an armed fault injector the message may be dropped (counted
+    /// but never enqueued) or delayed (enqueued after a sleep, so
+    /// per-channel ordering is preserved), and a send to a crashed peer
+    /// is silently discarded. On a fault-free fabric a dropped peer is a
+    /// logic error and panics.
+    ///
     /// # Panics
-    /// Panics if `to` is out of range or the peer endpoint was dropped.
+    /// Panics if `to` is out of range, or — on a fault-free fabric only —
+    /// if the peer endpoint was dropped.
     pub fn send(&self, to: usize, payload: Bytes) {
         assert!(to < self.size, "rank {to} out of range");
         // ordering: pure counters — nothing is published through them;
@@ -71,7 +101,18 @@ impl Endpoint {
         let n = payload.len() as u64;
         // ordering: same telemetry argument as the message counter above.
         self.stats.bytes.fetch_add(n, Ordering::Relaxed);
-        self.tx[to].send(payload).expect("peer endpoint dropped");
+        match self.faults.on_message(self.rank, to) {
+            MessageAction::Drop => return,
+            MessageAction::Delay(pause) => std::thread::sleep(pause),
+            MessageAction::Deliver => {}
+        }
+        if self.faults.is_armed() {
+            // A crashed peer dropped its receiver; model the datagram
+            // semantics of a send to a dead host.
+            let _ = self.tx[to].send(payload);
+        } else {
+            self.tx[to].send(payload).expect("peer endpoint dropped");
+        }
     }
 
     /// Block until a message from `from` arrives.
@@ -84,6 +125,26 @@ impl Endpoint {
         self.rx[from]
             .recv()
             .expect("peer endpoint dropped before sending")
+    }
+
+    /// Wait at most `timeout` for a message from `from`.
+    ///
+    /// Returns [`RecvTimeoutError::Disconnected`] once the peer's
+    /// endpoint has been dropped and its buffered messages are drained —
+    /// which is how a survivor detects a crashed rank without hanging —
+    /// and [`RecvTimeoutError::Timeout`] when the peer is (presumed)
+    /// alive but silent.
+    ///
+    /// # Panics
+    /// Panics if `from` is out of range.
+    pub fn recv_timeout(&self, from: usize, timeout: Duration) -> Result<Bytes, RecvTimeoutError> {
+        assert!(from < self.size, "rank {from} out of range");
+        self.rx[from].recv_timeout(timeout)
+    }
+
+    /// The fault injector this endpoint consults on every send.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Ring shift: send `payload` to `(rank + 1) % size`, receive from
@@ -172,6 +233,16 @@ impl Fabric {
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> Self {
+        Self::with_faults(size, FaultInjector::none())
+    }
+
+    /// Build a fabric whose endpoints consult `faults` on every send and
+    /// tolerate sends to crashed peers. With `FaultInjector::none()` this
+    /// is exactly [`Fabric::new`].
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn with_faults(size: usize, faults: FaultInjector) -> Self {
         assert!(size >= 1, "need at least one rank");
         // channels[from][to]
         let mut senders: Vec<Vec<Option<Sender<Bytes>>>> = (0..size)
@@ -206,6 +277,7 @@ impl Fabric {
                     .map(|r| r.expect("wiring loop fills every slot"))
                     .collect(),
                 stats: Arc::clone(&stats[rank]),
+                faults: faults.clone(),
             })
             .collect();
         Self { endpoints, stats }
@@ -230,7 +302,17 @@ where
     T: Send,
     F: Fn(Endpoint) -> T + Sync,
 {
-    let endpoints = Fabric::new(size).into_endpoints();
+    run_ranks_on(Fabric::new(size), body)
+}
+
+/// Like [`run_ranks`], but over a caller-built fabric (e.g. one armed
+/// with a [`FaultInjector`] via [`Fabric::with_faults`]).
+pub fn run_ranks_on<T, F>(fabric: Fabric, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Endpoint) -> T + Sync,
+{
+    let endpoints = fabric.into_endpoints();
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
@@ -346,6 +428,64 @@ mod tests {
             ep.broadcast(0, Some(b)).len()
         });
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn dead_peer_yields_timeout_error_not_a_hang() {
+        // Rank 1 crashes (drops its endpoint) without sending; rank 0's
+        // bounded receive must report the death instead of blocking
+        // forever.
+        let outputs = run_ranks(2, |ep| {
+            if ep.rank() == 0 {
+                let err = ep
+                    .recv_timeout(1, Duration::from_secs(5))
+                    .expect_err("dead peer must surface as an error");
+                // Dropping the endpoint closes the channel, so the error
+                // is Disconnected (near-instant), not a 5 s timeout.
+                assert_eq!(err, RecvTimeoutError::Disconnected);
+                true
+            } else {
+                drop(ep); // simulated crash
+                false
+            }
+        });
+        assert_eq!(outputs, vec![true, false]);
+    }
+
+    #[test]
+    fn silent_but_live_peer_yields_timeout() {
+        let fabric = Fabric::new(2);
+        let mut eps = fabric.into_endpoints();
+        let e1 = eps.pop().expect("two endpoints");
+        let e0 = eps.pop().expect("two endpoints");
+        // e1 is alive (not dropped) but never sends.
+        let err = e0
+            .recv_timeout(1, Duration::from_millis(20))
+            .expect_err("silence must time out");
+        assert_eq!(err, RecvTimeoutError::Timeout);
+        drop(e1);
+    }
+
+    #[test]
+    fn armed_fabric_drops_and_tolerates_dead_peers() {
+        let plan = gnet_fault::FaultPlan::parse("seed=1;drop(from=0,to=1,nth=0)")
+            .expect("literal plan parses");
+        let injector = FaultInjector::from_plan(&plan);
+        let fabric = Fabric::with_faults(2, injector.clone());
+        let mut eps = fabric.into_endpoints();
+        let e1 = eps.pop().expect("two endpoints");
+        let e0 = eps.pop().expect("two endpoints");
+        // First message on the 0→1 edge is dropped, second delivered.
+        e0.send(1, Bytes::from_static(b"lost"));
+        e0.send(1, Bytes::from_static(b"kept"));
+        let got = e1
+            .recv_timeout(0, Duration::from_secs(5))
+            .expect("second message survives");
+        assert_eq!(&got[..], b"kept");
+        assert_eq!(injector.faults_fired(), 1);
+        // Sends to a crashed peer are discarded, not a panic.
+        drop(e1);
+        e0.send(1, Bytes::from_static(b"into the void"));
     }
 
     #[test]

@@ -9,24 +9,100 @@
 //! *owner* (the rank that meets the partner block in the earlier round,
 //! ties to the lower rank), so every gene pair is computed exactly once
 //! across the cluster. Pooled-null moments and candidate edges are then
-//! gathered to rank 0, which applies the global threshold — the same
+//! collected on rank 0, which applies the global threshold — the same
 //! statistics, in the same arithmetic, as the shared-memory pipeline.
 //!
 //! This is the structure of the original TINGe MPI implementation (the
 //! cluster baseline the paper compares against), realized over the
 //! in-process fabric of [`crate::comm`].
+//!
+//! ## Failure awareness
+//!
+//! The driver survives the loss of any non-coordinator rank, with the
+//! same edge set as the fault-free run (degraded wall time only):
+//!
+//! * **Self-healing ring.** Every frame carries a tag and round number,
+//!   and every ring receive is bounded by a timeout. When a rank's
+//!   predecessor dies (or a frame is dropped/late), the rank
+//!   *reconstructs* the block it expected — block `(r − d) mod P` —
+//!   directly from the shared expression matrix and forwards it as its
+//!   own travelling block, so only the immediate successor pays the
+//!   detection latency and the ring stays whole downstream.
+//! * **Census + redistribution.** Rank 0 collects per-rank results with
+//!   bounded receives; ranks that never report are presumed dead. All
+//!   block pairs owned by dead ranks are redistributed round-robin over
+//!   the survivors (rank 0 included), recomputed from scratch in the
+//!   same canonical orientation, and merged as *supplements*. A rank
+//!   falsely presumed dead (its results frame was dropped) receives an
+//!   empty assignment and terminates; a survivor whose supplement never
+//!   arrives has its share recomputed by rank 0 — the ultimate backstop.
+//! * **Coordinator loss is job loss.** A fault plan that kills rank 0 is
+//!   rejected up front with [`ClusterError::CoordinatorCrash`] (MPI
+//!   semantics: the job cannot outlive its root).
+//!
+//! In a fault-free run the recovery protocol is pure bookkeeping: every
+//! assignment is empty, merging empty supplements is an exact no-op, and
+//! results merge in rank order — so the output is bit-identical to the
+//! historical gather-based implementation.
 
 use crate::codec::{decode_block, encode_block, GeneBlock};
-use crate::comm::{run_ranks, Endpoint};
+use crate::comm::{run_ranks_on, Endpoint, Fabric, RecvTimeoutError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gnet_bspline::BsplineBasis;
 use gnet_core::config::NullStrategy;
 use gnet_core::InferenceConfig;
 use gnet_expr::ExpressionMatrix;
+use gnet_fault::{names, Fault, FaultInjector};
 use gnet_graph::{Edge, GeneNetwork};
 use gnet_mi::{mi_with_nulls, prepare_gene, MiKernel, MiScratch};
 use gnet_permute::{PermutationSet, PooledNull};
+use gnet_trace::{Recorder, Value};
+use std::collections::HashMap;
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// How long a rank waits on a peer before presuming it dead. Generous
+/// relative to any real round time; a crashed rank's dropped endpoint is
+/// detected near-instantly anyway (channel disconnect), so this bound
+/// matters only for dropped or delayed frames.
+pub const DEFAULT_PEER_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Frame tags: every message on the fabric is `tag (1B) ‖ round (u32 LE)
+/// ‖ payload`. The round field is meaningful for `BLOCK` frames only
+/// (zero elsewhere) and lets a receiver discard a stale, delayed block
+/// instead of mistaking it for the current round's.
+const TAG_BLOCK: u8 = 1;
+const TAG_RESULTS: u8 = 3;
+const TAG_ASSIGN: u8 = 4;
+const TAG_SUPPLEMENT: u8 = 5;
+
+const FRAME_HEADER: usize = 5;
+
+/// A distributed run that cannot proceed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The fault plan kills rank 0. The coordinator owns the census, the
+    /// redistribution, and the final merge — its loss is job loss, and
+    /// the driver refuses up front rather than hanging every survivor.
+    CoordinatorCrash {
+        /// Ring round at which the plan would kill rank 0.
+        round: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CoordinatorCrash { round } => write!(
+                f,
+                "fault plan kills rank 0 at round {round}: coordinator loss is job loss \
+                 (no recovery path); rerun without the rank-0 crash"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// Per-rank execution statistics.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -43,6 +119,10 @@ pub struct RankStats {
     pub bytes_sent: u64,
     /// Wall time this rank spent computing (excludes waiting).
     pub busy: Duration,
+    /// True when an injected fault killed this rank mid-run.
+    pub crashed: bool,
+    /// Block pairs recomputed by this rank on behalf of dead ranks.
+    pub reassigned_block_pairs: usize,
 }
 
 /// Output of a distributed run.
@@ -55,6 +135,9 @@ pub struct DistributedResult {
     pub threshold: f64,
     /// Per-rank statistics, in rank order.
     pub rank_stats: Vec<RankStats>,
+    /// Ranks rank 0 presumed dead during the census (crashed, or their
+    /// results frame was lost). Empty on a fault-free run.
+    pub crashed_ranks: Vec<usize>,
 }
 
 /// Contiguous block bounds of rank `r` among `p` ranks over `n` genes.
@@ -83,7 +166,7 @@ fn block_pair_owner(a: usize, b: usize, p: usize) -> usize {
 }
 
 /// Run the full inference distributed over `ranks` simulated cluster
-/// ranks.
+/// ranks (fault-free fabric).
 ///
 /// # Panics
 /// Panics if `ranks` is zero or exceeds the gene count, or if the config
@@ -94,6 +177,36 @@ pub fn infer_network_distributed(
     config: &InferenceConfig,
     ranks: usize,
 ) -> DistributedResult {
+    infer_network_distributed_faulty(
+        matrix,
+        config,
+        ranks,
+        &FaultInjector::none(),
+        &Recorder::disabled(),
+        DEFAULT_PEER_TIMEOUT,
+    )
+    .expect("fault-free distributed run cannot fail")
+}
+
+/// Run the distributed inference on a fabric armed with `faults`,
+/// recording recovery events on `rec`. With `FaultInjector::none()` this
+/// is exactly [`infer_network_distributed`], bit for bit.
+///
+/// Any non-coordinator rank may crash, and messages may be dropped or
+/// delayed; the run still completes with the same edge set as the
+/// fault-free run (wall time degrades, never the result). Plans that
+/// kill rank 0 are rejected with [`ClusterError::CoordinatorCrash`].
+///
+/// # Panics
+/// Same validation panics as [`infer_network_distributed`].
+pub fn infer_network_distributed_faulty(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+    faults: &FaultInjector,
+    rec: &Recorder,
+    peer_timeout: Duration,
+) -> Result<DistributedResult, ClusterError> {
     config.validate();
     assert!(ranks >= 1, "need at least one rank");
     assert!(ranks <= matrix.genes(), "more ranks than genes");
@@ -102,37 +215,140 @@ pub fn infer_network_distributed(
         NullStrategy::ExactFull,
         "distributed path implements the exact strategy only"
     );
+    if let Some(plan) = faults.plan() {
+        for f in &plan.faults {
+            if let Fault::CrashRank { rank: 0, round } = *f {
+                return Err(ClusterError::CoordinatorCrash { round });
+            }
+        }
+    }
 
     let n = matrix.genes();
-    let outputs = run_ranks(ranks, |ep| rank_main(ep, matrix, config, n));
+    let fabric = Fabric::with_faults(ranks, faults.clone());
+    let outputs = run_ranks_on(fabric, |ep| {
+        rank_main(ep, matrix, config, n, rec, peer_timeout)
+    });
 
     let mut network = None;
     let mut threshold = 0.0;
+    let mut crashed_ranks = Vec::new();
     let mut rank_stats = Vec::with_capacity(ranks);
-    for (net, thr, stats) in outputs {
-        if let Some(net) = net {
+    for out in outputs {
+        if let Some(net) = out.network {
             network = Some(net);
-            threshold = thr;
+            threshold = out.threshold;
+            crashed_ranks = out.dead;
         }
-        rank_stats.push(stats);
+        rank_stats.push(out.stats);
     }
-    DistributedResult {
+    Ok(DistributedResult {
         network: network.expect("rank 0 produces the network"),
         threshold,
         rank_stats,
+        crashed_ranks,
+    })
+}
+
+/// One rank's share of reassigned work: pooled nulls plus candidates.
+type Share = (PooledNull, Vec<(u32, u32, f64)>);
+
+struct RankOutput {
+    network: Option<GeneNetwork>,
+    threshold: f64,
+    stats: RankStats,
+    /// Ranks presumed dead by the census (rank 0 only).
+    dead: Vec<usize>,
+}
+
+fn frame(tag: u8, round: u32, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER + payload.len());
+    buf.put_u8(tag);
+    buf.put_u32_le(round);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+fn parse_frame(mut bytes: Bytes) -> Option<(u8, u32, Bytes)> {
+    if bytes.len() < FRAME_HEADER {
+        return None;
+    }
+    let tag = bytes.get_u8();
+    let round = bytes.get_u32_le();
+    Some((tag, round, bytes))
+}
+
+/// Receive the `round`-th travelling block from `from`, discarding stale
+/// (earlier-round) blocks that a delay fault pushed past their deadline.
+fn recv_block(
+    ep: &Endpoint,
+    from: usize,
+    round: u32,
+    timeout: Duration,
+) -> Result<Bytes, &'static str> {
+    loop {
+        match ep.recv_timeout(from, timeout) {
+            Ok(raw) => match parse_frame(raw) {
+                Some((TAG_BLOCK, r, payload)) if r == round => return Ok(payload),
+                Some((TAG_BLOCK, r, _)) if r < round => continue, // stale delayed frame
+                _ => return Err("unexpected frame on ring channel"),
+            },
+            Err(RecvTimeoutError::Timeout) => return Err("peer timed out"),
+            Err(RecvTimeoutError::Disconnected) => return Err("peer disconnected"),
+        }
     }
 }
 
-type RankOutput = (Option<GeneNetwork>, f64, RankStats);
+/// Receive the next `want`-tagged frame from `from`, discarding any
+/// stale ring blocks still queued on the same channel.
+fn recv_tagged(
+    ep: &Endpoint,
+    from: usize,
+    want: u8,
+    timeout: Duration,
+) -> Result<Bytes, &'static str> {
+    loop {
+        match ep.recv_timeout(from, timeout) {
+            Ok(raw) => match parse_frame(raw) {
+                Some((TAG_BLOCK, _, _)) => continue, // stale ring traffic
+                Some((tag, _, payload)) if tag == want => return Ok(payload),
+                _ => return Err("unexpected frame"),
+            },
+            Err(RecvTimeoutError::Timeout) => return Err("peer timed out"),
+            Err(RecvTimeoutError::Disconnected) => return Err("peer disconnected"),
+        }
+    }
+}
+
+/// Prepare block `idx` of the `p`-way partition directly from the shared
+/// expression matrix — the reconstruction primitive behind ring healing
+/// and redistribution.
+fn build_block(
+    matrix: &ExpressionMatrix,
+    basis: &BsplineBasis,
+    n: usize,
+    p: usize,
+    idx: usize,
+) -> GeneBlock {
+    let (s, e) = block_range(n, p, idx);
+    GeneBlock {
+        indices: (s as u32..e as u32).collect(),
+        genes: (s..e)
+            .map(|g| prepare_gene(matrix.gene(g), basis))
+            .collect(),
+    }
+}
 
 fn rank_main(
     ep: Endpoint,
     matrix: &ExpressionMatrix,
     config: &InferenceConfig,
     n: usize,
+    rec: &Recorder,
+    peer_timeout: Duration,
 ) -> RankOutput {
     let p = ep.size();
     let r = ep.rank();
+    let faults = ep.faults().clone();
     let (start, end) = block_range(n, p, r);
     let basis = BsplineBasis::new(config.spline_order, config.bins);
     let perms = PermutationSet::generate(matrix.samples(), config.permutations, config.seed);
@@ -142,6 +358,27 @@ fn rank_main(
         ..Default::default()
     };
     let mut busy = Duration::ZERO;
+
+    macro_rules! die {
+        () => {{
+            stats.crashed = true;
+            stats.messages = ep.stats().messages();
+            stats.bytes_sent = ep.stats().bytes();
+            stats.busy = busy;
+            // Dropping the endpoint (by returning) closes this rank's
+            // channels — exactly how survivors detect the death.
+            return RankOutput {
+                network: None,
+                threshold: 0.0,
+                stats,
+                dead: Vec::new(),
+            };
+        }};
+    }
+
+    if faults.should_crash_rank(r, 0) {
+        die!();
+    }
 
     // Prepare the local block.
     let t0 = Instant::now();
@@ -173,17 +410,70 @@ fn rank_main(
 
     // Ring rotation: ⌊P/2⌋ rounds cover every cross-block pair once.
     let rounds = p / 2;
+    let next = (r + 1) % p;
+    let prev = (r + p - 1) % p;
     let mut travelling = encode_block(&own);
     for d in 1..=rounds {
-        travelling = ep.ring_shift(travelling);
+        if faults.should_crash_rank(r, d) {
+            die!();
+        }
+        ep.send(next, frame(TAG_BLOCK, d as u32, &travelling));
         let held = (r + p - d) % p;
+        // Receive the next block, or — if the predecessor died or the
+        // frame was lost — heal the ring by reconstructing the block we
+        // know we are due, so downstream ranks never notice.
+        let mut rebuilt: Option<GeneBlock> = None;
+        travelling = match recv_block(&ep, prev, d as u32, peer_timeout) {
+            Ok(payload) => payload,
+            Err(reason) => {
+                let t = Instant::now();
+                rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
+                rec.event(
+                    names::EVT_CRASH_DETECTED,
+                    &[
+                        ("rank", Value::from(r)),
+                        ("peer", Value::from(prev)),
+                        ("round", Value::from(d)),
+                        ("reason", Value::from(reason)),
+                    ],
+                );
+                let block = build_block(matrix, &basis, n, p, held);
+                let bytes = encode_block(&block);
+                rebuilt = Some(block);
+                let latency = t.elapsed();
+                busy += latency;
+                rec.observe(names::HIST_RECOVERY_LATENCY_US, latency);
+                rec.event(
+                    names::EVT_RING_HEALED,
+                    &[("rank", Value::from(r)), ("block", Value::from(held))],
+                );
+                bytes
+            }
+        };
         // Even-P tie round: both ranks of a pair hold each other's block;
         // only the owner computes.
         if block_pair_owner(r, held, p) != r {
             continue;
         }
         let t = Instant::now();
-        let foreign = decode_block(travelling.clone());
+        let foreign = match rebuilt {
+            Some(block) => block,
+            None => match decode_block(travelling.clone()) {
+                Ok(block) => block,
+                Err(_) => {
+                    // Corrupt frame: same cure as a lost one — rebuild
+                    // from the source matrix and forward the good copy.
+                    rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
+                    let block = build_block(matrix, &basis, n, p, held);
+                    travelling = encode_block(&block);
+                    rec.event(
+                        names::EVT_RING_HEALED,
+                        &[("rank", Value::from(r)), ("block", Value::from(held))],
+                    );
+                    block
+                }
+            },
+        };
         // Canonical orientation: the block with the lower global indices
         // is always the x (row) side, exactly as in the shared-memory
         // tiles. MI is symmetric, but the permutation null I(x, π(y)) is
@@ -208,39 +498,315 @@ fn rank_main(
         busy += t.elapsed();
     }
 
-    // Reduce pooled-null moments and candidates to rank 0.
-    let payload = encode_rank_results(&pooled, &candidates);
-    let gathered = ep.gather(0, payload);
+    let my_results = encode_rank_results(&pooled, &candidates);
+    let output = if r == 0 {
+        coordinate(
+            &ep,
+            matrix,
+            config,
+            n,
+            rec,
+            peer_timeout,
+            &basis,
+            &perms,
+            &mut scratch,
+            own,
+            my_results,
+            &mut stats,
+            &mut busy,
+        )
+    } else {
+        // Report results, then serve whatever share of the dead ranks'
+        // work the coordinator assigns.
+        ep.send(0, frame(TAG_RESULTS, 0, &my_results));
+        if let Ok(payload) = recv_tagged(&ep, 0, TAG_ASSIGN, peer_timeout) {
+            let assigned = decode_assignment(&payload);
+            let mut sup_pooled = PooledNull::new();
+            let mut sup_candidates: Vec<(u32, u32, f64)> = Vec::new();
+            if !assigned.is_empty() {
+                let t = Instant::now();
+                let mut cache: HashMap<usize, GeneBlock> = HashMap::new();
+                cache.insert(r, own);
+                for &(a, b) in &assigned {
+                    compute_assigned_pair(
+                        a,
+                        b,
+                        matrix,
+                        &basis,
+                        n,
+                        p,
+                        &mut cache,
+                        config.kernel,
+                        &perms,
+                        &mut scratch,
+                        &mut sup_pooled,
+                        &mut sup_candidates,
+                        &mut stats.pairs,
+                    );
+                }
+                stats.reassigned_block_pairs = assigned.len();
+                stats.block_pairs += assigned.len();
+                busy += t.elapsed();
+            }
+            let sup = encode_rank_results(&sup_pooled, &sup_candidates);
+            ep.send(0, frame(TAG_SUPPLEMENT, 0, &sup));
+        }
+        // Assignment lost or coordinator gone: terminate. Rank 0's
+        // supplement backstop recomputes our share if it was real.
+        None
+    };
 
     stats.messages = ep.stats().messages();
     stats.bytes_sent = ep.stats().bytes();
     stats.busy = busy;
 
-    if let Some(parts) = gathered {
-        let mut merged = PooledNull::new();
-        let mut all_candidates: Vec<(u32, u32, f64)> = Vec::new();
-        for part in parts {
-            let (pp, cc) = decode_rank_results(part);
-            merged.merge(&pp);
-            all_candidates.extend(cc);
+    match output {
+        Some((network, threshold, dead)) => RankOutput {
+            network: Some(network),
+            threshold,
+            stats,
+            dead,
+        },
+        None => RankOutput {
+            network: None,
+            threshold: 0.0,
+            stats,
+            dead: Vec::new(),
+        },
+    }
+}
+
+/// Rank 0's endgame: census, redistribution, supplement collection (with
+/// local recomputation as the backstop), merge, threshold.
+#[allow(clippy::too_many_arguments)]
+fn coordinate(
+    ep: &Endpoint,
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    n: usize,
+    rec: &Recorder,
+    peer_timeout: Duration,
+    basis: &BsplineBasis,
+    perms: &PermutationSet,
+    scratch: &mut MiScratch,
+    own: GeneBlock,
+    my_results: Bytes,
+    stats: &mut RankStats,
+    busy: &mut Duration,
+) -> Option<(GeneNetwork, f64, Vec<usize>)> {
+    let p = ep.size();
+
+    // Census: every rank that fails to report results is presumed dead.
+    let mut parts: Vec<Option<Bytes>> = vec![None; p];
+    parts[0] = Some(my_results);
+    let mut dead: Vec<usize> = Vec::new();
+    for (from, part) in parts.iter_mut().enumerate().skip(1) {
+        match recv_tagged(ep, from, TAG_RESULTS, peer_timeout) {
+            Ok(payload) => *part = Some(payload),
+            Err(reason) => {
+                dead.push(from);
+                rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
+                rec.event(
+                    names::EVT_CRASH_DETECTED,
+                    &[
+                        ("rank", Value::from(0usize)),
+                        ("peer", Value::from(from)),
+                        ("reason", Value::from(reason)),
+                    ],
+                );
+            }
         }
-        let total_pairs = (n as u64) * (n as u64 - 1) / 2;
-        let threshold = match config.mi_threshold {
-            Some(t) => t,
-            None => merged.global_threshold(config.alpha, total_pairs.max(1)),
-        };
-        all_candidates.sort_by_key(|c| (c.0, c.1));
-        let network = GeneNetwork::from_edges(
-            n,
-            matrix.gene_names().to_vec(),
-            all_candidates
-                .into_iter()
-                .filter(|&(_, _, v)| v > threshold)
-                .map(|(i, j, v)| Edge::new(i, j, v as f32)),
+    }
+
+    // Redistribute every block pair owned by a dead rank, round-robin
+    // over the survivors in lexicographic pair order — deterministic
+    // given the dead set.
+    let mut assignments: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
+    if !dead.is_empty() {
+        let survivors: Vec<usize> = (0..p).filter(|x| !dead.contains(x)).collect();
+        let mut cursor = 0usize;
+        for a in 0..p {
+            for b in a..p {
+                if dead.contains(&block_pair_owner(a, b, p)) {
+                    assignments[survivors[cursor % survivors.len()]].push((a, b));
+                    cursor += 1;
+                }
+            }
+        }
+        let total: usize = assignments.iter().map(Vec::len).sum();
+        rec.counter_add(names::CNT_PAIRS_REASSIGNED, total as u64);
+        rec.event(
+            names::EVT_REDISTRIBUTED,
+            &[
+                ("dead_ranks", Value::from(dead.len())),
+                ("block_pairs", Value::from(total)),
+                ("survivors", Value::from(survivors.len())),
+            ],
         );
-        (Some(network), threshold, stats)
+    }
+
+    // Every live nonzero rank gets its (possibly empty) assignment; a
+    // send to a truly dead rank is discarded by the armed fabric, and a
+    // falsely-presumed-dead rank gets the empty assignment it needs to
+    // terminate cleanly.
+    for (to, assignment) in assignments.iter().enumerate().skip(1) {
+        ep.send(to, frame(TAG_ASSIGN, 0, &encode_assignment(assignment)));
+    }
+
+    // Rank 0's own share, plus — as the backstop — any share whose
+    // supplement never arrives. Supplements merge in rank order so the
+    // result is deterministic for a given dead set.
+    let mut cache: HashMap<usize, GeneBlock> = HashMap::new();
+    cache.insert(0, own);
+    let compute_share = |share: &[(usize, usize)],
+                         scratch: &mut MiScratch,
+                         cache: &mut HashMap<usize, GeneBlock>,
+                         pair_counter: &mut u64|
+     -> Share {
+        let mut sp = PooledNull::new();
+        let mut sc = Vec::new();
+        for &(a, b) in share {
+            compute_assigned_pair(
+                a,
+                b,
+                matrix,
+                basis,
+                n,
+                p,
+                cache,
+                config.kernel,
+                perms,
+                scratch,
+                &mut sp,
+                &mut sc,
+                pair_counter,
+            );
+        }
+        (sp, sc)
+    };
+
+    let mut supplements: Vec<Option<Share>> = vec![None; p];
+    if !assignments[0].is_empty() {
+        let t = Instant::now();
+        supplements[0] = Some(compute_share(
+            &assignments[0],
+            scratch,
+            &mut cache,
+            &mut stats.pairs,
+        ));
+        stats.reassigned_block_pairs += assignments[0].len();
+        stats.block_pairs += assignments[0].len();
+        *busy += t.elapsed();
+    }
+    for from in 1..p {
+        if dead.contains(&from) {
+            continue;
+        }
+        match recv_tagged(ep, from, TAG_SUPPLEMENT, peer_timeout) {
+            Ok(payload) => {
+                let (sp, sc) = decode_rank_results(payload);
+                supplements[from] = Some((sp, sc));
+            }
+            Err(_) => {
+                // Survivor went silent after the census — recompute its
+                // share locally so the result never depends on it.
+                let t = Instant::now();
+                rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
+                supplements[from] = Some(compute_share(
+                    &assignments[from],
+                    scratch,
+                    &mut cache,
+                    &mut stats.pairs,
+                ));
+                stats.reassigned_block_pairs += assignments[from].len();
+                stats.block_pairs += assignments[from].len();
+                *busy += t.elapsed();
+            }
+        }
+    }
+
+    // Merge: phase-1 results in rank order, then supplements in rank
+    // order. Fault-free, every supplement is empty and this reduces to
+    // the historical gather-merge bit for bit.
+    let mut merged = PooledNull::new();
+    let mut all_candidates: Vec<(u32, u32, f64)> = Vec::new();
+    for part in parts.into_iter().flatten() {
+        let (pp, cc) = decode_rank_results(part);
+        merged.merge(&pp);
+        all_candidates.extend(cc);
+    }
+    for (sp, sc) in supplements.into_iter().flatten() {
+        merged.merge(&sp);
+        all_candidates.extend(sc);
+    }
+
+    let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+    let threshold = match config.mi_threshold {
+        Some(t) => t,
+        None => merged.global_threshold(config.alpha, total_pairs.max(1)),
+    };
+    all_candidates.sort_by_key(|c| (c.0, c.1));
+    let network = GeneNetwork::from_edges(
+        n,
+        matrix.gene_names().to_vec(),
+        all_candidates
+            .into_iter()
+            .filter(|&(_, _, v)| v > threshold)
+            .map(|(i, j, v)| Edge::new(i, j, v as f32)),
+    );
+    Some((network, threshold, dead))
+}
+
+/// Recompute one reassigned block pair `{a, b}` from the shared matrix,
+/// in the same canonical orientation as the original owner would have
+/// used (lower block index on the x side) — so the recomputed null draws
+/// and candidate decisions are identical to the lost ones.
+#[allow(clippy::too_many_arguments)]
+fn compute_assigned_pair(
+    a: usize,
+    b: usize,
+    matrix: &ExpressionMatrix,
+    basis: &BsplineBasis,
+    n: usize,
+    p: usize,
+    cache: &mut HashMap<usize, GeneBlock>,
+    kernel: MiKernel,
+    perms: &PermutationSet,
+    scratch: &mut MiScratch,
+    pooled: &mut PooledNull,
+    candidates: &mut Vec<(u32, u32, f64)>,
+    pair_counter: &mut u64,
+) {
+    let (lo, hi) = (a.min(b), a.max(b));
+    for idx in [lo, hi] {
+        cache
+            .entry(idx)
+            .or_insert_with(|| build_block(matrix, basis, n, p, idx));
+    }
+    let x = cache.get(&lo).expect("block cached just above");
+    if lo == hi {
+        compute_block_pair(
+            x,
+            None,
+            kernel,
+            perms,
+            scratch,
+            pooled,
+            candidates,
+            pair_counter,
+        );
     } else {
-        (None, 0.0, stats)
+        let y = cache.get(&hi).expect("block cached just above");
+        compute_block_pair(
+            x,
+            Some(y),
+            kernel,
+            perms,
+            scratch,
+            pooled,
+            candidates,
+            pair_counter,
+        );
     }
 }
 
@@ -287,6 +853,26 @@ fn compute_block_pair(
     }
 }
 
+fn encode_assignment(pairs: &[(usize, usize)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + pairs.len() * 8);
+    buf.put_u32_le(pairs.len() as u32);
+    for &(a, b) in pairs {
+        buf.put_u32_le(a as u32);
+        buf.put_u32_le(b as u32);
+    }
+    buf.freeze()
+}
+
+fn decode_assignment(bytes: &Bytes) -> Vec<(usize, usize)> {
+    let mut bytes = bytes.clone();
+    assert!(bytes.remaining() >= 4, "assignment frame too short");
+    let c = bytes.get_u32_le() as usize;
+    assert_eq!(bytes.remaining(), c * 8, "assignment frame length mismatch");
+    (0..c)
+        .map(|_| (bytes.get_u32_le() as usize, bytes.get_u32_le() as usize))
+        .collect()
+}
+
 fn encode_rank_results(pooled: &PooledNull, candidates: &[(u32, u32, f64)]) -> Bytes {
     let (count, mean, m2, max) = pooled.raw_parts();
     let mut buf = BytesMut::with_capacity(32 + 4 + candidates.len() * 16);
@@ -326,6 +912,7 @@ mod tests {
     use super::*;
     use gnet_core::infer_network;
     use gnet_expr::synth::{coupled_pairs, Coupling};
+    use gnet_fault::FaultPlan;
     use gnet_grnsim::{GrnConfig, SyntheticDataset};
 
     fn cfg() -> InferenceConfig {
@@ -414,6 +1001,7 @@ mod tests {
                 total_pairs, shared.stats.pairs,
                 "{ranks} ranks: pair coverage"
             );
+            assert!(dist.crashed_ranks.is_empty());
         }
     }
 
@@ -461,7 +1049,7 @@ mod tests {
         let dist = infer_network_distributed(&matrix, &cfg(), 4);
         for s in &dist.rank_stats {
             // Each rank ships its travelling block ⌊P/2⌋ times plus the
-            // gather/barrier traffic — single-digit message counts.
+            // census/assignment traffic — single-digit message counts.
             assert!(
                 s.messages <= 8,
                 "rank {} sent {} messages",
@@ -491,5 +1079,141 @@ mod tests {
     fn too_many_ranks_rejected() {
         let (matrix, _) = coupled_pairs(2, 50, Coupling::Linear(0.5), 1);
         let _ = infer_network_distributed(&matrix, &cfg(), 10);
+    }
+
+    // ---- failure-aware paths ----
+
+    fn faulty_timeout() -> Duration {
+        // Short enough to keep tests fast, long enough that a loaded CI
+        // machine never times out a live peer.
+        Duration::from_millis(500)
+    }
+
+    fn run_with_plan(
+        matrix: &ExpressionMatrix,
+        config: &InferenceConfig,
+        ranks: usize,
+        plan: &str,
+        rec: &Recorder,
+    ) -> Result<DistributedResult, ClusterError> {
+        let plan = FaultPlan::parse(plan).expect("test plan parses");
+        let injector = FaultInjector::from_plan(&plan);
+        infer_network_distributed_faulty(matrix, config, ranks, &injector, rec, faulty_timeout())
+    }
+
+    fn edge_keys(net: &GeneNetwork) -> Vec<(u32, u32)> {
+        net.edges().iter().map(|e| e.key()).collect()
+    }
+
+    #[test]
+    fn one_crashed_rank_yields_the_same_edge_set() {
+        let (matrix, _) = coupled_pairs(6, 220, Coupling::Linear(0.8), 42);
+        let baseline = infer_network_distributed(&matrix, &cfg(), 4);
+        let rec = Recorder::enabled();
+        // Rank 2 dies at the first ring round, before sending anything.
+        let dist = run_with_plan(&matrix, &cfg(), 4, "seed=7;crash(rank=2,round=1)", &rec)
+            .expect("non-coordinator crash must be survivable");
+        assert_eq!(dist.crashed_ranks, vec![2]);
+        assert!(dist.rank_stats[2].crashed);
+        assert_eq!(
+            edge_keys(&dist.network),
+            edge_keys(&baseline.network),
+            "recovery changed the inferred network"
+        );
+        // Coverage is preserved: the survivors' pairs plus the crashed
+        // rank's wasted (recomputed) pairs add up to full coverage plus
+        // exactly that waste — nothing is skipped, nothing double-counted.
+        let n_pairs: u64 = baseline.rank_stats.iter().map(|s| s.pairs).sum();
+        let wasted = dist.rank_stats[2].pairs;
+        let total: u64 = dist.rank_stats.iter().map(|s| s.pairs).sum();
+        assert_eq!(total, n_pairs + wasted, "pair coverage under recovery");
+        let reassigned: usize = dist
+            .rank_stats
+            .iter()
+            .map(|s| s.reassigned_block_pairs)
+            .sum();
+        assert!(reassigned > 0, "dead rank's block pairs must be reassigned");
+        assert!(rec.counter(names::CNT_CRASHES_DETECTED).unwrap_or(0) >= 1);
+        assert_eq!(rec.event_count(names::EVT_REDISTRIBUTED), 1);
+    }
+
+    #[test]
+    fn crash_in_a_later_round_is_survivable_too() {
+        let (matrix, _) = coupled_pairs(12, 120, Coupling::Linear(0.7), 5);
+        let baseline = infer_network_distributed(&matrix, &cfg(), 6);
+        let rec = Recorder::enabled();
+        // Rank 5 completes round 1, then dies entering round 2: survivors
+        // must heal the ring mid-rotation and recover its finished and
+        // unfinished work alike.
+        let dist = run_with_plan(&matrix, &cfg(), 6, "seed=7;crash(rank=5,round=2)", &rec)
+            .expect("late crash must be survivable");
+        assert_eq!(dist.crashed_ranks, vec![5]);
+        assert_eq!(edge_keys(&dist.network), edge_keys(&baseline.network));
+        assert!(rec.event_count(names::EVT_RING_HEALED) >= 1);
+    }
+
+    #[test]
+    fn two_dead_ranks_still_converge() {
+        let (matrix, _) = coupled_pairs(8, 140, Coupling::Linear(0.75), 11);
+        let baseline = infer_network_distributed(&matrix, &cfg(), 4);
+        let rec = Recorder::enabled();
+        let dist = run_with_plan(
+            &matrix,
+            &cfg(),
+            4,
+            "seed=7;crash(rank=1,round=1);crash(rank=3,round=2)",
+            &rec,
+        )
+        .expect("two non-coordinator crashes must be survivable");
+        assert_eq!(dist.crashed_ranks, vec![1, 3]);
+        assert_eq!(edge_keys(&dist.network), edge_keys(&baseline.network));
+    }
+
+    #[test]
+    fn dropped_results_frame_degrades_to_recomputation_not_corruption() {
+        let (matrix, _) = coupled_pairs(6, 160, Coupling::Linear(0.8), 23);
+        let baseline = infer_network_distributed(&matrix, &cfg(), 3);
+        let rec = Recorder::enabled();
+        // Rank 2's ring frame (its 1st message on the 2→0 edge) survives
+        // but its RESULTS frame (the 2nd) is dropped — it is presumed
+        // dead while alive, and its work is recomputed by the survivors.
+        let dist = run_with_plan(&matrix, &cfg(), 3, "seed=7;drop(from=2,to=0,nth=1)", &rec)
+            .expect("a lost results frame must be survivable");
+        assert_eq!(dist.crashed_ranks, vec![2]);
+        assert!(!dist.rank_stats[2].crashed, "rank 2 never actually died");
+        assert_eq!(edge_keys(&dist.network), edge_keys(&baseline.network));
+    }
+
+    #[test]
+    fn coordinator_crash_plans_are_rejected_up_front() {
+        let (matrix, _) = coupled_pairs(4, 100, Coupling::Linear(0.8), 2);
+        let rec = Recorder::disabled();
+        let err = run_with_plan(&matrix, &cfg(), 4, "seed=7;crash(rank=0,round=1)", &rec)
+            .expect_err("rank-0 crash has no recovery path");
+        assert_eq!(err, ClusterError::CoordinatorCrash { round: 1 });
+        let msg = err.to_string();
+        assert!(msg.contains("rank 0"), "error must name the coordinator");
+    }
+
+    #[test]
+    fn unarmed_faulty_entry_point_is_bit_identical_to_plain() {
+        let (matrix, _) = coupled_pairs(12, 180, Coupling::Linear(0.35), 321);
+        let plain = infer_network_distributed(&matrix, &cfg(), 4);
+        let via_faulty = infer_network_distributed_faulty(
+            &matrix,
+            &cfg(),
+            4,
+            &FaultInjector::none(),
+            &Recorder::disabled(),
+            DEFAULT_PEER_TIMEOUT,
+        )
+        .expect("fault-free run");
+        assert_eq!(plain.threshold.to_bits(), via_faulty.threshold.to_bits());
+        let a: Vec<_> = plain.network.edges().iter().map(|e| e.key()).collect();
+        let b: Vec<_> = via_faulty.network.edges().iter().map(|e| e.key()).collect();
+        assert_eq!(a, b);
+        for (x, y) in plain.network.edges().iter().zip(via_faulty.network.edges()) {
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+        }
     }
 }

@@ -21,6 +21,12 @@
 //! shared-memory pipeline (asserted in tests across rank counts), which
 //! is the property that makes the paper's single-chip-vs-cluster
 //! comparison an apples-to-apples one.
+//!
+//! The fabric and driver are failure-aware: receives are bounded
+//! ([`Endpoint::recv_timeout`]), a [`gnet_fault::FaultInjector`] can
+//! crash ranks and drop or delay frames ([`Fabric::with_faults`]), and
+//! the driver recovers from any non-coordinator loss with the same edge
+//! set as the fault-free run (see [`distributed`] module docs).
 
 // cast-ok (crate-wide): the wire format carries u32 lengths/ids and f32
 // edge weights by design; block sizes and gene counts are bounded far
@@ -32,5 +38,9 @@ pub mod codec;
 pub mod comm;
 pub mod distributed;
 
-pub use comm::{CommStats, Endpoint, Fabric};
-pub use distributed::{infer_network_distributed, DistributedResult, RankStats};
+pub use codec::CodecError;
+pub use comm::{run_ranks, run_ranks_on, CommStats, Endpoint, Fabric, RecvTimeoutError};
+pub use distributed::{
+    infer_network_distributed, infer_network_distributed_faulty, ClusterError, DistributedResult,
+    RankStats, DEFAULT_PEER_TIMEOUT,
+};

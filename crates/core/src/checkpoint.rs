@@ -61,6 +61,27 @@ fn run_digest(config: &InferenceConfig, matrix: &ExpressionMatrix, tiles: usize)
     h
 }
 
+/// The digest binding checkpoints to `(config, matrix shape, tiling)`,
+/// computed without running the pipeline.
+///
+/// [`infer_network_resumable`] derives the same value internally; the
+/// durable store ([`crate::durable::CheckpointStore`]) uses this to
+/// reject stale or foreign checkpoints with a typed error *before* the
+/// run starts, instead of panicking mid-resume.
+///
+/// # Panics
+/// Panics on config/matrix violations (fewer than two genes).
+#[must_use]
+pub fn run_digest_for(matrix: &ExpressionMatrix, config: &InferenceConfig) -> u64 {
+    config.validate();
+    assert!(matrix.genes() >= 2, "need at least two genes");
+    let basis = BsplineBasis::new(config.spline_order, config.bins);
+    let probe = prepare_gene(matrix.gene(0), &basis);
+    let tile_size = config.resolved_tile_size(matrix.genes(), probe.heap_bytes());
+    let space = TileSpace::new(matrix.genes(), tile_size);
+    run_digest(config, matrix, space.tiles().len())
+}
+
 /// Outcome of a resumable run: finished, or interrupted with the progress
 /// needed to continue.
 pub type ResumableOutcome = Result<InferenceResult, Checkpoint>;

@@ -32,13 +32,17 @@
 pub mod baselines;
 pub mod checkpoint;
 pub mod config;
+pub mod durable;
 pub mod mi_matrix;
 pub mod pipeline;
 pub mod plan;
 pub mod result;
 
-pub use checkpoint::{infer_network_resumable, infer_network_resumable_traced, Checkpoint};
+pub use checkpoint::{
+    infer_network_resumable, infer_network_resumable_traced, run_digest_for, Checkpoint,
+};
 pub use config::{InferenceConfig, NullStrategy};
+pub use durable::{infer_network_durable, CheckpointError, CheckpointStore};
 pub use gnet_trace::Recorder;
 pub use mi_matrix::{compute_mi_matrix, MiMatrix};
 pub use pipeline::{infer_network, infer_network_traced};

@@ -1,0 +1,454 @@
+//! The runtime fault injector consulted at every fault point.
+//!
+//! Mirrors the `Recorder` design from `gnet-trace`: a cloneable handle
+//! whose default state is *disarmed* and costs one `Option` branch per
+//! query, so the fabric, checkpoint store, and offload simulator can keep
+//! their injection hooks unconditionally wired without taxing production
+//! runs. Armed injectors are `Send + Sync` and shared across rank
+//! threads; all bookkeeping is atomic counters plus one mutex-guarded
+//! per-edge message map (touched at message granularity, far off the hot
+//! path).
+//!
+//! Every fault that actually fires is recorded through the injector's
+//! `Recorder` under the [`crate::names`] vocabulary, so the metrics
+//! document of a chaos run lists exactly which injections happened.
+
+use crate::names;
+use crate::plan::{Fault, FaultPlan, IoOp};
+use gnet_trace::{Recorder, Value};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// What the fabric should do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageAction {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop (the receiver sees nothing).
+    Drop,
+    /// Deliver after sleeping for the given duration.
+    Delay(Duration),
+}
+
+struct Inner {
+    plan: FaultPlan,
+    /// Messages observed per directed edge `(from, to)`.
+    edge_counts: Mutex<HashMap<(usize, usize), u64>>,
+    /// I/O operations observed per [`IoOp`] kind.
+    io_counts: [AtomicU64; 3],
+    /// Checkpoint payloads offered for corruption so far.
+    checkpoint_writes: AtomicU64,
+    /// Total faults that actually fired.
+    fired: AtomicU64,
+    rec: Recorder,
+}
+
+/// Cloneable handle to a fault plan being executed, or to nothing.
+///
+/// [`FaultInjector::none`] (also `Default`) is the disarmed handle every
+/// production path uses.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<Inner>>,
+}
+
+impl FaultInjector {
+    /// The disarmed injector: every query is a no-op.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Arm an injector with `plan`, recording fired faults nowhere.
+    #[must_use]
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        Self::from_plan_traced(plan, &Recorder::disabled())
+    }
+
+    /// Arm an injector with `plan`, recording fired faults into `rec`.
+    #[must_use]
+    pub fn from_plan_traced(plan: &FaultPlan, rec: &Recorder) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                plan: plan.clone(),
+                edge_counts: Mutex::new(HashMap::new()),
+                io_counts: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+                checkpoint_writes: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+                rec: rec.clone(),
+            })),
+        }
+    }
+
+    /// True when a plan is armed (even an empty one).
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The armed plan, if any.
+    #[must_use]
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.inner.as_deref().map(|i| &i.plan)
+    }
+
+    /// Total faults that have fired so far.
+    #[must_use]
+    pub fn faults_fired(&self) -> u64 {
+        self.inner.as_deref().map_or(0, |i| {
+            // ordering: independent stat counter; no cross-thread data dependency.
+            i.fired.load(Ordering::Relaxed)
+        })
+    }
+
+    fn fire(inner: &Inner) {
+        // ordering: independent stat counter; no cross-thread data dependency.
+        inner.fired.fetch_add(1, Ordering::Relaxed);
+        inner.rec.counter_add(names::CNT_FAULTS_INJECTED, 1);
+    }
+
+    /// Consult the plan for one fabric message on `from → to`.
+    ///
+    /// Advances the per-edge message count; a `Drop` clause beats a
+    /// `Delay` clause matching the same message.
+    pub fn on_message(&self, from: usize, to: usize) -> MessageAction {
+        let Some(inner) = self.inner.as_deref() else {
+            return MessageAction::Deliver;
+        };
+        let nth = {
+            let mut counts = inner
+                .edge_counts
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let slot = counts.entry((from, to)).or_insert(0);
+            let nth = *slot;
+            *slot += 1;
+            nth
+        };
+        let mut delay = None;
+        for fault in &inner.plan.faults {
+            match *fault {
+                Fault::DropMessage {
+                    from: f,
+                    to: t,
+                    nth: n,
+                } if f == from && t == to && n == nth => {
+                    Self::fire(inner);
+                    inner.rec.event(
+                        names::EVT_MESSAGE_DROPPED,
+                        &[
+                            ("from", Value::from(from)),
+                            ("to", Value::from(to)),
+                            ("nth", Value::from(nth)),
+                        ],
+                    );
+                    return MessageAction::Drop;
+                }
+                Fault::DelayMessage {
+                    from: f,
+                    to: t,
+                    nth: n,
+                    micros,
+                } if f == from && t == to && n == nth && delay.is_none() => {
+                    delay = Some(micros);
+                }
+                _ => {}
+            }
+        }
+        match delay {
+            Some(micros) => {
+                Self::fire(inner);
+                inner.rec.event(
+                    names::EVT_MESSAGE_DELAYED,
+                    &[
+                        ("from", Value::from(from)),
+                        ("to", Value::from(to)),
+                        ("nth", Value::from(nth)),
+                        ("us", Value::from(micros)),
+                    ],
+                );
+                MessageAction::Delay(Duration::from_micros(micros))
+            }
+            None => MessageAction::Deliver,
+        }
+    }
+
+    /// Should `rank` die at ring-round boundary `round`?
+    pub fn should_crash_rank(&self, rank: usize, round: usize) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        let hit = inner.plan.faults.iter().any(
+            |f| matches!(*f, Fault::CrashRank { rank: r, round: d } if r == rank && d == round),
+        );
+        if hit {
+            Self::fire(inner);
+            inner.rec.event(
+                names::EVT_RANK_CRASH,
+                &[("rank", Value::from(rank)), ("round", Value::from(round))],
+            );
+        }
+        hit
+    }
+
+    /// Should the shared-memory pipeline die at chunk boundary `boundary`?
+    pub fn should_crash_at_chunk(&self, boundary: usize) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        let hit = inner
+            .plan
+            .faults
+            .iter()
+            .any(|f| matches!(*f, Fault::CrashAtChunk { boundary: b } if b == boundary));
+        if hit {
+            Self::fire(inner);
+            inner.rec.event(
+                names::EVT_CHUNK_CRASH,
+                &[("boundary", Value::from(boundary))],
+            );
+        }
+        hit
+    }
+
+    /// Consult the plan before performing a file operation of kind `op`.
+    ///
+    /// Advances the per-kind operation count; returns the injected error
+    /// the caller must surface instead of performing the operation.
+    pub fn on_io(&self, op: IoOp) -> Option<io::Error> {
+        let inner = self.inner.as_deref()?;
+        // ordering: independent stat counter; no cross-thread data dependency.
+        let nth = inner.io_counts[op.index()].fetch_add(1, Ordering::Relaxed);
+        let hit = inner
+            .plan
+            .faults
+            .iter()
+            .any(|f| matches!(*f, Fault::IoError { op: o, nth: n } if o == op && n == nth));
+        if hit {
+            Self::fire(inner);
+            inner.rec.event(
+                names::EVT_IO_ERROR,
+                &[("op", Value::from(op.index())), ("nth", Value::from(nth))],
+            );
+            Some(io::Error::other(format!(
+                "injected fault: {op:?} operation #{nth} failed"
+            )))
+        } else {
+            None
+        }
+    }
+
+    /// Offer one encoded checkpoint payload for corruption.
+    ///
+    /// Advances the write count and applies every matching bit flip in
+    /// place. Returns true when at least one bit was flipped.
+    pub fn corrupt_checkpoint(&self, bytes: &mut [u8]) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        // ordering: independent stat counter; no cross-thread data dependency.
+        let write = inner.checkpoint_writes.fetch_add(1, Ordering::Relaxed);
+        let mut flipped = false;
+        for fault in &inner.plan.faults {
+            if let Fault::FlipBit {
+                write: w,
+                byte,
+                bit,
+            } = *fault
+            {
+                if w == write && byte < bytes.len() {
+                    bytes[byte] ^= 1 << bit;
+                    flipped = true;
+                    Self::fire(inner);
+                    inner.rec.event(
+                        names::EVT_BIT_FLIP,
+                        &[
+                            ("write", Value::from(write)),
+                            ("byte", Value::from(byte)),
+                            ("bit", Value::from(u64::from(bit))),
+                        ],
+                    );
+                }
+            }
+        }
+        flipped
+    }
+
+    /// The device-loss point, if the plan schedules one: the number of
+    /// device tiles completed before the coprocessor dies.
+    #[must_use]
+    pub fn device_loss_tile(&self) -> Option<usize> {
+        let inner = self.inner.as_deref()?;
+        inner
+            .plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::DeviceLoss { tile } => Some(tile),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Record that a scheduled device loss actually applied at `tile`.
+    pub fn note_device_loss(&self, tile: usize) {
+        if let Some(inner) = self.inner.as_deref() {
+            Self::fire(inner);
+            inner
+                .rec
+                .event(names::EVT_DEVICE_LOSS, &[("tile", Value::from(tile))]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChaosSpace;
+
+    #[test]
+    fn disarmed_injector_is_inert() {
+        let inj = FaultInjector::none();
+        assert!(!inj.is_armed());
+        assert_eq!(inj.on_message(0, 1), MessageAction::Deliver);
+        assert!(!inj.should_crash_rank(1, 1));
+        assert!(!inj.should_crash_at_chunk(0));
+        assert!(inj.on_io(IoOp::Write).is_none());
+        let mut buf = [0xffu8; 4];
+        assert!(!inj.corrupt_checkpoint(&mut buf));
+        assert_eq!(buf, [0xff; 4]);
+        assert_eq!(inj.device_loss_tile(), None);
+        assert_eq!(inj.faults_fired(), 0);
+    }
+
+    #[test]
+    fn drop_fires_on_exact_edge_and_index() {
+        let plan = FaultPlan::new(1).with(Fault::DropMessage {
+            from: 0,
+            to: 1,
+            nth: 1,
+        });
+        let inj = FaultInjector::from_plan(&plan);
+        assert_eq!(inj.on_message(0, 1), MessageAction::Deliver); // nth 0
+        assert_eq!(inj.on_message(1, 0), MessageAction::Deliver); // other edge
+        assert_eq!(inj.on_message(0, 1), MessageAction::Drop); // nth 1
+        assert_eq!(inj.on_message(0, 1), MessageAction::Deliver); // nth 2
+        assert_eq!(inj.faults_fired(), 1);
+    }
+
+    #[test]
+    fn delay_yields_duration_and_drop_wins_over_delay() {
+        let plan = FaultPlan::new(1)
+            .with(Fault::DelayMessage {
+                from: 2,
+                to: 3,
+                nth: 0,
+                micros: 250,
+            })
+            .with(Fault::DropMessage {
+                from: 2,
+                to: 3,
+                nth: 1,
+            })
+            .with(Fault::DelayMessage {
+                from: 2,
+                to: 3,
+                nth: 1,
+                micros: 9,
+            });
+        let inj = FaultInjector::from_plan(&plan);
+        assert_eq!(
+            inj.on_message(2, 3),
+            MessageAction::Delay(Duration::from_micros(250))
+        );
+        assert_eq!(inj.on_message(2, 3), MessageAction::Drop);
+    }
+
+    #[test]
+    fn crash_queries_match_rank_and_round() {
+        let plan = FaultPlan::new(1)
+            .with(Fault::CrashRank { rank: 2, round: 1 })
+            .with(Fault::CrashAtChunk { boundary: 3 });
+        let inj = FaultInjector::from_plan(&plan);
+        assert!(!inj.should_crash_rank(2, 0));
+        assert!(!inj.should_crash_rank(1, 1));
+        assert!(inj.should_crash_rank(2, 1));
+        assert!(!inj.should_crash_at_chunk(2));
+        assert!(inj.should_crash_at_chunk(3));
+    }
+
+    #[test]
+    fn io_error_fires_on_nth_operation_of_kind() {
+        let plan = FaultPlan::new(1).with(Fault::IoError {
+            op: IoOp::Rename,
+            nth: 1,
+        });
+        let inj = FaultInjector::from_plan(&plan);
+        assert!(inj.on_io(IoOp::Write).is_none()); // other kind
+        assert!(inj.on_io(IoOp::Rename).is_none()); // nth 0
+        let err = inj.on_io(IoOp::Rename); // nth 1
+        assert!(err.is_some());
+        assert!(err
+            .map(|e| e.to_string())
+            .is_some_and(|m| m.contains("injected fault")));
+        assert!(inj.on_io(IoOp::Rename).is_none()); // nth 2
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_the_named_bit() {
+        let plan = FaultPlan::new(1).with(Fault::FlipBit {
+            write: 1,
+            byte: 2,
+            bit: 4,
+        });
+        let inj = FaultInjector::from_plan(&plan);
+        let mut first = [0u8; 4];
+        assert!(!inj.corrupt_checkpoint(&mut first)); // write 0 untouched
+        assert_eq!(first, [0; 4]);
+        let mut second = [0u8; 4];
+        assert!(inj.corrupt_checkpoint(&mut second)); // write 1 corrupted
+        assert_eq!(second, [0, 0, 1 << 4, 0]);
+    }
+
+    #[test]
+    fn fired_faults_are_recorded_in_the_trace() {
+        let rec = Recorder::enabled();
+        let plan = FaultPlan::new(1).with(Fault::DropMessage {
+            from: 0,
+            to: 1,
+            nth: 0,
+        });
+        let inj = FaultInjector::from_plan_traced(&plan, &rec);
+        assert_eq!(inj.on_message(0, 1), MessageAction::Drop);
+        assert_eq!(rec.event_count(names::EVT_MESSAGE_DROPPED), 1);
+        assert_eq!(rec.counter(names::CNT_FAULTS_INJECTED), Some(1));
+    }
+
+    #[test]
+    fn randomized_plan_drives_injector_deterministically() {
+        let space = ChaosSpace {
+            ranks: 4,
+            rounds: 2,
+            chunk_boundaries: 4,
+            checkpoint_bytes: 64,
+            device_tiles: 8,
+        };
+        let plan = FaultPlan::randomized(7, &space, 6);
+        let a = FaultInjector::from_plan(&plan);
+        let b = FaultInjector::from_plan(&plan);
+        for from in 0..4 {
+            for to in 0..4 {
+                if from != to {
+                    for _ in 0..4 {
+                        assert_eq!(a.on_message(from, to), b.on_message(from, to));
+                    }
+                }
+            }
+        }
+        assert_eq!(a.faults_fired(), b.faults_fired());
+        assert_eq!(a.device_loss_tile(), b.device_loss_tile());
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic fault injection for chaos testing the pipeline.
+//!
+//! A multi-hour whole-genome run must survive preempted ranks, dropped
+//! fabric messages, torn checkpoint writes, and dying coprocessors. This
+//! crate makes every one of those failures a *reproducible test case*:
+//!
+//! * [`FaultPlan`] — a seeded list of faults to inject. Plans render to
+//!   and parse from a compact plan string
+//!   (`seed=42;crash(rank=1,round=2);flip(write=0,byte=17,bit=3)`), so a
+//!   chaos failure observed in CI replays locally from one line of text.
+//!   [`FaultPlan::randomized`] derives a plan from a seed via SplitMix64,
+//!   giving unbounded deterministic chaos from a single integer.
+//! * [`FaultInjector`] — the cheap, cloneable runtime handle the fabric,
+//!   checkpoint store, distributed driver, and offload simulator consult
+//!   at their fault points. The default handle is **disarmed**: every
+//!   query is a single `Option` branch, so production paths pay nothing.
+//! * [`names`] — the trace vocabulary shared between injection sites and
+//!   the recovery paths that react to them, so metrics JSON shows both
+//!   what was injected and what the recovery cost.
+//!
+//! The crate sits below `gnet-core`/`gnet-cluster`/`gnet-phi` in the
+//! workspace graph and depends only on `gnet-trace`.
+
+// cast-ok (crate-wide): randomized plans narrow SplitMix64 draws back
+// into the integer domains that bounded them (`ChaosSpace` usize fields,
+// bit indices drawn below 8), so the casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
+#![warn(missing_docs)]
+
+mod injector;
+mod plan;
+mod rng;
+
+pub use injector::{FaultInjector, MessageAction};
+pub use plan::{ChaosSpace, Fault, FaultPlan, IoOp, PlanParseError};
+pub use rng::SplitMix64;
+
+/// Trace event/counter/histogram names shared by injection and recovery.
+///
+/// Injection sites record the `fault.*` names; the recovery paths in
+/// `gnet-core`, `gnet-cluster`, and `gnet-phi` record the `recovery.*`
+/// names. Tests and the metrics exporter address both through these
+/// constants so the vocabulary cannot drift.
+pub mod names {
+    /// Event: a fabric message was silently dropped.
+    pub const EVT_MESSAGE_DROPPED: &str = "fault.message_dropped";
+    /// Event: a fabric message was delayed before delivery.
+    pub const EVT_MESSAGE_DELAYED: &str = "fault.message_delayed";
+    /// Event: a rank crashed at a ring-round boundary.
+    pub const EVT_RANK_CRASH: &str = "fault.rank_crash";
+    /// Event: the shared-memory pipeline was killed at a chunk boundary.
+    pub const EVT_CHUNK_CRASH: &str = "fault.chunk_crash";
+    /// Event: an injected I/O error fired.
+    pub const EVT_IO_ERROR: &str = "fault.io_error";
+    /// Event: checkpoint payload bytes were bit-flipped before writing.
+    pub const EVT_BIT_FLIP: &str = "fault.bit_flip";
+    /// Event: the offload device died mid-split.
+    pub const EVT_DEVICE_LOSS: &str = "fault.device_loss";
+    /// Counter: total faults fired by an injector.
+    pub const CNT_FAULTS_INJECTED: &str = "fault.injected";
+
+    /// Event: a survivor detected a dead peer.
+    pub const EVT_CRASH_DETECTED: &str = "recovery.crash_detected";
+    /// Event: a rank healed a broken ring by rebuilding the block locally.
+    pub const EVT_RING_HEALED: &str = "recovery.ring_healed";
+    /// Event: dead-owned block pairs were reassigned to survivors.
+    pub const EVT_REDISTRIBUTED: &str = "recovery.redistributed";
+    /// Event: an interrupted run resumed from a durable checkpoint.
+    pub const EVT_RESUMED: &str = "recovery.resumed";
+    /// Event: offload work failed over to host-only execution.
+    pub const EVT_HOST_FALLBACK: &str = "recovery.host_fallback";
+    /// Counter: dead peers detected across all ranks.
+    pub const CNT_CRASHES_DETECTED: &str = "recovery.crashes_detected";
+    /// Counter: successful resumes from a durable checkpoint.
+    pub const CNT_RESUMES: &str = "recovery.resumes";
+    /// Counter: block pairs recomputed by survivors after a crash.
+    pub const CNT_PAIRS_REASSIGNED: &str = "recovery.pairs_reassigned";
+    /// Counter: device tiles failed over to the host.
+    pub const CNT_FAILOVER_TILES: &str = "recovery.failover_tiles";
+    /// Histogram: microseconds from failure to detection/repair.
+    pub const HIST_RECOVERY_LATENCY_US: &str = "recovery.latency_us";
+}

@@ -1,0 +1,580 @@
+//! Fault plans: what to inject, rendered to a replayable plan string.
+//!
+//! Grammar (semicolon-separated, no whitespace significance):
+//!
+//! ```text
+//! plan     := "seed=" u64 (";" fault)*
+//! fault    := crash | chunk | drop | delay | io | flip | device
+//! crash    := "crash(rank=" usize ",round=" usize ")"
+//! chunk    := "chunk-crash(boundary=" usize ")"
+//! drop     := "drop(from=" usize ",to=" usize ",nth=" u64 ")"
+//! delay    := "delay(from=" usize ",to=" usize ",nth=" u64 ",us=" u64 ")"
+//! io       := "io(op=" ("read"|"write"|"rename") ",nth=" u64 ")"
+//! flip     := "flip(write=" u64 ",byte=" usize ",bit=" 0..=7 ")"
+//! device   := "device(tile=" usize ")"
+//! ```
+//!
+//! `Display` emits exactly this grammar, so `FaultPlan::parse(&p.to_string())`
+//! round-trips every plan — the property the chaos CI job relies on to
+//! replay failures from a single logged line.
+
+use crate::rng::SplitMix64;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which file operation an injected I/O error targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Reading a checkpoint file back.
+    Read,
+    /// Writing the temporary checkpoint file.
+    Write,
+    /// Renaming the temporary file over the durable one.
+    Rename,
+}
+
+impl IoOp {
+    /// Stable index for per-op counters.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Self::Read => 0,
+            Self::Write => 1,
+            Self::Rename => 2,
+        }
+    }
+
+    fn token(self) -> &'static str {
+        match self {
+            Self::Read => "read",
+            Self::Write => "write",
+            Self::Rename => "rename",
+        }
+    }
+}
+
+/// One injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Rank `rank` dies at ring-round boundary `round` (0 = before its
+    /// diagonal block, `r` = before sending in round `r`).
+    CrashRank {
+        /// Rank that dies. Rank 0 (the coordinator) is rejected by the
+        /// distributed driver, mirroring MPI semantics where loss of the
+        /// root is loss of the job.
+        rank: usize,
+        /// Ring-round boundary at which the rank stops executing.
+        round: usize,
+    },
+    /// The shared-memory pipeline is killed at checkpoint chunk boundary
+    /// `boundary` (0-based count of completed chunks), after the durable
+    /// checkpoint for that boundary has been written.
+    CrashAtChunk {
+        /// Chunk boundary (0-based) at which the process dies.
+        boundary: usize,
+    },
+    /// Silently drop the `nth` (0-based) fabric message on `from → to`.
+    DropMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 0-based message index on this directed edge.
+        nth: u64,
+    },
+    /// Delay the `nth` message on `from → to` by `micros` microseconds.
+    DelayMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 0-based message index on this directed edge.
+        nth: u64,
+        /// Injected latency in microseconds.
+        micros: u64,
+    },
+    /// Fail the `nth` (0-based) file operation of kind `op`.
+    IoError {
+        /// Targeted operation kind.
+        op: IoOp,
+        /// 0-based count of operations of that kind.
+        nth: u64,
+    },
+    /// Flip `bit` of `byte` in the payload of the `nth` checkpoint write,
+    /// simulating a torn write / silent media corruption.
+    FlipBit {
+        /// 0-based checkpoint write index.
+        write: u64,
+        /// Byte offset within the encoded payload.
+        byte: usize,
+        /// Bit position within the byte (0–7).
+        bit: u8,
+    },
+    /// The offload device dies after completing `tile` device tiles.
+    DeviceLoss {
+        /// Number of device tiles completed before the loss.
+        tile: usize,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::CrashRank { rank, round } => write!(f, "crash(rank={rank},round={round})"),
+            Self::CrashAtChunk { boundary } => write!(f, "chunk-crash(boundary={boundary})"),
+            Self::DropMessage { from, to, nth } => write!(f, "drop(from={from},to={to},nth={nth})"),
+            Self::DelayMessage {
+                from,
+                to,
+                nth,
+                micros,
+            } => write!(f, "delay(from={from},to={to},nth={nth},us={micros})"),
+            Self::IoError { op, nth } => write!(f, "io(op={},nth={nth})", op.token()),
+            Self::FlipBit { write, byte, bit } => {
+                write!(f, "flip(write={write},byte={byte},bit={bit})")
+            }
+            Self::DeviceLoss { tile } => write!(f, "device(tile={tile})"),
+        }
+    }
+}
+
+/// Error from [`FaultPlan::parse`]: what was malformed and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The offending clause (or the whole input for structural errors).
+    pub clause: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad fault plan clause `{}`: {}",
+            self.clause, self.message
+        )
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn clause_err(clause: &str, message: impl Into<String>) -> PlanParseError {
+    PlanParseError {
+        clause: clause.to_string(),
+        message: message.into(),
+    }
+}
+
+/// A seeded, ordered list of faults to inject — the unit of replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed the plan was derived from (recorded for provenance; randomized
+    /// plans with the same seed and space are identical).
+    pub seed: u64,
+    /// Faults to inject, in declaration order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying only a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Builder-style: append one fault.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True when the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parse a plan string produced by `Display` (grammar in the module
+    /// docs).
+    ///
+    /// # Errors
+    /// Returns a [`PlanParseError`] naming the malformed clause.
+    pub fn parse(text: &str) -> Result<Self, PlanParseError> {
+        let text = text.trim();
+        let mut clauses = text.split(';');
+        let seed_clause = clauses
+            .next()
+            .ok_or_else(|| clause_err(text, "empty plan"))?
+            .trim();
+        let seed = seed_clause
+            .strip_prefix("seed=")
+            .ok_or_else(|| clause_err(seed_clause, "plan must start with `seed=<u64>`"))?;
+        let seed = u64::from_str(seed)
+            .map_err(|_| clause_err(seed_clause, "seed is not an unsigned integer"))?;
+        let mut plan = Self::new(seed);
+        for clause in clauses {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            plan.faults.push(parse_fault(clause)?);
+        }
+        Ok(plan)
+    }
+
+    /// Derive a plan of `count` faults from `seed`, choosing kinds and
+    /// parameters with SplitMix64 over the dimensions `space` declares.
+    ///
+    /// Identical `(seed, space, count)` always yields an identical plan,
+    /// and the plan string round-trips, so any chaos failure is fully
+    /// described by the seed that produced it. Rank crashes never target
+    /// rank 0 (the coordinator).
+    #[must_use]
+    pub fn randomized(seed: u64, space: &ChaosSpace, count: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = Self::new(seed);
+        // Build the menu of kinds the space allows, in fixed order so the
+        // draw sequence is stable.
+        let mut kinds: Vec<u8> = Vec::new();
+        if space.ranks > 1 && space.rounds > 0 {
+            kinds.push(0); // crash
+            kinds.push(2); // drop
+            kinds.push(3); // delay
+        }
+        if space.chunk_boundaries > 0 {
+            kinds.push(1); // chunk-crash
+        }
+        kinds.push(4); // io error (always meaningful for a store)
+        if space.checkpoint_bytes > 0 {
+            kinds.push(5); // flip
+        }
+        if space.device_tiles > 0 {
+            kinds.push(6); // device loss
+        }
+        for _ in 0..count {
+            let kind = kinds[rng.below(kinds.len() as u64) as usize];
+            let fault = match kind {
+                0 => Fault::CrashRank {
+                    // cast-ok: below(ranks-1) fits usize on every target.
+                    rank: 1 + rng.below(space.ranks as u64 - 1) as usize,
+                    round: rounds_draw(&mut rng, space.rounds),
+                },
+                1 => Fault::CrashAtChunk {
+                    // cast-ok: bounded by chunk_boundaries, a usize.
+                    boundary: rng.below(space.chunk_boundaries as u64) as usize,
+                },
+                2 | 3 => {
+                    // cast-ok: both bounded by ranks, a usize.
+                    let from = rng.below(space.ranks as u64) as usize;
+                    let mut to = rng.below(space.ranks as u64) as usize;
+                    if to == from {
+                        to = (to + 1) % space.ranks;
+                    }
+                    let nth = rng.below(4);
+                    if kind == 2 {
+                        Fault::DropMessage { from, to, nth }
+                    } else {
+                        Fault::DelayMessage {
+                            from,
+                            to,
+                            nth,
+                            micros: 100 + rng.below(5_000),
+                        }
+                    }
+                }
+                4 => Fault::IoError {
+                    op: match rng.below(3) {
+                        0 => IoOp::Read,
+                        1 => IoOp::Write,
+                        _ => IoOp::Rename,
+                    },
+                    nth: rng.below(3),
+                },
+                5 => Fault::FlipBit {
+                    write: rng.below(space.chunk_boundaries.max(1) as u64),
+                    // cast-ok: bounded by checkpoint_bytes, a usize.
+                    byte: rng.below(space.checkpoint_bytes as u64) as usize,
+                    // cast-ok: below(8) fits u8.
+                    bit: rng.below(8) as u8,
+                },
+                _ => Fault::DeviceLoss {
+                    // cast-ok: bounded by device_tiles, a usize.
+                    tile: rng.below(space.device_tiles as u64) as usize,
+                },
+            };
+            plan.faults.push(fault);
+        }
+        plan
+    }
+}
+
+// Helper keeping the match arm above readable: a crash round in
+// `0..=rounds` (boundary 0 = before the diagonal).
+fn rounds_draw(rng: &mut SplitMix64, rounds: usize) -> usize {
+    // cast-ok: bounded by rounds+1, a usize.
+    rng.below(rounds as u64 + 1) as usize
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for fault in &self.faults {
+            write!(f, ";{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The dimensions a randomized plan may draw faults from.
+///
+/// A zeroed dimension removes the corresponding fault kinds from the
+/// menu, so e.g. a pure shared-memory chaos run sets `ranks: 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosSpace {
+    /// Fabric size; rank crashes target `1..ranks`.
+    pub ranks: usize,
+    /// Ring rounds per run (`⌊ranks/2⌋` for the rotation driver).
+    pub rounds: usize,
+    /// Checkpoint chunk boundaries a run crosses.
+    pub chunk_boundaries: usize,
+    /// Encoded checkpoint payload size, for bit flips.
+    pub checkpoint_bytes: usize,
+    /// Device tiles in an offload split, for device-loss faults.
+    pub device_tiles: usize,
+}
+
+fn parse_fault(clause: &str) -> Result<Fault, PlanParseError> {
+    let open = clause
+        .find('(')
+        .ok_or_else(|| clause_err(clause, "missing `(`"))?;
+    let close = clause
+        .strip_suffix(')')
+        .ok_or_else(|| clause_err(clause, "missing trailing `)`"))?;
+    let head = &clause[..open];
+    let body = &close[open + 1..];
+    let mut fields = FieldCursor::new(clause, body);
+    let fault = match head {
+        "crash" => Fault::CrashRank {
+            rank: fields.take("rank")?,
+            round: fields.take("round")?,
+        },
+        "chunk-crash" => Fault::CrashAtChunk {
+            boundary: fields.take("boundary")?,
+        },
+        "drop" => Fault::DropMessage {
+            from: fields.take("from")?,
+            to: fields.take("to")?,
+            nth: fields.take("nth")?,
+        },
+        "delay" => Fault::DelayMessage {
+            from: fields.take("from")?,
+            to: fields.take("to")?,
+            nth: fields.take("nth")?,
+            micros: fields.take("us")?,
+        },
+        "io" => {
+            let op = match fields.take_str("op")? {
+                "read" => IoOp::Read,
+                "write" => IoOp::Write,
+                "rename" => IoOp::Rename,
+                other => {
+                    return Err(clause_err(
+                        clause,
+                        format!("unknown io op `{other}` (read|write|rename)"),
+                    ))
+                }
+            };
+            Fault::IoError {
+                op,
+                nth: fields.take("nth")?,
+            }
+        }
+        "flip" => {
+            let fault = Fault::FlipBit {
+                write: fields.take("write")?,
+                byte: fields.take("byte")?,
+                bit: fields.take("bit")?,
+            };
+            if let Fault::FlipBit { bit, .. } = fault {
+                if bit > 7 {
+                    return Err(clause_err(clause, "bit must be 0..=7"));
+                }
+            }
+            fault
+        }
+        "device" => Fault::DeviceLoss {
+            tile: fields.take("tile")?,
+        },
+        other => return Err(clause_err(clause, format!("unknown fault kind `{other}`"))),
+    };
+    fields.finish()?;
+    Ok(fault)
+}
+
+/// Sequential `key=value` field reader over a clause body.
+struct FieldCursor<'a> {
+    clause: &'a str,
+    fields: std::str::Split<'a, char>,
+}
+
+impl<'a> FieldCursor<'a> {
+    fn new(clause: &'a str, body: &'a str) -> Self {
+        Self {
+            clause,
+            fields: body.split(','),
+        }
+    }
+
+    fn take_str(&mut self, key: &str) -> Result<&'a str, PlanParseError> {
+        let field = self
+            .fields
+            .next()
+            .ok_or_else(|| clause_err(self.clause, format!("missing field `{key}`")))?;
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| clause_err(self.clause, format!("field `{field}` is not key=value")))?;
+        if k != key {
+            return Err(clause_err(
+                self.clause,
+                format!("expected field `{key}`, found `{k}`"),
+            ));
+        }
+        Ok(v)
+    }
+
+    fn take<T: FromStr>(&mut self, key: &str) -> Result<T, PlanParseError> {
+        let v = self.take_str(key)?;
+        v.parse::<T>()
+            .map_err(|_| clause_err(self.clause, format!("field `{key}`: bad number `{v}`")))
+    }
+
+    fn finish(mut self) -> Result<(), PlanParseError> {
+        if let Some(extra) = self.fields.next() {
+            if !extra.is_empty() {
+                return Err(clause_err(
+                    self.clause,
+                    format!("unexpected trailing field `{extra}`"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan::new(42)
+            .with(Fault::CrashRank { rank: 2, round: 1 })
+            .with(Fault::CrashAtChunk { boundary: 3 })
+            .with(Fault::DropMessage {
+                from: 0,
+                to: 1,
+                nth: 2,
+            })
+            .with(Fault::DelayMessage {
+                from: 3,
+                to: 0,
+                nth: 0,
+                micros: 1500,
+            })
+            .with(Fault::IoError {
+                op: IoOp::Rename,
+                nth: 1,
+            })
+            .with(Fault::FlipBit {
+                write: 0,
+                byte: 17,
+                bit: 3,
+            })
+            .with(Fault::DeviceLoss { tile: 5 })
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let plan = sample_plan();
+        let text = plan.to_string();
+        assert_eq!(FaultPlan::parse(&text), Ok(plan));
+    }
+
+    #[test]
+    fn rendered_text_is_the_documented_grammar() {
+        let text = sample_plan().to_string();
+        assert_eq!(
+            text,
+            "seed=42;crash(rank=2,round=1);chunk-crash(boundary=3);\
+             drop(from=0,to=1,nth=2);delay(from=3,to=0,nth=0,us=1500);\
+             io(op=rename,nth=1);flip(write=0,byte=17,bit=3);device(tile=5)"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "",
+            "crash(rank=1,round=0)",                // missing seed
+            "seed=x",                               // non-numeric seed
+            "seed=1;crash(rank=1)",                 // missing field
+            "seed=1;crash(round=1,rank=1)",         // wrong field order
+            "seed=1;crash(rank=1,round=2,extra=3)", // trailing field
+            "seed=1;warp(speed=9)",                 // unknown kind
+            "seed=1;flip(write=0,byte=0,bit=9)",    // bit out of range
+            "seed=1;io(op=truncate,nth=0)",         // unknown io op
+            "seed=1;drop(from=0,to=1,nth=oops)",    // bad number
+            "seed=1;crash rank=1,round=2)",         // missing paren
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn randomized_is_deterministic_and_round_trips() {
+        let space = ChaosSpace {
+            ranks: 4,
+            rounds: 2,
+            chunk_boundaries: 8,
+            checkpoint_bytes: 256,
+            device_tiles: 10,
+        };
+        let a = FaultPlan::randomized(99, &space, 12);
+        let b = FaultPlan::randomized(99, &space, 12);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 12);
+        assert_eq!(FaultPlan::parse(&a.to_string()), Ok(a.clone()));
+        // A different seed gives a different plan.
+        assert_ne!(FaultPlan::randomized(100, &space, 12), a);
+    }
+
+    #[test]
+    fn randomized_never_crashes_the_coordinator() {
+        let space = ChaosSpace {
+            ranks: 4,
+            rounds: 2,
+            ..ChaosSpace::default()
+        };
+        for seed in 0..64 {
+            let plan = FaultPlan::randomized(seed, &space, 8);
+            for fault in &plan.faults {
+                if let Fault::CrashRank { rank, .. } = fault {
+                    assert_ne!(*rank, 0, "seed {seed} crashed rank 0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_space_still_offers_io_faults() {
+        let plan = FaultPlan::randomized(5, &ChaosSpace::default(), 4);
+        assert!(plan
+            .faults
+            .iter()
+            .all(|f| matches!(f, Fault::IoError { .. })));
+    }
+}

@@ -1,0 +1,75 @@
+//! SplitMix64 — the workspace's standard seeding generator.
+//!
+//! The same mixer drives permutation-table seeding in `gnet-core`; it is
+//! duplicated here (rather than exported from core) because `gnet-fault`
+//! sits *below* core in the dependency graph. The algorithm is fixed by
+//! Steele et al. (2014), so both copies produce identical streams.
+
+/// SplitMix64 PRNG: one `u64` of state, full-period, splittable-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Seed the generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` via rejection sampling (no modulo bias).
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a non-empty range");
+        // Rejection zone: the largest multiple of `bound` that fits in u64.
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let draw = self.next_u64();
+            if draw < zone {
+                return draw % bound;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(12345);
+        let mut b = SplitMix64::new(12345);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for bound in [1u64, 2, 3, 10, 1 << 40] {
+            for _ in 0..32 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_vector() {
+        // First outputs for seed 0 from the published SplitMix64 reference.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(rng.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+    }
+}

@@ -46,6 +46,6 @@ pub mod sim;
 pub mod workload;
 
 pub use machine::MachineModel;
-pub use offload::OffloadModel;
+pub use offload::{FaultySplit, OffloadModel};
 pub use sim::{scaling_curve, simulate_tiles, simulate_tiles_traced, SimReport};
 pub use workload::{KernelClass, WorkloadModel};

@@ -12,8 +12,36 @@
 use crate::machine::MachineModel;
 use crate::sim::simulate_tiles;
 use crate::workload::WorkloadModel;
+use gnet_fault::{names, FaultInjector};
 use gnet_parallel::{SchedulerPolicy, Tile};
+use gnet_trace::{Recorder, Value};
 use serde::{Deserialize, Serialize};
+
+/// Outcome of a fault-aware offload simulation (see
+/// [`OffloadModel::simulate_split_faulty`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultySplit {
+    /// End-to-end wall time, including any failover work.
+    pub wall_seconds: f64,
+    /// Time the device side ran (until completion or loss).
+    pub device_seconds: f64,
+    /// Time the host spent on its originally assigned share.
+    pub host_seconds: f64,
+    /// Extra host time spent re-running the device's unfinished tiles.
+    pub failover_seconds: f64,
+    /// Device tiles completed before the loss (`None` = no loss).
+    pub device_lost_after: Option<usize>,
+    /// Tiles re-run on the host after the loss.
+    pub failover_tiles: usize,
+}
+
+impl FaultySplit {
+    /// Wall-time penalty relative to a fault-free run of the same split.
+    #[must_use]
+    pub fn penalty_seconds(&self, fault_free_wall: f64) -> f64 {
+        (self.wall_seconds - fault_free_wall).max(0.0)
+    }
+}
 
 /// A host + coprocessor pairing with its interconnect.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -62,24 +90,7 @@ impl OffloadModel {
         workload: &WorkloadModel,
         device_share: f64,
     ) -> (f64, f64, f64) {
-        assert!(
-            (0.0..=1.0).contains(&device_share),
-            "share must lie in [0, 1]"
-        );
-        let total_pairs: u64 = tiles.iter().map(Tile::pair_count).sum();
-        let target = (total_pairs as f64 * device_share) as u64;
-
-        let mut device_tiles = Vec::new();
-        let mut host_tiles = Vec::new();
-        let mut shipped = 0u64;
-        for t in tiles {
-            if shipped < target {
-                device_tiles.push(*t);
-                shipped += t.pair_count();
-            } else {
-                host_tiles.push(*t);
-            }
-        }
+        let (device_tiles, host_tiles) = Self::partition(tiles, device_share);
 
         let device_seconds = if device_tiles.is_empty() {
             0.0
@@ -112,6 +123,132 @@ impl OffloadModel {
             device_seconds,
             host_seconds,
         )
+    }
+
+    /// Greedy pair-count split of the tile list into (device, host)
+    /// shares — how the offload runtime carves the work.
+    ///
+    /// # Panics
+    /// Panics if `device_share` is outside `[0, 1]`.
+    fn partition(tiles: &[Tile], device_share: f64) -> (Vec<Tile>, Vec<Tile>) {
+        assert!(
+            (0.0..=1.0).contains(&device_share),
+            "share must lie in [0, 1]"
+        );
+        let total_pairs: u64 = tiles.iter().map(Tile::pair_count).sum();
+        let target = (total_pairs as f64 * device_share) as u64;
+        let mut device_tiles = Vec::new();
+        let mut host_tiles = Vec::new();
+        let mut shipped = 0u64;
+        for t in tiles {
+            if shipped < target {
+                device_tiles.push(*t);
+                shipped += t.pair_count();
+            } else {
+                host_tiles.push(*t);
+            }
+        }
+        (device_tiles, host_tiles)
+    }
+
+    /// [`simulate_split`](Self::simulate_split) under an armed
+    /// [`FaultInjector`]: if the plan schedules a device loss, the
+    /// coprocessor dies after completing that many of its tiles and the
+    /// host absorbs the unfinished remainder — the run degrades to
+    /// host(-mostly) execution instead of failing.
+    ///
+    /// The model is pessimistic about overlap: the host first finishes
+    /// its own share (concurrently with the device), then re-runs the
+    /// orphaned tiles, so
+    /// `wall = max(device_until_loss, host_own) + failover`. The device
+    /// still pays transfer and launch costs — shipping the weights is
+    /// what made the partial progress possible at all.
+    ///
+    /// With no armed injector (or no device-loss fault) this returns the
+    /// fault-free split verbatim.
+    ///
+    /// # Panics
+    /// Panics if `device_share` is outside `[0, 1]`.
+    pub fn simulate_split_faulty(
+        &self,
+        tiles: &[Tile],
+        workload: &WorkloadModel,
+        device_share: f64,
+        injector: &FaultInjector,
+        rec: &Recorder,
+    ) -> FaultySplit {
+        let (device_tiles, host_tiles) = Self::partition(tiles, device_share);
+        let loss_at = injector
+            .device_loss_tile()
+            .filter(|_| !device_tiles.is_empty());
+
+        let device_run = |share: &[Tile]| -> f64 {
+            if share.is_empty() {
+                return 0.0;
+            }
+            let compute = simulate_tiles(
+                share,
+                &self.device,
+                workload,
+                self.device.max_threads(),
+                SchedulerPolicy::DynamicCounter,
+            )
+            .wall_seconds;
+            let transfer = self.transfer_bytes(workload) / (self.transfer_gbs * 1e9);
+            compute + transfer + self.launch_overhead_s
+        };
+        let host_run = |share: &[Tile]| -> f64 {
+            if share.is_empty() {
+                return 0.0;
+            }
+            simulate_tiles(
+                share,
+                &self.host,
+                workload,
+                self.host.max_threads(),
+                SchedulerPolicy::DynamicCounter,
+            )
+            .wall_seconds
+        };
+
+        let host_seconds = host_run(&host_tiles);
+        match loss_at {
+            None => {
+                let device_seconds = device_run(&device_tiles);
+                FaultySplit {
+                    wall_seconds: device_seconds.max(host_seconds),
+                    device_seconds,
+                    host_seconds,
+                    failover_seconds: 0.0,
+                    device_lost_after: None,
+                    failover_tiles: 0,
+                }
+            }
+            Some(done) => {
+                let done = done.min(device_tiles.len());
+                let orphaned = &device_tiles[done..];
+                injector.note_device_loss(done);
+                let device_seconds = device_run(&device_tiles[..done]);
+                let failover_seconds = host_run(orphaned);
+                rec.counter_add(names::CNT_FAILOVER_TILES, orphaned.len() as u64);
+                rec.event(
+                    names::EVT_HOST_FALLBACK,
+                    &[
+                        ("device_tiles_done", Value::from(done)),
+                        ("failover_tiles", Value::from(orphaned.len())),
+                        ("failover_seconds", Value::from(failover_seconds)),
+                    ],
+                );
+                FaultySplit {
+                    wall_seconds: device_seconds.max(host_seconds) + failover_seconds,
+                    device_seconds,
+                    host_seconds,
+                    failover_seconds,
+                    device_lost_after: Some(done),
+                    failover_tiles: orphaned.len(),
+                }
+            }
+        }
     }
 
     /// Sweep the device share and return `(share, wall_seconds)` rows.
@@ -226,5 +363,69 @@ mod tests {
     fn bad_share_rejected() {
         let (model, tiles, w) = setup();
         let _ = model.simulate_split(tiles.tiles(), &w, 1.5);
+    }
+
+    #[test]
+    fn unarmed_faulty_split_matches_fault_free() {
+        let (model, tiles, w) = setup();
+        let (wall, d, h) = model.simulate_split(tiles.tiles(), &w, 0.7);
+        let faulty = model.simulate_split_faulty(
+            tiles.tiles(),
+            &w,
+            0.7,
+            &gnet_fault::FaultInjector::none(),
+            &gnet_trace::Recorder::disabled(),
+        );
+        assert_eq!(faulty.wall_seconds, wall);
+        assert_eq!(faulty.device_seconds, d);
+        assert_eq!(faulty.host_seconds, h);
+        assert_eq!(faulty.device_lost_after, None);
+        assert_eq!(faulty.failover_tiles, 0);
+    }
+
+    #[test]
+    fn device_loss_degrades_to_host_and_reports_the_penalty() {
+        let (model, tiles, w) = setup();
+        let (fault_free, _, _) = model.simulate_split(tiles.tiles(), &w, 0.7);
+        let plan = gnet_fault::FaultPlan::parse("seed=3;device(tile=5)").expect("plan parses");
+        let rec = gnet_trace::Recorder::enabled();
+        let injector = gnet_fault::FaultInjector::from_plan_traced(&plan, &rec);
+        let faulty = model.simulate_split_faulty(tiles.tiles(), &w, 0.7, &injector, &rec);
+        assert_eq!(faulty.device_lost_after, Some(5));
+        assert!(faulty.failover_tiles > 0, "orphaned tiles must fail over");
+        assert!(faulty.failover_seconds > 0.0);
+        // The run completes, slower than fault-free but never by more
+        // than the cost of redoing the whole device share on the host.
+        let (host_only, _, _) = model.simulate_split(tiles.tiles(), &w, 0.0);
+        assert!(faulty.penalty_seconds(fault_free) > 0.0);
+        assert!(
+            faulty.wall_seconds < fault_free + host_only,
+            "degradation must stay bounded: {} vs {}",
+            faulty.wall_seconds,
+            fault_free + host_only
+        );
+        assert_eq!(
+            rec.counter(names::CNT_FAILOVER_TILES),
+            Some(faulty.failover_tiles as u64)
+        );
+        assert_eq!(rec.event_count(names::EVT_HOST_FALLBACK), 1);
+        assert_eq!(rec.event_count(names::EVT_DEVICE_LOSS), 1);
+        assert_eq!(injector.faults_fired(), 1);
+    }
+
+    #[test]
+    fn loss_past_the_device_share_is_a_clean_finish() {
+        let (model, tiles, w) = setup();
+        // The plan kills the device after more tiles than it was given:
+        // the device finishes its share first, so nothing fails over —
+        // but the loss is still noted (clamped to the share size).
+        let plan = gnet_fault::FaultPlan::parse("seed=3;device(tile=999999)").expect("plan parses");
+        let injector = gnet_fault::FaultInjector::from_plan(&plan);
+        let rec = gnet_trace::Recorder::enabled();
+        let faulty = model.simulate_split_faulty(tiles.tiles(), &w, 0.5, &injector, &rec);
+        assert_eq!(faulty.failover_tiles, 0);
+        assert_eq!(faulty.failover_seconds, 0.0);
+        let (wall, _, _) = model.simulate_split(tiles.tiles(), &w, 0.5);
+        assert_eq!(faulty.wall_seconds, wall);
     }
 }

@@ -9,6 +9,7 @@ pub use gnet_bspline as bspline;
 pub use gnet_cluster as cluster;
 pub use gnet_core as core;
 pub use gnet_expr as expr;
+pub use gnet_fault as fault;
 pub use gnet_graph as graph;
 pub use gnet_grnsim as grnsim;
 pub use gnet_mi as mi;

@@ -1,9 +1,11 @@
 //! Unbounded MPMC-ish channels over `std::sync::mpsc`.
 //!
 //! Only the MPSC subset this workspace uses is exposed: `unbounded()`,
-//! cloneable `Sender`, and a blocking `Receiver::recv`.
+//! cloneable `Sender`, a blocking `Receiver::recv`, and a deadline-bounded
+//! `Receiver::recv_timeout` for failure detection in the cluster fabric.
 
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// Error returned when the receiving side is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,6 +14,15 @@ pub struct SendError<T>(pub T);
 /// Error returned when every sender is gone and the queue is drained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message available.
+    Timeout,
+    /// Every sender was dropped and the queue is drained.
+    Disconnected,
+}
 
 /// Sending half of an unbounded channel.
 #[derive(Debug)]
@@ -53,6 +64,21 @@ impl<T> Receiver<T> {
     pub fn recv(&self) -> Result<T, RecvError> {
         self.inner.recv().map_err(|mpsc::RecvError| RecvError)
     }
+
+    /// Block until a message arrives or `timeout` elapses.
+    ///
+    /// Buffered messages are still delivered after every sender has been
+    /// dropped; `Disconnected` is only reported once the queue is drained.
+    ///
+    /// # Errors
+    /// `Timeout` if the deadline passed with nothing queued, `Disconnected`
+    /// once every sender is dropped and the queue is drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
 }
 
 /// Create an unbounded channel.
@@ -80,5 +106,27 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(tx);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_silent_sender() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_drains_buffer_before_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }
