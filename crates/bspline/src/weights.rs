@@ -501,6 +501,37 @@ mod tests {
         }
 
         #[test]
+        fn prop_dense_rows_partition_unity(
+            values in proptest::collection::vec(0.0f32..=1.0, 1..100),
+            order in 1usize..=5,
+        ) {
+            // The dense layout stores the same partition of unity as the
+            // sparse one: each row's live cells sum to 1, every cell
+            // outside the sample's k-wide window — including the lane
+            // padding — is exactly 0.0 (bitwise; the kernels' entropy-
+            // over-the-whole-slice shortcut depends on it).
+            let basis = BsplineBasis::new(order, 10);
+            let w = SparseWeights::from_normalized(&values, &basis);
+            let d = w.to_dense();
+            for s in 0..d.samples() {
+                let row = d.row(s);
+                let sum: f32 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4, "row {s} sums to {sum}");
+                let fb = w.first_bin(s);
+                for (u, &v) in row.iter().enumerate() {
+                    if u < fb || u >= fb + order {
+                        prop_assert!(
+                            v.to_bits() == 0.0f32.to_bits(),
+                            "row {s} col {u} outside the window holds {v}"
+                        );
+                    } else {
+                        prop_assert!(v.to_bits() == w.sample_weights(s)[u - fb].to_bits());
+                    }
+                }
+            }
+        }
+
+        #[test]
         fn prop_dense_roundtrip_marginal(values in proptest::collection::vec(0.0f32..=1.0, 1..80)) {
             let basis = BsplineBasis::tinge_default();
             let w = SparseWeights::from_normalized(&values, &basis);

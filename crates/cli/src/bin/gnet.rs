@@ -9,7 +9,8 @@
 //! ```
 
 use gnet_cli::{
-    cmd_analyze, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats, cmd_topology, ArgMap,
+    cmd_analyze, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats,
+    cmd_topology, ArgMap,
 };
 
 const USAGE: &str = "\
@@ -36,6 +37,9 @@ subcommands:
   analyze   workspace static analysis + scheduler race checker
             [--root DIR] [--allowlist FILE] [--json] [--deny]
             [--concurrency] [--runs N]
+  conformance  differential & metamorphic conformance harness
+            [--level quick|full] [--seed S] [--json] [--report FILE]
+            [--self-check] [--replay SPEC]
   stats     summarize a TSV matrix            --input FILE
   predict   modeled platform runtimes         [--genes N] [--samples M] [--q N]
 ";
@@ -61,6 +65,7 @@ fn main() {
         "score" => cmd_score(&args, &mut stdout),
         "topology" => cmd_topology(&args, &mut stdout),
         "analyze" => cmd_analyze(&args, &mut stdout),
+        "conformance" => cmd_conformance(&args, &mut stdout),
         "stats" => cmd_stats(&args, &mut stdout),
         "predict" => cmd_predict(&args, &mut stdout),
         "help" | "--help" | "-h" => {

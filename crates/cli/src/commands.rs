@@ -145,13 +145,9 @@ fn config_from_args(args: &ArgMap) -> Result<InferenceConfig, CliError> {
         "scalar" => MiKernel::ScalarSparse,
         other => return fail(format!("unknown kernel {other:?} (vector|scalar)")),
     };
-    cfg.scheduler = match args.get("scheduler").unwrap_or("dynamic") {
-        "dynamic" => SchedulerPolicy::DynamicCounter,
-        "static-block" => SchedulerPolicy::StaticBlock,
-        "static-cyclic" => SchedulerPolicy::StaticCyclic,
-        "rayon" => SchedulerPolicy::RayonSteal,
-        other => return fail(format!("unknown scheduler {other:?}")),
-    };
+    let slug = args.get("scheduler").unwrap_or("dynamic");
+    cfg.scheduler = SchedulerPolicy::from_slug(slug)
+        .ok_or_else(|| CliError(format!("unknown scheduler {slug:?}")))?;
     if args.flag("early-exit") {
         cfg.null_strategy = NullStrategy::EarlyExit;
     }
@@ -569,6 +565,62 @@ pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
             "{} static-analysis violation(s)",
             report.diagnostics.len()
         ));
+    }
+    Ok(())
+}
+
+/// `gnet conformance` — differential & metamorphic conformance harness.
+///
+/// Options: `--level quick|full` `--seed S` `--json` `--report FILE`
+/// `--self-check` `--replay SPEC`.
+///
+/// Exit is nonzero whenever the report's overall `pass` verdict is
+/// false, so CI can gate on the command directly; `--report` always
+/// writes the JSON document first, pass or fail.
+pub fn cmd_conformance(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    use gnet_conformance::{
+        run_conformance, run_replay, run_self_check, ConformanceOptions, DatasetSpec, Level,
+    };
+
+    let opts = ConformanceOptions {
+        seed: args.get_or("seed", ConformanceOptions::default().seed)?,
+        level: match args.get("level") {
+            None => Level::Quick,
+            Some(s) => Level::from_slug(s)
+                .ok_or_else(|| CliError(format!("unknown --level {s:?} (quick|full)")))?,
+        },
+        ..ConformanceOptions::default()
+    };
+    let json = args.flag("json");
+    let self_check = args.flag("self-check");
+    let replay = args.get("replay").map(str::to_owned);
+    let report_path = args.get("report").map(str::to_owned);
+    args.reject_unknown()?;
+    if self_check && replay.is_some() {
+        return fail("--self-check and --replay are mutually exclusive");
+    }
+
+    let report = match replay {
+        Some(spec_text) => {
+            let spec = DatasetSpec::parse(&spec_text)
+                .map_err(|e| CliError(format!("bad --replay: {e}")))?;
+            run_replay(&opts, spec)
+        }
+        None if self_check => run_self_check(&opts),
+        None => run_conformance(&opts),
+    };
+
+    if let Some(path) = report_path {
+        std::fs::write(&path, report.render_json())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    if json {
+        writeln!(out, "{}", report.render_json())?;
+    } else {
+        write!(out, "{}", report.render_text())?;
+    }
+    if !report.pass {
+        return fail("conformance violations found (see report)");
     }
     Ok(())
 }

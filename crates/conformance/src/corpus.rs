@@ -1,0 +1,378 @@
+//! Seeded, replayable conformance corpus.
+//!
+//! Every dataset the harness runs is described by a [`DatasetSpec`] — a
+//! (class, genes, samples, seed) quadruple whose [`DatasetSpec::build`] is
+//! a pure function. The spec's [`DatasetSpec::replay`] string is the
+//! *replay seed* the report emits on failure: feeding it back through
+//! `gnet conformance --replay` (or [`DatasetSpec::parse`]) rebuilds the
+//! exact failing input, including after shrinking, because shrinking only
+//! edits the `genes`/`samples` fields of the spec.
+//!
+//! The classes target the estimator's historically fragile inputs:
+//! constant genes (degenerate marginals), tied ranks (B-spline weight
+//! collisions), near-duplicate profiles (MI near its self-information
+//! ceiling), tiny sample counts (windows wider than the data), and
+//! adversarial magnitudes (rank transform over 60 decades).
+
+use gnet_expr::synth::{self, Coupling};
+use gnet_expr::ExpressionMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The structural family a generated dataset belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetClass {
+    /// i.i.d. standard-normal noise — every pair independent.
+    IndependentGaussian,
+    /// Consecutive gene pairs linearly coupled at ρ = 0.9.
+    CoupledLinear,
+    /// Every third gene is a constant profile (zero marginal entropy).
+    ConstantGenes,
+    /// Values quantized to ≤ 5 levels — heavy rank ties.
+    TiedRanks,
+    /// Odd genes are near-copies of their predecessor (MI near H(X)).
+    NearDuplicates,
+    /// Very small sample counts (m down to 2).
+    TinySamples,
+    /// Magnitudes spanning ±1e±30, exact zeros, exact duplicates.
+    AdversarialRange,
+}
+
+impl DatasetClass {
+    /// Every class, in corpus order.
+    pub const ALL: [DatasetClass; 7] = [
+        Self::IndependentGaussian,
+        Self::CoupledLinear,
+        Self::ConstantGenes,
+        Self::TiedRanks,
+        Self::NearDuplicates,
+        Self::TinySamples,
+        Self::AdversarialRange,
+    ];
+
+    /// Stable slug used in replay strings and reports.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Self::IndependentGaussian => "independent-gaussian",
+            Self::CoupledLinear => "coupled-linear",
+            Self::ConstantGenes => "constant-genes",
+            Self::TiedRanks => "tied-ranks",
+            Self::NearDuplicates => "near-duplicates",
+            Self::TinySamples => "tiny-samples",
+            Self::AdversarialRange => "adversarial-range",
+        }
+    }
+
+    /// Inverse of [`Self::slug`].
+    pub fn from_slug(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.slug() == s)
+    }
+}
+
+/// A fully replayable dataset description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Structural family.
+    pub class: DatasetClass,
+    /// Gene count `n`.
+    pub genes: usize,
+    /// Sample count `m`.
+    pub samples: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The replay seed: a string that reconstructs this exact dataset via
+    /// [`Self::parse`] / `gnet conformance --replay`.
+    pub fn replay(&self) -> String {
+        format!(
+            "class={};genes={};samples={};seed={}",
+            self.class.slug(),
+            self.genes,
+            self.samples,
+            self.seed
+        )
+    }
+
+    /// Parse a replay string produced by [`Self::replay`].
+    ///
+    /// # Errors
+    /// Returns a human-readable message on any malformed field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut class = None;
+        let mut genes = None;
+        let mut samples = None;
+        let mut seed = None;
+        for part in text.split(';').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("replay field {part:?} is not key=value"))?;
+            match key {
+                "class" => {
+                    class = Some(
+                        DatasetClass::from_slug(value)
+                            .ok_or_else(|| format!("unknown dataset class {value:?}"))?,
+                    );
+                }
+                "genes" => genes = Some(parse_num(key, value)?),
+                "samples" => samples = Some(parse_num(key, value)?),
+                "seed" => {
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad seed {value:?}: {e}"))?,
+                    );
+                }
+                other => return Err(format!("unknown replay field {other:?}")),
+            }
+        }
+        let spec = Self {
+            class: class.ok_or("replay string missing class=")?,
+            genes: genes.ok_or("replay string missing genes=")?,
+            samples: samples.ok_or("replay string missing samples=")?,
+            seed: seed.ok_or("replay string missing seed=")?,
+        };
+        if spec.genes < 2 || spec.samples < 2 {
+            return Err("conformance datasets need at least 2 genes and 2 samples".into());
+        }
+        Ok(spec)
+    }
+
+    /// Deterministically build the dataset this spec describes.
+    ///
+    /// # Panics
+    /// Panics if `genes < 2` or `samples < 2` (the corpus and the
+    /// shrinker never go below either).
+    pub fn build(&self) -> ExpressionMatrix {
+        assert!(self.genes >= 2 && self.samples >= 2, "degenerate spec");
+        let (n, m, seed) = (self.genes, self.samples, self.seed);
+        match self.class {
+            DatasetClass::IndependentGaussian | DatasetClass::TinySamples => {
+                synth::independent_gaussian(n, m, seed)
+            }
+            DatasetClass::CoupledLinear => {
+                let (full, _) = synth::coupled_pairs(n.div_ceil(2), m, Coupling::Linear(0.9), seed);
+                let keep: Vec<usize> = (0..n).collect();
+                full.select_genes(&keep)
+            }
+            DatasetClass::ConstantGenes => {
+                let mut matrix = synth::independent_gaussian(n, m, seed);
+                for g in (0..n).step_by(3) {
+                    matrix.gene_mut(g).fill(1.5);
+                }
+                matrix
+            }
+            DatasetClass::TiedRanks => {
+                let mut matrix = synth::independent_gaussian(n, m, seed);
+                for g in 0..n {
+                    for v in matrix.gene_mut(g) {
+                        // ≤ 5 distinct levels ⇒ heavy tie groups in the
+                        // rank transform.
+                        *v = v.floor().clamp(-2.0, 2.0);
+                    }
+                }
+                matrix
+            }
+            DatasetClass::NearDuplicates => {
+                let mut matrix = synth::independent_gaussian(n, m, seed);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x6475_7065); // "dupe"
+                for g in (1..n).step_by(2) {
+                    let base: Vec<f32> = matrix.gene(g - 1).to_vec();
+                    for (v, b) in matrix.gene_mut(g).iter_mut().zip(&base) {
+                        *v = b + 1e-3 * (rng.gen::<f32>() - 0.5);
+                    }
+                }
+                matrix
+            }
+            DatasetClass::AdversarialRange => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut data = Vec::with_capacity(n * m);
+                let mut prev = 1.0f32;
+                for _ in 0..n * m {
+                    let v: f32 = match rng.gen_range(0u32..6) {
+                        0 => 0.0,
+                        1 => -0.0,
+                        // ±huge and ±tiny magnitudes: the rank transform
+                        // must order 60 decades without overflow.
+                        2 => (1.0 + rng.gen::<f32>()) * 1e30 * sign(&mut rng),
+                        3 => (1.0 + rng.gen::<f32>()) * 1e-30 * sign(&mut rng),
+                        4 => prev, // exact duplicate of an earlier value
+                        _ => rng.gen::<f32>() * 2.0 - 1.0,
+                    };
+                    prev = v;
+                    data.push(v);
+                }
+                ExpressionMatrix::from_flat(n, m, data, gnet_expr::MissingPolicy::Error)
+                    .expect("adversarial generator emits finite values")
+            }
+        }
+    }
+}
+
+fn sign(rng: &mut StdRng) -> f32 {
+    if rng.gen::<bool>() {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+fn parse_num(key: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|e| format!("bad {key} {value:?}: {e}"))
+}
+
+/// Corpus size / runtime trade-off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Small shape sweep per class — the PR smoke configuration.
+    Quick,
+    /// Wider gene/sample sweep with extra seeds — the nightly matrix.
+    Full,
+}
+
+impl Level {
+    /// Stable slug for reports and `--level`.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Self::Quick => "quick",
+            Self::Full => "full",
+        }
+    }
+
+    /// Inverse of [`Self::slug`].
+    pub fn from_slug(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(Self::Quick),
+            "full" => Some(Self::Full),
+            _ => None,
+        }
+    }
+}
+
+/// SplitMix64 step — mixes the base seed with the spec coordinates so
+/// every dataset draws from an independent stream.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seeded corpus: for each class, a gene/sample-count sweep sized by
+/// `level`. Deterministic in `seed`.
+pub fn corpus(level: Level, seed: u64) -> Vec<DatasetSpec> {
+    let mut specs = Vec::new();
+    for (ci, class) in DatasetClass::ALL.into_iter().enumerate() {
+        let shapes: &[(usize, usize)] = match (class, level) {
+            // Tiny m is this class's whole point; keep it tiny at both
+            // levels and sweep genes instead.
+            (DatasetClass::TinySamples, Level::Quick) => &[(6, 2), (5, 3), (4, 6)],
+            (DatasetClass::TinySamples, Level::Full) => &[(6, 2), (5, 3), (4, 6), (9, 4), (12, 7)],
+            (_, Level::Quick) => &[(4, 16), (9, 33)],
+            (_, Level::Full) => &[(4, 16), (9, 33), (6, 8), (16, 64), (12, 120), (9, 201)],
+        };
+        let seeds_per_shape = match level {
+            Level::Quick => 1,
+            Level::Full => 2,
+        };
+        for (si, &(genes, samples)) in shapes.iter().enumerate() {
+            for rep in 0..seeds_per_shape {
+                specs.push(DatasetSpec {
+                    class,
+                    genes,
+                    samples,
+                    seed: mix(seed ^ mix(ci as u64) ^ mix(0x100 + si as u64) ^ mix(0x10_000 + rep)),
+                });
+            }
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_round_trips() {
+        for spec in corpus(Level::Quick, 7) {
+            let back = DatasetSpec::parse(&spec.replay()).expect("replay parses");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_and_shaped() {
+        for spec in corpus(Level::Quick, 3) {
+            let a = spec.build();
+            let b = spec.build();
+            assert_eq!(a.genes(), spec.genes, "{}", spec.replay());
+            assert_eq!(a.samples(), spec.samples, "{}", spec.replay());
+            assert_eq!(a.as_flat(), b.as_flat(), "{}", spec.replay());
+            assert!(a.as_flat().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn corpus_covers_every_class_and_seeds_differ() {
+        let specs = corpus(Level::Quick, 42);
+        for class in DatasetClass::ALL {
+            assert!(specs.iter().any(|s| s.class == class), "{:?}", class);
+        }
+        let other = corpus(Level::Quick, 43);
+        assert!(specs.iter().zip(&other).any(|(a, b)| a.seed != b.seed));
+    }
+
+    #[test]
+    fn malformed_replays_are_rejected() {
+        for bad in [
+            "",
+            "class=independent-gaussian",
+            "class=nope;genes=4;samples=8;seed=1",
+            "class=tied-ranks;genes=x;samples=8;seed=1",
+            "class=tied-ranks;genes=1;samples=8;seed=1",
+            "wat",
+        ] {
+            assert!(DatasetSpec::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn classes_have_their_advertised_structure() {
+        let constant = DatasetSpec {
+            class: DatasetClass::ConstantGenes,
+            genes: 4,
+            samples: 10,
+            seed: 1,
+        }
+        .build();
+        assert!(constant.gene(0).iter().all(|&v| v == 1.5));
+        assert!(constant.gene(3).iter().all(|&v| v == 1.5));
+
+        let tied = DatasetSpec {
+            class: DatasetClass::TiedRanks,
+            genes: 2,
+            samples: 50,
+            seed: 1,
+        }
+        .build();
+        let mut distinct: Vec<_> = tied.gene(0).to_vec();
+        distinct.sort_by(f32::total_cmp);
+        distinct.dedup();
+        assert!(distinct.len() <= 5, "{distinct:?}");
+
+        let dup = DatasetSpec {
+            class: DatasetClass::NearDuplicates,
+            genes: 2,
+            samples: 20,
+            seed: 1,
+        }
+        .build();
+        for (a, b) in dup.gene(0).iter().zip(dup.gene(1)) {
+            assert!((a - b).abs() < 1e-2);
+        }
+    }
+}

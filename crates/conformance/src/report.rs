@@ -1,0 +1,215 @@
+//! Machine-readable conformance verdicts, in the `gnet analyze` report
+//! style: a stable `format`/`version` envelope, one block per oracle
+//! family, and a single top-level `pass` flag CI keys its exit status on.
+//!
+//! Every violation carries two replay seeds: the corpus spec that first
+//! exposed it (`dataset`) and the shrunk local minimum (`shrunk_replay`)
+//! — either feeds straight back into `gnet conformance --replay`.
+
+use crate::TolerancePolicy;
+use serde::Serialize;
+
+/// One confirmed oracle violation, after shrinking.
+#[derive(Clone, Debug, Serialize)]
+pub struct Violation {
+    /// Oracle family slug (`kernel`, `scheduler`, `distributed`,
+    /// `recovery`, `metamorphic`).
+    pub family: String,
+    /// Replay seed of the corpus dataset that first failed.
+    pub dataset: String,
+    /// Replay seed of the shrunk minimal counterexample.
+    pub shrunk_replay: String,
+    /// Gene count of the shrunk counterexample.
+    pub shrunk_genes: usize,
+    /// Sample count of the shrunk counterexample.
+    pub shrunk_samples: usize,
+    /// The divergence, re-derived on the shrunk dataset.
+    pub detail: String,
+}
+
+/// Aggregate verdict for one oracle family.
+#[derive(Clone, Debug, Serialize)]
+pub struct FamilyReport {
+    /// Oracle family slug.
+    pub family: String,
+    /// Corpus datasets this family ran over.
+    pub datasets: usize,
+    /// Individual comparisons performed across those datasets.
+    pub checks: usize,
+    /// Violations found (shrunk); empty when the family is green.
+    pub violations: Vec<Violation>,
+}
+
+impl FamilyReport {
+    /// True when no violation was found.
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Outcome of one injected kernel mutation during `--self-check`.
+#[derive(Clone, Debug, Serialize)]
+pub struct MutationOutcome {
+    /// Mutation slug from [`gnet_mi::mutation::KernelMutation::name`].
+    pub mutation: String,
+    /// Whether the kernel oracle flagged the mutated kernel. `false`
+    /// means the harness has a blind spot — the self-check fails.
+    pub detected: bool,
+    /// Replay seed of the shrunk counterexample that caught it (empty
+    /// when undetected).
+    pub replay: String,
+    /// Gene count of that counterexample.
+    pub shrunk_genes: usize,
+    /// Sample count of that counterexample.
+    pub shrunk_samples: usize,
+    /// The divergence the oracle reported (empty when undetected).
+    pub detail: String,
+}
+
+/// The `--self-check` block: the harness turned on itself.
+#[derive(Clone, Debug, Serialize)]
+pub struct SelfCheck {
+    /// All five families green on the unmutated build.
+    pub clean_pass: bool,
+    /// One entry per injected kernel mutation.
+    pub mutations: Vec<MutationOutcome>,
+    /// `clean_pass` and every mutation detected.
+    pub pass: bool,
+}
+
+/// Top-level conformance report.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConformanceReport {
+    /// Report discriminator, always `"gnet-conformance"`.
+    pub format: String,
+    /// Schema version of this report shape.
+    pub version: u32,
+    /// Corpus level slug (`quick` / `full`).
+    pub level: String,
+    /// Base corpus seed (replays the whole run).
+    pub seed: u64,
+    /// The tolerance policy the oracles enforced.
+    pub tolerances: TolerancePolicy,
+    /// One block per oracle family.
+    pub families: Vec<FamilyReport>,
+    /// Present only under `--self-check`.
+    pub self_check: Option<SelfCheck>,
+    /// Overall verdict: every family green and (if present) the
+    /// self-check passed. CI exits nonzero when this is `false`.
+    pub pass: bool,
+}
+
+impl ConformanceReport {
+    /// Render as a single-line JSON document.
+    ///
+    /// # Panics
+    /// Never: the report contains no non-finite floats by construction
+    /// (tolerances are compile-time constants).
+    pub fn render_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| unreachable!("report serializes: {e}"))
+    }
+
+    /// Render a human-oriented summary for the terminal.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "conformance: level={} seed={}\n",
+            self.level, self.seed
+        ));
+        for f in &self.families {
+            let status = if f.pass() { "ok" } else { "FAIL" };
+            out.push_str(&format!(
+                "  {:<12} {:>4} datasets  {:>7} checks  {status}\n",
+                f.family, f.datasets, f.checks
+            ));
+            for v in &f.violations {
+                out.push_str(&format!(
+                    "    violation: {}\n      dataset: {}\n      shrunk:  {} ({}x{})\n",
+                    v.detail, v.dataset, v.shrunk_replay, v.shrunk_genes, v.shrunk_samples
+                ));
+            }
+        }
+        if let Some(sc) = &self.self_check {
+            out.push_str(&format!(
+                "  self-check: clean build {}\n",
+                if sc.clean_pass { "passes" } else { "FAILS" }
+            ));
+            for m in &sc.mutations {
+                if m.detected {
+                    out.push_str(&format!(
+                        "    mutation {:<24} detected  ({} @ {})\n",
+                        m.mutation, m.detail, m.replay
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "    mutation {:<24} NOT DETECTED — harness blind spot\n",
+                        m.mutation
+                    ));
+                }
+            }
+        }
+        out.push_str(if self.pass {
+            "result: PASS\n"
+        } else {
+            "result: FAIL\n"
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ConformanceReport {
+        ConformanceReport {
+            format: "gnet-conformance".into(),
+            version: 1,
+            level: "quick".into(),
+            seed: 7,
+            tolerances: TolerancePolicy::default(),
+            families: vec![FamilyReport {
+                family: "kernel".into(),
+                datasets: 17,
+                checks: 412,
+                violations: vec![Violation {
+                    family: "kernel".into(),
+                    dataset: "class=tied-ranks;genes=9;samples=33;seed=5".into(),
+                    shrunk_replay: "class=tied-ranks;genes=2;samples=4;seed=5".into(),
+                    shrunk_genes: 2,
+                    shrunk_samples: 4,
+                    detail: "pair (0,1): |Δ| 3e-3 exceeds 2e-4".into(),
+                }],
+            }],
+            self_check: None,
+            pass: false,
+        }
+    }
+
+    #[test]
+    fn json_has_the_envelope_and_verdicts() {
+        let json = sample_report().render_json();
+        assert!(json.contains("\"format\":\"gnet-conformance\""));
+        assert!(json.contains("\"version\":1"));
+        assert!(json.contains("\"pass\":false"));
+        assert!(json.contains("class=tied-ranks;genes=2;samples=4;seed=5"));
+        assert!(json.contains("\"kernel_abs\""));
+    }
+
+    #[test]
+    fn text_mentions_failures_and_verdict() {
+        let text = sample_report().render_text();
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("shrunk:"));
+        assert!(text.contains("result: FAIL"));
+    }
+
+    #[test]
+    fn passing_report_renders_pass() {
+        let mut r = sample_report();
+        r.families[0].violations.clear();
+        r.pass = true;
+        assert!(r.render_text().contains("result: PASS"));
+        assert!(r.render_json().contains("\"pass\":true"));
+    }
+}

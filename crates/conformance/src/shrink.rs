@@ -1,0 +1,112 @@
+//! Greedy spec shrinking.
+//!
+//! When an oracle flags a dataset, the harness does not report the corpus
+//! spec as-is: it first walks the (genes, samples) lattice downward,
+//! keeping any step on which the oracle still fails, and reports the
+//! local minimum. Because a [`DatasetSpec`] is replayable, the shrunk
+//! counterexample is too — the report's `shrunk_replay` string rebuilds
+//! it exactly.
+//!
+//! The moves are the classic halve-then-decrement ladder: halving makes
+//! log-many large strides toward the floor, decrementing polishes the
+//! last few steps. Only `genes` and `samples` move; `class` and `seed`
+//! are part of the failure's identity and stay fixed.
+
+use crate::corpus::DatasetSpec;
+
+/// Floor for both dimensions: MI needs two genes to form a pair and two
+/// samples to have any joint structure.
+const MIN_DIM: usize = 2;
+
+/// Shrink `spec` while `still_fails` holds, returning the smallest spec
+/// found. `still_fails(&spec)` must be true on entry (the caller just
+/// observed the failure); the result is a local minimum: no single move
+/// below it still fails.
+pub(crate) fn shrink_spec(
+    spec: DatasetSpec,
+    still_fails: &mut dyn FnMut(&DatasetSpec) -> bool,
+) -> DatasetSpec {
+    let mut best = spec;
+    loop {
+        let mut candidates = Vec::with_capacity(4);
+        if best.genes / 2 >= MIN_DIM {
+            candidates.push(DatasetSpec {
+                genes: best.genes / 2,
+                ..best
+            });
+        }
+        if best.genes > MIN_DIM {
+            candidates.push(DatasetSpec {
+                genes: best.genes - 1,
+                ..best
+            });
+        }
+        if best.samples / 2 >= MIN_DIM {
+            candidates.push(DatasetSpec {
+                samples: best.samples / 2,
+                ..best
+            });
+        }
+        if best.samples > MIN_DIM {
+            candidates.push(DatasetSpec {
+                samples: best.samples - 1,
+                ..best
+            });
+        }
+        let next = candidates
+            .into_iter()
+            .filter(|c| c != &best)
+            .find(|c| still_fails(c));
+        match next {
+            Some(smaller) => best = smaller,
+            None => return best,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::DatasetClass;
+
+    fn spec(genes: usize, samples: usize) -> DatasetSpec {
+        DatasetSpec {
+            class: DatasetClass::IndependentGaussian,
+            genes,
+            samples,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_floor_when_everything_fails() {
+        let got = shrink_spec(spec(16, 64), &mut |_| true);
+        assert_eq!((got.genes, got.samples), (MIN_DIM, MIN_DIM));
+    }
+
+    #[test]
+    fn respects_the_failure_predicate() {
+        // Failure only reproduces while genes ≥ 5 and samples ≥ 10.
+        let mut calls = 0;
+        let got = shrink_spec(spec(16, 64), &mut |s| {
+            calls += 1;
+            s.genes >= 5 && s.samples >= 10
+        });
+        assert_eq!((got.genes, got.samples), (5, 10));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn fixed_point_when_nothing_smaller_fails() {
+        let start = spec(9, 33);
+        let got = shrink_spec(start, &mut |_| false);
+        assert_eq!(got, start);
+    }
+
+    #[test]
+    fn never_mutates_class_or_seed() {
+        let got = shrink_spec(spec(12, 40), &mut |s| s.genes > 3);
+        assert_eq!(got.class, DatasetClass::IndependentGaussian);
+        assert_eq!(got.seed, 9);
+    }
+}

@@ -35,6 +35,7 @@ pub mod entropy;
 pub mod gene;
 pub mod histogram;
 pub mod ksg;
+pub mod mutation;
 pub mod sparse_kernel;
 pub mod vector_kernel;
 

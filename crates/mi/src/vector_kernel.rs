@@ -386,6 +386,40 @@ mod tests {
         }
 
         #[test]
+        fn prop_grid_padding_stays_zero_after_kernel(
+            seed in 0u64..500,
+            m in 2usize..150,
+            order in 1usize..=4,
+        ) {
+            // The row-FMA loop accumulates wx·y_row over *padded* rows, so
+            // the grid's padding columns receive only wx·0 contributions.
+            // `mi` takes entropy over the whole padded slice on that
+            // premise; if padding ever went nonzero (the exact corruption
+            // the dropped-padding-zeroing mutation injects) every MI value
+            // would silently shift. Checked bitwise, observed and permuted
+            // paths alike, across a scratch-reuse cycle.
+            let basis = BsplineBasis::new(order, 10);
+            let (a, b) = random_profiles(seed, m);
+            let x = prep(&a, &basis);
+            let y = prep(&b, &basis);
+            let yd = y.to_dense();
+            let mut grid = VectorGrid::for_dense(&yd);
+            let perm: Vec<u32> = (0..m as u32).rev().collect();
+            joint_counts(&x, &yd, &mut grid);
+            joint_counts_permuted(&x, &yd, &perm, &mut grid);
+            joint_counts(&x, &yd, &mut grid);
+            let (bins, stride) = (grid.bins(), grid.stride());
+            for (idx, &v) in grid.as_slice().iter().enumerate() {
+                if idx % stride >= bins {
+                    prop_assert!(
+                        v.to_bits() == 0.0f32.to_bits(),
+                        "padding cell {idx} holds {v} after the kernel"
+                    );
+                }
+            }
+        }
+
+        #[test]
         fn prop_mi_nonnegative(seed in 0u64..500, m in 4usize..200) {
             let basis = BsplineBasis::tinge_default();
             let (a, b) = random_profiles(seed, m);

@@ -60,6 +60,18 @@ impl SchedulerPolicy {
             Self::RayonSteal => "rayon-steal",
         }
     }
+
+    /// Parse a policy from its [`Self::name`] slug; `"rayon"` is kept
+    /// as an alias for `"rayon-steal"` (the CLI's historical spelling).
+    pub fn from_slug(slug: &str) -> Option<Self> {
+        match slug {
+            "static-block" => Some(Self::StaticBlock),
+            "static-cyclic" => Some(Self::StaticCyclic),
+            "dynamic" => Some(Self::DynamicCounter),
+            "rayon-steal" | "rayon" => Some(Self::RayonSteal),
+            _ => None,
+        }
+    }
 }
 
 /// Per-thread execution statistics captured by the executor.
@@ -477,6 +489,18 @@ mod tests {
                 assert_eq!(seen.len(), n);
             }
         }
+    }
+
+    #[test]
+    fn policy_slugs_round_trip_and_aliases_parse() {
+        for policy in SchedulerPolicy::ALL {
+            assert_eq!(SchedulerPolicy::from_slug(policy.name()), Some(policy));
+        }
+        assert_eq!(
+            SchedulerPolicy::from_slug("rayon"),
+            Some(SchedulerPolicy::RayonSteal)
+        );
+        assert_eq!(SchedulerPolicy::from_slug("work-stealing"), None);
     }
 
     #[test]

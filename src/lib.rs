@@ -7,6 +7,7 @@
 pub use gnet_analysis as analysis;
 pub use gnet_bspline as bspline;
 pub use gnet_cluster as cluster;
+pub use gnet_conformance as conformance;
 pub use gnet_core as core;
 pub use gnet_expr as expr;
 pub use gnet_fault as fault;

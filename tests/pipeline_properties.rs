@@ -26,7 +26,13 @@ fn small_config(seed: u64) -> InferenceConfig {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // 48 cases (double the original 24): these drive the full pipeline on
+    // every case, so this is the budget the suite can afford while still
+    // sweeping both matrix shape and seed meaningfully. Failing case
+    // seeds persist to proptest-regressions/ (committed) and replay
+    // before fresh cases on every subsequent run.
+    #![proptest_config(ProptestConfig::with_cases(48)
+        .with_persistence("proptest-regressions/pipeline_properties.txt"))]
 
     #[test]
     fn network_invariants_hold_for_any_input(matrix in arbitrary_matrix(), seed in 0u64..100) {

@@ -189,19 +189,107 @@ impl<T: Arbitrary> Strategy for Any<T> {
     }
 }
 
+/// Fixed base seed: deterministic runs, distinct stream per case.
+const BASE_SEED: u64 = 0x6e65_7470_726f_7000;
+
+#[cfg(test)]
 pub(crate) fn fresh_rng(case: u64) -> test_runner::TestRng {
-    // Fixed base seed: deterministic runs, distinct stream per case.
+    rng_for_seed(BASE_SEED ^ case)
+}
+
+fn rng_for_seed(seed: u64) -> test_runner::TestRng {
     test_runner::TestRng {
-        inner: StdRng::seed_from_u64(0x6e65_7470_726f_7000 ^ case),
+        inner: StdRng::seed_from_u64(seed),
     }
 }
 
-/// Drive one `proptest!`-generated test: `cases` iterations of `body`,
-/// each with a fresh deterministic RNG.
+/// A `proptest-regressions/`-style seed file: `cc <seed>` lines, `#`
+/// comments. Failing case seeds are appended and replayed first on the
+/// next run (see [`test_runner::ProptestConfig::persistence`]).
+struct Persistence {
+    path: std::path::PathBuf,
+}
+
+impl Persistence {
+    fn open(rel: &str) -> Self {
+        // Cargo exports the *test target's* manifest dir into the test
+        // process environment, so relative paths land next to the crate
+        // under test, matching upstream's layout.
+        let base = std::env::var_os("CARGO_MANIFEST_DIR")
+            .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from);
+        Self {
+            path: base.join(rel),
+        }
+    }
+
+    fn seeds(&self) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| line.trim().strip_prefix("cc "))
+            .filter_map(|rest| rest.split_whitespace().next())
+            .filter_map(|token| token.parse::<u64>().ok())
+            .collect()
+    }
+
+    fn record(&self, seed: u64) {
+        if self.seeds().contains(&seed) {
+            return;
+        }
+        if let Some(dir) = self.path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        use std::io::Write as _;
+        let new_file = !self.path.exists();
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        {
+            if new_file {
+                let _ = writeln!(
+                    f,
+                    "# Seeds of failing proptest cases. Replayed before fresh cases on\n\
+                     # every run; commit this file so a found failure persists until\n\
+                     # fixed. Format: `cc <seed>` per line."
+                );
+            }
+            let _ = writeln!(f, "cc {seed}");
+        }
+    }
+}
+
+/// Drive one `proptest!`-generated test: persisted regression seeds
+/// first, then `cases` fresh iterations of `body`, each with a fresh
+/// deterministic RNG. A failing fresh case records its seed before the
+/// panic propagates.
 pub fn run_cases(config: &test_runner::ProptestConfig, body: impl Fn(&mut test_runner::TestRng)) {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    let store = config.persistence.map(Persistence::open);
+    if let Some(store) = &store {
+        // Persisted regressions run unguarded: if one still fails, the
+        // test fails immediately with the original assertion message.
+        for seed in store.seeds() {
+            let mut rng = rng_for_seed(seed);
+            body(&mut rng);
+        }
+    }
     for case in 0..config.cases {
-        let mut rng = fresh_rng(u64::from(case));
-        body(&mut rng);
+        let seed = BASE_SEED ^ u64::from(case);
+        match catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = rng_for_seed(seed);
+            body(&mut rng);
+        })) {
+            Ok(()) => {}
+            Err(payload) => {
+                if let Some(store) = &store {
+                    store.record(seed);
+                }
+                resume_unwind(payload);
+            }
+        }
     }
 }
 
@@ -322,6 +410,68 @@ mod tests {
         fn default_config_runs(x in 0u64..10) {
             prop_assert!(x < 10);
         }
+    }
+
+    #[test]
+    fn persistence_records_and_replays_failing_seeds() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let file = dir.join("regress.txt");
+        let path: &'static str = Box::leak(file.to_string_lossy().into_owned().into_boxed_str());
+        let config = ProptestConfig::with_cases(8).with_persistence(path);
+
+        // A property that always fails: its seed must be recorded.
+        let failed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_cases(&config, |_| panic!("forced failure"));
+        }));
+        assert!(failed.is_err());
+        let text = std::fs::read_to_string(&file).expect("seed file written");
+        assert!(text.lines().any(|l| l.starts_with("cc ")), "{text}");
+        assert!(text.starts_with('#'), "header comment expected: {text}");
+
+        // Replay: a body that tallies invocations sees the persisted seed
+        // in addition to the fresh cases.
+        let runs = std::cell::Cell::new(0u32);
+        crate::run_cases(&config, |_| runs.set(runs.get() + 1));
+        assert_eq!(runs.get(), 8 + 1, "one replayed seed plus eight cases");
+
+        // Re-recording the same seed is idempotent.
+        let before = std::fs::read_to_string(&file).expect("seed file");
+        let failed_again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_cases(&config, |_| panic!("forced failure"));
+        }));
+        assert!(failed_again.is_err());
+        let after = std::fs::read_to_string(&file).expect("seed file");
+        assert_eq!(before, after, "duplicate seed must not be appended");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_persistence_file_is_no_seeds() {
+        let p = crate::Persistence {
+            path: std::path::PathBuf::from("/nonexistent/dir/seeds.txt"),
+        };
+        assert!(p.seeds().is_empty());
+    }
+
+    #[test]
+    fn seed_lines_parse_and_comments_are_ignored() {
+        let dir = std::env::temp_dir().join(format!("proptest-parse-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let file = dir.join("seeds.txt");
+        std::fs::write(
+            &file,
+            "# comment\ncc 42\n\nnot a seed\ncc 99 trailing words\n",
+        )
+        .expect("write seeds");
+        let p = crate::Persistence { path: file };
+        assert_eq!(p.seeds(), vec![42, 99]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

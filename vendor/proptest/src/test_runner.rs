@@ -13,18 +13,39 @@ pub struct TestRng {
 pub struct ProptestConfig {
     /// Number of cases sampled per property.
     pub cases: u32,
+    /// Optional regression-file path, relative to the test crate's
+    /// `CARGO_MANIFEST_DIR` (mirroring upstream's `proptest-regressions/`
+    /// convention). When set, seeds of failing cases are appended to the
+    /// file and replayed *first* on every subsequent run, so a failure
+    /// found once keeps failing until actually fixed — even though this
+    /// stand-in has no shrinking, the failing case itself persists.
+    pub persistence: Option<&'static str>,
 }
 
 impl ProptestConfig {
     /// A config running `cases` cases per property.
     #[must_use]
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases,
+            persistence: None,
+        }
+    }
+
+    /// Persist failing case seeds to `path` (relative to the test
+    /// crate's manifest dir) and replay them before fresh cases.
+    #[must_use]
+    pub fn with_persistence(mut self, path: &'static str) -> Self {
+        self.persistence = Some(path);
+        self
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 256 }
+        Self {
+            cases: 256,
+            persistence: None,
+        }
     }
 }
