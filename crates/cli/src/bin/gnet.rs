@@ -9,8 +9,8 @@
 //! ```
 
 use gnet_cli::{
-    cmd_analyze, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats,
-    cmd_topology, ArgMap,
+    cmd_analyze, cmd_bench, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score,
+    cmd_stats, cmd_topology, cmd_trace_report, ArgMap,
 };
 
 const USAGE: &str = "\
@@ -28,8 +28,15 @@ subcommands:
             static-cyclic|rayon] [--early-exit] [--dpi EPS] [--ranks P]
             [--quantile-normalize] [--center-batches N]
             [--trace FILE] [--metrics FILE] [--progress]
+            [--trace-dir DIR (with --ranks: per-rank streams + manifest)]
             [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]
             [--fault-plan PLAN]
+  trace-report  offline analysis of recorded traces
+            (--trace FILE | --trace-dir DIR) [--chrome FILE]
+            [--flame FILE] [--no-calibrate]
+  bench     seeded benchmark suite + regression gate
+            [--quick] [--reps K] [--out FILE] [--baseline FILE]
+            [--inject-slowdown F]
   score     score an edge list against a ground truth
             --edges FILE --truth FILE --matrix FILE
   topology  topology report of an edge list
@@ -64,6 +71,8 @@ fn main() {
         "infer" => cmd_infer(&args, &mut stdout),
         "score" => cmd_score(&args, &mut stdout),
         "topology" => cmd_topology(&args, &mut stdout),
+        "trace-report" => cmd_trace_report(&args, &mut stdout),
+        "bench" => cmd_bench(&args, &mut stdout),
         "analyze" => cmd_analyze(&args, &mut stdout),
         "conformance" => cmd_conformance(&args, &mut stdout),
         "stats" => cmd_stats(&args, &mut stdout),

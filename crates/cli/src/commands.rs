@@ -1,7 +1,9 @@
 //! The five `gnet` subcommands.
 
 use crate::args::{ArgError, ArgMap};
-use gnet_cluster::{infer_network_distributed_faulty, DEFAULT_PEER_TIMEOUT};
+use gnet_cluster::{
+    infer_network_distributed_faulty, infer_network_distributed_traced, DEFAULT_PEER_TIMEOUT,
+};
 use gnet_core::config::NullStrategy;
 use gnet_core::{infer_network_durable, infer_network_traced, CheckpointStore, InferenceConfig};
 use gnet_expr::io as expr_io;
@@ -13,7 +15,7 @@ use gnet_grnsim::{GrnConfig, SyntheticDataset, TopologyKind};
 use gnet_mi::MiKernel;
 use gnet_parallel::SchedulerPolicy;
 use gnet_phi::scenarios;
-use gnet_trace::{Progress, Recorder};
+use gnet_trace::{EwmaEta, Progress, Recorder};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -158,19 +160,27 @@ fn config_from_args(args: &ArgMap) -> Result<InferenceConfig, CliError> {
 /// single stderr status line (tiles done / total / percent / ETA),
 /// rewritten in place and rate-limited to ~5 updates per second. The
 /// final update (done == total) is always printed.
+///
+/// The ETA is EWMA-smoothed over per-chunk durations ([`EwmaEta`]) so a
+/// rate change mid-run — early-exit pruning kicking in, a machine that
+/// warms up or gets loaded — moves the estimate toward the *recent*
+/// rate instead of the whole-run mean the raw `Progress::eta` reports.
 fn progress_sink() -> impl Fn(Progress) + Send + Sync + 'static {
-    let last = std::sync::Mutex::new(None::<std::time::Instant>);
+    let state = std::sync::Mutex::new((EwmaEta::new(), None::<std::time::Instant>));
     move |p: Progress| {
-        let mut last = last
+        let mut state = state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let eta_estimate = state.0.update(p);
         let due = p.done >= p.total
-            || last.is_none_or(|t| t.elapsed() >= std::time::Duration::from_millis(200));
+            || state
+                .1
+                .is_none_or(|t| t.elapsed() >= std::time::Duration::from_millis(200));
         if !due {
             return;
         }
-        *last = Some(std::time::Instant::now());
-        let eta = match p.eta() {
+        state.1 = Some(std::time::Instant::now());
+        let eta = match eta_estimate {
             Some(d) => format!("{d:.0?}"),
             None => "?".to_string(),
         };
@@ -193,7 +203,9 @@ fn progress_sink() -> impl Fn(Progress) + Send + Sync + 'static {
 /// to run over the simulated cluster instead of shared memory, and the
 /// observability options `--trace FILE` (NDJSON event stream),
 /// `--metrics FILE` (metrics summary JSON), `--progress` (live stderr
-/// status line).
+/// status line with an EWMA-smoothed ETA). With `--ranks`,
+/// `--trace-dir DIR` writes one NDJSON stream per rank plus a
+/// `manifest.json` (analyse with `gnet trace-report --trace-dir DIR`).
 ///
 /// Fault tolerance: `--checkpoint-dir DIR` enables durable checkpoints
 /// every `--checkpoint-every N` tiles (shared-memory path), `--resume`
@@ -222,6 +234,10 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let progress = args.flag("progress");
     if ranks.is_some() && (trace_path.is_some() || metrics_path.is_some() || progress) {
         return fail("--trace/--metrics/--progress instrument the shared-memory pipeline and cannot be combined with --ranks");
+    }
+    let trace_dir = args.get("trace-dir").map(str::to_string);
+    if trace_dir.is_some() && ranks.is_none() {
+        return fail("--trace-dir writes one stream per rank and needs --ranks; use --trace FILE for the shared-memory pipeline");
     }
     let checkpoint_dir = args.get("checkpoint-dir").map(str::to_string);
     let checkpoint_every = args.get_or("checkpoint-every", 8usize)?;
@@ -301,15 +317,29 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
 
     let (mut network, summary) = match ranks {
         Some(p) => {
-            let r = infer_network_distributed_faulty(
-                &matrix,
-                &cfg,
-                p,
-                &injector,
-                &rec,
-                DEFAULT_PEER_TIMEOUT,
-            )
+            let r = match &trace_dir {
+                Some(dir) => infer_network_distributed_traced(
+                    &matrix,
+                    &cfg,
+                    p,
+                    &injector,
+                    &rec,
+                    DEFAULT_PEER_TIMEOUT,
+                    std::path::Path::new(dir),
+                ),
+                None => infer_network_distributed_faulty(
+                    &matrix,
+                    &cfg,
+                    p,
+                    &injector,
+                    &rec,
+                    DEFAULT_PEER_TIMEOUT,
+                ),
+            }
             .map_err(|e| CliError(e.to_string()))?;
+            if let Some(dir) = &trace_dir {
+                writeln!(out, "wrote {p} per-rank trace streams + manifest to {dir}")?;
+            }
             let pairs: u64 = r.rank_stats.iter().map(|s| s.pairs).sum();
             let mut summary = format!("{} ranks, {} pairs, I* = {:.4}", p, pairs, r.threshold);
             if !r.crashed_ranks.is_empty() {
@@ -670,6 +700,146 @@ pub fn cmd_predict(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         wall / 60.0,
         share * 100.0
     )?;
+    Ok(())
+}
+
+/// `gnet trace-report` — offline analysis of recorded trace streams.
+///
+/// Options: exactly one of `--trace FILE` (single-process NDJSON
+/// stream) or `--trace-dir DIR` (per-rank streams + manifest from a
+/// distributed `gnet infer --ranks P --trace-dir DIR` run); `--chrome
+/// FILE` additionally writes Chrome trace-event JSON (load in Perfetto
+/// or `chrome://tracing`); `--flame FILE` writes folded flamegraph
+/// stacks (`flamegraph.pl` / speedscope); `--no-calibrate` skips the
+/// short live kernel measurement that fills the percent-of-modeled-peak
+/// column.
+pub fn cmd_trace_report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    use gnet_obs::model::RunModel;
+    use gnet_obs::report;
+
+    let trace = args.get("trace").map(str::to_string);
+    let dir = args.get("trace-dir").map(str::to_string);
+    let chrome_path = args.get("chrome").map(str::to_string);
+    let flame_path = args.get("flame").map(str::to_string);
+    let no_calibrate = args.flag("no-calibrate");
+    args.reject_unknown()?;
+
+    let model = match (&trace, &dir) {
+        (Some(f), None) => RunModel::from_file(std::path::Path::new(f)),
+        (None, Some(d)) => RunModel::from_dir(std::path::Path::new(d)),
+        _ => return fail("pass exactly one of --trace FILE or --trace-dir DIR"),
+    }
+    .map_err(|e| CliError(e.to_string()))?;
+
+    let config = report::RunConfig::from_model(&model);
+    let kernel_model = if no_calibrate {
+        None
+    } else {
+        config.as_ref().map(report::calibrate_model)
+    };
+    let rep = report::analyze(&model, kernel_model);
+    write!(out, "{}", rep.render_text())?;
+
+    if let Some(path) = chrome_path {
+        std::fs::write(&path, gnet_obs::chrome::to_chrome_json(&model))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "wrote Chrome trace-event JSON to {path}")?;
+    }
+    if let Some(path) = flame_path {
+        std::fs::write(&path, gnet_obs::flame::to_folded(&model))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "wrote folded flamegraph stacks to {path}")?;
+    }
+    Ok(())
+}
+
+/// `gnet bench` — the seeded fixed-shape benchmark suite and its
+/// regression gate.
+///
+/// Options: `--quick` (smaller shapes, 3 reps — the PR-CI mode),
+/// `--reps K` (override repetitions), `--out FILE` (artifact path,
+/// default `BENCH_5.json`), `--baseline FILE` (compare against a
+/// committed artifact and exit nonzero on statistically significant
+/// regressions), `--inject-slowdown F` (artificially slow the vector
+/// kernel by F× — the gate's self-test hook).
+pub fn cmd_bench(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    use gnet_obs::bench;
+
+    let quick = args.flag("quick");
+    let reps: Option<usize> = match args.get("reps") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError(format!("bad --reps {raw:?}")))?,
+        ),
+        None => None,
+    };
+    let out_path = args.get("out").unwrap_or("BENCH_5.json").to_string();
+    let baseline_path = args.get("baseline").map(str::to_string);
+    let slowdown = args.get_or("inject-slowdown", 1.0f64)?;
+    if !(1.0..=64.0).contains(&slowdown) {
+        return fail("--inject-slowdown must be in [1, 64]");
+    }
+    args.reject_unknown()?;
+
+    let opts = bench::BenchOptions {
+        quick,
+        reps,
+        slowdown,
+    };
+    writeln!(
+        out,
+        "gnet bench: {} mode, min of {} reps{}",
+        if quick { "quick" } else { "full" },
+        opts.effective_reps(),
+        if slowdown > 1.0 {
+            format!(", injected {slowdown}x vector-kernel slowdown")
+        } else {
+            String::new()
+        }
+    )?;
+    let suite = bench::run_suite(&opts);
+    for e in &suite.entries {
+        writeln!(
+            out,
+            "  {:<20} min {:>12.1} us   median {:>12.1} us   mad {:>10.1} us",
+            e.id, e.min_us, e.median_us, e.mad_us
+        )?;
+    }
+    std::fs::write(&out_path, bench::to_json(&suite))
+        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+    writeln!(out, "wrote {out_path}")?;
+
+    if let Some(bp) = baseline_path {
+        let text = std::fs::read_to_string(&bp)
+            .map_err(|e| CliError(format!("cannot read baseline {bp}: {e}")))?;
+        let base = bench::parse_suite(&text).map_err(|e| CliError(format!("{bp}: {e}")))?;
+        if base.quick != suite.quick {
+            // Quick and full shapes share ids but not workloads; a
+            // quick candidate would "pass" against a full baseline by
+            // construction.
+            return fail(format!(
+                "baseline {bp} is a {} suite but this run is {} — modes must match",
+                if base.quick { "quick" } else { "full" },
+                if suite.quick { "quick" } else { "full" },
+            ));
+        }
+        let regressions = bench::compare(&base, &suite);
+        if regressions.is_empty() {
+            writeln!(out, "no significant regressions vs {bp}")?;
+        } else {
+            for r in &regressions {
+                writeln!(
+                    out,
+                    "REGRESSION {:<20} {:.1} us -> {:.1} us ({:.2}x, gate {:.1} us)",
+                    r.id, r.base_min_us, r.cand_min_us, r.ratio, r.threshold_us
+                )?;
+            }
+            return fail(format!(
+                "{} benchmark regression(s) vs {bp}",
+                regressions.len()
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -1247,6 +1417,262 @@ mod tests {
         .unwrap_err();
         assert!(err.0.contains("rank 0"), "{}", err.0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_dir_requires_ranks() {
+        let args = argmap(&["--input", "x", "--output", "y", "--trace-dir", "d"]);
+        let mut out = Vec::new();
+        let err = cmd_infer(&args, &mut out).unwrap_err();
+        assert!(err.0.contains("--ranks"), "{}", err.0);
+    }
+
+    #[test]
+    fn distributed_trace_dir_feeds_trace_report() {
+        let dir = tmpdir("trace_report");
+        let matrix = dir.join("m.tsv");
+        let edges = dir.join("e.tsv");
+        let traces = dir.join("traces");
+        let chrome = dir.join("run.chrome.json");
+        let flame = dir.join("run.folded");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&[
+                "--genes",
+                "16",
+                "--samples",
+                "120",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        cmd_infer(
+            &argmap(&[
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                edges.to_str().unwrap(),
+                "--q",
+                "8",
+                "--ranks",
+                "4",
+                "--trace-dir",
+                traces.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("per-rank trace streams"), "{text}");
+        assert!(traces.join("manifest.json").exists());
+        assert!(traces.join("rank-3.ndjson").exists());
+
+        let mut report = Vec::new();
+        cmd_trace_report(
+            &argmap(&[
+                "--trace-dir",
+                traces.to_str().unwrap(),
+                "--chrome",
+                chrome.to_str().unwrap(),
+                "--flame",
+                flame.to_str().unwrap(),
+                "--no-calibrate",
+            ]),
+            &mut report,
+        )
+        .unwrap();
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("per-rank load"), "{text}");
+        assert!(text.contains("critical path"), "{text}");
+        assert!(text.contains("perf attribution"), "{text}");
+        assert!(chrome.exists() && flame.exists());
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(
+            chrome_text.starts_with("{\"traceEvents\":["),
+            "{chrome_text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_report_reads_single_process_streams_too() {
+        let dir = tmpdir("trace_report_single");
+        let matrix = dir.join("m.tsv");
+        let edges = dir.join("e.tsv");
+        let trace = dir.join("run.ndjson");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&[
+                "--genes",
+                "14",
+                "--samples",
+                "100",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        cmd_infer(
+            &argmap(&[
+                "--input",
+                matrix.to_str().unwrap(),
+                "--output",
+                edges.to_str().unwrap(),
+                "--q",
+                "6",
+                "--trace",
+                trace.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let mut report = Vec::new();
+        cmd_trace_report(
+            &argmap(&["--trace", trace.to_str().unwrap(), "--no-calibrate"]),
+            &mut report,
+        )
+        .unwrap();
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("stage.mi"), "{text}");
+        assert!(text.contains("run:"), "run.config line must render: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_report_needs_exactly_one_source() {
+        let mut out = Vec::new();
+        let err = cmd_trace_report(&argmap(&[]), &mut out).unwrap_err();
+        assert!(err.0.contains("exactly one"), "{}", err.0);
+        let err =
+            cmd_trace_report(&argmap(&["--trace", "a", "--trace-dir", "b"]), &mut out).unwrap_err();
+        assert!(err.0.contains("exactly one"), "{}", err.0);
+    }
+
+    #[test]
+    fn bench_writes_artifact_and_gates_on_baseline() {
+        let dir = tmpdir("bench");
+        let artifact = dir.join("BENCH_5.json");
+        let candidate = dir.join("BENCH_5.cand.json");
+        let mut out = Vec::new();
+        cmd_bench(
+            &argmap(&[
+                "--quick",
+                "--reps",
+                "2",
+                "--out",
+                artifact.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("kernel.vector"), "{text}");
+        assert!(text.contains("ring.4"), "{text}");
+        assert!(artifact.exists());
+
+        // Unchanged tree vs its own baseline: the gate passes.
+        let mut out = Vec::new();
+        cmd_bench(
+            &argmap(&[
+                "--quick",
+                "--reps",
+                "2",
+                "--out",
+                candidate.to_str().unwrap(),
+                "--baseline",
+                artifact.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("no significant regressions"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_gate_trips_on_injected_vector_slowdown() {
+        let dir = tmpdir("bench_slow");
+        let artifact = dir.join("BENCH_5.json");
+        let candidate = dir.join("BENCH_5.cand.json");
+        let mut out = Vec::new();
+        cmd_bench(
+            &argmap(&[
+                "--quick",
+                "--reps",
+                "1",
+                "--out",
+                artifact.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let err = cmd_bench(
+            &argmap(&[
+                "--quick",
+                "--reps",
+                "1",
+                "--out",
+                candidate.to_str().unwrap(),
+                "--baseline",
+                artifact.to_str().unwrap(),
+                "--inject-slowdown",
+                "3",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("regression"), "{}", err.0);
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("REGRESSION") && text.contains("kernel.vector"),
+            "the vector kernel must be the flagged series: {text}"
+        );
+        assert!(
+            !text.contains("REGRESSION kernel.scalar"),
+            "the scalar kernel is untouched by the injection: {text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_rejects_mode_mismatched_baseline() {
+        let dir = tmpdir("bench_mode");
+        let baseline = dir.join("full.json");
+        // A minimal *full* baseline; the candidate runs --quick.
+        std::fs::write(
+            &baseline,
+            "{\n  \"format\": \"gnet-bench\",\n  \"version\": 1,\n  \"issue\": 5,\n  \
+             \"quick\": false,\n  \"entries\": []\n}",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let err = cmd_bench(
+            &argmap(&[
+                "--quick",
+                "--reps",
+                "1",
+                "--out",
+                dir.join("cand.json").to_str().unwrap(),
+                "--baseline",
+                baseline.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("modes must match"), "{}", err.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_rejects_bad_slowdown() {
+        let mut out = Vec::new();
+        let err = cmd_bench(&argmap(&["--inject-slowdown", "0.5"]), &mut out).unwrap_err();
+        assert!(err.0.contains("inject-slowdown"), "{}", err.0);
     }
 
     #[test]

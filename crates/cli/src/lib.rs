@@ -11,6 +11,6 @@ pub mod commands;
 
 pub use args::ArgMap;
 pub use commands::{
-    cmd_analyze, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score, cmd_stats,
-    cmd_topology, CliError,
+    cmd_analyze, cmd_bench, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score,
+    cmd_stats, cmd_topology, cmd_trace_report, CliError,
 };

@@ -75,6 +75,10 @@ const TAG_BLOCK: u8 = 1;
 const TAG_RESULTS: u8 = 3;
 const TAG_ASSIGN: u8 = 4;
 const TAG_SUPPLEMENT: u8 = 5;
+/// Clock-sync stamp, circulated 0 → 1 → … → P−1 before compute when
+/// per-rank tracing is armed. Payload: estimated rank-0 time (µs since
+/// rank 0's trace epoch) at send, as `i64` LE.
+const TAG_CLOCK: u8 = 6;
 
 const FRAME_HEADER: usize = 5;
 
@@ -88,6 +92,14 @@ pub enum ClusterError {
         /// Ring round at which the plan would kill rank 0.
         round: usize,
     },
+    /// Writing a per-rank trace file or the manifest failed. The network
+    /// was still inferred; only the observability output is missing.
+    TraceIo {
+        /// Path being written when the error hit.
+        path: String,
+        /// OS error rendering.
+        message: String,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -98,6 +110,9 @@ impl fmt::Display for ClusterError {
                 "fault plan kills rank 0 at round {round}: coordinator loss is job loss \
                  (no recovery path); rerun without the rank-0 crash"
             ),
+            Self::TraceIo { path, message } => {
+                write!(f, "cannot write rank trace {path}: {message}")
+            }
         }
     }
 }
@@ -123,6 +138,11 @@ pub struct RankStats {
     pub crashed: bool,
     /// Block pairs recomputed by this rank on behalf of dead ranks.
     pub reassigned_block_pairs: usize,
+    /// This rank's trace-clock offset relative to rank 0 (µs): subtract
+    /// it from a local trace timestamp to land on rank 0's timebase.
+    /// Zero unless the run was traced (clock exchange only happens when
+    /// per-rank recording is armed).
+    pub clock_offset_us: i64,
 }
 
 /// Output of a distributed run.
@@ -207,6 +227,59 @@ pub fn infer_network_distributed_faulty(
     rec: &Recorder,
     peer_timeout: Duration,
 ) -> Result<DistributedResult, ClusterError> {
+    run_distributed(matrix, config, ranks, faults, rec, peer_timeout, None)
+}
+
+/// [`infer_network_distributed_faulty`] with per-rank trace capture:
+/// every rank records its own spans/counters/events into a private
+/// [`Recorder`] whose stream is written to `trace_dir/rank-<r>.ndjson`
+/// after the run, and the driver (standing in for the coordinator's
+/// filesystem) writes `trace_dir/manifest.json` listing them.
+///
+/// Before the first ring round the ranks run a clock exchange — a
+/// [`TAG_CLOCK`] stamp circulated 0 → 1 → … → P−1 on the existing ring
+/// channels — so each rank learns its trace-epoch offset from rank 0
+/// ([`RankStats::clock_offset_us`], also stamped into its NDJSON meta
+/// line as `clock_offset_us`). Offline tooling subtracts the offset to
+/// align all streams on rank 0's timebase. A lost clock frame degrades
+/// the offset to zero for that rank (recorded as `clock.sync` with
+/// `ok:false`), never the run.
+///
+/// # Errors
+/// [`ClusterError::CoordinatorCrash`] for rank-0 crash plans, and
+/// [`ClusterError::TraceIo`] when a trace file cannot be written.
+///
+/// # Panics
+/// Same validation panics as [`infer_network_distributed`].
+pub fn infer_network_distributed_traced(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+    faults: &FaultInjector,
+    rec: &Recorder,
+    peer_timeout: Duration,
+    trace_dir: &std::path::Path,
+) -> Result<DistributedResult, ClusterError> {
+    run_distributed(
+        matrix,
+        config,
+        ranks,
+        faults,
+        rec,
+        peer_timeout,
+        Some(trace_dir),
+    )
+}
+
+fn run_distributed(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+    faults: &FaultInjector,
+    rec: &Recorder,
+    peer_timeout: Duration,
+    trace_dir: Option<&std::path::Path>,
+) -> Result<DistributedResult, ClusterError> {
     config.validate();
     assert!(ranks >= 1, "need at least one rank");
     assert!(ranks <= matrix.genes(), "more ranks than genes");
@@ -225,8 +298,13 @@ pub fn infer_network_distributed_faulty(
 
     let n = matrix.genes();
     let fabric = Fabric::with_faults(ranks, faults.clone());
+    let rank_recs: Option<Vec<Recorder>> =
+        trace_dir.map(|_| (0..ranks).map(|_| Recorder::enabled()).collect());
     let outputs = run_ranks_on(fabric, |ep| {
-        rank_main(ep, matrix, config, n, rec, peer_timeout)
+        let rank_rec = rank_recs
+            .as_ref()
+            .map_or_else(Recorder::disabled, |recs| recs[ep.rank()].clone());
+        rank_main(ep, matrix, config, n, rec, &rank_rec, peer_timeout)
     });
 
     let mut network = None;
@@ -241,12 +319,76 @@ pub fn infer_network_distributed_faulty(
         }
         rank_stats.push(out.stats);
     }
-    Ok(DistributedResult {
+    let result = DistributedResult {
         network: network.expect("rank 0 produces the network"),
         threshold,
         rank_stats,
         crashed_ranks,
-    })
+    };
+    if let (Some(dir), Some(recs)) = (trace_dir, rank_recs) {
+        write_rank_traces(dir, &recs, &result)?;
+    }
+    Ok(result)
+}
+
+/// Write every rank's NDJSON stream plus the coordinator manifest into
+/// `dir` (created if absent).
+fn write_rank_traces(
+    dir: &std::path::Path,
+    recs: &[Recorder],
+    result: &DistributedResult,
+) -> Result<(), ClusterError> {
+    use gnet_trace::escape_json;
+    use std::io::Write as _;
+
+    let trace_io = |path: &std::path::Path, e: &std::io::Error| ClusterError::TraceIo {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    std::fs::create_dir_all(dir).map_err(|e| trace_io(dir, &e))?;
+    let mut files = Vec::with_capacity(recs.len());
+    for (r, rank_rec) in recs.iter().enumerate() {
+        let name = format!("rank-{r}.ndjson");
+        let path = dir.join(&name);
+        let file = std::fs::File::create(&path).map_err(|e| trace_io(&path, &e))?;
+        let mut w = std::io::BufWriter::new(file);
+        rank_rec
+            .write_ndjson_with_meta(
+                &mut w,
+                &[
+                    ("rank", Value::from(r)),
+                    ("ranks", Value::from(recs.len())),
+                    (
+                        "clock_offset_us",
+                        Value::I64(result.rank_stats[r].clock_offset_us),
+                    ),
+                ],
+            )
+            .and_then(|()| w.flush())
+            .map_err(|e| trace_io(&path, &e))?;
+        files.push(name);
+    }
+
+    let mut manifest = String::with_capacity(256);
+    manifest.push_str("{\"format\":\"gnet-trace-manifest\",\"version\":1");
+    let _ = std::fmt::Write::write_fmt(&mut manifest, format_args!(",\"ranks\":{}", recs.len()));
+    manifest.push_str(",\"crashed_ranks\":[");
+    for (i, r) in result.crashed_ranks.iter().enumerate() {
+        if i > 0 {
+            manifest.push(',');
+        }
+        let _ = std::fmt::Write::write_fmt(&mut manifest, format_args!("{r}"));
+    }
+    manifest.push_str("],\"files\":[");
+    for (i, f) in files.iter().enumerate() {
+        if i > 0 {
+            manifest.push(',');
+        }
+        escape_json(&mut manifest, f);
+    }
+    manifest.push_str("]}\n");
+    let path = dir.join("manifest.json");
+    std::fs::write(&path, manifest).map_err(|e| trace_io(&path, &e))
 }
 
 /// One rank's share of reassigned work: pooled nulls plus candidates.
@@ -290,6 +432,7 @@ fn recv_block(
             Ok(raw) => match parse_frame(raw) {
                 Some((TAG_BLOCK, r, payload)) if r == round => return Ok(payload),
                 Some((TAG_BLOCK, r, _)) if r < round => continue, // stale delayed frame
+                Some((TAG_CLOCK, _, _)) => continue,              // delayed clock stamp: harmless
                 _ => return Err("unexpected frame on ring channel"),
             },
             Err(RecvTimeoutError::Timeout) => return Err("peer timed out"),
@@ -310,6 +453,7 @@ fn recv_tagged(
         match ep.recv_timeout(from, timeout) {
             Ok(raw) => match parse_frame(raw) {
                 Some((TAG_BLOCK, _, _)) => continue, // stale ring traffic
+                Some((TAG_CLOCK, _, _)) => continue, // delayed clock stamp
                 Some((tag, _, payload)) if tag == want => return Ok(payload),
                 _ => return Err("unexpected frame"),
             },
@@ -317,6 +461,73 @@ fn recv_tagged(
             Err(RecvTimeoutError::Disconnected) => return Err("peer disconnected"),
         }
     }
+}
+
+/// Microseconds since `rec`'s trace epoch, as `i64` (saturating — traces
+/// never approach 2^63 µs).
+fn trace_now_us(rec: &Recorder) -> i64 {
+    i64::try_from(rec.elapsed().as_micros()).unwrap_or(i64::MAX)
+}
+
+/// Chain clock exchange: rank 0 stamps its trace time and sends it to
+/// rank 1; each rank `r ≥ 1` measures `offset = local − stamp` on
+/// receipt, then forwards its own *rank-0-timebase* estimate
+/// (`local − offset`) to `r + 1`. The chain stops at `P−1` (nothing
+/// wraps back to rank 0, so no stray frame outlives the exchange).
+///
+/// Returns the offset plus any ring-block frame that arrived while
+/// waiting (possible only when the clock frame itself was dropped by an
+/// injected fault) — the caller must feed that frame back into the ring
+/// loop instead of losing it. A lost stamp degrades the offset to 0,
+/// recorded as `clock.sync` with `ok:false`.
+fn exchange_clock(
+    ep: &Endpoint,
+    rank_rec: &Recorder,
+    timeout: Duration,
+) -> (i64, Option<(u32, Bytes)>) {
+    let p = ep.size();
+    let r = ep.rank();
+    let mut offset = 0i64;
+    let mut ok = true;
+    let mut leftover = None;
+    if r == 0 {
+        if p > 1 {
+            let stamp = trace_now_us(rank_rec);
+            ep.send(1, frame(TAG_CLOCK, 0, &stamp.to_le_bytes()));
+        }
+    } else {
+        ok = false;
+        if let Ok(raw) = ep.recv_timeout(r - 1, timeout) {
+            match parse_frame(raw) {
+                Some((TAG_CLOCK, _, payload)) if payload.len() == 8 => {
+                    let mut stamp_bytes = [0u8; 8];
+                    stamp_bytes.copy_from_slice(&payload);
+                    let stamp = i64::from_le_bytes(stamp_bytes);
+                    offset = trace_now_us(rank_rec) - stamp;
+                    ok = true;
+                }
+                Some((TAG_BLOCK, round, payload)) => {
+                    // The stamp was dropped and ring traffic overtook
+                    // it; hand the block back to the caller.
+                    leftover = Some((round, payload));
+                }
+                _ => {}
+            }
+        }
+        if r + 1 < p {
+            let estimate = trace_now_us(rank_rec) - offset;
+            ep.send(r + 1, frame(TAG_CLOCK, 0, &estimate.to_le_bytes()));
+        }
+    }
+    rank_rec.event(
+        "clock.sync",
+        &[
+            ("rank", Value::from(r)),
+            ("offset_us", Value::I64(offset)),
+            ("ok", Value::Bool(ok)),
+        ],
+    );
+    (offset, leftover)
 }
 
 /// Prepare block `idx` of the `p`-way partition directly from the shared
@@ -338,12 +549,14 @@ fn build_block(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rank_main(
     ep: Endpoint,
     matrix: &ExpressionMatrix,
     config: &InferenceConfig,
     n: usize,
     rec: &Recorder,
+    rank_rec: &Recorder,
     peer_timeout: Duration,
 ) -> RankOutput {
     let p = ep.size();
@@ -365,6 +578,13 @@ fn rank_main(
             stats.messages = ep.stats().messages();
             stats.bytes_sent = ep.stats().bytes();
             stats.busy = busy;
+            rank_rec.event(
+                "rank.crashed",
+                &[
+                    ("rank", Value::from(r)),
+                    ("pairs", Value::from(stats.pairs)),
+                ],
+            );
             // Dropping the endpoint (by returning) closes this rank's
             // channels — exactly how survivors detect the death.
             return RankOutput {
@@ -380,13 +600,52 @@ fn rank_main(
         die!();
     }
 
+    // Clock exchange (traced runs only): learn this rank's trace-epoch
+    // offset from rank 0 before any compute, so every span below can be
+    // re-based onto one cluster-wide timebase offline.
+    let mut leftover: Option<(u32, Bytes)> = None;
+    if rank_rec.is_enabled() {
+        let (offset, lo) = exchange_clock(&ep, rank_rec, peer_timeout);
+        stats.clock_offset_us = offset;
+        leftover = lo;
+    }
+    if r == 0 {
+        // Run-shape stamp for offline perf attribution (`gnet
+        // trace-report` matches it against a calibrated kernel model).
+        // Each rank's compute is single-threaded and block-decomposed,
+        // so threads=1 and the local block size stand in for the
+        // shared-memory pipeline's pool width and tile size.
+        rank_rec.event(
+            "run.config",
+            &[
+                ("genes", Value::from(n)),
+                ("samples", Value::from(matrix.samples())),
+                ("permutations", Value::from(config.permutations)),
+                (
+                    "kernel",
+                    match config.kernel {
+                        MiKernel::ScalarSparse => "scalar",
+                        MiKernel::VectorDense => "vector",
+                    }
+                    .into(),
+                ),
+                ("threads", Value::from(1u64)),
+                ("tile_size", Value::from(end - start)),
+                ("scheduler", Value::from("ring")),
+            ],
+        );
+    }
+
     // Prepare the local block.
     let t0 = Instant::now();
-    let own = GeneBlock {
-        indices: (start as u32..end as u32).collect(),
-        genes: (start..end)
-            .map(|g| prepare_gene(matrix.gene(g), &basis))
-            .collect(),
+    let own = {
+        let _prep_span = rank_rec.span("rank.prep");
+        GeneBlock {
+            indices: (start as u32..end as u32).collect(),
+            genes: (start..end)
+                .map(|g| prepare_gene(matrix.gene(g), &basis))
+                .collect(),
+        }
     };
     busy += t0.elapsed();
 
@@ -395,16 +654,19 @@ fn rank_main(
 
     // Diagonal block: pairs within the local gene range.
     let t1 = Instant::now();
-    compute_block_pair(
-        &own,
-        None,
-        config.kernel,
-        &perms,
-        &mut scratch,
-        &mut pooled,
-        &mut candidates,
-        &mut stats.pairs,
-    );
+    {
+        let _diag_span = rank_rec.span("rank.diag");
+        compute_block_pair(
+            &own,
+            None,
+            config.kernel,
+            &perms,
+            &mut scratch,
+            &mut pooled,
+            &mut candidates,
+            &mut stats.pairs,
+        );
+    }
     stats.block_pairs += 1;
     busy += t1.elapsed();
 
@@ -417,13 +679,21 @@ fn rank_main(
         if faults.should_crash_rank(r, d) {
             die!();
         }
+        let _round_span = rank_rec.span(&format!("rank.round.{d}"));
         ep.send(next, frame(TAG_BLOCK, d as u32, &travelling));
         let held = (r + p - d) % p;
         // Receive the next block, or — if the predecessor died or the
         // frame was lost — heal the ring by reconstructing the block we
-        // know we are due, so downstream ranks never notice.
+        // know we are due, so downstream ranks never notice. A block the
+        // clock exchange captured while waiting for its stamp takes
+        // precedence (it IS this round's frame, already received).
+        let recv_result = match leftover.take() {
+            Some((lr, payload)) if lr == d as u32 => Ok(payload),
+            Some((lr, _)) if lr > d as u32 => Err("unexpected frame on ring channel"),
+            _ => recv_block(&ep, prev, d as u32, peer_timeout),
+        };
         let mut rebuilt: Option<GeneBlock> = None;
-        travelling = match recv_block(&ep, prev, d as u32, peer_timeout) {
+        travelling = match recv_result {
             Ok(payload) => payload,
             Err(reason) => {
                 let t = Instant::now();
@@ -499,6 +769,11 @@ fn rank_main(
     }
 
     let my_results = encode_rank_results(&pooled, &candidates);
+    let _finalize_span = rank_rec.span(if r == 0 {
+        "rank.coordinate"
+    } else {
+        "rank.report"
+    });
     let output = if r == 0 {
         coordinate(
             &ep,
@@ -556,9 +831,22 @@ fn rank_main(
         None
     };
 
+    drop(_finalize_span);
     stats.messages = ep.stats().messages();
     stats.bytes_sent = ep.stats().bytes();
     stats.busy = busy;
+    rank_rec.counter_add("rank.pairs", stats.pairs);
+    rank_rec.counter_add("rank.block_pairs", stats.block_pairs as u64);
+    rank_rec.event(
+        "rank.done",
+        &[
+            ("rank", Value::from(r)),
+            ("pairs", Value::from(stats.pairs)),
+            ("block_pairs", Value::from(stats.block_pairs)),
+            ("messages", Value::from(stats.messages)),
+            ("bytes_sent", Value::from(stats.bytes_sent)),
+        ],
+    );
 
     match output {
         Some((network, threshold, dead)) => RankOutput {
@@ -1193,6 +1481,89 @@ mod tests {
         assert_eq!(err, ClusterError::CoordinatorCrash { round: 1 });
         let msg = err.to_string();
         assert!(msg.contains("rank 0"), "error must name the coordinator");
+    }
+
+    // ---- per-rank tracing ----
+
+    #[test]
+    fn traced_run_writes_per_rank_streams_and_manifest() {
+        let (matrix, _) = coupled_pairs(8, 120, Coupling::Linear(0.8), 17);
+        let dir = std::env::temp_dir().join(format!(
+            "gnet-cluster-trace-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let baseline = infer_network_distributed(&matrix, &cfg(), 4);
+        let dist = infer_network_distributed_traced(
+            &matrix,
+            &cfg(),
+            4,
+            &FaultInjector::none(),
+            &Recorder::disabled(),
+            DEFAULT_PEER_TIMEOUT,
+            &dir,
+        )
+        .expect("traced fault-free run succeeds");
+        // Tracing must not perturb the result.
+        assert_eq!(edge_keys(&dist.network), edge_keys(&baseline.network));
+
+        let manifest =
+            std::fs::read_to_string(dir.join("manifest.json")).expect("manifest written");
+        assert!(manifest.contains("\"gnet-trace-manifest\""), "{manifest}");
+        assert!(manifest.contains("\"ranks\":4"), "{manifest}");
+        for r in 0..4 {
+            assert!(
+                manifest.contains(&format!("\"rank-{r}.ndjson\"")),
+                "{manifest}"
+            );
+            let text = std::fs::read_to_string(dir.join(format!("rank-{r}.ndjson")))
+                .expect("rank stream written");
+            let meta = text.lines().next().expect("meta line");
+            assert!(meta.contains(&format!("\"rank\":{r}")), "{meta}");
+            assert!(meta.contains("\"clock_offset_us\":"), "{meta}");
+            assert!(text.contains("\"rank.prep\""), "rank {r}: {text}");
+            assert!(text.contains("\"rank.diag\""), "rank {r}");
+            assert!(text.contains("\"clock.sync\""), "rank {r}");
+            assert!(text.contains("\"rank.done\""), "rank {r}");
+            // 4 ranks → 2 ring rounds, each a span.
+            assert!(text.contains("\"rank.round.1\""), "rank {r}");
+            assert!(text.contains("\"rank.round.2\""), "rank {r}");
+        }
+        // Rank 0 anchors the timebase.
+        assert_eq!(dist.rank_stats[0].clock_offset_us, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_run_survives_a_crash_and_still_writes_all_streams() {
+        let (matrix, _) = coupled_pairs(6, 160, Coupling::Linear(0.8), 42);
+        let dir = std::env::temp_dir().join(format!(
+            "gnet-cluster-trace-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let baseline = infer_network_distributed(&matrix, &cfg(), 4);
+        let plan = FaultPlan::parse("seed=7;crash(rank=2,round=1)").expect("plan parses");
+        let dist = infer_network_distributed_traced(
+            &matrix,
+            &cfg(),
+            4,
+            &FaultInjector::from_plan(&plan),
+            &Recorder::enabled(),
+            faulty_timeout(),
+            &dir,
+        )
+        .expect("crash is survivable under tracing");
+        assert_eq!(dist.crashed_ranks, vec![2]);
+        assert_eq!(edge_keys(&dist.network), edge_keys(&baseline.network));
+        // The crashed rank still leaves a (partial) stream behind.
+        let text =
+            std::fs::read_to_string(dir.join("rank-2.ndjson")).expect("partial stream written");
+        assert!(text.contains("\"rank.crashed\""), "{text}");
+        let manifest =
+            std::fs::read_to_string(dir.join("manifest.json")).expect("manifest written");
+        assert!(manifest.contains("\"crashed_ranks\":[2]"), "{manifest}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

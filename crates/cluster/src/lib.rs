@@ -41,6 +41,6 @@ pub mod distributed;
 pub use codec::CodecError;
 pub use comm::{run_ranks, run_ranks_on, CommStats, Endpoint, Fabric, RecvTimeoutError};
 pub use distributed::{
-    infer_network_distributed, infer_network_distributed_faulty, ClusterError, DistributedResult,
-    RankStats, DEFAULT_PEER_TIMEOUT,
+    infer_network_distributed, infer_network_distributed_faulty, infer_network_distributed_traced,
+    ClusterError, DistributedResult, RankStats, DEFAULT_PEER_TIMEOUT,
 };

@@ -202,6 +202,28 @@ pub fn infer_network_traced(
     let threads = config.resolved_threads();
     let space = TileSpace::new(matrix.genes(), tile_size);
 
+    // Run-shape stamp: everything offline perf attribution needs to match
+    // this run against a calibrated kernel model (see `gnet trace-report`).
+    rec.event(
+        "run.config",
+        &[
+            ("genes", matrix.genes().into()),
+            ("samples", matrix.samples().into()),
+            ("permutations", config.permutations.into()),
+            (
+                "kernel",
+                match config.kernel {
+                    MiKernel::ScalarSparse => "scalar",
+                    MiKernel::VectorDense => "vector",
+                }
+                .into(),
+            ),
+            ("threads", threads.into()),
+            ("tile_size", tile_size.into()),
+            ("scheduler", config.scheduler.name().into()),
+        ],
+    );
+
     // Early-insert filtering: with an explicit threshold the per-pair
     // decision is final, so candidates below it are dropped immediately.
     let explicit_threshold = config.mi_threshold;

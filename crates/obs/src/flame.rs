@@ -1,0 +1,163 @@
+//! Folded flamegraph-stack export.
+//!
+//! Produces the classic `flamegraph.pl` / speedscope "folded" format:
+//! one line per unique stack, `frame;frame;frame <self-µs>`. Spans
+//! inside one rank are nested by time containment (a span whose
+//! interval lies inside another's is its child), mirroring how the
+//! recorder's RAII spans actually nest at runtime. The root frame of
+//! every stack is `rank-<r>`, so a distributed run folds into one
+//! graph with one subtree per rank. Weights are *self* time: a frame's
+//! duration minus its nested children, so the flamegraph's column
+//! widths sum to real busy time without double-counting.
+
+use crate::model::{AlignedSpan, RunModel};
+use std::collections::BTreeMap;
+
+/// Fold one rank's spans into `(stack-path, self-µs)` pairs,
+/// accumulated into `folded`.
+fn fold_rank(root: &str, spans: &[&AlignedSpan], folded: &mut BTreeMap<String, u64>) {
+    let mut ordered: Vec<&AlignedSpan> = spans.to_vec();
+    // Parents before children: earlier start first, longer span first on
+    // ties so the container precedes the contained.
+    ordered.sort_by(|a, b| {
+        a.start_us
+            .cmp(&b.start_us)
+            .then(b.end_us().cmp(&a.end_us()))
+    });
+
+    // Open-frame stack: (name, end_us, self_us).
+    let mut stack: Vec<(String, i64, u64)> = Vec::new();
+    let close_top = |stack: &mut Vec<(String, i64, u64)>, folded: &mut BTreeMap<String, u64>| {
+        if let Some((name, _, self_us)) = stack.pop() {
+            let mut path = String::from(root);
+            for (frame, _, _) in stack.iter() {
+                path.push(';');
+                path.push_str(frame);
+            }
+            path.push(';');
+            path.push_str(&name);
+            *folded.entry(path).or_insert(0) += self_us;
+        }
+    };
+
+    for s in ordered {
+        while let Some(top) = stack.last() {
+            if s.start_us >= top.1 {
+                close_top(&mut stack, folded);
+            } else {
+                break;
+            }
+        }
+        // Deduct the child's time from the parent's self weight.
+        if let Some(top) = stack.last_mut() {
+            top.2 = top.2.saturating_sub(s.dur_us);
+        }
+        stack.push((s.name.clone(), s.end_us(), s.dur_us));
+    }
+    while !stack.is_empty() {
+        close_top(&mut stack, folded);
+    }
+}
+
+/// Render a run as folded flamegraph stacks, one line per unique stack,
+/// sorted lexicographically (deterministic output).
+#[must_use]
+pub fn to_folded(model: &RunModel) -> String {
+    let spans = model.aligned_spans();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for t in &model.ranks {
+        let rank = t.rank();
+        let rank_spans: Vec<&AlignedSpan> = spans.iter().filter(|s| s.rank == rank).collect();
+        fold_rank(&format!("rank-{rank}"), &rank_spans, &mut folded);
+    }
+    let mut out = String::new();
+    for (path, weight) in &folded {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AlignedSpan;
+    use crate::model::RunModel;
+
+    fn span(rank: u64, name: &str, start_us: i64, dur_us: u64) -> AlignedSpan {
+        AlignedSpan {
+            rank,
+            name: name.to_string(),
+            start_us,
+            dur_us,
+        }
+    }
+
+    fn fold(spans: Vec<AlignedSpan>) -> BTreeMap<String, u64> {
+        let mut folded = BTreeMap::new();
+        let refs: Vec<&AlignedSpan> = spans.iter().collect();
+        fold_rank("rank-0", &refs, &mut folded);
+        folded
+    }
+
+    #[test]
+    fn nesting_follows_time_containment_and_weights_are_self_time() {
+        // run [0,100) contains mi [10,90) contains tile [20,30).
+        let folded = fold(vec![
+            span(0, "run", 0, 100),
+            span(0, "mi", 10, 80),
+            span(0, "tile", 20, 10),
+        ]);
+        assert_eq!(folded.get("rank-0;run"), Some(&20)); // 100 - 80
+        assert_eq!(folded.get("rank-0;run;mi"), Some(&70)); // 80 - 10
+        assert_eq!(folded.get("rank-0;run;mi;tile"), Some(&10));
+        assert_eq!(
+            folded.values().sum::<u64>(),
+            100,
+            "self times sum to the root"
+        );
+    }
+
+    #[test]
+    fn siblings_share_a_parent_and_identical_stacks_merge() {
+        let folded = fold(vec![
+            span(0, "run", 0, 100),
+            span(0, "tile", 10, 20),
+            span(0, "tile", 40, 20),
+        ]);
+        assert_eq!(folded.get("rank-0;run;tile"), Some(&40), "two tiles merge");
+        assert_eq!(folded.get("rank-0;run"), Some(&60));
+    }
+
+    #[test]
+    fn disjoint_top_level_spans_are_separate_roots() {
+        let folded = fold(vec![span(0, "prep", 0, 10), span(0, "mi", 10, 30)]);
+        assert_eq!(folded.get("rank-0;prep"), Some(&10));
+        assert_eq!(folded.get("rank-0;mi"), Some(&30));
+    }
+
+    #[test]
+    fn multi_rank_output_has_one_subtree_per_rank() {
+        use crate::ingest;
+        use gnet_trace::{Recorder, Value};
+        let mut traces = Vec::new();
+        for r in 0..2u64 {
+            let rec = Recorder::enabled();
+            {
+                let _s = rec.span("rank.work");
+            }
+            let mut out = Vec::new();
+            rec.write_ndjson_with_meta(&mut out, &[("rank", Value::U64(r))])
+                .expect("vec sink");
+            traces.push(
+                ingest::parse_ndjson(&String::from_utf8(out).expect("utf-8")).expect("parses"),
+            );
+        }
+        let model = RunModel::from_traces(traces).expect("two ranks");
+        let folded = to_folded(&model);
+        assert!(folded.contains("rank-0;rank.work "));
+        assert!(folded.contains("rank-1;rank.work "));
+    }
+}

@@ -1,0 +1,365 @@
+//! The unified run model: one or many ingested streams on one timebase.
+//!
+//! Distributed runs write one NDJSON stream per rank plus a
+//! `manifest.json`; single-process runs write a single stream. Either
+//! way the analysis layers below (reports, exporters) want one object
+//! holding every stream with its timestamps mapped onto rank 0's trace
+//! clock. The mapping is the per-rank `clock_offset_us` estimated by the
+//! round-stamped clock-chain exchange at run start (DESIGN.md §12):
+//! `aligned = local − offset`, in signed µs so a rank that started
+//! before rank 0's epoch stays representable.
+
+use crate::ingest::{self, EventRec, FieldValue, IngestError, Manifest, RankTrace, SpanRec};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A failure loading or assembling a run model.
+#[derive(Clone, Debug)]
+pub enum ObsError {
+    /// File system failure.
+    Io {
+        /// Offending path.
+        path: PathBuf,
+        /// OS error text.
+        message: String,
+    },
+    /// A stream or manifest failed strict ingestion.
+    Parse {
+        /// Offending path.
+        path: PathBuf,
+        /// The underlying ingest error.
+        source: IngestError,
+    },
+    /// Streams that cannot form one run (e.g. duplicate ranks).
+    Model(
+        /// What was inconsistent.
+        String,
+    ),
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, message } => {
+                write!(f, "cannot read {}: {message}", path.display())
+            }
+            Self::Parse { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            Self::Model(msg) => write!(f, "inconsistent run: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+/// One span mapped onto the run timebase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlignedSpan {
+    /// Owning rank.
+    pub rank: u64,
+    /// Span name.
+    pub name: String,
+    /// Aligned start, µs on rank 0's clock (signed: pre-epoch starts
+    /// are representable).
+    pub start_us: i64,
+    /// Duration, µs.
+    pub dur_us: u64,
+}
+
+impl AlignedSpan {
+    /// Aligned end, µs.
+    #[must_use]
+    pub fn end_us(&self) -> i64 {
+        self.start_us.saturating_add_unsigned(self.dur_us)
+    }
+}
+
+/// One event mapped onto the run timebase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlignedEvent {
+    /// Owning rank.
+    pub rank: u64,
+    /// Event name.
+    pub name: String,
+    /// Aligned timestamp, µs on rank 0's clock.
+    pub t_us: i64,
+    /// Typed fields, in producer order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// A whole run: every stream, plus run-level metadata.
+#[derive(Clone, Debug)]
+pub struct RunModel {
+    /// Per-rank streams, sorted by rank id. Single-process runs have
+    /// exactly one entry with rank 0.
+    pub ranks: Vec<RankTrace>,
+    /// Ranks the manifest flags as crashed (empty without a manifest).
+    pub crashed_ranks: Vec<u64>,
+}
+
+impl RunModel {
+    /// Build a model from already-parsed streams.
+    ///
+    /// # Errors
+    /// [`ObsError::Model`] when two streams claim the same rank id or
+    /// no streams are given.
+    pub fn from_traces(mut traces: Vec<RankTrace>) -> Result<Self, ObsError> {
+        if traces.is_empty() {
+            return Err(ObsError::Model("no trace streams".to_string()));
+        }
+        traces.sort_by_key(RankTrace::rank);
+        for pair in traces.windows(2) {
+            if pair[0].rank() == pair[1].rank() {
+                return Err(ObsError::Model(format!(
+                    "two streams claim rank {}",
+                    pair[0].rank()
+                )));
+            }
+        }
+        Ok(Self {
+            ranks: traces,
+            crashed_ranks: Vec::new(),
+        })
+    }
+
+    /// Load a single-stream run from one NDJSON file.
+    ///
+    /// # Errors
+    /// [`ObsError`] on IO or ingestion failure.
+    pub fn from_file(path: &Path) -> Result<Self, ObsError> {
+        let trace = load_stream(path)?;
+        Self::from_traces(vec![trace])
+    }
+
+    /// Load a traced distributed run from its trace directory, driven
+    /// by the coordinator's `manifest.json`.
+    ///
+    /// # Errors
+    /// [`ObsError`] on IO failure, ingestion failure in any stream, or
+    /// an inconsistent manifest.
+    pub fn from_dir(dir: &Path) -> Result<Self, ObsError> {
+        let manifest_path = dir.join("manifest.json");
+        let text = read_text(&manifest_path)?;
+        let manifest: Manifest =
+            ingest::parse_manifest(&text).map_err(|source| ObsError::Parse {
+                path: manifest_path.clone(),
+                source,
+            })?;
+        if manifest.files.len() as u64 != manifest.ranks {
+            return Err(ObsError::Model(format!(
+                "manifest lists {} files for {} ranks",
+                manifest.files.len(),
+                manifest.ranks
+            )));
+        }
+        let traces = manifest
+            .files
+            .iter()
+            .map(|f| load_stream(&dir.join(f)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut model = Self::from_traces(traces)?;
+        model.crashed_ranks = manifest.crashed_ranks;
+        Ok(model)
+    }
+
+    /// Rank count.
+    #[must_use]
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The stream for a rank id, if present.
+    #[must_use]
+    pub fn rank(&self, rank: u64) -> Option<&RankTrace> {
+        self.ranks.iter().find(|t| t.rank() == rank)
+    }
+
+    /// Every span of every rank, mapped onto the run timebase. Order:
+    /// by rank, then producer order — no span is dropped or duplicated
+    /// relative to the raw streams.
+    #[must_use]
+    pub fn aligned_spans(&self) -> Vec<AlignedSpan> {
+        self.ranks
+            .iter()
+            .flat_map(|t| {
+                let offset = t.clock_offset_us();
+                let rank = t.rank();
+                t.spans.iter().map(move |s| AlignedSpan {
+                    rank,
+                    name: s.name.clone(),
+                    start_us: align(s.start_us, offset),
+                    dur_us: s.dur_us,
+                })
+            })
+            .collect()
+    }
+
+    /// Every event of every rank, mapped onto the run timebase.
+    #[must_use]
+    pub fn aligned_events(&self) -> Vec<AlignedEvent> {
+        self.ranks
+            .iter()
+            .flat_map(|t| {
+                let offset = t.clock_offset_us();
+                let rank = t.rank();
+                t.events.iter().map(move |e| AlignedEvent {
+                    rank,
+                    name: e.name.clone(),
+                    t_us: align(e.t_us, offset),
+                    fields: e.fields.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Earliest aligned span start across the run, µs (0 when empty).
+    #[must_use]
+    pub fn epoch_us(&self) -> i64 {
+        self.ranks
+            .iter()
+            .flat_map(|t| {
+                let offset = t.clock_offset_us();
+                t.spans.iter().map(move |s| align(s.start_us, offset))
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Latest aligned span end across the run, µs (0 when empty).
+    #[must_use]
+    pub fn horizon_us(&self) -> i64 {
+        self.ranks
+            .iter()
+            .flat_map(|t| {
+                let offset = t.clock_offset_us();
+                t.spans
+                    .iter()
+                    .map(move |s| align(s.start_us, offset).saturating_add_unsigned(s.dur_us))
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// End-to-end aligned makespan: latest span end − earliest span
+    /// start, µs.
+    #[must_use]
+    pub fn makespan_us(&self) -> u64 {
+        u64::try_from(self.horizon_us().saturating_sub(self.epoch_us())).unwrap_or(0)
+    }
+
+    /// The `run.config` event, searched across ranks (single-process
+    /// runs stamp it on their only stream).
+    #[must_use]
+    pub fn run_config(&self) -> Option<&EventRec> {
+        self.ranks.iter().find_map(|t| t.event("run.config"))
+    }
+
+    /// Sum of a counter across all ranks (`None` when no rank has it).
+    #[must_use]
+    pub fn counter_sum(&self, name: &str) -> Option<u64> {
+        let values: Vec<u64> = self.ranks.iter().filter_map(|t| t.counter(name)).collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().fold(0u64, |a, v| a.saturating_add(*v)))
+        }
+    }
+}
+
+/// Map a local stream timestamp onto the run timebase.
+fn align(local_us: u64, offset_us: i64) -> i64 {
+    i64::try_from(local_us)
+        .unwrap_or(i64::MAX)
+        .saturating_sub(offset_us)
+}
+
+fn read_text(path: &Path) -> Result<String, ObsError> {
+    std::fs::read_to_string(path).map_err(|e| ObsError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })
+}
+
+fn load_stream(path: &Path) -> Result<RankTrace, ObsError> {
+    let text = read_text(path)?;
+    ingest::parse_ndjson(&text).map_err(|source| ObsError::Parse {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Span-identity key used by conservation checks: `(rank, name,
+/// raw start, duration)` — stable across alignment.
+#[must_use]
+pub fn span_key(rank: u64, s: &SpanRec) -> (u64, String, u64, u64) {
+    (rank, s.name.clone(), s.start_us, s.dur_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnet_trace::{Recorder, Value};
+
+    fn stream_with_meta(extra: &[(&str, Value)]) -> RankTrace {
+        let rec = Recorder::enabled();
+        {
+            let _s = rec.span("stage.mi");
+        }
+        let mut out = Vec::new();
+        rec.write_ndjson_with_meta(&mut out, extra)
+            .expect("vec sink cannot fail");
+        ingest::parse_ndjson(&String::from_utf8(out).expect("utf-8")).expect("stream parses")
+    }
+
+    #[test]
+    fn duplicate_ranks_are_rejected() {
+        let a = stream_with_meta(&[("rank", Value::U64(1))]);
+        let b = stream_with_meta(&[("rank", Value::U64(1))]);
+        assert!(matches!(
+            RunModel::from_traces(vec![a, b]),
+            Err(ObsError::Model(_))
+        ));
+        assert!(matches!(
+            RunModel::from_traces(vec![]),
+            Err(ObsError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn alignment_subtracts_the_clock_offset() {
+        let a = stream_with_meta(&[("rank", Value::U64(0))]);
+        let mut b = stream_with_meta(&[("rank", Value::U64(1))]);
+        b.meta.clock_offset_us = Some(50);
+        b.spans[0].start_us = 100;
+        b.spans[0].dur_us = 10;
+        let model = RunModel::from_traces(vec![a, b]).expect("two distinct ranks");
+        let spans = model.aligned_spans();
+        let rank1: Vec<_> = spans.iter().filter(|s| s.rank == 1).collect();
+        assert_eq!(rank1.len(), 1);
+        assert_eq!(rank1[0].start_us, 50);
+        assert_eq!(rank1[0].end_us(), 60);
+        // A negative offset shifts the other way (rank clock behind).
+        let mut c = stream_with_meta(&[("rank", Value::U64(2))]);
+        c.meta.clock_offset_us = Some(-30);
+        c.spans[0].start_us = 5;
+        let model = RunModel::from_traces(vec![c]).expect("one rank");
+        assert_eq!(model.aligned_spans()[0].start_us, 35);
+    }
+
+    #[test]
+    fn makespan_covers_the_aligned_union() {
+        let mut a = stream_with_meta(&[("rank", Value::U64(0))]);
+        a.spans[0].start_us = 10;
+        a.spans[0].dur_us = 40;
+        let mut b = stream_with_meta(&[("rank", Value::U64(1))]);
+        b.meta.clock_offset_us = Some(-20);
+        b.spans[0].start_us = 0;
+        b.spans[0].dur_us = 100;
+        let model = RunModel::from_traces(vec![a, b]).expect("two ranks");
+        // Rank 1 aligned: [20, 120). Rank 0: [10, 50).
+        assert_eq!(model.epoch_us(), 10);
+        assert_eq!(model.horizon_us(), 120);
+        assert_eq!(model.makespan_us(), 110);
+    }
+}

@@ -1,0 +1,221 @@
+//! Smoothed ETA estimation for progress reporting.
+//!
+//! The naive ETA in [`Progress::eta`](crate::Progress::eta) extrapolates
+//! the *mean* rate since the epoch, which reacts sluggishly to phase
+//! changes (a run that warms up slowly then speeds up keeps
+//! over-predicting for its whole tail) and jitters when driven from the
+//! instantaneous rate instead. [`EwmaEta`] sits between the two: it feeds
+//! the per-item cost of each completed *chunk* of work (the delta between
+//! consecutive progress updates) into an exponentially weighted moving
+//! average, so the estimate tracks the current regime while damping
+//! chunk-to-chunk noise.
+
+use crate::recorder::Progress;
+use std::time::Duration;
+
+/// Exponentially weighted moving-average ETA over chunk durations.
+///
+/// Feed every [`Progress`] update to [`update`](Self::update); each
+/// update contributes one observation — the average per-item duration of
+/// the chunk completed since the previous update — weighted `alpha` into
+/// the running average. `eta()` then extrapolates the smoothed per-item
+/// cost over the remaining items.
+///
+/// Updates that move time forward without completing items (or that go
+/// backwards, e.g. after a resume re-bases `done`) leave the average
+/// untouched, so a stalled pipeline reports its last believable estimate
+/// instead of diverging.
+#[derive(Clone, Debug)]
+pub struct EwmaEta {
+    alpha: f64,
+    /// Smoothed seconds per work item; `None` until the first chunk.
+    per_item: Option<f64>,
+    last_done: usize,
+    last_elapsed: Duration,
+    total: usize,
+    done: usize,
+}
+
+impl EwmaEta {
+    /// Default smoothing factor: each new chunk carries 20% of the
+    /// estimate, so the half-life is ~3 chunks — responsive without
+    /// letting one slow tile swing the readout.
+    pub const DEFAULT_ALPHA: f64 = 0.2;
+
+    /// An estimator with the default smoothing factor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_alpha(Self::DEFAULT_ALPHA)
+    }
+
+    /// An estimator weighting each new chunk observation by `alpha`
+    /// (clamped to `(0, 1]`; `1.0` degenerates to the instantaneous
+    /// chunk rate).
+    #[must_use]
+    pub fn with_alpha(alpha: f64) -> Self {
+        let alpha = if alpha.is_finite() {
+            alpha.clamp(f64::EPSILON, 1.0)
+        } else {
+            Self::DEFAULT_ALPHA
+        };
+        Self {
+            alpha,
+            per_item: None,
+            last_done: 0,
+            last_elapsed: Duration::ZERO,
+            total: 0,
+            done: 0,
+        }
+    }
+
+    /// Absorb one progress update. Returns the new ETA (same as
+    /// [`eta`](Self::eta)) for callers that render immediately.
+    pub fn update(&mut self, p: Progress) -> Option<Duration> {
+        self.total = p.total;
+        self.done = p.done;
+        if p.done > self.last_done && p.elapsed >= self.last_elapsed {
+            let items = (p.done - self.last_done) as f64;
+            let span = (p.elapsed - self.last_elapsed).as_secs_f64();
+            let observed = span / items;
+            self.per_item = Some(match self.per_item {
+                None => observed,
+                Some(prev) => self.alpha * observed + (1.0 - self.alpha) * prev,
+            });
+        }
+        // Re-base unconditionally: when `done` went backwards
+        // (restart/resume) the next chunk measures against the new point
+        // instead of polluting the average with a negative span.
+        self.last_done = p.done;
+        self.last_elapsed = p.elapsed;
+        self.eta()
+    }
+
+    /// Estimated time remaining: smoothed per-item cost × items left.
+    /// `None` before the first completed chunk; zero once done.
+    #[must_use]
+    pub fn eta(&self) -> Option<Duration> {
+        if self.total > 0 && self.total <= self.done {
+            return Some(Duration::ZERO);
+        }
+        let per_item = self.per_item?;
+        let remaining = self.total.saturating_sub(self.done) as f64;
+        Some(Duration::from_secs_f64(
+            (per_item * remaining).clamp(0.0, f64::from(u32::MAX)),
+        ))
+    }
+
+    /// The current smoothed per-item duration, if any chunk completed.
+    #[must_use]
+    pub fn per_item(&self) -> Option<Duration> {
+        self.per_item.map(Duration::from_secs_f64)
+    }
+}
+
+impl Default for EwmaEta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(done: usize, total: usize, secs: f64) -> Progress {
+        Progress {
+            done,
+            total,
+            elapsed: Duration::from_secs_f64(secs),
+        }
+    }
+
+    #[test]
+    fn first_chunk_seeds_the_average() {
+        let mut e = EwmaEta::new();
+        assert_eq!(e.eta(), None);
+        let eta = e.update(p(10, 100, 5.0)).expect("one chunk completed");
+        // 0.5 s/item × 90 remaining.
+        assert!((eta.as_secs_f64() - 45.0).abs() < 1e-9, "{eta:?}");
+    }
+
+    #[test]
+    fn ewma_tracks_a_regime_change_faster_than_the_mean_rate() {
+        // Synthetic series: 5 chunks of 10 items at 1 s/chunk, then the
+        // run slows 10× — 5 chunks of 10 items at 10 s/chunk.
+        let mut e = EwmaEta::with_alpha(0.5);
+        let mut t = 0.0;
+        let mut done = 0;
+        for _ in 0..5 {
+            t += 1.0;
+            done += 10;
+            e.update(p(done, 200, t));
+        }
+        for _ in 0..5 {
+            t += 10.0;
+            done += 10;
+            e.update(p(done, 200, t));
+        }
+        let ewma_eta = e.eta().expect("chunks observed").as_secs_f64();
+        let mean_eta = p(done, 200, t).eta().expect("mean defined").as_secs_f64();
+        // Truth: 100 items left at 1 s/item = 100 s. Mean-rate says 55 s.
+        assert!((mean_eta - 55.0).abs() < 1e-6, "{mean_eta}");
+        assert!(
+            ewma_eta > 90.0,
+            "EWMA should be near the new regime, got {ewma_eta}"
+        );
+        assert!(ewma_eta > mean_eta, "EWMA must adapt faster than the mean");
+    }
+
+    #[test]
+    fn smoothing_damps_single_outliers() {
+        // Steady 1 s chunks with one 20 s hiccup: the instantaneous rate
+        // would multiply the ETA by 20; the EWMA moves by only alpha.
+        let mut e = EwmaEta::with_alpha(0.2);
+        let mut t = 0.0;
+        let mut done = 0;
+        for i in 0..10 {
+            t += if i == 5 { 20.0 } else { 1.0 };
+            done += 10;
+            e.update(p(done, 1000, t));
+        }
+        let per_item = e.per_item().expect("chunks observed").as_secs_f64();
+        // Steady-state 0.1 s/item; the outlier (2 s/item) decays by
+        // 0.8^4 ≈ 0.41 over the four chunks after it:
+        // ≈ 0.1 + 0.2·1.9·0.41 ≈ 0.256.
+        assert!(per_item < 0.35, "outlier over-weighted: {per_item}");
+        assert!(per_item > 0.1, "outlier ignored entirely: {per_item}");
+    }
+
+    #[test]
+    fn stalls_and_rebasing_do_not_corrupt_the_estimate() {
+        let mut e = EwmaEta::new();
+        e.update(p(10, 100, 1.0));
+        let before = e.per_item();
+        // Time advances, no items complete (stall): average unchanged.
+        e.update(p(10, 100, 5.0));
+        assert_eq!(e.per_item(), before);
+        // `done` goes backwards (resume re-based): absorbed silently.
+        e.update(p(4, 100, 6.0));
+        assert_eq!(e.per_item(), before);
+        // Next real chunk measures against the re-based point.
+        let eta = e.update(p(8, 100, 7.0)).expect("chunk completed");
+        assert!(eta.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn completion_reports_zero() {
+        let mut e = EwmaEta::new();
+        e.update(p(50, 100, 2.0));
+        assert_eq!(e.update(p(100, 100, 4.0)), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn degenerate_alphas_are_clamped() {
+        let a = EwmaEta::with_alpha(f64::NAN);
+        assert!((a.alpha - EwmaEta::DEFAULT_ALPHA).abs() < 1e-12);
+        let b = EwmaEta::with_alpha(7.0);
+        assert!((b.alpha - 1.0).abs() < 1e-12);
+        let c = EwmaEta::with_alpha(-1.0);
+        assert!(c.alpha > 0.0);
+    }
+}

@@ -120,13 +120,37 @@ impl Recorder {
     /// # Errors
     /// Propagates write errors from `w`.
     pub fn write_ndjson<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.write_ndjson_with_meta(w, &[])
+    }
+
+    /// [`write_ndjson`](Self::write_ndjson) with extra key/value pairs
+    /// appended to the meta line — the hook distributed runs use to stamp
+    /// each rank's stream with its rank id and clock offset without
+    /// changing the schema version. Keys must not collide with the
+    /// built-in meta keys (`type`, `format`, `version`, `elapsed_us`);
+    /// collisions are the caller's bug and render as duplicate JSON keys.
+    ///
+    /// # Errors
+    /// Propagates write errors from `w`.
+    pub fn write_ndjson_with_meta<W: Write>(
+        &self,
+        w: &mut W,
+        extra_meta: &[(&str, Value)],
+    ) -> io::Result<()> {
         let mut line = String::with_capacity(256);
         line.push_str("{\"type\":\"meta\",\"format\":\"gnet-trace\",\"version\":1");
         let _ = write!(
             line,
-            ",\"elapsed_us\":{}}}",
+            ",\"elapsed_us\":{}",
             u64::try_from(self.elapsed().as_micros()).unwrap_or(u64::MAX)
         );
+        for (k, v) in extra_meta {
+            line.push(',');
+            escape_json(&mut line, k);
+            line.push(':');
+            push_value(&mut line, v);
+        }
+        line.push('}');
         writeln!(w, "{line}")?;
         let Some(inner) = self.inner() else {
             return Ok(());
@@ -275,6 +299,25 @@ mod tests {
         assert!(json.contains("\"scheduler.tile_us\""), "{json}");
         assert!(json.contains("\"events\":1"), "{json}");
         assert!(json.contains("\"p95_us\""), "{json}");
+    }
+
+    #[test]
+    fn extra_meta_fields_land_on_the_meta_line() {
+        let rec = Recorder::enabled();
+        let mut out = Vec::new();
+        rec.write_ndjson_with_meta(
+            &mut out,
+            &[
+                ("rank", Value::U64(3)),
+                ("clock_offset_us", Value::I64(-42)),
+            ],
+        )
+        .expect("vec sink cannot fail");
+        let text = String::from_utf8(out).expect("utf-8");
+        let meta = text.lines().next().expect("meta line present");
+        assert!(meta.contains("\"rank\":3"), "{meta}");
+        assert!(meta.contains("\"clock_offset_us\":-42"), "{meta}");
+        assert!(meta.ends_with('}'), "{meta}");
     }
 
     #[test]

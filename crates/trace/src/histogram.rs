@@ -66,11 +66,17 @@ impl Histogram {
     }
 
     /// Add every observation of `other` into `self`.
+    ///
+    /// Merging an empty histogram is the identity (in either direction):
+    /// the empty side contributes no counts, and its `min`/`max`
+    /// sentinels (`u64::MAX`/`0`) are absorbing under `min`/`max`. Bucket
+    /// and total counts saturate instead of overflowing, mirroring
+    /// [`observe_us`](Self::observe_us)'s saturating sum.
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum_us = self.sum_us.saturating_add(other.sum_us);
         self.min_us = self.min_us.min(other.min_us);
         self.max_us = self.max_us.max(other.max_us);
@@ -112,7 +118,11 @@ impl Histogram {
 
     /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`) in µs: the
     /// bound of the first bucket whose cumulative count reaches
-    /// `q × count`. Overflow-bucket quantiles report the observed max.
+    /// `q × count`, clamped to the observed maximum. The clamp makes
+    /// single-sample histograms and `q = 1.0` exact (the bucket bound can
+    /// only overshoot the true quantile, never undershoot it, and no
+    /// observation exceeds `max_us`). Overflow-bucket quantiles report
+    /// the observed max.
     #[must_use]
     #[allow(clippy::cast_possible_truncation)] // cast-ok: rank ≤ count, which fits u64
     pub fn quantile_us(&self, q: f64) -> Option<u64> {
@@ -122,9 +132,9 @@ impl Histogram {
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut cumulative = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            cumulative += c;
+            cumulative = cumulative.saturating_add(c);
             if cumulative >= rank {
-                return Some(Self::bucket_bound_us(i).unwrap_or(self.max_us));
+                return Some(Self::bucket_bound_us(i).map_or(self.max_us, |b| b.min(self.max_us)));
             }
         }
         Some(self.max_us)
@@ -176,9 +186,70 @@ mod tests {
         // p50 over ten ordered values ranks at the 5th (= 16 → bucket
         // bound 16).
         assert_eq!(h.quantile_us(0.5), Some(16));
-        assert_eq!(h.quantile_us(1.0), Some(1024)); // bound of 1000's bucket
+        // 1000 lands in the 1024 bucket, but the quantile clamps to the
+        // observed max — p100 is exact.
+        assert_eq!(h.quantile_us(1.0), Some(1000));
         assert!(h.quantile_us(0.0).is_some());
         assert!((h.mean_us() - 151.1).abs() < 0.5);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        for v in [0u64, 1, 3, 1000, 1 << 25, (1 << 25) + 1, u64::MAX] {
+            let mut h = Histogram::new();
+            h.observe_us(v);
+            for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+                assert_eq!(h.quantile_us(q), Some(v), "v={v}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturation_is_exact() {
+        // 2^25 µs is the bound of the last bounded bucket; anything above
+        // goes to overflow, whose quantile is the observed max.
+        let mut h = Histogram::new();
+        h.observe_us(1 << 25);
+        assert_eq!(h.bucket_counts()[BOUNDED - 1], 1);
+        assert_eq!(h.quantile_us(1.0), Some(1 << 25));
+        h.observe_us((1 << 25) + 1);
+        assert_eq!(h.bucket_counts()[BOUNDED], 1);
+        assert_eq!(h.quantile_us(1.0), Some((1 << 25) + 1));
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_the_identity() {
+        let mut h = Histogram::new();
+        h.observe_us(7);
+        h.observe_us(4096);
+        let reference = h.clone();
+        // Non-empty ← empty.
+        h.merge(&Histogram::new());
+        assert_eq!(h, reference);
+        // Empty ← non-empty.
+        let mut empty = Histogram::new();
+        empty.merge(&reference);
+        assert_eq!(empty, reference);
+        // Empty ← empty stays empty (min/max sentinels untouched).
+        let mut e2 = Histogram::new();
+        e2.merge(&Histogram::new());
+        assert_eq!(e2, Histogram::new());
+        assert_eq!(e2.quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = Histogram::new();
+        a.observe_us(1);
+        // Force the count fields near the ceiling.
+        a.count = u64::MAX - 1;
+        a.counts[0] = u64::MAX - 1;
+        a.sum_us = u64::MAX - 1;
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.bucket_counts()[0], u64::MAX);
+        assert_eq!(a.sum_us(), u64::MAX);
     }
 
     #[test]
@@ -204,5 +275,91 @@ mod tests {
         assert_eq!(h.min_us(), None);
         assert_eq!(h.max_us(), None);
         assert_eq!(h.mean_us(), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Histogram over a slice of observations, one `observe_us` each.
+        fn of(values: &[u64]) -> Histogram {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.observe_us(v);
+            }
+            h
+        }
+
+        /// Deterministic Fisher–Yates driven by a SplitMix64 stream, so a
+        /// generated `seed` picks an arbitrary merge order.
+        fn shuffle<T>(items: &mut [T], mut seed: u64) {
+            let mut next = || {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for i in (1..items.len()).rev() {
+                #[allow(clippy::cast_possible_truncation)]
+                // cast-ok: the modulus is an in-bounds index
+                let j = (next() % (i as u64 + 1)) as usize;
+                items.swap(i, j);
+            }
+        }
+
+        proptest! {
+            /// Merging per-chunk histograms in ANY order reproduces the
+            /// histogram of the concatenated observations exactly —
+            /// including when some chunks are empty.
+            #[test]
+            fn prop_merge_order_is_irrelevant(
+                chunks in proptest::collection::vec(
+                    proptest::collection::vec(0u64..=u64::MAX, 0..12),
+                    0..8,
+                ),
+                seed in any::<u64>(),
+            ) {
+                let all: Vec<u64> = chunks.iter().flatten().copied().collect();
+                let expected = of(&all);
+                let mut parts: Vec<Histogram> =
+                    chunks.iter().map(|c| of(c)).collect();
+                shuffle(&mut parts, seed);
+                let mut merged = Histogram::new();
+                for p in &parts {
+                    merged.merge(p);
+                }
+                prop_assert_eq!(&merged, &expected);
+                // Quantiles agree too (same representation ⇒ same answers).
+                for q in [0.0, 0.5, 0.95, 1.0] {
+                    prop_assert_eq!(merged.quantile_us(q), expected.quantile_us(q));
+                }
+            }
+
+            /// A single observation answers every quantile exactly.
+            #[test]
+            fn prop_single_sample_quantiles_exact(
+                v in 0u64..=u64::MAX,
+                q in 0.0f64..=1.0,
+            ) {
+                let mut h = Histogram::new();
+                h.observe_us(v);
+                prop_assert_eq!(h.quantile_us(q), Some(v));
+            }
+
+            /// Quantiles never exceed the observed max and p100 hits it.
+            #[test]
+            fn prop_quantiles_bounded_by_max(
+                values in proptest::collection::vec(0u64..=u64::MAX, 1..40),
+            ) {
+                let h = of(&values);
+                let max = *values.iter().max().expect("non-empty by construction");
+                for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+                    let est = h.quantile_us(q).expect("non-empty histogram");
+                    prop_assert!(est <= max, "q={} est={} max={}", q, est, max);
+                }
+                prop_assert_eq!(h.quantile_us(1.0), Some(max));
+            }
+        }
     }
 }

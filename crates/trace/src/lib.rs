@@ -33,10 +33,12 @@
 
 #![warn(missing_docs)]
 
+mod eta;
 mod export;
 mod histogram;
 mod recorder;
 
+pub use eta::EwmaEta;
 pub use export::escape_json;
 pub use histogram::Histogram;
 pub use recorder::{Progress, Recorder, Span, Value};
