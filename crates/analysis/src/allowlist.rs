@@ -113,6 +113,35 @@ impl Allowlist {
                 && e.line.is_none_or(|l| l == d.line)
         })
     }
+
+    /// Entries that no longer excuse anything: their path suffix
+    /// matches none of the scanned source files, or their pinned line
+    /// is beyond the end of every file that does match. `files` is
+    /// `(workspace-relative path, line count)` for every scanned file.
+    ///
+    /// A vetted exception that outlives the code it excuses is a
+    /// latent hole — the lint it suppresses can regress at the same
+    /// location unnoticed — so `gnet analyze` warns on stale entries
+    /// and `--deny-stale` fails on them.
+    #[must_use]
+    pub fn stale(&self, files: &[(String, usize)]) -> Vec<Entry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                let matching: Vec<usize> = files
+                    .iter()
+                    .filter(|(path, _)| path_suffix_matches(path, &e.path))
+                    .map(|(_, lines)| *lines)
+                    .collect();
+                match (matching.is_empty(), e.line) {
+                    (true, _) => true,
+                    (false, None) => false,
+                    (false, Some(l)) => l == 0 || !matching.iter().any(|&count| l <= count),
+                }
+            })
+            .cloned()
+            .collect()
+    }
 }
 
 /// Suffix match on whole path components: `mi/src/gene.rs` matches
@@ -158,6 +187,25 @@ mod tests {
     fn reasonless_entries_rejected() {
         let err = Allowlist::parse("no-unwrap mi/src/gene.rs:12\n").unwrap_err();
         assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn stale_entries_detected_by_path_and_line() {
+        let a = Allowlist::parse(
+            "no-unwrap mi/src/gene.rs:12 invariant upheld by caller\n\
+             kernel-cast gone/src/old.rs the whole file vanished\n\
+             float-eq mi/src/gene.rs:500 line beyond the end now\n\
+             * mi/src/gene.rs file-wide entries stay fresh while the file exists\n",
+        )
+        .expect("well-formed allowlist parses");
+        let files = vec![("crates/mi/src/gene.rs".to_string(), 100usize)];
+        let stale = a.stale(&files);
+        let paths: Vec<(&str, Option<usize>)> =
+            stale.iter().map(|e| (e.path.as_str(), e.line)).collect();
+        assert_eq!(
+            paths,
+            vec![("gone/src/old.rs", None), ("mi/src/gene.rs", Some(500))]
+        );
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Findings suppressed by allowlist entries.
     pub suppressed: usize,
+    /// Allowlist entries that no longer match any source line (the
+    /// `lint`/`file`/`line` echo the entry; `line` 0 means the entry
+    /// was file-wide). Warned by default, fatal under `--deny-stale`.
+    pub stale: Vec<Diagnostic>,
 }
 
 impl Report {
@@ -68,11 +72,16 @@ impl Report {
             out.push_str(&d.render());
             out.push('\n');
         }
+        for s in &self.stale {
+            out.push_str(&format!("warning: stale allowlist entry: {}\n", s.render()));
+        }
         out.push_str(&format!(
-            "{} file(s) scanned, {} violation(s), {} suppressed by allowlist\n",
+            "{} file(s) scanned, {} violation(s), {} suppressed by allowlist, {} stale entr{}\n",
             self.files_scanned,
             self.diagnostics.len(),
-            self.suppressed
+            self.suppressed,
+            self.stale.len(),
+            if self.stale.len() == 1 { "y" } else { "ies" }
         ));
         out
     }
@@ -113,6 +122,7 @@ mod tests {
                 Diagnostic::new("a", "a.rs", 3, "earlier"),
             ],
             suppressed: 1,
+            stale: Vec::new(),
         };
         r.sort();
         assert_eq!(r.diagnostics[0].file, "a.rs");
@@ -130,6 +140,7 @@ mod tests {
             files_scanned: 1,
             diagnostics: vec![Diagnostic::new("x", "f.rs", 1, "m \"quoted\"")],
             suppressed: 0,
+            stale: vec![Diagnostic::new("*", "gone.rs", 0, "stale")],
         };
         let json = r.render_json().expect("report serializes");
         let back: Report = serde_json::from_str(&json).expect("report deserializes");

@@ -9,11 +9,15 @@
 mod casts;
 mod float_eq;
 mod ordering;
+mod send_sync;
+mod unsafe_justified;
 mod unwrap;
 
 pub use casts::KernelCast;
 pub use float_eq::FloatEq;
-pub use ordering::OrderingJustified;
+pub use ordering::{AtomicOrdering, OrderingJustified};
+pub use send_sync::SendSyncAudit;
+pub use unsafe_justified::UnsafeJustified;
 pub use unwrap::NoUnwrap;
 
 use crate::allowlist::Allowlist;
@@ -41,7 +45,10 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
         Box::new(NoUnwrap),
         Box::new(KernelCast),
         Box::new(OrderingJustified),
+        Box::new(AtomicOrdering),
         Box::new(FloatEq),
+        Box::new(UnsafeJustified),
+        Box::new(SendSyncAudit),
     ]
 }
 
@@ -119,9 +126,11 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 pub fn run_lints(root: &Path, allow: &Allowlist) -> io::Result<Report> {
     let lints = all_lints();
     let mut report = Report::default();
+    let mut scanned: Vec<(String, usize)> = Vec::new();
     for path in workspace_sources(root)? {
         let file = SourceFile::load(root, &path)?;
         report.files_scanned += 1;
+        scanned.push((file.rel.clone(), file.lines.len()));
         let mut found = Vec::new();
         for lint in &lints {
             if lint.applies(&file.rel) {
@@ -136,6 +145,22 @@ pub fn run_lints(root: &Path, allow: &Allowlist) -> io::Result<Report> {
             }
         }
     }
+    report.stale = allow
+        .stale(&scanned)
+        .into_iter()
+        .map(|e| {
+            Diagnostic::new(
+                &e.lint,
+                &e.path,
+                e.line.unwrap_or(0),
+                format!(
+                    "allowlist entry no longer matches any source line \
+                     (reason on file: {:?}); delete or re-pin it",
+                    e.reason
+                ),
+            )
+        })
+        .collect();
     report.sort();
     Ok(report)
 }

@@ -64,6 +64,70 @@ impl Lint for OrderingJustified {
     }
 }
 
+/// The `atomic-ordering` lint: the hard-mode extension of
+/// [`OrderingJustified`], guarding the two ways atomics go wrong
+/// *despite* a justification comment.
+///
+/// * `Ordering::SeqCst` needs its own `// seqcst-ok:` marker on top of
+///   the generic `// ordering:` one. Sequential consistency is the
+///   expensive default people reach for when unsure; requiring a
+///   separate statement of *why weaker orderings are insufficient*
+///   turns "unsure" into either a real argument or a weaker ordering.
+/// * `use … Ordering::{Relaxed, …}` (importing the variants bare) is
+///   flagged outright: bare `Relaxed`/`Acquire` call sites no longer
+///   contain the `Ordering::` substring the justification lint keys
+///   on, so variant imports would quietly blind it.
+pub struct AtomicOrdering;
+
+impl Lint for AtomicOrdering {
+    fn name(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn description(&self) -> &'static str {
+        "SeqCst needs `// seqcst-ok:`; atomic Ordering variants must not be imported bare"
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        rel.starts_with("crates/") && rel.contains("/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            if line.code.contains("Ordering::SeqCst") && !justified(file, idx, "seqcst-ok:") {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &file.rel,
+                    idx + 1,
+                    "`SeqCst` without `// seqcst-ok: <why weaker orderings are \
+                     insufficient>`; prefer the weakest ordering that is still correct",
+                ));
+            }
+            let stmt = line.code.trim_start();
+            let is_use = stmt.starts_with("use ") || stmt.starts_with("pub use ");
+            let imports_variants = is_use
+                && (ORDERINGS.iter().any(|o| {
+                    [",", ";", " "]
+                        .iter()
+                        .any(|sep| line.code.contains(&format!("{o}{sep}")))
+                        || line.code.trim_end().ends_with(o)
+                }) || line.code.contains("Ordering::{"));
+            if imports_variants {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &file.rel,
+                    idx + 1,
+                    "atomic `Ordering` variants imported bare; import `Ordering` itself \
+                     so every use site names `Ordering::<variant>` and stays lintable",
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::scan_str;
@@ -74,6 +138,50 @@ mod tests {
         let mut out = Vec::new();
         OrderingJustified.check(&file, &mut out);
         out
+    }
+
+    fn run_atomic(text: &str) -> Vec<Diagnostic> {
+        let file = scan_str("crates/parallel/src/scheduler.rs", text);
+        let mut out = Vec::new();
+        AtomicOrdering.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn seqcst_needs_the_stronger_marker() {
+        // A generic ordering justification is not enough for SeqCst…
+        let d = run_atomic(
+            "// ordering: publishes the flag to all threads\n\
+             done.store(true, Ordering::SeqCst);\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("seqcst-ok"), "{}", d[0].message);
+        // …the dedicated marker is.
+        let ok = run_atomic(
+            "// seqcst-ok: the flag orders against both counters at once\n\
+             done.store(true, Ordering::SeqCst);\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn weaker_orderings_not_double_flagged() {
+        let d = run_atomic("n.load(Ordering::Acquire);\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn bare_variant_imports_flagged() {
+        for text in [
+            "use std::sync::atomic::Ordering::Relaxed;\n",
+            "use std::sync::atomic::Ordering::{Acquire, Release};\n",
+        ] {
+            let d = run_atomic(text);
+            assert_eq!(d.len(), 1, "{text:?} -> {d:?}");
+            assert!(d[0].message.contains("bare"), "{}", d[0].message);
+        }
+        let ok = run_atomic("use std::sync::atomic::{AtomicUsize, Ordering};\n");
+        assert!(ok.is_empty(), "{ok:?}");
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! `send-sync-audit`: manual `Send`/`Sync` impls are always reported.
+//!
+//! A hand-written `unsafe impl Send`/`Sync` silently asserts a
+//! thread-safety proof the compiler cannot check, and a wrong one is a
+//! data race, not a compile error. Unlike the justification lints,
+//! *no in-source comment suppresses this one*: every manual impl must
+//! be vetted in `analyze.allowlist` with a written reason, so the full
+//! inventory of thread-safety assertions lives in one reviewable file
+//! (and the stale-entry check retires entries when the impl goes away).
+
+use super::Lint;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// The `send-sync-audit` lint.
+pub struct SendSyncAudit;
+
+impl Lint for SendSyncAudit {
+    fn name(&self) -> &'static str {
+        "send-sync-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "manual Send/Sync impls must be vetted in the allowlist with a reason"
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        rel.starts_with("crates/") && rel.contains("/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test || !line.code.contains("impl") {
+                continue;
+            }
+            for marker in ["Send", "Sync"] {
+                // `unsafe impl Send for X`, `unsafe impl<T> Sync for X<T>`:
+                // after `impl` (plus optional generics) the trait name
+                // appears followed by ` for `.
+                if let Some(pos) = line.code.find("impl") {
+                    let tail = &line.code[pos..];
+                    if tail.contains(&format!(" {marker} for "))
+                        || tail.contains(&format!(">{marker} for "))
+                        || tail.contains(&format!("> {marker} for "))
+                    {
+                        out.push(Diagnostic::new(
+                            self.name(),
+                            &file.rel,
+                            idx + 1,
+                            format!(
+                                "manual `{marker}` impl asserts thread safety the compiler \
+                                 cannot verify; vet it in analyze.allowlist with a reason"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scan_str;
+    use super::*;
+
+    fn run(text: &str) -> Vec<Diagnostic> {
+        let file = scan_str("crates/parallel/src/scheduler.rs", text);
+        let mut out = Vec::new();
+        SendSyncAudit.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn manual_send_and_sync_impls_flagged() {
+        let d = run("unsafe impl Send for TilePtr {}\nunsafe impl Sync for TilePtr {}\n");
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("Send"), "{}", d[0].message);
+        assert!(d[1].message.contains("Sync"), "{}", d[1].message);
+    }
+
+    #[test]
+    fn generic_impls_flagged() {
+        let d = run("unsafe impl<T: Copy> Send for Shared<T> {}\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn comment_does_not_suppress() {
+        // Unlike unsafe-justified, only the allowlist may vet these.
+        let d = run("// safety: raw pointer never aliased\nunsafe impl Send for P {}\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ordinary_impls_and_bounds_not_flagged() {
+        let text = "impl Sender for X {}\n\
+                    fn spawn<T: Send + 'static>(t: T) {}\n\
+                    impl<T> Grid<T> where T: Sync {}\n";
+        assert!(run(text).is_empty(), "{:?}", run(text));
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let d = run("#[cfg(test)]\nmod t {\n  unsafe impl Send for Fake {}\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

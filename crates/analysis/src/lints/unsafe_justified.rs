@@ -1,0 +1,159 @@
+//! `unsafe-justified`: every `unsafe` keyword needs a `// safety:`
+//! justification, and every per-crate `#![allow(unsafe_code)]` opt-in
+//! needs one too.
+//!
+//! The workspace denies `unsafe_code` outright (`[workspace.lints.rust]`
+//! in the root manifest); a crate that genuinely needs intrinsics — the
+//! planned `std::arch` SIMD kernel, the TCP transport's buffer tricks —
+//! opts back in locally with `#![allow(unsafe_code)]`. This lint is the
+//! toll on that gate: the opt-in attribute and every `unsafe` block,
+//! `unsafe fn`, `unsafe impl` and `unsafe trait` behind it must carry a
+//! `// safety: <why the invariants hold>` comment on the same line or
+//! the contiguous comment block above (clippy's `// SAFETY:` spelling is
+//! accepted — the marker match is case-insensitive).
+
+use super::Lint;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// The `unsafe-justified` lint.
+pub struct UnsafeJustified;
+
+impl Lint for UnsafeJustified {
+    fn name(&self) -> &'static str {
+        "unsafe-justified"
+    }
+
+    fn description(&self) -> &'static str {
+        "`unsafe` code and `#![allow(unsafe_code)]` opt-ins need a `// safety:` justification"
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        rel.starts_with("crates/") && rel.contains("/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            if contains_word(&line.code, "unsafe") && !safety_justified(file, idx) {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &file.rel,
+                    idx + 1,
+                    "`unsafe` without a justification; add \
+                     `// safety: <why the invariants hold>`",
+                ));
+            }
+            if line.code.contains("allow(unsafe_code)") && !safety_justified(file, idx) {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &file.rel,
+                    idx + 1,
+                    "`allow(unsafe_code)` opt-in without a rationale; add \
+                     `// safety: <why this crate needs unsafe at all>`",
+                ));
+            }
+        }
+    }
+}
+
+/// Case-insensitive version of [`super::justified`] for the `safety:`
+/// marker, so both this repo's `// safety:` and clippy's `// SAFETY:`
+/// count.
+pub(crate) fn safety_justified(file: &SourceFile, line_idx: usize) -> bool {
+    let has = |comment: &str| comment.to_ascii_lowercase().contains("safety:");
+    if has(&file.lines[line_idx].comment) {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 {
+        i -= 1;
+        let line = &file.lines[i];
+        if line.code.trim().is_empty() && !line.comment.is_empty() {
+            if has(&line.comment) {
+                return true;
+            }
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether `code` contains `word` delimited by non-identifier chars —
+/// `unsafe {` matches, the `unsafe_code` inside the allow attribute
+/// does not.
+pub(crate) fn contains_word(code: &str, word: &str) -> bool {
+    let ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(word) {
+        let at = search + pos;
+        let before_ok = at == 0 || !code[..at].chars().next_back().is_some_and(ident);
+        let after_ok = !code[at + word.len()..].chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        search = at + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scan_str;
+    use super::*;
+
+    fn run(text: &str) -> Vec<Diagnostic> {
+        let file = scan_str("crates/simd/src/lanes.rs", text);
+        let mut out = Vec::new();
+        UnsafeJustified.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_unsafe_block_flagged() {
+        let d = run("let v = unsafe { _mm512_loadu_ps(p) };\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("safety:"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn justified_unsafe_accepted_case_insensitively() {
+        let lower = "// safety: p is 64-byte aligned by the tile allocator\n\
+                     let v = unsafe { _mm512_load_ps(p) };\n";
+        assert!(run(lower).is_empty());
+        let upper = "// SAFETY: index < lanes checked above\n\
+                     let v = unsafe { *p.add(i) };\n";
+        assert!(run(upper).is_empty());
+    }
+
+    #[test]
+    fn allow_attribute_needs_its_own_rationale() {
+        let d = run("#![allow(unsafe_code)]\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("opt-in"), "{}", d[0].message);
+        let ok = run("// safety: this crate wraps AVX-512 intrinsics\n#![allow(unsafe_code)]\n");
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn identifier_containing_unsafe_not_flagged() {
+        assert!(run("let unsafe_count = 0; not_unsafe();\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let d = run("#[cfg(test)]\nmod tests {\n  fn f() { unsafe { core(); } }\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn word_matching_is_exact() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(contains_word("pub unsafe fn f()", "unsafe"));
+        assert!(!contains_word("allow(unsafe_code)", "unsafe"));
+        assert!(!contains_word("my_unsafe", "unsafe"));
+    }
+}

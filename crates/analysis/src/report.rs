@@ -1,0 +1,417 @@
+//! The versioned `gnet analyze --json` document.
+//!
+//! One JSON object per run, with a top-level `schema` tag and one
+//! section per analysis that ran (`lints` always; `concurrency`,
+//! `protocol` and `self_check` when requested, `null` otherwise). The
+//! shape is pinned two ways, matching the gnet-obs ingestion
+//! convention:
+//!
+//! * [`render_json`](AnalyzeDocument::render_json) emits keys in a
+//!   fixed order from a fixed template, so equal inputs give
+//!   byte-identical documents (the protocol determinism property test
+//!   relies on this);
+//! * [`validate_json`] is a closed-world re-parse: every key on every
+//!   object must be one this module knows, so any drift between the
+//!   producer and a consumer trips a unit test instead of silently
+//!   dropping data downstream.
+
+use crate::diagnostics::Report;
+use crate::protocol::{mutation_name, ProtocolReport, SelfCheckReport};
+use serde::{Content, Deserialize, Error as SerdeError};
+
+/// Current document schema tag. Bump when the shape changes.
+pub const SCHEMA: &str = "gnet-analyze/2";
+
+/// Result of the `--concurrency` interleave check, flattened for the
+/// document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConcurrencySection {
+    /// All interleavings merged bitwise-identically.
+    Passed {
+        /// Seeded runs per configuration.
+        runs: usize,
+        /// Total scheduler executions.
+        checks: usize,
+        /// Pairs merged per execution.
+        pairs: u64,
+    },
+    /// A divergence or harness failure.
+    Failed {
+        /// The failure rendered for humans.
+        error: String,
+    },
+}
+
+/// Everything one `gnet analyze` run produced.
+#[derive(Clone, Debug)]
+pub struct AnalyzeDocument {
+    /// Lint findings and allowlist staleness (always present).
+    pub lints: Report,
+    /// `--concurrency` section, if it ran.
+    pub concurrency: Option<ConcurrencySection>,
+    /// `--protocol` exploration of the unmutated ring, if it ran.
+    pub protocol: Option<ProtocolReport>,
+    /// `--self-check` mutation-detection proof, if it ran.
+    pub self_check: Option<SelfCheckReport>,
+}
+
+/// JSON string literal (with quotes), escaped by the serializer the
+/// rest of the workspace uses.
+fn js(s: &str) -> String {
+    serde_json::to_string(&s.to_string()).expect("string serialization cannot fail")
+}
+
+impl AnalyzeDocument {
+    /// Render the full document. Key order is fixed; equal inputs give
+    /// byte-identical output.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let lints = self
+            .lints
+            .render_json()
+            .expect("lint report serialization cannot fail");
+        let concurrency = match &self.concurrency {
+            None => "null".to_string(),
+            Some(ConcurrencySection::Passed {
+                runs,
+                checks,
+                pairs,
+            }) => {
+                format!("{{\"passed\":true,\"runs\":{runs},\"checks\":{checks},\"pairs\":{pairs}}}")
+            }
+            Some(ConcurrencySection::Failed { error }) => {
+                format!("{{\"passed\":false,\"error\":{}}}", js(error))
+            }
+        };
+        let protocol = match &self.protocol {
+            None => "null".to_string(),
+            Some(p) => render_protocol(p),
+        };
+        let self_check = match &self.self_check {
+            None => "null".to_string(),
+            Some(s) => render_self_check(s),
+        };
+        format!(
+            "{{\"schema\":{},\"lints\":{lints},\"concurrency\":{concurrency},\
+             \"protocol\":{protocol},\"self_check\":{self_check}}}",
+            js(SCHEMA)
+        )
+    }
+}
+
+fn render_protocol(p: &ProtocolReport) -> String {
+    let explorations: Vec<String> = p
+        .explorations
+        .iter()
+        .map(|e| {
+            let violation = match &e.violation {
+                None => "null".to_string(),
+                Some(v) => format!(
+                    "{{\"kind\":{},\"detail\":{},\"schedule\":{},\
+                     \"original_len\":{},\"shrunk_len\":{}}}",
+                    js(v.violation.kind()),
+                    js(&v.violation.render()),
+                    js(&v.schedule.render()),
+                    v.original_len,
+                    v.shrunk_len
+                ),
+            };
+            format!(
+                "{{\"ranks\":{},\"mutation\":{},\"states\":{},\"terminals\":{},\
+                 \"capped\":{},\"walks_run\":{},\"violation\":{violation}}}",
+                e.ranks,
+                js(mutation_name(e.mutation)),
+                e.states,
+                e.terminals,
+                e.capped,
+                e.walks_run
+            )
+        })
+        .collect();
+    format!(
+        "{{\"ok\":{},\"explorations\":[{}]}}",
+        p.ok,
+        explorations.join(",")
+    )
+}
+
+fn render_self_check(s: &SelfCheckReport) -> String {
+    let entries: Vec<String> = s
+        .entries
+        .iter()
+        .map(|e| {
+            let opt_num = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
+            let opt_str = |v: &Option<String>| v.as_ref().map_or("null".to_string(), |x| js(x));
+            format!(
+                "{{\"mutation\":{},\"expect_clean\":{},\"passed\":{},\"states\":{},\
+                 \"caught_at_ranks\":{},\"violation\":{},\"schedule\":{},\
+                 \"original_len\":{},\"shrunk_len\":{},\"replay_ok\":{}}}",
+                js(mutation_name(e.mutation)),
+                e.expect_clean,
+                e.passed,
+                e.states,
+                opt_num(e.caught_at_ranks),
+                opt_str(&e.violation),
+                opt_str(&e.schedule),
+                e.original_len,
+                e.shrunk_len,
+                e.replay_ok
+            )
+        })
+        .collect();
+    format!("{{\"ok\":{},\"entries\":[{}]}}", s.ok, entries.join(","))
+}
+
+/// Raw parse keeping the vendored-serde [`Content`] tree (the vendored
+/// `serde_json` has no generic `Value`; this is the same technique
+/// gnet-obs uses for strict trace ingestion).
+struct Raw(Content);
+
+impl Deserialize for Raw {
+    fn deserialize(content: &Content) -> Result<Self, SerdeError> {
+        Ok(Raw(content.clone()))
+    }
+}
+
+fn as_map(c: &Content, what: &str) -> Result<Vec<(String, Content)>, String> {
+    match c {
+        Content::Map(entries) => Ok(entries.clone()),
+        other => Err(format!(
+            "{what}: expected an object, found {}",
+            other.kind()
+        )),
+    }
+}
+
+fn check_keys(entries: &[(String, Content)], what: &str, allowed: &[&str]) -> Result<(), String> {
+    for (k, _) in entries {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!(
+                "{what}: unknown field `{k}` (producer/consumer schema drift?)"
+            ));
+        }
+    }
+    for want in allowed {
+        if !entries.iter().any(|(k, _)| k == want) {
+            return Err(format!("{what}: missing field `{want}`"));
+        }
+    }
+    Ok(())
+}
+
+fn get<'c>(entries: &'c [(String, Content)], what: &str, key: &str) -> Result<&'c Content, String> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("{what}: missing field `{key}`"))
+}
+
+fn each_object(c: &Content, what: &str, keys: &[&str]) -> Result<(), String> {
+    let Content::Seq(items) = c else {
+        return Err(format!("{what}: expected an array, found {}", c.kind()));
+    };
+    for item in items {
+        let entries = as_map(item, what)?;
+        check_keys(&entries, what, keys)?;
+    }
+    Ok(())
+}
+
+/// Strict closed-world validation of a rendered document: the schema
+/// tag must match [`SCHEMA`] and every object may carry only known
+/// keys. This is the unknown-field tripwire the schema-pin test (and
+/// any downstream ingester) leans on.
+///
+/// # Errors
+/// Returns a message naming the offending field or the mismatched
+/// schema tag.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let raw: Raw = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let top = as_map(&raw.0, "document")?;
+    check_keys(
+        &top,
+        "document",
+        &["schema", "lints", "concurrency", "protocol", "self_check"],
+    )?;
+    match get(&top, "document", "schema")? {
+        Content::Str(s) if s == SCHEMA => {}
+        Content::Str(s) => return Err(format!("schema {s:?}, this consumer reads {SCHEMA:?}")),
+        other => return Err(format!("schema: expected a string, found {}", other.kind())),
+    }
+    let lints = as_map(get(&top, "document", "lints")?, "lints")?;
+    check_keys(
+        &lints,
+        "lints",
+        &["files_scanned", "diagnostics", "suppressed", "stale"],
+    )?;
+    for section in ["diagnostics", "stale"] {
+        each_object(
+            get(&lints, "lints", section)?,
+            &format!("lints.{section}"),
+            &["lint", "file", "line", "message"],
+        )?;
+    }
+    match get(&top, "document", "concurrency")? {
+        Content::Null => {}
+        c => {
+            let entries = as_map(c, "concurrency")?;
+            let passed = matches!(get(&entries, "concurrency", "passed")?, Content::Bool(true));
+            let allowed: &[&str] = if passed {
+                &["passed", "runs", "checks", "pairs"]
+            } else {
+                &["passed", "error"]
+            };
+            check_keys(&entries, "concurrency", allowed)?;
+        }
+    }
+    match get(&top, "document", "protocol")? {
+        Content::Null => {}
+        c => {
+            let entries = as_map(c, "protocol")?;
+            check_keys(&entries, "protocol", &["ok", "explorations"])?;
+            let Content::Seq(items) = get(&entries, "protocol", "explorations")? else {
+                return Err("protocol.explorations: expected an array".to_string());
+            };
+            for item in items {
+                let exp = as_map(item, "protocol.explorations[]")?;
+                check_keys(
+                    &exp,
+                    "protocol.explorations[]",
+                    &[
+                        "ranks",
+                        "mutation",
+                        "states",
+                        "terminals",
+                        "capped",
+                        "walks_run",
+                        "violation",
+                    ],
+                )?;
+                match get(&exp, "protocol.explorations[]", "violation")? {
+                    Content::Null => {}
+                    v => {
+                        let v = as_map(v, "violation")?;
+                        check_keys(
+                            &v,
+                            "violation",
+                            &["kind", "detail", "schedule", "original_len", "shrunk_len"],
+                        )?;
+                    }
+                }
+            }
+        }
+    }
+    match get(&top, "document", "self_check")? {
+        Content::Null => {}
+        c => {
+            let entries = as_map(c, "self_check")?;
+            check_keys(&entries, "self_check", &["ok", "entries"])?;
+            each_object(
+                get(&entries, "self_check", "entries")?,
+                "self_check.entries[]",
+                &[
+                    "mutation",
+                    "expect_clean",
+                    "passed",
+                    "states",
+                    "caught_at_ranks",
+                    "violation",
+                    "schedule",
+                    "original_len",
+                    "shrunk_len",
+                    "replay_ok",
+                ],
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Diagnostic;
+    use crate::protocol::{self, Bounds};
+
+    fn doc() -> AnalyzeDocument {
+        let lints = Report {
+            files_scanned: 3,
+            diagnostics: vec![Diagnostic::new(
+                "no-unwrap",
+                "crates/mi/src/gene.rs",
+                7,
+                "bare `.unwrap()`",
+            )],
+            suppressed: 0,
+            stale: vec![Diagnostic::new("*", "gone.rs", 0, "stale entry")],
+        };
+        AnalyzeDocument {
+            lints,
+            concurrency: Some(ConcurrencySection::Passed {
+                runs: 25,
+                checks: 300,
+                pairs: 45,
+            }),
+            protocol: None,
+            self_check: None,
+        }
+    }
+
+    /// The schema-pin: rendering then strict re-parsing must succeed,
+    /// and the exact top-level field set is asserted here so adding a
+    /// field forces this test (and the schema tag) to change with it.
+    #[test]
+    fn rendered_document_validates_and_pins_fields() {
+        let json = doc().render_json();
+        validate_json(&json).expect("own output validates");
+        assert!(
+            json.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")),
+            "{json}"
+        );
+        for key in [
+            "\"lints\":",
+            "\"concurrency\":",
+            "\"protocol\":",
+            "\"self_check\":",
+        ] {
+            assert!(json.contains(key), "{json}");
+        }
+    }
+
+    #[test]
+    fn unknown_field_trips_the_wire() {
+        let json = doc().render_json();
+        let smuggled = json.replacen("{\"schema\"", "{\"extra\":1,\"schema\"", 1);
+        let err = validate_json(&smuggled).expect_err("unknown field must fail");
+        assert!(err.contains("extra"), "{err}");
+        // Drift inside a nested object is caught too.
+        let nested = json.replacen("\"passed\":true", "\"passed\":true,\"new_stat\":9", 1);
+        let err = validate_json(&nested).expect_err("nested unknown field must fail");
+        assert!(err.contains("new_stat"), "{err}");
+    }
+
+    #[test]
+    fn schema_tag_mismatch_rejected() {
+        let json = doc().render_json().replacen(SCHEMA, "gnet-analyze/1", 1);
+        let err = validate_json(&json).expect_err("old schema must be rejected");
+        assert!(err.contains("gnet-analyze/1"), "{err}");
+    }
+
+    #[test]
+    fn protocol_and_self_check_sections_validate() {
+        let bounds = Bounds {
+            ranks: vec![2],
+            ..Bounds::quick()
+        };
+        let document = AnalyzeDocument {
+            lints: Report::default(),
+            concurrency: None,
+            protocol: Some(protocol::check_protocol(&bounds)),
+            self_check: Some(protocol::self_check(&bounds)),
+        };
+        let json = document.render_json();
+        validate_json(&json).expect("protocol sections validate");
+        assert!(json.contains("\"mutation\":\"accept-any-round\""), "{json}");
+    }
+}

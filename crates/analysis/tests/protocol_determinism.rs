@@ -1,0 +1,61 @@
+//! Property: the protocol checker is a pure function of its bounds.
+//!
+//! The nightly JSON artifact is diffed across runs and the regression
+//! gate replays shrunk schedules from old reports, so the whole
+//! pipeline leans on `gnet analyze` being deterministic: the same seed
+//! and bounds must yield a byte-identical JSON document — DFS order,
+//! fingerprint dedup, random-walk fallback, shrinking and rendering
+//! included. Failing case seeds persist to `proptest-regressions/`
+//! (committed) and replay before fresh cases on every subsequent run.
+
+use gnet_analysis::protocol::{self, Bounds, Budgets};
+use gnet_analysis::report::{validate_json, AnalyzeDocument};
+use proptest::prelude::*;
+
+/// Small randomized bounds: rings of 2 (optionally 3) ranks with fault
+/// budgets of at most one each keep a single case well under a second
+/// while still exercising the DFS, the walk fallback path being off or
+/// on, and every mutation in the self-check.
+fn arbitrary_bounds() -> impl Strategy<Value = Bounds> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        (0usize..=1, 0usize..=1, 0usize..=1, 0usize..=1),
+    )
+        .prop_map(|(seed, three, (crashes, timeouts, drops, dups))| Bounds {
+            ranks: if three { vec![2, 3] } else { vec![2] },
+            budgets: Budgets {
+                crashes,
+                timeouts,
+                drops,
+                dups,
+            },
+            max_steps: 120,
+            max_states: 60_000,
+            walks: 16,
+            seed,
+        })
+}
+
+fn document(bounds: &Bounds) -> String {
+    let doc = AnalyzeDocument {
+        lints: gnet_analysis::diagnostics::Report::default(),
+        concurrency: None,
+        protocol: Some(protocol::check_protocol(bounds)),
+        self_check: Some(protocol::self_check(bounds)),
+    };
+    doc.render_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8)
+        .with_persistence("proptest-regressions/protocol_determinism.txt"))]
+
+    #[test]
+    fn same_seed_and_bounds_give_a_byte_identical_report(bounds in arbitrary_bounds()) {
+        let first = document(&bounds);
+        let second = document(&bounds);
+        prop_assert_eq!(&first, &second, "checker output must be deterministic");
+        validate_json(&first).expect("document validates against its own schema");
+    }
+}

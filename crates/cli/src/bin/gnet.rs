@@ -41,9 +41,12 @@ subcommands:
             --edges FILE --truth FILE --matrix FILE
   topology  topology report of an edge list
             --edges FILE --matrix FILE [--hubs N]
-  analyze   workspace static analysis + scheduler race checker
+  analyze   workspace static analysis, scheduler race checker,
+            and ring-protocol model checker
             [--root DIR] [--allowlist FILE] [--json] [--deny]
-            [--concurrency] [--runs N]
+            [--deny-stale] [--unsafe-audit] [--concurrency] [--runs N]
+            [--protocol] [--self-check] [--full] [--max-ranks N]
+            [--replay SPEC]
   conformance  differential & metamorphic conformance harness
             [--level quick|full] [--seed S] [--json] [--report FILE]
             [--self-check] [--replay SPEC]

@@ -510,16 +510,28 @@ pub fn cmd_topology(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> 
     Ok(())
 }
 
-/// `gnet analyze` — workspace static analysis and the scheduler race
-/// checker.
+/// The lint names making up the unsafe-audit family, for
+/// `gnet analyze --unsafe-audit` scoping.
+const UNSAFE_AUDIT_LINTS: [&str; 3] = ["unsafe-justified", "send-sync-audit", "atomic-ordering"];
+
+/// `gnet analyze` — workspace static analysis, the scheduler race
+/// checker, and the ring-protocol model checker.
 ///
 /// Options: `--root DIR` (workspace root, default `.`),
-/// `--allowlist FILE` (vetted exceptions), `--json` (machine-readable
-/// report), `--deny` (exit non-zero on any violation), `--concurrency`
-/// (also run the deterministic interleaving checker), `--runs N`
-/// (seeded repetitions for the checker, default 25).
+/// `--allowlist FILE` (vetted exceptions), `--json` (versioned
+/// machine-readable document, schema `gnet-analyze/2`), `--deny` (exit
+/// non-zero on any lint violation), `--deny-stale` (exit non-zero on
+/// stale allowlist entries), `--unsafe-audit` (restrict lint findings
+/// to the unsafe-audit family), `--concurrency` (deterministic
+/// interleaving checker) with `--runs N` (default 25), `--protocol`
+/// (explore the unmutated ring protocol), `--self-check` (prove the
+/// checker catches three injected protocol mutations), `--full`
+/// (nightly-depth protocol bounds instead of the quick PR bounds),
+/// `--max-ranks N` (drop ring sizes above N from the bounds),
+/// `--replay SPEC` (re-execute one schedule string and exit).
 pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
-    use gnet_analysis::{check_determinism, run_lints, Allowlist, InterleaveConfig};
+    use gnet_analysis::report::{AnalyzeDocument, ConcurrencySection};
+    use gnet_analysis::{check_determinism, protocol, run_lints, Allowlist, InterleaveConfig};
 
     let root = std::path::PathBuf::from(args.get("root").unwrap_or("."));
     let allowlist = match args.get("allowlist") {
@@ -528,20 +540,46 @@ pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     };
     let json = args.flag("json");
     let deny = args.flag("deny");
+    let deny_stale = args.flag("deny-stale");
+    let unsafe_audit = args.flag("unsafe-audit");
     let concurrency = args.flag("concurrency");
     let runs = args.get_or("runs", 25usize)?;
+    let do_protocol = args.flag("protocol");
+    let do_self_check = args.flag("self-check");
+    let full = args.flag("full");
+    let max_ranks = args.get("max-ranks").map(str::to_string);
+    let replay_spec = args.get("replay").map(str::to_string);
     if concurrency && runs == 0 {
         return fail("--runs must be at least 1: zero runs would verify nothing");
     }
     args.reject_unknown()?;
 
-    let report = run_lints(&root, &allowlist)
+    // Replay is a standalone mode: parse the spec, re-execute it
+    // deterministically, report what it exhibits.
+    if let Some(spec) = replay_spec {
+        let schedule = protocol::Schedule::parse(&spec).map_err(CliError)?;
+        match protocol::replay(&schedule).map_err(CliError)? {
+            Some(v) => writeln!(out, "replay: reproduced {} — {}", v.kind(), v.render())?,
+            None => writeln!(out, "replay: schedule ran clean (no violation)")?,
+        }
+        return Ok(());
+    }
+
+    let mut report = run_lints(&root, &allowlist)
         .map_err(|e| CliError(format!("cannot scan {}: {e}", root.display())))?;
     if report.files_scanned == 0 {
         return fail(format!(
             "no sources under {} — is --root the workspace?",
             root.display()
         ));
+    }
+    if unsafe_audit {
+        report
+            .diagnostics
+            .retain(|d| UNSAFE_AUDIT_LINTS.contains(&d.lint.as_str()));
+        report
+            .stale
+            .retain(|d| d.lint == "*" || UNSAFE_AUDIT_LINTS.contains(&d.lint.as_str()));
     }
 
     let interleave = if concurrency {
@@ -554,25 +592,40 @@ pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         None
     };
 
+    let mut bounds = if full {
+        protocol::Bounds::full()
+    } else {
+        protocol::Bounds::quick()
+    };
+    if let Some(cap) = max_ranks {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| CliError(format!("bad --max-ranks {cap:?}")))?;
+        bounds.ranks.retain(|&r| r <= cap);
+        if bounds.ranks.is_empty() {
+            return fail(format!("--max-ranks {cap} leaves no ring sizes to explore"));
+        }
+    }
+    let protocol_report = do_protocol.then(|| protocol::check_protocol(&bounds));
+    let self_check_report = do_self_check.then(|| protocol::self_check(&bounds));
+
     if json {
-        // The lint report serializes itself; the concurrency summary is
-        // appended as a sibling object so the output stays one document.
-        let lints = report.render_json().map_err(|e| CliError(e.to_string()))?;
-        let concurrency_json = match &interleave {
-            None => "null".to_string(),
-            Some(Ok((o, _))) => format!(
-                "{{\"passed\":true,\"runs\":{},\"checks\":{},\"pairs\":{}}}",
-                o.runs, o.checks, o.pairs
-            ),
-            Some(Err(e)) => format!(
-                "{{\"passed\":false,\"error\":{}}}",
-                serde_json::to_string(&e.to_string()).map_err(|e| CliError(e.to_string()))?
-            ),
+        let document = AnalyzeDocument {
+            lints: report.clone(),
+            concurrency: interleave.as_ref().map(|r| match r {
+                Ok((o, _)) => ConcurrencySection::Passed {
+                    runs: o.runs,
+                    checks: o.checks,
+                    pairs: o.pairs,
+                },
+                Err(e) => ConcurrencySection::Failed {
+                    error: e.to_string(),
+                },
+            }),
+            protocol: protocol_report.clone(),
+            self_check: self_check_report.clone(),
         };
-        writeln!(
-            out,
-            "{{\"lints\":{lints},\"concurrency\":{concurrency_json}}}"
-        )?;
+        writeln!(out, "{}", document.render_json())?;
     } else {
         write!(out, "{}", report.render_text())?;
         match &interleave {
@@ -585,10 +638,56 @@ pub fn cmd_analyze(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
             )?,
             Some(Err(e)) => writeln!(out, "concurrency: FAILED — {e}")?,
         }
+        if let Some(p) = &protocol_report {
+            for e in &p.explorations {
+                let tail = match &e.violation {
+                    None if e.capped => {
+                        format!(", capped ({} random walks clean)", e.walks_run)
+                    }
+                    None => String::new(),
+                    Some(v) => format!(
+                        "\n  VIOLATION ({}): {}\n  replay spec: {}",
+                        v.violation.kind(),
+                        v.violation.render(),
+                        v.schedule.render()
+                    ),
+                };
+                writeln!(
+                    out,
+                    "protocol: ranks={} — {} states, {} clean terminals{tail}",
+                    e.ranks, e.states, e.terminals
+                )?;
+            }
+            writeln!(
+                out,
+                "protocol: {}",
+                if p.ok { "ok" } else { "VIOLATION FOUND" }
+            )?;
+        }
+        if let Some(s) = &self_check_report {
+            write!(out, "{}", protocol::self_check::render_text(s))?;
+        }
     }
 
     if let Some(Err(e)) = interleave {
         return fail(e.to_string());
+    }
+    if let Some(p) = &protocol_report {
+        if !p.ok {
+            return fail("protocol model checker found a violation (replay spec above)");
+        }
+    }
+    if let Some(s) = &self_check_report {
+        if !s.ok {
+            return fail("protocol self-check failed: a known mutation went undetected");
+        }
+    }
+    if deny_stale && !report.stale.is_empty() {
+        return fail(format!(
+            "{} stale allowlist entr{} (--deny-stale)",
+            report.stale.len(),
+            if report.stale.len() == 1 { "y" } else { "ies" }
+        ));
     }
     if deny && !report.is_clean() {
         return fail(format!(
@@ -1038,7 +1137,7 @@ mod tests {
     }
 
     #[test]
-    fn analyze_json_is_machine_readable() {
+    fn analyze_json_is_machine_readable_and_schema_pinned() {
         let mut out = Vec::new();
         cmd_analyze(
             &argmap(&["--root", workspace_root().to_str().unwrap(), "--json"]),
@@ -1046,9 +1145,99 @@ mod tests {
         )
         .unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.starts_with("{\"lints\":"), "{text}");
+        let expect = format!("{{\"schema\":\"{}\"", gnet_analysis::report::SCHEMA);
+        assert!(text.starts_with(&expect), "{text}");
         assert!(text.contains("\"files_scanned\""), "{text}");
         assert!(text.contains("\"concurrency\":null"), "{text}");
+        gnet_analysis::report::validate_json(text.trim()).expect("document validates");
+    }
+
+    #[test]
+    fn analyze_unsafe_audit_and_deny_stale_run_clean_on_the_workspace() {
+        let mut out = Vec::new();
+        cmd_analyze(
+            &argmap(&[
+                "--root",
+                workspace_root().to_str().unwrap(),
+                "--unsafe-audit",
+                "--deny",
+                "--deny-stale",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("0 violation(s)"), "{text}");
+        assert!(text.contains("0 stale entries"), "{text}");
+    }
+
+    #[test]
+    fn analyze_protocol_explores_a_small_ring_clean() {
+        let mut out = Vec::new();
+        cmd_analyze(
+            &argmap(&[
+                "--root",
+                workspace_root().to_str().unwrap(),
+                "--protocol",
+                "--max-ranks",
+                "3",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("protocol: ranks=2"), "{text}");
+        assert!(text.contains("protocol: ranks=3"), "{text}");
+        assert!(text.contains("protocol: ok"), "{text}");
+    }
+
+    #[test]
+    fn analyze_protocol_json_emits_the_protocol_section() {
+        let mut out = Vec::new();
+        cmd_analyze(
+            &argmap(&[
+                "--root",
+                workspace_root().to_str().unwrap(),
+                "--protocol",
+                "--max-ranks",
+                "2",
+                "--json",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"protocol\":{\"ok\":true"), "{text}");
+        gnet_analysis::report::validate_json(text.trim()).expect("document validates");
+    }
+
+    #[test]
+    fn analyze_replay_rejects_malformed_and_impossible_specs() {
+        let mut out = Vec::new();
+        let err = cmd_analyze(&argmap(&["--replay", "not-a-spec"]), &mut out).unwrap_err();
+        assert!(err.0.contains("key=value"), "{}", err.0);
+        // Well-formed but impossible: rank 1 cannot deliver before
+        // anything was sent.
+        let spec = "ranks=2;crashes=0;timeouts=0;drops=0;dups=0;mutation=none;trace=d1";
+        let err = cmd_analyze(&argmap(&["--replay", spec]), &mut out).unwrap_err();
+        assert!(err.0.contains("not enabled"), "{}", err.0);
+    }
+
+    #[test]
+    fn analyze_max_ranks_cannot_empty_the_bounds() {
+        let mut out = Vec::new();
+        let err = cmd_analyze(
+            &argmap(&[
+                "--root",
+                workspace_root().to_str().unwrap(),
+                "--protocol",
+                "--max-ranks",
+                "1",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("no ring sizes"), "{}", err.0);
     }
 
     #[test]

@@ -47,6 +47,10 @@
 
 use crate::codec::{decode_block, encode_block, GeneBlock};
 use crate::comm::{run_ranks_on, Endpoint, Fabric, RecvTimeoutError};
+use crate::protocol::{
+    block_range, Effect, Event as ProtoEvent, Frame as ProtoFrame, Mutation, Phase, RankMachine,
+    Wait,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gnet_bspline::BsplineBasis;
 use gnet_core::config::NullStrategy;
@@ -56,7 +60,7 @@ use gnet_fault::{names, Fault, FaultInjector};
 use gnet_graph::{Edge, GeneNetwork};
 use gnet_mi::{mi_with_nulls, prepare_gene, MiKernel, MiScratch};
 use gnet_permute::{PermutationSet, PooledNull};
-use gnet_trace::{Recorder, Value};
+use gnet_trace::{Recorder, Span, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -158,31 +162,6 @@ pub struct DistributedResult {
     /// Ranks rank 0 presumed dead during the census (crashed, or their
     /// results frame was lost). Empty on a fault-free run.
     pub crashed_ranks: Vec<usize>,
-}
-
-/// Contiguous block bounds of rank `r` among `p` ranks over `n` genes.
-fn block_range(n: usize, p: usize, r: usize) -> (usize, usize) {
-    let base = n / p;
-    let extra = n % p;
-    let start = r * base + r.min(extra);
-    let len = base + usize::from(r < extra);
-    (start, start + len)
-}
-
-/// Owner of the unordered block pair `{a, b}` among `p` ranks: the rank
-/// that meets the partner block in the earlier ring round (ties to the
-/// smaller rank). For `a == b` the owner is `a`.
-fn block_pair_owner(a: usize, b: usize, p: usize) -> usize {
-    if a == b {
-        return a;
-    }
-    let delta_b = (b + p - a) % p; // round at which b holds block a
-    let delta_a = (a + p - b) % p; // round at which a holds block b
-    match delta_b.cmp(&delta_a) {
-        std::cmp::Ordering::Less => b,
-        std::cmp::Ordering::Greater => a,
-        std::cmp::Ordering::Equal => a.min(b),
-    }
 }
 
 /// Run the full inference distributed over `ranks` simulated cluster
@@ -419,47 +398,79 @@ fn parse_frame(mut bytes: Bytes) -> Option<(u8, u32, Bytes)> {
     Some((tag, round, bytes))
 }
 
-/// Receive the `round`-th travelling block from `from`, discarding stale
-/// (earlier-round) blocks that a delay fault pushed past their deadline.
-fn recv_block(
-    ep: &Endpoint,
-    from: usize,
-    round: u32,
-    timeout: Duration,
-) -> Result<Bytes, &'static str> {
-    loop {
-        match ep.recv_timeout(from, timeout) {
-            Ok(raw) => match parse_frame(raw) {
-                Some((TAG_BLOCK, r, payload)) if r == round => return Ok(payload),
-                Some((TAG_BLOCK, r, _)) if r < round => continue, // stale delayed frame
-                Some((TAG_CLOCK, _, _)) => continue,              // delayed clock stamp: harmless
-                _ => return Err("unexpected frame on ring channel"),
-            },
-            Err(RecvTimeoutError::Timeout) => return Err("peer timed out"),
-            Err(RecvTimeoutError::Disconnected) => return Err("peer disconnected"),
-        }
-    }
+/// Identity of the block carried by a round-`rd` `TAG_BLOCK` frame from
+/// rank `from`: the sender's travelling block after round `rd − 1`. The
+/// wire format does not repeat the identity in the payload — the round
+/// stamp determines it, and healing preserves the invariant (a healer
+/// forwards exactly the block the arithmetic says it holds).
+fn block_identity(from: usize, rd: u32, p: usize) -> usize {
+    let back = (rd as usize).saturating_sub(1) % p;
+    (from + p - back) % p
 }
 
-/// Receive the next `want`-tagged frame from `from`, discarding any
-/// stale ring blocks still queued on the same channel.
-fn recv_tagged(
+/// Receive one frame from `from` and translate it into a protocol
+/// event. Delayed clock stamps are consumed here (harmless at any
+/// protocol point); everything else — including stale ring blocks,
+/// which the [`RankMachine`] discards by round stamp — is surfaced to
+/// the machine. Failures (timeout, disconnect, unparseable frame)
+/// become [`ProtoEvent::Timeout`] with `fail_reason` set for the
+/// recovery trace events.
+fn recv_event(
     ep: &Endpoint,
     from: usize,
-    want: u8,
     timeout: Duration,
-) -> Result<Bytes, &'static str> {
+    in_ring: bool,
+    block_payload: &mut Option<Bytes>,
+    pending_payload: &mut Option<Bytes>,
+    fail_reason: &mut &'static str,
+) -> ProtoEvent {
+    let unexpected = if in_ring {
+        "unexpected frame on ring channel"
+    } else {
+        "unexpected frame"
+    };
     loop {
-        match ep.recv_timeout(from, timeout) {
+        return match ep.recv_timeout(from, timeout) {
             Ok(raw) => match parse_frame(raw) {
-                Some((TAG_BLOCK, _, _)) => continue, // stale ring traffic
-                Some((TAG_CLOCK, _, _)) => continue, // delayed clock stamp
-                Some((tag, _, payload)) if tag == want => return Ok(payload),
-                _ => return Err("unexpected frame"),
+                Some((TAG_CLOCK, _, _)) => continue, // delayed clock stamp: harmless
+                Some((TAG_BLOCK, rd, payload)) => {
+                    *block_payload = Some(payload);
+                    *fail_reason = unexpected;
+                    ProtoEvent::Frame(ProtoFrame::Block {
+                        round: rd,
+                        block: block_identity(from, rd, ep.size()),
+                    })
+                }
+                Some((TAG_RESULTS, _, payload)) => {
+                    *pending_payload = Some(payload);
+                    *fail_reason = unexpected;
+                    ProtoEvent::Frame(ProtoFrame::Results)
+                }
+                Some((TAG_ASSIGN, _, payload)) => {
+                    *fail_reason = unexpected;
+                    ProtoEvent::Frame(ProtoFrame::Assign {
+                        pairs: decode_assignment(&payload),
+                    })
+                }
+                Some((TAG_SUPPLEMENT, _, payload)) => {
+                    *pending_payload = Some(payload);
+                    *fail_reason = unexpected;
+                    ProtoEvent::Frame(ProtoFrame::Supplement)
+                }
+                _ => {
+                    *fail_reason = unexpected;
+                    ProtoEvent::Timeout
+                }
             },
-            Err(RecvTimeoutError::Timeout) => return Err("peer timed out"),
-            Err(RecvTimeoutError::Disconnected) => return Err("peer disconnected"),
-        }
+            Err(RecvTimeoutError::Timeout) => {
+                *fail_reason = "peer timed out";
+                ProtoEvent::Timeout
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                *fail_reason = "peer disconnected";
+                ProtoEvent::Timeout
+            }
+        };
     }
 }
 
@@ -652,186 +663,368 @@ fn rank_main(
     let mut pooled = PooledNull::new();
     let mut candidates: Vec<(u32, u32, f64)> = Vec::new();
 
-    // Diagonal block: pairs within the local gene range.
-    let t1 = Instant::now();
-    {
-        let _diag_span = rank_rec.span("rank.diag");
-        compute_block_pair(
-            &own,
-            None,
-            config.kernel,
-            &perms,
-            &mut scratch,
-            &mut pooled,
-            &mut candidates,
-            &mut stats.pairs,
-        );
-    }
-    stats.block_pairs += 1;
-    busy += t1.elapsed();
-
-    // Ring rotation: ⌊P/2⌋ rounds cover every cross-block pair once.
-    let rounds = p / 2;
-    let next = (r + 1) % p;
-    let prev = (r + p - 1) % p;
+    // ---- Protocol interpreter ----
+    //
+    // Every protocol decision below is made by the RankMachine step
+    // function (the same one the gnet-analysis model checker explores);
+    // this loop owns the bytes, the kernels, the clocks, and the trace
+    // events, and executes whatever effects the machine emits.
     let mut travelling = encode_block(&own);
-    for d in 1..=rounds {
-        if faults.should_crash_rank(r, d) {
-            die!();
-        }
-        let _round_span = rank_rec.span(&format!("rank.round.{d}"));
-        ep.send(next, frame(TAG_BLOCK, d as u32, &travelling));
-        let held = (r + p - d) % p;
-        // Receive the next block, or — if the predecessor died or the
-        // frame was lost — heal the ring by reconstructing the block we
-        // know we are due, so downstream ranks never notice. A block the
-        // clock exchange captured while waiting for its stamp takes
-        // precedence (it IS this round's frame, already received).
-        let recv_result = match leftover.take() {
-            Some((lr, payload)) if lr == d as u32 => Ok(payload),
-            Some((lr, _)) if lr > d as u32 => Err("unexpected frame on ring channel"),
-            _ => recv_block(&ep, prev, d as u32, peer_timeout),
-        };
-        let mut rebuilt: Option<GeneBlock> = None;
-        travelling = match recv_result {
-            Ok(payload) => payload,
-            Err(reason) => {
-                let t = Instant::now();
-                rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
-                rec.event(
-                    names::EVT_CRASH_DETECTED,
-                    &[
-                        ("rank", Value::from(r)),
-                        ("peer", Value::from(prev)),
-                        ("round", Value::from(d)),
-                        ("reason", Value::from(reason)),
-                    ],
-                );
-                let block = build_block(matrix, &basis, n, p, held);
-                let bytes = encode_block(&block);
-                rebuilt = Some(block);
-                let latency = t.elapsed();
-                busy += latency;
-                rec.observe(names::HIST_RECOVERY_LATENCY_US, latency);
-                rec.event(
-                    names::EVT_RING_HEALED,
-                    &[("rank", Value::from(r)), ("block", Value::from(held))],
-                );
-                bytes
-            }
-        };
-        // Even-P tie round: both ranks of a pair hold each other's block;
-        // only the owner computes.
-        if block_pair_owner(r, held, p) != r {
-            continue;
-        }
-        let t = Instant::now();
-        let foreign = match rebuilt {
-            Some(block) => block,
-            None => match decode_block(travelling.clone()) {
-                Ok(block) => block,
-                Err(_) => {
-                    // Corrupt frame: same cure as a lost one — rebuild
-                    // from the source matrix and forward the good copy.
+    let mut own = Some(own);
+    let prev = (r + p - 1) % p;
+    // Payload of the last-delivered BLOCK frame (adopted on AcceptBlock)
+    // and of the last RESULTS/SUPPLEMENT frame (consumed on accept).
+    let mut block_payload: Option<Bytes> = None;
+    let mut pending_payload: Option<Bytes> = None;
+    // Low-level cause of the last receive failure, for recovery events.
+    let mut fail_reason: &'static str = "peer timed out";
+    // A healed block, decoded once and reused by the compute effect.
+    let mut rebuilt: Option<GeneBlock> = None;
+    let mut cur_round = 0usize;
+    let mut parts: Vec<Option<Bytes>> = vec![None; p];
+    let mut supplements: Vec<Option<Share>> = vec![None; p];
+    let mut cache: HashMap<usize, GeneBlock> = HashMap::new();
+    let mut sup_pooled = PooledNull::new();
+    let mut sup_candidates: Vec<(u32, u32, f64)> = Vec::new();
+    let mut output: Option<(GeneNetwork, f64, Vec<usize>)> = None;
+    let mut ring_span: Option<Span> = None;
+    let mut finalize_span: Option<Span> = None;
+
+    let mut machine = RankMachine::new(r, p, Mutation::None);
+    let (mut fx, mut wait) = machine.step(ProtoEvent::Start);
+    loop {
+        for effect in std::mem::take(&mut fx) {
+            match effect {
+                Effect::ComputeDiag => {
+                    let t = Instant::now();
+                    {
+                        let _diag_span = rank_rec.span("rank.diag");
+                        compute_block_pair(
+                            own.as_ref().expect("own block is live in the ring"),
+                            None,
+                            config.kernel,
+                            &perms,
+                            &mut scratch,
+                            &mut pooled,
+                            &mut candidates,
+                            &mut stats.pairs,
+                        );
+                    }
+                    stats.block_pairs += 1;
+                    busy += t.elapsed();
+                }
+                Effect::Send {
+                    to,
+                    frame: ProtoFrame::Block { round, .. },
+                } => {
+                    let d = round as usize;
+                    if faults.should_crash_rank(r, d) {
+                        die!();
+                    }
+                    ring_span = Some(rank_rec.span(&format!("rank.round.{d}")));
+                    cur_round = d;
+                    ep.send(to, frame(TAG_BLOCK, round, &travelling));
+                }
+                Effect::Send {
+                    to,
+                    frame: ProtoFrame::Results,
+                } => {
+                    let results = encode_rank_results(&pooled, &candidates);
+                    ep.send(to, frame(TAG_RESULTS, 0, &results));
+                }
+                Effect::Send {
+                    to,
+                    frame: ProtoFrame::Assign { pairs },
+                } => {
+                    ep.send(to, frame(TAG_ASSIGN, 0, &encode_assignment(&pairs)));
+                }
+                Effect::Send {
+                    to,
+                    frame: ProtoFrame::Supplement,
+                } => {
+                    let sup = encode_rank_results(&sup_pooled, &sup_candidates);
+                    ep.send(to, frame(TAG_SUPPLEMENT, 0, &sup));
+                }
+                Effect::AcceptBlock => {
+                    travelling = block_payload
+                        .take()
+                        .expect("accepted BLOCK frame has a payload");
+                    rebuilt = None;
+                }
+                Effect::Heal { block } => {
+                    // The expected frame was lost (timeout, disconnect,
+                    // or an unexpected frame consumed in its place):
+                    // rebuild the block we know we are due and forward
+                    // it, so downstream ranks never notice.
+                    let t = Instant::now();
+                    block_payload = None;
                     rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
-                    let block = build_block(matrix, &basis, n, p, held);
-                    travelling = encode_block(&block);
+                    rec.event(
+                        names::EVT_CRASH_DETECTED,
+                        &[
+                            ("rank", Value::from(r)),
+                            ("peer", Value::from(prev)),
+                            ("round", Value::from(cur_round)),
+                            ("reason", Value::from(fail_reason)),
+                        ],
+                    );
+                    let b = build_block(matrix, &basis, n, p, block);
+                    travelling = encode_block(&b);
+                    rebuilt = Some(b);
+                    let latency = t.elapsed();
+                    busy += latency;
+                    rec.observe(names::HIST_RECOVERY_LATENCY_US, latency);
                     rec.event(
                         names::EVT_RING_HEALED,
-                        &[("rank", Value::from(r)), ("block", Value::from(held))],
+                        &[("rank", Value::from(r)), ("block", Value::from(block))],
                     );
-                    block
                 }
-            },
-        };
-        // Canonical orientation: the block with the lower global indices
-        // is always the x (row) side, exactly as in the shared-memory
-        // tiles. MI is symmetric, but the permutation null I(x, π(y)) is
-        // a *different draw* under role swap, so orientation must match
-        // for bit-identical candidate decisions.
-        let (lo, hi) = if foreign.indices[0] < own.indices[0] {
-            (&foreign, &own)
-        } else {
-            (&own, &foreign)
-        };
-        compute_block_pair(
-            lo,
-            Some(hi),
-            config.kernel,
-            &perms,
-            &mut scratch,
-            &mut pooled,
-            &mut candidates,
-            &mut stats.pairs,
-        );
-        stats.block_pairs += 1;
-        busy += t.elapsed();
-    }
-
-    let my_results = encode_rank_results(&pooled, &candidates);
-    let _finalize_span = rank_rec.span(if r == 0 {
-        "rank.coordinate"
-    } else {
-        "rank.report"
-    });
-    let output = if r == 0 {
-        coordinate(
-            &ep,
-            matrix,
-            config,
-            n,
-            rec,
-            peer_timeout,
-            &basis,
-            &perms,
-            &mut scratch,
-            own,
-            my_results,
-            &mut stats,
-            &mut busy,
-        )
-    } else {
-        // Report results, then serve whatever share of the dead ranks'
-        // work the coordinator assigns.
-        ep.send(0, frame(TAG_RESULTS, 0, &my_results));
-        if let Ok(payload) = recv_tagged(&ep, 0, TAG_ASSIGN, peer_timeout) {
-            let assigned = decode_assignment(&payload);
-            let mut sup_pooled = PooledNull::new();
-            let mut sup_candidates: Vec<(u32, u32, f64)> = Vec::new();
-            if !assigned.is_empty() {
-                let t = Instant::now();
-                let mut cache: HashMap<usize, GeneBlock> = HashMap::new();
-                cache.insert(r, own);
-                for &(a, b) in &assigned {
-                    compute_assigned_pair(
-                        a,
-                        b,
-                        matrix,
-                        &basis,
-                        n,
-                        p,
-                        &mut cache,
+                Effect::ComputeCross { block } => {
+                    let t = Instant::now();
+                    let own_ref = own.as_ref().expect("own block is live in the ring");
+                    let foreign = match rebuilt.take() {
+                        Some(b) => b,
+                        None => match decode_block(travelling.clone()) {
+                            Ok(b) => b,
+                            Err(_) => {
+                                // Corrupt frame: same cure as a lost one
+                                // — rebuild from the source matrix and
+                                // forward the good copy.
+                                rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
+                                let b = build_block(matrix, &basis, n, p, block);
+                                travelling = encode_block(&b);
+                                rec.event(
+                                    names::EVT_RING_HEALED,
+                                    &[("rank", Value::from(r)), ("block", Value::from(block))],
+                                );
+                                b
+                            }
+                        },
+                    };
+                    // Canonical orientation: the block with the lower
+                    // global indices is always the x (row) side, exactly
+                    // as in the shared-memory tiles. MI is symmetric,
+                    // but the permutation null I(x, π(y)) is a
+                    // *different draw* under role swap, so orientation
+                    // must match for bit-identical candidate decisions.
+                    let (lo, hi) = if foreign.indices[0] < own_ref.indices[0] {
+                        (&foreign, own_ref)
+                    } else {
+                        (own_ref, &foreign)
+                    };
+                    compute_block_pair(
+                        lo,
+                        Some(hi),
                         config.kernel,
                         &perms,
                         &mut scratch,
-                        &mut sup_pooled,
-                        &mut sup_candidates,
+                        &mut pooled,
+                        &mut candidates,
                         &mut stats.pairs,
                     );
+                    stats.block_pairs += 1;
+                    busy += t.elapsed();
                 }
-                stats.reassigned_block_pairs = assigned.len();
-                stats.block_pairs += assigned.len();
-                busy += t.elapsed();
+                Effect::AcceptResults { from } => {
+                    parts[from] = Some(
+                        pending_payload
+                            .take()
+                            .expect("accepted RESULTS frame has a payload"),
+                    );
+                }
+                Effect::PresumeDead { rank } => {
+                    rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
+                    rec.event(
+                        names::EVT_CRASH_DETECTED,
+                        &[
+                            ("rank", Value::from(0usize)),
+                            ("peer", Value::from(rank)),
+                            ("reason", Value::from(fail_reason)),
+                        ],
+                    );
+                }
+                Effect::Redistributed {
+                    dead_ranks,
+                    block_pairs,
+                    survivors,
+                } => {
+                    rec.counter_add(names::CNT_PAIRS_REASSIGNED, block_pairs as u64);
+                    rec.event(
+                        names::EVT_REDISTRIBUTED,
+                        &[
+                            ("dead_ranks", Value::from(dead_ranks)),
+                            ("block_pairs", Value::from(block_pairs)),
+                            ("survivors", Value::from(survivors)),
+                        ],
+                    );
+                }
+                Effect::ComputeAssigned { pairs } => {
+                    let t = Instant::now();
+                    if let Some(own_block) = own.take() {
+                        cache.insert(r, own_block);
+                    }
+                    if r == 0 {
+                        let mut sp = PooledNull::new();
+                        let mut sc = Vec::new();
+                        for &(a, b) in &pairs {
+                            compute_assigned_pair(
+                                a,
+                                b,
+                                matrix,
+                                &basis,
+                                n,
+                                p,
+                                &mut cache,
+                                config.kernel,
+                                &perms,
+                                &mut scratch,
+                                &mut sp,
+                                &mut sc,
+                                &mut stats.pairs,
+                            );
+                        }
+                        supplements[0] = Some((sp, sc));
+                    } else {
+                        for &(a, b) in &pairs {
+                            compute_assigned_pair(
+                                a,
+                                b,
+                                matrix,
+                                &basis,
+                                n,
+                                p,
+                                &mut cache,
+                                config.kernel,
+                                &perms,
+                                &mut scratch,
+                                &mut sup_pooled,
+                                &mut sup_candidates,
+                                &mut stats.pairs,
+                            );
+                        }
+                    }
+                    stats.reassigned_block_pairs += pairs.len();
+                    stats.block_pairs += pairs.len();
+                    busy += t.elapsed();
+                }
+                Effect::AcceptSupplement { from } => {
+                    let (sp, sc) = decode_rank_results(
+                        pending_payload
+                            .take()
+                            .expect("accepted SUPPLEMENT frame has a payload"),
+                    );
+                    supplements[from] = Some((sp, sc));
+                }
+                Effect::RecomputeShare { from, pairs } => {
+                    // Survivor went silent after the census — recompute
+                    // its share locally so the result never depends on
+                    // it.
+                    let t = Instant::now();
+                    rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
+                    if let Some(own_block) = own.take() {
+                        cache.insert(r, own_block);
+                    }
+                    let mut sp = PooledNull::new();
+                    let mut sc = Vec::new();
+                    for &(a, b) in &pairs {
+                        compute_assigned_pair(
+                            a,
+                            b,
+                            matrix,
+                            &basis,
+                            n,
+                            p,
+                            &mut cache,
+                            config.kernel,
+                            &perms,
+                            &mut scratch,
+                            &mut sp,
+                            &mut sc,
+                            &mut stats.pairs,
+                        );
+                    }
+                    supplements[from] = Some((sp, sc));
+                    stats.reassigned_block_pairs += pairs.len();
+                    stats.block_pairs += pairs.len();
+                    busy += t.elapsed();
+                }
+                Effect::Finalize { dead } => {
+                    // Merge: phase-1 results in rank order, then
+                    // supplements in rank order. Fault-free, every
+                    // supplement is empty and this reduces to the
+                    // historical gather-merge bit for bit.
+                    parts[0] = Some(encode_rank_results(&pooled, &candidates));
+                    let mut merged = PooledNull::new();
+                    let mut all_candidates: Vec<(u32, u32, f64)> = Vec::new();
+                    for part in std::mem::take(&mut parts).into_iter().flatten() {
+                        let (pp, cc) = decode_rank_results(part);
+                        merged.merge(&pp);
+                        all_candidates.extend(cc);
+                    }
+                    for (sp, sc) in std::mem::take(&mut supplements).into_iter().flatten() {
+                        merged.merge(&sp);
+                        all_candidates.extend(sc);
+                    }
+                    let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+                    let threshold = match config.mi_threshold {
+                        Some(t) => t,
+                        None => merged.global_threshold(config.alpha, total_pairs.max(1)),
+                    };
+                    all_candidates.sort_by_key(|c| (c.0, c.1));
+                    let network = GeneNetwork::from_edges(
+                        n,
+                        matrix.gene_names().to_vec(),
+                        all_candidates
+                            .into_iter()
+                            .filter(|&(_, _, v)| v > threshold)
+                            .map(|(i, j, v)| Edge::new(i, j, v as f32)),
+                    );
+                    output = Some((network, threshold, dead));
+                }
             }
-            let sup = encode_rank_results(&sup_pooled, &sup_candidates);
-            ep.send(0, frame(TAG_SUPPLEMENT, 0, &sup));
         }
-        // Assignment lost or coordinator gone: terminate. Rank 0's
-        // supplement backstop recomputes our share if it was real.
-        None
-    };
+        if finalize_span.is_none() && machine.phase() == Phase::Endgame {
+            drop(ring_span.take());
+            finalize_span = Some(rank_rec.span(if r == 0 {
+                "rank.coordinate"
+            } else {
+                "rank.report"
+            }));
+        }
+        let from = match wait {
+            Wait::Done => break,
+            Wait::Recv { from } => from,
+        };
+        let in_ring = machine.phase() == Phase::Ring;
+        // A block the clock exchange captured while waiting for its
+        // stamp takes precedence (it IS a ring frame, already
+        // received); otherwise receive from the fabric.
+        let event = match leftover.take() {
+            Some((lr, payload)) => {
+                block_payload = Some(payload);
+                fail_reason = "unexpected frame on ring channel";
+                ProtoEvent::Frame(ProtoFrame::Block {
+                    round: lr,
+                    block: block_identity(prev, lr, p),
+                })
+            }
+            None => recv_event(
+                &ep,
+                from,
+                peer_timeout,
+                in_ring,
+                &mut block_payload,
+                &mut pending_payload,
+                &mut fail_reason,
+            ),
+        };
+        let stepped = machine.step(event);
+        fx = stepped.0;
+        wait = stepped.1;
+    }
 
-    drop(_finalize_span);
+    drop(ring_span.take());
+    drop(finalize_span.take());
     stats.messages = ep.stats().messages();
     stats.bytes_sent = ep.stats().bytes();
     stats.busy = busy;
@@ -862,187 +1055,6 @@ fn rank_main(
             dead: Vec::new(),
         },
     }
-}
-
-/// Rank 0's endgame: census, redistribution, supplement collection (with
-/// local recomputation as the backstop), merge, threshold.
-#[allow(clippy::too_many_arguments)]
-fn coordinate(
-    ep: &Endpoint,
-    matrix: &ExpressionMatrix,
-    config: &InferenceConfig,
-    n: usize,
-    rec: &Recorder,
-    peer_timeout: Duration,
-    basis: &BsplineBasis,
-    perms: &PermutationSet,
-    scratch: &mut MiScratch,
-    own: GeneBlock,
-    my_results: Bytes,
-    stats: &mut RankStats,
-    busy: &mut Duration,
-) -> Option<(GeneNetwork, f64, Vec<usize>)> {
-    let p = ep.size();
-
-    // Census: every rank that fails to report results is presumed dead.
-    let mut parts: Vec<Option<Bytes>> = vec![None; p];
-    parts[0] = Some(my_results);
-    let mut dead: Vec<usize> = Vec::new();
-    for (from, part) in parts.iter_mut().enumerate().skip(1) {
-        match recv_tagged(ep, from, TAG_RESULTS, peer_timeout) {
-            Ok(payload) => *part = Some(payload),
-            Err(reason) => {
-                dead.push(from);
-                rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
-                rec.event(
-                    names::EVT_CRASH_DETECTED,
-                    &[
-                        ("rank", Value::from(0usize)),
-                        ("peer", Value::from(from)),
-                        ("reason", Value::from(reason)),
-                    ],
-                );
-            }
-        }
-    }
-
-    // Redistribute every block pair owned by a dead rank, round-robin
-    // over the survivors in lexicographic pair order — deterministic
-    // given the dead set.
-    let mut assignments: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
-    if !dead.is_empty() {
-        let survivors: Vec<usize> = (0..p).filter(|x| !dead.contains(x)).collect();
-        let mut cursor = 0usize;
-        for a in 0..p {
-            for b in a..p {
-                if dead.contains(&block_pair_owner(a, b, p)) {
-                    assignments[survivors[cursor % survivors.len()]].push((a, b));
-                    cursor += 1;
-                }
-            }
-        }
-        let total: usize = assignments.iter().map(Vec::len).sum();
-        rec.counter_add(names::CNT_PAIRS_REASSIGNED, total as u64);
-        rec.event(
-            names::EVT_REDISTRIBUTED,
-            &[
-                ("dead_ranks", Value::from(dead.len())),
-                ("block_pairs", Value::from(total)),
-                ("survivors", Value::from(survivors.len())),
-            ],
-        );
-    }
-
-    // Every live nonzero rank gets its (possibly empty) assignment; a
-    // send to a truly dead rank is discarded by the armed fabric, and a
-    // falsely-presumed-dead rank gets the empty assignment it needs to
-    // terminate cleanly.
-    for (to, assignment) in assignments.iter().enumerate().skip(1) {
-        ep.send(to, frame(TAG_ASSIGN, 0, &encode_assignment(assignment)));
-    }
-
-    // Rank 0's own share, plus — as the backstop — any share whose
-    // supplement never arrives. Supplements merge in rank order so the
-    // result is deterministic for a given dead set.
-    let mut cache: HashMap<usize, GeneBlock> = HashMap::new();
-    cache.insert(0, own);
-    let compute_share = |share: &[(usize, usize)],
-                         scratch: &mut MiScratch,
-                         cache: &mut HashMap<usize, GeneBlock>,
-                         pair_counter: &mut u64|
-     -> Share {
-        let mut sp = PooledNull::new();
-        let mut sc = Vec::new();
-        for &(a, b) in share {
-            compute_assigned_pair(
-                a,
-                b,
-                matrix,
-                basis,
-                n,
-                p,
-                cache,
-                config.kernel,
-                perms,
-                scratch,
-                &mut sp,
-                &mut sc,
-                pair_counter,
-            );
-        }
-        (sp, sc)
-    };
-
-    let mut supplements: Vec<Option<Share>> = vec![None; p];
-    if !assignments[0].is_empty() {
-        let t = Instant::now();
-        supplements[0] = Some(compute_share(
-            &assignments[0],
-            scratch,
-            &mut cache,
-            &mut stats.pairs,
-        ));
-        stats.reassigned_block_pairs += assignments[0].len();
-        stats.block_pairs += assignments[0].len();
-        *busy += t.elapsed();
-    }
-    for from in 1..p {
-        if dead.contains(&from) {
-            continue;
-        }
-        match recv_tagged(ep, from, TAG_SUPPLEMENT, peer_timeout) {
-            Ok(payload) => {
-                let (sp, sc) = decode_rank_results(payload);
-                supplements[from] = Some((sp, sc));
-            }
-            Err(_) => {
-                // Survivor went silent after the census — recompute its
-                // share locally so the result never depends on it.
-                let t = Instant::now();
-                rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
-                supplements[from] = Some(compute_share(
-                    &assignments[from],
-                    scratch,
-                    &mut cache,
-                    &mut stats.pairs,
-                ));
-                stats.reassigned_block_pairs += assignments[from].len();
-                stats.block_pairs += assignments[from].len();
-                *busy += t.elapsed();
-            }
-        }
-    }
-
-    // Merge: phase-1 results in rank order, then supplements in rank
-    // order. Fault-free, every supplement is empty and this reduces to
-    // the historical gather-merge bit for bit.
-    let mut merged = PooledNull::new();
-    let mut all_candidates: Vec<(u32, u32, f64)> = Vec::new();
-    for part in parts.into_iter().flatten() {
-        let (pp, cc) = decode_rank_results(part);
-        merged.merge(&pp);
-        all_candidates.extend(cc);
-    }
-    for (sp, sc) in supplements.into_iter().flatten() {
-        merged.merge(&sp);
-        all_candidates.extend(sc);
-    }
-
-    let total_pairs = (n as u64) * (n as u64 - 1) / 2;
-    let threshold = match config.mi_threshold {
-        Some(t) => t,
-        None => merged.global_threshold(config.alpha, total_pairs.max(1)),
-    };
-    all_candidates.sort_by_key(|c| (c.0, c.1));
-    let network = GeneNetwork::from_edges(
-        n,
-        matrix.gene_names().to_vec(),
-        all_candidates
-            .into_iter()
-            .filter(|&(_, _, v)| v > threshold)
-            .map(|(i, j, v)| Edge::new(i, j, v as f32)),
-    );
-    Some((network, threshold, dead))
 }
 
 /// Recompute one reassigned block pair `{a, b}` from the shared matrix,
@@ -1198,6 +1210,7 @@ fn decode_rank_results(mut bytes: Bytes) -> (PooledNull, Vec<(u32, u32, f64)>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::block_pair_owner;
     use gnet_core::infer_network;
     use gnet_expr::synth::{coupled_pairs, Coupling};
     use gnet_fault::FaultPlan;
@@ -1367,6 +1380,80 @@ mod tests {
     fn too_many_ranks_rejected() {
         let (matrix, _) = coupled_pairs(2, 50, Coupling::Linear(0.5), 1);
         let _ = infer_network_distributed(&matrix, &cfg(), 10);
+    }
+
+    #[test]
+    fn stale_block_frame_is_consumed_not_fatal() {
+        // Regression pin for the PR-5 never-looping-receive bug: a
+        // stale (earlier-round) TAG_BLOCK frame queued ahead of the
+        // real one must be consumed by the receive loop, not mistaken
+        // for a protocol failure (which would spuriously heal the ring
+        // and abandon the real frame).
+        let fabric = Fabric::new(2);
+        let outputs = run_ranks_on(fabric, |ep| {
+            if ep.rank() == 0 {
+                // A delayed round-1 frame arrives ahead of round 2's.
+                ep.send(1, frame(TAG_BLOCK, 1, b"stale"));
+                ep.send(1, frame(TAG_BLOCK, 2, b"real"));
+                return true;
+            }
+            // Rank 1 of a (virtual) 4-rank ring, already past round 1
+            // and waiting on its round-2 block from rank 0.
+            let mut machine = RankMachine::new(1, 4, Mutation::None);
+            let (_, wait) = machine.step(ProtoEvent::Start);
+            assert_eq!(wait, Wait::Recv { from: 0 });
+            let (_, wait) =
+                machine.step(ProtoEvent::Frame(ProtoFrame::Block { round: 1, block: 0 }));
+            assert_eq!(wait, Wait::Recv { from: 0 });
+
+            let mut block_payload = None;
+            let mut pending_payload = None;
+            let mut reason = "";
+            let timeout = Duration::from_secs(5);
+            // First receive surfaces the stale frame; the machine must
+            // discard it silently and keep waiting on the same channel.
+            let ev = recv_event(
+                &ep,
+                0,
+                timeout,
+                true,
+                &mut block_payload,
+                &mut pending_payload,
+                &mut reason,
+            );
+            assert_eq!(
+                ev,
+                ProtoEvent::Frame(ProtoFrame::Block { round: 1, block: 0 })
+            );
+            let (fx, wait) = machine.step(ev);
+            assert!(fx.is_empty(), "stale frame must have no effects: {fx:?}");
+            assert_eq!(wait, Wait::Recv { from: 0 });
+            // Second receive is the real round-2 frame — accepted.
+            let ev = recv_event(
+                &ep,
+                0,
+                timeout,
+                true,
+                &mut block_payload,
+                &mut pending_payload,
+                &mut reason,
+            );
+            // (Identity derives from the round stamp and the *fabric*
+            // size — 2 ranks here — so it is 1, not the virtual ring's
+            // 3; the machine only checks the round stamp.)
+            assert_eq!(
+                ev,
+                ProtoEvent::Frame(ProtoFrame::Block { round: 2, block: 1 })
+            );
+            let (fx, _) = machine.step(ev);
+            assert!(
+                fx.contains(&Effect::AcceptBlock),
+                "real frame must be accepted: {fx:?}"
+            );
+            assert_eq!(block_payload.as_deref(), Some(&b"real"[..]));
+            true
+        });
+        assert_eq!(outputs, vec![true, true]);
     }
 
     // ---- failure-aware paths ----

@@ -37,10 +37,15 @@
 pub mod codec;
 pub mod comm;
 pub mod distributed;
+pub mod protocol;
 
 pub use codec::CodecError;
 pub use comm::{run_ranks, run_ranks_on, CommStats, Endpoint, Fabric, RecvTimeoutError};
 pub use distributed::{
     infer_network_distributed, infer_network_distributed_faulty, infer_network_distributed_traced,
     ClusterError, DistributedResult, RankStats, DEFAULT_PEER_TIMEOUT,
+};
+pub use protocol::{
+    block_pair_owner, block_range, redistribute, Effect, Event, Frame, Mutation, Phase,
+    RankMachine, Wait,
 };

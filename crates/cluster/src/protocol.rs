@@ -1,0 +1,679 @@
+//! The ring protocol as a pure step function.
+//!
+//! [`distributed`](crate::distributed) used to interleave the protocol
+//! decisions (which frame to accept, who owns a block pair, how a dead
+//! rank's work is redistributed) with the compute and I/O that act on
+//! them. This module lifts every decision into [`RankMachine`] — a
+//! deterministic state machine with no clocks, threads, or byte buffers
+//! — so that the *same code* can be driven two ways:
+//!
+//! * by the real interpreter in [`crate::distributed`], which feeds it
+//!   parsed frames and executes its [`Effect`]s against the fabric and
+//!   the MI kernels; and
+//! * by the model checker in `gnet-analysis`, which feeds it schedules
+//!   (delivery orders, delays, duplicates, crashes) and checks the
+//!   emitted effects against the protocol's correctness oracles.
+//!
+//! A machine is always blocked on a [`Wait`]; [`RankMachine::step`]
+//! consumes one [`Event`] and returns the [`Effect`]s to perform plus
+//! the next wait. Frames carry *identities* (block index, assignment
+//! pairs), never payload bytes — the interpreter owns the bytes.
+//!
+//! [`Mutation`] deliberately re-introduces three historical protocol
+//! bugs. Production always runs [`Mutation::None`]; the mutants exist
+//! so the model checker can prove, in its self-check, that it detects
+//! each class of bug with a shrunk, replayable schedule.
+
+/// Contiguous block bounds of rank `r` among `p` ranks over `n` genes.
+#[must_use]
+pub fn block_range(n: usize, p: usize, r: usize) -> (usize, usize) {
+    let base = n / p;
+    let extra = n % p;
+    let start = r * base + r.min(extra);
+    let len = base + usize::from(r < extra);
+    (start, start + len)
+}
+
+/// Owner of the unordered block pair `{a, b}` among `p` ranks: the rank
+/// that meets the partner block in the earlier ring round (ties to the
+/// smaller rank). For `a == b` the owner is `a`.
+#[must_use]
+pub fn block_pair_owner(a: usize, b: usize, p: usize) -> usize {
+    if a == b {
+        return a;
+    }
+    let delta_b = (b + p - a) % p; // round at which b holds block a
+    let delta_a = (a + p - b) % p; // round at which a holds block b
+    match delta_b.cmp(&delta_a) {
+        std::cmp::Ordering::Less => b,
+        std::cmp::Ordering::Greater => a,
+        std::cmp::Ordering::Equal => a.min(b),
+    }
+}
+
+/// Redistribute every block pair owned by a rank in `dead`, round-robin
+/// over the survivors (rank 0 included) in lexicographic pair order —
+/// deterministic given the dead set. Returns one assignment list per
+/// rank; dead ranks get empty lists.
+#[must_use]
+pub fn redistribute(p: usize, dead: &[usize]) -> Vec<Vec<(usize, usize)>> {
+    redistribute_mutated(p, dead, false)
+}
+
+/// [`redistribute`], optionally mutated ([`Mutation::DoubleRedistribute`])
+/// to hand each dead-owned pair to *two* survivors — the double-counting
+/// bug the model checker's self-check must catch.
+fn redistribute_mutated(p: usize, dead: &[usize], double: bool) -> Vec<Vec<(usize, usize)>> {
+    let mut assignments: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
+    if dead.is_empty() {
+        return assignments;
+    }
+    let survivors: Vec<usize> = (0..p).filter(|x| !dead.contains(x)).collect();
+    let mut cursor = 0usize;
+    for a in 0..p {
+        for b in a..p {
+            if dead.contains(&block_pair_owner(a, b, p)) {
+                assignments[survivors[cursor % survivors.len()]].push((a, b));
+                if double {
+                    assignments[survivors[(cursor + 1) % survivors.len()]].push((a, b));
+                }
+                cursor += 1;
+            }
+        }
+    }
+    assignments
+}
+
+/// A protocol frame, by identity. The wire encoding (tag byte, round
+/// stamp, payload bytes) lives in the interpreter; the machine sees
+/// only what the protocol *decides on*.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Frame {
+    /// A travelling gene block: the ring round it belongs to and the
+    /// global index of the block it carries.
+    Block {
+        /// Ring round this frame was sent for.
+        round: u32,
+        /// Which of the `p` blocks the payload is.
+        block: usize,
+    },
+    /// A rank's phase-1 results (pooled nulls + candidates).
+    Results,
+    /// The coordinator's reassignment of dead ranks' block pairs.
+    Assign {
+        /// Block pairs the receiving rank must recompute.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// A rank's recomputed share of reassigned work.
+    Supplement,
+}
+
+/// One input to [`RankMachine::step`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Begin the protocol (local block is prepared).
+    Start,
+    /// A frame arrived on the channel the machine is waiting on.
+    Frame(Frame),
+    /// The bounded receive failed: timeout, peer disconnect, or an
+    /// unparseable frame. The protocol treats all three identically.
+    Timeout,
+}
+
+/// What the machine is blocked on after a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Wait {
+    /// Blocked in a bounded receive on the channel from `from`.
+    Recv {
+        /// Peer rank being awaited.
+        from: usize,
+    },
+    /// Protocol complete; the machine will not step again.
+    Done,
+}
+
+/// A side effect the interpreter (or model-checker world) must perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// Send `frame` to rank `to`.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Frame to encode and send.
+        frame: Frame,
+    },
+    /// Compute all pairs within the rank's own block.
+    ComputeDiag,
+    /// The incoming frame was accepted as this round's travelling
+    /// block; the interpreter adopts its payload.
+    AcceptBlock,
+    /// Compute the cross pairs between the rank's own block and `block`
+    /// (the travelling block just accepted or healed).
+    ComputeCross {
+        /// Foreign block index.
+        block: usize,
+    },
+    /// The expected frame was lost: rebuild `block` from the shared
+    /// matrix and adopt it as the new travelling block (ring healing).
+    Heal {
+        /// Block index the rank was due this round.
+        block: usize,
+    },
+    /// Recompute the given reassigned block pairs and add them to this
+    /// rank's supplement.
+    ComputeAssigned {
+        /// Block pairs to recompute, in order.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// Coordinator: rank `from`'s phase-1 results arrived; merge them.
+    AcceptResults {
+        /// Reporting rank.
+        from: usize,
+    },
+    /// Coordinator: rank `rank` failed the census and is presumed dead.
+    PresumeDead {
+        /// Rank that never reported.
+        rank: usize,
+    },
+    /// Coordinator: the census found dead ranks and redistributed their
+    /// block pairs over the survivors.
+    Redistributed {
+        /// Number of ranks presumed dead.
+        dead_ranks: usize,
+        /// Total block pairs reassigned.
+        block_pairs: usize,
+        /// Number of surviving ranks.
+        survivors: usize,
+    },
+    /// Coordinator: rank `from`'s supplement arrived; merge it.
+    AcceptSupplement {
+        /// Supplementing rank.
+        from: usize,
+    },
+    /// Coordinator backstop: a survivor's supplement never arrived —
+    /// recompute its share locally.
+    RecomputeShare {
+        /// Rank whose share is being recomputed.
+        from: usize,
+        /// That rank's assigned block pairs.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// Coordinator: all parts collected; merge and threshold.
+    Finalize {
+        /// Ranks presumed dead by the census.
+        dead: Vec<usize>,
+    },
+}
+
+/// Coarse protocol phase, for the interpreter's tracing spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Local prep, diagonal block, and ring rotation.
+    Ring,
+    /// Census / assignment / supplement endgame.
+    Endgame,
+    /// Protocol complete.
+    Done,
+}
+
+/// Deliberately re-introduced protocol bugs for the model checker's
+/// self-check. Production code always uses [`Mutation::None`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// Drop the stale-frame round check in the ring receive: any
+    /// `Block` frame is accepted as the current round's (the PR-5
+    /// never-looping-receive bug, in its harmful form — a delayed
+    /// frame corrupts the travelling-block identity).
+    AcceptAnyRound,
+    /// Redistribute each dead rank's block pair to *two* survivors,
+    /// double-counting its nulls and candidates.
+    DoubleRedistribute,
+    /// Skip the coordinator's supplement backstop: a survivor whose
+    /// supplement is lost silently loses its share.
+    SkipSupplementBackstop,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum State {
+    Idle,
+    Ring { d: usize },
+    Census { from: usize },
+    AwaitAssign,
+    AwaitSupplement { from: usize },
+    Done,
+}
+
+/// One rank's protocol state machine. See the module docs for the
+/// driving contract. `Hash`/`Eq` cover the complete protocol state,
+/// which is what lets the model checker deduplicate world states.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RankMachine {
+    r: usize,
+    p: usize,
+    rounds: usize,
+    next: usize,
+    prev: usize,
+    /// Identity of the block this rank is currently forwarding.
+    travelling: usize,
+    dead: Vec<usize>,
+    assignments: Vec<Vec<(usize, usize)>>,
+    mutation: Mutation,
+    state: State,
+}
+
+impl RankMachine {
+    /// Machine for rank `r` of `p`, optionally mutated.
+    ///
+    /// # Panics
+    /// Panics if `r >= p` or `p == 0`.
+    #[must_use]
+    pub fn new(r: usize, p: usize, mutation: Mutation) -> Self {
+        assert!(p >= 1 && r < p, "rank {r} out of range for {p} ranks");
+        Self {
+            r,
+            p,
+            rounds: p / 2,
+            next: (r + 1) % p,
+            prev: (r + p - 1) % p,
+            travelling: r,
+            dead: Vec::new(),
+            assignments: Vec::new(),
+            mutation,
+            state: State::Idle,
+        }
+    }
+
+    /// This machine's rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.r
+    }
+
+    /// Coarse phase, for tracing-span management in the interpreter.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        match self.state {
+            State::Idle | State::Ring { .. } => Phase::Ring,
+            State::Done => Phase::Done,
+            _ => Phase::Endgame,
+        }
+    }
+
+    /// Consume one event; return the effects to perform and the next
+    /// wait. Stepping a [`Wait::Done`] machine is a no-op.
+    pub fn step(&mut self, event: Event) -> (Vec<Effect>, Wait) {
+        let mut fx = Vec::new();
+        let wait = match (self.state.clone(), event) {
+            (State::Idle, Event::Start) => {
+                fx.push(Effect::ComputeDiag);
+                self.travelling = self.r;
+                self.begin_round(1, &mut fx)
+            }
+            (State::Ring { d }, Event::Frame(Frame::Block { round, block })) => {
+                let d32 = d as u32;
+                if self.mutation != Mutation::AcceptAnyRound && round < d32 {
+                    // Stale delayed frame: discard and keep waiting.
+                    Wait::Recv { from: self.prev }
+                } else if round > d32 {
+                    // A frame from a future round on the ring channel is
+                    // "unexpected" to the bounded receive — same cure as
+                    // a loss: heal and move on. (The frame is consumed.)
+                    self.heal_and_advance(d, &mut fx)
+                } else {
+                    // Accepted as this round's block. Under the faithful
+                    // protocol `block == (r − d) mod p`; the mutant may
+                    // adopt a stale frame's wrong identity here.
+                    self.travelling = block;
+                    fx.push(Effect::AcceptBlock);
+                    self.compute_cross_if_owner(d, block, &mut fx);
+                    self.begin_round(d + 1, &mut fx)
+                }
+            }
+            (State::Ring { d }, Event::Timeout) => self.heal_and_advance(d, &mut fx),
+            (State::Ring { d }, Event::Frame(_)) => {
+                // A results/assign/supplement frame on the ring channel
+                // (possible only from rank p−1 to rank 0 after a block
+                // loss): "unexpected" to the bounded receive — the
+                // frame is consumed and the ring heals.
+                self.heal_and_advance(d, &mut fx)
+            }
+            (State::Census { from }, Event::Frame(Frame::Results)) => {
+                fx.push(Effect::AcceptResults { from });
+                self.next_census(from + 1, &mut fx)
+            }
+            (State::Census { from }, Event::Frame(Frame::Block { .. })) => {
+                // Stale ring traffic on the results channel: skip it.
+                Wait::Recv { from }
+            }
+            (State::Census { from }, _) => {
+                // Timeout, disconnect, or a frame the census has no
+                // business seeing: the rank is presumed dead.
+                self.dead.push(from);
+                fx.push(Effect::PresumeDead { rank: from });
+                self.next_census(from + 1, &mut fx)
+            }
+            (State::AwaitSupplement { from }, Event::Frame(Frame::Supplement)) => {
+                fx.push(Effect::AcceptSupplement { from });
+                self.await_supplement(from + 1, &mut fx)
+            }
+            (State::AwaitSupplement { from }, Event::Frame(Frame::Block { .. })) => {
+                Wait::Recv { from }
+            }
+            (State::AwaitSupplement { from }, _) => {
+                // Supplement lost. The backstop recomputes the share
+                // locally — unless the mutant under test removed it.
+                if self.mutation != Mutation::SkipSupplementBackstop {
+                    fx.push(Effect::RecomputeShare {
+                        from,
+                        pairs: self.assignments[from].clone(),
+                    });
+                }
+                self.await_supplement(from + 1, &mut fx)
+            }
+            (State::AwaitAssign, Event::Frame(Frame::Assign { pairs })) => {
+                if !pairs.is_empty() {
+                    fx.push(Effect::ComputeAssigned { pairs });
+                }
+                fx.push(Effect::Send {
+                    to: 0,
+                    frame: Frame::Supplement,
+                });
+                self.state = State::Done;
+                Wait::Done
+            }
+            (State::AwaitAssign, Event::Frame(Frame::Block { .. })) => Wait::Recv { from: 0 },
+            (State::AwaitAssign, _) => {
+                // Assignment lost or coordinator gone: terminate. The
+                // coordinator's backstop covers our share if it was real.
+                self.state = State::Done;
+                Wait::Done
+            }
+            (State::Done, _) => Wait::Done,
+            (state, event) => {
+                // Machine-driving bug, not a protocol decision: the
+                // interpreter/world delivered an impossible event.
+                unreachable!("rank {} cannot take {event:?} in {state:?}", self.r)
+            }
+        };
+        (fx, wait)
+    }
+
+    /// Owner check for round `d`, computing against the block the frame
+    /// *claims* to be (`block`) while ownership follows the arithmetic
+    /// identity — exactly the real code's split, which is what makes
+    /// the `AcceptAnyRound` mutant observable.
+    fn compute_cross_if_owner(&self, d: usize, block: usize, fx: &mut Vec<Effect>) {
+        let held = (self.r + self.p - d) % self.p;
+        if block_pair_owner(self.r, held, self.p) == self.r {
+            fx.push(Effect::ComputeCross { block });
+        }
+    }
+
+    fn heal_and_advance(&mut self, d: usize, fx: &mut Vec<Effect>) -> Wait {
+        let held = (self.r + self.p - d) % self.p;
+        fx.push(Effect::Heal { block: held });
+        self.travelling = held;
+        self.compute_cross_if_owner(d, held, fx);
+        self.begin_round(d + 1, fx)
+    }
+
+    fn begin_round(&mut self, d: usize, fx: &mut Vec<Effect>) -> Wait {
+        if d <= self.rounds {
+            fx.push(Effect::Send {
+                to: self.next,
+                frame: Frame::Block {
+                    round: d as u32,
+                    block: self.travelling,
+                },
+            });
+            self.state = State::Ring { d };
+            Wait::Recv { from: self.prev }
+        } else if self.r == 0 {
+            self.next_census(1, fx)
+        } else {
+            fx.push(Effect::Send {
+                to: 0,
+                frame: Frame::Results,
+            });
+            self.state = State::AwaitAssign;
+            Wait::Recv { from: 0 }
+        }
+    }
+
+    fn next_census(&mut self, from: usize, fx: &mut Vec<Effect>) -> Wait {
+        if from < self.p {
+            self.state = State::Census { from };
+            return Wait::Recv { from };
+        }
+        // Census complete: redistribute, assign, compute own share.
+        self.assignments = redistribute_mutated(
+            self.p,
+            &self.dead,
+            self.mutation == Mutation::DoubleRedistribute,
+        );
+        if !self.dead.is_empty() {
+            fx.push(Effect::Redistributed {
+                dead_ranks: self.dead.len(),
+                block_pairs: self.assignments.iter().map(Vec::len).sum(),
+                survivors: self.p - self.dead.len(),
+            });
+        }
+        for (to, pairs) in self.assignments.iter().enumerate().skip(1) {
+            fx.push(Effect::Send {
+                to,
+                frame: Frame::Assign {
+                    pairs: pairs.clone(),
+                },
+            });
+        }
+        if !self.assignments[0].is_empty() {
+            fx.push(Effect::ComputeAssigned {
+                pairs: self.assignments[0].clone(),
+            });
+        }
+        self.await_supplement(1, fx)
+    }
+
+    fn await_supplement(&mut self, from: usize, fx: &mut Vec<Effect>) -> Wait {
+        let mut f = from;
+        while f < self.p && self.dead.contains(&f) {
+            f += 1;
+        }
+        if f < self.p {
+            self.state = State::AwaitSupplement { from: f };
+            return Wait::Recv { from: f };
+        }
+        fx.push(Effect::Finalize {
+            dead: self.dead.clone(),
+        });
+        self.state = State::Done;
+        Wait::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sends(fx: &[Effect]) -> Vec<(usize, Frame)> {
+        fx.iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, frame } => Some((*to, frame.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_rank_finalizes_immediately() {
+        let mut m = RankMachine::new(0, 1, Mutation::None);
+        let (fx, wait) = m.step(Event::Start);
+        assert_eq!(wait, Wait::Done);
+        assert!(matches!(fx[0], Effect::ComputeDiag));
+        assert!(matches!(fx.last(), Some(Effect::Finalize { dead }) if dead.is_empty()));
+    }
+
+    #[test]
+    fn faithful_ring_computes_each_owned_pair_once() {
+        // Drive a 4-rank ring by hand with perfect delivery and check
+        // the union of computed pairs is exactly every unordered block
+        // pair, each once.
+        let p = 4;
+        let mut machines: Vec<_> = (0..p)
+            .map(|r| RankMachine::new(r, p, Mutation::None))
+            .collect();
+        let mut computed: Vec<(usize, usize)> = Vec::new();
+        let mut inflight: Vec<Vec<(usize, Frame)>> = vec![Vec::new(); p]; // per-sender
+        for (r, m) in machines.iter_mut().enumerate() {
+            let (fx, _) = m.step(Event::Start);
+            for e in &fx {
+                match e {
+                    Effect::ComputeDiag => computed.push((r, r)),
+                    Effect::Send { to, frame } => inflight[r].push((*to, frame.clone())),
+                    _ => {}
+                }
+            }
+        }
+        // Two synchronous ring rounds.
+        for _ in 0..p / 2 {
+            let mut next_inflight: Vec<Vec<(usize, Frame)>> = vec![Vec::new(); p];
+            for sent in &mut inflight {
+                for (to, frame) in std::mem::take(sent) {
+                    if matches!(frame, Frame::Block { .. }) {
+                        let (fx, _) = machines[to].step(Event::Frame(frame));
+                        for e in &fx {
+                            match e {
+                                Effect::ComputeCross { block } => {
+                                    let (a, b) = (to.min(*block), to.max(*block));
+                                    computed.push((a, b));
+                                }
+                                Effect::Send { to: t, frame: f } => {
+                                    next_inflight[to].push((*t, f.clone()));
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+            inflight = next_inflight;
+        }
+        let mut expect: Vec<(usize, usize)> = Vec::new();
+        for a in 0..p {
+            for b in a..p {
+                expect.push((a, b));
+            }
+        }
+        computed.sort_unstable();
+        assert_eq!(computed, expect);
+    }
+
+    #[test]
+    fn stale_frames_are_skipped_without_effects() {
+        let mut m = RankMachine::new(1, 4, Mutation::None);
+        let (_, w) = m.step(Event::Start);
+        assert_eq!(w, Wait::Recv { from: 0 });
+        // Accept round 1 normally, then a stale round-1 frame in round 2.
+        let (_, _) = m.step(Event::Frame(Frame::Block { round: 1, block: 0 }));
+        let (fx, w) = m.step(Event::Frame(Frame::Block { round: 1, block: 0 }));
+        assert!(fx.is_empty(), "stale frame must have no effects: {fx:?}");
+        assert_eq!(w, Wait::Recv { from: 0 });
+    }
+
+    #[test]
+    fn accept_any_round_mutant_adopts_stale_identity() {
+        let mut m = RankMachine::new(1, 4, Mutation::AcceptAnyRound);
+        let _ = m.step(Event::Start);
+        let _ = m.step(Event::Timeout); // round 1 lost: heal block 0
+        let (fx, _) = m.step(Event::Frame(Frame::Block { round: 1, block: 0 }));
+        // Round 2: the stale round-1 frame is adopted, so the mutant
+        // recomputes {0,1} instead of its owed {1,3}.
+        assert!(
+            fx.contains(&Effect::ComputeCross { block: 0 }),
+            "mutant must compute against the stale identity: {fx:?}"
+        );
+    }
+
+    #[test]
+    fn timeout_heals_the_due_block() {
+        let mut m = RankMachine::new(2, 4, Mutation::None);
+        let _ = m.step(Event::Start);
+        let (fx, _) = m.step(Event::Timeout);
+        assert!(fx.contains(&Effect::Heal { block: 1 }));
+        // Rank 2 owns {1,2} (meets block 1 in round 1).
+        assert!(fx.contains(&Effect::ComputeCross { block: 1 }));
+        // Healing forwards the rebuilt block as round 2's travelling.
+        assert!(sends(&fx)
+            .iter()
+            .any(|(to, f)| *to == 3 && matches!(f, Frame::Block { round: 2, block: 1 })));
+    }
+
+    #[test]
+    fn census_presumes_silent_ranks_dead_and_redistributes() {
+        let p = 3;
+        let mut m = RankMachine::new(0, p, Mutation::None);
+        let _ = m.step(Event::Start);
+        let _ = m.step(Event::Frame(Frame::Block { round: 1, block: 2 })); // ring round
+        let (_, w) = m.step(Event::Frame(Frame::Results)); // rank 1 reports
+        assert_eq!(w, Wait::Recv { from: 2 });
+        let (fx, w) = m.step(Event::Timeout); // rank 2 dead
+        assert!(fx.contains(&Effect::PresumeDead { rank: 2 }));
+        let expected = redistribute(p, &[2]);
+        let total: usize = expected.iter().map(Vec::len).sum();
+        assert!(total > 0, "rank 2 owns pairs that must be reassigned");
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Redistributed { dead_ranks: 1, block_pairs, survivors: 2 } if *block_pairs == total
+        )));
+        // Assignments go to every nonzero rank, dead or not.
+        assert_eq!(sends(&fx).len(), p - 1);
+        // Rank 1 is the only live supplement to wait for.
+        assert_eq!(w, Wait::Recv { from: 1 });
+        let (fx, w) = m.step(Event::Timeout); // rank 1's supplement lost
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::RecomputeShare { from: 1, pairs } if *pairs == expected[1]
+        )));
+        assert!(matches!(fx.last(), Some(Effect::Finalize { dead }) if dead == &vec![2]));
+        assert_eq!(w, Wait::Done);
+    }
+
+    #[test]
+    fn double_redistribute_mutant_assigns_pairs_twice() {
+        let plain = redistribute(4, &[3]);
+        let doubled = redistribute_mutated(4, &[3], true);
+        let n: usize = plain.iter().map(Vec::len).sum();
+        let d: usize = doubled.iter().map(Vec::len).sum();
+        assert_eq!(d, 2 * n);
+    }
+
+    #[test]
+    fn skip_backstop_mutant_drops_lost_shares() {
+        let mut m = RankMachine::new(0, 2, Mutation::SkipSupplementBackstop);
+        let _ = m.step(Event::Start);
+        let _ = m.step(Event::Frame(Frame::Block { round: 1, block: 1 }));
+        let _ = m.step(Event::Frame(Frame::Results));
+        let (fx, w) = m.step(Event::Timeout); // supplement lost
+        assert!(
+            !fx.iter()
+                .any(|e| matches!(e, Effect::RecomputeShare { .. })),
+            "mutant must skip the backstop: {fx:?}"
+        );
+        assert_eq!(w, Wait::Done);
+    }
+
+    #[test]
+    fn redistribution_is_balanced_and_deterministic() {
+        let a = redistribute(5, &[2, 4]);
+        let b = redistribute(5, &[2, 4]);
+        assert_eq!(a, b);
+        assert!(a[2].is_empty() && a[4].is_empty());
+        let loads: Vec<usize> = [0, 1, 3].iter().map(|&r| a[r].len()).collect();
+        let max = loads.iter().max().unwrap();
+        let min = loads.iter().min().unwrap();
+        assert!(max - min <= 1, "unbalanced: {loads:?}");
+    }
+}

@@ -14,8 +14,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> gnet analyze --deny"
-cargo run --release -p gnet-cli --bin gnet -- analyze --deny
+echo "==> gnet analyze --deny --deny-stale"
+cargo run --release -p gnet-cli --bin gnet -- analyze --deny --deny-stale
+
+echo "==> gnet analyze --protocol --self-check (quick bounds)"
+cargo run --release -p gnet-cli --bin gnet -- analyze --protocol --self-check
 
 echo "==> gnet analyze --concurrency (100 seeded runs)"
 cargo run --release -p gnet-cli --bin gnet -- analyze --concurrency --runs 100
