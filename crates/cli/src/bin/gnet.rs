@@ -10,7 +10,7 @@
 
 use gnet_cli::{
     cmd_analyze, cmd_bench, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score,
-    cmd_stats, cmd_topology, cmd_trace_report, ArgMap,
+    cmd_simd, cmd_stats, cmd_topology, cmd_trace_report, ArgMap,
 };
 
 const USAGE: &str = "\
@@ -36,7 +36,9 @@ subcommands:
             [--flame FILE] [--no-calibrate]
   bench     seeded benchmark suite + regression gate
             [--quick] [--reps K] [--out FILE] [--baseline FILE]
-            [--inject-slowdown F]
+            [--update-baseline] [--inject-slowdown F]
+  simd      report the SIMD backend the kernel dispatcher picked
+            [--verify (exit nonzero on an unhealthy dispatch)]
   score     score an edge list against a ground truth
             --edges FILE --truth FILE --matrix FILE
   topology  topology report of an edge list
@@ -76,6 +78,7 @@ fn main() {
         "topology" => cmd_topology(&args, &mut stdout),
         "trace-report" => cmd_trace_report(&args, &mut stdout),
         "bench" => cmd_bench(&args, &mut stdout),
+        "simd" => cmd_simd(&args, &mut stdout),
         "analyze" => cmd_analyze(&args, &mut stdout),
         "conformance" => cmd_conformance(&args, &mut stdout),
         "stats" => cmd_stats(&args, &mut stdout),

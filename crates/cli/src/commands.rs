@@ -857,10 +857,18 @@ pub fn cmd_trace_report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliErr
 ///
 /// Options: `--quick` (smaller shapes, 3 reps — the PR-CI mode),
 /// `--reps K` (override repetitions), `--out FILE` (artifact path,
-/// default `BENCH_5.json`), `--baseline FILE` (compare against a
+/// default `BENCH_7.json`), `--baseline FILE` (compare against a
 /// committed artifact and exit nonzero on statistically significant
-/// regressions), `--inject-slowdown F` (artificially slow the vector
-/// kernel by F× — the gate's self-test hook).
+/// regressions), `--update-baseline` (with `--baseline`: overwrite the
+/// baseline file with this run instead of gating against it — the
+/// re-baselining path after a real speedup), `--inject-slowdown F`
+/// (artificially slow the vector kernel by F× — the gate's self-test
+/// hook).
+///
+/// When a candidate minimum undercuts the baseline by more than the
+/// stale gate (`min < base × 0.5`), the command prints a warning: the
+/// committed numbers no longer anchor the regression gate and should be
+/// refreshed with `--update-baseline`.
 pub fn cmd_bench(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     use gnet_obs::bench;
 
@@ -872,11 +880,15 @@ pub fn cmd_bench(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         ),
         None => None,
     };
-    let out_path = args.get("out").unwrap_or("BENCH_5.json").to_string();
+    let out_path = args.get("out").unwrap_or("BENCH_7.json").to_string();
     let baseline_path = args.get("baseline").map(str::to_string);
+    let update_baseline = args.flag("update-baseline");
     let slowdown = args.get_or("inject-slowdown", 1.0f64)?;
     if !(1.0..=64.0).contains(&slowdown) {
         return fail("--inject-slowdown must be in [1, 64]");
+    }
+    if update_baseline && baseline_path.is_none() {
+        return fail("--update-baseline needs --baseline FILE (the artifact to refresh)");
     }
     args.reject_unknown()?;
 
@@ -922,6 +934,22 @@ pub fn cmd_bench(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
                 if suite.quick { "quick" } else { "full" },
             ));
         }
+        for w in bench::improvements(&base, &suite) {
+            writeln!(
+                out,
+                "WARNING {:<20} {:.1} us -> {:.1} us ({:.2}x faster): baseline is stale \
+                 — refresh it with --update-baseline",
+                w.id, w.base_min_us, w.cand_min_us, w.speedup
+            )?;
+        }
+        if update_baseline {
+            // Re-baselining: this run *becomes* the committed numbers, so
+            // gating it against the numbers it replaces would be circular.
+            std::fs::write(&bp, bench::to_json(&suite))
+                .map_err(|e| CliError(format!("cannot update baseline {bp}: {e}")))?;
+            writeln!(out, "updated baseline {bp} from this run")?;
+            return Ok(());
+        }
         let regressions = bench::compare(&base, &suite);
         if regressions.is_empty() {
             writeln!(out, "no significant regressions vs {bp}")?;
@@ -936,6 +964,63 @@ pub fn cmd_bench(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
             return fail(format!(
                 "{} benchmark regression(s) vs {bp}",
                 regressions.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `gnet simd` — report which SIMD backend the kernel dispatcher picked.
+///
+/// Prints the detected-best backend, the active backend, every backend
+/// this host supports, and — when `GNET_SIMD_FORCE` was set — whether
+/// the request was honored.
+///
+/// Options: `--verify` — exit nonzero unless the dispatch is healthy:
+/// an env force must have been honored, and without one the active
+/// backend must be the detected best (a host that claims AVX-512 but
+/// dispatches a fallback is exactly the silent inversion this command
+/// exists to catch).
+pub fn cmd_simd(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let verify = args.flag("verify");
+    args.reject_unknown()?;
+
+    let report = gnet_simd::dispatch_report();
+    writeln!(out, "detected  {}", report.detected)?;
+    writeln!(out, "active    {}", report.active)?;
+    let supported = report
+        .supported
+        .iter()
+        .map(|b| b.name())
+        .collect::<Vec<_>>()
+        .join(" ");
+    writeln!(out, "supported {supported}")?;
+    match &report.env_request {
+        Some(req) => writeln!(
+            out,
+            "forced    GNET_SIMD_FORCE={req} ({})",
+            if report.env_honored {
+                "honored"
+            } else {
+                "NOT honored"
+            }
+        )?,
+        None => writeln!(out, "forced    (GNET_SIMD_FORCE unset)")?,
+    }
+
+    if verify {
+        if !report.env_honored {
+            return fail(format!(
+                "GNET_SIMD_FORCE={} was not honored — active backend is {}",
+                report.env_request.as_deref().unwrap_or("?"),
+                report.active
+            ));
+        }
+        if report.env_request.is_none() && report.active != report.detected {
+            return fail(format!(
+                "dispatch selected {} but this host supports {} — the fast backend was \
+                 silently skipped",
+                report.active, report.detected
             ));
         }
     }
@@ -1343,6 +1428,27 @@ mod tests {
     }
 
     #[test]
+    fn simd_reports_dispatch_and_verifies_clean() {
+        // No GNET_SIMD_FORCE in the test environment, so active must be
+        // the detected best and --verify must pass.
+        let mut out = Vec::new();
+        cmd_simd(&argmap(&["--verify"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("detected"), "{text}");
+        assert!(text.contains("active"), "{text}");
+        assert!(text.contains("supported"), "{text}");
+        // Every host supports at least the emulated backend.
+        assert!(text.contains("emulated"), "{text}");
+    }
+
+    #[test]
+    fn bench_update_baseline_needs_a_baseline() {
+        let mut out = Vec::new();
+        let err = cmd_bench(&argmap(&["--update-baseline", "--quick"]), &mut out).unwrap_err();
+        assert!(err.0.contains("--baseline"), "{}", err.0);
+    }
+
+    #[test]
     fn bad_kernel_name_rejected() {
         let args = argmap(&["--input", "x", "--output", "y", "--kernel", "gpu"]);
         let mut out = Vec::new();
@@ -1743,8 +1849,8 @@ mod tests {
     #[test]
     fn bench_writes_artifact_and_gates_on_baseline() {
         let dir = tmpdir("bench");
-        let artifact = dir.join("BENCH_5.json");
-        let candidate = dir.join("BENCH_5.cand.json");
+        let artifact = dir.join("BENCH_7.json");
+        let candidate = dir.join("BENCH_7.cand.json");
         let mut out = Vec::new();
         cmd_bench(
             &argmap(&[
@@ -1785,8 +1891,8 @@ mod tests {
     #[test]
     fn bench_gate_trips_on_injected_vector_slowdown() {
         let dir = tmpdir("bench_slow");
-        let artifact = dir.join("BENCH_5.json");
-        let candidate = dir.join("BENCH_5.cand.json");
+        let artifact = dir.join("BENCH_7.json");
+        let candidate = dir.join("BENCH_7.cand.json");
         let mut out = Vec::new();
         cmd_bench(
             &argmap(&[

@@ -7,7 +7,10 @@
 //! * **Kernel** (`ScalarSparse` vs `VectorDense`): *tolerance*-equal. The
 //!   two kernels accumulate the same joint histogram in different f32
 //!   summation orders, so last-ulp drift is expected; the bound is the
-//!   stated [`crate::TolerancePolicy::kernel_abs`].
+//!   stated [`crate::TolerancePolicy::kernel_abs`]. The differential is
+//!   repeated with the vector kernel forced onto every SIMD backend this
+//!   host supports, so each set of intrinsics is held to the grade
+//!   independently of what runtime dispatch would pick.
 //! * **Scheduler** (4 policies × thread counts vs the serial baseline):
 //!   *bit*-equal. Scheduling only changes which thread computes a pair,
 //!   never the per-pair arithmetic, so the packed MI array must match the
@@ -38,6 +41,7 @@ use gnet_mi::gene::{mi_scalar, mi_vector, mi_with_nulls, prepare_matrix, MiKerne
 use gnet_mi::PreparedGene;
 use gnet_parallel::{compute_pairwise, pair_index, SchedulerPolicy};
 use gnet_permute::PermutationSet;
+use gnet_simd::dispatch::{with_forced, Backend};
 use gnet_trace::Recorder;
 
 /// What one oracle found on one dataset.
@@ -105,9 +109,29 @@ where
     OracleOutcome::clean(checks)
 }
 
-/// Kernel differential on the real kernels, including the permuted
-/// (null-evaluation) paths the pipeline exercises per pair.
+/// Kernel differential on the real kernels, run once per supported SIMD
+/// dispatch backend (emulated / AVX2 / AVX-512): the scalar oracle must
+/// hold whichever backend the vector kernel lands on, so a backend whose
+/// intrinsics drift out of grade is caught here, not just on the machine
+/// that happens to dispatch to it by default. Violations name the
+/// backend that produced them.
 pub(crate) fn kernel_oracle(spec: &DatasetSpec, tol: &TolerancePolicy) -> OracleOutcome {
+    let mut checks = 0;
+    for backend in Backend::supported() {
+        let outcome = with_forced(backend, || kernel_oracle_one_backend(spec, tol))
+            .unwrap_or_else(|e| unreachable!("supported backend must force cleanly: {e}"));
+        checks += outcome.checks;
+        if let Some(detail) = outcome.violation {
+            return OracleOutcome::fail(checks, format!("[backend {backend}] {detail}"));
+        }
+    }
+    OracleOutcome::clean(checks)
+}
+
+/// One backend's scalar-vs-vector differential, including the permuted
+/// (null-evaluation) paths the pipeline exercises per pair. Runs under
+/// whatever dispatch backend is active when called.
+fn kernel_oracle_one_backend(spec: &DatasetSpec, tol: &TolerancePolicy) -> OracleOutcome {
     let mut scratch = MiScratch::for_basis(&basis());
     let observed = kernel_oracle_with(spec, tol, &mut |x, y, yd| mi_vector(x, y, yd, &mut scratch));
     if observed.violation.is_some() {

@@ -6,7 +6,8 @@
 //!
 //! | family        | oracle                                              | grade      |
 //! |---------------|-----------------------------------------------------|------------|
-//! | `kernel`      | `ScalarSparse` vs `VectorDense`, observed + nulls   | tolerance  |
+//! | `kernel`      | `ScalarSparse` vs `VectorDense`, observed + nulls,  | tolerance  |
+//! |               | repeated per supported SIMD dispatch backend        |            |
 //! | `scheduler`   | 4 policies × thread counts vs serial baseline       | bitwise    |
 //! | `distributed` | `{1,2,4,8}`-rank runs                               | bytewise   |
 //! | `recovery`    | resume-from-checkpoint & rank-crash vs clean runs   | bitwise    |
@@ -320,5 +321,22 @@ mod tests {
         };
         let outcome = differential::kernel_oracle(&spec, &TolerancePolicy::default());
         assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    }
+
+    #[test]
+    fn kernel_oracle_runs_once_per_supported_backend() {
+        let spec = DatasetSpec {
+            class: DatasetClass::CoupledLinear,
+            genes: 5,
+            samples: 20,
+            seed: 3,
+        };
+        let outcome = differential::kernel_oracle(&spec, &TolerancePolicy::default());
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        // Per backend: C(5,2) = 10 observed checks plus 10 pairs × 2
+        // permuted nulls = 30; the oracle must repeat that for every
+        // backend this host supports (at minimum the emulated one).
+        let backends = gnet_simd::dispatch::Backend::supported().len();
+        assert_eq!(outcome.checks, 30 * backends);
     }
 }

@@ -21,7 +21,7 @@
 
 use crate::entropy::entropy_from_counts;
 use gnet_bspline::{DenseWeights, SparseWeights};
-use gnet_simd::slice_ops::axpy;
+use gnet_simd::slice_ops::{axpy, joint_accumulate_w16};
 use gnet_simd::F32x16;
 
 /// Reusable joint-grid scratch for the vector kernel: `bins` rows padded to
@@ -94,10 +94,12 @@ pub fn joint_counts(x: &SparseWeights, y: &DenseWeights, grid: &mut VectorGrid) 
 
 /// Fast path for the ubiquitous one-register-row layout (`stride == 16`,
 /// i.e. `b ≤ 16`, which covers the TINGe default of 10 bins): the whole
-/// joint grid lives in a `[F32x16; 16]` stack array, so each sample is `k`
-/// register FMAs against L1-resident accumulators with no bounds checks in
-/// the inner loop. Returns `false` (doing nothing) when the layout does
-/// not fit, letting the caller fall back to the general row loop.
+/// joint-grid update is handed to the dispatched
+/// [`joint_accumulate_w16`] slice kernel, where each sample is `k`
+/// contiguous row FMAs — one 512-bit `vfmadd` per row on AVX-512, two
+/// 256-bit ones on AVX2, and the portable `F32x16` loop on the emulated
+/// backend. Returns `false` (doing nothing) when the layout does not fit,
+/// letting the caller fall back to the general row loop.
 fn joint_counts_w16(
     x: &SparseWeights,
     y: &DenseWeights,
@@ -105,41 +107,21 @@ fn joint_counts_w16(
     grid: &mut VectorGrid,
 ) -> bool {
     const W: usize = F32x16::LANES;
-    if y.stride() != W || grid.bins > W {
+    if y.stride() != W || grid.stride != W || grid.bins > W {
         return false;
     }
     let k = x.order();
     if k > 8 {
         return false;
     }
-    let mut acc = [F32x16::zero(); 16];
-    let m = x.samples();
-    match perm {
-        None => {
-            for s in 0..m {
-                let y_row = F32x16::from_slice(y.row(s));
-                let fx = x.first_bin(s);
-                let wx = x.sample_weights(s);
-                for i in 0..k {
-                    acc[fx + i] = y_row.mul_add(F32x16::splat(wx[i]), acc[fx + i]);
-                }
-            }
-        }
-        Some(p) => {
-            for (s, &py) in p.iter().enumerate() {
-                // cast-ok: u32 to usize widens losslessly
-                let y_row = F32x16::from_slice(y.row(py as usize));
-                let fx = x.first_bin(s);
-                let wx = x.sample_weights(s);
-                for i in 0..k {
-                    acc[fx + i] = y_row.mul_add(F32x16::splat(wx[i]), acc[fx + i]);
-                }
-            }
-        }
-    }
-    for (r, v) in acc.iter().enumerate().take(grid.bins) {
-        v.write_to_slice(grid.row_mut(r));
-    }
+    joint_accumulate_w16(
+        &mut grid.data,
+        x.first_bins_flat(),
+        x.weights_flat(),
+        k,
+        y.as_slice(),
+        perm,
+    );
     true
 }
 

@@ -1,7 +1,8 @@
 //! Seeded fixed-shape benchmark suite with a statistical regression gate.
 //!
 //! `gnet bench` runs a small, deterministic-shape suite — the scalar and
-//! vector MI kernels, the four scheduler policies, and 2/4-rank
+//! vector MI kernels (the latter also re-timed with each supported SIMD
+//! backend forced), the four scheduler policies, and 2/4-rank
 //! in-process ring runs — with min-of-k repetitions, and summarizes each
 //! series as `(min, median, MAD)`. The *minimum* is the estimator (the
 //! least-noise observation of the true cost on a shared machine); the
@@ -32,19 +33,27 @@ use gnet_mi::mutation::{KernelMutation, MutatedVectorKernel};
 use gnet_mi::{mi_with_nulls, prepare_gene, MiKernel, MiScratch};
 use gnet_parallel::SchedulerPolicy;
 use gnet_permute::PermutationSet;
+use gnet_simd::dispatch::{with_forced, Backend};
 use serde::Content;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Schema version of `BENCH_*.json` files.
 pub const BENCH_FORMAT_VERSION: u64 = 1;
-/// Issue number stamped into the artifact name (`BENCH_5.json`).
-pub const BENCH_ISSUE: u64 = 5;
+/// Issue number stamped into the artifact name (`BENCH_7.json`).
+pub const BENCH_ISSUE: u64 = 7;
 /// Relative slowdown a candidate must exceed to regress (1.30 = +30 %).
 pub const RATIO_GATE: f64 = 1.30;
 /// Noise multiplier: candidate must also exceed the baseline by this
 /// many MADs (whichever side's MAD is larger).
 pub const NOISE_GATE: f64 = 5.0;
+/// A candidate minimum below `base_min × STALE_GATE` means the committed
+/// baseline is stale: the code got ≥2× faster and the gate's +30 % band
+/// now starts from a number that no longer describes the machine's real
+/// cost, so a later regression back to the old speed would pass silently.
+/// `gnet bench --baseline` surfaces these as improvements and suggests
+/// `--update-baseline`.
+pub const STALE_GATE: f64 = 0.5;
 
 /// Suite options.
 #[derive(Clone, Copy, Debug)]
@@ -123,6 +132,20 @@ pub struct Regression {
     pub ratio: f64,
     /// The threshold the candidate exceeded, µs.
     pub threshold_us: f64,
+}
+
+/// One entry that got so much faster the baseline is stale (see
+/// [`STALE_GATE`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Improvement {
+    /// Benchmark id.
+    pub id: String,
+    /// Baseline minimum, µs.
+    pub base_min_us: f64,
+    /// Candidate minimum, µs.
+    pub cand_min_us: f64,
+    /// Baseline / candidate (the speedup).
+    pub speedup: f64,
 }
 
 fn median(sorted: &[f64]) -> f64 {
@@ -291,12 +314,25 @@ fn ring_bench(ranks: usize, opts: &BenchOptions) -> BenchEntry {
 }
 
 /// Run the full suite.
+///
+/// Besides the dispatched `kernel.vector` series, the suite re-times the
+/// vector kernel with each supported SIMD backend forced in turn
+/// (`kernel.vector.avx512` / `kernel.vector.avx2` /
+/// `kernel.vector.emulated`), so one artifact records both what the
+/// dispatcher picked *and* what each backend costs on this machine —
+/// the evidence that the dispatch order is the fastest-first order.
 #[must_use]
 pub fn run_suite(opts: &BenchOptions) -> BenchSuite {
     let mut entries = vec![
         kernel_bench("kernel.scalar", MiKernel::ScalarSparse, opts),
         kernel_bench("kernel.vector", MiKernel::VectorDense, opts),
     ];
+    for backend in Backend::supported() {
+        let id = format!("kernel.vector.{backend}");
+        let entry = with_forced(backend, || kernel_bench(&id, MiKernel::VectorDense, opts))
+            .unwrap_or_else(|e| unreachable!("supported backend must force cleanly: {e}"));
+        entries.push(entry);
+    }
     for policy in SchedulerPolicy::ALL {
         entries.push(scheduler_bench(policy, opts));
     }
@@ -308,7 +344,7 @@ pub fn run_suite(opts: &BenchOptions) -> BenchSuite {
     }
 }
 
-/// Serialize a suite as the versioned `BENCH_5.json` artifact.
+/// Serialize a suite as the versioned `BENCH_7.json` artifact.
 #[must_use]
 pub fn to_json(suite: &BenchSuite) -> String {
     let mut out = String::new();
@@ -453,6 +489,31 @@ pub fn compare(baseline: &BenchSuite, candidate: &BenchSuite) -> Vec<Regression>
     regressions
 }
 
+/// The stale-baseline detector: entries whose candidate minimum undercuts
+/// the baseline by more than [`STALE_GATE`] (i.e. a ≥2× speedup), largest
+/// speedup first. The gate in [`compare`] can only catch a slowdown
+/// *relative to the committed numbers* — after a big win the committed
+/// numbers are the wrong anchor, and the caller should refresh them
+/// (`gnet bench --update-baseline`).
+#[must_use]
+pub fn improvements(baseline: &BenchSuite, candidate: &BenchSuite) -> Vec<Improvement> {
+    let mut wins: Vec<Improvement> = candidate
+        .entries
+        .iter()
+        .filter_map(|cand| {
+            let base = baseline.entry(&cand.id)?;
+            (base.min_us > 0.0 && cand.min_us < base.min_us * STALE_GATE).then(|| Improvement {
+                id: cand.id.clone(),
+                base_min_us: base.min_us,
+                cand_min_us: cand.min_us,
+                speedup: base.min_us / cand.min_us,
+            })
+        })
+        .collect();
+    wins.sort_by(|a, b| b.speedup.total_cmp(&a.speedup));
+    wins
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +566,27 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].id, "kernel.vector");
         assert!((regs[0].ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvements_flags_only_2x_wins() {
+        let base = suite(vec![
+            entry("kernel.vector", 9000.0, 20.0),
+            entry("kernel.scalar", 1000.0, 20.0),
+            entry("ring.2", 500.0, 5.0),
+        ]);
+        let cand = suite(vec![
+            entry("kernel.vector", 1000.0, 20.0), // 9× faster: stale
+            entry("kernel.scalar", 900.0, 20.0),  // 1.1×: fine
+            entry("new.bench", 1.0, 0.0),         // no baseline: ignored
+        ]);
+        let wins = improvements(&base, &cand);
+        assert_eq!(wins.len(), 1);
+        assert_eq!(wins[0].id, "kernel.vector");
+        assert!((wins[0].speedup - 9.0).abs() < 1e-12);
+        // Exactly at the gate is not stale — strict inequality.
+        let at_gate = suite(vec![entry("ring.2", 250.0, 5.0)]);
+        assert!(improvements(&base, &at_gate).is_empty());
     }
 
     #[test]

@@ -37,6 +37,31 @@ impl VectorModel {
         }
     }
 
+    /// 512-bit AVX-512 unit of a host Xeon — the hardware behind the
+    /// `avx512` dispatch backend ([`crate::Backend::Avx512`]). Same
+    /// 16-lane geometry as the coprocessor's IMCI unit, with a slightly
+    /// higher sustained efficiency: the host core is out-of-order and
+    /// the backend issues one fused 512-bit multiply-add per dense row.
+    pub fn avx512_xeon() -> Self {
+        Self {
+            f32_lanes: 16,
+            efficiency: 0.75,
+            has_fma: true,
+        }
+    }
+
+    /// 256-bit AVX2 unit with FMA (Haswell onwards) — the hardware
+    /// behind the `avx2` dispatch backend ([`crate::Backend::Avx2`]),
+    /// which requires both features and runs two fused 256-bit
+    /// multiply-adds where the AVX-512 backend runs one.
+    pub fn avx2_fma_256() -> Self {
+        Self {
+            f32_lanes: 8,
+            efficiency: 0.75,
+            has_fma: true,
+        }
+    }
+
     /// Scalar pseudo-unit: one lane, full efficiency. Used to model the
     /// paper's "vectorization disabled" baseline.
     pub fn scalar() -> Self {
@@ -87,6 +112,64 @@ mod tests {
             has_fma: false,
         };
         assert_eq!(v.effective_speedup(), 1.0);
+    }
+
+    #[test]
+    fn dispatch_backend_presets_order_fastest_first() {
+        // The model must rank the dispatch backends exactly as the
+        // dispatcher tries them: avx512, then avx2, then emulated
+        // (which executes one lane-sized operation at a time, i.e. the
+        // scalar pseudo-unit).
+        let avx512 = VectorModel::avx512_xeon().effective_speedup();
+        let avx2 = VectorModel::avx2_fma_256().effective_speedup();
+        let emulated = VectorModel::scalar().effective_speedup();
+        assert!(avx512 > avx2 && avx2 > emulated);
+    }
+
+    /// Minimal extractor for the `"min"` of one entry in a
+    /// `BENCH_7.json` artifact — just enough structure for the test
+    /// below without pulling a JSON dependency into `gnet-simd`.
+    fn bench_min(text: &str, id: &str) -> Option<f64> {
+        let needle = format!("\"id\": \"{id}\"");
+        let entry = text.split('{').find(|chunk| chunk.contains(&needle))?;
+        let min = entry.split("\"min\":").nth(1)?;
+        min.split(',').next()?.trim().parse().ok()
+    }
+
+    #[test]
+    fn modeled_backend_ordering_matches_the_committed_bench_baseline() {
+        // The committed per-backend bench entries are the measured
+        // ground truth for what each backend costs; the model's
+        // `effective_speedup` ordering must not contradict them. Only
+        // entries actually present in the baseline are compared, so a
+        // baseline regenerated on a host without AVX-512 still anchors
+        // the remaining pairs.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_7.json is present");
+        let measured: Vec<(&str, f64, f64)> = [
+            ("kernel.vector.avx512", VectorModel::avx512_xeon()),
+            ("kernel.vector.avx2", VectorModel::avx2_fma_256()),
+            ("kernel.vector.emulated", VectorModel::scalar()),
+        ]
+        .into_iter()
+        .filter_map(|(id, model)| {
+            bench_min(&text, id).map(|min_us| (id, model.effective_speedup(), min_us))
+        })
+        .collect();
+        assert!(
+            !measured.is_empty(),
+            "BENCH_7.json lost its kernel.vector.* per-backend entries"
+        );
+        for pair in measured.windows(2) {
+            let (fast_id, fast_speedup, fast_min) = pair[0];
+            let (slow_id, slow_speedup, slow_min) = pair[1];
+            assert!(fast_speedup > slow_speedup, "preset ordering regressed");
+            assert!(
+                fast_min < slow_min,
+                "model says {fast_id} beats {slow_id}, but the baseline measured \
+                 {fast_min} us vs {slow_min} us"
+            );
+        }
     }
 
     #[test]

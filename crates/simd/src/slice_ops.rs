@@ -1,18 +1,29 @@
-//! Whole-slice kernels in scalar-reference and laned forms.
+//! Whole-slice kernels in scalar-reference, emulated-lane, and hardware
+//! forms.
 //!
-//! Every primitive the MI estimators use appears twice:
+//! Every primitive the MI estimators use appears three ways:
 //!
 //! * `*_scalar` — a plain element-at-a-time loop. These are the paper's
 //!   "vectorization disabled" baseline (experiment R4) and double as the
 //!   reference implementations the laned forms are tested against.
-//! * the laned form — processes [`F32x16::LANES`] elements per step with a
-//!   masked tail, accumulating into lane registers and reducing once at the
-//!   end with the deterministic pairwise tree.
+//! * `*_emulated` — processes [`F32x16::LANES`] elements per step with a
+//!   masked tail, accumulating into lane registers and reducing once at
+//!   the end with the deterministic pairwise tree. Portable: plain arrays
+//!   the optimizer may or may not vectorize.
+//! * the undecorated public form — routes through the runtime
+//!   [dispatch table](crate::dispatch) to real AVX-512F or AVX2+FMA
+//!   intrinsics when the CPU has them ([`crate::x86`]), falling back to
+//!   the emulated form otherwise. `GNET_SIMD_FORCE` or
+//!   [`crate::dispatch::force_backend`] override the choice.
 //!
 //! The laned forms intentionally mirror how the paper restructures the
 //! B-spline accumulation: a single dense FMA stream, no per-element
-//! branches, reductions deferred to the end.
+//! branches, reductions deferred to the end. All backends share the same
+//! accumulation shape and pairwise reduction tree, so `sum`/`dot`/`axpy`/
+//! `scale` agree *bitwise* across backends on FMA hardware; `xlogx_sum`
+//! agrees to a few ULP (vectorized `ln`).
 
+use crate::dispatch;
 use crate::lanes::F32x16;
 
 /// Width used by the laned slice kernels.
@@ -75,21 +86,15 @@ pub fn scale_scalar(a: f32, x: &mut [f32]) {
 }
 
 // ---------------------------------------------------------------------------
-// Laned kernels
+// Dispatched kernels (the public API the estimators call)
 // ---------------------------------------------------------------------------
 
 /// Sum of all elements using 16-wide lanes with a masked tail.
+///
+/// Dispatches to the fastest backend the CPU supports (see
+/// [`crate::dispatch`]).
 pub fn sum(x: &[f32]) -> f32 {
-    let mut acc = F32x16::zero();
-    let chunks = x.len() / W;
-    for c in 0..chunks {
-        acc += F32x16::from_slice(&x[c * W..]);
-    }
-    let tail = &x[chunks * W..];
-    if !tail.is_empty() {
-        acc += F32x16::from_slice_padded(tail);
-    }
-    acc.reduce_add()
+    (dispatch::table().sum)(x)
 }
 
 /// Dot product using 16-wide FMA lanes with a masked tail.
@@ -103,6 +108,132 @@ pub fn sum(x: &[f32]) -> f32 {
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    (dispatch::table().dot)(x, y)
+}
+
+/// `y[i] += a * x[i]` using 16-wide FMA lanes.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    (dispatch::table().axpy)(a, x, y)
+}
+
+/// `Σ x_i ln x_i` with `0 ln 0 = 0`, 16 lanes at a time.
+///
+/// The zero-padded tail load is safe here because padding lanes contribute
+/// `0 ln 0 = 0` under the entropy convention. Hardware backends vectorize
+/// `ln` and agree with the emulated/scalar forms to a few ULP per element
+/// (they also treat positive *denormal* inputs as zero, a < 1e-36-nats
+/// difference no real count grid can produce).
+pub fn xlogx_sum(x: &[f32]) -> f32 {
+    (dispatch::table().xlogx_sum)(x)
+}
+
+/// Multiply every element by `a` in place, 16 lanes at a time.
+pub fn scale(a: f32, x: &mut [f32]) {
+    (dispatch::table().scale)(a, x)
+}
+
+/// The paper's restructured joint-histogram accumulation on the dense
+/// 16-lane layout: for each sample `s`, add `weights[s*k + i] · y_rows[s]`
+/// (or `y_rows[perm[s]]` when a permutation is given) into the 16-float
+/// grid row `first_bins[s] + i`, for `i in 0..k`.
+///
+/// One call performs `m·k` contiguous row FMAs — exactly one 512-bit FMA
+/// each on AVX-512 — replacing the scalar kernel's `m·k²` scattered
+/// multiply-adds.
+///
+/// # Panics
+/// Panics if `grid` or `y_rows` is not a multiple of 16 long, if
+/// `weights.len() != first_bins.len() * k`, if `k` is 0 or exceeds 16, if
+/// any `first_bins[s] + k` exceeds the grid's row count, if `perm` (when
+/// given) has the wrong length or an out-of-range index, or (without
+/// `perm`) if `y_rows` has fewer rows than there are samples.
+pub fn joint_accumulate_w16(
+    grid: &mut [f32],
+    first_bins: &[u16],
+    weights: &[f32],
+    k: usize,
+    y_rows: &[f32],
+    perm: Option<&[u32]>,
+) {
+    (dispatch::table().joint_accumulate_w16)(grid, first_bins, weights, k, y_rows, perm)
+}
+
+/// Shape validation shared by every `joint_accumulate_w16` backend — the
+/// hardware backends' raw-pointer bounds proofs all start from these
+/// panics firing first.
+pub(crate) fn validate_joint_w16(
+    grid: &[f32],
+    first_bins: &[u16],
+    weights: &[f32],
+    k: usize,
+    y_rows: &[f32],
+    perm: Option<&[u32]>,
+) {
+    assert!(
+        (1..=W).contains(&k),
+        "joint_accumulate_w16: order {k} outside 1..={W}"
+    );
+    assert_eq!(
+        grid.len() % W,
+        0,
+        "joint_accumulate_w16: grid not row-padded"
+    );
+    assert_eq!(
+        y_rows.len() % W,
+        0,
+        "joint_accumulate_w16: y_rows not row-padded"
+    );
+    let rows = grid.len() / W;
+    let y_count = y_rows.len() / W;
+    let m = first_bins.len();
+    assert_eq!(weights.len(), m * k, "joint_accumulate_w16: weights shape");
+    match perm {
+        None => assert!(y_count >= m, "joint_accumulate_w16: too few y rows"),
+        Some(p) => {
+            assert_eq!(p.len(), m, "permutation length mismatch");
+            for &py in p {
+                let py = py as usize; // cast-ok: u32 to usize widens losslessly
+                assert!(
+                    py < y_count,
+                    "joint_accumulate_w16: perm index out of range"
+                );
+            }
+        }
+    }
+    for &fb in first_bins {
+        let fb = fb as usize; // cast-ok: u16 to usize widens losslessly
+        assert!(fb + k <= rows, "joint_accumulate_w16: bin row out of range");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Emulated laned kernels (portable fallback backend)
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements using 16-wide lanes with a masked tail (portable
+/// emulated backend).
+pub fn sum_emulated(x: &[f32]) -> f32 {
+    let mut acc = F32x16::zero();
+    let chunks = x.len() / W;
+    for c in 0..chunks {
+        acc += F32x16::from_slice(&x[c * W..]);
+    }
+    let tail = &x[chunks * W..];
+    if !tail.is_empty() {
+        acc += F32x16::from_slice_padded(tail);
+    }
+    acc.reduce_add()
+}
+
+/// Dot product using 16-wide FMA lanes with a masked tail (portable
+/// emulated backend).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot_emulated(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     let mut acc = F32x16::zero();
     let chunks = x.len() / W;
@@ -120,11 +251,11 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     acc.reduce_add()
 }
 
-/// `y[i] += a * x[i]` using 16-wide FMA lanes.
+/// `y[i] += a * x[i]` using 16-wide FMA lanes (portable emulated backend).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
-pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+pub fn axpy_emulated(a: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     let av = F32x16::splat(a);
     let chunks = x.len() / W;
@@ -138,11 +269,12 @@ pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
-/// `Σ x_i ln x_i` with `0 ln 0 = 0`, 16 lanes at a time.
+/// `Σ x_i ln x_i` with `0 ln 0 = 0`, 16 lanes at a time (portable emulated
+/// backend).
 ///
 /// The zero-padded tail load is safe here because padding lanes contribute
 /// `0 ln 0 = 0` under the entropy convention.
-pub fn xlogx_sum(x: &[f32]) -> f32 {
+pub fn xlogx_sum_emulated(x: &[f32]) -> f32 {
     let mut acc = F32x16::zero();
     let chunks = x.len() / W;
     for c in 0..chunks {
@@ -155,8 +287,9 @@ pub fn xlogx_sum(x: &[f32]) -> f32 {
     acc.reduce_add()
 }
 
-/// Multiply every element by `a` in place, 16 lanes at a time.
-pub fn scale(a: f32, x: &mut [f32]) {
+/// Multiply every element by `a` in place, 16 lanes at a time (portable
+/// emulated backend).
+pub fn scale_emulated(a: f32, x: &mut [f32]) {
     let av = F32x16::splat(a);
     let chunks = x.len() / W;
     for c in 0..chunks {
@@ -165,6 +298,35 @@ pub fn scale(a: f32, x: &mut [f32]) {
     }
     for v in &mut x[chunks * W..] {
         *v *= a;
+    }
+}
+
+/// Portable emulated backend of [`joint_accumulate_w16`]: the dense row
+/// FMAs run on [`F32x16`] values loaded from and stored back to the grid
+/// rows. Same per-cell operation order as the hardware backends, so
+/// results agree bitwise on FMA hosts.
+pub fn joint_accumulate_w16_emulated(
+    grid: &mut [f32],
+    first_bins: &[u16],
+    weights: &[f32],
+    k: usize,
+    y_rows: &[f32],
+    perm: Option<&[u32]>,
+) {
+    validate_joint_w16(grid, first_bins, weights, k, y_rows, perm);
+    for s in 0..first_bins.len() {
+        let ys = match perm {
+            Some(p) => p[s] as usize, // cast-ok: u32 to usize widens losslessly
+            None => s,
+        };
+        let y = F32x16::from_slice(&y_rows[ys * W..]);
+        let fx = first_bins[s] as usize; // cast-ok: u16 to usize widens losslessly
+        let wrow = &weights[s * k..s * k + k];
+        for (i, &w) in wrow.iter().enumerate() {
+            let row = &mut grid[(fx + i) * W..(fx + i + 1) * W];
+            y.mul_add(F32x16::splat(w), F32x16::from_slice(row))
+                .write_to_slice(row);
+        }
     }
 }
 
@@ -321,6 +483,160 @@ mod tests {
             axpy_scalar(a, &x, &mut y2);
             for (u, v) in y1.iter().zip(&y2) {
                 prop_assert!(close(*u, *v, 1e-4));
+            }
+        }
+    }
+
+    // -- backend equivalence: every supported hardware backend vs emulated --
+
+    use crate::dispatch::{with_forced, Backend};
+
+    fn naive_joint(
+        rows: usize,
+        first_bins: &[u16],
+        weights: &[f32],
+        k: usize,
+        y_rows: &[f32],
+        perm: Option<&[u32]>,
+    ) -> Vec<f32> {
+        let mut grid = vec![0.0f32; rows * W];
+        for s in 0..first_bins.len() {
+            let ys = perm.map_or(s, |p| p[s] as usize);
+            for i in 0..k {
+                let w = weights[s * k + i];
+                let row = (first_bins[s] as usize + i) * W;
+                for j in 0..W {
+                    grid[row + j] = y_rows[ys * W + j].mul_add(w, grid[row + j]);
+                }
+            }
+        }
+        grid
+    }
+
+    #[test]
+    fn joint_accumulate_matches_naive_reference() {
+        let rows = 10;
+        let k = 3;
+        let m = 7;
+        let first_bins: Vec<u16> = (0..7u16).map(|s| s % 7).collect();
+        let weights: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y_rows: Vec<f32> = (0..m * W).map(|i| (i as f32 * 0.11).cos()).collect();
+        let perm: Vec<u32> = (0..7u32).rev().collect();
+        for p in [None, Some(&perm[..])] {
+            let mut grid = vec![0.0f32; rows * W];
+            joint_accumulate_w16(&mut grid, &first_bins, &weights, k, &y_rows, p);
+            assert_eq!(
+                grid,
+                naive_joint(rows, &first_bins, &weights, k, &y_rows, p)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bin row out of range")]
+    fn joint_accumulate_rejects_overflowing_bin() {
+        let mut grid = vec![0.0f32; 4 * W];
+        joint_accumulate_w16(&mut grid, &[3], &[1.0, 1.0], 2, &[0.0; W], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "perm index out of range")]
+    fn joint_accumulate_rejects_bad_perm() {
+        let mut grid = vec![0.0f32; 4 * W];
+        joint_accumulate_w16(&mut grid, &[0], &[1.0], 1, &[0.0; W], Some(&[5]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64)
+            .with_persistence("proptest-regressions/slice_ops_backend_equivalence.txt"))]
+
+        /// `sum`/`dot`/`axpy`/`scale` share one arithmetic shape (lanewise
+        /// chunk accumulation, correctly-rounded FMA, pairwise reduction
+        /// tree) across all backends, so they must agree **bitwise** — the
+        /// equivalence grade DESIGN.md §14 documents as "bitwise (0 ULP)".
+        #[test]
+        fn prop_linear_kernels_bitwise_across_backends(
+            a in -5.0f32..5.0,
+            xy in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 0..200)
+        ) {
+            let x: Vec<f32> = xy.iter().map(|p| p.0).collect();
+            let y: Vec<f32> = xy.iter().map(|p| p.1).collect();
+            let ref_sum = sum_emulated(&x);
+            let ref_dot = dot_emulated(&x, &y);
+            let mut ref_axpy = y.clone();
+            axpy_emulated(a, &x, &mut ref_axpy);
+            let mut ref_scale = x.clone();
+            scale_emulated(a, &mut ref_scale);
+            for b in Backend::supported() {
+                let (s, d, ya, xs) = with_forced(b, || {
+                    let mut ya = y.clone();
+                    axpy(a, &x, &mut ya);
+                    let mut xs = x.clone();
+                    scale(a, &mut xs);
+                    (sum(&x), dot(&x, &y), ya, xs)
+                }).expect("supported backend");
+                prop_assert_eq!(s.to_bits(), ref_sum.to_bits(), "sum on {}", b);
+                prop_assert_eq!(d.to_bits(), ref_dot.to_bits(), "dot on {}", b);
+                for (got, want) in ya.iter().zip(&ref_axpy) {
+                    prop_assert_eq!(got.to_bits(), want.to_bits(), "axpy on {}", b);
+                }
+                for (got, want) in xs.iter().zip(&ref_scale) {
+                    prop_assert_eq!(got.to_bits(), want.to_bits(), "scale on {}", b);
+                }
+            }
+        }
+
+        /// `xlogx_sum` vectorizes `ln`, so hardware backends agree with the
+        /// emulated libm form to a few ULP per element, not bitwise.
+        #[test]
+        fn prop_xlogx_close_across_backends(
+            x in proptest::collection::vec(0.0f32..1.0, 0..200)
+        ) {
+            let reference = xlogx_sum_emulated(&x);
+            let mass: f32 = x.iter().map(|v| v.abs()).sum();
+            let tol = 1e-5 * mass.max(1.0);
+            for b in Backend::supported() {
+                let got = with_forced(b, || xlogx_sum(&x)).expect("supported backend");
+                prop_assert!(
+                    (got - reference).abs() <= tol,
+                    "xlogx_sum on {}: {} vs emulated {}", b, got, reference
+                );
+            }
+        }
+
+        /// The joint accumulator is pure FMA, so it is bitwise across
+        /// backends, permuted and identity alike.
+        #[test]
+        fn prop_joint_accumulate_bitwise_across_backends(
+            seed in 0u64..1000,
+            m in 1usize..60,
+            k in 1usize..=8,
+            rows in 8usize..=16,
+        ) {
+            let mixu = |i: usize| {
+                let z = (seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z >> 40
+            };
+            let mixf = |i: usize| (mixu(i) as f32) / ((1u64 << 24) as f32);
+            let first_bins: Vec<u16> = (0..m)
+                .map(|s| u16::try_from(usize::try_from(mixu(s)).unwrap() % (rows - k + 1)).unwrap())
+                .collect();
+            let weights: Vec<f32> = (0..m * k).map(|i| mixf(i + 1000)).collect();
+            let y_rows: Vec<f32> = (0..m * W).map(|i| mixf(i + 50_000)).collect();
+            let perm: Vec<u32> = (0..u32::try_from(m).unwrap()).rev().collect();
+            for p in [None, Some(&perm[..])] {
+                let mut reference = vec![0.0f32; rows * W];
+                joint_accumulate_w16_emulated(&mut reference, &first_bins, &weights, k, &y_rows, p);
+                for b in Backend::supported() {
+                    let grid = with_forced(b, || {
+                        let mut grid = vec![0.0f32; rows * W];
+                        joint_accumulate_w16(&mut grid, &first_bins, &weights, k, &y_rows, p);
+                        grid
+                    }).expect("supported backend");
+                    for (got, want) in grid.iter().zip(&reference) {
+                        prop_assert_eq!(got.to_bits(), want.to_bits(), "joint on {}", b);
+                    }
+                }
             }
         }
     }
