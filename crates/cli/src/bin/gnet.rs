@@ -10,7 +10,7 @@
 
 use gnet_cli::{
     cmd_analyze, cmd_bench, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score,
-    cmd_simd, cmd_stats, cmd_topology, cmd_trace_report, ArgMap,
+    cmd_simd, cmd_stats, cmd_topology, cmd_trace_report, cmd_worker, ArgMap,
 };
 
 const USAGE: &str = "\
@@ -31,6 +31,10 @@ subcommands:
             [--trace-dir DIR (with --ranks: per-rank streams + manifest)]
             [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]
             [--fault-plan PLAN]
+            [--listen ADDR (with --ranks P: TCP coordinator, waits for
+            P-1 workers; prints \"listening on IP:PORT\")]
+  worker    join a multi-process run started by infer --listen
+            --connect ADDR [--trace-dir DIR]
   trace-report  offline analysis of recorded traces
             (--trace FILE | --trace-dir DIR) [--chrome FILE]
             [--flame FILE] [--no-calibrate]
@@ -74,6 +78,7 @@ fn main() {
     let result = match sub.as_str() {
         "generate" => cmd_generate(&args, &mut stdout),
         "infer" => cmd_infer(&args, &mut stdout),
+        "worker" => cmd_worker(&args, &mut stdout),
         "score" => cmd_score(&args, &mut stdout),
         "topology" => cmd_topology(&args, &mut stdout),
         "trace-report" => cmd_trace_report(&args, &mut stdout),

@@ -2,7 +2,8 @@
 
 use crate::args::{ArgError, ArgMap};
 use gnet_cluster::{
-    infer_network_distributed_faulty, infer_network_distributed_traced, DEFAULT_PEER_TIMEOUT,
+    infer_network_distributed_faulty, infer_network_distributed_traced, run_worker,
+    serve_coordinator, DEFAULT_PEER_TIMEOUT,
 };
 use gnet_core::config::NullStrategy;
 use gnet_core::{infer_network_durable, infer_network_traced, CheckpointStore, InferenceConfig};
@@ -212,6 +213,11 @@ fn progress_sink() -> impl Fn(Progress) + Send + Sync + 'static {
 /// continues from the checkpoint in that directory, and
 /// `--fault-plan PLAN` injects a deterministic, replayable fault plan
 /// (see `gnet_fault`) into either execution path.
+///
+/// Multi-process: `--listen ADDR` (with `--ranks P`, `P ≥ 2`) binds a
+/// TCP coordinator instead of running all ranks in-process; it prints
+/// `listening on IP:PORT`, waits for `P − 1` `gnet worker --connect`
+/// processes, and produces the byte-identical edge set.
 pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let input = args.require("input")?.to_string();
     let output = args.require("output")?.to_string();
@@ -238,6 +244,10 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let trace_dir = args.get("trace-dir").map(str::to_string);
     if trace_dir.is_some() && ranks.is_none() {
         return fail("--trace-dir writes one stream per rank and needs --ranks; use --trace FILE for the shared-memory pipeline");
+    }
+    let listen = args.get("listen").map(str::to_string);
+    if listen.is_some() && ranks.is_none_or(|p| p < 2) {
+        return fail("--listen starts a multi-process coordinator and needs --ranks P with P >= 2");
     }
     let checkpoint_dir = args.get("checkpoint-dir").map(str::to_string);
     let checkpoint_every = args.get_or("checkpoint-every", 8usize)?;
@@ -317,24 +327,46 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
 
     let (mut network, summary) = match ranks {
         Some(p) => {
-            let r = match &trace_dir {
-                Some(dir) => infer_network_distributed_traced(
+            let r = if let Some(addr) = &listen {
+                let listener = std::net::TcpListener::bind(addr.as_str())
+                    .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| CliError(format!("cannot resolve bound address: {e}")))?;
+                // Announced before the accept loop blocks, and flushed so
+                // a launcher reading this pipe can start the workers.
+                writeln!(out, "listening on {local}")?;
+                out.flush()?;
+                serve_coordinator(
+                    &listener,
                     &matrix,
                     &cfg,
                     p,
-                    &injector,
+                    fault_plan.as_ref(),
                     &rec,
                     DEFAULT_PEER_TIMEOUT,
-                    std::path::Path::new(dir),
-                ),
-                None => infer_network_distributed_faulty(
-                    &matrix,
-                    &cfg,
-                    p,
-                    &injector,
-                    &rec,
-                    DEFAULT_PEER_TIMEOUT,
-                ),
+                    trace_dir.as_deref().map(std::path::Path::new),
+                )
+            } else {
+                match &trace_dir {
+                    Some(dir) => infer_network_distributed_traced(
+                        &matrix,
+                        &cfg,
+                        p,
+                        &injector,
+                        &rec,
+                        DEFAULT_PEER_TIMEOUT,
+                        std::path::Path::new(dir),
+                    ),
+                    None => infer_network_distributed_faulty(
+                        &matrix,
+                        &cfg,
+                        p,
+                        &injector,
+                        &rec,
+                        DEFAULT_PEER_TIMEOUT,
+                    ),
+                }
             }
             .map_err(|e| CliError(e.to_string()))?;
             if let Some(dir) = &trace_dir {
@@ -415,6 +447,34 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     graph_io::write_edge_list(&network, BufWriter::new(create_file(&output)?))
         .map_err(|e| CliError(format!("cannot write {output}: {e}")))?;
     writeln!(out, "wrote {} edges to {output}", network.edge_count())?;
+    Ok(())
+}
+
+/// `gnet worker` — join a multi-process distributed run as one rank.
+///
+/// Options: `--connect ADDR` (the `IP:PORT` printed by
+/// `gnet infer --listen`) and `--trace-dir DIR` to override the
+/// coordinator-announced trace directory on this machine. Everything
+/// else — rank, matrix, config, fault plan — arrives from the
+/// coordinator over the wire.
+pub fn cmd_worker(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr_raw = args.require("connect")?.to_string();
+    let trace_dir = args.get("trace-dir").map(str::to_string);
+    args.reject_unknown()?;
+    let addr: std::net::SocketAddr = addr_raw
+        .parse()
+        .map_err(|_| CliError(format!("bad --connect address {addr_raw:?} (need IP:PORT)")))?;
+    let report = run_worker(addr, trace_dir.as_deref().map(std::path::Path::new))
+        .map_err(|e| CliError(e.to_string()))?;
+    if report.crashed {
+        writeln!(
+            out,
+            "rank {} of {}: killed by the fault plan (simulated crash)",
+            report.rank, report.ranks
+        )?;
+    } else {
+        writeln!(out, "rank {} of {} done", report.rank, report.ranks)?;
+    }
     Ok(())
 }
 

@@ -1,0 +1,234 @@
+//! End-to-end multi-process runs of the real `gnet` binary: one
+//! coordinator (`gnet infer --listen`) plus three worker processes
+//! (`gnet worker --connect`) over loopback TCP, byte-compared against
+//! the in-process `--ranks 4` run of the same matrix.
+//!
+//! Three escalating scenarios: a clean mesh, the replayable acceptance
+//! plan (one simulated rank crash + one mid-frame cut), and a real
+//! `SIGKILL` of a worker process mid-round.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+fn gnet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gnet"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gnet-process-chaos-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn generate_matrix(dir: &Path) -> PathBuf {
+    let out = dir.join("matrix.tsv");
+    let status = gnet()
+        .args([
+            "generate",
+            "--genes",
+            "24",
+            "--samples",
+            "80",
+            "--seed",
+            "9",
+            "--out",
+        ])
+        .arg(&out)
+        .stdout(Stdio::null())
+        .status()
+        .expect("run gnet generate");
+    assert!(status.success(), "gnet generate failed");
+    out
+}
+
+/// The in-process distributed reference: the byte string every
+/// multi-process run below must reproduce exactly.
+fn reference_edges(dir: &Path, matrix: &Path) -> Vec<u8> {
+    let out = dir.join("reference.tsv");
+    let status = gnet()
+        .args([
+            "infer",
+            "--ranks",
+            "4",
+            "--q",
+            "8",
+            "--threads",
+            "1",
+            "--tile",
+            "4",
+        ])
+        .arg("--input")
+        .arg(matrix)
+        .arg("--output")
+        .arg(&out)
+        .stdout(Stdio::null())
+        .status()
+        .expect("run in-process gnet infer --ranks 4");
+    assert!(status.success(), "reference infer failed");
+    std::fs::read(&out).expect("reference edge file readable")
+}
+
+/// Spawn the coordinator and block until it announces its address. The
+/// returned reader continues the coordinator's stdout stream.
+fn spawn_coordinator(
+    matrix: &Path,
+    out: &Path,
+    extra: &[&str],
+) -> (Child, BufReader<ChildStdout>, String) {
+    let mut child = gnet()
+        .args([
+            "infer",
+            "--ranks",
+            "4",
+            "--q",
+            "8",
+            "--threads",
+            "1",
+            "--tile",
+            "4",
+        ])
+        .args(["--listen", "127.0.0.1:0"])
+        .args(extra)
+        .arg("--input")
+        .arg(matrix)
+        .arg("--output")
+        .arg(out)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn coordinator");
+    let mut reader = BufReader::new(child.stdout.take().expect("coordinator stdout piped"));
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .expect("read coordinator stdout");
+        assert!(n > 0, "coordinator exited before announcing its address");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+    (child, reader, addr)
+}
+
+fn spawn_worker(addr: &str) -> Child {
+    gnet()
+        .args(["worker", "--connect", addr])
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn worker")
+}
+
+/// Drain the coordinator's remaining stdout and wait for a clean exit.
+fn finish_coordinator(mut child: Child, mut reader: BufReader<ChildStdout>) -> String {
+    let mut rest = String::new();
+    reader
+        .read_to_string(&mut rest)
+        .expect("drain coordinator stdout");
+    let status = child.wait().expect("wait for coordinator");
+    assert!(status.success(), "coordinator failed; output:\n{rest}");
+    rest
+}
+
+#[test]
+fn clean_multi_process_run_is_byte_identical_to_in_process() {
+    let dir = tmpdir("clean");
+    let matrix = generate_matrix(&dir);
+    let reference = reference_edges(&dir, &matrix);
+
+    let out = dir.join("tcp.tsv");
+    let (child, reader, addr) = spawn_coordinator(&matrix, &out, &[]);
+    let workers: Vec<Child> = (0..3).map(|_| spawn_worker(&addr)).collect();
+    for mut w in workers {
+        let status = w.wait().expect("wait for worker");
+        assert!(status.success(), "worker failed");
+    }
+    let summary = finish_coordinator(child, reader);
+    assert!(summary.contains("4 ranks"), "{summary}");
+
+    let tcp = std::fs::read(&out).expect("tcp edge file readable");
+    assert_eq!(
+        tcp, reference,
+        "multi-process edges diverged from in-process"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn acceptance_plan_crash_plus_cut_recovers_byte_identically() {
+    let dir = tmpdir("plan");
+    let matrix = generate_matrix(&dir);
+    let reference = reference_edges(&dir, &matrix);
+
+    // The PR's acceptance plan: rank 2's worker process dies at ring
+    // round 1, and the first frame on the 3→0 edge after that is cut
+    // mid-frame (truncated on the wire, connection severed).
+    let out = dir.join("chaos.tsv");
+    let (child, reader, addr) = spawn_coordinator(
+        &matrix,
+        &out,
+        &[
+            "--fault-plan",
+            "seed=7;crash(rank=2,round=1);cut(from=3,to=0,nth=1)",
+        ],
+    );
+    let workers: Vec<Child> = (0..3).map(|_| spawn_worker(&addr)).collect();
+    for mut w in workers {
+        // The crashed rank's worker exits 0 too — a *simulated* crash is
+        // reported, not an error.
+        let status = w.wait().expect("wait for worker");
+        assert!(status.success(), "worker failed");
+    }
+    let summary = finish_coordinator(child, reader);
+    assert!(
+        summary.contains("recovered from"),
+        "coordinator must report the recovery: {summary}"
+    );
+
+    let chaos = std::fs::read(&out).expect("chaos edge file readable");
+    assert_eq!(chaos, reference, "chaos run edges diverged from in-process");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killing_a_worker_process_mid_round_recovers_byte_identically() {
+    let dir = tmpdir("kill");
+    let matrix = generate_matrix(&dir);
+    let reference = reference_edges(&dir, &matrix);
+
+    // Stall the round-2 ring frame on every ring edge so no rank can
+    // finish its last round (and bank its RESULTS with the coordinator)
+    // before the kill lands: whichever rank the victim drew, it dies
+    // with work the survivors must recover.
+    let out = dir.join("killed.tsv");
+    let plan = "seed=7;stall(from=0,to=1,nth=1,us=800000);\
+                stall(from=1,to=2,nth=1,us=800000);\
+                stall(from=2,to=3,nth=1,us=800000);stall(from=3,to=0,nth=1,us=800000)";
+    let (child, reader, addr) = spawn_coordinator(&matrix, &out, &["--fault-plan", plan]);
+    let mut workers: Vec<Child> = (0..3).map(|_| spawn_worker(&addr)).collect();
+
+    // Let the bootstrap finish (single-digit ms on loopback) and the
+    // ring reach its stalled round, then kill one worker outright: the
+    // OS closes its sockets mid-protocol, which is the real process
+    // death the survivors must absorb.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut victim = workers.remove(0);
+    victim.kill().expect("kill worker process");
+    victim.wait().expect("reap killed worker");
+
+    for mut w in workers {
+        let status = w.wait().expect("wait for surviving worker");
+        assert!(status.success(), "surviving worker failed");
+    }
+    let summary = finish_coordinator(child, reader);
+    assert!(
+        summary.contains("recovered from"),
+        "coordinator must report the recovery: {summary}"
+    );
+
+    let killed = std::fs::read(&out).expect("killed-run edge file readable");
+    assert_eq!(killed, reference, "kill run edges diverged from in-process");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -221,6 +221,36 @@ impl Endpoint {
     }
 }
 
+impl crate::transport::Transport for Endpoint {
+    fn rank(&self) -> usize {
+        Endpoint::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        Endpoint::size(self)
+    }
+
+    fn send(&self, to: usize, payload: Bytes) {
+        Endpoint::send(self, to, payload);
+    }
+
+    fn recv_timeout(&self, from: usize, timeout: Duration) -> Result<Bytes, RecvTimeoutError> {
+        Endpoint::recv_timeout(self, from, timeout)
+    }
+
+    fn faults(&self) -> &FaultInjector {
+        Endpoint::faults(self)
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.stats.messages()
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.stats.bytes()
+    }
+}
+
 /// Builder for a `P`-rank fabric.
 pub struct Fabric {
     endpoints: Vec<Endpoint>,

@@ -46,11 +46,12 @@
 //! historical gather-based implementation.
 
 use crate::codec::{decode_block, encode_block, GeneBlock};
-use crate::comm::{run_ranks_on, Endpoint, Fabric, RecvTimeoutError};
+use crate::comm::{run_ranks_on, Fabric, RecvTimeoutError};
 use crate::protocol::{
     block_range, Effect, Event as ProtoEvent, Frame as ProtoFrame, Mutation, Phase, RankMachine,
     Wait,
 };
+use crate::transport::Transport;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gnet_bspline::BsplineBasis;
 use gnet_core::config::NullStrategy;
@@ -83,6 +84,10 @@ const TAG_SUPPLEMENT: u8 = 5;
 /// per-rank tracing is armed. Payload: estimated rank-0 time (µs since
 /// rank 0's trace epoch) at send, as `i64` LE.
 const TAG_CLOCK: u8 = 6;
+/// Post-protocol stats report from a worker process to the coordinator
+/// (multi-process runs only; see [`crate::process`]). Per-edge FIFO
+/// guarantees it never overtakes the worker's protocol frames.
+pub(crate) const TAG_STATS: u8 = 7;
 
 const FRAME_HEADER: usize = 5;
 
@@ -104,6 +109,12 @@ pub enum ClusterError {
         /// OS error rendering.
         message: String,
     },
+    /// The transport could not be established (socket bind/dial/accept
+    /// failure) — the run never started.
+    Transport {
+        /// OS error rendering.
+        message: String,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -116,6 +127,9 @@ impl fmt::Display for ClusterError {
             ),
             Self::TraceIo { path, message } => {
                 write!(f, "cannot write rank trace {path}: {message}")
+            }
+            Self::Transport { message } => {
+                write!(f, "cannot establish cluster transport: {message}")
             }
         }
     }
@@ -250,15 +264,13 @@ pub fn infer_network_distributed_traced(
     )
 }
 
-fn run_distributed(
+/// Shared up-front validation of every distributed entry point.
+pub(crate) fn validate_run(
     matrix: &ExpressionMatrix,
     config: &InferenceConfig,
     ranks: usize,
     faults: &FaultInjector,
-    rec: &Recorder,
-    peer_timeout: Duration,
-    trace_dir: Option<&std::path::Path>,
-) -> Result<DistributedResult, ClusterError> {
+) -> Result<(), ClusterError> {
     config.validate();
     assert!(ranks >= 1, "need at least one rank");
     assert!(ranks <= matrix.genes(), "more ranks than genes");
@@ -274,22 +286,20 @@ fn run_distributed(
             }
         }
     }
+    Ok(())
+}
 
-    let n = matrix.genes();
-    let fabric = Fabric::with_faults(ranks, faults.clone());
-    let rank_recs: Option<Vec<Recorder>> =
-        trace_dir.map(|_| (0..ranks).map(|_| Recorder::enabled()).collect());
-    let outputs = run_ranks_on(fabric, |ep| {
-        let rank_rec = rank_recs
-            .as_ref()
-            .map_or_else(Recorder::disabled, |recs| recs[ep.rank()].clone());
-        rank_main(ep, matrix, config, n, rec, &rank_rec, peer_timeout)
-    });
-
+/// Fold the per-rank outputs into the run result and (on traced runs)
+/// write the per-rank streams plus manifest.
+fn assemble_result(
+    outputs: Vec<RankOutput>,
+    trace_dir: Option<&std::path::Path>,
+    rank_recs: Option<Vec<Recorder>>,
+) -> Result<DistributedResult, ClusterError> {
     let mut network = None;
     let mut threshold = 0.0;
     let mut crashed_ranks = Vec::new();
-    let mut rank_stats = Vec::with_capacity(ranks);
+    let mut rank_stats = Vec::with_capacity(outputs.len());
     for out in outputs {
         if let Some(net) = out.network {
             network = Some(net);
@@ -310,49 +320,191 @@ fn run_distributed(
     Ok(result)
 }
 
-/// Write every rank's NDJSON stream plus the coordinator manifest into
-/// `dir` (created if absent).
-fn write_rank_traces(
-    dir: &std::path::Path,
-    recs: &[Recorder],
-    result: &DistributedResult,
-) -> Result<(), ClusterError> {
-    use gnet_trace::escape_json;
-    use std::io::Write as _;
+fn run_distributed(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+    faults: &FaultInjector,
+    rec: &Recorder,
+    peer_timeout: Duration,
+    trace_dir: Option<&std::path::Path>,
+) -> Result<DistributedResult, ClusterError> {
+    validate_run(matrix, config, ranks, faults)?;
+    let n = matrix.genes();
+    let fabric = Fabric::with_faults(ranks, faults.clone());
+    let rank_recs: Option<Vec<Recorder>> =
+        trace_dir.map(|_| (0..ranks).map(|_| Recorder::enabled()).collect());
+    let outputs = run_ranks_on(fabric, |ep| {
+        let rank_rec = rank_recs
+            .as_ref()
+            .map_or_else(Recorder::disabled, |recs| recs[ep.rank()].clone());
+        // `ep` stays owned by this closure frame: returning drops it,
+        // which closes this rank's channels — the death signal the
+        // survivors' bounded receives detect.
+        rank_main(&ep, matrix, config, n, rec, &rank_rec, peer_timeout)
+    });
+    assemble_result(outputs, trace_dir, rank_recs)
+}
 
-    let trace_io = |path: &std::path::Path, e: &std::io::Error| ClusterError::TraceIo {
+/// Run the full inference distributed over `ranks` ranks talking TCP
+/// over loopback (fault-free). The result is byte-identical to
+/// [`infer_network_distributed`] — the conformance suite pins this.
+///
+/// # Errors
+/// [`ClusterError::Transport`] when the loopback mesh cannot be bound.
+///
+/// # Panics
+/// Same validation panics as [`infer_network_distributed`].
+pub fn infer_network_distributed_tcp(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+) -> Result<DistributedResult, ClusterError> {
+    infer_network_distributed_tcp_faulty(
+        matrix,
+        config,
+        ranks,
+        &FaultInjector::none(),
+        &Recorder::disabled(),
+        DEFAULT_PEER_TIMEOUT,
+    )
+}
+
+/// [`infer_network_distributed_tcp`] over a fault-armed mesh: wire
+/// faults (`refuse`/`cut`/`stall`/`trunc`) act on the real sockets, and
+/// rank crashes surface to survivors as TCP FINs instead of dropped
+/// channels — same recovery protocol, same edge set.
+///
+/// # Errors
+/// [`ClusterError::CoordinatorCrash`] for rank-0 crash plans and
+/// [`ClusterError::Transport`] for mesh establishment failures.
+///
+/// # Panics
+/// Same validation panics as [`infer_network_distributed`].
+pub fn infer_network_distributed_tcp_faulty(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+    faults: &FaultInjector,
+    rec: &Recorder,
+    peer_timeout: Duration,
+) -> Result<DistributedResult, ClusterError> {
+    run_distributed_tcp(matrix, config, ranks, faults, rec, peer_timeout, None)
+}
+
+/// [`infer_network_distributed_tcp_faulty`] with per-rank trace capture
+/// (same layout as [`infer_network_distributed_traced`]); each rank's
+/// stream additionally carries its `tcp.*` transport counters, so
+/// offline reports can attribute network stalls.
+///
+/// # Errors
+/// As [`infer_network_distributed_tcp_faulty`], plus
+/// [`ClusterError::TraceIo`] when a trace file cannot be written.
+///
+/// # Panics
+/// Same validation panics as [`infer_network_distributed`].
+pub fn infer_network_distributed_tcp_traced(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+    faults: &FaultInjector,
+    rec: &Recorder,
+    peer_timeout: Duration,
+    trace_dir: &std::path::Path,
+) -> Result<DistributedResult, ClusterError> {
+    run_distributed_tcp(
+        matrix,
+        config,
+        ranks,
+        faults,
+        rec,
+        peer_timeout,
+        Some(trace_dir),
+    )
+}
+
+fn run_distributed_tcp(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+    faults: &FaultInjector,
+    rec: &Recorder,
+    peer_timeout: Duration,
+    trace_dir: Option<&std::path::Path>,
+) -> Result<DistributedResult, ClusterError> {
+    validate_run(matrix, config, ranks, faults)?;
+    let n = matrix.genes();
+    let rank_recs: Option<Vec<Recorder>> =
+        trace_dir.map(|_| (0..ranks).map(|_| Recorder::enabled()).collect());
+    let outputs = crate::tcp::run_ranks_tcp(ranks, faults, |tp| {
+        let rank_rec = rank_recs
+            .as_ref()
+            .map_or_else(Recorder::disabled, |recs| recs[tp.rank()].clone());
+        let out = rank_main(&tp, matrix, config, n, rec, &rank_rec, peer_timeout);
+        // Drain-then-FIN before the counters are read: survivors see
+        // this rank's death (crash or completion) exactly when a
+        // channel-fabric rank would have dropped its endpoint.
+        tp.shutdown();
+        tp.counters().publish(&rank_rec);
+        out
+    })
+    .map_err(|e| ClusterError::Transport {
+        message: e.to_string(),
+    })?;
+    assemble_result(outputs, trace_dir, rank_recs)
+}
+
+pub(crate) fn trace_io_err(path: &std::path::Path, e: &std::io::Error) -> ClusterError {
+    ClusterError::TraceIo {
         path: path.display().to_string(),
         message: e.to_string(),
-    };
-    std::fs::create_dir_all(dir).map_err(|e| trace_io(dir, &e))?;
-    let mut files = Vec::with_capacity(recs.len());
-    for (r, rank_rec) in recs.iter().enumerate() {
-        let name = format!("rank-{r}.ndjson");
-        let path = dir.join(&name);
-        let file = std::fs::File::create(&path).map_err(|e| trace_io(&path, &e))?;
-        let mut w = std::io::BufWriter::new(file);
-        rank_rec
-            .write_ndjson_with_meta(
-                &mut w,
-                &[
-                    ("rank", Value::from(r)),
-                    ("ranks", Value::from(recs.len())),
-                    (
-                        "clock_offset_us",
-                        Value::I64(result.rank_stats[r].clock_offset_us),
-                    ),
-                ],
-            )
-            .and_then(|()| w.flush())
-            .map_err(|e| trace_io(&path, &e))?;
-        files.push(name);
     }
+}
 
+/// Write one rank's NDJSON stream into `dir` (created if absent),
+/// returning the file name written. Shared between the in-process
+/// drivers (all ranks) and the multi-process launcher (each process
+/// writes its own rank's stream).
+pub(crate) fn write_one_rank_trace(
+    dir: &std::path::Path,
+    rank: usize,
+    ranks: usize,
+    clock_offset_us: i64,
+    rank_rec: &Recorder,
+) -> Result<String, ClusterError> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir).map_err(|e| trace_io_err(dir, &e))?;
+    let name = format!("rank-{rank}.ndjson");
+    let path = dir.join(&name);
+    let file = std::fs::File::create(&path).map_err(|e| trace_io_err(&path, &e))?;
+    let mut w = std::io::BufWriter::new(file);
+    rank_rec
+        .write_ndjson_with_meta(
+            &mut w,
+            &[
+                ("rank", Value::from(rank)),
+                ("ranks", Value::from(ranks)),
+                ("clock_offset_us", Value::I64(clock_offset_us)),
+            ],
+        )
+        .and_then(|()| w.flush())
+        .map_err(|e| trace_io_err(&path, &e))?;
+    Ok(name)
+}
+
+/// Write the coordinator manifest listing the rank streams in `files`.
+pub(crate) fn write_manifest(
+    dir: &std::path::Path,
+    ranks: usize,
+    crashed_ranks: &[usize],
+    files: &[String],
+) -> Result<(), ClusterError> {
+    use gnet_trace::escape_json;
     let mut manifest = String::with_capacity(256);
     manifest.push_str("{\"format\":\"gnet-trace-manifest\",\"version\":1");
-    let _ = std::fmt::Write::write_fmt(&mut manifest, format_args!(",\"ranks\":{}", recs.len()));
+    let _ = std::fmt::Write::write_fmt(&mut manifest, format_args!(",\"ranks\":{ranks}"));
     manifest.push_str(",\"crashed_ranks\":[");
-    for (i, r) in result.crashed_ranks.iter().enumerate() {
+    for (i, r) in crashed_ranks.iter().enumerate() {
         if i > 0 {
             manifest.push(',');
         }
@@ -367,21 +519,41 @@ fn write_rank_traces(
     }
     manifest.push_str("]}\n");
     let path = dir.join("manifest.json");
-    std::fs::write(&path, manifest).map_err(|e| trace_io(&path, &e))
+    std::fs::write(&path, manifest).map_err(|e| trace_io_err(&path, &e))
+}
+
+/// Write every rank's NDJSON stream plus the coordinator manifest into
+/// `dir` (created if absent).
+fn write_rank_traces(
+    dir: &std::path::Path,
+    recs: &[Recorder],
+    result: &DistributedResult,
+) -> Result<(), ClusterError> {
+    let mut files = Vec::with_capacity(recs.len());
+    for (r, rank_rec) in recs.iter().enumerate() {
+        files.push(write_one_rank_trace(
+            dir,
+            r,
+            recs.len(),
+            result.rank_stats[r].clock_offset_us,
+            rank_rec,
+        )?);
+    }
+    write_manifest(dir, recs.len(), &result.crashed_ranks, &files)
 }
 
 /// One rank's share of reassigned work: pooled nulls plus candidates.
 type Share = (PooledNull, Vec<(u32, u32, f64)>);
 
-struct RankOutput {
-    network: Option<GeneNetwork>,
-    threshold: f64,
-    stats: RankStats,
+pub(crate) struct RankOutput {
+    pub(crate) network: Option<GeneNetwork>,
+    pub(crate) threshold: f64,
+    pub(crate) stats: RankStats,
     /// Ranks presumed dead by the census (rank 0 only).
-    dead: Vec<usize>,
+    pub(crate) dead: Vec<usize>,
 }
 
-fn frame(tag: u8, round: u32, payload: &[u8]) -> Bytes {
+pub(crate) fn frame(tag: u8, round: u32, payload: &[u8]) -> Bytes {
     let mut buf = BytesMut::with_capacity(FRAME_HEADER + payload.len());
     buf.put_u8(tag);
     buf.put_u32_le(round);
@@ -389,7 +561,7 @@ fn frame(tag: u8, round: u32, payload: &[u8]) -> Bytes {
     buf.freeze()
 }
 
-fn parse_frame(mut bytes: Bytes) -> Option<(u8, u32, Bytes)> {
+pub(crate) fn parse_frame(mut bytes: Bytes) -> Option<(u8, u32, Bytes)> {
     if bytes.len() < FRAME_HEADER {
         return None;
     }
@@ -416,7 +588,7 @@ fn block_identity(from: usize, rd: u32, p: usize) -> usize {
 /// become [`ProtoEvent::Timeout`] with `fail_reason` set for the
 /// recovery trace events.
 fn recv_event(
-    ep: &Endpoint,
+    tp: &dyn Transport,
     from: usize,
     timeout: Duration,
     in_ring: bool,
@@ -430,7 +602,7 @@ fn recv_event(
         "unexpected frame"
     };
     loop {
-        return match ep.recv_timeout(from, timeout) {
+        return match tp.recv_timeout(from, timeout) {
             Ok(raw) => match parse_frame(raw) {
                 Some((TAG_CLOCK, _, _)) => continue, // delayed clock stamp: harmless
                 Some((TAG_BLOCK, rd, payload)) => {
@@ -438,7 +610,7 @@ fn recv_event(
                     *fail_reason = unexpected;
                     ProtoEvent::Frame(ProtoFrame::Block {
                         round: rd,
-                        block: block_identity(from, rd, ep.size()),
+                        block: block_identity(from, rd, tp.size()),
                     })
                 }
                 Some((TAG_RESULTS, _, payload)) => {
@@ -492,23 +664,23 @@ fn trace_now_us(rec: &Recorder) -> i64 {
 /// loop instead of losing it. A lost stamp degrades the offset to 0,
 /// recorded as `clock.sync` with `ok:false`.
 fn exchange_clock(
-    ep: &Endpoint,
+    tp: &dyn Transport,
     rank_rec: &Recorder,
     timeout: Duration,
 ) -> (i64, Option<(u32, Bytes)>) {
-    let p = ep.size();
-    let r = ep.rank();
+    let p = tp.size();
+    let r = tp.rank();
     let mut offset = 0i64;
     let mut ok = true;
     let mut leftover = None;
     if r == 0 {
         if p > 1 {
             let stamp = trace_now_us(rank_rec);
-            ep.send(1, frame(TAG_CLOCK, 0, &stamp.to_le_bytes()));
+            tp.send(1, frame(TAG_CLOCK, 0, &stamp.to_le_bytes()));
         }
     } else {
         ok = false;
-        if let Ok(raw) = ep.recv_timeout(r - 1, timeout) {
+        if let Ok(raw) = tp.recv_timeout(r - 1, timeout) {
             match parse_frame(raw) {
                 Some((TAG_CLOCK, _, payload)) if payload.len() == 8 => {
                     let mut stamp_bytes = [0u8; 8];
@@ -527,7 +699,7 @@ fn exchange_clock(
         }
         if r + 1 < p {
             let estimate = trace_now_us(rank_rec) - offset;
-            ep.send(r + 1, frame(TAG_CLOCK, 0, &estimate.to_le_bytes()));
+            tp.send(r + 1, frame(TAG_CLOCK, 0, &estimate.to_le_bytes()));
         }
     }
     rank_rec.event(
@@ -560,9 +732,13 @@ fn build_block(
     }
 }
 
+/// One rank's protocol run over any [`Transport`]. The caller owns the
+/// transport and must drop (or shut down) it after this returns — that
+/// drop is the rank-death signal survivors detect, both for the channel
+/// fabric (closed channels) and for TCP (FIN after drain).
 #[allow(clippy::too_many_arguments)]
-fn rank_main(
-    ep: Endpoint,
+pub(crate) fn rank_main(
+    tp: &dyn Transport,
     matrix: &ExpressionMatrix,
     config: &InferenceConfig,
     n: usize,
@@ -570,9 +746,9 @@ fn rank_main(
     rank_rec: &Recorder,
     peer_timeout: Duration,
 ) -> RankOutput {
-    let p = ep.size();
-    let r = ep.rank();
-    let faults = ep.faults().clone();
+    let p = tp.size();
+    let r = tp.rank();
+    let faults = tp.faults().clone();
     let (start, end) = block_range(n, p, r);
     let basis = BsplineBasis::new(config.spline_order, config.bins);
     let perms = PermutationSet::generate(matrix.samples(), config.permutations, config.seed);
@@ -586,8 +762,8 @@ fn rank_main(
     macro_rules! die {
         () => {{
             stats.crashed = true;
-            stats.messages = ep.stats().messages();
-            stats.bytes_sent = ep.stats().bytes();
+            stats.messages = tp.messages_sent();
+            stats.bytes_sent = tp.bytes_sent();
             stats.busy = busy;
             rank_rec.event(
                 "rank.crashed",
@@ -596,8 +772,9 @@ fn rank_main(
                     ("pairs", Value::from(stats.pairs)),
                 ],
             );
-            // Dropping the endpoint (by returning) closes this rank's
-            // channels — exactly how survivors detect the death.
+            // Returning hands the transport back to the caller, which
+            // drops it — closed channels / TCP FIN is exactly how the
+            // survivors detect the death.
             return RankOutput {
                 network: None,
                 threshold: 0.0,
@@ -616,7 +793,7 @@ fn rank_main(
     // re-based onto one cluster-wide timebase offline.
     let mut leftover: Option<(u32, Bytes)> = None;
     if rank_rec.is_enabled() {
-        let (offset, lo) = exchange_clock(&ep, rank_rec, peer_timeout);
+        let (offset, lo) = exchange_clock(tp, rank_rec, peer_timeout);
         stats.clock_offset_us = offset;
         leftover = lo;
     }
@@ -723,27 +900,27 @@ fn rank_main(
                     }
                     ring_span = Some(rank_rec.span(&format!("rank.round.{d}")));
                     cur_round = d;
-                    ep.send(to, frame(TAG_BLOCK, round, &travelling));
+                    tp.send(to, frame(TAG_BLOCK, round, &travelling));
                 }
                 Effect::Send {
                     to,
                     frame: ProtoFrame::Results,
                 } => {
                     let results = encode_rank_results(&pooled, &candidates);
-                    ep.send(to, frame(TAG_RESULTS, 0, &results));
+                    tp.send(to, frame(TAG_RESULTS, 0, &results));
                 }
                 Effect::Send {
                     to,
                     frame: ProtoFrame::Assign { pairs },
                 } => {
-                    ep.send(to, frame(TAG_ASSIGN, 0, &encode_assignment(&pairs)));
+                    tp.send(to, frame(TAG_ASSIGN, 0, &encode_assignment(&pairs)));
                 }
                 Effect::Send {
                     to,
                     frame: ProtoFrame::Supplement,
                 } => {
                     let sup = encode_rank_results(&sup_pooled, &sup_candidates);
-                    ep.send(to, frame(TAG_SUPPLEMENT, 0, &sup));
+                    tp.send(to, frame(TAG_SUPPLEMENT, 0, &sup));
                 }
                 Effect::AcceptBlock => {
                     travelling = block_payload
@@ -1009,7 +1186,7 @@ fn rank_main(
                 })
             }
             None => recv_event(
-                &ep,
+                tp,
                 from,
                 peer_timeout,
                 in_ring,
@@ -1025,8 +1202,8 @@ fn rank_main(
 
     drop(ring_span.take());
     drop(finalize_span.take());
-    stats.messages = ep.stats().messages();
-    stats.bytes_sent = ep.stats().bytes();
+    stats.messages = tp.messages_sent();
+    stats.bytes_sent = tp.bytes_sent();
     stats.busy = busy;
     rank_rec.counter_add("rank.pairs", stats.pairs);
     rank_rec.counter_add("rank.block_pairs", stats.block_pairs as u64);
@@ -1650,6 +1827,102 @@ mod tests {
         let manifest =
             std::fs::read_to_string(dir.join("manifest.json")).expect("manifest written");
         assert!(manifest.contains("\"crashed_ranks\":[2]"), "{manifest}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // ---- TCP transport acceptance ----
+
+    #[test]
+    fn tcp_run_matches_channel_run_byte_for_byte() {
+        let (matrix, _) = coupled_pairs(6, 220, Coupling::Linear(0.8), 42);
+        for ranks in [2usize, 4] {
+            let channel = infer_network_distributed(&matrix, &cfg(), ranks);
+            let tcp = infer_network_distributed_tcp(&matrix, &cfg(), ranks)
+                .expect("loopback TCP mesh establishes");
+            assert_eq!(
+                edge_keys(&tcp.network),
+                edge_keys(&channel.network),
+                "{ranks} TCP ranks changed the edge set"
+            );
+            for (x, y) in tcp.network.edges().iter().zip(channel.network.edges()) {
+                assert_eq!(
+                    x.weight.to_bits(),
+                    y.weight.to_bits(),
+                    "{ranks} TCP ranks: weights must be bit-identical"
+                );
+            }
+            assert_eq!(tcp.threshold.to_bits(), channel.threshold.to_bits());
+            assert!(tcp.crashed_ranks.is_empty());
+        }
+    }
+
+    #[test]
+    fn tcp_survives_the_acceptance_plan_crash_plus_midframe_cut() {
+        // The PR's acceptance scenario: a 4-rank loopback-TCP run where
+        // one rank is killed mid-round AND a first frame on the 3→0 edge
+        // is cut mid-frame (truncated, connection severed) must still be
+        // byte-identical to the fault-free run.
+        let (matrix, _) = coupled_pairs(6, 220, Coupling::Linear(0.8), 42);
+        let baseline = infer_network_distributed(&matrix, &cfg(), 4);
+        let plan = FaultPlan::parse("seed=7;crash(rank=2,round=1);cut(from=3,to=0,nth=1)")
+            .expect("acceptance plan parses");
+        let rec = Recorder::enabled();
+        let dist = infer_network_distributed_tcp_faulty(
+            &matrix,
+            &cfg(),
+            4,
+            &FaultInjector::from_plan_traced(&plan, &rec),
+            &rec,
+            faulty_timeout(),
+        )
+        .expect("crash + mid-frame cut must be survivable over TCP");
+        // Rank 2 died; rank 3's severed edge makes the census presume it
+        // dead too (its RESULTS can never reach rank 0).
+        assert_eq!(dist.crashed_ranks, vec![2, 3]);
+        assert_eq!(
+            edge_keys(&dist.network),
+            edge_keys(&baseline.network),
+            "recovery under TCP faults changed the inferred network"
+        );
+        for (x, y) in dist.network.edges().iter().zip(baseline.network.edges()) {
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+        }
+        assert!(
+            rec.event_count(names::EVT_FRAME_CUT) >= 1,
+            "the cut must have fired"
+        );
+    }
+
+    #[test]
+    fn tcp_traced_run_carries_transport_counters_in_rank_streams() {
+        let (matrix, _) = coupled_pairs(8, 120, Coupling::Linear(0.8), 17);
+        let dir = std::env::temp_dir().join(format!(
+            "gnet-cluster-trace-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let baseline = infer_network_distributed(&matrix, &cfg(), 4);
+        let dist = infer_network_distributed_tcp_traced(
+            &matrix,
+            &cfg(),
+            4,
+            &FaultInjector::none(),
+            &Recorder::disabled(),
+            DEFAULT_PEER_TIMEOUT,
+            &dir,
+        )
+        .expect("traced TCP run succeeds");
+        assert_eq!(edge_keys(&dist.network), edge_keys(&baseline.network));
+        for r in 0..4 {
+            let text = std::fs::read_to_string(dir.join(format!("rank-{r}.ndjson")))
+                .expect("rank stream written");
+            for counter in ["tcp.frames_sent", "tcp.frames_recv", "tcp.frame_bytes_sent"] {
+                assert!(
+                    text.contains(&format!("\"name\":\"{counter}\"")),
+                    "rank {r} stream missing {counter}"
+                );
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

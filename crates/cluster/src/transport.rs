@@ -1,0 +1,105 @@
+//! The transport abstraction the ring protocol driver runs over.
+//!
+//! The distributed driver ([`crate::distributed`]) is written against
+//! [`Transport`] — the minimal endpoint semantics the protocol machine
+//! needs: addressed sends that never block, bounded per-peer receives
+//! that distinguish *silence* from *death*, and the fault-injection and
+//! traffic-accounting hooks the chaos and observability layers rely on.
+//!
+//! Two implementations exist:
+//!
+//! * [`crate::comm::Endpoint`] — the in-process channel fabric (one
+//!   unbounded, ordered channel per directed rank pair). The historical
+//!   transport; its behavior under this trait is byte-for-byte what it
+//!   was before the trait existed.
+//! * [`crate::tcp::TcpTransport`] — real sockets with length-prefixed
+//!   frames, bounded dial retries with backoff + jitter, and graceful
+//!   drain-then-FIN shutdown. Peer death surfaces through the same
+//!   [`RecvTimeoutError::Disconnected`] the channel transport uses, so
+//!   the census/heal/redistribute logic carries over unchanged.
+//!
+//! The contract both implementations honor (the properties the protocol
+//! machine was model-checked under):
+//!
+//! 1. **Per-edge FIFO.** Frames from one sender arrive in send order.
+//! 2. **Non-blocking sends.** `send` buffers without waiting for the
+//!    receiver; a send to a dead peer is discarded, never an error the
+//!    sender observes (datagram-to-a-dead-host semantics).
+//! 3. **Bounded receives.** `recv_timeout` returns `Timeout` for a
+//!    silent-but-alive peer and `Disconnected` once the peer is gone
+//!    *and* its already-buffered frames are drained — buffered frames
+//!    outlive their sender, so a crashing rank's last words still land.
+
+use crate::comm::RecvTimeoutError;
+use bytes::Bytes;
+use gnet_fault::FaultInjector;
+use std::time::Duration;
+
+/// Ring endpoint semantics, object-safe so the driver can run over any
+/// transport without monomorphizing the whole protocol interpreter.
+///
+/// `Send` (not `Sync`): a transport is owned by exactly one rank thread
+/// for its whole life — the receive side is single-consumer by design,
+/// matching the one-protocol-loop-per-rank execution model.
+pub trait Transport: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the fabric.
+    fn size(&self) -> usize;
+
+    /// Send `payload` to rank `to` without blocking (unbounded
+    /// buffering). Sends to a dead peer are silently discarded.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range. The channel transport additionally
+    /// panics on a dead peer when no fault plan is armed (there, a
+    /// dropped peer is a logic error worth crashing on).
+    fn send(&self, to: usize, payload: Bytes);
+
+    /// Wait at most `timeout` for a frame from rank `from`.
+    ///
+    /// `Timeout` means the peer is presumed alive but silent;
+    /// `Disconnected` means the peer is gone and every frame it buffered
+    /// has been drained.
+    ///
+    /// # Errors
+    /// [`RecvTimeoutError`] as described above.
+    ///
+    /// # Panics
+    /// Panics if `from` is out of range.
+    fn recv_timeout(&self, from: usize, timeout: Duration) -> Result<Bytes, RecvTimeoutError>;
+
+    /// The fault injector consulted on this transport's sends.
+    fn faults(&self) -> &FaultInjector;
+
+    /// Messages sent so far through this endpoint.
+    fn messages_sent(&self) -> u64;
+
+    /// Payload bytes sent so far through this endpoint.
+    fn bytes_sent(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Fabric;
+
+    #[test]
+    fn endpoint_satisfies_the_trait_object_contract() {
+        let mut eps = Fabric::new(2).into_endpoints();
+        let e1 = eps.pop().expect("two endpoints");
+        let e0 = eps.pop().expect("two endpoints");
+        let t0: &dyn Transport = &e0;
+        let t1: &dyn Transport = &e1;
+        assert_eq!((t0.rank(), t0.size()), (0, 2));
+        t0.send(1, Bytes::from_static(b"via trait"));
+        let got = t1
+            .recv_timeout(0, Duration::from_secs(5))
+            .expect("frame delivered");
+        assert_eq!(&got[..], b"via trait");
+        assert_eq!(t0.messages_sent(), 1);
+        assert_eq!(t0.bytes_sent(), 9);
+        assert!(!t0.faults().is_armed());
+    }
+}

@@ -30,8 +30,8 @@ use crate::corpus::DatasetSpec;
 use crate::TolerancePolicy;
 use gnet_bspline::{BsplineBasis, DenseWeights};
 use gnet_cluster::{
-    infer_network_distributed, infer_network_distributed_faulty, DistributedResult,
-    DEFAULT_PEER_TIMEOUT,
+    infer_network_distributed, infer_network_distributed_faulty, infer_network_distributed_tcp,
+    DistributedResult, DEFAULT_PEER_TIMEOUT,
 };
 use gnet_core::checkpoint::infer_network_resumable;
 use gnet_core::{infer_network, InferenceConfig, InferenceResult};
@@ -267,7 +267,10 @@ pub(crate) fn scheduler_oracle(spec: &DatasetSpec, _tol: &TolerancePolicy) -> Or
 /// Distributed differential: `{1,2,4,8}`-rank runs must serialize to
 /// byte-identical edge lists; the pooled threshold is held to
 /// [`POOLED_THRESHOLD_ABS`] instead of bitwise (merge order varies with
-/// the rank count — see the constant's doc).
+/// the rank count — see the constant's doc). The same grade is then
+/// demanded of `{2,4}`-rank runs over the loopback-TCP transport: real
+/// sockets, framing, and drain-then-FIN shutdown must be invisible in
+/// the serialized output.
 pub(crate) fn distributed_oracle(spec: &DatasetSpec, _tol: &TolerancePolicy) -> OracleOutcome {
     let matrix = spec.build();
     let cfg = dist_config();
@@ -282,6 +285,24 @@ pub(crate) fn distributed_oracle(spec: &DatasetSpec, _tol: &TolerancePolicy) -> 
         checks += 1;
         if let Some(diff) = diff_distributed(&reference, &run, &ref_bytes) {
             return OracleOutcome::fail(checks, format!("{ranks} ranks vs 1 rank: {diff}"));
+        }
+    }
+    for ranks in [2usize, 4] {
+        if ranks > matrix.genes() {
+            continue;
+        }
+        let run = match infer_network_distributed_tcp(&matrix, &cfg, ranks) {
+            Ok(r) => r,
+            Err(e) => {
+                return OracleOutcome::fail(
+                    checks + 1,
+                    format!("{ranks}-rank loopback-TCP mesh failed to establish: {e}"),
+                )
+            }
+        };
+        checks += 1;
+        if let Some(diff) = diff_distributed(&reference, &run, &ref_bytes) {
+            return OracleOutcome::fail(checks, format!("{ranks} TCP ranks vs 1 rank: {diff}"));
         }
     }
     OracleOutcome::clean(checks)

@@ -33,10 +33,32 @@ pub enum MessageAction {
     Delay(Duration),
 }
 
+/// What a wire transport should do with one outgoing frame.
+///
+/// Consulted by real network transports (TCP) per frame written; the
+/// in-process channel fabric never asks, so wire faults cannot perturb
+/// channel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireAction {
+    /// Write the frame normally.
+    Deliver,
+    /// Write half the frame, pause for the duration, then write the rest.
+    Stall(Duration),
+    /// Write only the first `n` bytes, then sever the connection.
+    Truncate(usize),
+}
+
 struct Inner {
     plan: FaultPlan,
     /// Messages observed per directed edge `(from, to)`.
     edge_counts: Mutex<HashMap<(usize, usize), u64>>,
+    /// Frames written per directed wire `(from, to)` — deliberately a
+    /// separate count from `edge_counts`, so a plan's `nth` means the
+    /// same thing whether the clause targets the message layer or the
+    /// wire layer.
+    wire_counts: Mutex<HashMap<(usize, usize), u64>>,
+    /// Dial attempts observed per directed connection `(from, to)`.
+    connect_counts: Mutex<HashMap<(usize, usize), u64>>,
     /// I/O operations observed per [`IoOp`] kind.
     io_counts: [AtomicU64; 3],
     /// Checkpoint payloads offered for corruption so far.
@@ -75,6 +97,8 @@ impl FaultInjector {
             inner: Some(Arc::new(Inner {
                 plan: plan.clone(),
                 edge_counts: Mutex::new(HashMap::new()),
+                wire_counts: Mutex::new(HashMap::new()),
+                connect_counts: Mutex::new(HashMap::new()),
                 io_counts: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
                 checkpoint_writes: AtomicU64::new(0),
                 fired: AtomicU64::new(0),
@@ -174,6 +198,138 @@ impl FaultInjector {
             }
             None => MessageAction::Deliver,
         }
+    }
+
+    /// Consult the plan for one outgoing wire frame on `from → to`.
+    ///
+    /// `frame_len` is the full on-wire size (length prefix + frame).
+    /// Advances the per-wire frame count — a count independent of the
+    /// message-layer count in [`Self::on_message`]. A `trunc` clause
+    /// beats a `cut` clause beats a `stall` clause matching the same
+    /// frame; `cut` is truncation at half the frame.
+    pub fn on_frame(&self, from: usize, to: usize, frame_len: usize) -> WireAction {
+        let Some(inner) = self.inner.as_deref() else {
+            return WireAction::Deliver;
+        };
+        let nth = {
+            let mut counts = inner
+                .wire_counts
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let slot = counts.entry((from, to)).or_insert(0);
+            let nth = *slot;
+            *slot += 1;
+            nth
+        };
+        let mut stall = None;
+        let mut cut = false;
+        for fault in &inner.plan.faults {
+            match *fault {
+                Fault::TruncateFrame {
+                    from: f,
+                    to: t,
+                    nth: n,
+                    bytes,
+                } if f == from && t == to && n == nth => {
+                    Self::fire(inner);
+                    inner.rec.event(
+                        names::EVT_FRAME_TRUNCATED,
+                        &[
+                            ("from", Value::from(from)),
+                            ("to", Value::from(to)),
+                            ("nth", Value::from(nth)),
+                            ("bytes", Value::from(bytes)),
+                        ],
+                    );
+                    return WireAction::Truncate(bytes.min(frame_len.saturating_sub(1)));
+                }
+                Fault::CutFrame {
+                    from: f,
+                    to: t,
+                    nth: n,
+                } if f == from && t == to && n == nth => {
+                    cut = true;
+                }
+                Fault::StallFrame {
+                    from: f,
+                    to: t,
+                    nth: n,
+                    micros,
+                } if f == from && t == to && n == nth && stall.is_none() => {
+                    stall = Some(micros);
+                }
+                _ => {}
+            }
+        }
+        if cut {
+            Self::fire(inner);
+            inner.rec.event(
+                names::EVT_FRAME_CUT,
+                &[
+                    ("from", Value::from(from)),
+                    ("to", Value::from(to)),
+                    ("nth", Value::from(nth)),
+                ],
+            );
+            return WireAction::Truncate(frame_len / 2);
+        }
+        match stall {
+            Some(micros) => {
+                Self::fire(inner);
+                inner.rec.event(
+                    names::EVT_FRAME_STALLED,
+                    &[
+                        ("from", Value::from(from)),
+                        ("to", Value::from(to)),
+                        ("nth", Value::from(nth)),
+                        ("us", Value::from(micros)),
+                    ],
+                );
+                WireAction::Stall(Duration::from_micros(micros))
+            }
+            None => WireAction::Deliver,
+        }
+    }
+
+    /// Consult the plan for one dial attempt on the transport connection
+    /// `from → to`.
+    ///
+    /// Advances the per-connection attempt count; returns true while the
+    /// attempt index is below a matching `refuse` clause's `attempts`,
+    /// simulating `ECONNREFUSED` that clears after bounded retries.
+    pub fn connect_refused(&self, from: usize, to: usize) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        let attempt = {
+            let mut counts = inner
+                .connect_counts
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let slot = counts.entry((from, to)).or_insert(0);
+            let attempt = *slot;
+            *slot += 1;
+            attempt
+        };
+        let refused = inner.plan.faults.iter().any(|f| {
+            matches!(
+                *f,
+                Fault::ConnectRefused { from: f2, to: t, attempts }
+                    if f2 == from && t == to && attempt < attempts
+            )
+        });
+        if refused {
+            Self::fire(inner);
+            inner.rec.event(
+                names::EVT_CONNECT_REFUSED,
+                &[
+                    ("from", Value::from(from)),
+                    ("to", Value::from(to)),
+                    ("attempt", Value::from(attempt)),
+                ],
+            );
+        }
+        refused
     }
 
     /// Should `rank` die at ring-round boundary `round`?
@@ -414,6 +570,89 @@ mod tests {
     }
 
     #[test]
+    fn disarmed_injector_ignores_wire_queries() {
+        let inj = FaultInjector::none();
+        assert_eq!(inj.on_frame(0, 1, 64), WireAction::Deliver);
+        assert!(!inj.connect_refused(1, 0));
+        assert_eq!(inj.faults_fired(), 0);
+    }
+
+    #[test]
+    fn wire_faults_fire_on_exact_wire_and_index() {
+        let plan = FaultPlan::new(1)
+            .with(Fault::CutFrame {
+                from: 0,
+                to: 1,
+                nth: 1,
+            })
+            .with(Fault::StallFrame {
+                from: 0,
+                to: 1,
+                nth: 2,
+                micros: 300,
+            })
+            .with(Fault::TruncateFrame {
+                from: 2,
+                to: 0,
+                nth: 0,
+                bytes: 3,
+            });
+        let inj = FaultInjector::from_plan(&plan);
+        assert_eq!(inj.on_frame(0, 1, 40), WireAction::Deliver); // nth 0
+        assert_eq!(inj.on_frame(1, 0, 40), WireAction::Deliver); // other wire
+        assert_eq!(inj.on_frame(0, 1, 40), WireAction::Truncate(20)); // cut at half
+        assert_eq!(
+            inj.on_frame(0, 1, 40),
+            WireAction::Stall(Duration::from_micros(300))
+        );
+        assert_eq!(inj.on_frame(2, 0, 40), WireAction::Truncate(3));
+        assert_eq!(inj.faults_fired(), 3);
+    }
+
+    #[test]
+    fn truncation_never_covers_the_whole_frame() {
+        let plan = FaultPlan::new(1).with(Fault::TruncateFrame {
+            from: 0,
+            to: 1,
+            nth: 0,
+            bytes: 500,
+        });
+        let inj = FaultInjector::from_plan(&plan);
+        // A trunc clause larger than the frame still severs it short, so
+        // the peer always observes a torn frame rather than a clean one.
+        assert_eq!(inj.on_frame(0, 1, 10), WireAction::Truncate(9));
+    }
+
+    #[test]
+    fn wire_counts_are_independent_of_message_counts() {
+        let plan = FaultPlan::new(1).with(Fault::CutFrame {
+            from: 0,
+            to: 1,
+            nth: 0,
+        });
+        let inj = FaultInjector::from_plan(&plan);
+        // Message-layer traffic must not consume the wire index.
+        assert_eq!(inj.on_message(0, 1), MessageAction::Deliver);
+        assert_eq!(inj.on_message(0, 1), MessageAction::Deliver);
+        assert_eq!(inj.on_frame(0, 1, 8), WireAction::Truncate(4));
+    }
+
+    #[test]
+    fn connect_refusal_clears_after_the_budgeted_attempts() {
+        let plan = FaultPlan::new(1).with(Fault::ConnectRefused {
+            from: 2,
+            to: 0,
+            attempts: 2,
+        });
+        let inj = FaultInjector::from_plan(&plan);
+        assert!(!inj.connect_refused(1, 0)); // other connection
+        assert!(inj.connect_refused(2, 0)); // attempt 0
+        assert!(inj.connect_refused(2, 0)); // attempt 1
+        assert!(!inj.connect_refused(2, 0)); // attempt 2 succeeds
+        assert_eq!(inj.faults_fired(), 2);
+    }
+
+    #[test]
     fn fired_faults_are_recorded_in_the_trace() {
         let rec = Recorder::enabled();
         let plan = FaultPlan::new(1).with(Fault::DropMessage {
@@ -435,6 +674,7 @@ mod tests {
             chunk_boundaries: 4,
             checkpoint_bytes: 64,
             device_tiles: 8,
+            transport: true,
         };
         let plan = FaultPlan::randomized(7, &space, 6);
         let a = FaultInjector::from_plan(&plan);

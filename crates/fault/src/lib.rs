@@ -31,7 +31,7 @@ mod injector;
 mod plan;
 mod rng;
 
-pub use injector::{FaultInjector, MessageAction};
+pub use injector::{FaultInjector, MessageAction, WireAction};
 pub use plan::{ChaosSpace, Fault, FaultPlan, IoOp, PlanParseError};
 pub use rng::SplitMix64;
 
@@ -56,6 +56,14 @@ pub mod names {
     pub const EVT_BIT_FLIP: &str = "fault.bit_flip";
     /// Event: the offload device died mid-split.
     pub const EVT_DEVICE_LOSS: &str = "fault.device_loss";
+    /// Event: a transport dial attempt was refused.
+    pub const EVT_CONNECT_REFUSED: &str = "fault.connect_refused";
+    /// Event: a wire frame was severed halfway through.
+    pub const EVT_FRAME_CUT: &str = "fault.frame_cut";
+    /// Event: a wire frame write stalled mid-frame.
+    pub const EVT_FRAME_STALLED: &str = "fault.frame_stalled";
+    /// Event: a wire frame was truncated then the connection severed.
+    pub const EVT_FRAME_TRUNCATED: &str = "fault.frame_truncated";
     /// Counter: total faults fired by an injector.
     pub const CNT_FAULTS_INJECTED: &str = "fault.injected";
 

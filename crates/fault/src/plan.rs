@@ -5,6 +5,7 @@
 //! ```text
 //! plan     := "seed=" u64 (";" fault)*
 //! fault    := crash | chunk | drop | delay | io | flip | device
+//!           | refuse | cut | stall | trunc
 //! crash    := "crash(rank=" usize ",round=" usize ")"
 //! chunk    := "chunk-crash(boundary=" usize ")"
 //! drop     := "drop(from=" usize ",to=" usize ",nth=" u64 ")"
@@ -12,7 +13,19 @@
 //! io       := "io(op=" ("read"|"write"|"rename") ",nth=" u64 ")"
 //! flip     := "flip(write=" u64 ",byte=" usize ",bit=" 0..=7 ")"
 //! device   := "device(tile=" usize ")"
+//! refuse   := "refuse(from=" usize ",to=" usize ",attempts=" u64 ")"
+//! cut      := "cut(from=" usize ",to=" usize ",nth=" u64 ")"
+//! stall    := "stall(from=" usize ",to=" usize ",nth=" u64 ",us=" u64 ")"
+//! trunc    := "trunc(from=" usize ",to=" usize ",nth=" u64 ",bytes=" usize ")"
 //! ```
+//!
+//! The last four clauses are *transport* (wire-level) faults, consulted
+//! by real network transports only: `refuse` rejects the first
+//! `attempts` dial attempts on a connection `from → to`, `cut` severs
+//! the socket halfway through the `nth` frame, `stall` pauses mid-frame
+//! for `us` microseconds, and `trunc` writes only `bytes` bytes of the
+//! `nth` frame before severing. The in-process channel fabric never
+//! consults them, so a wire-fault plan is a no-op there by construction.
 //!
 //! `Display` emits exactly this grammar, so `FaultPlan::parse(&p.to_string())`
 //! round-trips every plan — the property the chaos CI job relies on to
@@ -115,6 +128,52 @@ pub enum Fault {
         /// Number of device tiles completed before the loss.
         tile: usize,
     },
+    /// Refuse the first `attempts` dial attempts on the transport
+    /// connection `from → to` (the dialer sees `ECONNREFUSED` and must
+    /// retry with backoff).
+    ConnectRefused {
+        /// Dialing rank.
+        from: usize,
+        /// Listening rank.
+        to: usize,
+        /// Number of initial dial attempts to reject.
+        attempts: u64,
+    },
+    /// Sever the wire halfway through the `nth` (0-based) frame written
+    /// on `from → to`: the peer receives a partial frame then EOF.
+    CutFrame {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 0-based frame index on this directed wire.
+        nth: u64,
+    },
+    /// Pause mid-frame for `micros` microseconds while writing the
+    /// `nth` frame on `from → to` (a write stall the reader observes as
+    /// a slow partial read).
+    StallFrame {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 0-based frame index on this directed wire.
+        nth: u64,
+        /// Stall duration in microseconds.
+        micros: u64,
+    },
+    /// Write only the first `bytes` bytes of the `nth` frame on
+    /// `from → to`, then sever the wire (a torn write).
+    TruncateFrame {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 0-based frame index on this directed wire.
+        nth: u64,
+        /// Bytes of the frame actually written before the cut.
+        bytes: usize,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -134,6 +193,22 @@ impl fmt::Display for Fault {
                 write!(f, "flip(write={write},byte={byte},bit={bit})")
             }
             Self::DeviceLoss { tile } => write!(f, "device(tile={tile})"),
+            Self::ConnectRefused { from, to, attempts } => {
+                write!(f, "refuse(from={from},to={to},attempts={attempts})")
+            }
+            Self::CutFrame { from, to, nth } => write!(f, "cut(from={from},to={to},nth={nth})"),
+            Self::StallFrame {
+                from,
+                to,
+                nth,
+                micros,
+            } => write!(f, "stall(from={from},to={to},nth={nth},us={micros})"),
+            Self::TruncateFrame {
+                from,
+                to,
+                nth,
+                bytes,
+            } => write!(f, "trunc(from={from},to={to},nth={nth},bytes={bytes})"),
         }
     }
 }
@@ -256,6 +331,12 @@ impl FaultPlan {
         if space.device_tiles > 0 {
             kinds.push(6); // device loss
         }
+        if space.transport && space.ranks > 1 {
+            kinds.push(7); // connect refused
+            kinds.push(8); // mid-frame cut
+            kinds.push(9); // mid-frame stall
+            kinds.push(10); // truncated write
+        }
         for _ in 0..count {
             let kind = kinds[rng.below(kinds.len() as u64) as usize];
             let fault = match kind {
@@ -302,10 +383,45 @@ impl FaultPlan {
                     // cast-ok: below(8) fits u8.
                     bit: rng.below(8) as u8,
                 },
-                _ => Fault::DeviceLoss {
+                6 => Fault::DeviceLoss {
                     // cast-ok: bounded by device_tiles, a usize.
                     tile: rng.below(space.device_tiles as u64) as usize,
                 },
+                _ => {
+                    // cast-ok: both bounded by ranks, a usize.
+                    let from = rng.below(space.ranks as u64) as usize;
+                    let mut to = rng.below(space.ranks as u64) as usize;
+                    if to == from {
+                        to = (to + 1) % space.ranks;
+                    }
+                    match kind {
+                        7 => Fault::ConnectRefused {
+                            from,
+                            to,
+                            attempts: 1 + rng.below(3),
+                        },
+                        8 => Fault::CutFrame {
+                            from,
+                            to,
+                            nth: rng.below(4),
+                        },
+                        9 => Fault::StallFrame {
+                            from,
+                            to,
+                            nth: rng.below(4),
+                            micros: 100 + rng.below(5_000),
+                        },
+                        _ => Fault::TruncateFrame {
+                            from,
+                            to,
+                            nth: rng.below(4),
+                            // cast-ok: below(8) fits usize; 1..=8 bytes
+                            // always lands inside the 5-byte frame header
+                            // plus payload.
+                            bytes: 1 + rng.below(8) as usize,
+                        },
+                    }
+                }
             };
             plan.faults.push(fault);
         }
@@ -346,6 +462,10 @@ pub struct ChaosSpace {
     pub checkpoint_bytes: usize,
     /// Device tiles in an offload split, for device-loss faults.
     pub device_tiles: usize,
+    /// Whether the run uses a real wire transport (TCP): enables the
+    /// `refuse`/`cut`/`stall`/`trunc` kinds. Off by default so channel
+    /// chaos runs keep their historical draw sequences.
+    pub transport: bool,
 }
 
 fn parse_fault(clause: &str) -> Result<Fault, PlanParseError> {
@@ -409,6 +529,28 @@ fn parse_fault(clause: &str) -> Result<Fault, PlanParseError> {
         }
         "device" => Fault::DeviceLoss {
             tile: fields.take("tile")?,
+        },
+        "refuse" => Fault::ConnectRefused {
+            from: fields.take("from")?,
+            to: fields.take("to")?,
+            attempts: fields.take("attempts")?,
+        },
+        "cut" => Fault::CutFrame {
+            from: fields.take("from")?,
+            to: fields.take("to")?,
+            nth: fields.take("nth")?,
+        },
+        "stall" => Fault::StallFrame {
+            from: fields.take("from")?,
+            to: fields.take("to")?,
+            nth: fields.take("nth")?,
+            micros: fields.take("us")?,
+        },
+        "trunc" => Fault::TruncateFrame {
+            from: fields.take("from")?,
+            to: fields.take("to")?,
+            nth: fields.take("nth")?,
+            bytes: fields.take("bytes")?,
         },
         other => return Err(clause_err(clause, format!("unknown fault kind `{other}`"))),
     };
@@ -495,6 +637,28 @@ mod tests {
                 bit: 3,
             })
             .with(Fault::DeviceLoss { tile: 5 })
+            .with(Fault::ConnectRefused {
+                from: 2,
+                to: 0,
+                attempts: 3,
+            })
+            .with(Fault::CutFrame {
+                from: 1,
+                to: 2,
+                nth: 4,
+            })
+            .with(Fault::StallFrame {
+                from: 0,
+                to: 3,
+                nth: 1,
+                micros: 2500,
+            })
+            .with(Fault::TruncateFrame {
+                from: 3,
+                to: 1,
+                nth: 0,
+                bytes: 7,
+            })
     }
 
     #[test]
@@ -511,7 +675,9 @@ mod tests {
             text,
             "seed=42;crash(rank=2,round=1);chunk-crash(boundary=3);\
              drop(from=0,to=1,nth=2);delay(from=3,to=0,nth=0,us=1500);\
-             io(op=rename,nth=1);flip(write=0,byte=17,bit=3);device(tile=5)"
+             io(op=rename,nth=1);flip(write=0,byte=17,bit=3);device(tile=5);\
+             refuse(from=2,to=0,attempts=3);cut(from=1,to=2,nth=4);\
+             stall(from=0,to=3,nth=1,us=2500);trunc(from=3,to=1,nth=0,bytes=7)"
         );
     }
 
@@ -519,16 +685,20 @@ mod tests {
     fn parse_rejects_malformed_clauses() {
         for bad in [
             "",
-            "crash(rank=1,round=0)",                // missing seed
-            "seed=x",                               // non-numeric seed
-            "seed=1;crash(rank=1)",                 // missing field
-            "seed=1;crash(round=1,rank=1)",         // wrong field order
-            "seed=1;crash(rank=1,round=2,extra=3)", // trailing field
-            "seed=1;warp(speed=9)",                 // unknown kind
-            "seed=1;flip(write=0,byte=0,bit=9)",    // bit out of range
-            "seed=1;io(op=truncate,nth=0)",         // unknown io op
-            "seed=1;drop(from=0,to=1,nth=oops)",    // bad number
-            "seed=1;crash rank=1,round=2)",         // missing paren
+            "crash(rank=1,round=0)",                   // missing seed
+            "seed=x",                                  // non-numeric seed
+            "seed=1;crash(rank=1)",                    // missing field
+            "seed=1;crash(round=1,rank=1)",            // wrong field order
+            "seed=1;crash(rank=1,round=2,extra=3)",    // trailing field
+            "seed=1;warp(speed=9)",                    // unknown kind
+            "seed=1;flip(write=0,byte=0,bit=9)",       // bit out of range
+            "seed=1;io(op=truncate,nth=0)",            // unknown io op
+            "seed=1;drop(from=0,to=1,nth=oops)",       // bad number
+            "seed=1;crash rank=1,round=2)",            // missing paren
+            "seed=1;refuse(from=0,to=1)",              // missing attempts
+            "seed=1;cut(from=0,nth=1)",                // missing to
+            "seed=1;stall(from=0,to=1,nth=0)",         // missing us
+            "seed=1;trunc(from=0,to=1,nth=0,bytes=x)", // bad number
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
         }
@@ -542,6 +712,7 @@ mod tests {
             chunk_boundaries: 8,
             checkpoint_bytes: 256,
             device_tiles: 10,
+            transport: true,
         };
         let a = FaultPlan::randomized(99, &space, 12);
         let b = FaultPlan::randomized(99, &space, 12);
@@ -567,6 +738,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn transport_kinds_are_gated_on_the_transport_dimension() {
+        let wired = ChaosSpace {
+            ranks: 4,
+            rounds: 2,
+            transport: true,
+            ..ChaosSpace::default()
+        };
+        let channel_only = ChaosSpace {
+            transport: false,
+            ..wired
+        };
+        let is_wire = |f: &Fault| {
+            matches!(
+                f,
+                Fault::ConnectRefused { .. }
+                    | Fault::CutFrame { .. }
+                    | Fault::StallFrame { .. }
+                    | Fault::TruncateFrame { .. }
+            )
+        };
+        let mut saw_wire = false;
+        for seed in 0..32 {
+            saw_wire |= FaultPlan::randomized(seed, &wired, 8)
+                .faults
+                .iter()
+                .any(is_wire);
+            assert!(
+                !FaultPlan::randomized(seed, &channel_only, 8)
+                    .faults
+                    .iter()
+                    .any(is_wire),
+                "seed {seed} drew a wire fault without transport"
+            );
+        }
+        assert!(saw_wire, "no wire fault drawn across 32 seeds");
     }
 
     #[test]

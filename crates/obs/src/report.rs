@@ -68,6 +68,32 @@ pub struct RankLoad {
     pub crashed: bool,
 }
 
+/// One rank's TCP transport counters (`tcp.*`), published by the
+/// loopback/cluster TCP transport. Absent for single-process and
+/// in-process-channel runs, so the report section only appears when a
+/// run actually crossed the network.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TransportLoad {
+    /// Rank id.
+    pub rank: u64,
+    /// Mesh connections established by this rank (dial side).
+    pub connects: u64,
+    /// Dial attempts that needed a retry before succeeding.
+    pub connect_retries: u64,
+    /// Protocol frames written to peers.
+    pub frames_sent: u64,
+    /// Protocol frames read from peers.
+    pub frames_recv: u64,
+    /// Frame payload bytes written (headers included).
+    pub frame_bytes_sent: u64,
+    /// Frame payload bytes read (headers included).
+    pub frame_bytes_recv: u64,
+    /// Receives that hit the per-operation deadline.
+    pub deadline_expiries: u64,
+    /// Peer connections that dropped mid-run (death or mid-frame cut).
+    pub peer_disconnects: u64,
+}
+
 /// One stage row of the perf-attribution table.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StageAttribution {
@@ -94,6 +120,9 @@ pub struct TimelineReport {
     pub makespan_us: u64,
     /// Per-rank load, sorted by rank.
     pub ranks: Vec<RankLoad>,
+    /// Per-rank TCP transport counters, sorted by rank. Empty unless
+    /// the rank streams carry `tcp.*` counters (multi-process runs).
+    pub transport: Vec<TransportLoad>,
     /// Load imbalance: max rank busy / mean rank busy (1.0 = perfect).
     pub imbalance: f64,
     /// The critical path, latest span backwards (see [`critical_path`]).
@@ -254,6 +283,28 @@ pub fn analyze(model: &RunModel, kernel_model: Option<KernelModel>) -> TimelineR
         .collect();
     ranks.sort_by_key(|r| r.rank);
 
+    // --- transport counters --------------------------------------------
+    let mut transport: Vec<TransportLoad> = model
+        .ranks
+        .iter()
+        .filter(|t| t.counters.iter().any(|c| c.name.starts_with("tcp.")))
+        .map(|t| {
+            let c = |name: &str| t.counter(name).unwrap_or(0);
+            TransportLoad {
+                rank: t.rank(),
+                connects: c("tcp.connects"),
+                connect_retries: c("tcp.connect_retries"),
+                frames_sent: c("tcp.frames_sent"),
+                frames_recv: c("tcp.frames_recv"),
+                frame_bytes_sent: c("tcp.frame_bytes_sent"),
+                frame_bytes_recv: c("tcp.frame_bytes_recv"),
+                deadline_expiries: c("tcp.deadline_expiries"),
+                peer_disconnects: c("tcp.peer_disconnects"),
+            }
+        })
+        .collect();
+    transport.sort_by_key(|t| t.rank);
+
     #[allow(clippy::cast_precision_loss)] // cast-ok: µs totals, report math
     let imbalance = {
         let busy: Vec<f64> = ranks.iter().map(|r| r.busy_us as f64).collect();
@@ -324,6 +375,7 @@ pub fn analyze(model: &RunModel, kernel_model: Option<KernelModel>) -> TimelineR
     TimelineReport {
         makespan_us,
         ranks,
+        transport,
         imbalance,
         critical_path,
         critical_path_us,
@@ -379,6 +431,45 @@ impl TimelineReport {
                 claims,
                 if r.crashed { "  [crashed]" } else { "" },
             );
+        }
+        if !self.transport.is_empty() {
+            let _ = writeln!(out, "\n-- transport (loopback/cluster tcp) --");
+            let _ = writeln!(
+                out,
+                "{:>5} {:>8} {:>8} {:>12} {:>12} {:>9} {:>10} {:>12}",
+                "rank",
+                "fr_sent",
+                "fr_recv",
+                "bytes_sent",
+                "bytes_recv",
+                "retries",
+                "deadlines",
+                "disconnects"
+            );
+            for t in &self.transport {
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>8} {:>8} {:>12} {:>12} {:>9} {:>10} {:>12}",
+                    t.rank,
+                    t.frames_sent,
+                    t.frames_recv,
+                    t.frame_bytes_sent,
+                    t.frame_bytes_recv,
+                    t.connect_retries,
+                    t.deadline_expiries,
+                    t.peer_disconnects,
+                );
+            }
+            let deadlines: u64 = self.transport.iter().map(|t| t.deadline_expiries).sum();
+            let disconnects: u64 = self.transport.iter().map(|t| t.peer_disconnects).sum();
+            if deadlines > 0 || disconnects > 0 {
+                let _ = writeln!(
+                    out,
+                    "  network stalls: {deadlines} deadline expiries, \
+                     {disconnects} peer disconnects — receive time on the \
+                     affected ranks includes waiting out these events"
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -478,6 +569,84 @@ mod tests {
         assert_eq!(stage_of("rank.round.12"), "rank.round");
         assert_eq!(stage_of("stage.mi"), "stage.mi");
         assert_eq!(stage_of("rank.prep"), "rank.prep");
+    }
+
+    fn trace_with_counters(rank: u64, counters: Vec<(&str, u64)>) -> crate::ingest::RankTrace {
+        crate::ingest::RankTrace {
+            meta: crate::ingest::TraceMeta {
+                version: 1,
+                elapsed_us: 1_000,
+                rank: Some(rank),
+                ranks: Some(2),
+                clock_offset_us: Some(0),
+            },
+            spans: Vec::new(),
+            events: Vec::new(),
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| crate::ingest::CounterRec {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn transport_section_appears_only_when_ranks_carry_tcp_counters() {
+        let tcp = RunModel::from_traces(vec![
+            trace_with_counters(
+                0,
+                vec![("tcp.frames_sent", 9), ("tcp.frame_bytes_sent", 640)],
+            ),
+            trace_with_counters(
+                1,
+                vec![
+                    ("tcp.frames_sent", 7),
+                    ("tcp.deadline_expiries", 2),
+                    ("tcp.peer_disconnects", 1),
+                ],
+            ),
+        ])
+        .expect("paired streams build a model");
+        let report = analyze(&tcp, None);
+        assert_eq!(report.transport.len(), 2);
+        assert_eq!(report.transport[0].frames_sent, 9);
+        assert_eq!(report.transport[1].deadline_expiries, 2);
+        let text = report.render_text();
+        assert!(
+            text.contains("-- transport (loopback/cluster tcp) --"),
+            "{text}"
+        );
+        assert!(
+            text.contains("network stalls: 2 deadline expiries, 1 peer disconnects"),
+            "{text}"
+        );
+
+        let channel = RunModel::from_traces(vec![
+            trace_with_counters(0, vec![("rank.pairs", 100)]),
+            trace_with_counters(1, vec![("rank.pairs", 89)]),
+        ])
+        .expect("paired streams build a model");
+        let report = analyze(&channel, None);
+        assert!(report.transport.is_empty());
+        assert!(
+            !report.render_text().contains("transport"),
+            "no tcp, no section"
+        );
+    }
+
+    #[test]
+    fn healthy_transport_omits_the_stall_line() {
+        let model = RunModel::from_traces(vec![trace_with_counters(
+            0,
+            vec![("tcp.frames_sent", 4), ("tcp.frames_recv", 4)],
+        )])
+        .expect("single stream builds a model");
+        let text = analyze(&model, None).render_text();
+        assert!(text.contains("-- transport"), "{text}");
+        assert!(!text.contains("network stalls"), "{text}");
     }
 
     #[test]
