@@ -164,26 +164,57 @@ impl SparseWeights {
         first_bin: Vec<u16>,
         weights: Vec<f32>,
     ) -> Self {
-        assert!(
-            (1..=crate::basis::MAX_ORDER).contains(&order),
-            "bad order {order}"
-        );
-        assert!(bins >= order, "bins {bins} below order {order}");
-        assert_eq!(first_bin.len(), samples, "one first-bin index per sample");
-        assert_eq!(weights.len(), samples * order, "k weights per sample");
-        for &fb in &first_bin {
-            assert!(
-                fb as usize + order <= bins, // cast-ok: u16 to usize widens losslessly
-                "first bin {fb} overruns the {bins}-bin grid at order {order}"
-            );
+        match Self::try_from_raw_parts(order, bins, samples, first_bin, weights) {
+            Ok(w) => w,
+            Err(reason) => panic!("{reason}"),
         }
-        Self {
+    }
+
+    /// Fallible [`Self::from_raw_parts`] for codecs that must map corrupt
+    /// on-disk weight sections to typed decode errors instead of panicking.
+    ///
+    /// # Errors
+    /// Returns a description of the first shape or range violation.
+    pub fn try_from_raw_parts(
+        order: usize,
+        bins: usize,
+        samples: usize,
+        first_bin: Vec<u16>,
+        weights: Vec<f32>,
+    ) -> Result<Self, String> {
+        if !(1..=crate::basis::MAX_ORDER).contains(&order) {
+            return Err(format!("bad order {order}"));
+        }
+        if bins < order {
+            return Err(format!("bins {bins} below order {order}"));
+        }
+        if first_bin.len() != samples {
+            return Err(format!(
+                "one first-bin index per sample: got {} for {samples} samples",
+                first_bin.len()
+            ));
+        }
+        if weights.len() != samples * order {
+            return Err(format!(
+                "k weights per sample: got {} for {samples} samples at order {order}",
+                weights.len()
+            ));
+        }
+        for &fb in &first_bin {
+            // cast-ok: u16 to usize widens losslessly
+            if fb as usize + order > bins {
+                return Err(format!(
+                    "first bin {fb} overruns the {bins}-bin grid at order {order}"
+                ));
+            }
+        }
+        Ok(Self {
             order,
             bins,
             samples,
             first_bin,
             weights,
-        }
+        })
     }
 }
 

@@ -10,7 +10,7 @@
 
 use gnet_cli::{
     cmd_analyze, cmd_bench, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score,
-    cmd_simd, cmd_stats, cmd_topology, cmd_trace_report, cmd_worker, ArgMap,
+    cmd_simd, cmd_stats, cmd_topology, cmd_trace_report, cmd_update, cmd_worker, ArgMap,
 };
 
 const USAGE: &str = "\
@@ -30,9 +30,14 @@ subcommands:
             [--trace FILE] [--metrics FILE] [--progress]
             [--trace-dir DIR (with --ranks: per-rank streams + manifest)]
             [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]
-            [--fault-plan PLAN]
+            [--fault-plan PLAN] [--save-state DIR (updatable bundle for
+            gnet update; excludes --ranks/--checkpoint-dir/--early-exit)]
             [--listen ADDR (with --ranks P: TCP coordinator, waits for
             P-1 workers; prints \"listening on IP:PORT\")]
+  update    incrementally append genes or samples to a saved state
+            --state DIR --append FILE --output FILE
+            [--mode genes|samples] [--checkpoint-every N] [--resume]
+            [--fault-plan PLAN]
   worker    join a multi-process run started by infer --listen
             --connect ADDR [--trace-dir DIR]
   trace-report  offline analysis of recorded traces
@@ -78,6 +83,7 @@ fn main() {
     let result = match sub.as_str() {
         "generate" => cmd_generate(&args, &mut stdout),
         "infer" => cmd_infer(&args, &mut stdout),
+        "update" => cmd_update(&args, &mut stdout),
         "worker" => cmd_worker(&args, &mut stdout),
         "score" => cmd_score(&args, &mut stdout),
         "topology" => cmd_topology(&args, &mut stdout),

@@ -6,7 +6,10 @@ use gnet_cluster::{
     serve_coordinator, DEFAULT_PEER_TIMEOUT,
 };
 use gnet_core::config::NullStrategy;
-use gnet_core::{infer_network_durable, infer_network_traced, CheckpointStore, InferenceConfig};
+use gnet_core::{
+    build_state, infer_network_durable, infer_network_traced, update_durable, CheckpointStore,
+    InferenceConfig, StateError, StateStore, UpdateMode,
+};
 use gnet_expr::io as expr_io;
 use gnet_expr::{ExpressionMatrix, MissingPolicy};
 use gnet_graph::dpi::dpi_prune;
@@ -218,6 +221,11 @@ fn progress_sink() -> impl Fn(Progress) + Send + Sync + 'static {
 /// TCP coordinator instead of running all ranks in-process; it prints
 /// `listening on IP:PORT`, waits for `P − 1` `gnet worker --connect`
 /// processes, and produces the byte-identical edge set.
+///
+/// Incremental: `--save-state DIR` runs the canonical serial scan and
+/// persists an updatable state bundle alongside the edge list, so later
+/// appends go through `gnet update` instead of a rebuild. Incompatible
+/// with `--ranks`, `--checkpoint-dir`, and `--early-exit`.
 pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let input = args.require("input")?.to_string();
     let output = args.require("output")?.to_string();
@@ -261,6 +269,13 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     if ranks.is_some() && checkpoint_dir.is_some() {
         return fail("checkpoints cover the shared-memory pipeline; the distributed path (--ranks) recovers via rank failover instead");
     }
+    let save_state = args.get("save-state").map(str::to_string);
+    if save_state.is_some() && ranks.is_some() {
+        return fail("--save-state builds the canonical serial state bundle and cannot be combined with --ranks");
+    }
+    if save_state.is_some() && checkpoint_dir.is_some() {
+        return fail("--save-state is itself durable; drop --checkpoint-dir");
+    }
     let fault_plan = match args.get("fault-plan") {
         Some(raw) => Some(
             gnet_fault::FaultPlan::parse(raw)
@@ -282,6 +297,9 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         None => None,
     };
     let cfg = config_from_args(args)?;
+    if save_state.is_some() && !matches!(cfg.null_strategy, NullStrategy::ExactFull) {
+        return fail("--save-state needs the exact-full pooled null (drop --early-exit): an updatable state must keep the pooled moments");
+    }
     args.reject_unknown()?;
 
     let mut matrix = load_matrix(&input)?;
@@ -383,6 +401,20 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
             }
             (r.network, summary)
         }
+        None if save_state.is_some() => {
+            let dir = save_state.as_deref().expect("guarded by the match arm");
+            let t0 = std::time::Instant::now();
+            let state = build_state(&matrix, &cfg);
+            let store = StateStore::with_faults(dir, injector.clone(), &rec);
+            store.save(&state).map_err(|e| CliError(e.to_string()))?;
+            let summary = format!(
+                "{} pairs in {:?}, I* = {:.4} [updatable state saved to {dir}]",
+                state.total_pairs(),
+                t0.elapsed(),
+                state.threshold()
+            );
+            (state.network(), summary)
+        }
         None => match &checkpoint_dir {
             Some(dir) => {
                 let store = CheckpointStore::with_faults(dir, injector.clone(), &rec);
@@ -444,6 +476,94 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         )?;
     }
 
+    graph_io::write_edge_list(&network, BufWriter::new(create_file(&output)?))
+        .map_err(|e| CliError(format!("cannot write {output}: {e}")))?;
+    writeln!(out, "wrote {} edges to {output}", network.edge_count())?;
+    Ok(())
+}
+
+/// `gnet update` — apply an incremental append to a saved state bundle.
+///
+/// Options: `--state DIR` (bundle written by `gnet infer --save-state`),
+/// `--append FILE` (TSV holding the appended genes or samples),
+/// `--output FILE` (updated edge list), `--mode genes|samples`
+/// (auto-detected from the append's shape when unambiguous),
+/// `--checkpoint-every N` (durable progress every N evaluated pairs,
+/// default 64), `--resume` (continue an interrupted update from its
+/// progress file), and `--fault-plan PLAN` (deterministic fault
+/// injection, e.g. `update-crash(boundary=B)`).
+///
+/// The updated bundle and edge list are byte-identical to a from-scratch
+/// `gnet infer --save-state` over the concatenated dataset — the
+/// batch-equivalence contract pinned by conformance family 6 — but a
+/// gene append scans only the `g·(N−g) + g·(g−1)/2` new-pair frontier.
+pub fn cmd_update(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let state_dir = args.require("state")?.to_string();
+    let append_path = args.require("append")?.to_string();
+    let output = args.require("output")?.to_string();
+    let mode = match args.get("mode") {
+        None => None,
+        Some("genes") => Some(UpdateMode::Genes),
+        Some("samples") => Some(UpdateMode::Samples),
+        Some(other) => return fail(format!("unknown --mode {other:?} (genes|samples)")),
+    };
+    let checkpoint_every = args.get_or("checkpoint-every", 64usize)?;
+    if checkpoint_every == 0 {
+        return fail("--checkpoint-every must be at least 1 pair");
+    }
+    let resume = args.flag("resume");
+    let fault_plan = match args.get("fault-plan") {
+        Some(raw) => Some(
+            gnet_fault::FaultPlan::parse(raw)
+                .map_err(|e| CliError(format!("bad --fault-plan: {e}")))?,
+        ),
+        None => None,
+    };
+    args.reject_unknown()?;
+
+    let append = load_matrix(&append_path)?;
+    writeln!(
+        out,
+        "loaded {} genes × {} samples to append from {append_path}",
+        append.genes(),
+        append.samples()
+    )?;
+
+    let rec = Recorder::disabled();
+    let injector = match &fault_plan {
+        Some(plan) => gnet_fault::FaultInjector::from_plan_traced(plan, &rec),
+        None => gnet_fault::FaultInjector::none(),
+    };
+    let store = StateStore::with_faults(&state_dir, injector, &rec);
+    let t0 = std::time::Instant::now();
+    let (state, stats) = update_durable(&store, &append, mode, checkpoint_every, resume, &rec)
+        .map_err(|e| match e {
+            StateError::Interrupted { pairs_done } => CliError(format!(
+                "update interrupted after {pairs_done} pair(s); progress saved in {state_dir} — rerun with --resume to continue"
+            )),
+            other => CliError(other.to_string()),
+        })?;
+    let resumed_note = if stats.pairs_resumed > 0 {
+        format!(" ({} resumed from progress)", stats.pairs_resumed)
+    } else {
+        String::new()
+    };
+    writeln!(
+        out,
+        "appended {} {}: scanned {} pairs{resumed_note} in {:?}, state now {} genes × {} samples, I* = {:.4}",
+        stats.appended,
+        match stats.mode {
+            UpdateMode::Genes => "gene(s)",
+            UpdateMode::Samples => "sample(s)",
+        },
+        stats.pairs_scanned,
+        t0.elapsed(),
+        state.gene_count(),
+        state.samples,
+        stats.threshold
+    )?;
+
+    let network = state.network();
     graph_io::write_edge_list(&network, BufWriter::new(create_file(&output)?))
         .map_err(|e| CliError(format!("cannot write {output}: {e}")))?;
     writeln!(out, "wrote {} edges to {output}", network.edge_count())?;
@@ -972,8 +1092,12 @@ pub fn cmd_bench(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     for e in &suite.entries {
         writeln!(
             out,
-            "  {:<20} min {:>12.1} us   median {:>12.1} us   mad {:>10.1} us",
-            e.id, e.min_us, e.median_us, e.mad_us
+            "  {:<24} min {:>12.1} {u}   median {:>12.1} {u}   mad {:>10.1} {u}",
+            e.id,
+            e.min_us,
+            e.median_us,
+            e.mad_us,
+            u = e.unit
         )?;
     }
     std::fs::write(&out_path, bench::to_json(&suite))
@@ -2036,5 +2160,255 @@ mod tests {
         let cfg = config_from_args(&args).unwrap();
         assert_eq!(cfg.null_strategy, NullStrategy::EarlyExit);
         assert_eq!(cfg.permutations, 5);
+    }
+
+    /// Write `matrix` as a TSV the commands can reload.
+    fn write_matrix(matrix: &ExpressionMatrix, path: &std::path::Path) {
+        let f = std::fs::File::create(path).unwrap();
+        expr_io::write_tsv(matrix, BufWriter::new(f)).unwrap();
+    }
+
+    /// Split a synthetic dataset three ways: the full TSV, a gene-prefix
+    /// TSV, and the appended-genes TSV.
+    fn update_fixture(dir: &std::path::Path) -> (std::path::PathBuf, std::path::PathBuf) {
+        let (full, _) =
+            gnet_expr::synth::coupled_pairs(3, 60, gnet_expr::synth::Coupling::Linear(0.9), 5);
+        let old = full.select_genes(&[0, 1, 2, 3]);
+        let append = full.select_genes(&[4, 5]);
+        write_matrix(&full, &dir.join("full.tsv"));
+        write_matrix(&old, &dir.join("old.tsv"));
+        write_matrix(&append, &dir.join("append.tsv"));
+        (dir.join("old.tsv"), dir.join("append.tsv"))
+    }
+
+    #[test]
+    fn update_reproduces_the_batch_edge_list_byte_for_byte() {
+        let dir = tmpdir("update_equiv");
+        let (old_tsv, append_tsv) = update_fixture(&dir);
+        let state_dir = dir.join("state");
+        let mut sink = Vec::new();
+
+        let base = ["--q", "8", "--threads", "1", "--seed", "7"];
+        let old_edges = dir.join("old_edges.tsv");
+        let mut infer_args = vec![
+            "--input",
+            old_tsv.to_str().unwrap(),
+            "--output",
+            old_edges.to_str().unwrap(),
+            "--save-state",
+            state_dir.to_str().unwrap(),
+        ];
+        infer_args.extend_from_slice(&base);
+        cmd_infer(&argmap(&infer_args), &mut sink).unwrap();
+
+        cmd_update(
+            &argmap(&[
+                "--state",
+                state_dir.to_str().unwrap(),
+                "--append",
+                append_tsv.to_str().unwrap(),
+                "--output",
+                dir.join("updated_edges.tsv").to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+
+        // Batch over the concatenated dataset, through the same save-state
+        // path, must yield byte-identical edges.
+        let full_tsv = dir.join("full.tsv");
+        let batch_edges = dir.join("batch_edges.tsv");
+        let batch_state = dir.join("batch_state");
+        let mut batch_args = vec![
+            "--input",
+            full_tsv.to_str().unwrap(),
+            "--output",
+            batch_edges.to_str().unwrap(),
+            "--save-state",
+            batch_state.to_str().unwrap(),
+        ];
+        batch_args.extend_from_slice(&base);
+        cmd_infer(&argmap(&batch_args), &mut sink).unwrap();
+
+        let updated = std::fs::read(dir.join("updated_edges.tsv")).unwrap();
+        let batch = std::fs::read(dir.join("batch_edges.tsv")).unwrap();
+        assert!(!updated.is_empty());
+        assert_eq!(updated, batch, "incremental and batch edge lists differ");
+
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("appended 2 gene(s)"), "{text}");
+        assert!(text.contains("scanned 9 pairs"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_boundary_kill_resumes_to_the_same_bytes() {
+        let dir = tmpdir("update_kill");
+        let (old_tsv, append_tsv) = update_fixture(&dir);
+        let state_dir = dir.join("state");
+        let mut sink = Vec::new();
+
+        cmd_infer(
+            &argmap(&[
+                "--input",
+                old_tsv.to_str().unwrap(),
+                "--output",
+                dir.join("old_edges.tsv").to_str().unwrap(),
+                "--save-state",
+                state_dir.to_str().unwrap(),
+                "--q",
+                "8",
+                "--threads",
+                "1",
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let bundle = state_dir.join(gnet_core::state::STATE_FILE);
+        let before = std::fs::read(&bundle).unwrap();
+
+        let err = cmd_update(
+            &argmap(&[
+                "--state",
+                state_dir.to_str().unwrap(),
+                "--append",
+                append_tsv.to_str().unwrap(),
+                "--output",
+                dir.join("updated_edges.tsv").to_str().unwrap(),
+                "--checkpoint-every",
+                "2",
+                "--fault-plan",
+                "seed=1;update-crash(boundary=2)",
+            ]),
+            &mut sink,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("--resume"), "{}", err.0);
+        // The kill left the bundle untouched and the progress durable.
+        assert_eq!(std::fs::read(&bundle).unwrap(), before);
+        assert!(state_dir.join(gnet_core::state::PROGRESS_FILE).exists());
+
+        cmd_update(
+            &argmap(&[
+                "--state",
+                state_dir.to_str().unwrap(),
+                "--append",
+                append_tsv.to_str().unwrap(),
+                "--output",
+                dir.join("resumed_edges.tsv").to_str().unwrap(),
+                "--checkpoint-every",
+                "2",
+                "--resume",
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+
+        // A clean, uninterrupted update in a copied state dir must produce
+        // the same bundle and edges.
+        let clean_dir = dir.join("clean_state");
+        std::fs::create_dir_all(&clean_dir).unwrap();
+        std::fs::write(clean_dir.join(gnet_core::state::STATE_FILE), &before).unwrap();
+        cmd_update(
+            &argmap(&[
+                "--state",
+                clean_dir.to_str().unwrap(),
+                "--append",
+                append_tsv.to_str().unwrap(),
+                "--output",
+                dir.join("clean_edges.tsv").to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(dir.join("resumed_edges.tsv")).unwrap(),
+            std::fs::read(dir.join("clean_edges.tsv")).unwrap()
+        );
+        assert_eq!(
+            std::fs::read(&bundle).unwrap(),
+            std::fs::read(clean_dir.join(gnet_core::state::STATE_FILE)).unwrap(),
+            "resumed and clean bundles must be byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_state_rejects_incompatible_modes() {
+        let dir = tmpdir("save_state_reject");
+        let (old_tsv, _) = update_fixture(&dir);
+        let mut sink = Vec::new();
+        let out_tsv = dir.join("e.tsv");
+        let s_dir = dir.join("s");
+        for extra in [&["--early-exit"][..], &["--ranks", "2"][..]] {
+            let mut args = vec![
+                "--input",
+                old_tsv.to_str().unwrap(),
+                "--output",
+                out_tsv.to_str().unwrap(),
+                "--save-state",
+                s_dir.to_str().unwrap(),
+            ];
+            args.extend_from_slice(extra);
+            let err = cmd_infer(&argmap(&args), &mut sink).unwrap_err();
+            assert!(err.0.contains("--save-state"), "{}", err.0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_rejects_bad_mode_and_shape() {
+        let dir = tmpdir("update_reject");
+        let (old_tsv, append_tsv) = update_fixture(&dir);
+        let state_dir = dir.join("state");
+        let mut sink = Vec::new();
+        cmd_infer(
+            &argmap(&[
+                "--input",
+                old_tsv.to_str().unwrap(),
+                "--output",
+                dir.join("e.tsv").to_str().unwrap(),
+                "--save-state",
+                state_dir.to_str().unwrap(),
+                "--q",
+                "6",
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+
+        let err = cmd_update(
+            &argmap(&[
+                "--state",
+                state_dir.to_str().unwrap(),
+                "--append",
+                append_tsv.to_str().unwrap(),
+                "--output",
+                dir.join("u.tsv").to_str().unwrap(),
+                "--mode",
+                "sideways",
+            ]),
+            &mut sink,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("genes|samples"), "{}", err.0);
+
+        // A gene-shaped append forced into sample mode is a shape error.
+        let err = cmd_update(
+            &argmap(&[
+                "--state",
+                state_dir.to_str().unwrap(),
+                "--append",
+                append_tsv.to_str().unwrap(),
+                "--output",
+                dir.join("u.tsv").to_str().unwrap(),
+                "--mode",
+                "samples",
+            ]),
+            &mut sink,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("genes"), "{}", err.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

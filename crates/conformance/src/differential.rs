@@ -394,8 +394,9 @@ fn dist_config() -> InferenceConfig {
 }
 
 /// Serialize a network exactly as `gnet infer --output` would — the byte
-/// string the distributed equivalence is stated over.
-fn edge_bytes(net: &GeneNetwork) -> Vec<u8> {
+/// string the distributed (and incremental, family 6) equivalences are
+/// stated over.
+pub(crate) fn edge_bytes(net: &GeneNetwork) -> Vec<u8> {
     let mut bytes = Vec::new();
     gnet_graph::io::write_edge_list(net, &mut bytes)
         .unwrap_or_else(|e| unreachable!("in-memory serialization cannot fail: {e}"));
@@ -442,7 +443,7 @@ fn diff_networks(a: &GeneNetwork, b: &GeneNetwork) -> Option<String> {
 /// edge sets with bit-identical weights, threshold equal only up to
 /// merge-order round-off. `1e-9` nats is six orders looser than observed
 /// ulp drift and six tighter than any real pooling bug.
-const POOLED_THRESHOLD_ABS: f64 = 1e-9;
+pub(crate) const POOLED_THRESHOLD_ABS: f64 = 1e-9;
 
 fn diff_distributed(
     a: &DistributedResult,

@@ -1,7 +1,7 @@
 //! Differential & metamorphic conformance harness.
 //!
 //! `gnet-conformance` drives a seeded, replayable corpus
-//! ([`corpus::corpus`]) through five oracle families and reports
+//! ([`corpus::corpus`]) through six oracle families and reports
 //! machine-readable verdicts ([`report::ConformanceReport`]):
 //!
 //! | family        | oracle                                              | grade      |
@@ -13,17 +13,22 @@
 //! | `recovery`    | resume-from-checkpoint & rank-crash vs clean runs   | bitwise    |
 //! | `metamorphic` | symmetry, monotone/permutation invariance, self-MI, | mixed (see |
 //! |               | non-negativity, independence-null consistency       | module)    |
+//! | `incremental` | gene/sample appends vs batch rebuild, frontier pair | bitwise    |
+//! |               | count, tiled schedulers, `{2,4}`-rank ring          |            |
 //!
 //! Failures shrink to a minimal dataset ([`shrink`]) and the report
 //! carries the replay seed that rebuilds it. [`run_self_check`] closes
 //! the loop: it injects the three kernel mutations from
-//! [`gnet_mi::mutation`] and asserts the kernel oracle catches each one
-//! — a harness that cannot detect a sabotaged kernel is itself broken.
+//! [`gnet_mi::mutation`] and the three incremental-update mutations from
+//! [`gnet_core::UpdateMutation`], asserting the matching oracle catches
+//! each one — a harness that cannot detect a sabotaged implementation is
+//! itself broken.
 
 #![warn(missing_docs)]
 
 pub mod corpus;
 mod differential;
+mod incremental;
 mod metamorphic;
 pub mod report;
 mod shrink;
@@ -35,7 +40,9 @@ use differential::{
     distributed_oracle, kernel_oracle, kernel_oracle_with, recovery_oracle, scheduler_oracle,
     OracleOutcome,
 };
+use gnet_core::UpdateMutation;
 use gnet_mi::mutation::{KernelMutation, MutatedVectorKernel};
+use incremental::{incremental_oracle, mutated_incremental_oracle};
 use metamorphic::metamorphic_oracle;
 use serde::Serialize;
 
@@ -111,13 +118,14 @@ impl Default for ConformanceOptions {
 
 type Oracle = fn(&DatasetSpec, &TolerancePolicy) -> OracleOutcome;
 
-/// The five families, in report order.
-const FAMILIES: [(&str, Oracle); 5] = [
+/// The six families, in report order.
+const FAMILIES: [(&str, Oracle); 6] = [
     ("kernel", kernel_oracle),
     ("scheduler", scheduler_oracle),
     ("distributed", distributed_oracle),
     ("recovery", recovery_oracle),
     ("metamorphic", metamorphic_oracle),
+    ("incremental", incremental_oracle),
 ];
 
 /// Run one family over a spec list, shrinking every failure.
@@ -182,14 +190,14 @@ fn run_families(opts: &ConformanceOptions, specs: &[DatasetSpec]) -> Vec<FamilyR
         .collect()
 }
 
-/// Run all five oracle families over the seeded corpus.
+/// Run all six oracle families over the seeded corpus.
 pub fn run_conformance(opts: &ConformanceOptions) -> ConformanceReport {
     let specs = corpus(opts.level, opts.seed);
     let families = run_families(opts, &specs);
     assemble(opts, opts.level.slug(), families, None)
 }
 
-/// Re-run all five families on one replayed dataset (the `--replay`
+/// Re-run all six families on one replayed dataset (the `--replay`
 /// path: feed a failure's `shrunk_replay` string back in).
 pub fn run_replay(opts: &ConformanceOptions, spec: DatasetSpec) -> ConformanceReport {
     let families = run_families(opts, std::slice::from_ref(&spec));
@@ -208,10 +216,50 @@ fn mutated_kernel_oracle(
     kernel_oracle_with(spec, tol, &mut |x, y, yd| kernel.mi(x, y, yd))
 }
 
+/// Hunt one injected mutation across the corpus: find the first spec the
+/// mutated oracle fails on, shrink it, and report the catch — or report
+/// the blind spot when no spec exposes the defect.
+fn mutation_outcome(
+    specs: &[DatasetSpec],
+    name: &str,
+    oracle: &mut dyn FnMut(&DatasetSpec) -> OracleOutcome,
+) -> MutationOutcome {
+    let caught = specs
+        .iter()
+        .find(|spec| oracle(spec).violation.is_some())
+        .copied();
+    match caught {
+        Some(spec) => {
+            let shrunk = shrink::shrink_spec(spec, &mut |s| oracle(s).violation.is_some());
+            let detail = oracle(&shrunk)
+                .violation
+                .unwrap_or_else(|| unreachable!("shrinker only returns failing specs"));
+            MutationOutcome {
+                mutation: name.to_owned(),
+                detected: true,
+                replay: shrunk.replay(),
+                shrunk_genes: shrunk.genes,
+                shrunk_samples: shrunk.samples,
+                detail,
+            }
+        }
+        None => MutationOutcome {
+            mutation: name.to_owned(),
+            detected: false,
+            replay: String::new(),
+            shrunk_genes: 0,
+            shrunk_samples: 0,
+            detail: String::new(),
+        },
+    }
+}
+
 /// The harness turned on itself: run the clean corpus, then inject each
-/// kernel mutation from [`gnet_mi::mutation`] and demand the kernel
-/// oracle catches it — complete with a shrunk counterexample and replay
-/// seed, exactly as a real regression would be reported.
+/// kernel mutation from [`gnet_mi::mutation`] and each incremental-update
+/// mutation from [`gnet_core::UpdateMutation`], demanding the matching
+/// oracle (family 1 / family 6) catches it — complete with a shrunk
+/// counterexample and replay seed, exactly as a real regression would be
+/// reported.
 pub fn run_self_check(opts: &ConformanceOptions) -> ConformanceReport {
     let specs = corpus(opts.level, opts.seed);
     let families = run_families(opts, &specs);
@@ -219,42 +267,14 @@ pub fn run_self_check(opts: &ConformanceOptions) -> ConformanceReport {
 
     let mut mutations = Vec::new();
     for mutation in KernelMutation::ALL {
-        let caught = specs
-            .iter()
-            .find(|spec| {
-                mutated_kernel_oracle(spec, &opts.tolerances, mutation)
-                    .violation
-                    .is_some()
-            })
-            .copied();
-        match caught {
-            Some(spec) => {
-                let shrunk = shrink::shrink_spec(spec, &mut |s| {
-                    mutated_kernel_oracle(s, &opts.tolerances, mutation)
-                        .violation
-                        .is_some()
-                });
-                let detail = mutated_kernel_oracle(&shrunk, &opts.tolerances, mutation)
-                    .violation
-                    .unwrap_or_else(|| unreachable!("shrinker only returns failing specs"));
-                mutations.push(MutationOutcome {
-                    mutation: mutation.name().to_owned(),
-                    detected: true,
-                    replay: shrunk.replay(),
-                    shrunk_genes: shrunk.genes,
-                    shrunk_samples: shrunk.samples,
-                    detail,
-                });
-            }
-            None => mutations.push(MutationOutcome {
-                mutation: mutation.name().to_owned(),
-                detected: false,
-                replay: String::new(),
-                shrunk_genes: 0,
-                shrunk_samples: 0,
-                detail: String::new(),
-            }),
-        }
+        mutations.push(mutation_outcome(&specs, mutation.name(), &mut |s| {
+            mutated_kernel_oracle(s, &opts.tolerances, mutation)
+        }));
+    }
+    for mutation in UpdateMutation::ALL {
+        mutations.push(mutation_outcome(&specs, mutation.name(), &mut |s| {
+            mutated_incremental_oracle(s, mutation)
+        }));
     }
 
     let pass = clean_pass && mutations.iter().all(|m| m.detected);
@@ -285,7 +305,7 @@ mod tests {
         let report = run_replay(&quick_opts(), spec);
         assert!(report.pass, "{}", report.render_text());
         assert_eq!(report.level, "replay");
-        assert_eq!(report.families.len(), 5);
+        assert_eq!(report.families.len(), 6);
         assert!(report.families.iter().all(|f| f.datasets == 1));
         assert!(report.families.iter().all(|f| f.checks > 0));
     }

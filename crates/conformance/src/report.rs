@@ -13,7 +13,7 @@ use serde::Serialize;
 #[derive(Clone, Debug, Serialize)]
 pub struct Violation {
     /// Oracle family slug (`kernel`, `scheduler`, `distributed`,
-    /// `recovery`, `metamorphic`).
+    /// `recovery`, `metamorphic`, `incremental`).
     pub family: String,
     /// Replay seed of the corpus dataset that first failed.
     pub dataset: String,
@@ -47,13 +47,15 @@ impl FamilyReport {
     }
 }
 
-/// Outcome of one injected kernel mutation during `--self-check`.
+/// Outcome of one injected mutation during `--self-check` — a sabotaged
+/// vector kernel or a sabotaged incremental-update engine.
 #[derive(Clone, Debug, Serialize)]
 pub struct MutationOutcome {
-    /// Mutation slug from [`gnet_mi::mutation::KernelMutation::name`].
+    /// Mutation slug from [`gnet_mi::mutation::KernelMutation::name`] or
+    /// [`gnet_core::UpdateMutation::name`].
     pub mutation: String,
-    /// Whether the kernel oracle flagged the mutated kernel. `false`
-    /// means the harness has a blind spot — the self-check fails.
+    /// Whether the matching oracle flagged the mutated implementation.
+    /// `false` means the harness has a blind spot — the self-check fails.
     pub detected: bool,
     /// Replay seed of the shrunk counterexample that caught it (empty
     /// when undetected).
@@ -69,9 +71,9 @@ pub struct MutationOutcome {
 /// The `--self-check` block: the harness turned on itself.
 #[derive(Clone, Debug, Serialize)]
 pub struct SelfCheck {
-    /// All five families green on the unmutated build.
+    /// All six families green on the unmutated build.
     pub clean_pass: bool,
-    /// One entry per injected kernel mutation.
+    /// One entry per injected mutation (kernel and incremental-update).
     pub mutations: Vec<MutationOutcome>,
     /// `clean_pass` and every mutation detected.
     pub pass: bool,

@@ -168,7 +168,7 @@ impl std::error::Error for CheckpointError {
     }
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);
@@ -198,17 +198,17 @@ fn encode_payload(cp: &Checkpoint) -> Vec<u8> {
 
 /// Bounds-checked little-endian reader; every underflow is a typed
 /// reason, never a slice panic.
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
         match end {
             Some(end) => {
@@ -224,23 +224,23 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, String> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, String> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn f64(&mut self, what: &str) -> Result<f64, String> {
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, String> {
         Ok(f64::from_bits(self.u64(what)?))
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 }
@@ -501,7 +501,7 @@ impl CheckpointStore {
     }
 }
 
-fn write_durably(path: &Path, bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn write_durably(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let mut f = File::create(path)?;
     f.write_all(bytes)?;
     f.sync_all()

@@ -33,10 +33,12 @@ pub mod baselines;
 pub mod checkpoint;
 pub mod config;
 pub mod durable;
+pub mod incremental;
 pub mod mi_matrix;
 pub mod pipeline;
 pub mod plan;
 pub mod result;
+pub mod state;
 
 pub use checkpoint::{
     infer_network_resumable, infer_network_resumable_traced, run_digest_for, Checkpoint,
@@ -44,7 +46,12 @@ pub use checkpoint::{
 pub use config::{InferenceConfig, NullStrategy};
 pub use durable::{infer_network_durable, CheckpointError, CheckpointStore};
 pub use gnet_trace::Recorder;
+pub use incremental::{
+    apply_update, apply_update_mutated, build_state, detect_mode, update_digest, update_durable,
+    UpdateMode, UpdateMutation, UpdateStats,
+};
 pub use mi_matrix::{compute_mi_matrix, MiMatrix};
 pub use pipeline::{infer_network, infer_network_traced};
 pub use plan::MemoryPlan;
 pub use result::{InferenceResult, RunStats};
+pub use state::{GeneState, NetworkState, StateError, StateStore, UpdateProgress};

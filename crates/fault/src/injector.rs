@@ -370,6 +370,27 @@ impl FaultInjector {
         hit
     }
 
+    /// Should the incremental-update driver die at update progress
+    /// boundary `boundary`?
+    pub fn should_crash_at_update_boundary(&self, boundary: usize) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        let hit = inner
+            .plan
+            .faults
+            .iter()
+            .any(|f| matches!(*f, Fault::UpdateCrash { boundary: b } if b == boundary));
+        if hit {
+            Self::fire(inner);
+            inner.rec.event(
+                names::EVT_UPDATE_CRASH,
+                &[("boundary", Value::from(boundary))],
+            );
+        }
+        hit
+    }
+
     /// Consult the plan before performing a file operation of kind `op`.
     ///
     /// Advances the per-kind operation count; returns the injected error

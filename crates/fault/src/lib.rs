@@ -50,6 +50,9 @@ pub mod names {
     pub const EVT_RANK_CRASH: &str = "fault.rank_crash";
     /// Event: the shared-memory pipeline was killed at a chunk boundary.
     pub const EVT_CHUNK_CRASH: &str = "fault.chunk_crash";
+    /// Event: the incremental-update driver was killed at a progress
+    /// boundary.
+    pub const EVT_UPDATE_CRASH: &str = "fault.update_crash";
     /// Event: an injected I/O error fired.
     pub const EVT_IO_ERROR: &str = "fault.io_error";
     /// Event: checkpoint payload bytes were bit-flipped before writing.

@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! plan     := "seed=" u64 (";" fault)*
-//! fault    := crash | chunk | drop | delay | io | flip | device
+//! fault    := crash | chunk | update | drop | delay | io | flip | device
 //!           | refuse | cut | stall | trunc
 //! crash    := "crash(rank=" usize ",round=" usize ")"
 //! chunk    := "chunk-crash(boundary=" usize ")"
+//! update   := "update-crash(boundary=" usize ")"
 //! drop     := "drop(from=" usize ",to=" usize ",nth=" u64 ")"
 //! delay    := "delay(from=" usize ",to=" usize ",nth=" u64 ",us=" u64 ")"
 //! io       := "io(op=" ("read"|"write"|"rename") ",nth=" u64 ")"
@@ -84,6 +85,15 @@ pub enum Fault {
     /// checkpoint for that boundary has been written.
     CrashAtChunk {
         /// Chunk boundary (0-based) at which the process dies.
+        boundary: usize,
+    },
+    /// The incremental-update driver (`gnet update`) is killed at update
+    /// progress boundary `boundary` (0-based count of completed pair
+    /// chunks), after the durable progress file for that boundary has been
+    /// written. Kept separate from [`Self::CrashAtChunk`] so one plan can
+    /// target the batch pipeline and the update driver independently.
+    UpdateCrash {
+        /// Update progress boundary (0-based) at which the process dies.
         boundary: usize,
     },
     /// Silently drop the `nth` (0-based) fabric message on `from → to`.
@@ -181,6 +191,7 @@ impl fmt::Display for Fault {
         match *self {
             Self::CrashRank { rank, round } => write!(f, "crash(rank={rank},round={round})"),
             Self::CrashAtChunk { boundary } => write!(f, "chunk-crash(boundary={boundary})"),
+            Self::UpdateCrash { boundary } => write!(f, "update-crash(boundary={boundary})"),
             Self::DropMessage { from, to, nth } => write!(f, "drop(from={from},to={to},nth={nth})"),
             Self::DelayMessage {
                 from,
@@ -486,6 +497,12 @@ fn parse_fault(clause: &str) -> Result<Fault, PlanParseError> {
         "chunk-crash" => Fault::CrashAtChunk {
             boundary: fields.take("boundary")?,
         },
+        // Not in the randomized menu: adding it there would shift the
+        // historical draw sequences replayed from logged plan strings
+        // (same reasoning as the transport gating below).
+        "update-crash" => Fault::UpdateCrash {
+            boundary: fields.take("boundary")?,
+        },
         "drop" => Fault::DropMessage {
             from: fields.take("from")?,
             to: fields.take("to")?,
@@ -611,6 +628,19 @@ impl<'a> FieldCursor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn update_crash_round_trips_and_is_distinct_from_chunk_crash() {
+        let plan = FaultPlan::new(7)
+            .with(Fault::UpdateCrash { boundary: 2 })
+            .with(Fault::CrashAtChunk { boundary: 2 });
+        let text = plan.to_string();
+        assert_eq!(
+            text,
+            "seed=7;update-crash(boundary=2);chunk-crash(boundary=2)"
+        );
+        assert_eq!(FaultPlan::parse(&text).expect("round trip"), plan);
+    }
 
     fn sample_plan() -> FaultPlan {
         FaultPlan::new(42)

@@ -8,8 +8,10 @@
 
 use crate::network::GeneNetwork;
 
-/// The `k` highest-degree genes as `(gene, degree)`, descending (ties by
-/// index).
+/// The `k` highest-degree genes as `(gene, degree)`, descending, ties
+/// broken by ascending gene index — a total order over integers, so the
+/// ranking is byte-stable across runs regardless of how many genes share
+/// a degree.
 pub fn top_hubs(net: &GeneNetwork, k: usize) -> Vec<(u32, usize)> {
     let mut degrees: Vec<(u32, usize)> = (0..net.genes())
         .map(|g| (g as u32, net.degree(g)))
@@ -137,6 +139,34 @@ mod tests {
         assert_eq!(hubs[0], (0, 4));
         assert_eq!(hubs[1].1, 2, "triangle members have degree 2");
         assert_eq!(top_hubs(&star_plus_triangle(), 100).len(), 8);
+    }
+
+    /// Tie-heavy hub regression: every degree class is shared, so any
+    /// drift from index-ascending tie-breaking changes the pinned bytes.
+    #[test]
+    fn top_hubs_tie_break_is_deterministic_and_byte_stable() {
+        let net = star_plus_triangle();
+        // Degrees: 0→4; 5,6,7→2; 1,2,3,4→1.
+        let expected = vec![
+            (0, 4),
+            (5, 2),
+            (6, 2),
+            (7, 2),
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (4, 1),
+        ];
+        assert_eq!(top_hubs(&net, 8), expected);
+        let rendered = format!("{:?}", top_hubs(&net, 8));
+        assert_eq!(
+            rendered,
+            "[(0, 4), (5, 2), (6, 2), (7, 2), (1, 1), (2, 1), (3, 1), (4, 1)]"
+        );
+        assert_eq!(
+            rendered.into_bytes(),
+            format!("{:?}", top_hubs(&net, 8)).into_bytes()
+        );
     }
 
     #[test]

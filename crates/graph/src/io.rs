@@ -55,6 +55,12 @@ pub fn write_edge_list<W: Write>(net: &GeneNetwork, mut writer: W) -> Result<(),
 /// numeric gene indices in place of names). `genes` fixes the node count;
 /// name tokens resolve by exact match against `names`, falling back to a
 /// numeric index parse. Pass an empty `names` for index-only files.
+///
+/// Untrusted input never panics: out-of-range indices, self-loops,
+/// short lines, and malformed numbers all surface as
+/// [`NetIoError::Parse`] with the 1-based line number, and byte-level
+/// corruption (invalid UTF-8, truncation mid-stream) surfaces as
+/// [`NetIoError::Io`] — the contract `tests/edge_list_fuzz.rs` sweeps.
 pub fn read_edge_list<R: Read>(
     reader: R,
     genes: usize,
@@ -66,13 +72,22 @@ pub fn read_edge_list<R: Read>(
         .map(|(i, n)| (n.as_str(), i as u32))
         .collect();
     let resolve = |token: &str, line: usize| -> Result<u32, NetIoError> {
-        if let Some(&idx) = name_index.get(token) {
-            return Ok(idx);
+        let idx = match name_index.get(token) {
+            Some(&idx) => idx,
+            None => token.parse::<u32>().map_err(|_| NetIoError::Parse {
+                line,
+                message: format!("unknown gene {token:?}"),
+            })?,
+        };
+        // Bound before Edge/network construction: a declared index beyond
+        // the gene count must be a typed error, not a downstream panic.
+        if idx as usize >= genes {
+            return Err(NetIoError::Parse {
+                line,
+                message: format!("gene index {idx} out of range (genes={genes})"),
+            });
         }
-        token.parse::<u32>().map_err(|_| NetIoError::Parse {
-            line,
-            message: format!("unknown gene {token:?}"),
-        })
+        Ok(idx)
     };
 
     let mut edges = Vec::new();
@@ -92,6 +107,12 @@ pub fn read_edge_list<R: Read>(
         };
         let a = resolve(a, lineno)?;
         let b = resolve(b, lineno)?;
+        if a == b {
+            return Err(NetIoError::Parse {
+                line: lineno,
+                message: format!("self-loop on gene {a} (gene networks have none)"),
+            });
+        }
         let w: f32 = w.parse().map_err(|_| NetIoError::Parse {
             line: lineno,
             message: format!("bad weight {w:?}"),
@@ -184,6 +205,43 @@ mod tests {
     fn bad_weight_rejected() {
         let text = "0\t1\tnot-a-number\n";
         assert!(read_edge_list(text.as_bytes(), 2, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_index_is_a_typed_error_not_a_panic() {
+        for text in ["0\t5\t0.4\n", "5\t0\t0.4\n", "0\t4294967295\t0.4\n"] {
+            match read_edge_list(text.as_bytes(), 2, Vec::new()) {
+                Err(NetIoError::Parse { line, message }) => {
+                    assert_eq!(line, 1);
+                    assert!(message.contains("out of range"), "{message}");
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_typed_error_not_a_panic() {
+        let text = "0\t1\t0.4\n1\t1\t0.2\n";
+        match read_edge_list(text.as_bytes(), 2, Vec::new()) {
+            Err(NetIoError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("self-loop"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Same rejection when the loop is spelled with gene names.
+        let named = "alpha\talpha\t0.4\n";
+        assert!(read_edge_list(named.as_bytes(), 2, vec!["alpha".into(), "beta".into()]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_typed_io_error() {
+        let bytes = b"0\t1\t0.4\n\xff\xfe\t1\t0.2\n";
+        match read_edge_list(&bytes[..], 2, Vec::new()) {
+            Err(NetIoError::Io(_)) => {}
+            other => panic!("expected I/O error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -177,14 +177,18 @@ impl GeneNetwork {
             .map(|idx| self.edges[idx].weight)
     }
 
-    /// The `k` heaviest edges, descending by weight (ties by key).
+    /// The `k` heaviest edges, descending by weight, ties broken by
+    /// ascending `(a, b)` key. The comparator is a total order
+    /// ([`f32::total_cmp`]), so the ranking is a pure function of the
+    /// edge set — equal-weight runs, signed zeros, and (defensively)
+    /// NaNs all land in one reproducible order, byte for byte across
+    /// platforms and re-runs.
     pub fn top_edges(&self, k: usize) -> Vec<Edge> {
         let mut sorted = self.edges.clone();
         sorted.sort_by(|x, y| {
             y.weight
-                .partial_cmp(&x.weight)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(x.key().cmp(&y.key()))
+                .total_cmp(&x.weight)
+                .then_with(|| x.key().cmp(&y.key()))
         });
         sorted.truncate(k);
         sorted
@@ -289,6 +293,79 @@ mod tests {
         let g = demo();
         // Degrees: [2, 2, 1, 1, 0] → hist [1, 2, 2].
         assert_eq!(g.degree_distribution(), vec![1, 2, 2]);
+    }
+
+    /// Tie-heavy ranking regression: equal weights must order by edge key,
+    /// and the rendered ranking must be byte-stable across runs and across
+    /// edge insertion orders.
+    #[test]
+    fn top_edges_tie_break_is_deterministic_and_byte_stable() {
+        let edges = [
+            Edge::new(2, 3, 0.5),
+            Edge::new(0, 1, 0.5),
+            Edge::new(1, 3, 0.5),
+            Edge::new(0, 2, 0.75),
+            Edge::new(1, 2, 0.25),
+        ];
+        let g = GeneNetwork::from_edges(4, Vec::new(), edges);
+        let mut reversed = edges;
+        reversed.reverse();
+        let g_rev = GeneNetwork::from_edges(4, Vec::new(), reversed);
+
+        let render = |net: &GeneNetwork| -> String {
+            net.top_edges(5)
+                .iter()
+                .map(|e| format!("{}-{}:{}\n", e.a, e.b, e.weight))
+                .collect()
+        };
+        let expected = "0-2:0.75\n0-1:0.5\n1-3:0.5\n2-3:0.5\n1-2:0.25\n";
+        assert_eq!(render(&g), expected);
+        assert_eq!(render(&g_rev), expected, "insertion order must not leak");
+        assert_eq!(render(&g).into_bytes(), render(&g).into_bytes());
+    }
+
+    /// `total_cmp` keeps the ranking total even for weights a plain
+    /// `partial_cmp` cannot order (NaN) or orders ambiguously (±0.0).
+    #[test]
+    fn top_edges_orders_nan_and_signed_zero_totally() {
+        let g = GeneNetwork::from_edges(
+            4,
+            Vec::new(),
+            [
+                Edge::new(0, 1, f32::NAN),
+                Edge::new(0, 2, 0.0),
+                Edge::new(1, 2, -0.0),
+                Edge::new(2, 3, 0.4),
+            ],
+        );
+        let keys: Vec<(u32, u32)> = g.top_edges(4).iter().map(Edge::key).collect();
+        // total_cmp order, descending: NaN > finite, +0.0 > −0.0.
+        assert_eq!(keys, vec![(0, 1), (2, 3), (0, 2), (1, 2)]);
+        let again: Vec<(u32, u32)> = g.top_edges(4).iter().map(Edge::key).collect();
+        assert_eq!(keys, again);
+    }
+
+    /// The degree histogram is a pure function of the network — pin an
+    /// asymmetric shape so any future traversal reordering shows up.
+    #[test]
+    fn degree_distribution_is_byte_stable() {
+        let g = GeneNetwork::from_edges(
+            6,
+            Vec::new(),
+            [
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 2, 1.0),
+                Edge::new(0, 3, 1.0),
+                Edge::new(4, 5, 1.0),
+            ],
+        );
+        // Degrees [3, 1, 1, 1, 1, 1] → hist [0, 5, 0, 1].
+        let rendered = format!("{:?}", g.degree_distribution());
+        assert_eq!(rendered, "[0, 5, 0, 1]");
+        assert_eq!(
+            rendered.into_bytes(),
+            format!("{:?}", g.degree_distribution()).into_bytes()
+        );
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property tests for the DPI pruning pass.
+//!
+//! Two algebraic laws pin the semantics documented in `dpi.rs`:
+//!
+//! 1. **Enumeration-order independence.** Marks are decided against the
+//!    *original* weights, and a tied weakest edge is never removed (the
+//!    removal test is strict), so relabeling the genes — which reorders
+//!    every triangle walk and every `min_by` scan — must commute with
+//!    pruning: `relabel(prune(net)) == prune(relabel(net))` down to the
+//!    weight bits.
+//! 2. **Tolerance monotonicity.** The removal condition
+//!    `weak < second·(1−ε)` only gets harder as ε grows, and triangles
+//!    are judged independently on the unpruned graph, so
+//!    `kept(ε_lo) ⊆ kept(ε_hi)` whenever `ε_lo ≤ ε_hi`.
+//!
+//! Failing seeds persist in `proptest-regressions/dpi_props.txt` and are
+//! replayed ahead of fresh cases on every run.
+
+// cast-ok (file-wide): generated networks stay under 14 genes, so usize
+// loop counters always fit the edge list's u32 vertex domain.
+#![allow(clippy::cast_possible_truncation)]
+
+use gnet_graph::dpi::dpi_prune;
+use gnet_graph::{Edge, GeneNetwork};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Deterministic random network: `n` genes, each unordered pair kept with
+/// probability `density`, weights drawn from a coarse grid so exact ties
+/// (the interesting case for order independence) actually occur.
+fn random_network(seed: u64, n: usize, density: f64) -> GeneNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in a + 1..n as u32 {
+            if rng.gen::<f64>() < density {
+                // 16 distinct weight levels in (0, 1] — dense enough to be
+                // realistic, coarse enough that triangles tie regularly.
+                let w = (rng.gen_range(1..=16) as f32) / 16.0;
+                edges.push(Edge::new(a, b, w));
+            }
+        }
+    }
+    GeneNetwork::from_edges(n, Vec::new(), edges)
+}
+
+/// A network's edges as a canonical comparable set, weights by bit
+/// pattern so `-0.0`/`NaN` drift could not hide behind `==`.
+fn edge_set(net: &GeneNetwork) -> BTreeSet<(u32, u32, u32)> {
+    net.edges()
+        .iter()
+        .map(|e| (e.a, e.b, e.weight.to_bits()))
+        .collect()
+}
+
+/// Relabel every gene through the permutation `perm` (old index → new).
+fn relabel(net: &GeneNetwork, perm: &[u32]) -> GeneNetwork {
+    let edges: Vec<Edge> = net
+        .edges()
+        .iter()
+        .map(|e| Edge::new(perm[e.a as usize], perm[e.b as usize], e.weight))
+        .collect();
+    GeneNetwork::from_edges(net.genes(), Vec::new(), edges)
+}
+
+/// Derive a permutation of `0..n` from a seed (Fisher–Yates).
+fn permutation(seed: u64, n: usize) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48)
+        .with_persistence("proptest-regressions/dpi_props.txt"))]
+
+    /// Law 1: pruning commutes with gene relabeling, bitwise.
+    #[test]
+    fn prop_prune_is_enumeration_order_independent(
+        seed in 0u64..10_000,
+        n in 4usize..14,
+        density in 0.2f64..0.9,
+        eps_steps in 0u32..8,
+    ) {
+        let eps = eps_steps as f32 * 0.05;
+        let net = random_network(seed, n, density);
+        let perm = permutation(seed, n);
+
+        let pruned_then_relabeled = relabel(&dpi_prune(&net, eps), &perm);
+        let relabeled_then_pruned = dpi_prune(&relabel(&net, perm.as_slice()), eps);
+
+        prop_assert_eq!(
+            edge_set(&pruned_then_relabeled),
+            edge_set(&relabeled_then_pruned),
+            "prune/relabel do not commute: seed={} n={} density={} eps={}",
+            seed, n, density, eps
+        );
+    }
+
+    /// Law 2: a looser tolerance never removes an edge a tighter one kept.
+    #[test]
+    fn prop_prune_is_monotone_in_tolerance(
+        seed in 0u64..10_000,
+        n in 4usize..14,
+        density in 0.2f64..0.9,
+        lo_steps in 0u32..10,
+        extra_steps in 0u32..10,
+    ) {
+        let eps_lo = lo_steps as f32 * 0.05;
+        let eps_hi = (lo_steps + extra_steps) as f32 * 0.05;
+        prop_assume!(eps_hi < 1.0);
+        let net = random_network(seed, n, density);
+
+        let kept_lo = edge_set(&dpi_prune(&net, eps_lo));
+        let kept_hi = edge_set(&dpi_prune(&net, eps_hi));
+
+        prop_assert!(
+            kept_lo.is_subset(&kept_hi),
+            "kept({}) ⊄ kept({}): {:?} escapes",
+            eps_lo, eps_hi,
+            kept_lo.difference(&kept_hi).collect::<Vec<_>>()
+        );
+    }
+}

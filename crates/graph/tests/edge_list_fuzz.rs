@@ -1,0 +1,124 @@
+//! Exhaustive corruption fuzz over the TSV edge-list reader, in the
+//! style of gnet-core's `durable_fuzz.rs` sweep of the GNETCKP codec:
+//! every truncation length, a bit flip at every position of every byte,
+//! and oversized declared counts must surface as `Ok` (when the damage
+//! happens to leave a well-formed file) or a typed [`NetIoError`] —
+//! never a panic, and never an out-of-contract network.
+//!
+//! Unlike the binary checkpoint format there is no integrity digest
+//! here: a text edge list is hand-editable by design, so many mutations
+//! legitimately still parse. The contract under fuzz is therefore
+//! "total, typed, and in-range", not "tamper-evident".
+
+use gnet_graph::io::{read_edge_list, write_edge_list, NetIoError};
+use gnet_graph::{Edge, GeneNetwork};
+
+const GENES: usize = 6;
+
+fn names() -> Vec<String> {
+    (0..GENES).map(|g| format!("gene{g}")).collect()
+}
+
+/// A realistic serialized fixture: named genes, mixed weights, header.
+fn fixture() -> Vec<u8> {
+    let net = GeneNetwork::from_edges(
+        GENES,
+        names(),
+        [
+            Edge::new(0, 1, 0.9),
+            Edge::new(0, 5, 0.125),
+            Edge::new(1, 2, 0.5),
+            Edge::new(2, 4, 0.0625),
+            Edge::new(3, 4, 0.75),
+        ],
+    );
+    let mut bytes = Vec::new();
+    write_edge_list(&net, &mut bytes).expect("in-memory serialization cannot fail");
+    bytes
+}
+
+/// Every load must be total: `Ok` with in-range edges, or a typed error.
+/// A panic anywhere in the sweep fails the test by aborting it.
+fn assert_total(bytes: &[u8], what: &str) {
+    match read_edge_list(bytes, GENES, names()) {
+        Ok(net) => {
+            assert_eq!(net.genes(), GENES, "{what}");
+            for e in net.edges() {
+                assert!((e.b as usize) < GENES, "{what}: edge {e:?} out of range");
+                assert!(e.a < e.b, "{what}: edge {e:?} not normalized");
+            }
+        }
+        Err(NetIoError::Parse { line, .. }) => {
+            assert!(line >= 1, "{what}: parse errors are 1-based");
+        }
+        Err(NetIoError::Io(_)) => {} // invalid UTF-8 and friends
+    }
+}
+
+#[test]
+fn every_truncation_length_parses_or_fails_typed() {
+    let full = fixture();
+    for cut in 0..=full.len() {
+        assert_total(&full[..cut], &format!("truncated to {cut} bytes"));
+    }
+    // The untouched fixture round-trips — the sweep fuzzed, not the writer.
+    let net = read_edge_list(&full[..], GENES, names()).expect("pristine fixture loads");
+    assert_eq!(net.edge_count(), 5);
+}
+
+#[test]
+fn every_single_bit_flip_parses_or_fails_typed() {
+    let full = fixture();
+    for byte in 0..full.len() {
+        for bit in 0..8 {
+            let mut mutated = full.clone();
+            mutated[byte] ^= 1 << bit;
+            assert_total(&mutated, &format!("byte {byte} bit {bit} flipped"));
+        }
+    }
+}
+
+#[test]
+fn oversized_declared_counts_are_rejected_before_any_allocation() {
+    // Indices that parse as u32 but exceed the gene count must be a
+    // typed range error, not a downstream constructor panic (and never
+    // an allocation sized by the declared index).
+    for huge in ["6", "4294967295", "999999999"] {
+        let text = format!("0\t{huge}\t0.5\n");
+        match read_edge_list(text.as_bytes(), GENES, Vec::new()) {
+            Err(NetIoError::Parse { line: 1, message }) => {
+                assert!(message.contains("out of range"), "{huge}: {message}");
+            }
+            other => panic!("index {huge} must be a typed range error, got {other:?}"),
+        }
+    }
+    // Wider than u32: the numeric fallback itself must fail typed.
+    let text = "0\t18446744073709551616\t0.5\n";
+    assert!(matches!(
+        read_edge_list(text.as_bytes(), GENES, Vec::new()),
+        Err(NetIoError::Parse { line: 1, .. })
+    ));
+    // A forged header declaring absurd counts is a comment, not a
+    // directive: nothing is pre-allocated from it and the edges rule.
+    let text = "# genes=18446744073709551615 edges=4294967295\n0\t1\t0.5\n";
+    let net = read_edge_list(text.as_bytes(), GENES, Vec::new()).expect("header is advisory");
+    assert_eq!(net.genes(), GENES);
+    assert_eq!(net.edge_count(), 1);
+}
+
+#[test]
+fn self_loops_and_short_lines_stay_typed_under_fuzz() {
+    for (text, needle) in [
+        ("3\t3\t0.5\n", "self-loop"),
+        ("gene2\tgene2\t0.5\n", "self-loop"),
+        ("0\t1\n", "3 tab-separated"),
+        ("0\n", "3 tab-separated"),
+    ] {
+        match read_edge_list(text.as_bytes(), GENES, names()) {
+            Err(NetIoError::Parse { message, .. }) => {
+                assert!(message.contains(needle), "{text:?}: {message}");
+            }
+            other => panic!("{text:?} must fail typed, got {other:?}"),
+        }
+    }
+}

@@ -2,12 +2,18 @@
 //!
 //! `gnet bench` runs a small, deterministic-shape suite — the scalar and
 //! vector MI kernels (the latter also re-timed with each supported SIMD
-//! backend forced), the four scheduler policies, and 2/4-rank
-//! in-process ring runs — with min-of-k repetitions, and summarizes each
-//! series as `(min, median, MAD)`. The *minimum* is the estimator (the
-//! least-noise observation of the true cost on a shared machine); the
-//! median absolute deviation bounds the run-to-run noise without
-//! assuming it is Gaussian.
+//! backend forced), the four scheduler policies, 2/4-rank in-process
+//! ring runs, and a gene-append incremental update — with min-of-k
+//! repetitions, and summarizes each series as `(min, median, MAD)`. The
+//! *minimum* is the estimator (the least-noise observation of the true
+//! cost on a shared machine); the median absolute deviation bounds the
+//! run-to-run noise without assuming it is Gaussian.
+//!
+//! Most entries are wall times in µs. An entry's `unit` can instead be
+//! `pairs` for counted work: `update.gene_append.pairs` records the
+//! frontier size `g·(N−g) + g·(g−1)/2` the update engine scanned, so a
+//! frontier-accounting regression (scanning more pairs than the append
+//! requires) trips the same gate that catches wall-time regressions.
 //!
 //! The regression rule for a candidate vs a committed baseline is
 //!
@@ -28,7 +34,7 @@
 use crate::ingest::{self, IngestError, LineResult, Raw};
 use gnet_bspline::BsplineBasis;
 use gnet_cluster::infer_network_distributed;
-use gnet_core::infer_network;
+use gnet_core::{apply_update, build_state, infer_network, UpdateMode};
 use gnet_mi::mutation::{KernelMutation, MutatedVectorKernel};
 use gnet_mi::{mi_with_nulls, prepare_gene, MiKernel, MiScratch};
 use gnet_parallel::SchedulerPolicy;
@@ -92,13 +98,16 @@ impl BenchOptions {
 pub struct BenchEntry {
     /// Stable benchmark id (`kernel.vector`, `scheduler.dynamic`, …).
     pub id: String,
-    /// All repetition wall times, µs, in run order.
+    /// What the values measure: `"us"` (wall time, the default) or
+    /// `"pairs"` (counted work, e.g. `update.gene_append.pairs`).
+    pub unit: String,
+    /// All repetition values in the entry's unit, in run order.
     pub values_us: Vec<f64>,
-    /// Minimum of the series, µs (the estimator).
+    /// Minimum of the series (the estimator).
     pub min_us: f64,
-    /// Median, µs.
+    /// Median.
     pub median_us: f64,
-    /// Median absolute deviation, µs (the noise bound).
+    /// Median absolute deviation (the noise bound; 0 for counted work).
     pub mad_us: f64,
 }
 
@@ -160,7 +169,7 @@ fn median(sorted: &[f64]) -> f64 {
     }
 }
 
-fn summarize(id: &str, values_us: Vec<f64>) -> BenchEntry {
+fn summarize(id: &str, unit: &str, values_us: Vec<f64>) -> BenchEntry {
     let mut sorted = values_us.clone();
     sorted.sort_by(f64::total_cmp);
     let med = median(&sorted);
@@ -168,6 +177,7 @@ fn summarize(id: &str, values_us: Vec<f64>) -> BenchEntry {
     deviations.sort_by(f64::total_cmp);
     BenchEntry {
         id: id.to_string(),
+        unit: unit.to_string(),
         min_us: sorted.first().copied().unwrap_or(0.0),
         median_us: med,
         mad_us: median(&deviations),
@@ -185,7 +195,7 @@ fn time_reps<F: FnMut()>(id: &str, reps: usize, mut body: F) -> BenchEntry {
             t.elapsed().as_secs_f64() * 1e6
         })
         .collect();
-    summarize(id, values)
+    summarize(id, "us", values)
 }
 
 /// Pair evaluations per kernel-benchmark repetition.
@@ -303,6 +313,38 @@ fn scheduler_bench(policy: SchedulerPolicy, opts: &BenchOptions) -> BenchEntry {
     )
 }
 
+/// Gene-append frontier accounting: build a state on the first `N − g`
+/// genes, append the last `g`, and record how many pairs the update
+/// engine scanned. The faithful engine scans exactly the frontier
+/// `g·(N−g) + g·(g−1)/2` (each new gene against every old one, plus the
+/// new×new pairs) — an entry in `pairs`, not µs, so drift in that
+/// accounting trips the regression gate deterministically.
+fn update_bench(opts: &BenchOptions) -> BenchEntry {
+    let (genes, samples, appended, q) = if opts.quick {
+        (32, 48, 4, 2)
+    } else {
+        (64, 64, 8, 4)
+    };
+    let matrix = gnet_bench::measured::perf_matrix(genes, samples);
+    let head: Vec<usize> = (0..genes - appended).collect();
+    let tail: Vec<usize> = (genes - appended..genes).collect();
+    let cfg = gnet_bench::measured::perf_config(q, 1, 8, MiKernel::VectorDense);
+    let state = build_state(&matrix.select_genes(&head), &cfg);
+    let append = matrix.select_genes(&tail);
+    let values: Vec<f64> = (0..opts.effective_reps())
+        .map(|_| {
+            let (_, stats) = apply_update(&state, &append, UpdateMode::Genes)
+                .unwrap_or_else(|e| unreachable!("gene append fits the state: {e}"));
+            // cast-ok: frontier sizes are far below 2^53.
+            #[allow(clippy::cast_precision_loss)]
+            {
+                stats.pairs_scanned as f64
+            }
+        })
+        .collect();
+    summarize("update.gene_append.pairs", "pairs", values)
+}
+
 fn ring_bench(ranks: usize, opts: &BenchOptions) -> BenchEntry {
     let (genes, samples, q) = if opts.quick { (32, 48, 2) } else { (64, 64, 4) };
     let matrix = gnet_bench::measured::perf_matrix(genes, samples);
@@ -338,6 +380,7 @@ pub fn run_suite(opts: &BenchOptions) -> BenchSuite {
     }
     entries.push(ring_bench(2, opts));
     entries.push(ring_bench(4, opts));
+    entries.push(update_bench(opts));
     BenchSuite {
         quick: opts.quick,
         entries,
@@ -366,9 +409,10 @@ pub fn to_json(suite: &BenchSuite) -> String {
             .join(", ");
         let _ = write!(
             out,
-            "\n    {{\"id\": \"{}\", \"unit\": \"us\", \"reps\": {}, \"min\": {:.3}, \
+            "\n    {{\"id\": \"{}\", \"unit\": \"{}\", \"reps\": {}, \"min\": {:.3}, \
              \"median\": {:.3}, \"mad\": {:.3}, \"values\": [{values}]}}",
             e.id,
+            e.unit,
             e.values_us.len(),
             e.min_us,
             e.median_us,
@@ -383,7 +427,7 @@ fn entry_from_content(c: &Content) -> LineResult<BenchEntry> {
     let m = ingest::as_map(c)?;
     ingest::check_keys(m, &["id", "unit", "reps", "min", "median", "mad", "values"])?;
     let unit = ingest::get_str(m, "unit")?;
-    if unit != "us" {
+    if unit != "us" && unit != "pairs" {
         return Err(format!("unsupported bench unit `{unit}`"));
     }
     let values = match ingest::get(m, "values")? {
@@ -408,6 +452,7 @@ fn entry_from_content(c: &Content) -> LineResult<BenchEntry> {
     };
     Ok(BenchEntry {
         id: ingest::get_str(m, "id")?,
+        unit,
         min_us: ingest::get_f64(m, "min")?,
         median_us: ingest::get_f64(m, "median")?,
         mad_us: ingest::get_f64(m, "mad")?,
@@ -521,6 +566,7 @@ mod tests {
     fn entry(id: &str, min: f64, mad: f64) -> BenchEntry {
         BenchEntry {
             id: id.to_string(),
+            unit: "us".to_string(),
             values_us: vec![min, min + mad, min + 2.0 * mad],
             min_us: min,
             median_us: min + mad,
@@ -537,7 +583,7 @@ mod tests {
 
     #[test]
     fn summarize_computes_min_median_mad() {
-        let e = summarize("x", vec![5.0, 1.0, 3.0, 9.0, 2.0]);
+        let e = summarize("x", "us", vec![5.0, 1.0, 3.0, 9.0, 2.0]);
         assert!((e.min_us - 1.0).abs() < 1e-12);
         assert!((e.median_us - 3.0).abs() < 1e-12);
         // |5-3|,|1-3|,|3-3|,|9-3|,|2-3| = 2,2,0,6,1 → sorted 0,1,2,2,6 → 2
@@ -611,6 +657,36 @@ mod tests {
             assert!((a.mad_us - b.mad_us).abs() < 1e-3);
             assert_eq!(a.values_us.len(), b.values_us.len());
         }
+    }
+
+    #[test]
+    fn update_entry_counts_exactly_the_gene_append_frontier() {
+        let e = update_bench(&BenchOptions {
+            quick: true,
+            reps: Some(2),
+            slowdown: 1.0,
+        });
+        assert_eq!(e.id, "update.gene_append.pairs");
+        assert_eq!(e.unit, "pairs");
+        // Quick shape: N = 32, g = 4 → 4·28 + 4·3/2 = 118 frontier pairs.
+        let expected = 4.0 * 28.0 + 4.0 * 3.0 / 2.0;
+        assert!((e.min_us - expected).abs() < 1e-12, "{}", e.min_us);
+        assert!((e.mad_us).abs() < 1e-12, "counted work has no noise");
+        // The unit survives the artifact round trip.
+        let s = suite(vec![e]);
+        let parsed = parse_suite(&to_json(&s)).expect("artifact parses");
+        assert_eq!(parsed.entries[0].unit, "pairs");
+        assert!((parsed.entries[0].min_us - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unknown_bench_unit_is_rejected() {
+        let text = "{\"format\": \"gnet-bench\", \"version\": 1, \"issue\": 7, \
+                    \"quick\": true, \"entries\": [{\"id\": \"x\", \"unit\": \"flops\", \
+                    \"reps\": 1, \"min\": 1.0, \"median\": 1.0, \"mad\": 0.0, \
+                    \"values\": [1.0]}]}";
+        let err = parse_suite(text).expect_err("foreign unit must fail");
+        assert!(err.message.contains("flops"), "{err}");
     }
 
     #[test]
