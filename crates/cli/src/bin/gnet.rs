@@ -10,7 +10,8 @@
 
 use gnet_cli::{
     cmd_analyze, cmd_bench, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score,
-    cmd_simd, cmd_stats, cmd_topology, cmd_trace_report, cmd_update, cmd_worker, ArgMap,
+    cmd_simd, cmd_stats, cmd_status, cmd_topology, cmd_trace_report, cmd_update, cmd_worker,
+    ArgMap,
 };
 
 const USAGE: &str = "\
@@ -34,12 +35,18 @@ subcommands:
             gnet update; excludes --ranks/--checkpoint-dir/--early-exit)]
             [--listen ADDR (with --ranks P: TCP coordinator, waits for
             P-1 workers; prints \"listening on IP:PORT\")]
+            [--status-addr ADDR (live /status + /metrics HTTP listener;
+            prints \"status listening on IP:PORT\")]
+            [--status-file FILE (atomically rewritten gnet-status/1
+            JSON)] [--status-interval-ms N (heartbeat cadence, 250)]
   update    incrementally append genes or samples to a saved state
             --state DIR --append FILE --output FILE
             [--mode genes|samples] [--checkpoint-every N] [--resume]
             [--fault-plan PLAN]
   worker    join a multi-process run started by infer --listen
             --connect ADDR [--trace-dir DIR]
+  status    one-screen live summary of a running inference
+            <IP:PORT | FILE> (or --target ...) [--metrics] [--json]
   trace-report  offline analysis of recorded traces
             (--trace FILE | --trace-dir DIR) [--chrome FILE]
             [--flame FILE] [--no-calibrate]
@@ -71,7 +78,13 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
-    let args = match ArgMap::parse(argv) {
+    let mut tokens: Vec<String> = argv.collect();
+    // `gnet status 127.0.0.1:8080` / `gnet status run/status.json`:
+    // a leading bare token is sugar for --target.
+    if sub == "status" && tokens.first().is_some_and(|t| !t.starts_with("--")) {
+        tokens.insert(0, "--target".to_string());
+    }
+    let args = match ArgMap::parse(tokens) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -85,6 +98,7 @@ fn main() {
         "infer" => cmd_infer(&args, &mut stdout),
         "update" => cmd_update(&args, &mut stdout),
         "worker" => cmd_worker(&args, &mut stdout),
+        "status" => cmd_status(&args, &mut stdout),
         "score" => cmd_score(&args, &mut stdout),
         "topology" => cmd_topology(&args, &mut stdout),
         "trace-report" => cmd_trace_report(&args, &mut stdout),

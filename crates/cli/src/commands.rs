@@ -2,8 +2,9 @@
 
 use crate::args::{ArgError, ArgMap};
 use gnet_cluster::{
-    infer_network_distributed_faulty, infer_network_distributed_traced, run_worker,
-    serve_coordinator, DEFAULT_PEER_TIMEOUT,
+    infer_network_distributed_faulty, infer_network_distributed_live,
+    infer_network_distributed_traced, run_worker, serve_coordinator, TelemetryPlane, TelemetrySpec,
+    DEFAULT_PEER_TIMEOUT,
 };
 use gnet_core::config::NullStrategy;
 use gnet_core::{
@@ -19,7 +20,7 @@ use gnet_grnsim::{GrnConfig, SyntheticDataset, TopologyKind};
 use gnet_mi::MiKernel;
 use gnet_parallel::SchedulerPolicy;
 use gnet_phi::scenarios;
-use gnet_trace::{EwmaEta, Progress, Recorder};
+use gnet_trace::{diag_chunk, EwmaEta, Progress, Recorder};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -169,6 +170,10 @@ fn config_from_args(args: &ArgMap) -> Result<InferenceConfig, CliError> {
 /// rate change mid-run — early-exit pruning kicking in, a machine that
 /// warms up or gets loaded — moves the estimate toward the *recent*
 /// rate instead of the whole-run mean the raw `Progress::eta` reports.
+///
+/// Each repaint goes through [`gnet_trace::diag_chunk`], the process-wide
+/// line-buffered stderr writer, so a concurrently-printing rank or thread
+/// can never splice its output into the middle of the progress line.
 fn progress_sink() -> impl Fn(Progress) + Send + Sync + 'static {
     let state = std::sync::Mutex::new((EwmaEta::new(), None::<std::time::Instant>));
     move |p: Progress| {
@@ -188,15 +193,16 @@ fn progress_sink() -> impl Fn(Progress) + Send + Sync + 'static {
             Some(d) => format!("{d:.0?}"),
             None => "?".to_string(),
         };
-        eprint!(
+        let mut line = format!(
             "\rtiles {}/{} ({:3.0}%)  ETA {eta}    ",
             p.done,
             p.total,
             p.fraction() * 100.0
         );
         if p.done >= p.total {
-            eprintln!();
+            line.push('\n');
         }
+        diag_chunk(&line);
     }
 }
 
@@ -221,6 +227,15 @@ fn progress_sink() -> impl Fn(Progress) + Send + Sync + 'static {
 /// TCP coordinator instead of running all ranks in-process; it prints
 /// `listening on IP:PORT`, waits for `P − 1` `gnet worker --connect`
 /// processes, and produces the byte-identical edge set.
+///
+/// Live telemetry (with `--ranks`, in-process or `--listen`):
+/// `--status-addr ADDR` serves `/status` (gnet-status/1 JSON) and
+/// `/metrics` (Prometheus text) over HTTP and prints
+/// `status listening on IP:PORT`; `--status-file FILE` atomically
+/// rewrites the same JSON document on every heartbeat interval;
+/// `--status-interval-ms N` tunes the heartbeat cadence (default 250).
+/// Read either surface with `gnet status`. Telemetry is observational
+/// only: the edge set is byte-identical with it on or off.
 ///
 /// Incremental: `--save-state DIR` runs the canonical serial scan and
 /// persists an updatable state bundle alongside the edge list, so later
@@ -256,6 +271,22 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let listen = args.get("listen").map(str::to_string);
     if listen.is_some() && ranks.is_none_or(|p| p < 2) {
         return fail("--listen starts a multi-process coordinator and needs --ranks P with P >= 2");
+    }
+    let status_addr = args.get("status-addr").map(str::to_string);
+    let status_file = args.get("status-file").map(str::to_string);
+    let status_interval_ms = args.get_or("status-interval-ms", 250u64)?;
+    let telemetry = status_addr.is_some() || status_file.is_some();
+    if telemetry && ranks.is_none() {
+        return fail("--status-addr/--status-file stream live telemetry from the distributed path and need --ranks");
+    }
+    if args.get("status-interval-ms").is_some() && !telemetry {
+        return fail("--status-interval-ms needs --status-addr or --status-file");
+    }
+    if status_interval_ms == 0 {
+        return fail("--status-interval-ms must be at least 1");
+    }
+    if telemetry && trace_dir.is_some() && listen.is_none() {
+        return fail("--status-* with --trace-dir needs the multi-process path (--listen); the in-process driver wires one or the other");
     }
     let checkpoint_dir = args.get("checkpoint-dir").map(str::to_string);
     let checkpoint_every = args.get_or("checkpoint-every", 8usize)?;
@@ -343,6 +374,32 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         None => gnet_fault::FaultInjector::none(),
     };
 
+    // The live telemetry plane (ISSUE 10): a `--status-file` JSON
+    // document and/or a `/status` + `/metrics` HTTP listener, fed by
+    // in-band worker heartbeats. Purely observational — the edge set is
+    // byte-identical with or without it.
+    let mut plane = if telemetry {
+        let spec = TelemetrySpec {
+            status_addr: status_addr.clone(),
+            status_file: status_file.as_ref().map(std::path::PathBuf::from),
+            interval: std::time::Duration::from_millis(status_interval_ms),
+        };
+        let genes = matrix.genes() as u64;
+        let p = ranks.expect("telemetry requires --ranks (validated above)");
+        let plane = TelemetryPlane::start(&spec, p, genes * genes.saturating_sub(1) / 2)
+            .map_err(|e| CliError(format!("cannot start the status plane: {e}")))?;
+        if let Some(addr) = plane.status_addr() {
+            // Announced on stdout (and flushed) so a harness scraping
+            // mid-run can learn the ephemeral port, mirroring the
+            // `listening on` line of the --listen coordinator.
+            writeln!(out, "status listening on {addr}")?;
+            out.flush()?;
+        }
+        Some(plane)
+    } else {
+        None
+    };
+
     let (mut network, summary) = match ranks {
         Some(p) => {
             let r = if let Some(addr) = &listen {
@@ -364,10 +421,11 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
                     &rec,
                     DEFAULT_PEER_TIMEOUT,
                     trace_dir.as_deref().map(std::path::Path::new),
+                    plane.as_ref(),
                 )
             } else {
-                match &trace_dir {
-                    Some(dir) => infer_network_distributed_traced(
+                match (&trace_dir, &plane) {
+                    (Some(dir), _) => infer_network_distributed_traced(
                         &matrix,
                         &cfg,
                         p,
@@ -376,7 +434,16 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
                         DEFAULT_PEER_TIMEOUT,
                         std::path::Path::new(dir),
                     ),
-                    None => infer_network_distributed_faulty(
+                    (None, Some(live)) => infer_network_distributed_live(
+                        &matrix,
+                        &cfg,
+                        p,
+                        &injector,
+                        &rec,
+                        DEFAULT_PEER_TIMEOUT,
+                        live,
+                    ),
+                    (None, None) => infer_network_distributed_faulty(
                         &matrix,
                         &cfg,
                         p,
@@ -452,6 +519,14 @@ pub fn cmd_infer(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         },
     };
     writeln!(out, "{summary}")?;
+
+    if let Some(mut live) = plane.take() {
+        live.finish()
+            .map_err(|e| CliError(format!("cannot finalize the status plane: {e}")))?;
+        if let Some(path) = &status_file {
+            writeln!(out, "final status snapshot in {path}")?;
+        }
+    }
 
     if let Some(path) = &trace_path {
         let mut w = BufWriter::new(create_file(path)?);
@@ -594,6 +669,141 @@ pub fn cmd_worker(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         )?;
     } else {
         writeln!(out, "rank {} of {} done", report.rank, report.ranks)?;
+    }
+    Ok(())
+}
+
+/// Plain HTTP/1.0 GET against the status listener: one request, read to
+/// EOF, no keep-alive — exactly what `StatusServer` serves.
+fn http_get(addr: &str, path: &str) -> Result<String, CliError> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| CliError(format!("cannot arm the read timeout: {e}")))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| CliError(format!("cannot send the request to {addr}: {e}")))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| CliError(format!("cannot read the response from {addr}: {e}")))?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return fail(format!("malformed HTTP response from {addr}"));
+    };
+    let status_line = head.lines().next().unwrap_or_default();
+    if !status_line.contains(" 200 ") {
+        return fail(format!("{addr}{path} answered: {status_line}"));
+    }
+    Ok(body.to_string())
+}
+
+fn render_status_summary(s: &gnet_obs::StatusSummary, out: &mut dyn Write) -> Result<(), CliError> {
+    #[allow(clippy::cast_precision_loss)] // cast-ok: display percentage only
+    let pct = if s.pairs_total > 0 {
+        s.pairs_done as f64 / s.pairs_total as f64 * 100.0
+    } else {
+        0.0
+    };
+    let eta = match s.eta_us {
+        Some(us) => format!("{:.0?}", std::time::Duration::from_micros(us)),
+        None => "?".to_string(),
+    };
+    writeln!(
+        out,
+        "gnet-status/1: {} — {} ranks, round {}, elapsed {:.0?}",
+        s.state,
+        s.ranks,
+        s.round_max,
+        std::time::Duration::from_micros(s.elapsed_us),
+    )?;
+    writeln!(
+        out,
+        "pairs {}/{} ({pct:.1}%) at {:.0} pairs/s, ETA {eta}",
+        s.pairs_done, s.pairs_total, s.pairs_per_s,
+    )?;
+    if !s.stragglers.is_empty() || !s.stragglers_seen.is_empty() {
+        writeln!(
+            out,
+            "stragglers now {:?}, ever {:?}",
+            s.stragglers, s.stragglers_seen
+        )?;
+    }
+    writeln!(
+        out,
+        "{:>5} {:>9} {:>6} {:>10} {:>10} {:>10} {:>6} {:>6}",
+        "rank", "state", "round", "pairs", "pairs/s", "beat_age", "beats", "queue"
+    )?;
+    for r in &s.per_rank {
+        let state = if r.dead {
+            "dead"
+        } else if r.done {
+            "done"
+        } else if r.straggler {
+            "straggler"
+        } else if r.suspect {
+            "suspect"
+        } else {
+            "running"
+        };
+        let age = match r.beat_age_us {
+            Some(us) => format!("{:.0?}", std::time::Duration::from_micros(us)),
+            None => "-".to_string(),
+        };
+        writeln!(
+            out,
+            "{:>5} {:>9} {:>6} {:>10} {:>10.0} {:>10} {:>6} {:>6}",
+            r.rank, state, r.round, r.pairs, r.pairs_per_s, age, r.beats, r.queue_depth,
+        )?;
+    }
+    Ok(())
+}
+
+/// `gnet status` — render a running (or finished) inference's live
+/// telemetry as a one-screen summary.
+///
+/// The target is either the `IP:PORT` a coordinator announced with
+/// `status listening on …` (scraped over HTTP) or the path of a
+/// `--status-file` JSON document. Options: `--metrics` fetches the
+/// Prometheus exposition instead of the status document (listener
+/// targets only), `--json` prints the raw `gnet-status/1` document.
+/// Every fetched document is validated against the pinned closed-world
+/// schema first, so a drifted producer fails loudly here and in CI.
+pub fn cmd_status(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let target = args.require("target")?.to_string();
+    let metrics = args.flag("metrics");
+    let json = args.flag("json");
+    args.reject_unknown()?;
+    if metrics && json {
+        return fail("--metrics is the Prometheus text form; drop --json");
+    }
+    let is_addr = target.parse::<std::net::SocketAddr>().is_ok();
+    if metrics && !is_addr {
+        return fail(
+            "--metrics scrapes the HTTP listener; a --status-file holds only the JSON document",
+        );
+    }
+    if metrics {
+        let body = http_get(&target, "/metrics")?;
+        let samples = gnet_obs::validate_prometheus(&body).map_err(|e| CliError(e.to_string()))?;
+        write!(out, "{body}")?;
+        writeln!(out, "# {samples} samples, schema ok")?;
+        return Ok(());
+    }
+    let body = if is_addr {
+        http_get(&target, "/status")?
+    } else {
+        std::fs::read_to_string(&target)
+            .map_err(|e| CliError(format!("cannot read {target}: {e}")))?
+    };
+    let summary = gnet_obs::validate_status_json(&body).map_err(|e| CliError(e.to_string()))?;
+    if json {
+        writeln!(out, "{body}")?;
+    } else {
+        render_status_summary(&summary, out)?;
     }
     Ok(())
 }
@@ -2409,6 +2619,102 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.0.contains("genes"), "{}", err.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_flags_need_the_distributed_path() {
+        let mut sink = Vec::new();
+        let err = cmd_infer(
+            &argmap(&[
+                "--input",
+                "m.tsv",
+                "--output",
+                "e.tsv",
+                "--status-addr",
+                "127.0.0.1:0",
+            ]),
+            &mut sink,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("--ranks"), "{}", err.0);
+
+        let err = cmd_infer(
+            &argmap(&[
+                "--input",
+                "m.tsv",
+                "--output",
+                "e.tsv",
+                "--status-interval-ms",
+                "50",
+            ]),
+            &mut sink,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("--status-addr"), "{}", err.0);
+    }
+
+    /// End-to-end live telemetry through the CLI: a 2-rank in-process
+    /// run maintaining a --status-file, `gnet status` on the final
+    /// snapshot, and the byte-identity invariant vs a telemetry-off run.
+    #[test]
+    fn live_status_file_flows_into_gnet_status() {
+        let dir = tmpdir("live_status");
+        let matrix = dir.join("m.tsv");
+        let edges_live = dir.join("live.tsv");
+        let edges_off = dir.join("off.tsv");
+        let status = dir.join("status.json");
+        let mut sink = Vec::new();
+        cmd_generate(
+            &argmap(&[
+                "--genes",
+                "24",
+                "--samples",
+                "120",
+                "--seed",
+                "3",
+                "--out",
+                matrix.to_str().unwrap(),
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        for (out_path, telem) in [(&edges_live, true), (&edges_off, false)] {
+            let mut tokens = vec![
+                "--input".to_string(),
+                matrix.to_str().unwrap().to_string(),
+                "--output".to_string(),
+                out_path.to_str().unwrap().to_string(),
+                "--q".to_string(),
+                "8".to_string(),
+                "--ranks".to_string(),
+                "2".to_string(),
+            ];
+            if telem {
+                tokens.extend([
+                    "--status-file".to_string(),
+                    status.to_str().unwrap().to_string(),
+                    "--status-interval-ms".to_string(),
+                    "5".to_string(),
+                ]);
+            }
+            cmd_infer(&ArgMap::parse(tokens).unwrap(), &mut sink).unwrap();
+        }
+        assert_eq!(
+            std::fs::read(&edges_live).unwrap(),
+            std::fs::read(&edges_off).unwrap(),
+            "telemetry must never perturb the edge set"
+        );
+
+        let mut status_out = Vec::new();
+        cmd_status(
+            &argmap(&["--target", status.to_str().unwrap()]),
+            &mut status_out,
+        )
+        .unwrap();
+        let text = String::from_utf8(status_out).unwrap();
+        assert!(text.contains("gnet-status/1: done"), "{text}");
+        assert!(text.lines().count() >= 5, "per-rank table present: {text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

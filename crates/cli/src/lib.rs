@@ -12,5 +12,6 @@ pub mod commands;
 pub use args::ArgMap;
 pub use commands::{
     cmd_analyze, cmd_bench, cmd_conformance, cmd_generate, cmd_infer, cmd_predict, cmd_score,
-    cmd_simd, cmd_stats, cmd_topology, cmd_trace_report, cmd_update, cmd_worker, CliError,
+    cmd_simd, cmd_stats, cmd_status, cmd_topology, cmd_trace_report, cmd_update, cmd_worker,
+    CliError,
 };

@@ -25,8 +25,9 @@
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gnet_fault::{FaultInjector, MessageAction};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 pub use crossbeam::channel::RecvTimeoutError;
@@ -69,6 +70,11 @@ pub struct Endpoint {
     /// Armed only on fabrics built with [`Fabric::with_faults`]; an
     /// unarmed injector is a zero-cost pass-through.
     faults: FaultInjector,
+    /// `telem[to]` is rank `to`'s telemetry inbox, shared across all
+    /// endpoints. `TELEM` frames are diverted here at send time, never
+    /// entering the protocol channels (see
+    /// [`Transport::drain_telemetry`](crate::transport::Transport::drain_telemetry)).
+    telem: Vec<Arc<Mutex<VecDeque<Bytes>>>>,
 }
 
 impl Endpoint {
@@ -95,6 +101,17 @@ impl Endpoint {
     /// if the peer endpoint was dropped.
     pub fn send(&self, to: usize, payload: Bytes) {
         assert!(to < self.size, "rank {to} out of range");
+        if crate::live::is_telem(&payload) {
+            // Telemetry is out-of-band: skip the traffic counters and the
+            // message-level fault injector (so fault-plan `nth` indices
+            // are identical with telemetry on or off) and park the frame
+            // in the target's telemetry inbox.
+            self.telem[to]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(payload);
+            return;
+        }
         // ordering: pure counters — nothing is published through them;
         // the channel send below carries all data synchronization.
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
@@ -219,6 +236,14 @@ impl Endpoint {
     pub fn stats(&self) -> &CommStats {
         &self.stats
     }
+
+    /// Drain every `TELEM` frame other ranks have parked for this rank.
+    pub fn drain_telemetry(&self) -> Vec<Bytes> {
+        let mut inbox = self.telem[self.rank]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        inbox.drain(..).collect()
+    }
 }
 
 impl crate::transport::Transport for Endpoint {
@@ -248,6 +273,10 @@ impl crate::transport::Transport for Endpoint {
 
     fn bytes_sent(&self) -> u64 {
         self.stats.bytes()
+    }
+
+    fn drain_telemetry(&self) -> Vec<Bytes> {
+        Endpoint::drain_telemetry(self)
     }
 }
 
@@ -291,6 +320,9 @@ impl Fabric {
         }
         let stats: Vec<Arc<CommStats>> =
             (0..size).map(|_| Arc::new(CommStats::default())).collect();
+        let telem: Vec<Arc<Mutex<VecDeque<Bytes>>>> = (0..size)
+            .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+            .collect();
         let endpoints = senders
             .into_iter()
             .zip(receivers)
@@ -308,6 +340,7 @@ impl Fabric {
                     .collect(),
                 stats: Arc::clone(&stats[rank]),
                 faults: faults.clone(),
+                telem: telem.clone(),
             })
             .collect();
         Self { endpoints, stats }

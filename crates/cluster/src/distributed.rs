@@ -47,6 +47,7 @@
 
 use crate::codec::{decode_block, encode_block, GeneBlock};
 use crate::comm::{run_ranks_on, Fabric, RecvTimeoutError};
+use crate::live::{live_mark_dead, live_tick, BeatState, LiveDuty, TelemetryPlane};
 use crate::protocol::{
     block_range, Effect, Event as ProtoEvent, Frame as ProtoFrame, Mutation, Phase, RankMachine,
     Wait,
@@ -61,9 +62,10 @@ use gnet_fault::{names, Fault, FaultInjector};
 use gnet_graph::{Edge, GeneNetwork};
 use gnet_mi::{mi_with_nulls, prepare_gene, MiKernel, MiScratch};
 use gnet_permute::{PermutationSet, PooledNull};
-use gnet_trace::{Recorder, Span, Value};
+use gnet_trace::{MetricsSink, Recorder, Span, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long a rank waits on a peer before presuming it dead. Generous
@@ -89,7 +91,7 @@ const TAG_CLOCK: u8 = 6;
 /// guarantees it never overtakes the worker's protocol frames.
 pub(crate) const TAG_STATS: u8 = 7;
 
-const FRAME_HEADER: usize = 5;
+pub(crate) const FRAME_HEADER: usize = 5;
 
 /// A distributed run that cannot proceed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -220,7 +222,7 @@ pub fn infer_network_distributed_faulty(
     rec: &Recorder,
     peer_timeout: Duration,
 ) -> Result<DistributedResult, ClusterError> {
-    run_distributed(matrix, config, ranks, faults, rec, peer_timeout, None)
+    run_distributed(matrix, config, ranks, faults, rec, peer_timeout, None, None)
 }
 
 /// [`infer_network_distributed_faulty`] with per-rank trace capture:
@@ -261,6 +263,41 @@ pub fn infer_network_distributed_traced(
         rec,
         peer_timeout,
         Some(trace_dir),
+        None,
+    )
+}
+
+/// [`infer_network_distributed_faulty`] with the live telemetry plane
+/// attached: every rank carries a metrics registry (installed as its
+/// recorder's [`MetricsSink`]) and beats rank 0 on the plane's cadence;
+/// rank 0 folds the beats — its own included — into `plane`'s cluster
+/// view. The edge set is byte-identical to the same run without the
+/// plane (pinned by the `live` test suite).
+///
+/// # Errors
+/// As [`infer_network_distributed_faulty`].
+///
+/// # Panics
+/// Same validation panics as [`infer_network_distributed`].
+#[allow(clippy::too_many_arguments)]
+pub fn infer_network_distributed_live(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+    faults: &FaultInjector,
+    rec: &Recorder,
+    peer_timeout: Duration,
+    plane: &TelemetryPlane,
+) -> Result<DistributedResult, ClusterError> {
+    run_distributed(
+        matrix,
+        config,
+        ranks,
+        faults,
+        rec,
+        peer_timeout,
+        None,
+        Some(plane),
     )
 }
 
@@ -320,6 +357,7 @@ fn assemble_result(
     Ok(result)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_distributed(
     matrix: &ExpressionMatrix,
     config: &InferenceConfig,
@@ -328,20 +366,26 @@ fn run_distributed(
     rec: &Recorder,
     peer_timeout: Duration,
     trace_dir: Option<&std::path::Path>,
+    live: Option<&TelemetryPlane>,
 ) -> Result<DistributedResult, ClusterError> {
     validate_run(matrix, config, ranks, faults)?;
     let n = matrix.genes();
     let fabric = Fabric::with_faults(ranks, faults.clone());
     let rank_recs: Option<Vec<Recorder>> =
         trace_dir.map(|_| (0..ranks).map(|_| Recorder::enabled()).collect());
+    let duties: Option<Vec<LiveDuty>> = live.map(|p| LiveDuty::for_ranks(p, ranks));
     let outputs = run_ranks_on(fabric, |ep| {
-        let rank_rec = rank_recs
+        let duty = duties.as_ref().map(|d| &d[ep.rank()]);
+        let mut rank_rec = rank_recs
             .as_ref()
             .map_or_else(Recorder::disabled, |recs| recs[ep.rank()].clone());
+        if let Some(d) = duty {
+            rank_rec = rank_rec.with_metrics(Arc::clone(&d.registry) as Arc<dyn MetricsSink>);
+        }
         // `ep` stays owned by this closure frame: returning drops it,
         // which closes this rank's channels — the death signal the
         // survivors' bounded receives detect.
-        rank_main(&ep, matrix, config, n, rec, &rank_rec, peer_timeout)
+        rank_main(&ep, matrix, config, n, rec, &rank_rec, peer_timeout, duty)
     });
     assemble_result(outputs, trace_dir, rank_recs)
 }
@@ -389,7 +433,7 @@ pub fn infer_network_distributed_tcp_faulty(
     rec: &Recorder,
     peer_timeout: Duration,
 ) -> Result<DistributedResult, ClusterError> {
-    run_distributed_tcp(matrix, config, ranks, faults, rec, peer_timeout, None)
+    run_distributed_tcp(matrix, config, ranks, faults, rec, peer_timeout, None, None)
 }
 
 /// [`infer_network_distributed_tcp_faulty`] with per-rank trace capture
@@ -420,9 +464,45 @@ pub fn infer_network_distributed_tcp_traced(
         rec,
         peer_timeout,
         Some(trace_dir),
+        None,
     )
 }
 
+/// [`infer_network_distributed_tcp_faulty`] with the live telemetry
+/// plane attached — the TCP twin of
+/// [`infer_network_distributed_live`]. Heartbeats ride the loopback
+/// sockets as `TELEM` frames (diverted from the protocol stream by the
+/// reader threads), so wire-fault plans *can* target them; the edge set
+/// stays byte-identical to the plane-less run regardless.
+///
+/// # Errors
+/// As [`infer_network_distributed_tcp_faulty`].
+///
+/// # Panics
+/// Same validation panics as [`infer_network_distributed`].
+#[allow(clippy::too_many_arguments)]
+pub fn infer_network_distributed_tcp_live(
+    matrix: &ExpressionMatrix,
+    config: &InferenceConfig,
+    ranks: usize,
+    faults: &FaultInjector,
+    rec: &Recorder,
+    peer_timeout: Duration,
+    plane: &TelemetryPlane,
+) -> Result<DistributedResult, ClusterError> {
+    run_distributed_tcp(
+        matrix,
+        config,
+        ranks,
+        faults,
+        rec,
+        peer_timeout,
+        None,
+        Some(plane),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_distributed_tcp(
     matrix: &ExpressionMatrix,
     config: &InferenceConfig,
@@ -431,16 +511,22 @@ fn run_distributed_tcp(
     rec: &Recorder,
     peer_timeout: Duration,
     trace_dir: Option<&std::path::Path>,
+    live: Option<&TelemetryPlane>,
 ) -> Result<DistributedResult, ClusterError> {
     validate_run(matrix, config, ranks, faults)?;
     let n = matrix.genes();
     let rank_recs: Option<Vec<Recorder>> =
         trace_dir.map(|_| (0..ranks).map(|_| Recorder::enabled()).collect());
+    let duties: Option<Vec<LiveDuty>> = live.map(|p| LiveDuty::for_ranks(p, ranks));
     let outputs = crate::tcp::run_ranks_tcp(ranks, faults, |tp| {
-        let rank_rec = rank_recs
+        let duty = duties.as_ref().map(|d| &d[tp.rank()]);
+        let mut rank_rec = rank_recs
             .as_ref()
             .map_or_else(Recorder::disabled, |recs| recs[tp.rank()].clone());
-        let out = rank_main(&tp, matrix, config, n, rec, &rank_rec, peer_timeout);
+        if let Some(d) = duty {
+            rank_rec = rank_rec.with_metrics(Arc::clone(&d.registry) as Arc<dyn MetricsSink>);
+        }
+        let out = rank_main(&tp, matrix, config, n, rec, &rank_rec, peer_timeout, duty);
         // Drain-then-FIN before the counters are read: survivors see
         // this rank's death (crash or completion) exactly when a
         // channel-fabric rank would have dropped its endpoint.
@@ -605,6 +691,10 @@ fn recv_event(
         return match tp.recv_timeout(from, timeout) {
             Ok(raw) => match parse_frame(raw) {
                 Some((TAG_CLOCK, _, _)) => continue, // delayed clock stamp: harmless
+                // Defensive only: transports divert TELEM frames before
+                // they reach a protocol queue; tolerate a stray one the
+                // same way rather than mistaking it for a protocol error.
+                Some((crate::live::TAG_TELEM, _, _)) => continue,
                 Some((TAG_BLOCK, rd, payload)) => {
                     *block_payload = Some(payload);
                     *fail_reason = unexpected;
@@ -745,6 +835,7 @@ pub(crate) fn rank_main(
     rec: &Recorder,
     rank_rec: &Recorder,
     peer_timeout: Duration,
+    live: Option<&LiveDuty>,
 ) -> RankOutput {
     let p = tp.size();
     let r = tp.rank();
@@ -858,6 +949,18 @@ pub(crate) fn rank_main(
     // A healed block, decoded once and reused by the compute effect.
     let mut rebuilt: Option<GeneBlock> = None;
     let mut cur_round = 0usize;
+    // Live-telemetry beat clock: armed only when a plane is attached.
+    // Ticks between effects and receives — cheap (one clock compare
+    // when nothing is due) and strictly outside the protocol's own
+    // send/receive schedule, so telemetry can never reorder it.
+    let mut beat = live.map(|d| BeatState::new(d.interval));
+    macro_rules! tick {
+        ($done:expr) => {
+            if let (Some(duty), Some(b)) = (live, beat.as_mut()) {
+                live_tick(duty, b, tp, cur_round as u32, $done, stats.pairs);
+            }
+        };
+    }
     let mut parts: Vec<Option<Bytes>> = vec![None; p];
     let mut supplements: Vec<Option<Share>> = vec![None; p];
     let mut cache: HashMap<usize, GeneBlock> = HashMap::new();
@@ -1010,6 +1113,9 @@ pub(crate) fn rank_main(
                     );
                 }
                 Effect::PresumeDead { rank } => {
+                    if let Some(duty) = live {
+                        live_mark_dead(duty, rank);
+                    }
                     rec.counter_add(names::CNT_CRASHES_DETECTED, 1);
                     rec.event(
                         names::EVT_CRASH_DETECTED,
@@ -1159,6 +1265,7 @@ pub(crate) fn rank_main(
                     output = Some((network, threshold, dead));
                 }
             }
+            tick!(false);
         }
         if finalize_span.is_none() && machine.phase() == Phase::Endgame {
             drop(ring_span.take());
@@ -1217,6 +1324,11 @@ pub(crate) fn rank_main(
             ("bytes_sent", Value::from(stats.bytes_sent)),
         ],
     );
+    // Final beat, forced: carries `done` and the rank's closing
+    // counters (the `rank.pairs` counter_add above reached the registry
+    // through the recorder's metrics sink). On rank 0 this also drains
+    // any last remote beats into the view.
+    tick!(true);
 
     match output {
         Some((network, threshold, dead)) => RankOutput {

@@ -37,6 +37,7 @@
 pub mod codec;
 pub mod comm;
 pub mod distributed;
+pub mod live;
 pub mod process;
 pub mod protocol;
 pub mod tcp;
@@ -45,11 +46,13 @@ pub mod transport;
 pub use codec::CodecError;
 pub use comm::{run_ranks, run_ranks_on, CommStats, Endpoint, Fabric, RecvTimeoutError};
 pub use distributed::{
-    infer_network_distributed, infer_network_distributed_faulty, infer_network_distributed_tcp,
-    infer_network_distributed_tcp_faulty, infer_network_distributed_tcp_traced,
+    infer_network_distributed, infer_network_distributed_faulty, infer_network_distributed_live,
+    infer_network_distributed_tcp, infer_network_distributed_tcp_faulty,
+    infer_network_distributed_tcp_live, infer_network_distributed_tcp_traced,
     infer_network_distributed_traced, ClusterError, DistributedResult, RankStats,
     DEFAULT_PEER_TIMEOUT,
 };
+pub use live::{TelemetryPlane, TelemetrySpec};
 pub use process::{run_worker, serve_coordinator, WorkerReport};
 pub use protocol::{
     block_pair_owner, block_range, redistribute, Effect, Event, Frame, Mutation, Phase,

@@ -53,6 +53,7 @@ use crate::distributed::{
     frame, parse_frame, rank_main, validate_run, write_manifest, write_one_rank_trace,
     ClusterError, DistributedResult, RankStats, TAG_STATS,
 };
+use crate::live::{LiveDuty, TelemetryPlane};
 use crate::tcp::{accept_peer, dial, RetryPolicy, TcpCounters, TcpTransport};
 use crate::transport::Transport;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -61,6 +62,8 @@ use gnet_core::InferenceConfig;
 use gnet_expr::ExpressionMatrix;
 use gnet_fault::{FaultInjector, FaultPlan, SplitMix64};
 use gnet_mi::MiKernel;
+use gnet_telemetry::MetricsRegistry;
+use gnet_trace::MetricsSink;
 use gnet_trace::Recorder;
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
@@ -71,8 +74,10 @@ use std::time::Duration;
 const HELLO_MAGIC: u32 = 0x474E_574B;
 /// Magic opening a WELCOME blob (`"GNWC"` LE).
 const WELCOME_MAGIC: u32 = 0x474E_5743;
-/// Bootstrap wire-format version.
-const BOOTSTRAP_VERSION: u8 = 1;
+/// Bootstrap wire-format version. v2 added `telem_interval_us` to the
+/// WELCOME header (0 = live telemetry off); the codec is closed-world,
+/// so a v1 peer is rejected rather than mis-parsed.
+const BOOTSTRAP_VERSION: u8 = 2;
 /// Upper bound on a control blob. The dominant term is the matrix
 /// snapshot; whole-genome matrices are hundreds of MiB at most.
 const MAX_BLOB: usize = 1024 * 1024 * 1024;
@@ -271,6 +276,8 @@ struct Welcome {
     rank: usize,
     size: usize,
     peer_timeout: Duration,
+    /// Heartbeat cadence for the live telemetry plane; zero disables it.
+    telem_interval_us: u64,
     traced: bool,
     trace_dir: String,
     plan: String,
@@ -285,6 +292,7 @@ fn encode_welcome(
     rank: usize,
     size: usize,
     peer_timeout: Duration,
+    telem_interval_us: u64,
     traced: bool,
     trace_dir: &str,
     plan: &str,
@@ -298,6 +306,7 @@ fn encode_welcome(
     buf.put_u32_le(rank as u32);
     buf.put_u32_le(size as u32);
     buf.put_u64_le(peer_timeout.as_micros() as u64);
+    buf.put_u64_le(telem_interval_us);
     buf.put_u8(u8::from(traced));
     put_str(&mut buf, trace_dir);
     put_str(&mut buf, plan);
@@ -314,7 +323,7 @@ fn encode_welcome(
 }
 
 fn decode_welcome(mut bytes: Bytes) -> Result<Welcome, ClusterError> {
-    if bytes.remaining() < 4 + 1 + 4 + 4 + 8 + 1 {
+    if bytes.remaining() < 4 + 1 + 4 + 4 + 8 + 8 + 1 {
         return Err(transport_err("truncated WELCOME header"));
     }
     if bytes.get_u32_le() != WELCOME_MAGIC {
@@ -326,6 +335,7 @@ fn decode_welcome(mut bytes: Bytes) -> Result<Welcome, ClusterError> {
     let rank = bytes.get_u32_le() as usize;
     let size = bytes.get_u32_le() as usize;
     let peer_timeout = Duration::from_micros(bytes.get_u64_le());
+    let telem_interval_us = bytes.get_u64_le();
     let traced = bytes.get_u8() == 1;
     let trace_dir = get_str(&mut bytes)?;
     let plan = get_str(&mut bytes)?;
@@ -368,6 +378,7 @@ fn decode_welcome(mut bytes: Bytes) -> Result<Welcome, ClusterError> {
         rank,
         size,
         peer_timeout,
+        telem_interval_us,
         traced,
         trace_dir,
         plan,
@@ -425,6 +436,10 @@ fn dial_control(addr: SocketAddr, policy: &RetryPolicy) -> std::io::Result<TcpSt
 /// # Panics
 /// Panics if `ranks < 2`, plus the same validation panics as
 /// [`crate::distributed::infer_network_distributed`].
+///
+/// When `live` is set the WELCOME advertises its heartbeat cadence, so
+/// every worker streams TELEM frames back over its control connection
+/// and the plane's view covers the whole process cluster.
 #[allow(clippy::too_many_arguments)]
 pub fn serve_coordinator(
     listener: &TcpListener,
@@ -435,15 +450,25 @@ pub fn serve_coordinator(
     rec: &Recorder,
     peer_timeout: Duration,
     trace_dir: Option<&std::path::Path>,
+    live: Option<&TelemetryPlane>,
 ) -> Result<DistributedResult, ClusterError> {
     assert!(ranks >= 2, "a multi-process run needs at least one worker");
     let plan_string = plan.map(ToString::to_string).unwrap_or_default();
     let traced = trace_dir.is_some();
-    let rank_rec = if traced {
+    let mut rank_rec = if traced {
         Recorder::enabled()
     } else {
         Recorder::disabled()
     };
+    let telem_interval_us = live.map_or(0, |p| p.interval().as_micros() as u64);
+    let duty = live.map(|p| LiveDuty {
+        registry: Arc::new(MetricsRegistry::new()),
+        interval: p.interval(),
+        view: Some(p.view()),
+    });
+    if let Some(d) = &duty {
+        rank_rec = rank_rec.with_metrics(Arc::clone(&d.registry) as Arc<dyn MetricsSink>);
+    }
     let faults = injector_from_plan(&plan_string, &rank_rec)?;
     validate_run(matrix, config, ranks, &faults)?;
 
@@ -472,6 +497,7 @@ pub fn serve_coordinator(
             idx + 1,
             ranks,
             peer_timeout,
+            telem_interval_us,
             traced,
             &trace_dir_string,
             &plan_string,
@@ -483,7 +509,7 @@ pub fn serve_coordinator(
     }
 
     // Phases 3–4: rank 0's protocol loop over the control connections.
-    let counters = Arc::new(TcpCounters::default());
+    let counters = Arc::new(TcpCounters::for_peers(ranks));
     let mut streams: Vec<Option<TcpStream>> = vec![None];
     streams.extend(controls.into_iter().map(Some));
     let tp = TcpTransport::from_streams(0, ranks, streams, faults, Arc::clone(&counters))
@@ -496,6 +522,7 @@ pub fn serve_coordinator(
         rec,
         &rank_rec,
         peer_timeout,
+        duty.as_ref(),
     );
 
     // Phase 5: collect worker STATS, synthesizing crashed stats for
@@ -600,6 +627,7 @@ pub fn run_worker(
         rank,
         size,
         peer_timeout,
+        telem_interval_us,
         traced,
         trace_dir,
         plan,
@@ -609,11 +637,20 @@ pub fn run_worker(
     } = decode_welcome(welcome_blob)?;
     config.validate();
 
-    let rank_rec = if traced {
+    let mut rank_rec = if traced {
         Recorder::enabled()
     } else {
         Recorder::disabled()
     };
+    // Workers never hold the cluster view: beats go to rank 0 in-band.
+    let duty = (telem_interval_us > 0).then(|| LiveDuty {
+        registry: Arc::new(MetricsRegistry::new()),
+        interval: Duration::from_micros(telem_interval_us),
+        view: None,
+    });
+    if let Some(d) = &duty {
+        rank_rec = rank_rec.with_metrics(Arc::clone(&d.registry) as Arc<dyn MetricsSink>);
+    }
     // Each process rebuilds the injector from the shared plan string;
     // all consultations are local to the faulting side, so the plans
     // compose across processes exactly as they do in one process.
@@ -621,7 +658,7 @@ pub fn run_worker(
 
     // Mesh: the control stream is the rank↔0 link; dial lower workers,
     // accept higher ones.
-    let counters = Arc::new(TcpCounters::default());
+    let counters = Arc::new(TcpCounters::for_peers(size));
     let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
     streams[0] = Some(control);
     for to in 1..rank {
@@ -652,6 +689,7 @@ pub fn run_worker(
         &rank_rec,
         &rank_rec,
         peer_timeout,
+        duty.as_ref(),
     );
 
     // Trace before STATS: by the time the coordinator can observe this
@@ -759,6 +797,7 @@ mod tests {
             2,
             4,
             Duration::from_millis(750),
+            250_000,
             true,
             "/tmp/traces",
             plan,
@@ -769,6 +808,7 @@ mod tests {
         let w = decode_welcome(wire).expect("encoded WELCOME decodes");
         assert_eq!((w.rank, w.size), (2, 4));
         assert_eq!(w.peer_timeout, Duration::from_millis(750));
+        assert_eq!(w.telem_interval_us, 250_000);
         assert!(w.traced);
         assert_eq!(w.trace_dir, "/tmp/traces");
         assert_eq!(w.plan, plan);
@@ -813,6 +853,7 @@ mod tests {
                 None,
                 &Recorder::disabled(),
                 crate::distributed::DEFAULT_PEER_TIMEOUT,
+                None,
                 None,
             )
             .expect("coordinator run succeeds");

@@ -90,9 +90,54 @@ pub struct TcpCounters {
     pub deadline_expiries: AtomicU64,
     /// `recv_timeout` calls that found the peer dead and drained.
     pub peer_disconnects: AtomicU64,
+    /// Frames currently enqueued per peer writer but not yet written to
+    /// the wire (empty unless built with [`TcpCounters::for_peers`]).
+    pub send_queue: Vec<AtomicU64>,
+    /// High-water mark of any single peer's send queue.
+    pub send_queue_peak: AtomicU64,
 }
 
 impl TcpCounters {
+    /// Counters with one live send-queue gauge per peer. The `Default`
+    /// construction keeps the per-peer vector empty (depth tracking off)
+    /// so existing bare-counter call sites are unaffected.
+    #[must_use]
+    pub fn for_peers(size: usize) -> Self {
+        Self {
+            send_queue: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// One frame entered `peer`'s writer queue.
+    pub(crate) fn queue_inc(&self, peer: usize) {
+        if let Some(depth) = self.send_queue.get(peer) {
+            // ordering: advisory gauge; the writer channel itself carries
+            // the frame, nothing synchronizes through the depth.
+            let now = depth.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+            // ordering: monotone max of an advisory gauge.
+            self.send_queue_peak.fetch_max(now, Ordering::Relaxed);
+        }
+    }
+
+    /// One frame left `peer`'s writer queue (written, faulted, or
+    /// discarded at a dead peer — it is no longer queued either way).
+    pub(crate) fn queue_dec(&self, peer: usize) {
+        if let Some(depth) = self.send_queue.get(peer) {
+            // ordering: advisory gauge, paired with queue_inc.
+            depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Frames currently queued across all peer writers.
+    #[must_use]
+    pub fn send_queue_depth(&self) -> u64 {
+        self.send_queue
+            .iter()
+            // ordering: advisory gauge read for heartbeats.
+            .map(|d| d.load(Ordering::Relaxed))
+            .fold(0, u64::saturating_add)
+    }
     /// Publish the counters into `rec` under the `tcp.*` names, so a
     /// rank's trace stream attributes its network behavior (`gnet
     /// trace-report` renders whatever counters the stream carries).
@@ -108,6 +153,7 @@ impl TcpCounters {
             ("tcp.frame_bytes_recv", &self.frame_bytes_recv),
             ("tcp.deadline_expiries", &self.deadline_expiries),
             ("tcp.peer_disconnects", &self.peer_disconnects),
+            ("tcp.send_queue_peak", &self.send_queue_peak),
         ];
         for (name, counter) in pairs {
             // ordering: telemetry read after the protocol loop returned;
@@ -268,6 +314,12 @@ pub struct TcpTransport {
     rx: Vec<Receiver<Bytes>>,
     /// Loopback sender for self-sends.
     self_tx: Sender<Bytes>,
+    /// Telemetry diversion: readers park `TELEM` frames here instead of
+    /// the per-peer protocol channels (see
+    /// [`Transport::drain_telemetry`]); `telem_tx` also takes telemetry
+    /// self-sends.
+    telem_tx: Sender<Bytes>,
+    telem_rx: Receiver<Bytes>,
     writer_handles: Mutex<Vec<JoinHandle<()>>>,
     closed: AtomicBool,
 }
@@ -294,6 +346,7 @@ impl TcpTransport {
         assert_eq!(streams.len(), size, "one stream slot per rank");
         assert!(rank < size, "rank {rank} out of range");
         let (self_tx, self_rx) = unbounded();
+        let (telem_tx, telem_rx) = unbounded();
         let mut self_rx = Some(self_rx);
         let mut writers: Vec<Option<Sender<WriterCmd>>> = Vec::with_capacity(size);
         let mut rx: Vec<Receiver<Bytes>> = Vec::with_capacity(size);
@@ -312,11 +365,14 @@ impl TcpTransport {
                     let (frame_tx, frame_rx) = unbounded();
                     let (cmd_tx, cmd_rx) = unbounded();
                     let reader_counters = Arc::clone(&counters);
+                    let reader_telem = telem_tx.clone();
                     // Readers are detached: they exit on peer EOF/error
                     // or when this transport (their channel receiver)
                     // is gone. Joining them would deadlock on a peer
                     // that keeps its socket open.
-                    std::thread::spawn(move || reader_loop(stream, &frame_tx, &reader_counters));
+                    std::thread::spawn(move || {
+                        reader_loop(stream, &frame_tx, &reader_telem, &reader_counters);
+                    });
                     let writer_faults = faults.clone();
                     let writer_counters = Arc::clone(&counters);
                     writer_handles.push(std::thread::spawn(move || {
@@ -343,6 +399,8 @@ impl TcpTransport {
             writers,
             rx,
             self_tx,
+            telem_tx,
+            telem_rx,
             writer_handles: Mutex::new(writer_handles),
             closed: AtomicBool::new(false),
         })
@@ -397,25 +455,41 @@ impl Transport for TcpTransport {
 
     fn send(&self, to: usize, payload: Bytes) {
         assert!(to < self.size, "rank {to} out of range");
-        // ordering: pure counters, kept in exact parity with the channel
-        // fabric — counted per send() call, before any drop fault.
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        let n = payload.len() as u64;
-        // ordering: same telemetry argument as the message counter.
-        self.stats.bytes.fetch_add(n, Ordering::Relaxed);
-        match self.faults.on_message(self.rank, to) {
-            MessageAction::Drop => return,
-            MessageAction::Delay(pause) => std::thread::sleep(pause),
-            MessageAction::Deliver => {}
+        let telem = crate::live::is_telem(&payload);
+        if !telem {
+            // ordering: pure counters, kept in exact parity with the
+            // channel fabric — counted per send() call, before any drop
+            // fault.
+            self.stats.messages.fetch_add(1, Ordering::Relaxed);
+            let n = payload.len() as u64;
+            // ordering: same telemetry argument as the message counter.
+            self.stats.bytes.fetch_add(n, Ordering::Relaxed);
+            // Telemetry skips the message-level injector so fault-plan
+            // `nth` indices are identical with telemetry on or off.
+            // (Wire-level `on_frame` faults in the writer DO still apply
+            // to telemetry frames: heartbeats must survive — or visibly
+            // degrade under — the same wire chaos as protocol frames.)
+            match self.faults.on_message(self.rank, to) {
+                MessageAction::Drop => return,
+                MessageAction::Delay(pause) => std::thread::sleep(pause),
+                MessageAction::Deliver => {}
+            }
         }
         if to == self.rank {
-            let _ = self.self_tx.send(payload);
+            if telem {
+                let _ = self.telem_tx.send(payload);
+            } else {
+                let _ = self.self_tx.send(payload);
+            }
             return;
         }
         if let Some(writer) = &self.writers[to] {
             // A closed writer (post-shutdown) swallows the frame — the
             // datagram-to-a-dead-host semantics of the channel fabric.
-            let _ = writer.send(WriterCmd::Frame(payload));
+            self.counters.queue_inc(to);
+            if writer.send(WriterCmd::Frame(payload)).is_err() {
+                self.counters.queue_dec(to);
+            }
         }
     }
 
@@ -451,13 +525,32 @@ impl Transport for TcpTransport {
     fn bytes_sent(&self) -> u64 {
         self.stats.bytes()
     }
+
+    fn drain_telemetry(&self) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Ok(beat) = self.telem_rx.try_recv() {
+            out.push(beat);
+        }
+        out
+    }
+
+    fn send_queue_depth(&self) -> u64 {
+        self.counters.send_queue_depth()
+    }
 }
 
 /// Reassemble whole frames off the byte stream and hand them to the
-/// consumer channel. Exits (dropping the sender, which surfaces as
-/// `Disconnected` once drained) on EOF, I/O error, an insane length
+/// consumer channel — except `TELEM` frames, which are diverted to the
+/// shared telemetry channel so the protocol receive stream is identical
+/// with telemetry on or off. Exits (dropping the sender, which surfaces
+/// as `Disconnected` once drained) on EOF, I/O error, an insane length
 /// prefix, or a transport that has gone away.
-fn reader_loop(mut stream: TcpStream, frames: &Sender<Bytes>, counters: &TcpCounters) {
+fn reader_loop(
+    mut stream: TcpStream,
+    frames: &Sender<Bytes>,
+    telem: &Sender<Bytes>,
+    counters: &TcpCounters,
+) {
     let mut len_buf = [0u8; 4];
     loop {
         if stream.read_exact(&mut len_buf).is_err() {
@@ -478,7 +571,13 @@ fn reader_loop(mut stream: TcpStream, frames: &Sender<Bytes>, counters: &TcpCoun
         counters
             .frame_bytes_recv
             .fetch_add(len as u64, Ordering::Relaxed); // ordering: telemetry
-        if frames.send(Bytes::from(payload)).is_err() {
+        let payload = Bytes::from(payload);
+        let deliver = if crate::live::is_telem(&payload) {
+            telem.send(payload)
+        } else {
+            frames.send(payload)
+        };
+        if deliver.is_err() {
             return;
         }
     }
@@ -502,6 +601,9 @@ fn writer_loop(
             WriterCmd::Frame(payload) => payload,
             WriterCmd::Shutdown => break,
         };
+        // Dequeued — written, faulted, or discarded below, the frame is
+        // no longer waiting.
+        counters.queue_dec(to);
         if peer_dead {
             continue;
         }
@@ -596,7 +698,7 @@ where
                 let body = &body;
                 let policy = &policy;
                 scope.spawn(move |_| {
-                    let counters = Arc::new(TcpCounters::default());
+                    let counters = Arc::new(TcpCounters::for_peers(size));
                     let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
                     for to in 0..rank {
                         let stream = dial(addrs[to], rank, to, policy, faults, &counters)

@@ -78,6 +78,26 @@ pub trait Transport: Send {
 
     /// Payload bytes sent so far through this endpoint.
     fn bytes_sent(&self) -> u64;
+
+    /// Drain every telemetry (`TELEM`) frame buffered for this rank.
+    ///
+    /// Telemetry rides the same wire as protocol traffic but is
+    /// **out-of-band**: implementations divert `TELEM` frames at the
+    /// receive side so they never appear in `recv_timeout` (protocol
+    /// receive order, and therefore results, are byte-identical with
+    /// telemetry on or off), and sends of `TELEM` frames skip the
+    /// message-level fault injector and message counters so fault-plan
+    /// `nth` indices don't shift when telemetry is enabled. Transports
+    /// that carry no telemetry return an empty vec (the default).
+    fn drain_telemetry(&self) -> Vec<Bytes> {
+        Vec::new()
+    }
+
+    /// Frames currently queued for sending but not yet handed to the OS,
+    /// summed over peers. In-process transports (no real queue) report 0.
+    fn send_queue_depth(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

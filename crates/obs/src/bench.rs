@@ -33,7 +33,9 @@
 
 use crate::ingest::{self, IngestError, LineResult, Raw};
 use gnet_bspline::BsplineBasis;
-use gnet_cluster::infer_network_distributed;
+use gnet_cluster::{
+    infer_network_distributed, infer_network_distributed_live, TelemetryPlane, TelemetrySpec,
+};
 use gnet_core::{apply_update, build_state, infer_network, UpdateMode};
 use gnet_mi::mutation::{KernelMutation, MutatedVectorKernel};
 use gnet_mi::{mi_with_nulls, prepare_gene, MiKernel, MiScratch};
@@ -355,6 +357,40 @@ fn ring_bench(ranks: usize, opts: &BenchOptions) -> BenchEntry {
     })
 }
 
+/// The `ring.2` pass re-timed with the live telemetry plane attached
+/// (registry-fed recorder, heartbeats every 5 ms, status keeper
+/// running). Gated against its own committed baseline, so the plane
+/// getting more expensive trips the same regression rule as a kernel
+/// slowdown; `ring.2` alongside it shows the absolute overhead.
+fn telemetry_bench(opts: &BenchOptions) -> BenchEntry {
+    let (genes, samples, q) = if opts.quick { (32, 48, 2) } else { (64, 64, 4) };
+    let matrix = gnet_bench::measured::perf_matrix(genes, samples);
+    let cfg = gnet_bench::measured::perf_config(q, 1, 8, MiKernel::VectorDense);
+    let baseline = infer_network_distributed(&matrix, &cfg, 2);
+    let spec = TelemetrySpec::with_interval(std::time::Duration::from_millis(5));
+    let pairs = (genes as u64) * (genes as u64 - 1) / 2;
+    time_reps("telemetry.overhead", opts.effective_reps(), || {
+        let mut plane = TelemetryPlane::start(&spec, 2, pairs)
+            .unwrap_or_else(|e| unreachable!("fileless, addressless plane starts: {e}"));
+        let r = infer_network_distributed_live(
+            &matrix,
+            &cfg,
+            2,
+            &gnet_fault::FaultInjector::none(),
+            &gnet_trace::Recorder::disabled(),
+            gnet_cluster::DEFAULT_PEER_TIMEOUT,
+            &plane,
+        )
+        .unwrap_or_else(|e| unreachable!("fault-free live ring completes: {e}"));
+        plane
+            .finish()
+            .unwrap_or_else(|e| unreachable!("fileless plane finish cannot fail: {e}"));
+        // The invariant under test everywhere else, cheaply re-asserted
+        // where overhead is measured: telemetry never perturbs results.
+        assert_eq!(r.network.edges().len(), baseline.network.edges().len());
+    })
+}
+
 /// Run the full suite.
 ///
 /// Besides the dispatched `kernel.vector` series, the suite re-times the
@@ -380,6 +416,7 @@ pub fn run_suite(opts: &BenchOptions) -> BenchSuite {
     }
     entries.push(ring_bench(2, opts));
     entries.push(ring_bench(4, opts));
+    entries.push(telemetry_bench(opts));
     entries.push(update_bench(opts));
     BenchSuite {
         quick: opts.quick,

@@ -25,8 +25,10 @@ pub mod flame;
 pub mod ingest;
 pub mod model;
 pub mod report;
+pub mod status;
 
 pub use bench::{BenchOptions, BenchSuite, Regression};
 pub use ingest::{IngestError, RankTrace};
 pub use model::{ObsError, RunModel};
 pub use report::{analyze, TimelineReport};
+pub use status::{validate_prometheus, validate_status_json, StatusError, StatusSummary};

@@ -92,6 +92,10 @@ pub struct TransportLoad {
     pub deadline_expiries: u64,
     /// Peer connections that dropped mid-run (death or mid-frame cut).
     pub peer_disconnects: u64,
+    /// High-water mark of frames queued to any single peer's writer
+    /// (`tcp.send_queue_peak`); a large peak pinpoints the rank whose
+    /// sends were backing up behind a slow or stalled receiver.
+    pub send_queue_peak: u64,
 }
 
 /// One stage row of the perf-attribution table.
@@ -300,6 +304,7 @@ pub fn analyze(model: &RunModel, kernel_model: Option<KernelModel>) -> TimelineR
                 frame_bytes_recv: c("tcp.frame_bytes_recv"),
                 deadline_expiries: c("tcp.deadline_expiries"),
                 peer_disconnects: c("tcp.peer_disconnects"),
+                send_queue_peak: c("tcp.send_queue_peak"),
             }
         })
         .collect();
@@ -436,7 +441,7 @@ impl TimelineReport {
             let _ = writeln!(out, "\n-- transport (loopback/cluster tcp) --");
             let _ = writeln!(
                 out,
-                "{:>5} {:>8} {:>8} {:>12} {:>12} {:>9} {:>10} {:>12}",
+                "{:>5} {:>8} {:>8} {:>12} {:>12} {:>9} {:>10} {:>12} {:>8}",
                 "rank",
                 "fr_sent",
                 "fr_recv",
@@ -444,12 +449,13 @@ impl TimelineReport {
                 "bytes_recv",
                 "retries",
                 "deadlines",
-                "disconnects"
+                "disconnects",
+                "queue_pk"
             );
             for t in &self.transport {
                 let _ = writeln!(
                     out,
-                    "{:>5} {:>8} {:>8} {:>12} {:>12} {:>9} {:>10} {:>12}",
+                    "{:>5} {:>8} {:>8} {:>12} {:>12} {:>9} {:>10} {:>12} {:>8}",
                     t.rank,
                     t.frames_sent,
                     t.frames_recv,
@@ -458,6 +464,7 @@ impl TimelineReport {
                     t.connect_retries,
                     t.deadline_expiries,
                     t.peer_disconnects,
+                    t.send_queue_peak,
                 );
             }
             let deadlines: u64 = self.transport.iter().map(|t| t.deadline_expiries).sum();
@@ -606,6 +613,7 @@ mod tests {
                     ("tcp.frames_sent", 7),
                     ("tcp.deadline_expiries", 2),
                     ("tcp.peer_disconnects", 1),
+                    ("tcp.send_queue_peak", 5),
                 ],
             ),
         ])
@@ -614,6 +622,7 @@ mod tests {
         assert_eq!(report.transport.len(), 2);
         assert_eq!(report.transport[0].frames_sent, 9);
         assert_eq!(report.transport[1].deadline_expiries, 2);
+        assert_eq!(report.transport[1].send_queue_peak, 5);
         let text = report.render_text();
         assert!(
             text.contains("-- transport (loopback/cluster tcp) --"),

@@ -1,0 +1,401 @@
+//! Closed-world validators for the live-telemetry pull surfaces.
+//!
+//! The producer side (`gnet-telemetry`) pins the `gnet-status/1` JSON
+//! schema and the Prometheus metric-name set (DESIGN.md §17); this
+//! module is the consumer-side tripwire, in the same spirit as the
+//! strict NDJSON ingester: every key must be one the renderer is known
+//! to emit **and** every pinned key must be present, so either side
+//! drifting breaks the CI smoke job instead of silently widening the
+//! contract. Scrape a live `/status` or `/metrics` (or read a
+//! `--status-file`) and feed the bytes here.
+
+use crate::ingest::{as_map, check_keys, get, get_f64, get_str, get_u64, Raw};
+use serde::Content;
+use std::fmt;
+
+/// A status document or exposition that failed closed-world validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatusError(
+    /// What was wrong.
+    pub String,
+);
+
+impl fmt::Display for StatusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "status validation: {}", self.0)
+    }
+}
+
+impl std::error::Error for StatusError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, StatusError> {
+    Err(StatusError(message.into()))
+}
+
+/// One validated `per_rank` entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankDigest {
+    /// Rank id (equals its index in `per_rank`).
+    pub rank: u64,
+    /// Presumed dead by the census/liveness path.
+    pub dead: bool,
+    /// Sent its final done-beat.
+    pub done: bool,
+    /// Heartbeat overdue right now.
+    pub suspect: bool,
+    /// Flagged as a straggler right now.
+    pub straggler: bool,
+    /// Last reported ring round.
+    pub round: u64,
+    /// Pairs this rank completed.
+    pub pairs: u64,
+    /// EWMA pair rate, pairs/s.
+    pub pairs_per_s: f64,
+    /// Age of the last heartbeat, µs (`None` before the first beat).
+    pub beat_age_us: Option<u64>,
+    /// Heartbeats folded into the view.
+    pub beats: u64,
+    /// Send-queue depth the rank last reported.
+    pub queue_depth: u64,
+}
+
+/// The digest of a validated `gnet-status/1` document — enough for
+/// `gnet status` to render its one-screen summary and for the CI smoke
+/// job to assert liveness properties, without re-parsing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatusSummary {
+    /// `running` or `done`.
+    pub state: String,
+    /// Rank count.
+    pub ranks: u64,
+    /// Wall-clock µs since the run started.
+    pub elapsed_us: u64,
+    /// Pairs completed across ranks.
+    pub pairs_done: u64,
+    /// Pairs the run will compute.
+    pub pairs_total: u64,
+    /// Cluster-wide completion rate, pairs/s.
+    pub pairs_per_s: f64,
+    /// Smoothed estimate of µs remaining, when one exists.
+    pub eta_us: Option<u64>,
+    /// Highest ring round any rank reported.
+    pub round_max: u64,
+    /// Ranks currently flagged as stragglers.
+    pub stragglers: Vec<u64>,
+    /// Ranks ever flagged as stragglers.
+    pub stragglers_seen: Vec<u64>,
+    /// Per-rank digests, indexed by rank.
+    pub per_rank: Vec<RankDigest>,
+}
+
+/// Exact top-level key set of `gnet-status/1`.
+const TOP_KEYS: &[&str] = &[
+    "format",
+    "version",
+    "state",
+    "elapsed_us",
+    "ranks",
+    "round_max",
+    "pairs_done",
+    "pairs_total",
+    "pairs_per_s",
+    "eta_us",
+    "interval_us",
+    "stragglers",
+    "stragglers_seen",
+    "per_rank",
+];
+
+/// Exact per-rank key set of `gnet-status/1`.
+const RANK_KEYS: &[&str] = &[
+    "rank",
+    "dead",
+    "done",
+    "suspect",
+    "straggler",
+    "round",
+    "pairs",
+    "pairs_per_s",
+    "beat_age_us",
+    "beats",
+    "queue_depth",
+    "counters",
+];
+
+/// Fixed Prometheus metric-name set (dynamic counters ride in the
+/// `counter` label of `gnet_rank_counter_total`, never as new names).
+const PROM_NAMES: &[&str] = &[
+    "gnet_up",
+    "gnet_elapsed_seconds",
+    "gnet_ranks",
+    "gnet_pairs_done_total",
+    "gnet_pairs_total",
+    "gnet_pairs_per_second",
+    "gnet_eta_seconds",
+    "gnet_rank_pairs_total",
+    "gnet_rank_pairs_per_second",
+    "gnet_rank_round",
+    "gnet_rank_heartbeat_age_seconds",
+    "gnet_rank_heartbeats_total",
+    "gnet_rank_queue_depth",
+    "gnet_rank_up",
+    "gnet_rank_straggler",
+    "gnet_rank_counter_total",
+];
+
+fn get_bool(entries: &[(String, Content)], key: &str) -> Result<bool, String> {
+    match get(entries, key)? {
+        Content::Bool(b) => Ok(*b),
+        other => Err(format!(
+            "field `{key}`: expected bool, found {}",
+            other.kind()
+        )),
+    }
+}
+
+/// `u64` or literal `null` (the renderer never omits nullable fields).
+fn get_nullable_u64(entries: &[(String, Content)], key: &str) -> Result<Option<u64>, String> {
+    match get(entries, key)? {
+        Content::Null => Ok(None),
+        Content::U64(v) => Ok(Some(*v)),
+        Content::I64(v) if *v >= 0 => Ok(Some(*v as u64)),
+        other => Err(format!(
+            "field `{key}`: expected unsigned integer or null, found {}",
+            other.kind()
+        )),
+    }
+}
+
+fn get_u64_list(entries: &[(String, Content)], key: &str) -> Result<Vec<u64>, String> {
+    let Content::Seq(items) = get(entries, key)? else {
+        return Err(format!("field `{key}`: expected an array"));
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            Content::U64(v) => Ok(*v),
+            Content::I64(v) if *v >= 0 => Ok(*v as u64),
+            other => Err(format!(
+                "field `{key}`: expected unsigned integers, found {}",
+                other.kind()
+            )),
+        })
+        .collect()
+}
+
+/// Validate one `gnet-status/1` JSON document, closed-world.
+///
+/// # Errors
+/// [`StatusError`] on malformed JSON, a format/version mismatch, any
+/// unknown key at either level (producer/consumer schema drift), any
+/// missing pinned key, a wrongly-typed value, or a `per_rank` array
+/// whose length disagrees with `ranks`.
+pub fn validate_status_json(doc: &str) -> Result<StatusSummary, StatusError> {
+    let raw: Raw =
+        serde_json::from_str(doc.trim()).map_err(|e| StatusError(format!("invalid JSON: {e}")))?;
+    let top = as_map(&raw.0).map_err(StatusError)?;
+    check_keys(top, TOP_KEYS).map_err(StatusError)?;
+
+    let format = get_str(top, "format").map_err(StatusError)?;
+    if format != "gnet-status" {
+        return err(format!("format `{format}` is not `gnet-status`"));
+    }
+    let version = get_u64(top, "version").map_err(StatusError)?;
+    if version != 1 {
+        return err(format!("unsupported gnet-status version {version}"));
+    }
+    let state = get_str(top, "state").map_err(StatusError)?;
+    if state != "running" && state != "done" {
+        return err(format!("state `{state}` is neither running nor done"));
+    }
+    let elapsed_us = get_u64(top, "elapsed_us").map_err(StatusError)?;
+    let ranks = get_u64(top, "ranks").map_err(StatusError)?;
+    let round_max = get_u64(top, "round_max").map_err(StatusError)?;
+    let pairs_done = get_u64(top, "pairs_done").map_err(StatusError)?;
+    let pairs_total = get_u64(top, "pairs_total").map_err(StatusError)?;
+    let pairs_per_s = get_f64(top, "pairs_per_s").map_err(StatusError)?;
+    let eta_us = get_nullable_u64(top, "eta_us").map_err(StatusError)?;
+    get_u64(top, "interval_us").map_err(StatusError)?;
+    let stragglers = get_u64_list(top, "stragglers").map_err(StatusError)?;
+    let stragglers_seen = get_u64_list(top, "stragglers_seen").map_err(StatusError)?;
+
+    let Content::Seq(per_rank) = get(top, "per_rank").map_err(StatusError)? else {
+        return err("field `per_rank`: expected an array");
+    };
+    if per_rank.len() as u64 != ranks {
+        return err(format!(
+            "per_rank has {} entries but ranks says {ranks}",
+            per_rank.len()
+        ));
+    }
+    let mut digests = Vec::with_capacity(per_rank.len());
+    for (i, entry) in per_rank.iter().enumerate() {
+        let r = as_map(entry).map_err(|e| StatusError(format!("per_rank[{i}]: {e}")))?;
+        let rank_err = |e: String| StatusError(format!("per_rank[{i}]: {e}"));
+        check_keys(r, RANK_KEYS).map_err(rank_err)?;
+        let rank = get_u64(r, "rank").map_err(rank_err)?;
+        if rank != i as u64 {
+            return err(format!("per_rank[{i}] carries rank {rank}"));
+        }
+        let counters = as_map(get(r, "counters").map_err(rank_err)?).map_err(rank_err)?;
+        for (name, value) in counters {
+            if !matches!(value, Content::U64(_) | Content::I64(_)) {
+                return err(format!(
+                    "per_rank[{i}] counter `{name}`: expected integer, found {}",
+                    value.kind()
+                ));
+            }
+        }
+        digests.push(RankDigest {
+            rank,
+            dead: get_bool(r, "dead").map_err(rank_err)?,
+            done: get_bool(r, "done").map_err(rank_err)?,
+            suspect: get_bool(r, "suspect").map_err(rank_err)?,
+            straggler: get_bool(r, "straggler").map_err(rank_err)?,
+            round: get_u64(r, "round").map_err(rank_err)?,
+            pairs: get_u64(r, "pairs").map_err(rank_err)?,
+            pairs_per_s: get_f64(r, "pairs_per_s").map_err(rank_err)?,
+            beat_age_us: get_nullable_u64(r, "beat_age_us").map_err(rank_err)?,
+            beats: get_u64(r, "beats").map_err(rank_err)?,
+            queue_depth: get_u64(r, "queue_depth").map_err(rank_err)?,
+        });
+    }
+
+    Ok(StatusSummary {
+        state,
+        ranks,
+        elapsed_us,
+        pairs_done,
+        pairs_total,
+        pairs_per_s,
+        eta_us,
+        round_max,
+        stragglers,
+        stragglers_seen,
+        per_rank: digests,
+    })
+}
+
+/// Validate one Prometheus text exposition (format 0.0.4) against the
+/// fixed name set, returning the number of samples.
+///
+/// # Errors
+/// [`StatusError`] on a sample whose metric name is outside the pinned
+/// set (producer/consumer schema drift), a malformed sample line, or a
+/// non-numeric value.
+pub fn validate_prometheus(text: &str) -> Result<u64, StatusError> {
+    let mut samples = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let n = i + 1;
+        let name = line.split(['{', ' ']).next().unwrap_or_default();
+        if !PROM_NAMES.contains(&name) {
+            return err(format!(
+                "line {n}: unknown metric `{name}` (producer/consumer schema drift?)"
+            ));
+        }
+        let value = line.rsplit(' ').next().unwrap_or_default();
+        if value.parse::<f64>().is_err() {
+            return err(format!("line {n}: sample value `{value}` is not a number"));
+        }
+        if line.contains('{') && !line.contains('}') {
+            return err(format!("line {n}: unterminated label set"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return err("exposition carries no samples");
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnet_telemetry::{render_prometheus, render_status_json, ClusterView, Heartbeat};
+    use std::time::{Duration, Instant};
+
+    fn live_view() -> (ClusterView, Instant) {
+        let base = Instant::now();
+        let mut v = ClusterView::new(2, 500, Duration::from_millis(50));
+        let mut hb = Heartbeat {
+            rank: 0,
+            round: 2,
+            pairs: 120,
+            elapsed_us: 300_000,
+            ..Heartbeat::default()
+        };
+        hb.counters.push(("mi.pairs".into(), 120));
+        v.fold_at(&hb, base + Duration::from_millis(300));
+        v.fold_at(
+            &Heartbeat {
+                rank: 1,
+                round: 2,
+                pairs: 100,
+                elapsed_us: 300_000,
+                ..Heartbeat::default()
+            },
+            base + Duration::from_millis(310),
+        );
+        (v, base + Duration::from_millis(350))
+    }
+
+    #[test]
+    fn real_renderer_output_passes_both_validators() {
+        let (v, now) = live_view();
+        let summary =
+            validate_status_json(&render_status_json(&v, now)).expect("pinned schema validates");
+        assert_eq!(summary.state, "running");
+        assert_eq!(summary.ranks, 2);
+        assert_eq!(summary.pairs_done, 220);
+        assert_eq!(summary.pairs_total, 500);
+        let beats: Vec<u64> = summary.per_rank.iter().map(|r| r.beats).collect();
+        assert_eq!(beats, vec![1, 1]);
+        assert!(summary.per_rank[0].beat_age_us.is_some());
+        let samples =
+            validate_prometheus(&render_prometheus(&v, now)).expect("pinned name set validates");
+        assert!(samples >= 10, "two live ranks emit many samples: {samples}");
+    }
+
+    #[test]
+    fn unknown_top_level_field_trips_the_tripwire() {
+        let (v, now) = live_view();
+        let doc = render_status_json(&v, now).replacen("\"state\"", "\"new_field\"", 1);
+        let e = validate_status_json(&doc).expect_err("drifted doc rejected");
+        assert!(e.0.contains("schema drift"), "{e}");
+    }
+
+    #[test]
+    fn missing_pinned_field_is_rejected_not_defaulted() {
+        // A well-formed document minus `pairs_total`: closed-world means
+        // both no-unknowns AND no-absences.
+        let doc = "{\"format\":\"gnet-status\",\"version\":1,\"state\":\"running\",\
+                   \"elapsed_us\":1,\"ranks\":0,\"round_max\":0,\"pairs_done\":0,\
+                   \"pairs_per_s\":0.0,\"eta_us\":null,\"interval_us\":1000,\
+                   \"stragglers\":[],\"stragglers_seen\":[],\"per_rank\":[]}";
+        let e = validate_status_json(doc).expect_err("absent pinned key rejected");
+        assert!(e.0.contains("pairs_total"), "{e}");
+    }
+
+    #[test]
+    fn unknown_prometheus_metric_is_rejected() {
+        let (v, now) = live_view();
+        let text = format!("{}gnet_surprise_total 1\n", render_prometheus(&v, now));
+        let e = validate_prometheus(&text).expect_err("drifted exposition rejected");
+        assert!(e.0.contains("gnet_surprise_total"), "{e}");
+    }
+
+    #[test]
+    fn per_rank_length_must_match_ranks() {
+        let doc = "{\"format\":\"gnet-status\",\"version\":1,\"state\":\"running\",\
+                   \"elapsed_us\":1,\"ranks\":3,\"round_max\":0,\"pairs_done\":0,\
+                   \"pairs_total\":10,\"pairs_per_s\":0.0,\"eta_us\":null,\
+                   \"interval_us\":1000,\"stragglers\":[],\"stragglers_seen\":[],\
+                   \"per_rank\":[]}";
+        let e = validate_status_json(doc).expect_err("length mismatch rejected");
+        assert!(e.0.contains("per_rank has 0 entries"), "{e}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Minimal std-only HTTP/1.0 status listener.
+//!
+//! Serves exactly two read-only endpoints — `GET /status` (the
+//! `gnet-status/1` JSON document) and `GET /metrics` (Prometheus text
+//! exposition 0.0.4) — from a single accept-loop thread. The server
+//! renders nothing itself: the caller supplies a [`DocSource`] closure
+//! invoked per request, so documents are always current and the server
+//! stays decoupled from the cluster view's locking.
+//!
+//! Deliberately primitive: one request per connection
+//! (`Connection: close`), 2-second socket timeouts, 4 KiB request cap.
+//! The status plane must never become a way to wedge an inference run,
+//! so every failure path drops the connection and keeps accepting.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Documents served by one scrape: rendered together so `/status` and
+/// `/metrics` scraped back-to-back describe the same instant.
+pub struct StatusDocs {
+    /// The `gnet-status/1` JSON document.
+    pub status_json: String,
+    /// The Prometheus text exposition.
+    pub metrics: String,
+}
+
+/// Per-request document renderer supplied by the caller.
+pub type DocSource = Arc<dyn Fn() -> StatusDocs + Send + Sync>;
+
+/// Per-connection socket timeout: a stalled scraper must not hold the
+/// single accept thread hostage.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head we will read before answering.
+const MAX_REQUEST: usize = 4096;
+
+/// A running status listener; dropping it stops the accept thread.
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Bind `spec` (e.g. `127.0.0.1:0`) and start serving `source`.
+    pub fn bind(spec: &str, source: DocSource) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(spec)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gnet-status-http".into())
+            .spawn(move || accept_loop(&listener, &stop_flag, &source))?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the serving thread. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        // ordering: the accept thread re-checks the flag after every
+        // accept; the wake-up connection below provides the hand-off.
+        self.stop.store(true, Ordering::Relaxed);
+        // Self-dial to unblock the accept call.
+        if let Ok(s) = TcpStream::connect_timeout(&self.addr, SOCKET_TIMEOUT) {
+            drop(s);
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, source: &DocSource) {
+    for stream in listener.incoming() {
+        // ordering: shutdown hand-off happens via the wake-up connection
+        // itself; the flag only needs to be seen eventually.
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Serve inline: two tiny documents per request, and a per-socket
+        // timeout bounds how long a bad client can occupy the loop.
+        let _ = serve_one(stream, source);
+    }
+}
+
+fn serve_one(mut stream: TcpStream, source: &DocSource) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the end of the request head (blank line) or the cap.
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST {
+            break;
+        }
+    }
+    let request_line = std::str::from_utf8(&head)
+        .ok()
+        .and_then(|t| t.lines().next())
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (code, reason, content_type, body) = if method != "GET" {
+        (
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_owned(),
+        )
+    } else {
+        match path {
+            "/status" => {
+                let docs = source();
+                (200, "OK", "application/json", docs.status_json)
+            }
+            "/metrics" => {
+                let docs = source();
+                (
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    docs.metrics,
+                )
+            }
+            _ => (
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "try /status or /metrics\n".to_owned(),
+            ),
+        }
+    };
+    let header = format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect to status server");
+        write!(s, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("send request");
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a head/body split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    fn test_server() -> StatusServer {
+        let source: DocSource = Arc::new(|| StatusDocs {
+            status_json: "{\"format\":\"gnet-status\"}".to_owned(),
+            metrics: "gnet_up 1\n".to_owned(),
+        });
+        StatusServer::bind("127.0.0.1:0", source).expect("bind loopback")
+    }
+
+    #[test]
+    fn serves_status_and_metrics_with_content_length() {
+        let server = test_server();
+        let (head, body) = get(server.addr(), "/status");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(head.contains("Content-Type: application/json"), "{head}");
+        assert!(head.contains(&format!("Content-Length: {}", body.len())));
+        assert_eq!(body, "{\"format\":\"gnet-status\"}");
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert_eq!(body, "gnet_up 1\n");
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected_politely() {
+        let server = test_server();
+        let (head, _) = get(server.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        write!(s, "POST /status HTTP/1.0\r\n\r\n").expect("send");
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+    }
+
+    #[test]
+    fn shutdown_joins_and_further_requests_fail() {
+        let mut server = test_server();
+        let addr = server.addr();
+        let (head, _) = get(addr, "/status");
+        assert!(head.starts_with("HTTP/1.0 200"));
+        server.shutdown();
+        server.shutdown(); // idempotent
+                           // The listener is gone: connect or the request itself now fails.
+        let refused = match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Err(_) => true,
+            Ok(mut s) => write!(s, "GET /status HTTP/1.0\r\n\r\n")
+                .and_then(|()| {
+                    let mut buf = String::new();
+                    s.read_to_string(&mut buf).map(|_| buf)
+                })
+                .map_or(true, |buf| buf.is_empty()),
+        };
+        assert!(refused, "server still answering after shutdown");
+    }
+}

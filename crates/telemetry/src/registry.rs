@@ -1,0 +1,340 @@
+//! Lock-light metrics registry: atomically updated counters, gauges and
+//! histograms, snapshotable at any instant without pausing writers.
+//!
+//! The registry is the live twin of the post-hoc [`gnet_trace::Recorder`]:
+//! the recorder buffers everything for NDJSON export after the run, while
+//! the registry keeps only the *current* value of each metric in an atomic
+//! cell that workers bump in place. Reads (heartbeat encoding, `/metrics`
+//! scrapes) take a snapshot of the atomics without stopping any writer.
+//!
+//! Locking discipline: the maps from name to cell sit behind `RwLock`s,
+//! but the hot path — updating a metric that already exists — takes only
+//! the read lock to clone the `Arc` of the cell and then updates the
+//! atomic lock-free. The write lock is taken once per metric name, on
+//! first registration. Snapshots take the read lock and load each atomic;
+//! a histogram snapshot derives its total count from the bucket loads, so
+//! it is internally coherent (count == sum of buckets) *by construction*
+//! even when taken mid-update.
+
+use gnet_trace::{Histogram, MetricsSink};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-tolerant read lock: a panicking writer must not take telemetry
+/// down with it.
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-tolerant write lock (see [`read`]).
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A histogram whose buckets are independent atomics, updatable from any
+/// thread without a lock.
+///
+/// Bucket layout mirrors [`gnet_trace::Histogram`] exactly — power-of-two
+/// microsecond bounds plus one overflow bucket — so live and post-hoc
+/// views of the same latency stream bucket identically. Unlike the
+/// locked histogram it keeps no min/max (those would need a CAS loop for
+/// no live-view benefit); the snapshot's total count is derived from the
+/// bucket loads rather than stored, which is what makes a concurrent
+/// snapshot coherent.
+pub struct AtomicHistogram {
+    counts: [AtomicU64; Histogram::BUCKETS],
+    sum_us: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Bucket index for `value_us`, identical to
+    /// [`gnet_trace::Histogram::observe_us`]'s placement.
+    fn bucket_index(value_us: u64) -> usize {
+        if value_us <= 1 {
+            0
+        } else {
+            let ceil_log2 = 64 - (value_us - 1).leading_zeros() as usize;
+            ceil_log2.min(Histogram::BUCKETS - 1)
+        }
+    }
+
+    /// Record one observation of `value_us` microseconds.
+    pub fn observe_us(&self, value_us: u64) {
+        // ordering: each bucket is an independent monotone counter; the
+        // snapshot derives totals from whatever loads it sees, so no
+        // cross-cell ordering is required.
+        self.counts[Self::bucket_index(value_us)].fetch_add(1, Ordering::Relaxed);
+        // ordering: as above — sum_us is advisory (mean estimation) and
+        // tolerates racing a bucket increment.
+        self.sum_us.fetch_add(value_us, Ordering::Relaxed);
+    }
+
+    /// A coherent point-in-time copy: the count is the sum of the bucket
+    /// loads, never a separately-maintained total that could disagree.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: monotone counters read for reporting; a torn view
+        // across buckets only under-reports in-flight observations.
+        let buckets = std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed));
+        // ordering: as above.
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        HistogramSnapshot { buckets, sum_us }
+    }
+}
+
+/// Point-in-time copy of an [`AtomicHistogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, bound order, overflow last (same layout as
+    /// [`gnet_trace::Histogram::bucket_counts`]).
+    pub buckets: [u64; Histogram::BUCKETS],
+    /// Saturating sum of all observations, µs.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations — always exactly the sum of `buckets`.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+}
+
+/// Point-in-time copy of a whole [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Registry of named live metrics.
+///
+/// Cheap to share (`Arc<MetricsRegistry>` implements
+/// [`gnet_trace::MetricsSink`], so a [`gnet_trace::Recorder`] can feed it
+/// directly via `Recorder::with_metrics`); see the module docs for the
+/// locking discipline.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+}
+
+/// Get-or-insert a named cell: read-lock fast path, write lock only on
+/// first registration of the name.
+fn cell<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(c) = read(map).get(name) {
+        return Arc::clone(c);
+    }
+    let mut w = write(map);
+    Arc::clone(w.entry(name.to_owned()).or_default())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named monotonic counter (registering it at 0
+    /// first if new).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        // ordering: monotone counter; readers tolerate any interleaving.
+        cell(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        // ordering: last-write-wins gauge, no cross-metric invariant.
+        cell(&self.gauges, name).store(value, Ordering::Relaxed);
+    }
+
+    /// Record one microsecond observation into the named histogram.
+    pub fn observe_us(&self, name: &str, value_us: u64) {
+        cell(&self.histograms, name).observe_us(value_us);
+    }
+
+    /// Current value of a counter, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        read(&self.counters)
+            .get(name)
+            // ordering: reporting read of a monotone counter.
+            .map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Current value of a gauge, if registered.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        read(&self.gauges)
+            .get(name)
+            // ordering: reporting read of a gauge.
+            .map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Coherent point-in-time copy of every metric. Writers are never
+    /// paused; each cell is loaded once, and histogram counts are derived
+    /// from bucket loads (see [`AtomicHistogram::snapshot`]).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = read(&self.counters)
+            .iter()
+            // ordering: reporting read of monotone counters.
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = read(&self.gauges)
+            .iter()
+            // ordering: reporting read of gauges.
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = read(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl MetricsSink for MetricsRegistry {
+    fn counter_add(&self, name: &str, delta: u64) {
+        MetricsRegistry::counter_add(self, name, delta);
+    }
+
+    fn observe_us(&self, name: &str, value_us: u64) {
+        MetricsRegistry::observe_us(self, name, value_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnet_trace::Recorder;
+
+    #[test]
+    fn counters_gauges_and_histograms_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("pairs", 3);
+        reg.counter_add("pairs", 4);
+        reg.gauge_set("depth", 9);
+        reg.gauge_set("depth", 2);
+        reg.observe_us("lat", 1);
+        reg.observe_us("lat", 1000);
+        assert_eq!(reg.counter("pairs"), Some(7));
+        assert_eq!(reg.counter("missing"), None);
+        assert_eq!(reg.gauge("depth"), Some(2));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("pairs"), Some(&7));
+        assert_eq!(snap.gauges.get("depth"), Some(&2));
+        let h = snap.histograms.get("lat").expect("histogram registered");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_us, 1001);
+    }
+
+    #[test]
+    fn atomic_histogram_buckets_match_the_locked_histogram() {
+        let ah = AtomicHistogram::default();
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1024, 1 << 25, (1 << 25) + 1, u64::MAX] {
+            ah.observe_us(v);
+            h.observe_us(v);
+        }
+        let snap = ah.snapshot();
+        assert_eq!(&snap.buckets[..], h.bucket_counts());
+        assert_eq!(snap.count(), h.count());
+    }
+
+    #[test]
+    fn recorder_feeds_the_registry_as_a_sink() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let rec = Recorder::disabled().with_metrics(Arc::clone(&reg) as Arc<dyn MetricsSink>);
+        rec.counter_add("rank.pairs", 42);
+        rec.observe_us("tile_us", 17);
+        assert_eq!(reg.counter("rank.pairs"), Some(42));
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histograms.get("tile_us").map(HistogramSnapshot::count),
+            Some(1)
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Hammer a registry from several threads while snapshotting
+            /// concurrently: every snapshot must be internally coherent —
+            /// histogram count equals the bucket sum, counters only grow
+            /// between snapshots — and the final totals must be exact.
+            #[test]
+            fn prop_snapshots_mid_update_are_coherent(
+                per_thread in 1usize..200,
+                threads in 2usize..5,
+                values in proptest::collection::vec(0u64..=1 << 30, 1..8),
+            ) {
+                let reg = Arc::new(MetricsRegistry::new());
+                let snaps = std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let reg = Arc::clone(&reg);
+                        let values = values.clone();
+                        scope.spawn(move || {
+                            for i in 0..per_thread {
+                                reg.counter_add("c", 1);
+                                reg.observe_us("h", values[(t + i) % values.len()]);
+                                reg.gauge_set("g", i as u64);
+                            }
+                        });
+                    }
+                    // Snapshot continuously while the writers hammer.
+                    let mut snaps = Vec::new();
+                    for _ in 0..50 {
+                        snaps.push(reg.snapshot());
+                    }
+                    snaps
+                });
+                let mut last_count = 0u64;
+                let mut last_hist = 0u64;
+                for s in &snaps {
+                    if let Some(h) = s.histograms.get("h") {
+                        // Coherence by construction: count IS the bucket
+                        // sum, even for a snapshot taken mid-update.
+                        let bucket_sum: u64 = h.buckets.iter().sum();
+                        prop_assert_eq!(h.count(), bucket_sum);
+                        prop_assert!(h.count() >= last_hist, "histogram went backwards");
+                        last_hist = h.count();
+                    }
+                    if let Some(&c) = s.counters.get("c") {
+                        prop_assert!(c >= last_count, "counter went backwards");
+                        last_count = c;
+                    }
+                }
+                let total = (threads * per_thread) as u64;
+                prop_assert_eq!(reg.counter("c"), Some(total));
+                let final_snap = reg.snapshot();
+                let h = final_snap.histograms.get("h").expect("histogram exists");
+                prop_assert_eq!(h.count(), total);
+            }
+        }
+    }
+}

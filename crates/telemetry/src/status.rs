@@ -1,0 +1,346 @@
+//! Pull-surface renderers: the `gnet-status/1` JSON document, the
+//! Prometheus text exposition, and the atomic status-file writer.
+//!
+//! Both renderers are **closed-world**: every key in the JSON document
+//! and every metric name in the exposition comes from the fixed sets
+//! below, so consumers (`gnet status`, the CI schema tripwire in
+//! `gnet-obs`) can reject unknown fields as producer/consumer drift.
+//! Per-rank counters ride inside a `counters` object (JSON) or a
+//! `counter="…"` label (Prometheus) precisely so that dynamic metric
+//! names never widen the schema itself.
+
+use crate::view::ClusterView;
+use gnet_trace::escape_json;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// `format` field of the status document.
+pub const STATUS_FORMAT: &str = "gnet-status";
+
+/// `version` field of the status document (schema `gnet-status/1`).
+pub const STATUS_VERSION: u64 = 1;
+
+fn push_u64_list(out: &mut String, items: impl IntoIterator<Item = u64>) {
+    out.push('[');
+    for (i, v) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// Render the `gnet-status/1` JSON document as of `now`.
+///
+/// Every number is a JSON integer except the two rates, and nullable
+/// fields (`eta_us`, per-rank `beat_age_us`) are literal `null` — never
+/// absent — so the schema has a fixed key set.
+#[must_use]
+pub fn render_status_json(view: &ClusterView, now: Instant) -> String {
+    let elapsed = view.elapsed(now);
+    let elapsed_s = elapsed.as_secs_f64();
+    let pairs_done = view.pairs_done();
+    let overall_rate = if elapsed_s > 0.0 {
+        pairs_done as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"format\":\"{STATUS_FORMAT}\",\"version\":{STATUS_VERSION},\"state\":\"{}\",\
+         \"elapsed_us\":{},\"ranks\":{},\"round_max\":{},\"pairs_done\":{pairs_done},\
+         \"pairs_total\":{},\"pairs_per_s\":{overall_rate:.3},",
+        if view.is_done() { "done" } else { "running" },
+        elapsed.as_micros(),
+        view.ranks().len(),
+        view.round_max(),
+        view.pairs_total(),
+    );
+    match view.eta() {
+        Some(eta) => {
+            let _ = write!(out, "\"eta_us\":{},", eta.as_micros());
+        }
+        None => out.push_str("\"eta_us\":null,"),
+    }
+    let _ = write!(out, "\"interval_us\":{},", view.interval().as_micros());
+    out.push_str("\"stragglers\":");
+    push_u64_list(&mut out, view.stragglers().iter().map(|&r| r as u64));
+    out.push_str(",\"stragglers_seen\":");
+    push_u64_list(&mut out, view.stragglers_seen().iter().map(|&r| r as u64));
+    out.push_str(",\"per_rank\":[");
+    for (i, r) in view.ranks().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rank_rate = r.rate_ewma.unwrap_or(if r.elapsed_us > 0 {
+            r.pairs as f64 / (r.elapsed_us as f64 / 1e6)
+        } else {
+            0.0
+        });
+        let _ = write!(
+            out,
+            "{{\"rank\":{},\"dead\":{},\"done\":{},\"suspect\":{},\"straggler\":{},\
+             \"round\":{},\"pairs\":{},\"pairs_per_s\":{rank_rate:.3},",
+            r.rank, r.dead, r.done, r.suspect, r.straggler, r.round, r.pairs,
+        );
+        match r.beat_age(now) {
+            Some(age) => {
+                let _ = write!(out, "\"beat_age_us\":{},", age.as_micros());
+            }
+            None => out.push_str("\"beat_age_us\":null,"),
+        }
+        let _ = write!(
+            out,
+            "\"beats\":{},\"queue_depth\":{},\"counters\":{{",
+            r.beats, r.queue_depth,
+        );
+        for (j, (k, v)) in r.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            escape_json(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render the Prometheus text exposition (format 0.0.4) as of `now`.
+///
+/// The metric-name set is fixed (see DESIGN.md §17): dynamic counter
+/// names appear as the `counter` label of `gnet_rank_counter_total`, so
+/// a scrape validator can hold the name allowlist closed.
+#[must_use]
+pub fn render_prometheus(view: &ClusterView, now: Instant) -> String {
+    let elapsed_s = view.elapsed(now).as_secs_f64();
+    let pairs_done = view.pairs_done();
+    let overall_rate = if elapsed_s > 0.0 {
+        pairs_done as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(
+        out,
+        "# HELP gnet_up Whether the inference run is live (1) or finished (0)."
+    );
+    let _ = writeln!(out, "# TYPE gnet_up gauge");
+    let _ = writeln!(out, "gnet_up {}", u8::from(!view.is_done()));
+    let _ = writeln!(
+        out,
+        "# HELP gnet_elapsed_seconds Wall-clock seconds since the run started."
+    );
+    let _ = writeln!(out, "# TYPE gnet_elapsed_seconds gauge");
+    let _ = writeln!(out, "gnet_elapsed_seconds {elapsed_s:.6}");
+    let _ = writeln!(out, "# HELP gnet_ranks Number of ranks in the mesh.");
+    let _ = writeln!(out, "# TYPE gnet_ranks gauge");
+    let _ = writeln!(out, "gnet_ranks {}", view.ranks().len());
+    let _ = writeln!(
+        out,
+        "# HELP gnet_pairs_done_total Gene pairs completed across all ranks."
+    );
+    let _ = writeln!(out, "# TYPE gnet_pairs_done_total counter");
+    let _ = writeln!(out, "gnet_pairs_done_total {pairs_done}");
+    let _ = writeln!(
+        out,
+        "# HELP gnet_pairs_total Total gene pairs the run will compute."
+    );
+    let _ = writeln!(out, "# TYPE gnet_pairs_total gauge");
+    let _ = writeln!(out, "gnet_pairs_total {}", view.pairs_total());
+    let _ = writeln!(
+        out,
+        "# HELP gnet_pairs_per_second Cluster-wide completion rate."
+    );
+    let _ = writeln!(out, "# TYPE gnet_pairs_per_second gauge");
+    let _ = writeln!(out, "gnet_pairs_per_second {overall_rate:.3}");
+    if let Some(eta) = view.eta() {
+        let _ = writeln!(
+            out,
+            "# HELP gnet_eta_seconds Smoothed estimate of seconds remaining."
+        );
+        let _ = writeln!(out, "# TYPE gnet_eta_seconds gauge");
+        let _ = writeln!(out, "gnet_eta_seconds {:.3}", eta.as_secs_f64());
+    }
+    for r in view.ranks() {
+        let rank = r.rank;
+        let _ = writeln!(out, "gnet_rank_pairs_total{{rank=\"{rank}\"}} {}", r.pairs);
+        let rank_rate = r.rate_ewma.unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "gnet_rank_pairs_per_second{{rank=\"{rank}\"}} {rank_rate:.3}"
+        );
+        let _ = writeln!(out, "gnet_rank_round{{rank=\"{rank}\"}} {}", r.round);
+        if let Some(age) = r.beat_age(now) {
+            let _ = writeln!(
+                out,
+                "gnet_rank_heartbeat_age_seconds{{rank=\"{rank}\"}} {:.6}",
+                age.as_secs_f64()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "gnet_rank_heartbeats_total{{rank=\"{rank}\"}} {}",
+            r.beats
+        );
+        let _ = writeln!(
+            out,
+            "gnet_rank_queue_depth{{rank=\"{rank}\"}} {}",
+            r.queue_depth
+        );
+        let _ = writeln!(out, "gnet_rank_up{{rank=\"{rank}\"}} {}", u8::from(!r.dead));
+        let _ = writeln!(
+            out,
+            "gnet_rank_straggler{{rank=\"{rank}\"}} {}",
+            u8::from(r.straggler)
+        );
+        for (name, value) in &r.counters {
+            let _ = writeln!(
+                out,
+                "gnet_rank_counter_total{{rank=\"{rank}\",counter=\"{}\"}} {value}",
+                escape_label(name)
+            );
+        }
+    }
+    out
+}
+
+/// Atomically replace `path` with `contents`: write a sibling temp file,
+/// then rename over the target, so a concurrent reader always sees
+/// either the previous complete document or the new one — never a
+/// partial write.
+pub fn write_status_file_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "status path has no file name")
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heartbeat::Heartbeat;
+    use std::time::Duration;
+
+    fn sample_view() -> (ClusterView, Instant) {
+        let base = Instant::now();
+        let mut v = ClusterView::new(3, 1000, Duration::from_millis(100));
+        let mut hb = Heartbeat {
+            rank: 0,
+            round: 3,
+            pairs: 250,
+            elapsed_us: 400_000,
+            queue_depth: 2,
+            ..Heartbeat::default()
+        };
+        hb.counters.push(("tcp.frames_sent".into(), 12));
+        v.fold_at(&hb, base + Duration::from_millis(400));
+        // Rank 1 beat once early then went silent; rank 2 never beat.
+        v.fold_at(
+            &Heartbeat {
+                rank: 1,
+                round: 1,
+                pairs: 10,
+                elapsed_us: 10_000,
+                ..Heartbeat::default()
+            },
+            base + Duration::from_millis(10),
+        );
+        v.refresh_at(base + Duration::from_millis(450));
+        (v, base + Duration::from_millis(500))
+    }
+
+    #[test]
+    fn status_json_has_the_pinned_shape() {
+        let (v, now) = sample_view();
+        let doc = render_status_json(&v, now);
+        for needle in [
+            "\"format\":\"gnet-status\"",
+            "\"version\":1",
+            "\"state\":\"running\"",
+            "\"pairs_total\":1000",
+            "\"pairs_done\":260",
+            "\"interval_us\":100000",
+            "\"per_rank\":[",
+            "\"beat_age_us\":100000",
+            "\"beat_age_us\":null",
+            "\"counters\":{\"tcp.frames_sent\":12}",
+            "\"stragglers_seen\":[1]",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
+        // Balanced braces/brackets (cheap structural sanity; full
+        // schema validation lives in gnet-obs).
+        let opens = doc.matches('{').count() + doc.matches('[').count();
+        let closes = doc.matches('}').count() + doc.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn prometheus_uses_only_the_fixed_name_set() {
+        let (v, now) = sample_view();
+        let text = render_prometheus(&v, now);
+        const ALLOWED: &[&str] = &[
+            "gnet_up",
+            "gnet_elapsed_seconds",
+            "gnet_ranks",
+            "gnet_pairs_done_total",
+            "gnet_pairs_total",
+            "gnet_pairs_per_second",
+            "gnet_eta_seconds",
+            "gnet_rank_pairs_total",
+            "gnet_rank_pairs_per_second",
+            "gnet_rank_round",
+            "gnet_rank_heartbeat_age_seconds",
+            "gnet_rank_heartbeats_total",
+            "gnet_rank_queue_depth",
+            "gnet_rank_up",
+            "gnet_rank_straggler",
+            "gnet_rank_counter_total",
+        ];
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let name = line
+                .split(['{', ' '])
+                .next()
+                .expect("sample line has a name");
+            assert!(ALLOWED.contains(&name), "unexpected metric {name}");
+        }
+        assert!(text.contains("gnet_rank_counter_total{rank=\"0\",counter=\"tcp.frames_sent\"} 12"));
+        assert!(text.contains("gnet_rank_straggler{rank=\"1\"} 1"));
+    }
+
+    #[test]
+    fn status_file_replacement_is_atomic_and_complete() {
+        let dir = std::env::temp_dir().join(format!("gnet-telemetry-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("status.json");
+        write_status_file_atomic(&path, "{\"v\":1}").expect("first write");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "{\"v\":1}");
+        write_status_file_atomic(&path, "{\"v\":2}").expect("replace");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "{\"v\":2}");
+        assert!(
+            !dir.join("status.json.tmp").exists(),
+            "temp file renamed away"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

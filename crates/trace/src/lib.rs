@@ -33,12 +33,14 @@
 
 #![warn(missing_docs)]
 
+mod diag;
 mod eta;
 mod export;
 mod histogram;
 mod recorder;
 
+pub use diag::{diag_chunk, diag_line};
 pub use eta::EwmaEta;
 pub use export::escape_json;
 pub use histogram::Histogram;
-pub use recorder::{Progress, Recorder, Span, Value};
+pub use recorder::{MetricsSink, Progress, Recorder, Span, Value};

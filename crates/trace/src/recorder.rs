@@ -111,6 +111,28 @@ impl Progress {
 
 type ProgressSink = Box<dyn Fn(Progress) + Send + Sync>;
 
+/// A live sink for metric updates, fed *incrementally* as instrumented
+/// code records counters and latency observations.
+///
+/// The trace buffer inside an enabled [`Recorder`] is post-hoc: it is
+/// only read after the run, by the NDJSON/JSON exporters. A
+/// `MetricsSink` is the live counterpart — install one with
+/// [`Recorder::with_metrics`] and every
+/// [`counter_add`](Recorder::counter_add) /
+/// [`observe_us`](Recorder::observe_us) call is forwarded to it at
+/// record time, whether or not the recorder itself is enabled. The
+/// canonical implementation is `gnet-telemetry`'s `MetricsRegistry`
+/// (atomics all the way down), which makes the forwarding cheap enough
+/// for instrumented hot paths.
+///
+/// Implementations must tolerate concurrent calls from many threads.
+pub trait MetricsSink: Send + Sync {
+    /// Add `delta` to the named monotonic counter.
+    fn counter_add(&self, name: &str, delta: u64);
+    /// Record one microsecond observation into the named histogram.
+    fn observe_us(&self, name: &str, value_us: u64);
+}
+
 pub(crate) struct Inner {
     pub(crate) epoch: Instant,
     pub(crate) spans: Mutex<Vec<SpanRecord>>,
@@ -130,6 +152,9 @@ pub(crate) struct Inner {
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    /// Live metrics sink, orthogonal to the trace buffer: a disabled
+    /// recorder with a sink still forwards counters/observations.
+    metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 /// RAII guard for a span: records `[creation, drop)` against the
@@ -169,7 +194,10 @@ impl Recorder {
     /// The inert handle: records nothing, costs one branch per call.
     #[must_use]
     pub fn disabled() -> Self {
-        Self { inner: None }
+        Self {
+            inner: None,
+            metrics: None,
+        }
     }
 
     /// A live recorder with a fresh buffer; its epoch is `now`.
@@ -197,7 +225,19 @@ impl Recorder {
                 histograms: Mutex::new(BTreeMap::new()),
                 progress,
             })),
+            metrics: None,
         }
+    }
+
+    /// Attach a live [`MetricsSink`]: every subsequent
+    /// [`counter_add`](Self::counter_add) and
+    /// [`observe_us`](Self::observe_us) on this handle (and its clones)
+    /// is forwarded to `sink` at record time. Works on disabled handles
+    /// too — live telemetry does not require post-hoc tracing.
+    #[must_use]
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
     }
 
     /// Is this handle recording?
@@ -248,6 +288,9 @@ impl Recorder {
 
     /// Add `delta` to the named monotonic counter.
     pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(sink) = &self.metrics {
+            sink.counter_add(name, delta);
+        }
         let Some(inner) = &self.inner else { return };
         *lock(&inner.counters).entry(name.to_string()).or_insert(0) += delta;
     }
@@ -259,6 +302,9 @@ impl Recorder {
 
     /// Record a raw microsecond observation into the named histogram.
     pub fn observe_us(&self, name: &str, value_us: u64) {
+        if let Some(sink) = &self.metrics {
+            sink.observe_us(name, value_us);
+        }
         let Some(inner) = &self.inner else { return };
         lock(&inner.histograms)
             .entry(name.to_string())
@@ -404,6 +450,41 @@ mod tests {
             elapsed: Duration::ZERO,
         };
         assert_eq!(fresh.eta(), None);
+    }
+
+    #[test]
+    fn metrics_sink_is_fed_even_when_disabled() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        #[derive(Default)]
+        struct Tally {
+            counts: AtomicU64,
+            observed: AtomicU64,
+        }
+        impl MetricsSink for Tally {
+            fn counter_add(&self, _name: &str, delta: u64) {
+                // ordering: test tally, read after the calls return.
+                self.counts.fetch_add(delta, Ordering::Relaxed);
+            }
+            fn observe_us(&self, _name: &str, value_us: u64) {
+                // ordering: test tally, as above.
+                self.observed.fetch_add(value_us, Ordering::Relaxed);
+            }
+        }
+        let sink = Arc::new(Tally::default());
+        let rec = Recorder::disabled().with_metrics(Arc::clone(&sink) as Arc<dyn MetricsSink>);
+        assert!(!rec.is_enabled(), "metrics do not imply tracing");
+        rec.counter_add("pairs", 3);
+        rec.clone().counter_add("pairs", 4);
+        rec.observe_us("lat", 250);
+        // ordering: reads after the single-threaded calls above.
+        assert_eq!(sink.counts.load(Ordering::Relaxed), 7);
+        assert_eq!(sink.observed.load(Ordering::Relaxed), 250);
+        // An enabled recorder feeds both the sink and its own buffer.
+        let both = Recorder::enabled().with_metrics(Arc::clone(&sink) as Arc<dyn MetricsSink>);
+        both.counter_add("pairs", 5);
+        assert_eq!(both.counter("pairs"), Some(5));
+        // ordering: as above.
+        assert_eq!(sink.counts.load(Ordering::Relaxed), 12);
     }
 
     #[test]

@@ -15,6 +15,15 @@ pub struct SendError<T>(pub T);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
 
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing is queued right now.
+    Empty,
+    /// Every sender was dropped and the queue is drained.
+    Disconnected,
+}
+
 /// Error returned by [`Receiver::recv_timeout`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvTimeoutError {
@@ -63,6 +72,18 @@ impl<T> Receiver<T> {
     /// Errors once every sender is dropped and the queue is drained.
     pub fn recv(&self) -> Result<T, RecvError> {
         self.inner.recv().map_err(|mpsc::RecvError| RecvError)
+    }
+
+    /// Dequeue a message if one is already buffered; never blocks.
+    ///
+    /// # Errors
+    /// `Empty` if nothing is queued, `Disconnected` once every sender is
+    /// dropped and the queue is drained.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
     }
 
     /// Block until a message arrives or `timeout` elapses.
